@@ -1,0 +1,92 @@
+// Ablation (research agenda: "fast heuristics"): quality and runtime of the
+// myopic threshold heuristic against the exact DP across the α_r sweep, on
+// real collectives and on adversarial random instances.
+#include <chrono>
+#include <cstdio>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/optimizers.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
+#include "psd/util/table.hpp"
+
+namespace {
+
+using namespace psd;
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  const int n = 64;
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.b = gbps(800);
+
+  std::printf("Ablation: greedy threshold heuristic vs exact DP (n=%d ring)\n\n", n);
+  TextTable table;
+  table.set_header({"collective", "M", "alpha_r", "greedy/opt", "dp_us",
+                    "greedy_us"});
+
+  for (const char* algo : {"hd", "swing", "a2a"}) {
+    for (double m_mib : {1.0, 16.0, 256.0}) {
+      const auto sched =
+          std::string(algo) == "hd"
+              ? collective::halving_doubling_allreduce(n, mib(m_mib))
+              : (std::string(algo) == "swing"
+                     ? collective::swing_allreduce(n, mib(m_mib))
+                     : collective::alltoall_transpose(n, mib(m_mib)));
+      for (double ar_us : {1.0, 10.0, 100.0}) {
+        params.alpha_r = microseconds(ar_us);
+        const core::ProblemInstance inst(sched, oracle, params);
+
+        const auto t0 = Clock::now();
+        const auto opt = core::optimal_plan(inst);
+        const auto t1 = Clock::now();
+        const auto greedy = core::greedy_threshold_plan(inst);
+        const auto t2 = Clock::now();
+
+        table.add_row({std::string(algo), fmt_double(m_mib, 0) + " MiB",
+                       fmt_double(ar_us, 0) + " us",
+                       fmt_double(greedy.total_time() / opt.total_time(), 4),
+                       fmt_double(us_between(t0, t1), 1),
+                       fmt_double(us_between(t1, t2), 1)});
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Adversarial random instances: where does myopia hurt the most?
+  Rng rng(99);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::pair<Bytes, topo::Matching>> raw;
+    const int steps = rng.uniform_int(4, 16);
+    for (int i = 0; i < steps; ++i) {
+      topo::Matching m(n);
+      const auto perm = rng.permutation(n);
+      for (int j = 0; j < n; ++j) {
+        if (perm[static_cast<std::size_t>(j)] != j) {
+          m.set(j, perm[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (m.active_pairs() == 0) m.set(0, 1);
+      raw.emplace_back(kib(rng.uniform(16.0, 65536.0)), std::move(m));
+    }
+    params.alpha_r = microseconds(rng.uniform(0.5, 200.0));
+    const core::ProblemInstance inst(raw, oracle, params);
+    const double ratio = core::greedy_threshold_plan(inst).total_time() /
+                         core::optimal_plan(inst).total_time();
+    worst_ratio = std::max(worst_ratio, ratio);
+  }
+  std::printf("\nworst greedy/opt over 200 random instances: %.3f\n", worst_ratio);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (paper §4 future work: multi-ported collectives): dual-port GPUs
+// run union-of-matchings steps. The mirrored All-to-All (rotation i together
+// with rotation n−i) halves the step count relative to the single-port
+// transpose — halving both the per-step α overhead and, crucially, the
+// number of reconfigurations the matched schedule must pay for.
+#include <cstdio>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/multi_port.hpp"
+#include "psd/core/optimizers.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/table.hpp"
+
+int main() {
+  using namespace psd;
+  const int n = 64;
+
+  // Single-port domain: one 800 Gbps transceiver, directed ring base.
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle single_oracle(ring, gbps(800));
+  // Dual-port domain: two transceivers per GPU, cw + ccw ring base (same
+  // total injection bandwidth per GPU as doubling the port count would).
+  const auto dual_base = topo::coprime_ring_union(n, gbps(800), {1, n - 1});
+  const flow::ThetaOracle dual_oracle(dual_base, gbps(800));
+
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.b = gbps(800);
+
+  std::printf("Ablation: single-port transpose vs dual-port mirrored "
+              "All-to-All (n=%d, M=16 MiB)\n\n", n);
+  TextTable table;
+  table.set_header({"alpha_r", "1-port OPT", "1-port reconfigs",
+                    "2-port OPT", "2-port reconfigs", "2-port/1-port"});
+
+  const auto transpose = collective::alltoall_transpose(n, mib(16));
+  for (double ar_us : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    params.alpha_r = microseconds(ar_us);
+    const core::ProblemInstance single(transpose, single_oracle, params);
+    const auto p1 = core::optimal_plan(single);
+
+    const core::MultiPortInstance dual(
+        core::mirrored_alltoall_steps(n, mib(16)), dual_oracle, params, 2);
+    const auto p2 = core::optimal_multi_port_plan(dual);
+
+    table.add_row({to_string(params.alpha_r),
+                   to_string(p1.total_time()),
+                   std::to_string(p1.num_reconfigurations),
+                   to_string(p2.total_time()),
+                   std::to_string(p2.num_reconfigurations),
+                   fmt_double(p2.total_time() / p1.total_time(), 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nthe dual-port mirrored schedule needs ~half the steps, so "
+              "its advantage grows with alpha_r (fewer reconfigurations) and "
+              "with alpha (fewer step latencies).\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 1a: OPT vs naive BvN schedules; recursive (halving/)doubling, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1a";
+  spec.workload = "AllReduce, recursive halving/doubling [30]";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kNaiveBvn;
+  spec.build = psd::bench::halving_doubling_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,12 @@
+// Figure 1b: OPT vs naive BvN schedules; recursive (halving/)doubling, alpha = 10 us.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1b";
+  spec.workload = "AllReduce, recursive halving/doubling [30]";
+  spec.alpha = psd::microseconds(10);
+  spec.baseline = psd::bench::Baseline::kNaiveBvn;
+  spec.build = psd::bench::halving_doubling_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,12 @@
+// Figure 1c: OPT vs naive BvN schedules; Swing, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1c";
+  spec.workload = "AllReduce, Swing [32]";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kNaiveBvn;
+  spec.build = psd::bench::swing_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,12 @@
+// Figure 1d: OPT vs naive BvN schedules; All-to-All, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1d";
+  spec.workload = "All-to-All (transpose)";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kNaiveBvn;
+  spec.build = psd::bench::alltoall_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,12 @@
+// Figure 1e: OPT vs the static ring; recursive (halving/)doubling, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1e";
+  spec.workload = "AllReduce, recursive halving/doubling [30]";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kStaticRing;
+  spec.build = psd::bench::halving_doubling_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,12 @@
+// Figure 1g: OPT vs the static ring; Swing, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1g";
+  spec.workload = "AllReduce, Swing [32]";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kStaticRing;
+  spec.build = psd::bench::swing_builder();
+  return psd::bench::run_heatmap(spec);
+}

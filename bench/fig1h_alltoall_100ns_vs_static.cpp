@@ -1,0 +1,12 @@
+// Figure 1h: OPT vs the static ring; All-to-All, alpha = 100 ns.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec spec;
+  spec.figure = "Figure 1h";
+  spec.workload = "All-to-All (transpose)";
+  spec.alpha = psd::nanoseconds(100);
+  spec.baseline = psd::bench::Baseline::kStaticRing;
+  spec.build = psd::bench::alltoall_builder();
+  return psd::bench::run_heatmap(spec);
+}

@@ -1,0 +1,23 @@
+// Figure 2: OPT vs the best of both baselines — the transitional regime
+// where adaptively deciding when to reconfigure beats both always-matched
+// (naive BvN) and never-matched (static ring). The diagonal band is where
+// mixed schedules win strictly. Printed for the halving/doubling AllReduce
+// (as in Figures 1a/1e) and for All-to-All, whose 63 distinct rotation
+// distances make per-step decisions matter most.
+#include "heatmap_common.hpp"
+
+int main() {
+  psd::bench::HeatmapSpec hd;
+  hd.figure = "Figure 2";
+  hd.workload = "AllReduce, recursive halving/doubling [30]";
+  hd.alpha = psd::nanoseconds(100);
+  hd.baseline = psd::bench::Baseline::kBestOfBoth;
+  hd.build = psd::bench::halving_doubling_builder();
+  int rc = psd::bench::run_heatmap(hd);
+
+  psd::bench::HeatmapSpec a2a = hd;
+  a2a.figure = "Figure 2 (All-to-All)";
+  a2a.workload = "All-to-All (transpose)";
+  a2a.build = psd::bench::alltoall_builder();
+  return rc + psd::bench::run_heatmap(a2a);
+}

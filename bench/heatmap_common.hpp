@@ -1,0 +1,140 @@
+// Shared harness for the Figure 1 / Figure 2 heatmap benches.
+//
+// Reproduces the evaluation setup of §3.4: n = 64 GPUs, one 800 Gbps link
+// each, δ = 100 ns, base topology = directed ring, AllReduce via recursive
+// halving/doubling [30] and Swing [32], plus All-to-All (transpose). Each
+// bench sweeps reconfiguration delay α_r (columns) against message size
+// (rows) and prints the speedup of the optimized schedule (OPT) against a
+// baseline, as an aligned table followed by machine-readable CSV.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/planner.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/table.hpp"
+
+namespace psd::bench {
+
+inline constexpr int kNumGpus = 64;
+
+/// α_r sweep: 100 ns to 1 ms in half-decade steps (the x-axis of Fig. 1).
+inline std::vector<TimeNs> reconfig_delays() {
+  return {nanoseconds(100), nanoseconds(316), microseconds(1),
+          microseconds(3.16), microseconds(10), microseconds(31.6),
+          microseconds(100), microseconds(316), milliseconds(1)};
+}
+
+/// Message-size sweep: 16 KiB to 1 GiB in powers of 4 (the y-axis of Fig. 1).
+inline std::vector<Bytes> message_sizes() {
+  return {kib(16), kib(64), kib(256), mib(1), mib(4),
+          mib(16), mib(64), mib(256), gib(1)};
+}
+
+enum class Baseline { kNaiveBvn, kStaticRing, kBestOfBoth };
+
+inline const char* baseline_name(Baseline b) {
+  switch (b) {
+    case Baseline::kNaiveBvn:
+      return "naive per-step BvN reconfiguration";
+    case Baseline::kStaticRing:
+      return "static ring topology";
+    case Baseline::kBestOfBoth:
+      return "best of {naive BvN, static ring}";
+  }
+  return "?";
+}
+
+using ScheduleBuilder = std::function<collective::CollectiveSchedule(int, Bytes)>;
+
+struct HeatmapSpec {
+  std::string figure;     // e.g. "Figure 1a"
+  std::string workload;   // e.g. "AllReduce, recursive halving/doubling"
+  TimeNs alpha;           // fixed per-step latency
+  Baseline baseline = Baseline::kNaiveBvn;
+  ScheduleBuilder build;
+};
+
+/// Runs the sweep and prints the heatmap. Returns 0 on success.
+inline int run_heatmap(const HeatmapSpec& spec) {
+  const auto delays = reconfig_delays();
+  const auto sizes = message_sizes();
+
+  core::CostParams params;
+  params.alpha = spec.alpha;
+  params.delta = nanoseconds(100);
+  params.alpha_r = delays.front();
+  params.b = gbps(800);
+  core::Planner planner(topo::directed_ring(kNumGpus, gbps(800)), params);
+
+  std::printf("%s: %s, n=%d, b=800 Gbps, delta=100 ns, alpha=%s\n",
+              spec.figure.c_str(), spec.workload.c_str(), kNumGpus,
+              to_string(spec.alpha).c_str());
+  std::printf("Speedup of OPT (Eq. 7 DP schedule) vs %s\n",
+              baseline_name(spec.baseline));
+  std::printf("rows: per-GPU message size M; cols: reconfiguration delay alpha_r\n\n");
+
+  TextTable table;
+  std::vector<std::string> header{"M \\ a_r"};
+  for (const auto& d : delays) header.push_back(to_string(d));
+  table.set_header(header);
+
+  TextTable csv;
+  csv.set_header({"figure", "message_bytes", "alpha_r_ns", "opt_ns", "bvn_ns",
+                  "static_ns", "speedup"});
+
+  for (const auto& m : sizes) {
+    const auto sched = spec.build(kNumGpus, m);
+    std::vector<std::string> row{to_string(m)};
+    for (const auto& ar : delays) {
+      core::CostParams p = params;
+      p.alpha_r = ar;
+      planner.set_params(p);
+      const auto r = planner.plan(sched);
+      double speedup = 1.0;
+      switch (spec.baseline) {
+        case Baseline::kNaiveBvn:
+          speedup = r.speedup_vs_bvn();
+          break;
+        case Baseline::kStaticRing:
+          speedup = r.speedup_vs_static();
+          break;
+        case Baseline::kBestOfBoth:
+          speedup = r.speedup_vs_best_baseline();
+          break;
+      }
+      row.push_back(fmt_speedup(speedup));
+      csv.add_row({spec.figure, fmt_double(m.count(), 0),
+                   fmt_double(ar.ns(), 0),
+                   fmt_double(r.optimal.total_time().ns(), 1),
+                   fmt_double(r.naive_bvn.total_time().ns(), 1),
+                   fmt_double(r.static_base.total_time().ns(), 1),
+                   fmt_double(speedup, 4)});
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n--- CSV ---\n%s\n", csv.render_csv().c_str());
+  return 0;
+}
+
+inline ScheduleBuilder halving_doubling_builder() {
+  return [](int n, Bytes m) {
+    return collective::halving_doubling_allreduce(n, m);
+  };
+}
+
+inline ScheduleBuilder swing_builder() {
+  return [](int n, Bytes m) { return collective::swing_allreduce(n, m); };
+}
+
+inline ScheduleBuilder alltoall_builder() {
+  return [](int n, Bytes m) { return collective::alltoall_transpose(n, m); };
+}
+
+}  // namespace psd::bench

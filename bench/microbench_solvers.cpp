@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks for the solver substrates: ring θ closed
+// form, Garg–Könemann FPTAS, the exact simplex LP, Birkhoff decomposition,
+// Hopcroft–Karp and the Eq. 7 DP optimizer.
+#include <benchmark/benchmark.h>
+
+#include "psd/bvn/birkhoff.hpp"
+#include "psd/bvn/hopcroft_karp.hpp"
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/optimizers.hpp"
+#include "psd/core/planner.hpp"
+#include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/mcf_lp.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
+
+namespace {
+
+using namespace psd;
+
+void BM_RingThetaClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::directed_ring(n, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 2 - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::ring_concurrent_flow(g, m, gbps(800)));
+  }
+}
+BENCHMARK(BM_RingThetaClosedForm)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GargKonemann(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::torus_2d(n / 8, 8, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.1}));
+  }
+}
+BENCHMARK(BM_GargKonemann)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ExactLpSmall(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::bidirectional_ring(n, gbps(800));
+  const auto m = topo::Matching::rotation(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::exact_concurrent_flow(g, m, gbps(800)));
+  }
+}
+BENCHMARK(BM_ExactLpSmall)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_Birkhoff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int t = 0; t < 8; ++t) {
+    const auto rot = topo::Matching::rotation(n, rng.uniform_int(1, n - 1));
+    const double w = rng.uniform(0.1, 1.0);
+    for (const auto& [s, d] : rot.pairs()) {
+      m(static_cast<std::size_t>(s), static_cast<std::size_t>(d)) += w;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::birkhoff_decompose(m));
+  }
+}
+BENCHMARK(BM_Birkhoff)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(9);
+  bvn::BipartiteGraph g;
+  g.n_left = g.n_right = n;
+  g.adj.resize(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.next_double() < 8.0 / n) {
+        g.adj[static_cast<std::size_t>(l)].push_back(r);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::hopcroft_karp(g));
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_DpOptimizer(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  const int n = 64;
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(10);
+  params.b = gbps(800);
+  std::vector<std::pair<Bytes, topo::Matching>> raw;
+  Rng rng(13);
+  for (int i = 0; i < steps; ++i) {
+    raw.emplace_back(mib(1), topo::Matching::rotation(n, rng.uniform_int(1, n - 1)));
+  }
+  const core::ProblemInstance inst(raw, oracle, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_plan(inst));
+  }
+}
+BENCHMARK(BM_DpOptimizer)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_PlannerEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(10);
+  params.b = gbps(800);
+  core::Planner planner(topo::directed_ring(n, gbps(800)), params);
+  const auto sched = collective::halving_doubling_allreduce(n, mib(16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(sched));
+  }
+}
+BENCHMARK(BM_PlannerEndToEnd)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_CollectiveGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collective::swing_allreduce(n, mib(1)));
+  }
+}
+BENCHMARK(BM_CollectiveGeneration)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// AllReduce planner CLI: compare algorithms and reconfiguration schedules
+// for a configurable scale-up domain.
+//
+// Usage:
+//   allreduce_planner [n] [message_mib] [alpha_r_us]
+// Defaults: n=64, 64 MiB, alpha_r=10us — the paper's §3.4 setting.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/planner.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psd;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
+  const double m_mib = argc > 2 ? std::atof(argv[2]) : 64.0;
+  const double ar_us = argc > 3 ? std::atof(argv[3]) : 10.0;
+  if (n < 2 || (n & (n - 1)) != 0) {
+    std::fprintf(stderr, "n must be a power of two >= 2 (got %d)\n", n);
+    return 1;
+  }
+
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(ar_us);
+  params.b = gbps(800);
+  core::Planner planner(topo::directed_ring(n, gbps(800)), params);
+
+  std::printf("scale-up domain: n=%d GPUs, 800 Gbps each, directed-ring base, "
+              "alpha_r=%s\n", n, to_string(params.alpha_r).c_str());
+  std::printf("AllReduce buffer: %s per GPU\n\n", to_string(mib(m_mib)).c_str());
+
+  struct Algo {
+    const char* name;
+    collective::CollectiveSchedule sched;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"ring", collective::ring_allreduce(n, mib(m_mib))});
+  algos.push_back({"recursive-doubling",
+                   collective::recursive_doubling_allreduce(n, mib(m_mib))});
+  algos.push_back({"halving-doubling",
+                   collective::halving_doubling_allreduce(n, mib(m_mib))});
+  algos.push_back({"swing", collective::swing_allreduce(n, mib(m_mib))});
+
+  TextTable table;
+  table.set_header({"algorithm", "steps", "bytes/GPU", "static", "naive BvN",
+                    "OPT", "reconfigs", "speedup vs best"});
+  const Algo* winner = nullptr;
+  double winner_ns = 0.0;
+  for (const auto& a : algos) {
+    const auto r = planner.plan(a.sched);
+    if (winner == nullptr || r.optimal.total_time().ns() < winner_ns) {
+      winner = &a;
+      winner_ns = r.optimal.total_time().ns();
+    }
+    table.add_row({a.name, std::to_string(a.sched.num_steps()),
+                   to_string(a.sched.max_bytes_sent_per_node()),
+                   to_string(r.static_base.total_time()),
+                   to_string(r.naive_bvn.total_time()),
+                   to_string(r.optimal.total_time()),
+                   std::to_string(r.optimal.num_reconfigurations),
+                   fmt_double(r.speedup_vs_best_baseline(), 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nbest algorithm for this configuration: %s (%s)\n",
+              winner->name, to_string(TimeNs(winner_ns)).c_str());
+
+  // Detailed OPT schedule for the winner.
+  const auto r = planner.plan(winner->sched);
+  const auto inst = planner.instance(winner->sched);
+  std::printf("\nOPT schedule for %s:\n", winner->name);
+  TextTable detail;
+  detail.set_header({"step", "label", "m_i", "theta", "ell", "decision",
+                     "DCT (chosen)"});
+  for (int i = 0; i < inst.num_steps(); ++i) {
+    const auto choice = r.optimal.choice[static_cast<std::size_t>(i)];
+    const bool matched = choice == core::TopoChoice::kMatched;
+    const TimeNs dct = params.alpha + inst.propagation_cost(i, choice) +
+                       inst.serialization_cost(i, choice);
+    detail.add_row({std::to_string(i), winner->sched.step(i).label,
+                    to_string(inst.step(i).volume),
+                    fmt_double(inst.step(i).theta_base, 3),
+                    std::to_string(inst.step(i).ell_base),
+                    matched ? "reconfigure" : "ring", to_string(dct)});
+  }
+  std::fputs(detail.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Building a custom collective: the framework accepts ANY algorithm that is
+// a sequence of matchings (§3.3). This example
+//   1. defines a custom recursive-exchange AllReduce from a bespoke peer
+//      function and machine-verifies its correctness,
+//   2. shows how an invalid peer function is rejected by the partition
+//      invariant,
+//   3. plans it against the standard algorithms, and
+//   4. maps one reconfigured step onto AWGR wavelengths (the paper's
+//      controller-free fabric alternative).
+#include <cstdio>
+
+#include "psd/collective/executor.hpp"
+#include "psd/collective/recursive_exchange.hpp"
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/planner.hpp"
+#include "psd/photonic/fabric.hpp"
+#include "psd/topo/builders.hpp"
+
+int main() {
+  using namespace psd;
+  const int n = 16;
+
+  // A custom peer function: like halving/doubling but smallest distance
+  // first (XOR bit 0 upward). Same volumes, different locality profile.
+  const auto lowbit_first = [](int j, int s) { return j ^ (1 << s); };
+
+  const auto custom = collective::recursive_exchange_allreduce(
+      "lowbit-first-allreduce", n, mib(16), lowbit_first);
+  std::printf("custom collective '%s': %d steps\n", custom.name().c_str(),
+              custom.num_steps());
+
+  // Machine-checked semantics: every chunk ends fully reduced everywhere.
+  std::printf("semantics verified: %s\n",
+              collective::is_valid_allreduce(custom) ? "AllReduce correct"
+                                                     : "BROKEN");
+
+  // A peer function that reuses a bit violates the partition invariant and
+  // is rejected at construction — you cannot build a wrong AllReduce.
+  try {
+    (void)collective::recursive_exchange_allreduce(
+        "broken", n, mib(16), [](int j, int) { return j ^ 1; });
+    std::printf("ERROR: invalid peer function was accepted\n");
+  } catch (const InvalidArgument& e) {
+    std::printf("invalid peer function rejected as expected:\n  %s\n", e.what());
+  }
+
+  // Plan it against the built-ins.
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(2);
+  params.b = gbps(800);
+  core::Planner planner(topo::directed_ring(n, gbps(800)), params);
+
+  for (const auto* sched :
+       {&custom}) {
+    const auto r = planner.plan(*sched);
+    std::printf("\n%s: OPT %s (%d reconfigs), static %s, naive BvN %s\n",
+                sched->name().c_str(), to_string(r.optimal.total_time()).c_str(),
+                r.optimal.num_reconfigurations,
+                to_string(r.static_base.total_time()).c_str(),
+                to_string(r.naive_bvn.total_time()).c_str());
+  }
+  const auto swing = collective::swing_allreduce(n, mib(16));
+  const auto r_swing = planner.plan(swing);
+  std::printf("%s: OPT %s — Swing's ring-local early steps avoid early "
+              "reconfigurations\n",
+              swing.name().c_str(),
+              to_string(r_swing.optimal.total_time()).c_str());
+
+  // Wavelength view: realize the custom collective's first reconfigured
+  // step on an AWGR fabric (λ index per source port).
+  const auto& m0 = custom.step(custom.num_steps() - 1).matching;
+  const auto lambda = photonic::awgr_wavelength_assignment(m0);
+  std::printf("\nAWGR wavelength assignment for step %d's matching:\n  ",
+              custom.num_steps() - 1);
+  for (int j = 0; j < n; ++j) std::printf("p%d:l%d ", j, lambda[static_cast<std::size_t>(j)]);
+  std::printf("\n(distinct receivers => contention-free without a central "
+              "controller)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Birkhoff–von Neumann decomposition.
+//
+// Every matrix with equal row and column sums (a scaled doubly-stochastic
+// matrix) is a convex combination of permutation matrices (Birkhoff 1946).
+// Birkhoff's constructive algorithm repeatedly finds a perfect matching on
+// the support of the residual matrix and subtracts the minimum entry along
+// it, producing at most (n-1)² + 1 terms.
+//
+// This is the paper's Observation 1 in reverse: collective algorithms
+// *induce* BvN decompositions of their aggregate demand (psd::collective
+// produces those directly); this module goes the other way, decomposing an
+// arbitrary demand matrix into a naive per-step reconfiguration schedule —
+// the "BvN schedule" baseline of Figure 1.
+#pragma once
+
+#include <vector>
+
+#include "psd/topo/matching.hpp"
+#include "psd/util/matrix.hpp"
+
+namespace psd::bvn {
+
+/// One term of a decomposition: `weight` times the permutation `matching`.
+struct BvnTerm {
+  double weight = 0.0;
+  topo::Matching matching;
+};
+
+struct BvnOptions {
+  double tol = 1e-9;      // entries below tol are treated as zero
+  bool allow_partial = true;  // accept sub-doubly-stochastic inputs, producing
+                              // sub-permutation terms (zero rows/cols allowed)
+};
+
+/// Decomposes `m` into weighted (sub-)permutations summing back to `m`.
+/// Requires a square non-negative matrix. For allow_partial == false the
+/// matrix must have all row/col sums equal (within tol·n), else throws.
+[[nodiscard]] std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& m,
+                                                      const BvnOptions& opts = {});
+
+/// Reconstructs Σ weight_i · P_i (for testing round-trips).
+[[nodiscard]] psd::Matrix recompose(const std::vector<BvnTerm>& terms, int n);
+
+/// Aggregate demand matrix M = Σ m_i · M_i of a step sequence — the paper's
+/// Eq. (1) / Observation 1.
+[[nodiscard]] psd::Matrix aggregate_demand(
+    const std::vector<std::pair<double, topo::Matching>>& steps, int n);
+
+}  // namespace psd::bvn

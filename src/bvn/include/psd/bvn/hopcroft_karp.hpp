@@ -1,0 +1,29 @@
+// Hopcroft–Karp maximum bipartite matching in O(E·sqrt(V)).
+//
+// Substrate for Birkhoff's algorithm: each extraction step needs a perfect
+// matching on the support of the remaining doubly-stochastic matrix.
+#pragma once
+
+#include <vector>
+
+namespace psd::bvn {
+
+/// Bipartite graph with `n_left` left and `n_right` right vertices;
+/// adj[l] lists the right vertices adjacent to left vertex l.
+struct BipartiteGraph {
+  int n_left = 0;
+  int n_right = 0;
+  std::vector<std::vector<int>> adj;
+};
+
+/// Result: match_left[l] = matched right vertex or -1; match_right mirrors.
+struct MatchingResult {
+  int size = 0;
+  std::vector<int> match_left;
+  std::vector<int> match_right;
+};
+
+/// Computes a maximum matching.
+[[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+}  // namespace psd::bvn

@@ -1,0 +1,127 @@
+#include "psd/bvn/birkhoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "psd/bvn/hopcroft_karp.hpp"
+
+namespace psd::bvn {
+
+namespace {
+
+/// Builds the support bipartite graph of `m` (entries > tol).
+BipartiteGraph support_graph(const psd::Matrix& m, double tol) {
+  const int n = static_cast<int>(m.rows());
+  BipartiteGraph g;
+  g.n_left = n;
+  g.n_right = n;
+  g.adj.resize(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) > tol) {
+        g.adj[static_cast<std::size_t>(r)].push_back(c);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
+                                        const BvnOptions& opts) {
+  PSD_REQUIRE(input.rows() == input.cols(), "matrix must be square");
+  PSD_REQUIRE(input.is_nonnegative(opts.tol), "matrix must be non-negative");
+  const int n = static_cast<int>(input.rows());
+  if (!opts.allow_partial) {
+    const double target = input.row_sum(0);
+    PSD_REQUIRE(input.is_doubly_stochastic_scaled(target, opts.tol * n),
+                "matrix must have equal row and column sums");
+  }
+
+  psd::Matrix residual = input;
+  std::vector<BvnTerm> terms;
+
+  // Each iteration zeroes at least one support entry, so this terminates in
+  // at most n² iterations.
+  for (int guard = 0; guard < n * n + 1; ++guard) {
+    const auto support = support_graph(residual, opts.tol);
+    const auto match = hopcroft_karp(support);
+    if (match.size == 0) break;
+
+    // Birkhoff's theorem guarantees a *perfect* matching on the support of a
+    // doubly-stochastic matrix; with allow_partial we accept maximum
+    // matchings (they still strictly shrink the support).
+    if (!opts.allow_partial) {
+      PSD_REQUIRE(match.size == n,
+                  "support admits no perfect matching: matrix is not doubly "
+                  "stochastic (numerical tolerance too tight?)");
+    }
+
+    BvnTerm term;
+    term.matching = topo::Matching(n);
+    double weight = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < n; ++r) {
+      const int c = match.match_left[static_cast<std::size_t>(r)];
+      if (c < 0) continue;
+      if (r == c) continue;  // diagonal (self) demand carries no traffic
+      term.matching.set(r, c);
+      weight = std::min(weight,
+                        residual(static_cast<std::size_t>(r), static_cast<std::size_t>(c)));
+    }
+    if (term.matching.active_pairs() == 0) {
+      // Matching covered only diagonal entries; clear them and finish.
+      for (int r = 0; r < n; ++r) {
+        residual(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) = 0.0;
+      }
+      break;
+    }
+    PSD_ASSERT(std::isfinite(weight) && weight > 0.0, "matched entries must be positive");
+    term.weight = weight;
+    for (const auto& [r, c] : term.matching.pairs()) {
+      double& cell = residual(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+      cell -= weight;
+      if (cell < opts.tol) cell = 0.0;
+    }
+    // Diagonal entries matched alongside real pairs also shrink.
+    for (int r = 0; r < n; ++r) {
+      if (match.match_left[static_cast<std::size_t>(r)] == r) {
+        double& cell = residual(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
+        cell = std::max(0.0, cell - weight);
+      }
+    }
+    terms.push_back(std::move(term));
+  }
+
+  PSD_ASSERT(residual.max_abs() <= std::max(1.0, input.max_abs()) * 1e-6,
+             "decomposition left a non-trivial residual");
+  return terms;
+}
+
+psd::Matrix recompose(const std::vector<BvnTerm>& terms, int n) {
+  PSD_REQUIRE(n >= 0, "n must be non-negative");
+  psd::Matrix sum(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (const auto& t : terms) {
+    PSD_REQUIRE(t.matching.size() == n, "term size mismatch");
+    for (const auto& [r, c] : t.matching.pairs()) {
+      sum(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += t.weight;
+    }
+  }
+  return sum;
+}
+
+psd::Matrix aggregate_demand(
+    const std::vector<std::pair<double, topo::Matching>>& steps, int n) {
+  PSD_REQUIRE(n >= 0, "n must be non-negative");
+  psd::Matrix sum(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (const auto& [volume, matching] : steps) {
+    PSD_REQUIRE(volume >= 0.0, "step volume must be non-negative");
+    PSD_REQUIRE(matching.size() == n, "step matching size mismatch");
+    for (const auto& [r, c] : matching.pairs()) {
+      sum(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += volume;
+    }
+  }
+  return sum;
+}
+
+}  // namespace psd::bvn

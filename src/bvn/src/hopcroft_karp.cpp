@@ -1,0 +1,88 @@
+#include "psd/bvn/hopcroft_karp.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "psd/util/error.hpp"
+
+namespace psd::bvn {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/// Layered BFS from all free left vertices; returns true if an augmenting
+/// path exists. dist[l] is the BFS layer of left vertex l.
+bool bfs_layers(const BipartiteGraph& g, const std::vector<int>& match_left,
+                const std::vector<int>& match_right, std::vector<int>& dist) {
+  std::queue<int> q;
+  for (int l = 0; l < g.n_left; ++l) {
+    if (match_left[static_cast<std::size_t>(l)] == -1) {
+      dist[static_cast<std::size_t>(l)] = 0;
+      q.push(l);
+    } else {
+      dist[static_cast<std::size_t>(l)] = kInf;
+    }
+  }
+  bool found = false;
+  while (!q.empty()) {
+    const int l = q.front();
+    q.pop();
+    for (int r : g.adj[static_cast<std::size_t>(l)]) {
+      const int l2 = match_right[static_cast<std::size_t>(r)];
+      if (l2 == -1) {
+        found = true;
+      } else if (dist[static_cast<std::size_t>(l2)] == kInf) {
+        dist[static_cast<std::size_t>(l2)] = dist[static_cast<std::size_t>(l)] + 1;
+        q.push(l2);
+      }
+    }
+  }
+  return found;
+}
+
+bool try_augment(const BipartiteGraph& g, int l, std::vector<int>& match_left,
+                 std::vector<int>& match_right, std::vector<int>& dist) {
+  for (int r : g.adj[static_cast<std::size_t>(l)]) {
+    const int l2 = match_right[static_cast<std::size_t>(r)];
+    if (l2 == -1 || (dist[static_cast<std::size_t>(l2)] ==
+                         dist[static_cast<std::size_t>(l)] + 1 &&
+                     try_augment(g, l2, match_left, match_right, dist))) {
+      match_left[static_cast<std::size_t>(l)] = r;
+      match_right[static_cast<std::size_t>(r)] = l;
+      return true;
+    }
+  }
+  dist[static_cast<std::size_t>(l)] = kInf;  // dead end: prune
+  return false;
+}
+
+}  // namespace
+
+MatchingResult hopcroft_karp(const BipartiteGraph& g) {
+  PSD_REQUIRE(g.n_left >= 0 && g.n_right >= 0, "vertex counts must be non-negative");
+  PSD_REQUIRE(static_cast<int>(g.adj.size()) == g.n_left,
+              "adjacency must have one entry per left vertex");
+  for (const auto& nbrs : g.adj) {
+    for (int r : nbrs) {
+      PSD_REQUIRE(r >= 0 && r < g.n_right, "right vertex out of range");
+    }
+  }
+
+  MatchingResult res;
+  res.match_left.assign(static_cast<std::size_t>(g.n_left), -1);
+  res.match_right.assign(static_cast<std::size_t>(g.n_right), -1);
+  std::vector<int> dist(static_cast<std::size_t>(g.n_left), kInf);
+
+  while (bfs_layers(g, res.match_left, res.match_right, dist)) {
+    for (int l = 0; l < g.n_left; ++l) {
+      if (res.match_left[static_cast<std::size_t>(l)] == -1 &&
+          try_augment(g, l, res.match_left, res.match_right, dist)) {
+        ++res.size;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace psd::bvn

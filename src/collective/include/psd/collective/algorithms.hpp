@@ -1,0 +1,86 @@
+// The collective algorithm zoo evaluated by the paper.
+//
+// Every builder returns a fully chunk-annotated CollectiveSchedule whose
+// semantics can be machine-verified by psd::collective::ChunkExecutor /
+// BlockExecutor. Volumes follow the standard cost analyses:
+//
+//   ring AllReduce          2(n−1) steps of M/n        (bandwidth-optimal)
+//   halving/doubling [30]   2·log2(n) steps, M/2^(s+1) then doubling
+//   Swing [32]              same volumes, ring-neighbour peers
+//   recursive doubling      log2(n) steps of M         (latency-optimal)
+//   All-to-All (transpose)  n−1 rotation steps of M/n
+//   binomial broadcast      ceil(log2 n) steps of M
+#pragma once
+
+#include "psd/collective/recursive_exchange.hpp"
+#include "psd/collective/schedule.hpp"
+
+namespace psd::collective {
+
+/// Ring reduce-scatter: n−1 steps; at step s node j sends chunk (j−s) mod n
+/// to node j+1 for reduction. Node j ends owning chunk (j+1) mod n.
+[[nodiscard]] CollectiveSchedule ring_reduce_scatter(int n, Bytes buffer);
+
+/// Ring allgather: n−1 steps; at step s node j sends chunk (j+1−s) mod n to
+/// node j+1. Assumes ring-reduce-scatter ownership (node j owns (j+1) mod n).
+[[nodiscard]] CollectiveSchedule ring_allgather(int n, Bytes buffer);
+
+/// Ring AllReduce = ring reduce-scatter + ring allgather; 2(n−1) steps.
+[[nodiscard]] CollectiveSchedule ring_allreduce(int n, Bytes buffer);
+
+/// Rabenseifner recursive halving/doubling AllReduce [30] (n = 2^q).
+[[nodiscard]] CollectiveSchedule halving_doubling_allreduce(int n, Bytes buffer);
+
+/// Swing AllReduce [32] (n = 2^q).
+[[nodiscard]] CollectiveSchedule swing_allreduce(int n, Bytes buffer);
+
+/// Plain recursive doubling AllReduce: log2(n) full-vector exchanges
+/// (latency-optimal, not bandwidth-optimal; n = 2^q).
+[[nodiscard]] CollectiveSchedule recursive_doubling_allreduce(int n, Bytes buffer);
+
+/// All-to-All personalized exchange (transpose): step i ∈ [1, n−1] uses the
+/// rotation j → (j+i) mod n, moving block (j, j+i) of size M/n. The
+/// self-block (j, j) never leaves the node.
+[[nodiscard]] CollectiveSchedule alltoall_transpose(int n, Bytes buffer);
+
+/// Bruck All-to-All (n = 2^q): log2(n) rotation steps by 2^k; step k
+/// forwards every held block whose remaining rotation distance has bit k
+/// set (≈ n/2 blocks, possibly relayed). Total bytes per node
+/// log2(n)/2 · M versus the transpose's (n−1)/n · M — fewer, larger steps
+/// trade bandwidth for latency, which changes the reconfiguration calculus.
+[[nodiscard]] CollectiveSchedule alltoall_bruck(int n, Bytes buffer);
+
+/// Binomial-tree broadcast from `root`: ceil(log2 n) steps of partial
+/// matchings, each transferring the full buffer.
+[[nodiscard]] CollectiveSchedule binomial_broadcast(int n, int root, Bytes buffer);
+
+/// Allgather by recursive doubling (n = 2^q): log2(n) steps, volumes
+/// M/n · 2^s, peers j XOR 2^s.
+[[nodiscard]] CollectiveSchedule recursive_doubling_allgather(int n, Bytes buffer);
+
+/// Bruck allgather: works for ANY n in ceil(log2 n) rotation steps. At step
+/// k node j ships its current gathered window (min(2^k, n−2^k) chunks) to
+/// (j − 2^k) mod n; after the last (possibly partial) step everyone holds
+/// everything.
+[[nodiscard]] CollectiveSchedule bruck_allgather(int n, Bytes buffer);
+
+/// Binomial-tree reduce to `root`: ceil(log2 n) steps of partial matchings,
+/// each transferring the full buffer with reduction; the mirror image of
+/// binomial_broadcast.
+[[nodiscard]] CollectiveSchedule binomial_reduce(int n, int root, Bytes buffer);
+
+/// Binomial scatter from `root` (n = 2^q): step with span s moves s chunks
+/// from each subtree root to its child subtree; node j ends holding chunk
+/// (j − root) mod n of the root's buffer.
+[[nodiscard]] CollectiveSchedule binomial_scatter(int n, int root, Bytes buffer);
+
+/// Binomial gather to `root` (n = 2^q): the exact reverse of scatter.
+[[nodiscard]] CollectiveSchedule binomial_gather(int n, int root, Bytes buffer);
+
+/// Dissemination barrier: ceil(log2 n) rounds; round k sends a flag of
+/// `flag_bytes` to (j + 2^k) mod n. After the last round every node has
+/// (transitively) heard from every other — verified by knowledge masks.
+/// Works for any n.
+[[nodiscard]] CollectiveSchedule dissemination_barrier(int n, Bytes flag_bytes);
+
+}  // namespace psd::collective

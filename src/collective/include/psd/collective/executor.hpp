@@ -1,0 +1,104 @@
+// Symbolic executors that run a CollectiveSchedule's chunk-annotated
+// transfers and verify collective semantics.
+//
+// ChunkExecutor tracks, for every (node, chunk), the *set of contributions*
+// included (a bitmask over source nodes). A reduce transfer unions masks and
+// flags double counting (overlapping masks would double-add in a real
+// reduction); a replace transfer overwrites. AllReduce is correct iff every
+// mask ends full. This catches both missing and duplicated contributions —
+// strictly stronger than comparing floating-point sums.
+//
+// BlockExecutor tracks block placement for routing-only collectives
+// (All-to-All): node j starts holding blocks (j, *) and must end holding all
+// blocks (*, j).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psd/collective/schedule.hpp"
+
+namespace psd::collective {
+
+/// Initial ownership for ChunkExecutor.
+enum class InitMode {
+  // Every node holds a partial contribution {j} for every chunk — the start
+  // state of AllReduce / reduce-scatter.
+  kAllReduce,
+  // Node j holds the complete chunk j and nothing else — the start state of
+  // allgather (post-reduce-scatter).
+  kAllGather,
+  // Only `root` holds complete data (chunk 0) — the start state of broadcast.
+  kBroadcast,
+};
+
+class ChunkExecutor {
+ public:
+  /// Prepares initial state for `schedule` (must use ChunkSpace::kSegments
+  /// and be fully annotated) and executes all steps. Steps are synchronous:
+  /// every transfer reads the sender's state from the start of the step.
+  ChunkExecutor(const CollectiveSchedule& schedule, InitMode mode, int root = 0);
+
+  /// Gather-phase initial state with explicit ownership: node owners[c]
+  /// starts holding the complete chunk c (e.g. the ring reduce-scatter
+  /// leaves chunk c at node (c−1) mod n). Executes all steps.
+  ChunkExecutor(const CollectiveSchedule& schedule, const std::vector<int>& owners);
+
+  /// True if some reduce transfer unioned overlapping masks (a real
+  /// reduction would have double-counted).
+  [[nodiscard]] bool double_counted() const { return double_counted_; }
+
+  /// Contribution mask of (node, chunk) as a bit-per-source vector.
+  [[nodiscard]] bool has_contribution(int node, int chunk, int source) const;
+  [[nodiscard]] bool mask_full(int node, int chunk) const;
+  [[nodiscard]] bool mask_empty(int node, int chunk) const;
+
+  /// Every node holds every chunk fully reduced, with no double counting.
+  [[nodiscard]] bool verify_allreduce() const;
+
+  /// Node owner(chunk) holds that chunk fully reduced; `owners[c]` gives the
+  /// expected owner of chunk c.
+  [[nodiscard]] bool verify_reduce_scatter(const std::vector<int>& owners) const;
+
+  /// Every node holds every chunk complete (allgather / broadcast end state).
+  [[nodiscard]] bool verify_all_complete() const;
+
+ private:
+  void init_shape(const CollectiveSchedule& schedule);
+  void set_bit(int node, int chunk, int source);
+  void set_full(int node, int chunk);
+  void run(const CollectiveSchedule& schedule);
+
+  [[nodiscard]] std::size_t idx(int node, int chunk) const {
+    return (static_cast<std::size_t>(node) * static_cast<std::size_t>(chunks_) +
+            static_cast<std::size_t>(chunk)) *
+           words_;
+  }
+
+  int n_ = 0;
+  int chunks_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> mask_;  // [node][chunk][word]
+  bool double_counted_ = false;
+};
+
+class BlockExecutor {
+ public:
+  /// Executes a ChunkSpace::kBlocks schedule (must be fully annotated).
+  explicit BlockExecutor(const CollectiveSchedule& schedule);
+
+  [[nodiscard]] bool holds(int node, int chunk) const;
+
+  /// Every node j ends holding all blocks (i, j), i = 0..n−1.
+  [[nodiscard]] bool verify_alltoall() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<bool>> held_;  // held_[node][chunk]
+};
+
+/// Convenience one-shot checks.
+[[nodiscard]] bool is_valid_allreduce(const CollectiveSchedule& schedule);
+[[nodiscard]] bool is_valid_alltoall(const CollectiveSchedule& schedule);
+
+}  // namespace psd::collective

@@ -1,0 +1,53 @@
+// Generic builder for recursive-exchange AllReduce algorithms.
+//
+// A large family of bandwidth-optimal AllReduce algorithms — Rabenseifner's
+// recursive halving/doubling [30] and Swing [32] among them — share one
+// skeleton: log2(n) reduce-scatter steps in which partners exchange half of
+// their current responsibility set, followed by log2(n) mirrored allgather
+// steps. They differ only in the *peer function* p(j, s).
+//
+// Given any involutive peer function, this builder derives the chunk
+// responsibility sets by backward recursion
+//     A(j, log n) = {j},   A(j, s) = A(j, s+1) ∪ A(p(j,s), s+1),
+// and verifies the partition invariant (the two halves are disjoint and
+// |A(j, s)| = 2^(log n − s)). A peer function that fails the invariant does
+// not implement a correct AllReduce and is rejected — this check doubles as
+// a machine-checkable correctness proof for Swing's peer formula.
+#pragma once
+
+#include <functional>
+
+#include "psd/collective/schedule.hpp"
+
+namespace psd::collective {
+
+/// Peer of node `j` at reduce-scatter step `s` (s = 0 .. log2(n)-1).
+using PeerFn = std::function<int(int j, int s)>;
+
+/// Builds the full AllReduce (reduce-scatter + mirrored allgather) schedule
+/// for n a power of two and per-node buffer `buffer`. Throws InvalidArgument
+/// if n is not a power of two, the peer function is not an involution, or
+/// the partition invariant fails.
+[[nodiscard]] CollectiveSchedule recursive_exchange_allreduce(
+    std::string name, int n, Bytes buffer, const PeerFn& peer);
+
+/// Reduce-scatter phase only: node j ends owning the fully reduced chunk
+/// set A(j, log n) = {j}.
+[[nodiscard]] CollectiveSchedule recursive_exchange_reduce_scatter(
+    std::string name, int n, Bytes buffer, const PeerFn& peer);
+
+// ---- Standard peer functions -------------------------------------------
+
+/// Rabenseifner recursive halving/doubling: p(j, s) = j XOR 2^(log2(n)-1-s)
+/// (largest distance first).
+[[nodiscard]] PeerFn halving_doubling_peers(int n);
+
+/// Swing (De Sensi et al., NSDI'24): p(j, s) = (j + (−1)^j · ρ_s) mod n with
+/// ρ_s = (1 − (−2)^(s+1)) / 3, i.e. ring distances 1, 1, 3, 5, 11, 21, …
+/// chosen so successive steps use nearby ring neighbours.
+[[nodiscard]] PeerFn swing_peers(int n);
+
+/// The Swing distance ρ_s (signed); exposed for tests and docs.
+[[nodiscard]] long long swing_rho(int s);
+
+}  // namespace psd::collective

@@ -1,0 +1,93 @@
+// Collective communication schedules as sequences of matchings.
+//
+// The paper models a collective as a sequence ⟨M_1 … M_s⟩ of matchings with
+// per-step data volumes ⟨m_1 … m_s⟩ (§3.2). We additionally annotate each
+// step with chunk-level transfers so schedules can be *executed* on symbolic
+// state and their collective semantics verified (AllReduce really reduces,
+// All-to-All really transposes) — the temporal/data-dependency structure the
+// paper stresses is what distinguishes collectives from static traffic
+// matrices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psd/topo/matching.hpp"
+#include "psd/util/units.hpp"
+
+namespace psd::collective {
+
+/// How chunk indices in Transfer::chunks are interpreted.
+enum class ChunkSpace {
+  // Chunk c is the c-th segment of the (logically shared) vector; reductions
+  // combine contributions segment-wise. Used by AllReduce-family schedules.
+  kSegments,
+  // Chunk id encodes an (owner, destination) block: id = owner*n + dest,
+  // each of size buffer/n. Used by All-to-All-family schedules.
+  kBlocks,
+};
+
+/// One chunk-level data movement within a step. The (src, dst) pair must be
+/// present in the step's matching.
+struct Transfer {
+  int src = -1;
+  int dst = -1;
+  std::vector<int> chunks;
+  bool reduce = false;  // true: receiver accumulates; false: receiver replaces
+};
+
+/// One synchronous communication step: all pairs of `matching` exchange
+/// `volume` bytes simultaneously (the paper's m_i · M_i).
+struct Step {
+  topo::Matching matching;
+  Bytes volume;                     // bytes per communicating pair
+  std::vector<Transfer> transfers;  // optional chunk-level annotation
+  std::string label;
+};
+
+class CollectiveSchedule {
+ public:
+  CollectiveSchedule(std::string name, int n, Bytes buffer, int num_chunks,
+                     ChunkSpace space);
+
+  /// Appends a step; validates matching size, volume sign, and that each
+  /// transfer's endpoints appear in the matching with consistent byte count
+  /// (|chunks| · chunk_size == volume for annotated steps).
+  void add_step(Step step);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int num_nodes() const { return n_; }
+  [[nodiscard]] Bytes buffer_size() const { return buffer_; }
+  [[nodiscard]] int num_chunks() const { return num_chunks_; }
+  [[nodiscard]] ChunkSpace chunk_space() const { return space_; }
+  [[nodiscard]] Bytes chunk_size() const;
+  [[nodiscard]] int num_steps() const { return static_cast<int>(steps_.size()); }
+  [[nodiscard]] const Step& step(int i) const;
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+
+  /// True if every step carries chunk-level transfer annotations.
+  [[nodiscard]] bool fully_annotated() const;
+
+  /// Total bytes a single node sends across all steps (max over nodes) — the
+  /// bandwidth-optimality yardstick (AllReduce lower bound: 2(n−1)/n · M).
+  [[nodiscard]] Bytes max_bytes_sent_per_node() const;
+
+  /// Aggregate demand matrix M = Σ m_i · M_i in bytes (paper Eq. 1).
+  [[nodiscard]] psd::Matrix aggregate_demand() const;
+
+  /// Concatenates `tail` after this schedule (e.g. AllReduce then
+  /// All-to-All, which the paper's framework explicitly supports). Requires
+  /// equal n; chunk annotations are kept only if both agree on chunk layout,
+  /// otherwise they are dropped (matchings and volumes always preserved).
+  [[nodiscard]] CollectiveSchedule then(const CollectiveSchedule& tail) const;
+
+ private:
+  std::string name_;
+  int n_;
+  Bytes buffer_;
+  int num_chunks_;
+  ChunkSpace space_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace psd::collective

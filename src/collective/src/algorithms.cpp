@@ -1,0 +1,343 @@
+#include "psd/collective/algorithms.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+
+namespace {
+
+int mod_n(int v, int n) { return ((v % n) + n) % n; }
+
+void append_ring_phase(CollectiveSchedule& out, int n, bool reduce_phase) {
+  // Reduce-scatter: at step s node j sends chunk (j−s) mod n, reducing.
+  // Allgather:      at step s node j sends chunk (j+1−s) mod n, replacing.
+  for (int s = 0; s < n - 1; ++s) {
+    Step step;
+    step.label = (reduce_phase ? "rs-step-" : "ag-step-") + std::to_string(s);
+    step.matching = topo::Matching::rotation(n, 1);
+    step.volume = out.chunk_size();
+    for (int j = 0; j < n; ++j) {
+      Transfer t;
+      t.src = j;
+      t.dst = (j + 1) % n;
+      t.reduce = reduce_phase;
+      t.chunks = {reduce_phase ? mod_n(j - s, n) : mod_n(j + 1 - s, n)};
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+}
+
+}  // namespace
+
+CollectiveSchedule ring_reduce_scatter(int n, Bytes buffer) {
+  CollectiveSchedule out("ring-reduce-scatter", n, buffer, n, ChunkSpace::kSegments);
+  append_ring_phase(out, n, /*reduce_phase=*/true);
+  return out;
+}
+
+CollectiveSchedule ring_allgather(int n, Bytes buffer) {
+  CollectiveSchedule out("ring-allgather", n, buffer, n, ChunkSpace::kSegments);
+  append_ring_phase(out, n, /*reduce_phase=*/false);
+  return out;
+}
+
+CollectiveSchedule ring_allreduce(int n, Bytes buffer) {
+  CollectiveSchedule out("ring-allreduce", n, buffer, n, ChunkSpace::kSegments);
+  append_ring_phase(out, n, /*reduce_phase=*/true);
+  append_ring_phase(out, n, /*reduce_phase=*/false);
+  return out;
+}
+
+CollectiveSchedule halving_doubling_allreduce(int n, Bytes buffer) {
+  return recursive_exchange_allreduce("halving-doubling-allreduce", n, buffer,
+                                      halving_doubling_peers(n));
+}
+
+CollectiveSchedule swing_allreduce(int n, Bytes buffer) {
+  return recursive_exchange_allreduce("swing-allreduce", n, buffer,
+                                      swing_peers(n));
+}
+
+CollectiveSchedule recursive_doubling_allreduce(int n, Bytes buffer) {
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "recursive doubling requires n to be a power of two");
+  const int q = std::countr_zero(static_cast<unsigned>(n));
+  // A single chunk: the whole vector is exchanged every step.
+  CollectiveSchedule out("recursive-doubling-allreduce", n, buffer, 1,
+                         ChunkSpace::kSegments);
+  for (int s = 0; s < q; ++s) {
+    Step step;
+    step.label = "rd-step-" + std::to_string(s);
+    step.matching = topo::Matching(n);
+    step.volume = buffer;
+    for (int j = 0; j < n; ++j) {
+      const int w = j ^ (1 << s);
+      if (step.matching.dst_of(j) == -1) {
+        step.matching.set(j, w);
+        step.matching.set(w, j);
+      }
+      Transfer t;
+      t.src = j;
+      t.dst = w;
+      t.reduce = true;
+      t.chunks = {0};
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule alltoall_transpose(int n, Bytes buffer) {
+  CollectiveSchedule out("alltoall-transpose", n, buffer, n * n,
+                         ChunkSpace::kBlocks);
+  for (int i = 1; i < n; ++i) {
+    Step step;
+    step.label = "rotation-" + std::to_string(i);
+    step.matching = topo::Matching::rotation(n, i);
+    step.volume = out.chunk_size();
+    for (int j = 0; j < n; ++j) {
+      const int d = (j + i) % n;
+      Transfer t;
+      t.src = j;
+      t.dst = d;
+      t.reduce = false;
+      t.chunks = {j * n + d};  // block originating at j, destined to d
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule alltoall_bruck(int n, Bytes buffer) {
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "Bruck all-to-all requires n to be a power of two");
+  const int q = std::countr_zero(static_cast<unsigned>(n));
+  CollectiveSchedule out("alltoall-bruck", n, buffer, n * n, ChunkSpace::kBlocks);
+
+  // Block (s, d) must travel rotation distance r = (d−s) mod n; at step k it
+  // sits at node (d − f) mod n with f = r with bits < k cleared, and moves
+  // by 2^k iff bit k of r is set. Each node forwards exactly n/2 blocks per
+  // step (every distance r with bit k set contributes one block per node).
+  for (int k = 0; k < q; ++k) {
+    Step step;
+    step.label = "bruck-step-" + std::to_string(k);
+    step.matching = topo::Matching::rotation(n, 1 << k);
+    step.volume = out.chunk_size() * (n / 2.0);
+    for (int v = 0; v < n; ++v) {
+      Transfer t;
+      t.src = v;
+      t.dst = (v + (1 << k)) % n;
+      t.reduce = false;
+      for (int r = 1; r < n; ++r) {
+        if ((r >> k) & 1) {
+          const int f = r & ~((1 << k) - 1);
+          const int d = (v + f) % n;
+          const int s = ((d - r) % n + n) % n;
+          t.chunks.push_back(s * n + d);
+        }
+      }
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule binomial_broadcast(int n, int root, Bytes buffer) {
+  PSD_REQUIRE(root >= 0 && root < n, "broadcast root out of range");
+  CollectiveSchedule out("binomial-broadcast", n, buffer, 1, ChunkSpace::kSegments);
+  // Relative ranks: r = (j - root) mod n; rank 0 is the root. At step s,
+  // ranks < 2^s send to rank + 2^s (when it exists).
+  for (int span = 1; span < n; span <<= 1) {
+    Step step;
+    step.label = "bcast-span-" + std::to_string(span);
+    step.matching = topo::Matching(n);
+    step.volume = buffer;
+    for (int r = 0; r < span && r + span < n; ++r) {
+      const int src = mod_n(root + r, n);
+      const int dst = mod_n(root + r + span, n);
+      step.matching.set(src, dst);
+      Transfer t;
+      t.src = src;
+      t.dst = dst;
+      t.reduce = false;
+      t.chunks = {0};
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule bruck_allgather(int n, Bytes buffer) {
+  PSD_REQUIRE(n >= 2, "allgather requires at least 2 nodes");
+  CollectiveSchedule out("bruck-allgather", n, buffer, n, ChunkSpace::kSegments);
+  // After step k, node j holds chunks {j, j+1, ..., j + 2^(k+1) − 1} mod n
+  // (clipped to n). Step k sends the current window to (j − 2^k) mod n.
+  for (int span = 1; span < n; span <<= 1) {
+    const int cnt = std::min(span, n - span);
+    Step step;
+    step.label = "bruck-ag-span-" + std::to_string(span);
+    step.matching = topo::Matching::rotation(n, -span);
+    step.volume = out.chunk_size() * static_cast<double>(cnt);
+    for (int j = 0; j < n; ++j) {
+      Transfer t;
+      t.src = j;
+      t.dst = mod_n(j - span, n);
+      t.reduce = false;
+      for (int c = 0; c < cnt; ++c) t.chunks.push_back(mod_n(j + c, n));
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule binomial_reduce(int n, int root, Bytes buffer) {
+  PSD_REQUIRE(root >= 0 && root < n, "reduce root out of range");
+  CollectiveSchedule out("binomial-reduce", n, buffer, 1, ChunkSpace::kSegments);
+  // Mirror of broadcast: spans shrink; relative rank r in [span, 2·span)
+  // sends its partial reduction to r − span.
+  int top = 1;
+  while (top < n) top <<= 1;
+  for (int span = top >> 1; span >= 1; span >>= 1) {
+    Step step;
+    step.label = "reduce-span-" + std::to_string(span);
+    step.matching = topo::Matching(n);
+    step.volume = buffer;
+    for (int r = span; r < 2 * span && r < n; ++r) {
+      const int src = mod_n(root + r, n);
+      const int dst = mod_n(root + r - span, n);
+      step.matching.set(src, dst);
+      Transfer t;
+      t.src = src;
+      t.dst = dst;
+      t.reduce = true;
+      t.chunks = {0};
+      step.transfers.push_back(std::move(t));
+    }
+    if (step.matching.active_pairs() > 0) out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule binomial_scatter(int n, int root, Bytes buffer) {
+  PSD_REQUIRE(root >= 0 && root < n, "scatter root out of range");
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "binomial scatter requires n to be a power of two");
+  CollectiveSchedule out("binomial-scatter", n, buffer, n, ChunkSpace::kSegments);
+  // At the step with span s, relative rank r (a multiple of 2s) forwards
+  // the chunk block [r+s, r+2s) to relative rank r+s.
+  for (int span = n / 2; span >= 1; span >>= 1) {
+    Step step;
+    step.label = "scatter-span-" + std::to_string(span);
+    step.matching = topo::Matching(n);
+    step.volume = out.chunk_size() * static_cast<double>(span);
+    for (int r = 0; r < n; r += 2 * span) {
+      const int src = mod_n(root + r, n);
+      const int dst = mod_n(root + r + span, n);
+      step.matching.set(src, dst);
+      Transfer t;
+      t.src = src;
+      t.dst = dst;
+      t.reduce = false;
+      for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule binomial_gather(int n, int root, Bytes buffer) {
+  PSD_REQUIRE(root >= 0 && root < n, "gather root out of range");
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "binomial gather requires n to be a power of two");
+  CollectiveSchedule out("binomial-gather", n, buffer, n, ChunkSpace::kSegments);
+  // Exact reverse of scatter: spans grow; relative rank r+s returns the
+  // block [r+s, r+2s) to relative rank r.
+  for (int span = 1; span < n; span <<= 1) {
+    Step step;
+    step.label = "gather-span-" + std::to_string(span);
+    step.matching = topo::Matching(n);
+    step.volume = out.chunk_size() * static_cast<double>(span);
+    for (int r = 0; r < n; r += 2 * span) {
+      const int src = mod_n(root + r + span, n);
+      const int dst = mod_n(root + r, n);
+      step.matching.set(src, dst);
+      Transfer t;
+      t.src = src;
+      t.dst = dst;
+      t.reduce = false;
+      for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule dissemination_barrier(int n, Bytes flag_bytes) {
+  PSD_REQUIRE(n >= 2, "barrier requires at least 2 nodes");
+  CollectiveSchedule out("dissemination-barrier", n, flag_bytes, 1,
+                         ChunkSpace::kSegments);
+  // Round k: node j signals (j + 2^k) mod n, forwarding everything it has
+  // heard so far. Knowledge is idempotent, so the executor's double-count
+  // flag is expected to fire; verify with verify_all_complete().
+  for (int span = 1; span < n; span <<= 1) {
+    Step step;
+    step.label = "barrier-round-" + std::to_string(span);
+    step.matching = topo::Matching::rotation(n, span);
+    step.volume = flag_bytes;
+    for (int j = 0; j < n; ++j) {
+      Transfer t;
+      t.src = j;
+      t.dst = (j + span) % n;
+      t.reduce = true;  // OR-combine knowledge masks
+      t.chunks = {0};
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+CollectiveSchedule recursive_doubling_allgather(int n, Bytes buffer) {
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "recursive doubling requires n to be a power of two");
+  const int q = std::countr_zero(static_cast<unsigned>(n));
+  CollectiveSchedule out("recursive-doubling-allgather", n, buffer, n,
+                         ChunkSpace::kSegments);
+  for (int s = 0; s < q; ++s) {
+    Step step;
+    step.label = "ag-step-" + std::to_string(s);
+    step.matching = topo::Matching(n);
+    step.volume = out.chunk_size() * static_cast<double>(1 << s);
+    for (int j = 0; j < n; ++j) {
+      const int w = j ^ (1 << s);
+      if (step.matching.dst_of(j) == -1) {
+        step.matching.set(j, w);
+        step.matching.set(w, j);
+      }
+      Transfer t;
+      t.src = j;
+      t.dst = w;
+      t.reduce = false;
+      // Node j currently holds the 2^s chunks of its aligned group.
+      const int group = (j >> s) << s;
+      t.chunks.resize(static_cast<std::size_t>(1) << s);
+      std::iota(t.chunks.begin(), t.chunks.end(), group);
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+  return out;
+}
+
+}  // namespace psd::collective

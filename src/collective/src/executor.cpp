@@ -1,0 +1,207 @@
+#include "psd/collective/executor.hpp"
+
+#include <algorithm>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+
+namespace {
+
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+}  // namespace
+
+void ChunkExecutor::init_shape(const CollectiveSchedule& schedule) {
+  PSD_REQUIRE(schedule.chunk_space() == ChunkSpace::kSegments,
+              "ChunkExecutor requires a segment chunk space");
+  PSD_REQUIRE(schedule.fully_annotated(),
+              "ChunkExecutor requires chunk-annotated steps");
+  n_ = schedule.num_nodes();
+  chunks_ = schedule.num_chunks();
+  words_ = static_cast<std::size_t>((n_ + 63) / 64);
+  mask_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(chunks_) * words_, 0);
+}
+
+void ChunkExecutor::set_bit(int node, int chunk, int source) {
+  mask_[idx(node, chunk) + static_cast<std::size_t>(source / 64)] |=
+      std::uint64_t{1} << (source % 64);
+}
+
+void ChunkExecutor::set_full(int node, int chunk) {
+  for (std::size_t w = 0; w < words_; ++w) mask_[idx(node, chunk) + w] = kAllOnes;
+  // Clear padding bits beyond n_.
+  const int spare = static_cast<int>(words_) * 64 - n_;
+  if (spare > 0) {
+    mask_[idx(node, chunk) + words_ - 1] >>= spare;
+  }
+}
+
+ChunkExecutor::ChunkExecutor(const CollectiveSchedule& schedule, InitMode mode,
+                             int root) {
+  init_shape(schedule);
+  PSD_REQUIRE(root >= 0 && root < n_, "root out of range");
+
+  switch (mode) {
+    case InitMode::kAllReduce:
+      for (int j = 0; j < n_; ++j) {
+        for (int c = 0; c < chunks_; ++c) set_bit(j, c, j);
+      }
+      break;
+    case InitMode::kAllGather:
+      PSD_REQUIRE(chunks_ == n_, "allgather init requires one chunk per node");
+      for (int j = 0; j < n_; ++j) set_full(j, j);
+      break;
+    case InitMode::kBroadcast:
+      set_full(root, 0);
+      break;
+  }
+  run(schedule);
+}
+
+ChunkExecutor::ChunkExecutor(const CollectiveSchedule& schedule,
+                             const std::vector<int>& owners) {
+  init_shape(schedule);
+  PSD_REQUIRE(static_cast<int>(owners.size()) == chunks_,
+              "owners must list one node per chunk");
+  for (int c = 0; c < chunks_; ++c) {
+    const int owner = owners[static_cast<std::size_t>(c)];
+    PSD_REQUIRE(owner >= 0 && owner < n_, "owner out of range");
+    set_full(owner, c);
+  }
+  run(schedule);
+}
+
+void ChunkExecutor::run(const CollectiveSchedule& schedule) {
+  std::vector<std::uint64_t> snapshot;
+  for (const Step& step : schedule.steps()) {
+    snapshot = mask_;  // synchronous step: reads see start-of-step state
+    for (const Transfer& t : step.transfers) {
+      for (int c : t.chunks) {
+        const std::size_t src_off = idx(t.src, c);
+        const std::size_t dst_off = idx(t.dst, c);
+        for (std::size_t w = 0; w < words_; ++w) {
+          const std::uint64_t incoming = snapshot[src_off + w];
+          if (t.reduce) {
+            if ((snapshot[dst_off + w] & incoming) != 0) double_counted_ = true;
+            mask_[dst_off + w] = snapshot[dst_off + w] | incoming;
+          } else {
+            mask_[dst_off + w] = incoming;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool ChunkExecutor::has_contribution(int node, int chunk, int source) const {
+  PSD_REQUIRE(node >= 0 && node < n_ && chunk >= 0 && chunk < chunks_ &&
+                  source >= 0 && source < n_,
+              "index out of range");
+  return (mask_[idx(node, chunk) + static_cast<std::size_t>(source / 64)] >>
+          (source % 64)) &
+         1U;
+}
+
+bool ChunkExecutor::mask_full(int node, int chunk) const {
+  PSD_REQUIRE(node >= 0 && node < n_ && chunk >= 0 && chunk < chunks_,
+              "index out of range");
+  for (int s = 0; s < n_; ++s) {
+    if (!has_contribution(node, chunk, s)) return false;
+  }
+  return true;
+}
+
+bool ChunkExecutor::mask_empty(int node, int chunk) const {
+  PSD_REQUIRE(node >= 0 && node < n_ && chunk >= 0 && chunk < chunks_,
+              "index out of range");
+  const std::size_t off = idx(node, chunk);
+  return std::all_of(mask_.begin() + static_cast<std::ptrdiff_t>(off),
+                     mask_.begin() + static_cast<std::ptrdiff_t>(off + words_),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool ChunkExecutor::verify_allreduce() const {
+  if (double_counted_) return false;
+  for (int j = 0; j < n_; ++j) {
+    for (int c = 0; c < chunks_; ++c) {
+      if (!mask_full(j, c)) return false;
+    }
+  }
+  return true;
+}
+
+bool ChunkExecutor::verify_reduce_scatter(const std::vector<int>& owners) const {
+  if (double_counted_) return false;
+  PSD_REQUIRE(static_cast<int>(owners.size()) == chunks_,
+              "owners must list one node per chunk");
+  for (int c = 0; c < chunks_; ++c) {
+    const int owner = owners[static_cast<std::size_t>(c)];
+    PSD_REQUIRE(owner >= 0 && owner < n_, "owner out of range");
+    if (!mask_full(owner, c)) return false;
+  }
+  return true;
+}
+
+bool ChunkExecutor::verify_all_complete() const {
+  for (int j = 0; j < n_; ++j) {
+    for (int c = 0; c < chunks_; ++c) {
+      if (!mask_full(j, c)) return false;
+    }
+  }
+  return true;
+}
+
+BlockExecutor::BlockExecutor(const CollectiveSchedule& schedule) {
+  PSD_REQUIRE(schedule.chunk_space() == ChunkSpace::kBlocks,
+              "BlockExecutor requires a block chunk space");
+  PSD_REQUIRE(schedule.fully_annotated(),
+              "BlockExecutor requires chunk-annotated steps");
+  n_ = schedule.num_nodes();
+  held_.assign(static_cast<std::size_t>(n_),
+               std::vector<bool>(static_cast<std::size_t>(n_ * n_), false));
+  for (int j = 0; j < n_; ++j) {
+    for (int d = 0; d < n_; ++d) {
+      held_[static_cast<std::size_t>(j)][static_cast<std::size_t>(j * n_ + d)] = true;
+    }
+  }
+  std::vector<std::vector<bool>> snapshot;
+  for (const Step& step : schedule.steps()) {
+    snapshot = held_;
+    for (const Transfer& t : step.transfers) {
+      PSD_REQUIRE(!t.reduce, "block collectives do not reduce");
+      for (int c : t.chunks) {
+        PSD_REQUIRE(snapshot[static_cast<std::size_t>(t.src)][static_cast<std::size_t>(c)],
+                    "node forwarded a block it does not hold");
+        held_[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(c)] = true;
+      }
+    }
+  }
+}
+
+bool BlockExecutor::holds(int node, int chunk) const {
+  PSD_REQUIRE(node >= 0 && node < n_ && chunk >= 0 && chunk < n_ * n_,
+              "index out of range");
+  return held_[static_cast<std::size_t>(node)][static_cast<std::size_t>(chunk)];
+}
+
+bool BlockExecutor::verify_alltoall() const {
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      if (!holds(j, i * n_ + j)) return false;
+    }
+  }
+  return true;
+}
+
+bool is_valid_allreduce(const CollectiveSchedule& schedule) {
+  const ChunkExecutor exec(schedule, InitMode::kAllReduce);
+  return exec.verify_allreduce();
+}
+
+bool is_valid_alltoall(const CollectiveSchedule& schedule) {
+  const BlockExecutor exec(schedule);
+  return exec.verify_alltoall();
+}
+
+}  // namespace psd::collective

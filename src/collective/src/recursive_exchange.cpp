@@ -1,0 +1,163 @@
+#include "psd/collective/recursive_exchange.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+
+namespace {
+
+int log2_exact(int n) {
+  PSD_REQUIRE(n >= 2 && std::has_single_bit(static_cast<unsigned>(n)),
+              "recursive-exchange algorithms require n to be a power of two");
+  return std::countr_zero(static_cast<unsigned>(n));
+}
+
+/// Responsibility sets A(j, s) for all j and s, as sorted chunk vectors.
+/// sets[s][j] = A(j, s); sets has log n + 1 levels.
+std::vector<std::vector<std::vector<int>>> responsibility_sets(int n,
+                                                               const PeerFn& peer) {
+  const int q = log2_exact(n);
+  // Validate the peer function: range and involution at every step.
+  for (int s = 0; s < q; ++s) {
+    for (int j = 0; j < n; ++j) {
+      const int w = peer(j, s);
+      PSD_REQUIRE(w >= 0 && w < n, "peer function out of range");
+      PSD_REQUIRE(w != j, "peer function must not map a node to itself");
+      PSD_REQUIRE(peer(w, s) == j, "peer function must be an involution");
+    }
+  }
+
+  std::vector<std::vector<std::vector<int>>> sets(
+      static_cast<std::size_t>(q) + 1,
+      std::vector<std::vector<int>>(static_cast<std::size_t>(n)));
+  for (int j = 0; j < n; ++j) {
+    sets[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)] = {j};
+  }
+  for (int s = q - 1; s >= 0; --s) {
+    for (int j = 0; j < n; ++j) {
+      const int w = peer(j, s);
+      const auto& mine = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(j)];
+      const auto& theirs = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(w)];
+      std::vector<int> merged;
+      merged.reserve(mine.size() + theirs.size());
+      std::merge(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
+                 std::back_inserter(merged));
+      // Partition invariant: the two halves must be disjoint.
+      PSD_REQUIRE(std::adjacent_find(merged.begin(), merged.end()) == merged.end(),
+                  "peer function violates the partition invariant: the "
+                  "responsibility sets of step-" + std::to_string(s) +
+                  " partners overlap");
+      sets[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = std::move(merged);
+    }
+  }
+  // A(j, 0) must be the full chunk set.
+  for (int j = 0; j < n; ++j) {
+    PSD_REQUIRE(static_cast<int>(sets[0][static_cast<std::size_t>(j)].size()) == n,
+                "peer function does not cover all chunks in log2(n) steps");
+  }
+  return sets;
+}
+
+/// Emits the reduce-scatter steps into `out`.
+void emit_reduce_scatter(CollectiveSchedule& out, int n, Bytes buffer,
+                         const PeerFn& peer,
+                         const std::vector<std::vector<std::vector<int>>>& sets) {
+  const int q = log2_exact(n);
+  const Bytes chunk = buffer / static_cast<double>(n);
+  for (int s = 0; s < q; ++s) {
+    Step step;
+    step.label = "rs-step-" + std::to_string(s);
+    step.matching = topo::Matching(n);
+    step.volume = chunk * static_cast<double>(n >> (s + 1));
+    for (int j = 0; j < n; ++j) {
+      const int w = peer(j, s);
+      step.matching.set(j, w);  // involution: both directions get set
+      Transfer t;
+      t.src = j;
+      t.dst = w;
+      t.reduce = true;
+      t.chunks = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(w)];
+      step.transfers.push_back(std::move(t));
+    }
+    out.add_step(std::move(step));
+  }
+}
+
+/// Emits the mirrored allgather steps into `out`.
+void emit_allgather(CollectiveSchedule& out, int n, Bytes buffer,
+                    const PeerFn& peer,
+                    const std::vector<std::vector<std::vector<int>>>& sets) {
+  const int q = log2_exact(n);
+  const Bytes chunk = buffer / static_cast<double>(n);
+  // At allgather step t, node j exchanges with its reduce-scatter partner of
+  // step q-1-t and hands over everything gathered so far: exactly
+  // A(j, q-t) from the responsibility recursion.
+  for (int t = 0; t < q; ++t) {
+    const int s = q - 1 - t;
+    Step step;
+    step.label = "ag-step-" + std::to_string(t);
+    step.matching = topo::Matching(n);
+    step.volume = chunk * static_cast<double>(1 << t);
+    for (int j = 0; j < n; ++j) {
+      const int w = peer(j, s);
+      step.matching.set(j, w);
+      Transfer t2;
+      t2.src = j;
+      t2.dst = w;
+      t2.reduce = false;
+      t2.chunks = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(j)];
+      step.transfers.push_back(std::move(t2));
+    }
+    out.add_step(std::move(step));
+  }
+}
+
+}  // namespace
+
+CollectiveSchedule recursive_exchange_allreduce(std::string name, int n,
+                                                Bytes buffer, const PeerFn& peer) {
+  const auto sets = responsibility_sets(n, peer);
+  CollectiveSchedule out(std::move(name), n, buffer, n, ChunkSpace::kSegments);
+  emit_reduce_scatter(out, n, buffer, peer, sets);
+  emit_allgather(out, n, buffer, peer, sets);
+  return out;
+}
+
+CollectiveSchedule recursive_exchange_reduce_scatter(std::string name, int n,
+                                                     Bytes buffer,
+                                                     const PeerFn& peer) {
+  const auto sets = responsibility_sets(n, peer);
+  CollectiveSchedule out(std::move(name), n, buffer, n, ChunkSpace::kSegments);
+  emit_reduce_scatter(out, n, buffer, peer, sets);
+  return out;
+}
+
+PeerFn halving_doubling_peers(int n) {
+  const int q = log2_exact(n);
+  return [q](int j, int s) { return j ^ (1 << (q - 1 - s)); };
+}
+
+long long swing_rho(int s) {
+  PSD_REQUIRE(s >= 0 && s < 62, "swing step out of range");
+  // ρ_s = (1 − (−2)^(s+1)) / 3: 1, -1, 3, -5, 11, -21, 43, ...
+  long long pow = 1;
+  for (int i = 0; i <= s; ++i) pow *= -2;
+  return (1 - pow) / 3;
+}
+
+PeerFn swing_peers(int n) {
+  (void)log2_exact(n);  // validate n
+  return [n](int j, int s) {
+    const long long rho = swing_rho(s);
+    const long long sign = (j % 2 == 0) ? 1 : -1;
+    long long w = (j + sign * rho) % n;
+    if (w < 0) w += n;
+    return static_cast<int>(w);
+  };
+}
+
+}  // namespace psd::collective

@@ -1,0 +1,96 @@
+#include "psd/collective/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+
+CollectiveSchedule::CollectiveSchedule(std::string name, int n, Bytes buffer,
+                                       int num_chunks, ChunkSpace space)
+    : name_(std::move(name)), n_(n), buffer_(buffer), num_chunks_(num_chunks),
+      space_(space) {
+  PSD_REQUIRE(n >= 2, "collective requires at least 2 nodes");
+  PSD_REQUIRE(buffer.count() > 0.0, "buffer size must be positive");
+  PSD_REQUIRE(num_chunks >= 1, "num_chunks must be >= 1");
+  if (space == ChunkSpace::kBlocks) {
+    PSD_REQUIRE(num_chunks == n * n, "block chunk space requires n*n chunks");
+  }
+}
+
+Bytes CollectiveSchedule::chunk_size() const {
+  if (space_ == ChunkSpace::kBlocks) {
+    // Each node's buffer holds n blocks (one per destination).
+    return buffer_ / static_cast<double>(n_);
+  }
+  return buffer_ / static_cast<double>(num_chunks_);
+}
+
+void CollectiveSchedule::add_step(Step step) {
+  PSD_REQUIRE(step.matching.size() == n_, "step matching size mismatch");
+  PSD_REQUIRE(step.volume.count() >= 0.0, "step volume must be non-negative");
+  const double cs = chunk_size().count();
+  for (const Transfer& t : step.transfers) {
+    PSD_REQUIRE(step.matching.dst_of(t.src) == t.dst,
+                "transfer endpoints must appear in the step matching");
+    PSD_REQUIRE(!t.chunks.empty(), "transfer must move at least one chunk");
+    for (int c : t.chunks) {
+      PSD_REQUIRE(c >= 0 && c < num_chunks_, "chunk index out of range");
+    }
+    const double bytes = static_cast<double>(t.chunks.size()) * cs;
+    PSD_REQUIRE(std::fabs(bytes - step.volume.count()) <=
+                    1e-6 * std::max(1.0, step.volume.count()),
+                "annotated transfer bytes must equal the step volume");
+  }
+  steps_.push_back(std::move(step));
+}
+
+const Step& CollectiveSchedule::step(int i) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  return steps_[static_cast<std::size_t>(i)];
+}
+
+bool CollectiveSchedule::fully_annotated() const {
+  return std::all_of(steps_.begin(), steps_.end(), [](const Step& s) {
+    return !s.transfers.empty() || s.matching.active_pairs() == 0;
+  });
+}
+
+Bytes CollectiveSchedule::max_bytes_sent_per_node() const {
+  std::vector<double> sent(static_cast<std::size_t>(n_), 0.0);
+  for (const Step& s : steps_) {
+    for (const auto& [src, dst] : s.matching.pairs()) {
+      (void)dst;
+      sent[static_cast<std::size_t>(src)] += s.volume.count();
+    }
+  }
+  return Bytes(*std::max_element(sent.begin(), sent.end()));
+}
+
+psd::Matrix CollectiveSchedule::aggregate_demand() const {
+  psd::Matrix agg(static_cast<std::size_t>(n_), static_cast<std::size_t>(n_));
+  for (const Step& s : steps_) {
+    for (const auto& [src, dst] : s.matching.pairs()) {
+      agg(static_cast<std::size_t>(src), static_cast<std::size_t>(dst)) +=
+          s.volume.count();
+    }
+  }
+  return agg;
+}
+
+CollectiveSchedule CollectiveSchedule::then(const CollectiveSchedule& tail) const {
+  PSD_REQUIRE(tail.n_ == n_, "composed collectives must have equal node count");
+  const bool keep_chunks = tail.space_ == space_ &&
+                           tail.num_chunks_ == num_chunks_ &&
+                           tail.buffer_.count() == buffer_.count();
+  CollectiveSchedule out(name_ + "+" + tail.name_, n_, buffer_, num_chunks_, space_);
+  for (const Step& s : steps_) out.add_step(s);
+  for (Step s : tail.steps_) {
+    if (!keep_chunks) s.transfers.clear();
+    out.add_step(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace psd::collective

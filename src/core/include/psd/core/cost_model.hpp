@@ -1,0 +1,125 @@
+// The α–β–δ cost model grounded in maximum concurrent flow (paper §3.2).
+//
+// The demand completion time of step i (Eq. 3) is
+//
+//     DCT(m_i·M_i) = α  +  δ·ℓ_i  +  β·m_i·(1/θ(G, M_i))
+//                    ───    ─────     ────────────────────
+//                  latency  propagation  bandwidth·congestion
+//
+// where β = 1/b, ℓ_i is the hop length of the longest routed path of the
+// step (1 when the fabric is matched to M_i), and θ is the maximum
+// concurrent flow of M_i on the current topology (1 when matched).
+//
+// ProblemInstance precomputes (m_i, θ_i, ℓ_i, M_i) per step against a base
+// topology so optimizers can evaluate any reconfiguration schedule in O(s).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "psd/collective/schedule.hpp"
+#include "psd/flow/theta.hpp"
+#include "psd/photonic/reconfig_delay.hpp"
+#include "psd/topo/graph.hpp"
+
+namespace psd::core {
+
+/// Model parameters (paper §3.2/§3.4 notation).
+struct CostParams {
+  TimeNs alpha;    // fixed per-step startup latency α
+  TimeNs delta;    // per-hop propagation delay δ
+  TimeNs alpha_r;  // reconfiguration delay α_r (constant model)
+  Bandwidth b;     // per-transceiver bandwidth (β = 1/b)
+};
+
+/// Per-step precomputed quantities against the base topology G.
+struct StepParams {
+  Bytes volume;       // m_i
+  double theta_base;  // θ(G, M_i)
+  int ell_base;       // ℓ(G, M_i): max hop count among the step's pairs
+  topo::Matching matching;  // M_i (kept for delay models / dedup)
+};
+
+/// Per-step topology decision: the paper's x_i (kBase ⇔ x_i = 1).
+enum class TopoChoice : std::uint8_t { kBase, kMatched };
+
+/// Extensions beyond the paper's Eq. (7) (all off by default).
+struct ModelExtensions {
+  // Skip α_r for matched→matched transitions whose matchings are identical.
+  bool dedup_identical_matchings = false;
+  // Price transitions with a port-count-aware delay model instead of the
+  // constant α_r. Requires base_config (the permutation realizing G) so
+  // base↔matched transitions are well defined.
+  const photonic::ReconfigDelayModel* delay_model = nullptr;
+  std::optional<topo::Matching> base_config;
+  // Per-step compute time available to hide reconfiguration behind
+  // (research agenda: "overlapping reconfiguration with computation").
+  // compute[i] runs before step i's communication; the effective
+  // reconfiguration penalty becomes max(0, reconf_delay − compute[i]).
+  std::vector<TimeNs> compute_before_step;
+};
+
+/// Additive breakdown of a plan's completion time (Eq. 4 / Eq. 7 objective).
+struct PlanBreakdown {
+  TimeNs latency;        // s·α
+  TimeNs propagation;    // δ·Σ ℓ
+  TimeNs reconfiguration;
+  TimeNs serialization;  // β·Σ m_i/θ_i
+  TimeNs compute;        // Σ compute_before_step (overlap extension only)
+
+  [[nodiscard]] TimeNs total() const {
+    return latency + propagation + reconfiguration + serialization + compute;
+  }
+};
+
+/// A reconfiguration schedule plus its predicted cost.
+struct ReconfigPlan {
+  std::vector<TopoChoice> choice;  // one per step
+  PlanBreakdown breakdown;
+  int num_reconfigurations = 0;
+
+  [[nodiscard]] TimeNs total_time() const { return breakdown.total(); }
+};
+
+class ProblemInstance {
+ public:
+  /// Precomputes θ and ℓ for every step of `schedule` against the oracle's
+  /// base topology. All step matchings must be non-empty with positive
+  /// volume. The oracle memoizes θ, so rebuilding instances for the same
+  /// collective at different message sizes or cost parameters is cheap.
+  ProblemInstance(const collective::CollectiveSchedule& schedule,
+                  const flow::ThetaOracle& oracle, const CostParams& params);
+
+  /// Builds from raw steps (volume, matching) — for custom collectives.
+  ProblemInstance(const std::vector<std::pair<Bytes, topo::Matching>>& raw_steps,
+                  const flow::ThetaOracle& oracle, const CostParams& params);
+
+  [[nodiscard]] int num_steps() const { return static_cast<int>(steps_.size()); }
+  [[nodiscard]] const StepParams& step(int i) const;
+  [[nodiscard]] const std::vector<StepParams>& steps() const { return steps_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  /// DCT components excluding α for step i under the given choice.
+  [[nodiscard]] TimeNs propagation_cost(int i, TopoChoice c) const;
+  [[nodiscard]] TimeNs serialization_cost(int i, TopoChoice c) const;
+
+  /// Reconfiguration delay charged *before* step i (0-indexed) given the
+  /// previous and current choice, honoring extensions. The fabric starts in
+  /// the base state (x_0 = 1), so prev for i = 0 is kBase.
+  [[nodiscard]] TimeNs transition_cost(int i, TopoChoice prev, TopoChoice cur,
+                                       const ModelExtensions& ext) const;
+
+ private:
+  void build(const std::vector<std::pair<Bytes, topo::Matching>>& raw,
+             const flow::ThetaOracle& oracle);
+
+  std::vector<StepParams> steps_;
+  CostParams params_;
+};
+
+/// Evaluates a full plan (the Eq. 7 objective) for the given choices.
+[[nodiscard]] ReconfigPlan evaluate_plan(const ProblemInstance& inst,
+                                         std::vector<TopoChoice> choice,
+                                         const ModelExtensions& ext = {});
+
+}  // namespace psd::core

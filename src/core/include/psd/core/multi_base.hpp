@@ -1,0 +1,56 @@
+// Multi-base-topology extension (paper §3.3): instead of one base topology
+// G, the fabric may fall back to any member of a fixed pool {G_0 … G_{k−1}}
+// (e.g. co-prime rings). The DP generalizes to k+1 states per step — the k
+// bases plus "matched" — staying in the same base is free, every other
+// transition pays α_r. The fabric starts in base 0.
+#pragma once
+
+#include <vector>
+
+#include "psd/core/cost_model.hpp"
+
+namespace psd::core {
+
+class MultiBaseInstance {
+ public:
+  /// `oracles` hold the candidate base topologies (all same node count);
+  /// they must outlive the instance.
+  MultiBaseInstance(const collective::CollectiveSchedule& schedule,
+                    std::vector<const flow::ThetaOracle*> oracles,
+                    const CostParams& params);
+
+  [[nodiscard]] int num_steps() const { return static_cast<int>(volumes_.size()); }
+  [[nodiscard]] int num_bases() const { return static_cast<int>(oracles_.size()); }
+  /// States 0..k−1 are bases; state k means "matched to M_i".
+  [[nodiscard]] int matched_state() const { return num_bases(); }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+
+  [[nodiscard]] TimeNs propagation_cost(int step, int state) const;
+  [[nodiscard]] TimeNs serialization_cost(int step, int state) const;
+  /// α_r unless prev == cur and both are base states.
+  [[nodiscard]] TimeNs transition_cost(int prev_state, int cur_state) const;
+
+ private:
+  std::vector<Bytes> volumes_;
+  std::vector<std::vector<double>> theta_;  // [step][base]
+  std::vector<std::vector<int>> ell_;       // [step][base]
+  std::vector<const flow::ThetaOracle*> oracles_;
+  CostParams params_;
+};
+
+struct MultiBasePlan {
+  std::vector<int> state;  // one per step: base index, or matched_state()
+  PlanBreakdown breakdown;
+  int num_reconfigurations = 0;
+
+  [[nodiscard]] TimeNs total_time() const { return breakdown.total(); }
+};
+
+/// Evaluates an explicit state sequence.
+[[nodiscard]] MultiBasePlan evaluate_multi_base_plan(const MultiBaseInstance& inst,
+                                                     std::vector<int> states);
+
+/// Exact optimum over the pool by DP, O(s·(k+1)²).
+[[nodiscard]] MultiBasePlan optimal_multi_base_plan(const MultiBaseInstance& inst);
+
+}  // namespace psd::core

@@ -1,0 +1,86 @@
+// Multi-ported collectives (paper §4 future work): each GPU has `ports`
+// transceivers, so a step's communication pattern is a *union of matchings*
+// rather than a single permutation — e.g. the mirrored ring collectives of
+// Sack & Gropp that the paper's §2 cites, which run a clockwise and a
+// counter-clockwise permutation simultaneously.
+//
+// Semantics:
+//   - base choice: all union commodities share the base topology; the
+//     congestion factor is the concurrent flow of the union demand, and
+//     β stays 1/b because DCT = m / (b·θ) with each pair demanding rate b.
+//   - matched choice: realizable iff the union has at most `ports`
+//     matchings (one circuit plane per transceiver); θ = 1, ℓ = 1.
+//   - reconfiguration: Eq. (7)'s z-rule, unchanged.
+//
+// The DP over {base, matched} carries over verbatim; only the per-step
+// quantities change.
+#pragma once
+
+#include "psd/core/cost_model.hpp"
+
+namespace psd::core {
+
+/// One multi-port step: every matching in the union moves `volume` bytes
+/// per communicating pair, all simultaneously.
+struct UnionStep {
+  std::vector<topo::Matching> matchings;
+  Bytes volume;
+};
+
+class MultiPortInstance {
+ public:
+  /// `ports` is the transceiver count per GPU; every step's union must have
+  /// between 1 and `ports` matchings. The oracle's base topology should
+  /// offer matching aggregate capacity (e.g. a union of `ports` co-prime
+  /// rings), but any strongly-connected base is accepted.
+  MultiPortInstance(std::vector<UnionStep> steps, const flow::ThetaOracle& oracle,
+                    const CostParams& params, int ports);
+
+  [[nodiscard]] int num_steps() const { return static_cast<int>(steps_.size()); }
+  [[nodiscard]] int ports() const { return ports_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+  [[nodiscard]] const UnionStep& step(int i) const;
+  [[nodiscard]] double theta_base(int i) const;
+
+  [[nodiscard]] TimeNs propagation_cost(int i, TopoChoice c) const;
+  [[nodiscard]] TimeNs serialization_cost(int i, TopoChoice c) const;
+  /// Eq. (7) z-rule with constant α_r.
+  [[nodiscard]] TimeNs transition_cost(int i, TopoChoice prev, TopoChoice cur) const;
+
+ private:
+  std::vector<UnionStep> steps_;
+  std::vector<double> theta_;  // θ(G, union demand) per step
+  std::vector<int> ell_;       // max pair hops over the union per step
+  CostParams params_;
+  int ports_;
+};
+
+struct MultiPortPlan {
+  std::vector<TopoChoice> choice;
+  PlanBreakdown breakdown;
+  int num_reconfigurations = 0;
+
+  [[nodiscard]] TimeNs total_time() const { return breakdown.total(); }
+};
+
+[[nodiscard]] MultiPortPlan evaluate_multi_port_plan(const MultiPortInstance& inst,
+                                                     std::vector<TopoChoice> choice);
+
+/// Exact DP optimum over the two fabric states.
+[[nodiscard]] MultiPortPlan optimal_multi_port_plan(const MultiPortInstance& inst);
+
+/// Baselines.
+[[nodiscard]] MultiPortPlan static_multi_port_plan(const MultiPortInstance& inst);
+[[nodiscard]] MultiPortPlan bvn_multi_port_plan(const MultiPortInstance& inst);
+
+/// Pairs the transpose All-to-All's rotations into two-port union steps
+/// (rotation i together with rotation n−i), halving the step count — the
+/// "mirrored" construction for dual-ported domains. Requires ports >= 2.
+[[nodiscard]] std::vector<UnionStep> mirrored_alltoall_steps(int n, Bytes buffer);
+
+/// Splits any single-port schedule into union steps of one matching each
+/// (the degenerate multi-port form, for comparisons).
+[[nodiscard]] std::vector<UnionStep> as_union_steps(
+    const collective::CollectiveSchedule& schedule);
+
+}  // namespace psd::core

@@ -1,0 +1,42 @@
+// Reconfiguration-schedule optimizers for the paper's 0–1 ILP (Eq. 7).
+//
+// The ILP's sequential structure (x_i and z_i couple only adjacent steps)
+// admits an exact dynamic program over two states per step — polynomial
+// time, per the paper's observation. Baselines: the static schedule (never
+// reconfigure), the naive BvN schedule (reconfigure every step to match the
+// pattern), a brute-force enumerator (the test oracle for DP optimality) and
+// the research agenda's myopic threshold heuristic.
+#pragma once
+
+#include "psd/core/cost_model.hpp"
+
+namespace psd::core {
+
+/// Never reconfigure: x_i = 1 for all steps (the static base topology).
+[[nodiscard]] ReconfigPlan static_plan(const ProblemInstance& inst,
+                                       const ModelExtensions& ext = {});
+
+/// Reconfigure every step to match M_i: x_i = 0 for all steps (the paper's
+/// "BvN schedule" baseline — what demand-aware circuit scheduling would do).
+[[nodiscard]] ReconfigPlan bvn_plan(const ProblemInstance& inst,
+                                    const ModelExtensions& ext = {});
+
+/// Exact optimum of Eq. (7) by dynamic programming over the two fabric
+/// states, O(s) time. Ties break toward the base topology.
+[[nodiscard]] ReconfigPlan optimal_plan(const ProblemInstance& inst,
+                                        const ModelExtensions& ext = {});
+
+/// Exhaustive search over all 2^s schedules; requires s <= 24. Exists to
+/// certify optimal_plan in tests.
+[[nodiscard]] ReconfigPlan brute_force_plan(const ProblemInstance& inst,
+                                            const ModelExtensions& ext = {});
+
+/// Myopic threshold heuristic (research agenda): reconfigure for step i iff
+/// the step's standalone gain δ·(ℓ_i−1) + β·m_i·(1/θ_i−1) exceeds α_r.
+/// Ignores transition coupling (e.g. the return-to-base charge), so it can
+/// be arbitrarily suboptimal in the transitional regime — quantified in
+/// bench/ablation_heuristic_quality.
+[[nodiscard]] ReconfigPlan greedy_threshold_plan(const ProblemInstance& inst,
+                                                 const ModelExtensions& ext = {});
+
+}  // namespace psd::core

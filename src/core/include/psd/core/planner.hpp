@@ -1,0 +1,64 @@
+// High-level facade: given a base topology and cost parameters, plan a
+// collective and compare the optimized schedule against the static and
+// naive-BvN baselines — the exact comparison behind the paper's Figure 1
+// and Figure 2.
+#pragma once
+
+#include <memory>
+
+#include "psd/core/optimizers.hpp"
+
+namespace psd::core {
+
+struct PlannerResult {
+  ReconfigPlan optimal;     // DP optimum of Eq. (7)
+  ReconfigPlan static_base; // never reconfigure
+  ReconfigPlan naive_bvn;   // reconfigure every step
+  ReconfigPlan greedy;      // myopic threshold heuristic
+
+  /// Completion-time ratios (≥ 1 by DP optimality).
+  [[nodiscard]] double speedup_vs_static() const {
+    return static_base.total_time() / optimal.total_time();
+  }
+  [[nodiscard]] double speedup_vs_bvn() const {
+    return naive_bvn.total_time() / optimal.total_time();
+  }
+  /// Versus the better of the two baselines (Figure 2's comparison).
+  [[nodiscard]] double speedup_vs_best_baseline() const {
+    return std::min(static_base.total_time(), naive_bvn.total_time()) /
+           optimal.total_time();
+  }
+};
+
+class Planner {
+ public:
+  /// Owns a copy of the base topology; the θ cache persists across plan()
+  /// calls, so parameter sweeps over the same collective are cheap.
+  Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts = {});
+
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
+
+  [[nodiscard]] const topo::Graph& base() const { return base_; }
+  [[nodiscard]] const CostParams& params() const { return params_; }
+  [[nodiscard]] const flow::ThetaOracle& oracle() const { return *oracle_; }
+
+  /// Updates cost parameters (the θ cache survives; bandwidth must stay
+  /// fixed because θ is normalized by it).
+  void set_params(const CostParams& params);
+
+  /// Plans `schedule` and evaluates all baselines.
+  [[nodiscard]] PlannerResult plan(const collective::CollectiveSchedule& schedule,
+                                   const ModelExtensions& ext = {}) const;
+
+  /// Builds just the problem instance (for custom optimizers).
+  [[nodiscard]] ProblemInstance instance(
+      const collective::CollectiveSchedule& schedule) const;
+
+ private:
+  topo::Graph base_;
+  CostParams params_;
+  std::unique_ptr<flow::ThetaOracle> oracle_;
+};
+
+}  // namespace psd::core

@@ -1,0 +1,18 @@
+// JSON serialization of plans and planner results, for plotting pipelines
+// and regression tracking of bench outputs.
+#pragma once
+
+#include <string>
+
+#include "psd/core/planner.hpp"
+
+namespace psd::core {
+
+/// {"choice": ["base"|"matched", ...], "breakdown": {...}, "total_ns": ...}
+[[nodiscard]] std::string to_json(const ReconfigPlan& plan);
+
+/// {"optimal": {...}, "static": {...}, "naive_bvn": {...}, "greedy": {...},
+///  "speedup_vs_static": ..., "speedup_vs_bvn": ...}
+[[nodiscard]] std::string to_json(const PlannerResult& result);
+
+}  // namespace psd::core

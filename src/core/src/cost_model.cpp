@@ -1,0 +1,157 @@
+#include "psd/core/cost_model.hpp"
+
+#include <algorithm>
+
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::core {
+
+namespace {
+
+std::vector<std::pair<Bytes, topo::Matching>> extract_steps(
+    const collective::CollectiveSchedule& schedule) {
+  std::vector<std::pair<Bytes, topo::Matching>> raw;
+  raw.reserve(static_cast<std::size_t>(schedule.num_steps()));
+  for (const auto& s : schedule.steps()) {
+    raw.emplace_back(s.volume, s.matching);
+  }
+  return raw;
+}
+
+void validate_params(const CostParams& p) {
+  PSD_REQUIRE(p.alpha.ns() >= 0.0, "alpha must be non-negative");
+  PSD_REQUIRE(p.delta.ns() >= 0.0, "delta must be non-negative");
+  PSD_REQUIRE(p.alpha_r.ns() >= 0.0, "alpha_r must be non-negative");
+  PSD_REQUIRE(p.b.bytes_per_ns() > 0.0, "bandwidth must be positive");
+}
+
+}  // namespace
+
+ProblemInstance::ProblemInstance(const collective::CollectiveSchedule& schedule,
+                                 const flow::ThetaOracle& oracle,
+                                 const CostParams& params)
+    : params_(params) {
+  validate_params(params);
+  build(extract_steps(schedule), oracle);
+}
+
+ProblemInstance::ProblemInstance(
+    const std::vector<std::pair<Bytes, topo::Matching>>& raw_steps,
+    const flow::ThetaOracle& oracle, const CostParams& params)
+    : params_(params) {
+  validate_params(params);
+  build(raw_steps, oracle);
+}
+
+void ProblemInstance::build(const std::vector<std::pair<Bytes, topo::Matching>>& raw,
+                            const flow::ThetaOracle& oracle) {
+  const topo::Graph& base = oracle.base();
+  PSD_REQUIRE(!raw.empty(), "collective must have at least one step");
+  const auto hops = topo::all_pairs_hops(base);
+
+  steps_.reserve(raw.size());
+  for (const auto& [volume, matching] : raw) {
+    PSD_REQUIRE(matching.size() == base.num_nodes(),
+                "step matching size does not match the base topology");
+    PSD_REQUIRE(matching.active_pairs() > 0, "step matching must be non-empty");
+    PSD_REQUIRE(volume.count() > 0.0, "step volume must be positive");
+
+    StepParams sp;
+    sp.volume = volume;
+    sp.matching = matching;
+    sp.theta_base = oracle.theta(matching);
+    PSD_ASSERT(sp.theta_base > 0.0, "theta must be positive for routable demand");
+    int ell = 0;
+    for (const auto& [s, d] : matching.pairs()) {
+      const int h = hops[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)];
+      PSD_REQUIRE(h != topo::kUnreachable,
+                  "matching pair disconnected in the base topology");
+      ell = std::max(ell, h);
+    }
+    sp.ell_base = ell;
+    steps_.push_back(std::move(sp));
+  }
+}
+
+const StepParams& ProblemInstance::step(int i) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  return steps_[static_cast<std::size_t>(i)];
+}
+
+TimeNs ProblemInstance::propagation_cost(int i, TopoChoice c) const {
+  const StepParams& sp = step(i);
+  const double hops = (c == TopoChoice::kBase) ? sp.ell_base : 1.0;
+  return params_.delta * hops;
+}
+
+TimeNs ProblemInstance::serialization_cost(int i, TopoChoice c) const {
+  const StepParams& sp = step(i);
+  const TimeNs ideal = sp.volume / params_.b;  // β·m_i
+  const double congestion =
+      (c == TopoChoice::kBase) ? 1.0 / sp.theta_base : 1.0;
+  return ideal * congestion;
+}
+
+TimeNs ProblemInstance::transition_cost(int i, TopoChoice prev, TopoChoice cur,
+                                        const ModelExtensions& ext) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  PSD_REQUIRE(i > 0 || prev == TopoChoice::kBase,
+              "the fabric starts in the base configuration (x_0 = 1)");
+
+  // Paper rule (Eq. 7): no delay iff both consecutive steps use the base.
+  if (prev == TopoChoice::kBase && cur == TopoChoice::kBase) return TimeNs(0.0);
+
+  if (ext.dedup_identical_matchings && i > 0 && prev == TopoChoice::kMatched &&
+      cur == TopoChoice::kMatched &&
+      step(i).matching == step(i - 1).matching) {
+    return TimeNs(0.0);
+  }
+
+  if (ext.delay_model != nullptr) {
+    PSD_REQUIRE(ext.base_config.has_value(),
+                "delay_model extension requires base_config");
+    const topo::Matching& from =
+        (prev == TopoChoice::kBase) ? *ext.base_config : step(i - 1).matching;
+    const topo::Matching& to =
+        (cur == TopoChoice::kBase) ? *ext.base_config : step(i).matching;
+    return ext.delay_model->delay(from, to);
+  }
+  return params_.alpha_r;
+}
+
+ReconfigPlan evaluate_plan(const ProblemInstance& inst,
+                           std::vector<TopoChoice> choice,
+                           const ModelExtensions& ext) {
+  const int s = inst.num_steps();
+  PSD_REQUIRE(static_cast<int>(choice.size()) == s,
+              "plan must have one choice per step");
+  const bool overlap = !ext.compute_before_step.empty();
+  if (overlap) {
+    PSD_REQUIRE(static_cast<int>(ext.compute_before_step.size()) == s,
+                "compute_before_step must have one entry per step");
+  }
+
+  ReconfigPlan plan;
+  plan.breakdown.latency = inst.params().alpha * static_cast<double>(s);
+  TopoChoice prev = TopoChoice::kBase;
+  for (int i = 0; i < s; ++i) {
+    const TopoChoice cur = choice[static_cast<std::size_t>(i)];
+    plan.breakdown.propagation += inst.propagation_cost(i, cur);
+    plan.breakdown.serialization += inst.serialization_cost(i, cur);
+    const TimeNs trans = inst.transition_cost(i, prev, cur, ext);
+    if (trans.ns() > 0.0) ++plan.num_reconfigurations;
+    if (overlap) {
+      const TimeNs compute = ext.compute_before_step[static_cast<std::size_t>(i)];
+      plan.breakdown.compute += compute;
+      plan.breakdown.reconfiguration +=
+          TimeNs(std::max(0.0, (trans - compute).ns()));
+    } else {
+      plan.breakdown.reconfiguration += trans;
+    }
+    prev = cur;
+  }
+  plan.choice = std::move(choice);
+  return plan;
+}
+
+}  // namespace psd::core

@@ -1,0 +1,142 @@
+#include "psd/core/multi_base.hpp"
+
+#include <limits>
+
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::core {
+
+MultiBaseInstance::MultiBaseInstance(const collective::CollectiveSchedule& schedule,
+                                     std::vector<const flow::ThetaOracle*> oracles,
+                                     const CostParams& params)
+    : oracles_(std::move(oracles)), params_(params) {
+  PSD_REQUIRE(!oracles_.empty(), "at least one base topology required");
+  for (const auto* o : oracles_) {
+    PSD_REQUIRE(o != nullptr, "null oracle");
+    PSD_REQUIRE(o->base().num_nodes() == schedule.num_nodes(),
+                "base topology node count mismatch");
+  }
+  PSD_REQUIRE(schedule.num_steps() > 0, "collective must have at least one step");
+
+  std::vector<std::vector<std::vector<int>>> hops;
+  hops.reserve(oracles_.size());
+  for (const auto* o : oracles_) hops.push_back(topo::all_pairs_hops(o->base()));
+
+  for (const auto& s : schedule.steps()) {
+    PSD_REQUIRE(s.matching.active_pairs() > 0, "step matching must be non-empty");
+    PSD_REQUIRE(s.volume.count() > 0.0, "step volume must be positive");
+    volumes_.push_back(s.volume);
+    std::vector<double> th;
+    std::vector<int> el;
+    for (std::size_t b = 0; b < oracles_.size(); ++b) {
+      th.push_back(oracles_[b]->theta(s.matching));
+      int ell = 0;
+      for (const auto& [src, dst] : s.matching.pairs()) {
+        const int h = hops[b][static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+        PSD_REQUIRE(h != topo::kUnreachable,
+                    "matching pair disconnected in a base topology");
+        ell = std::max(ell, h);
+      }
+      el.push_back(ell);
+    }
+    theta_.push_back(std::move(th));
+    ell_.push_back(std::move(el));
+  }
+}
+
+TimeNs MultiBaseInstance::propagation_cost(int step, int state) const {
+  PSD_REQUIRE(step >= 0 && step < num_steps(), "step out of range");
+  PSD_REQUIRE(state >= 0 && state <= matched_state(), "state out of range");
+  const double hops =
+      (state == matched_state())
+          ? 1.0
+          : ell_[static_cast<std::size_t>(step)][static_cast<std::size_t>(state)];
+  return params_.delta * hops;
+}
+
+TimeNs MultiBaseInstance::serialization_cost(int step, int state) const {
+  PSD_REQUIRE(step >= 0 && step < num_steps(), "step out of range");
+  PSD_REQUIRE(state >= 0 && state <= matched_state(), "state out of range");
+  const TimeNs ideal = volumes_[static_cast<std::size_t>(step)] / params_.b;
+  const double congestion =
+      (state == matched_state())
+          ? 1.0
+          : 1.0 / theta_[static_cast<std::size_t>(step)][static_cast<std::size_t>(state)];
+  return ideal * congestion;
+}
+
+TimeNs MultiBaseInstance::transition_cost(int prev_state, int cur_state) const {
+  PSD_REQUIRE(prev_state >= 0 && prev_state <= matched_state(), "state out of range");
+  PSD_REQUIRE(cur_state >= 0 && cur_state <= matched_state(), "state out of range");
+  if (prev_state == cur_state && cur_state != matched_state()) return TimeNs(0.0);
+  return params_.alpha_r;
+}
+
+MultiBasePlan evaluate_multi_base_plan(const MultiBaseInstance& inst,
+                                       std::vector<int> states) {
+  const int s = inst.num_steps();
+  PSD_REQUIRE(static_cast<int>(states.size()) == s, "one state per step required");
+
+  MultiBasePlan plan;
+  plan.breakdown.latency = inst.params().alpha * static_cast<double>(s);
+  int prev = 0;  // fabric starts in base 0
+  for (int i = 0; i < s; ++i) {
+    const int cur = states[static_cast<std::size_t>(i)];
+    plan.breakdown.propagation += inst.propagation_cost(i, cur);
+    plan.breakdown.serialization += inst.serialization_cost(i, cur);
+    const TimeNs trans = inst.transition_cost(prev, cur);
+    if (trans.ns() > 0.0) ++plan.num_reconfigurations;
+    plan.breakdown.reconfiguration += trans;
+    prev = cur;
+  }
+  plan.state = std::move(states);
+  return plan;
+}
+
+MultiBasePlan optimal_multi_base_plan(const MultiBaseInstance& inst) {
+  const int s = inst.num_steps();
+  const int num_states = inst.matched_state() + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> dp(static_cast<std::size_t>(num_states), kInf);
+  std::vector<std::vector<int>> parent(
+      static_cast<std::size_t>(s), std::vector<int>(static_cast<std::size_t>(num_states), -1));
+
+  auto step_cost = [&inst](int i, int state) {
+    return inst.propagation_cost(i, state).ns() +
+           inst.serialization_cost(i, state).ns();
+  };
+
+  for (int c = 0; c < num_states; ++c) {
+    dp[static_cast<std::size_t>(c)] =
+        inst.transition_cost(0, c).ns() + step_cost(0, c);
+    parent[0][static_cast<std::size_t>(c)] = 0;
+  }
+  for (int i = 1; i < s; ++i) {
+    std::vector<double> next(static_cast<std::size_t>(num_states), kInf);
+    for (int c = 0; c < num_states; ++c) {
+      for (int p = 0; p < num_states; ++p) {
+        const double cand = dp[static_cast<std::size_t>(p)] +
+                            inst.transition_cost(p, c).ns() + step_cost(i, c);
+        if (cand < next[static_cast<std::size_t>(c)]) {
+          next[static_cast<std::size_t>(c)] = cand;
+          parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] = p;
+        }
+      }
+    }
+    dp = std::move(next);
+  }
+
+  int best = 0;
+  for (int c = 1; c < num_states; ++c) {
+    if (dp[static_cast<std::size_t>(c)] < dp[static_cast<std::size_t>(best)]) best = c;
+  }
+  std::vector<int> states(static_cast<std::size_t>(s));
+  for (int i = s - 1; i >= 0; --i) {
+    states[static_cast<std::size_t>(i)] = best;
+    best = parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(best)];
+  }
+  return evaluate_multi_base_plan(inst, std::move(states));
+}
+
+}  // namespace psd::core

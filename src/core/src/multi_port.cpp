@@ -1,0 +1,212 @@
+#include "psd/core/multi_port.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/mcf_lp.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::core {
+
+namespace {
+
+std::vector<flow::Commodity> union_commodities(const UnionStep& step) {
+  std::vector<flow::Commodity> out;
+  for (const auto& m : step.matchings) {
+    for (const auto& [s, d] : m.pairs()) out.push_back({s, d, 1.0});
+  }
+  return out;
+}
+
+/// θ of an arbitrary commodity set on the oracle's base topology, using the
+/// same dispatch ladder as the oracle (ring → exact LP → FPTAS).
+double union_theta(const flow::ThetaOracle& oracle,
+                   const std::vector<flow::Commodity>& commodities) {
+  const topo::Graph& g = oracle.base();
+  if (const auto ring = flow::ring_concurrent_flow(g, commodities, oracle.bandwidth())) {
+    return ring->theta;
+  }
+  const std::size_t lp_vars =
+      commodities.size() * static_cast<std::size_t>(g.num_edges());
+  if (lp_vars <= 700) {
+    return flow::exact_concurrent_flow(g, commodities, oracle.bandwidth()).theta;
+  }
+  return flow::gk_concurrent_flow(g, commodities, oracle.bandwidth(), {}).theta;
+}
+
+}  // namespace
+
+MultiPortInstance::MultiPortInstance(std::vector<UnionStep> steps,
+                                     const flow::ThetaOracle& oracle,
+                                     const CostParams& params, int ports)
+    : steps_(std::move(steps)), params_(params), ports_(ports) {
+  PSD_REQUIRE(ports_ >= 1, "at least one port per GPU required");
+  PSD_REQUIRE(!steps_.empty(), "at least one step required");
+  const topo::Graph& base = oracle.base();
+  const auto hops = topo::all_pairs_hops(base);
+
+  for (const auto& step : steps_) {
+    PSD_REQUIRE(!step.matchings.empty(), "union step must contain a matching");
+    PSD_REQUIRE(static_cast<int>(step.matchings.size()) <= ports_,
+                "union has more matchings than ports: not realizable");
+    PSD_REQUIRE(step.volume.count() > 0.0, "step volume must be positive");
+    int ell = 0;
+    int pairs = 0;
+    for (const auto& m : step.matchings) {
+      PSD_REQUIRE(m.size() == base.num_nodes(), "matching size mismatch");
+      pairs += m.active_pairs();
+      for (const auto& [s, d] : m.pairs()) {
+        const int h = hops[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)];
+        PSD_REQUIRE(h != topo::kUnreachable,
+                    "pair disconnected in the base topology");
+        ell = std::max(ell, h);
+      }
+    }
+    PSD_REQUIRE(pairs > 0, "union step is empty");
+    ell_.push_back(ell);
+    theta_.push_back(union_theta(oracle, union_commodities(step)));
+  }
+}
+
+const UnionStep& MultiPortInstance::step(int i) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  return steps_[static_cast<std::size_t>(i)];
+}
+
+double MultiPortInstance::theta_base(int i) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  return theta_[static_cast<std::size_t>(i)];
+}
+
+TimeNs MultiPortInstance::propagation_cost(int i, TopoChoice c) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  const double hops =
+      (c == TopoChoice::kBase) ? ell_[static_cast<std::size_t>(i)] : 1.0;
+  return params_.delta * hops;
+}
+
+TimeNs MultiPortInstance::serialization_cost(int i, TopoChoice c) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  const TimeNs ideal = steps_[static_cast<std::size_t>(i)].volume / params_.b;
+  const double congestion =
+      (c == TopoChoice::kBase) ? 1.0 / theta_[static_cast<std::size_t>(i)] : 1.0;
+  return ideal * congestion;
+}
+
+TimeNs MultiPortInstance::transition_cost(int i, TopoChoice prev,
+                                          TopoChoice cur) const {
+  PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
+  PSD_REQUIRE(i > 0 || prev == TopoChoice::kBase,
+              "the fabric starts in the base configuration");
+  if (prev == TopoChoice::kBase && cur == TopoChoice::kBase) return TimeNs(0.0);
+  return params_.alpha_r;
+}
+
+MultiPortPlan evaluate_multi_port_plan(const MultiPortInstance& inst,
+                                       std::vector<TopoChoice> choice) {
+  const int s = inst.num_steps();
+  PSD_REQUIRE(static_cast<int>(choice.size()) == s, "one choice per step required");
+  MultiPortPlan plan;
+  plan.breakdown.latency = inst.params().alpha * static_cast<double>(s);
+  TopoChoice prev = TopoChoice::kBase;
+  for (int i = 0; i < s; ++i) {
+    const TopoChoice cur = choice[static_cast<std::size_t>(i)];
+    plan.breakdown.propagation += inst.propagation_cost(i, cur);
+    plan.breakdown.serialization += inst.serialization_cost(i, cur);
+    const TimeNs trans = inst.transition_cost(i, prev, cur);
+    if (trans.ns() > 0.0) ++plan.num_reconfigurations;
+    plan.breakdown.reconfiguration += trans;
+    prev = cur;
+  }
+  plan.choice = std::move(choice);
+  return plan;
+}
+
+MultiPortPlan optimal_multi_port_plan(const MultiPortInstance& inst) {
+  const int s = inst.num_steps();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::array<TopoChoice, 2> kStates{TopoChoice::kBase,
+                                              TopoChoice::kMatched};
+  auto step_cost = [&inst](int i, TopoChoice prev, TopoChoice cur) {
+    return inst.transition_cost(i, prev, cur).ns() +
+           inst.propagation_cost(i, cur).ns() +
+           inst.serialization_cost(i, cur).ns();
+  };
+
+  std::array<double, 2> dp{kInf, kInf};
+  std::vector<std::array<int, 2>> parent(static_cast<std::size_t>(s), {-1, -1});
+  for (int c = 0; c < 2; ++c) {
+    dp[static_cast<std::size_t>(c)] =
+        step_cost(0, TopoChoice::kBase, kStates[static_cast<std::size_t>(c)]);
+    parent[0][static_cast<std::size_t>(c)] = 0;
+  }
+  for (int i = 1; i < s; ++i) {
+    std::array<double, 2> next{kInf, kInf};
+    for (int c = 0; c < 2; ++c) {
+      for (int p = 0; p < 2; ++p) {
+        const double cand = dp[static_cast<std::size_t>(p)] +
+                            step_cost(i, kStates[static_cast<std::size_t>(p)],
+                                      kStates[static_cast<std::size_t>(c)]);
+        if (cand < next[static_cast<std::size_t>(c)]) {
+          next[static_cast<std::size_t>(c)] = cand;
+          parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] = p;
+        }
+      }
+    }
+    dp = next;
+  }
+  int best = (dp[0] <= dp[1]) ? 0 : 1;
+  std::vector<TopoChoice> choice(static_cast<std::size_t>(s));
+  for (int i = s - 1; i >= 0; --i) {
+    choice[static_cast<std::size_t>(i)] = kStates[static_cast<std::size_t>(best)];
+    best = parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(best)];
+  }
+  return evaluate_multi_port_plan(inst, std::move(choice));
+}
+
+MultiPortPlan static_multi_port_plan(const MultiPortInstance& inst) {
+  return evaluate_multi_port_plan(
+      inst, std::vector<TopoChoice>(static_cast<std::size_t>(inst.num_steps()),
+                                    TopoChoice::kBase));
+}
+
+MultiPortPlan bvn_multi_port_plan(const MultiPortInstance& inst) {
+  return evaluate_multi_port_plan(
+      inst, std::vector<TopoChoice>(static_cast<std::size_t>(inst.num_steps()),
+                                    TopoChoice::kMatched));
+}
+
+std::vector<UnionStep> mirrored_alltoall_steps(int n, Bytes buffer) {
+  PSD_REQUIRE(n >= 2, "at least 2 nodes required");
+  PSD_REQUIRE(buffer.count() > 0.0, "buffer must be positive");
+  std::vector<UnionStep> out;
+  const Bytes block = buffer / static_cast<double>(n);
+  for (int i = 1; i <= (n - 1) / 2; ++i) {
+    UnionStep step;
+    step.matchings = {topo::Matching::rotation(n, i),
+                      topo::Matching::rotation(n, n - i)};
+    step.volume = block;
+    out.push_back(std::move(step));
+  }
+  if (n % 2 == 0) {
+    UnionStep step;
+    step.matchings = {topo::Matching::rotation(n, n / 2)};
+    step.volume = block;
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+std::vector<UnionStep> as_union_steps(const collective::CollectiveSchedule& schedule) {
+  std::vector<UnionStep> out;
+  out.reserve(static_cast<std::size_t>(schedule.num_steps()));
+  for (const auto& s : schedule.steps()) {
+    out.push_back(UnionStep{{s.matching}, s.volume});
+  }
+  return out;
+}
+
+}  // namespace psd::core

@@ -1,0 +1,122 @@
+#include "psd/core/optimizers.hpp"
+
+#include <array>
+#include <limits>
+
+namespace psd::core {
+
+namespace {
+
+/// Step cost excluding the constant α and any compute (those are common to
+/// all plans); includes the overlap-adjusted transition charge.
+double marginal_cost_ns(const ProblemInstance& inst, int i, TopoChoice prev,
+                        TopoChoice cur, const ModelExtensions& ext) {
+  double trans = inst.transition_cost(i, prev, cur, ext).ns();
+  if (!ext.compute_before_step.empty()) {
+    trans = std::max(0.0, trans - ext.compute_before_step[static_cast<std::size_t>(i)].ns());
+  }
+  return trans + inst.propagation_cost(i, cur).ns() +
+         inst.serialization_cost(i, cur).ns();
+}
+
+}  // namespace
+
+ReconfigPlan static_plan(const ProblemInstance& inst, const ModelExtensions& ext) {
+  return evaluate_plan(
+      inst,
+      std::vector<TopoChoice>(static_cast<std::size_t>(inst.num_steps()),
+                              TopoChoice::kBase),
+      ext);
+}
+
+ReconfigPlan bvn_plan(const ProblemInstance& inst, const ModelExtensions& ext) {
+  return evaluate_plan(
+      inst,
+      std::vector<TopoChoice>(static_cast<std::size_t>(inst.num_steps()),
+                              TopoChoice::kMatched),
+      ext);
+}
+
+ReconfigPlan optimal_plan(const ProblemInstance& inst, const ModelExtensions& ext) {
+  const int s = inst.num_steps();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::array<TopoChoice, 2> kStates{TopoChoice::kBase,
+                                              TopoChoice::kMatched};
+
+  // dp[state] after step i; parent pointers for reconstruction.
+  std::array<double, 2> dp{kInf, kInf};
+  std::vector<std::array<int, 2>> parent(static_cast<std::size_t>(s), {-1, -1});
+
+  for (int c = 0; c < 2; ++c) {
+    dp[static_cast<std::size_t>(c)] =
+        marginal_cost_ns(inst, 0, TopoChoice::kBase, kStates[static_cast<std::size_t>(c)], ext);
+    parent[0][static_cast<std::size_t>(c)] = 0;  // virtual start state: base
+  }
+  for (int i = 1; i < s; ++i) {
+    std::array<double, 2> next{kInf, kInf};
+    for (int c = 0; c < 2; ++c) {
+      for (int p = 0; p < 2; ++p) {
+        const double cand =
+            dp[static_cast<std::size_t>(p)] +
+            marginal_cost_ns(inst, i, kStates[static_cast<std::size_t>(p)],
+                             kStates[static_cast<std::size_t>(c)], ext);
+        // Strict '<' ties toward the lower-indexed previous state (base).
+        if (cand < next[static_cast<std::size_t>(c)]) {
+          next[static_cast<std::size_t>(c)] = cand;
+          parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)] = p;
+        }
+      }
+    }
+    dp = next;
+  }
+
+  int best = (dp[0] <= dp[1]) ? 0 : 1;
+  std::vector<TopoChoice> choice(static_cast<std::size_t>(s));
+  for (int i = s - 1; i >= 0; --i) {
+    choice[static_cast<std::size_t>(i)] = kStates[static_cast<std::size_t>(best)];
+    best = parent[static_cast<std::size_t>(i)][static_cast<std::size_t>(best)];
+  }
+  return evaluate_plan(inst, std::move(choice), ext);
+}
+
+ReconfigPlan brute_force_plan(const ProblemInstance& inst,
+                              const ModelExtensions& ext) {
+  const int s = inst.num_steps();
+  PSD_REQUIRE(s <= 24, "brute force limited to 24 steps (2^s schedules)");
+  ReconfigPlan best;
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (std::uint32_t bits = 0; bits < (1U << s); ++bits) {
+    std::vector<TopoChoice> choice(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+      choice[static_cast<std::size_t>(i)] =
+          ((bits >> i) & 1U) ? TopoChoice::kMatched : TopoChoice::kBase;
+    }
+    ReconfigPlan plan = evaluate_plan(inst, std::move(choice), ext);
+    if (plan.total_time().ns() < best_ns) {
+      best_ns = plan.total_time().ns();
+      best = std::move(plan);
+    }
+  }
+  return best;
+}
+
+ReconfigPlan greedy_threshold_plan(const ProblemInstance& inst,
+                                   const ModelExtensions& ext) {
+  const int s = inst.num_steps();
+  std::vector<TopoChoice> choice(static_cast<std::size_t>(s), TopoChoice::kBase);
+  for (int i = 0; i < s; ++i) {
+    const double gain =
+        (inst.propagation_cost(i, TopoChoice::kBase) -
+         inst.propagation_cost(i, TopoChoice::kMatched))
+            .ns() +
+        (inst.serialization_cost(i, TopoChoice::kBase) -
+         inst.serialization_cost(i, TopoChoice::kMatched))
+            .ns();
+    if (gain > inst.params().alpha_r.ns()) {
+      choice[static_cast<std::size_t>(i)] = TopoChoice::kMatched;
+    }
+  }
+  return evaluate_plan(inst, std::move(choice), ext);
+}
+
+}  // namespace psd::core

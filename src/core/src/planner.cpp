@@ -1,0 +1,33 @@
+#include "psd/core/planner.hpp"
+
+namespace psd::core {
+
+Planner::Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts)
+    : base_(std::move(base)), params_(params) {
+  oracle_ = std::make_unique<flow::ThetaOracle>(base_, params_.b, theta_opts);
+}
+
+void Planner::set_params(const CostParams& params) {
+  PSD_REQUIRE(params.b.bytes_per_ns() == params_.b.bytes_per_ns(),
+              "bandwidth cannot change: theta is normalized by it "
+              "(construct a new Planner instead)");
+  params_ = params;
+}
+
+PlannerResult Planner::plan(const collective::CollectiveSchedule& schedule,
+                            const ModelExtensions& ext) const {
+  const ProblemInstance inst(schedule, *oracle_, params_);
+  PlannerResult r;
+  r.optimal = optimal_plan(inst, ext);
+  r.static_base = static_plan(inst, ext);
+  r.naive_bvn = bvn_plan(inst, ext);
+  r.greedy = greedy_threshold_plan(inst, ext);
+  return r;
+}
+
+ProblemInstance Planner::instance(
+    const collective::CollectiveSchedule& schedule) const {
+  return ProblemInstance(schedule, *oracle_, params_);
+}
+
+}  // namespace psd::core

@@ -1,0 +1,54 @@
+#include "psd/core/report.hpp"
+
+#include "psd/util/json.hpp"
+
+namespace psd::core {
+
+namespace {
+
+void write_plan(JsonWriter& w, const ReconfigPlan& plan) {
+  w.begin_object();
+  w.key("choice").begin_array();
+  for (const TopoChoice c : plan.choice) {
+    w.value(c == TopoChoice::kBase ? "base" : "matched");
+  }
+  w.end_array();
+  w.key("num_reconfigurations").value(plan.num_reconfigurations);
+  w.key("breakdown").begin_object();
+  w.key("latency_ns").value(plan.breakdown.latency.ns());
+  w.key("propagation_ns").value(plan.breakdown.propagation.ns());
+  w.key("reconfiguration_ns").value(plan.breakdown.reconfiguration.ns());
+  w.key("serialization_ns").value(plan.breakdown.serialization.ns());
+  w.key("compute_ns").value(plan.breakdown.compute.ns());
+  w.end_object();
+  w.key("total_ns").value(plan.total_time().ns());
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const ReconfigPlan& plan) {
+  JsonWriter w;
+  write_plan(w, plan);
+  return w.str();
+}
+
+std::string to_json(const PlannerResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("optimal");
+  write_plan(w, result.optimal);
+  w.key("static");
+  write_plan(w, result.static_base);
+  w.key("naive_bvn");
+  write_plan(w, result.naive_bvn);
+  w.key("greedy");
+  write_plan(w, result.greedy);
+  w.key("speedup_vs_static").value(result.speedup_vs_static());
+  w.key("speedup_vs_bvn").value(result.speedup_vs_bvn());
+  w.key("speedup_vs_best_baseline").value(result.speedup_vs_best_baseline());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psd::core

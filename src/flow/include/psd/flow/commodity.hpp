@@ -1,0 +1,37 @@
+// Commodity formulation of a collective step's demand: each communicating
+// pair (src, dst) of the matching M_i is one commodity demanding the full
+// transceiver rate b. The maximum concurrent flow θ(G, M_i) is the largest
+// common fraction of all demands that can be routed simultaneously within
+// link capacities (Shahrokhi & Matula 1990), the paper's congestion factor.
+#pragma once
+
+#include <vector>
+
+#include "psd/topo/graph.hpp"
+#include "psd/topo/matching.hpp"
+
+namespace psd::flow {
+
+struct Commodity {
+  topo::NodeId src = -1;
+  topo::NodeId dst = -1;
+  double demand = 1.0;  // in units of the reference bandwidth b
+};
+
+/// Builds one unit-demand commodity per active pair of `m`.
+[[nodiscard]] std::vector<Commodity> commodities_from_matching(const topo::Matching& m);
+
+/// Per-edge capacities normalized to the reference bandwidth `b_ref`
+/// (capacity 1.0 == one transceiver's worth of bandwidth).
+[[nodiscard]] std::vector<double> normalized_capacities(const topo::Graph& g,
+                                                        Bandwidth b_ref);
+
+/// The result of a concurrent-flow computation.
+struct ConcurrentFlowResult {
+  double theta = 0.0;  // achieved concurrent-flow fraction
+  // flow[k][e]: flow of commodity k on edge e, in demand units, scaled so the
+  // solution is feasible and each commodity k ships theta * demand_k.
+  std::vector<std::vector<double>> flow;
+};
+
+}  // namespace psd::flow

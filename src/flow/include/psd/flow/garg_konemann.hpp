@@ -1,0 +1,32 @@
+// Garg–Könemann multiplicative-weights FPTAS for maximum concurrent flow
+// (Garg & Könemann, FOCS'98; Fleischer's phase-based variant).
+//
+// Returns a *certified feasible* solution: accumulated flows are rescaled by
+// the worst capacity violation, so the reported θ is always achievable
+// (θ_reported ≤ θ*), and the multiplicative-weights guarantee keeps it
+// ≥ (1 − O(ε))·θ*. Exactness is cross-validated in tests against the
+// closed-form ring solver and the simplex LP.
+#pragma once
+
+#include "psd/flow/commodity.hpp"
+
+namespace psd::flow {
+
+struct GargKonemannOptions {
+  double epsilon = 0.05;   // accuracy knob; smaller = tighter & slower
+  long long max_path_pushes = 50'000'000;  // hard safety bound
+};
+
+/// Approximate θ and per-commodity edge flows. Throws InvalidArgument if a
+/// commodity's endpoints are disconnected. An empty commodity list yields
+/// theta = +infinity with no flows.
+[[nodiscard]] ConcurrentFlowResult gk_concurrent_flow(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref, const GargKonemannOptions& opts = {});
+
+/// Convenience overload: commodities from a matching.
+[[nodiscard]] ConcurrentFlowResult gk_concurrent_flow(
+    const topo::Graph& g, const topo::Matching& m, Bandwidth b_ref,
+    const GargKonemannOptions& opts = {});
+
+}  // namespace psd::flow

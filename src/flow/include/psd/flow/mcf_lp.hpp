@@ -1,0 +1,29 @@
+// Exact maximum concurrent flow via the edge-based LP formulation:
+//
+//   max θ
+//   s.t.  Σ_out f_{k,e} − Σ_in f_{k,e} = θ·d_k·[v = src_k] − θ·d_k·[v = dst_k]
+//         Σ_k f_{k,e} ≤ c_e                                    for every edge
+//         f, θ ≥ 0
+//
+// solved with the in-repo simplex. Exponential in nothing, but the dense
+// tableau limits practical size to ~12-16 nodes; the ThetaOracle uses this
+// for small instances and cross-validation, and Garg–Könemann beyond.
+#pragma once
+
+#include "psd/flow/commodity.hpp"
+
+namespace psd::flow {
+
+/// Exact θ and per-commodity edge flows. Throws NumericalError if the
+/// simplex fails (iteration limit), InvalidArgument on malformed input.
+/// An empty commodity list yields theta = +infinity with no flows.
+[[nodiscard]] ConcurrentFlowResult exact_concurrent_flow(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref);
+
+/// Convenience overload: commodities from a matching.
+[[nodiscard]] ConcurrentFlowResult exact_concurrent_flow(const topo::Graph& g,
+                                                         const topo::Matching& m,
+                                                         Bandwidth b_ref);
+
+}  // namespace psd::flow

@@ -1,0 +1,37 @@
+// Rate allocation policies for the flow-level simulator.
+//
+// ConcurrentFlowAllocation gives every commodity rate θ·demand (all flows of
+// a step finish together — the allocation the paper's cost model assumes).
+// MaxMinFairAllocation runs progressive filling over fixed shortest paths,
+// the classic TCP-approximation used by flow-level simulators; it lets the
+// simulator quantify how much a fairness-based transport deviates from the
+// model's optimal allocation.
+#pragma once
+
+#include <vector>
+
+#include "psd/flow/commodity.hpp"
+
+namespace psd::flow {
+
+/// Rates (in units of b_ref) and routes for a set of commodities.
+struct RateAllocation {
+  std::vector<double> rate;                         // per commodity
+  std::vector<std::vector<topo::EdgeId>> path;      // per commodity (may be empty
+                                                    // for multipath allocations)
+};
+
+/// θ-proportional allocation: rate_k = θ·demand_k. Multipath; no single path
+/// is reported.
+[[nodiscard]] RateAllocation concurrent_flow_allocation(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref, double epsilon = 0.05);
+
+/// Max–min fair allocation over hop-shortest single paths via progressive
+/// filling: all unfrozen flows grow at equal rate; flows crossing a
+/// saturated edge freeze. Throws if a commodity is disconnected.
+[[nodiscard]] RateAllocation max_min_fair_allocation(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref);
+
+}  // namespace psd::flow

@@ -1,0 +1,31 @@
+// Exact maximum concurrent flow on directed rings.
+//
+// On a unidirectional ring every commodity has exactly one path (clockwise
+// along the cycle), so the concurrent flow LP collapses: the load on each
+// link is the sum of demands whose interval covers it, and
+//   θ = min over links of capacity(e) / load(e).
+// This is the base-topology case of the paper's evaluation (single
+// transceiver per GPU ⇒ base topology is a directed ring) and is O(n + k).
+#pragma once
+
+#include <optional>
+
+#include "psd/flow/commodity.hpp"
+
+namespace psd::flow {
+
+/// Exact θ and per-commodity edge flows for a directed-ring graph and an
+/// arbitrary commodity list (demands need not form a matching — unions of
+/// matchings from multi-ported steps work too). Returns std::nullopt if `g`
+/// is not a single directed cycle over all nodes. Capacities are normalized
+/// by `b_ref`. An empty commodity list yields
+/// theta = std::numeric_limits<double>::infinity() with no flows.
+[[nodiscard]] std::optional<ConcurrentFlowResult> ring_concurrent_flow(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref);
+
+/// Convenience overload: one unit-demand commodity per pair of `m`.
+[[nodiscard]] std::optional<ConcurrentFlowResult> ring_concurrent_flow(
+    const topo::Graph& g, const topo::Matching& m, Bandwidth b_ref);
+
+}  // namespace psd::flow

@@ -1,0 +1,52 @@
+// Routing utilities for reconfigurable interconnects (research agenda:
+// "routing challenges"). Matched topologies need only one-hop routing, but
+// intermediate/base topologies need real path selection:
+//
+//   - k_shortest_paths: Yen's algorithm for loopless k-shortest paths,
+//     the building block for multipath spreading on base topologies.
+//   - valiant_paths: Valiant load balancing (route via a random
+//     intermediate), the classic oblivious scheme that bounds worst-case
+//     congestion for *any* permutation at twice the path length — a natural
+//     fit for steps where reconfiguration is not worth it but the pattern
+//     is adversarial for shortest-path routing.
+#pragma once
+
+#include "psd/flow/commodity.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::flow {
+
+struct Path {
+  std::vector<topo::EdgeId> edges;
+  double length = 0.0;
+
+  [[nodiscard]] int hops() const { return static_cast<int>(edges.size()); }
+};
+
+/// Yen's k-shortest loopless paths from src to dst under `edge_length`
+/// (all lengths must be >= 0). Returns at most k paths ordered by
+/// non-decreasing length; fewer if the graph has fewer distinct paths.
+/// Returns an empty vector if dst is unreachable. src == dst is invalid.
+[[nodiscard]] std::vector<Path> k_shortest_paths(
+    const topo::Graph& g, topo::NodeId src, topo::NodeId dst, int k,
+    const std::vector<double>& edge_length);
+
+/// Hop-count convenience overload (unit edge lengths).
+[[nodiscard]] std::vector<Path> k_shortest_paths(const topo::Graph& g,
+                                                 topo::NodeId src,
+                                                 topo::NodeId dst, int k);
+
+/// Valiant load balancing: each commodity routes via a uniformly random
+/// intermediate node (shortest path to it, then shortest path onward).
+/// Deterministic given the Rng state. Throws if any segment is
+/// disconnected.
+[[nodiscard]] std::vector<Path> valiant_paths(
+    const topo::Graph& g, const std::vector<Commodity>& commodities, Rng& rng);
+
+/// Per-edge load (in demand units) if every commodity sends its full demand
+/// along its assigned path. Used to compare routing schemes' congestion.
+[[nodiscard]] std::vector<double> path_loads(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    const std::vector<Path>& paths);
+
+}  // namespace psd::flow

@@ -1,0 +1,49 @@
+// Dense two-phase simplex LP solver.
+//
+// Built as a from-scratch substrate (no external LP dependency) to solve the
+// edge-based maximum-concurrent-flow LP exactly on small instances. It is a
+// textbook tableau implementation: phase 1 drives artificial variables out,
+// phase 2 optimizes the real objective. Dantzig pricing with an automatic
+// restart under Bland's rule guarantees termination on degenerate problems.
+//
+// Problem form:  maximize c^T x  subject to rows of (a^T x REL rhs), x >= 0.
+#pragma once
+
+#include <vector>
+
+namespace psd::flow {
+
+enum class Rel { LessEq, Eq, GreaterEq };
+
+struct LpRow {
+  std::vector<double> coeffs;  // one per structural variable
+  Rel rel = Rel::LessEq;
+  double rhs = 0.0;
+};
+
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;  // maximized; one per structural variable
+  std::vector<LpRow> rows;
+};
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective_value = 0.0;
+  std::vector<double> x;  // structural variable values (valid iff Optimal)
+};
+
+struct SimplexOptions {
+  double tol = 1e-9;
+  // Iteration budget for the Dantzig-pricing attempt; on exhaustion the
+  // solve restarts with Bland's rule (anti-cycling) and 50x the budget.
+  int max_iterations = 50000;
+};
+
+/// Solves `p`; never throws on infeasible/unbounded inputs (reported via
+/// status). Throws InvalidArgument on malformed input (row length mismatch).
+[[nodiscard]] LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts = {});
+
+}  // namespace psd::flow

@@ -1,0 +1,64 @@
+// ThetaOracle: the congestion factor θ(G, M_i) of the paper's cost model
+// (Eq. 3), with automatic solver dispatch and memoization.
+//
+// Dispatch: empty matching → +inf (no traffic); directed ring → exact closed
+// form (O(n + k)); small instance → exact simplex LP; otherwise →
+// Garg–Könemann FPTAS. Results are cached per matching: collective
+// algorithms reuse the same patterns across steps and across bench sweeps.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "psd/flow/commodity.hpp"
+#include "psd/flow/garg_konemann.hpp"
+
+namespace psd::flow {
+
+struct ThetaOptions {
+  double epsilon = 0.05;       // GK accuracy when the FPTAS is used
+  // Use the exact simplex LP when K·E (commodities × edges) is at most this.
+  std::size_t exact_var_limit = 700;
+  bool use_cache = true;
+};
+
+class ThetaOracle {
+ public:
+  /// `base` must outlive the oracle. `b_ref` is the transceiver bandwidth b
+  /// (the cost model's 1/β); demands are one unit of b_ref per pair.
+  ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions opts = {});
+
+  /// θ(G, M): largest common fraction of the matching's demands routable
+  /// concurrently. +infinity for an empty matching.
+  [[nodiscard]] double theta(const topo::Matching& m) const;
+
+  /// Full result including per-commodity edge flows (uncached).
+  [[nodiscard]] ConcurrentFlowResult concurrent_flow(const topo::Matching& m) const;
+
+  [[nodiscard]] const topo::Graph& base() const { return base_; }
+  [[nodiscard]] Bandwidth bandwidth() const { return b_ref_; }
+
+  /// Number of θ values served from cache so far (observability for tests).
+  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const topo::Graph& base_;
+  Bandwidth b_ref_;
+  ThetaOptions opts_;
+  bool base_is_ring_;
+  mutable std::unordered_map<std::string, double> cache_;
+  mutable std::size_t hits_ = 0;
+};
+
+/// The research agenda's cheap congestion proxy: an *upper bound* on θ from
+/// hop-count versus aggregate capacity,
+///   θ̂ = Σ_e c_e / Σ_{(s,d) ∈ M} demand·dist_G(s, d),
+/// i.e. total flow·hops required cannot exceed total capacity. Exact on
+/// edge-transitive patterns (e.g. uniform rotations on rings); an
+/// overestimate otherwise. +infinity for an empty matching.
+[[nodiscard]] double theta_upper_bound_hop_capacity(const topo::Graph& g,
+                                                    const topo::Matching& m,
+                                                    Bandwidth b_ref);
+
+}  // namespace psd::flow

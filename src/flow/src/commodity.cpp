@@ -1,0 +1,24 @@
+#include "psd/flow/commodity.hpp"
+
+namespace psd::flow {
+
+std::vector<Commodity> commodities_from_matching(const topo::Matching& m) {
+  std::vector<Commodity> out;
+  out.reserve(static_cast<std::size_t>(m.active_pairs()));
+  for (const auto& [s, d] : m.pairs()) {
+    out.push_back(Commodity{s, d, 1.0});
+  }
+  return out;
+}
+
+std::vector<double> normalized_capacities(const topo::Graph& g, Bandwidth b_ref) {
+  PSD_REQUIRE(b_ref.bytes_per_ns() > 0.0, "reference bandwidth must be positive");
+  std::vector<double> caps(static_cast<std::size_t>(g.num_edges()));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    caps[static_cast<std::size_t>(e)] =
+        g.edge(e).capacity.bytes_per_ns() / b_ref.bytes_per_ns();
+  }
+  return caps;
+}
+
+}  // namespace psd::flow

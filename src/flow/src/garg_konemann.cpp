@@ -1,0 +1,98 @@
+#include "psd/flow/garg_konemann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::flow {
+
+ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
+                                        const std::vector<Commodity>& commodities,
+                                        Bandwidth b_ref,
+                                        const GargKonemannOptions& opts) {
+  PSD_REQUIRE(opts.epsilon > 0.0 && opts.epsilon < 0.5,
+              "epsilon must be in (0, 0.5)");
+  ConcurrentFlowResult res;
+  if (commodities.empty()) {
+    res.theta = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  for (const auto& c : commodities) {
+    PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst), "commodity node out of range");
+    PSD_REQUIRE(c.src != c.dst, "commodity src == dst");
+    PSD_REQUIRE(c.demand > 0.0, "commodity demand must be positive");
+  }
+
+  const std::size_t K = commodities.size();
+  const std::size_t E = static_cast<std::size_t>(g.num_edges());
+  PSD_REQUIRE(E > 0, "graph has no edges");
+  const auto caps = normalized_capacities(g, b_ref);
+
+  const double eps = opts.epsilon;
+  const double delta =
+      std::pow(static_cast<double>(E) / (1.0 - eps), -1.0 / eps);
+
+  std::vector<double> length(E);
+  for (std::size_t e = 0; e < E; ++e) length[e] = delta / caps[e];
+  double dual_volume = static_cast<double>(E) * delta;  // Σ c_e · l_e
+
+  res.flow.assign(K, std::vector<double>(E, 0.0));
+  std::vector<double> shipped(K, 0.0);
+
+  long long pushes = 0;
+  while (dual_volume < 1.0) {
+    for (std::size_t k = 0; k < K && dual_volume < 1.0; ++k) {
+      const auto& c = commodities[k];
+      double remaining = c.demand;
+      while (remaining > 1e-15 && dual_volume < 1.0) {
+        PSD_REQUIRE(++pushes <= opts.max_path_pushes,
+                    "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
+        const auto dj = topo::dijkstra(g, c.src, length);
+        const auto path = topo::extract_path(g, dj, c.src, c.dst);
+        PSD_REQUIRE(!path.empty(), "commodity endpoints disconnected");
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (topo::EdgeId e : path) {
+          bottleneck = std::min(bottleneck, caps[static_cast<std::size_t>(e)]);
+        }
+        const double f = std::min(remaining, bottleneck);
+        for (topo::EdgeId e : path) {
+          const auto ei = static_cast<std::size_t>(e);
+          res.flow[k][ei] += f;
+          const double old_len = length[ei];
+          length[ei] = old_len * (1.0 + eps * f / caps[ei]);
+          dual_volume += caps[ei] * (length[ei] - old_len);
+        }
+        shipped[k] += f;
+        remaining -= f;
+      }
+    }
+  }
+
+  // Rescale to strict feasibility: divide by the worst capacity violation.
+  double violation = 0.0;
+  for (std::size_t e = 0; e < E; ++e) {
+    double load = 0.0;
+    for (std::size_t k = 0; k < K; ++k) load += res.flow[k][e];
+    violation = std::max(violation, load / caps[e]);
+  }
+  PSD_ASSERT(violation > 0.0, "GK pushed no flow despite non-empty demand");
+  const double inv = 1.0 / violation;
+  double theta = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < K; ++k) {
+    for (double& v : res.flow[k]) v *= inv;
+    theta = std::min(theta, shipped[k] * inv / commodities[k].demand);
+  }
+  res.theta = theta;
+  return res;
+}
+
+ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
+                                        const topo::Matching& m, Bandwidth b_ref,
+                                        const GargKonemannOptions& opts) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  return gk_concurrent_flow(g, commodities_from_matching(m), b_ref, opts);
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,98 @@
+#include "psd/flow/mcf_lp.hpp"
+
+#include <limits>
+
+#include "psd/flow/simplex.hpp"
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::flow {
+
+ConcurrentFlowResult exact_concurrent_flow(const topo::Graph& g,
+                                           const std::vector<Commodity>& commodities,
+                                           Bandwidth b_ref) {
+  ConcurrentFlowResult res;
+  if (commodities.empty()) {
+    res.theta = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  for (const auto& c : commodities) {
+    PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst), "commodity node out of range");
+    PSD_REQUIRE(c.src != c.dst, "commodity src == dst");
+    PSD_REQUIRE(c.demand > 0.0, "commodity demand must be positive");
+    // θ = 0 is always LP-feasible, so disconnection must be caught up front.
+    const auto reach = topo::bfs_hops(g, c.src);
+    PSD_REQUIRE(reach[static_cast<std::size_t>(c.dst)] != topo::kUnreachable,
+                "commodity endpoints disconnected");
+  }
+
+  const std::size_t K = commodities.size();
+  const std::size_t E = static_cast<std::size_t>(g.num_edges());
+  const auto caps = normalized_capacities(g, b_ref);
+
+  // Variable layout: f_{k,e} at k*E + e, then θ at index K*E.
+  const int num_vars = static_cast<int>(K * E + 1);
+  const std::size_t theta_var = K * E;
+
+  LpProblem p;
+  p.num_vars = num_vars;
+  p.objective.assign(static_cast<std::size_t>(num_vars), 0.0);
+  p.objective[theta_var] = 1.0;
+
+  // Flow conservation per commodity and node, skipping each commodity's dst
+  // (its row is implied by the others, and dropping it avoids redundancy).
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& c = commodities[k];
+    for (topo::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == c.dst) continue;
+      LpRow row;
+      row.coeffs.assign(static_cast<std::size_t>(num_vars), 0.0);
+      for (topo::EdgeId e : g.out_edges(v)) {
+        row.coeffs[k * E + static_cast<std::size_t>(e)] += 1.0;
+      }
+      for (topo::EdgeId e : g.in_edges(v)) {
+        row.coeffs[k * E + static_cast<std::size_t>(e)] -= 1.0;
+      }
+      row.coeffs[theta_var] = (v == c.src) ? -c.demand : 0.0;
+      row.rel = Rel::Eq;
+      row.rhs = 0.0;
+      p.rows.push_back(std::move(row));
+    }
+  }
+
+  // Capacity per edge.
+  for (std::size_t e = 0; e < E; ++e) {
+    LpRow row;
+    row.coeffs.assign(static_cast<std::size_t>(num_vars), 0.0);
+    for (std::size_t k = 0; k < K; ++k) row.coeffs[k * E + e] = 1.0;
+    row.rel = Rel::LessEq;
+    row.rhs = caps[e];
+    p.rows.push_back(std::move(row));
+  }
+
+  const LpSolution sol = solve_lp(p);
+  if (sol.status == LpStatus::Infeasible) {
+    // θ = 0 is always feasible, so this indicates disconnected commodities.
+    throw InvalidArgument("concurrent flow LP infeasible: commodity disconnected");
+  }
+  if (sol.status != LpStatus::Optimal) {
+    throw NumericalError("simplex failed to solve the concurrent flow LP");
+  }
+
+  res.theta = sol.objective_value;
+  res.flow.assign(K, std::vector<double>(E, 0.0));
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t e = 0; e < E; ++e) {
+      res.flow[k][e] = sol.x[k * E + e];
+    }
+  }
+  return res;
+}
+
+ConcurrentFlowResult exact_concurrent_flow(const topo::Graph& g,
+                                           const topo::Matching& m,
+                                           Bandwidth b_ref) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  return exact_concurrent_flow(g, commodities_from_matching(m), b_ref);
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,122 @@
+#include "psd/flow/rate_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::flow {
+
+RateAllocation concurrent_flow_allocation(const topo::Graph& g,
+                                          const std::vector<Commodity>& commodities,
+                                          Bandwidth b_ref, double epsilon) {
+  RateAllocation out;
+  if (commodities.empty()) return out;
+
+  double theta = 0.0;
+  // Matching-shaped commodity sets on a directed ring solve exactly.
+  topo::Matching as_matching(g.num_nodes());
+  bool matching_shaped = true;
+  for (const auto& c : commodities) {
+    if (c.demand != 1.0 || as_matching.dst_of(c.src) != -1 ||
+        as_matching.src_of(c.dst) != -1 || c.src == c.dst) {
+      matching_shaped = false;
+      break;
+    }
+    as_matching.set(c.src, c.dst);
+  }
+  if (matching_shaped) {
+    if (auto ring = ring_concurrent_flow(g, as_matching, b_ref)) {
+      theta = ring->theta;
+    }
+  }
+  if (theta == 0.0) {
+    GargKonemannOptions gk;
+    gk.epsilon = epsilon;
+    theta = gk_concurrent_flow(g, commodities, b_ref, gk).theta;
+  }
+
+  out.rate.reserve(commodities.size());
+  for (const auto& c : commodities) out.rate.push_back(theta * c.demand);
+  out.path.assign(commodities.size(), {});
+  return out;
+}
+
+RateAllocation max_min_fair_allocation(const topo::Graph& g,
+                                       const std::vector<Commodity>& commodities,
+                                       Bandwidth b_ref) {
+  RateAllocation out;
+  const std::size_t K = commodities.size();
+  if (K == 0) return out;
+  const std::size_t E = static_cast<std::size_t>(g.num_edges());
+  const auto caps = normalized_capacities(g, b_ref);
+
+  // Route every commodity on a hop-shortest path.
+  out.path.resize(K);
+  std::vector<double> unit_len(E, 1.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const auto& c = commodities[k];
+    PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst), "commodity node out of range");
+    const auto dj = topo::dijkstra(g, c.src, unit_len);
+    out.path[k] = topo::extract_path(g, dj, c.src, c.dst);
+    PSD_REQUIRE(!out.path[k].empty(), "commodity endpoints disconnected");
+  }
+
+  // Progressive filling.
+  out.rate.assign(K, 0.0);
+  std::vector<bool> frozen(K, false);
+  std::vector<double> residual = caps;
+  std::vector<int> active_on_edge(E, 0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (topo::EdgeId e : out.path[k]) ++active_on_edge[static_cast<std::size_t>(e)];
+  }
+
+  std::size_t remaining = K;
+  while (remaining > 0) {
+    double step = std::numeric_limits<double>::infinity();
+    for (std::size_t e = 0; e < E; ++e) {
+      if (active_on_edge[e] > 0) {
+        step = std::min(step, residual[e] / active_on_edge[e]);
+      }
+    }
+    PSD_ASSERT(std::isfinite(step), "active flows must cross at least one edge");
+    step = std::max(step, 0.0);
+
+    for (std::size_t k = 0; k < K; ++k) {
+      if (!frozen[k]) out.rate[k] += step;
+    }
+    for (std::size_t e = 0; e < E; ++e) {
+      residual[e] -= step * active_on_edge[e];
+    }
+
+    // Freeze all flows crossing a saturated edge.
+    std::vector<bool> saturated(E, false);
+    for (std::size_t e = 0; e < E; ++e) {
+      if (active_on_edge[e] > 0 && residual[e] <= 1e-12) saturated[e] = true;
+    }
+    bool froze_any = false;
+    for (std::size_t k = 0; k < K; ++k) {
+      if (frozen[k]) continue;
+      const bool hit = std::any_of(
+          out.path[k].begin(), out.path[k].end(),
+          [&](topo::EdgeId e) { return saturated[static_cast<std::size_t>(e)]; });
+      if (hit) {
+        frozen[k] = true;
+        --remaining;
+        froze_any = true;
+        for (topo::EdgeId e : out.path[k]) {
+          --active_on_edge[static_cast<std::size_t>(e)];
+        }
+      }
+    }
+    PSD_ASSERT(froze_any || remaining == 0,
+               "progressive filling must freeze at least one flow per round");
+  }
+  return out;
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,93 @@
+#include "psd/flow/ring_theta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "psd/topo/builders.hpp"
+
+namespace psd::flow {
+
+std::optional<ConcurrentFlowResult> ring_concurrent_flow(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref) {
+  std::vector<int> pos;  // pos[v] = index of v along the cycle from node 0
+  if (!topo::is_directed_ring(g, &pos)) return std::nullopt;
+  for (const auto& c : commodities) {
+    PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst),
+                "commodity node out of range");
+    PSD_REQUIRE(c.src != c.dst, "commodity src == dst");
+    PSD_REQUIRE(c.demand > 0.0, "commodity demand must be positive");
+  }
+
+  const int n = g.num_nodes();
+  const auto caps = normalized_capacities(g, b_ref);
+
+  ConcurrentFlowResult res;
+  if (commodities.empty()) {
+    res.theta = std::numeric_limits<double>::infinity();
+    return res;
+  }
+
+  // node_at[i] = node at cycle position i; ring_edge[i] = edge leaving it.
+  std::vector<int> node_at(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) node_at[static_cast<std::size_t>(pos[static_cast<std::size_t>(v)])] = v;
+  std::vector<topo::EdgeId> ring_edge(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ring_edge[static_cast<std::size_t>(i)] =
+        g.out_edges(node_at[static_cast<std::size_t>(i)]).front();
+  }
+
+  // Accumulate interval loads with a cyclic difference array: commodity
+  // (s, d) loads positions pos[s] .. pos[d]-1 (mod n).
+  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
+  for (const auto& c : commodities) {
+    const int a = pos[static_cast<std::size_t>(c.src)];
+    const int b = pos[static_cast<std::size_t>(c.dst)];
+    if (a < b) {
+      diff[static_cast<std::size_t>(a)] += c.demand;
+      diff[static_cast<std::size_t>(b)] -= c.demand;
+    } else {  // wraps past position n-1
+      diff[static_cast<std::size_t>(a)] += c.demand;
+      diff[static_cast<std::size_t>(n)] -= c.demand;
+      diff[0] += c.demand;
+      diff[static_cast<std::size_t>(b)] -= c.demand;
+    }
+  }
+
+  double theta = std::numeric_limits<double>::infinity();
+  double load = 0.0;
+  for (int i = 0; i < n; ++i) {
+    load += diff[static_cast<std::size_t>(i)];
+    if (load > 1e-12) {
+      const double cap = caps[static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])];
+      theta = std::min(theta, cap / load);
+    }
+  }
+  PSD_ASSERT(theta < std::numeric_limits<double>::infinity(),
+             "non-empty matching must load at least one ring link");
+
+  res.theta = theta;
+  res.flow.assign(commodities.size(),
+                  std::vector<double>(static_cast<std::size_t>(g.num_edges()), 0.0));
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    const auto& c = commodities[k];
+    const double f = theta * c.demand;
+    int i = pos[static_cast<std::size_t>(c.src)];
+    const int end = pos[static_cast<std::size_t>(c.dst)];
+    while (i != end) {
+      res.flow[k][static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])] = f;
+      i = (i + 1) % n;
+    }
+  }
+  return res;
+}
+
+std::optional<ConcurrentFlowResult> ring_concurrent_flow(const topo::Graph& g,
+                                                         const topo::Matching& m,
+                                                         Bandwidth b_ref) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  return ring_concurrent_flow(g, commodities_from_matching(m), b_ref);
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,171 @@
+#include "psd/flow/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <limits>
+#include <set>
+
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shortest path as a Path, or nullopt if unreachable.
+std::optional<Path> shortest(const topo::Graph& g, topo::NodeId src,
+                             topo::NodeId dst,
+                             const std::vector<double>& length) {
+  const auto dj = topo::dijkstra(g, src, length);
+  if (std::isinf(dj.dist[static_cast<std::size_t>(dst)])) return std::nullopt;
+  Path p;
+  p.edges = topo::extract_path(g, dj, src, dst);
+  p.length = dj.dist[static_cast<std::size_t>(dst)];
+  return p;
+}
+
+/// Node sequence of a path starting at src.
+std::vector<topo::NodeId> path_nodes(const topo::Graph& g, topo::NodeId src,
+                                     const Path& p) {
+  std::vector<topo::NodeId> nodes{src};
+  for (topo::EdgeId e : p.edges) nodes.push_back(g.edge(e).dst);
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const topo::Graph& g, topo::NodeId src,
+                                   topo::NodeId dst, int k,
+                                   const std::vector<double>& edge_length) {
+  PSD_REQUIRE(g.valid_node(src) && g.valid_node(dst), "node out of range");
+  PSD_REQUIRE(src != dst, "src and dst must differ");
+  PSD_REQUIRE(k >= 1, "k must be positive");
+  PSD_REQUIRE(edge_length.size() == static_cast<std::size_t>(g.num_edges()),
+              "edge_length must have one entry per edge");
+
+  std::vector<Path> result;
+  const auto first = shortest(g, src, dst, edge_length);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Candidate set ordered by (length, edge sequence) for determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.edges < b.edges;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    const auto prev_nodes = path_nodes(g, src, prev);
+
+    // Spur from every node of the previous shortest path except dst.
+    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      const topo::NodeId spur = prev_nodes[i];
+      std::vector<double> banned = edge_length;
+
+      // Ban the next edge of every accepted path sharing this root.
+      for (const Path& p : result) {
+        if (p.edges.size() < i) continue;
+        bool same_root = true;
+        for (std::size_t j = 0; j < i && same_root; ++j) {
+          same_root = (j < p.edges.size() && p.edges[j] == prev.edges[j]);
+        }
+        if (same_root && i < p.edges.size()) {
+          banned[static_cast<std::size_t>(p.edges[i])] = kInf;
+        }
+      }
+      // Ban root nodes (except the spur) to keep paths loopless: delete all
+      // edges touching them.
+      for (std::size_t j = 0; j < i; ++j) {
+        const topo::NodeId v = prev_nodes[j];
+        for (topo::EdgeId e : g.out_edges(v)) banned[static_cast<std::size_t>(e)] = kInf;
+        for (topo::EdgeId e : g.in_edges(v)) banned[static_cast<std::size_t>(e)] = kInf;
+      }
+
+      const auto spur_path = shortest(g, spur, dst, banned);
+      if (!spur_path) continue;
+
+      Path total;
+      total.edges.assign(prev.edges.begin(),
+                         prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      total.edges.insert(total.edges.end(), spur_path->edges.begin(),
+                         spur_path->edges.end());
+      total.length = spur_path->length;
+      for (std::size_t j = 0; j < i; ++j) {
+        total.length += edge_length[static_cast<std::size_t>(prev.edges[j])];
+      }
+      // Skip candidates already accepted.
+      const bool known = std::any_of(
+          result.begin(), result.end(),
+          [&total](const Path& p) { return p.edges == total.edges; });
+      if (!known) candidates.insert(std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<Path> k_shortest_paths(const topo::Graph& g, topo::NodeId src,
+                                   topo::NodeId dst, int k) {
+  return k_shortest_paths(
+      g, src, dst, k,
+      std::vector<double>(static_cast<std::size_t>(g.num_edges()), 1.0));
+}
+
+std::vector<Path> valiant_paths(const topo::Graph& g,
+                                const std::vector<Commodity>& commodities,
+                                Rng& rng) {
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  std::vector<Path> out;
+  out.reserve(commodities.size());
+  for (const auto& c : commodities) {
+    PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst), "commodity node out of range");
+    PSD_REQUIRE(c.src != c.dst, "commodity src == dst");
+    // Pick an intermediate distinct from both endpoints (when possible).
+    topo::NodeId mid = c.src;
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      mid = static_cast<topo::NodeId>(rng.next_below(
+          static_cast<std::uint64_t>(g.num_nodes())));
+      if (mid != c.src && mid != c.dst) break;
+    }
+    if (mid == c.src || mid == c.dst) {
+      // Tiny graphs (n == 2): direct shortest path.
+      auto direct = shortest(g, c.src, c.dst, unit);
+      PSD_REQUIRE(direct.has_value(), "commodity endpoints disconnected");
+      out.push_back(*std::move(direct));
+      continue;
+    }
+    auto leg1 = shortest(g, c.src, mid, unit);
+    auto leg2 = shortest(g, mid, c.dst, unit);
+    PSD_REQUIRE(leg1.has_value() && leg2.has_value(),
+                "VLB intermediate unreachable");
+    Path p;
+    p.edges = std::move(leg1->edges);
+    p.edges.insert(p.edges.end(), leg2->edges.begin(), leg2->edges.end());
+    p.length = leg1->length + leg2->length;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<double> path_loads(const topo::Graph& g,
+                               const std::vector<Commodity>& commodities,
+                               const std::vector<Path>& paths) {
+  PSD_REQUIRE(commodities.size() == paths.size(),
+              "one path per commodity required");
+  std::vector<double> load(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    for (topo::EdgeId e : paths[k].edges) {
+      load[static_cast<std::size_t>(e)] += commodities[k].demand;
+    }
+  }
+  return load;
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,287 @@
+#include "psd/flow/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "psd/util/error.hpp"
+
+namespace psd::flow {
+
+namespace {
+
+/// Canonical-form tableau: rows of [A | b] with the basic columns forming an
+/// identity, plus a maintained reduced-cost row.
+class Tableau {
+ public:
+  Tableau(std::vector<std::vector<double>> rows, std::vector<double> rhs,
+          std::vector<int> basis, double tol)
+      : a_(std::move(rows)), b_(std::move(rhs)), basis_(std::move(basis)), tol_(tol) {}
+
+  /// Installs the cost vector `c` (size = columns) and canonicalizes the
+  /// reduced-cost row against the current basis.
+  void set_costs(const std::vector<double>& c) {
+    cost_ = c;
+    reduced_ = c;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      const double cb = cost_[static_cast<std::size_t>(basis_[i])];
+      if (cb != 0.0) {
+        for (std::size_t j = 0; j < reduced_.size(); ++j) {
+          reduced_[j] -= cb * a_[i][j];
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_rows() const { return a_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return reduced_.size(); }
+  [[nodiscard]] int basis_at(std::size_t row) const { return basis_[row]; }
+  [[nodiscard]] double rhs_at(std::size_t row) const { return b_[row]; }
+  [[nodiscard]] double coeff(std::size_t row, std::size_t col) const { return a_[row][col]; }
+
+  [[nodiscard]] double objective_value() const {
+    double z = 0.0;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      z += cost_[static_cast<std::size_t>(basis_[i])] * b_[i];
+    }
+    return z;
+  }
+
+  /// One simplex iteration. `allowed(j)` filters entering columns.
+  /// Returns: 0 = optimal, 1 = pivoted, 2 = unbounded.
+  template <typename AllowedFn>
+  int iterate(bool bland, const AllowedFn& allowed) {
+    // --- pricing: choose entering column ---
+    int enter = -1;
+    double best = tol_;
+    for (std::size_t j = 0; j < reduced_.size(); ++j) {
+      if (!allowed(static_cast<int>(j))) continue;
+      if (reduced_[j] > (bland ? tol_ : best)) {
+        enter = static_cast<int>(j);
+        if (bland) break;
+        best = reduced_[j];
+      }
+    }
+    if (enter < 0) return 0;  // no improving column: optimal
+
+    // --- ratio test: choose leaving row ---
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      const double aij = a_[i][static_cast<std::size_t>(enter)];
+      if (aij > tol_) {
+        const double ratio = b_[i] / aij;
+        const bool better =
+            ratio < best_ratio - tol_ ||
+            (ratio < best_ratio + tol_ && leave >= 0 &&
+             basis_[i] < basis_[static_cast<std::size_t>(leave)]);  // Bland tie-break
+        if (leave < 0 || better) {
+          best_ratio = ratio;
+          leave = static_cast<int>(i);
+        }
+      }
+    }
+    if (leave < 0) return 2;  // unbounded direction
+
+    pivot(static_cast<std::size_t>(leave), static_cast<std::size_t>(enter));
+    return 1;
+  }
+
+  /// Pivots so column `col` becomes basic in `row`.
+  void pivot(std::size_t row, std::size_t col) {
+    const double piv = a_[row][col];
+    PSD_ASSERT(std::fabs(piv) > tol_ * 1e-3, "pivot element too small");
+    const double inv = 1.0 / piv;
+    for (double& v : a_[row]) v *= inv;
+    b_[row] *= inv;
+    a_[row][col] = 1.0;  // fight round-off drift
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (i == row) continue;
+      const double f = a_[i][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < a_[i].size(); ++j) a_[i][j] -= f * a_[row][j];
+      a_[i][col] = 0.0;
+      b_[i] -= f * b_[row];
+      if (b_[i] < 0.0 && b_[i] > -tol_) b_[i] = 0.0;
+    }
+    const double rf = reduced_[col];
+    if (rf != 0.0) {
+      for (std::size_t j = 0; j < reduced_.size(); ++j) reduced_[j] -= rf * a_[row][j];
+      reduced_[col] = 0.0;
+    }
+    basis_[row] = static_cast<int>(col);
+  }
+
+  /// Attempts to pivot the artificial basic variable of `row` out to any
+  /// allowed column with a usable coefficient. Returns true on success.
+  template <typename AllowedFn>
+  bool pivot_out(std::size_t row, const AllowedFn& allowed) {
+    for (std::size_t j = 0; j < num_cols(); ++j) {
+      if (!allowed(static_cast<int>(j))) continue;
+      if (std::fabs(a_[row][j]) > 1e-7) {
+        pivot(row, j);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Removes a (redundant) row from the tableau.
+  void drop_row(std::size_t row) {
+    a_.erase(a_.begin() + static_cast<std::ptrdiff_t>(row));
+    b_.erase(b_.begin() + static_cast<std::ptrdiff_t>(row));
+    basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(row));
+  }
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<int> basis_;
+  std::vector<double> cost_;
+  std::vector<double> reduced_;
+  double tol_;
+};
+
+/// Runs simplex iterations to optimality with Dantzig pricing, restarting
+/// with Bland's rule on iteration-limit (possible cycling).
+/// Returns LpStatus::Optimal, Unbounded or IterationLimit.
+template <typename AllowedFn>
+LpStatus run_to_optimality(Tableau& t, const SimplexOptions& opts,
+                           const AllowedFn& allowed) {
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool bland = (pass == 1);
+    const long long budget =
+        bland ? static_cast<long long>(opts.max_iterations) * 50 : opts.max_iterations;
+    for (long long it = 0; it < budget; ++it) {
+      const int r = t.iterate(bland, allowed);
+      if (r == 0) return LpStatus::Optimal;
+      if (r == 2) return LpStatus::Unbounded;
+    }
+  }
+  return LpStatus::IterationLimit;
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts) {
+  PSD_REQUIRE(p.num_vars >= 0, "num_vars must be non-negative");
+  PSD_REQUIRE(static_cast<int>(p.objective.size()) == p.num_vars,
+              "objective size must equal num_vars");
+  for (const LpRow& r : p.rows) {
+    PSD_REQUIRE(static_cast<int>(r.coeffs.size()) == p.num_vars,
+                "row length must equal num_vars");
+  }
+
+  const std::size_t m = p.rows.size();
+  const std::size_t n = static_cast<std::size_t>(p.num_vars);
+
+  // Column layout: [structural | slacks/surplus | artificials].
+  std::size_t num_slack = 0;
+  for (const LpRow& r : p.rows) {
+    if (r.rel != Rel::Eq) ++num_slack;
+  }
+
+  // Rows are normalized to rhs >= 0 (flipping relation when negating).
+  // A <=-row with non-negative rhs gets a slack that can start basic;
+  // everything else needs an artificial.
+  std::vector<std::vector<double>> rows(m);
+  std::vector<double> rhs(m, 0.0);
+  std::vector<int> basis(m, -1);
+  std::vector<std::size_t> needs_artificial;
+
+  std::size_t slack_cursor = 0;
+  const std::size_t slack_base = n;
+  for (std::size_t i = 0; i < m; ++i) {
+    const LpRow& r = p.rows[i];
+    double sign = 1.0;
+    Rel rel = r.rel;
+    if (r.rhs < 0.0) {
+      sign = -1.0;
+      if (rel == Rel::LessEq) {
+        rel = Rel::GreaterEq;
+      } else if (rel == Rel::GreaterEq) {
+        rel = Rel::LessEq;
+      }
+    }
+    rows[i].assign(n + num_slack, 0.0);
+    for (std::size_t j = 0; j < n; ++j) rows[i][j] = sign * r.coeffs[j];
+    rhs[i] = sign * r.rhs;
+    if (r.rel != Rel::Eq) {
+      const std::size_t sc = slack_base + slack_cursor++;
+      rows[i][sc] = (rel == Rel::LessEq) ? 1.0 : -1.0;
+      if (rel == Rel::LessEq) {
+        basis[i] = static_cast<int>(sc);  // slack starts basic
+      } else {
+        needs_artificial.push_back(i);
+      }
+    } else {
+      needs_artificial.push_back(i);
+    }
+  }
+
+  // Append artificial columns.
+  const std::size_t art_base = n + num_slack;
+  const std::size_t num_art = needs_artificial.size();
+  for (std::size_t i = 0; i < m; ++i) rows[i].resize(art_base + num_art, 0.0);
+  for (std::size_t a = 0; a < num_art; ++a) {
+    const std::size_t i = needs_artificial[a];
+    rows[i][art_base + a] = 1.0;
+    basis[i] = static_cast<int>(art_base + a);
+  }
+
+  Tableau t(std::move(rows), std::move(rhs), std::move(basis), opts.tol);
+  const auto is_artificial = [art_base](int j) {
+    return static_cast<std::size_t>(j) >= art_base;
+  };
+
+  LpSolution sol;
+
+  // ---- Phase 1: maximize -(sum of artificials) up to 0 ----
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(art_base + num_art, 0.0);
+    for (std::size_t a = 0; a < num_art; ++a) phase1_cost[art_base + a] = -1.0;
+    t.set_costs(phase1_cost);
+    const LpStatus st = run_to_optimality(t, opts, [](int) { return true; });
+    if (st != LpStatus::Optimal) {
+      sol.status = st;
+      return sol;
+    }
+    if (t.objective_value() < -1e-6) {
+      sol.status = LpStatus::Infeasible;
+      return sol;
+    }
+    // Drive any artificials still (degenerately) basic out of the basis;
+    // rows where that is impossible are redundant and dropped.
+    for (std::size_t i = t.num_rows(); i-- > 0;) {
+      if (is_artificial(t.basis_at(i))) {
+        if (!t.pivot_out(i, [&](int j) { return !is_artificial(j); })) {
+          t.drop_row(i);
+        }
+      }
+    }
+  }
+
+  // ---- Phase 2: the real objective (artificial columns barred) ----
+  std::vector<double> phase2_cost(art_base + num_art, 0.0);
+  for (std::size_t j = 0; j < n; ++j) phase2_cost[j] = p.objective[j];
+  t.set_costs(phase2_cost);
+  const LpStatus st =
+      run_to_optimality(t, opts, [&](int j) { return !is_artificial(j); });
+  if (st != LpStatus::Optimal) {
+    sol.status = st;
+    return sol;
+  }
+
+  sol.status = LpStatus::Optimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    const int bj = t.basis_at(i);
+    if (bj >= 0 && static_cast<std::size_t>(bj) < n) {
+      sol.x[static_cast<std::size_t>(bj)] = t.rhs_at(i);
+    }
+  }
+  sol.objective_value = t.objective_value();
+  return sol;
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,80 @@
+#include "psd/flow/theta.hpp"
+
+#include <limits>
+
+#include "psd/flow/mcf_lp.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/properties.hpp"
+
+namespace psd::flow {
+
+namespace {
+
+/// Stable cache key: the destination vector, comma separated.
+std::string cache_key(const topo::Matching& m) {
+  std::string key;
+  key.reserve(static_cast<std::size_t>(m.size()) * 3);
+  for (int j = 0; j < m.size(); ++j) {
+    key += std::to_string(m.dst_of(j));
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
+ThetaOracle::ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions opts)
+    : base_(base), b_ref_(b_ref), opts_(opts),
+      base_is_ring_(topo::is_directed_ring(base)) {
+  PSD_REQUIRE(b_ref.bytes_per_ns() > 0.0, "reference bandwidth must be positive");
+  PSD_REQUIRE(base.num_nodes() >= 2, "base topology needs at least 2 nodes");
+}
+
+double ThetaOracle::theta(const topo::Matching& m) const {
+  PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
+  if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
+
+  std::string key;
+  if (opts_.use_cache) {
+    key = cache_key(m);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  const double value = concurrent_flow(m).theta;
+  if (opts_.use_cache) cache_.emplace(std::move(key), value);
+  return value;
+}
+
+ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const {
+  PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
+  if (base_is_ring_) {
+    auto ring = ring_concurrent_flow(base_, m, b_ref_);
+    PSD_ASSERT(ring.has_value(), "ring dispatch inconsistent with builder check");
+    return *std::move(ring);
+  }
+  const auto commodities = commodities_from_matching(m);
+  const std::size_t lp_vars =
+      commodities.size() * static_cast<std::size_t>(base_.num_edges());
+  if (lp_vars <= opts_.exact_var_limit) {
+    return exact_concurrent_flow(base_, commodities, b_ref_);
+  }
+  GargKonemannOptions gk;
+  gk.epsilon = opts_.epsilon;
+  return gk_concurrent_flow(base_, commodities, b_ref_, gk);
+}
+
+double theta_upper_bound_hop_capacity(const topo::Graph& g,
+                                      const topo::Matching& m, Bandwidth b_ref) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
+  const long long hop_demand = topo::total_pair_hops(g, m);
+  PSD_ASSERT(hop_demand > 0, "active pairs must have positive hop distance");
+  const double total_cap =
+      g.total_capacity().bytes_per_ns() / b_ref.bytes_per_ns();
+  return total_cap / static_cast<double>(hop_demand);
+}
+
+}  // namespace psd::flow

@@ -1,0 +1,72 @@
+// The programmable photonic interconnect of §3.1, modeled as a circuit-
+// switch state machine: n ports, each attached to one GPU transceiver of
+// bandwidth b; at any instant the fabric realizes a matching of ports
+// (direct optical paths); reconfiguring to a new matching costs a delay
+// given by a pluggable ReconfigDelayModel.
+//
+// This is the hardware substitution for a physical OCS (see DESIGN.md): the
+// theory consumes only connectivity and delay, both of which are exact here.
+#pragma once
+
+#include <memory>
+
+#include "psd/photonic/reconfig_delay.hpp"
+#include "psd/topo/graph.hpp"
+
+namespace psd::photonic {
+
+struct Transceiver {
+  Bandwidth bandwidth;
+};
+
+struct FabricStats {
+  long long reconfigurations = 0;
+  TimeNs total_reconfig_time;
+};
+
+class Fabric {
+ public:
+  /// Creates a fabric with `num_ports` ports of bandwidth `port_bw` each,
+  /// starting in the given configuration.
+  Fabric(int num_ports, Bandwidth port_bw,
+         std::unique_ptr<ReconfigDelayModel> delay_model,
+         topo::Matching initial_config);
+
+  Fabric(const Fabric& other);
+  Fabric& operator=(const Fabric& other);
+  Fabric(Fabric&&) noexcept = default;
+  Fabric& operator=(Fabric&&) noexcept = default;
+  ~Fabric() = default;
+
+  [[nodiscard]] int num_ports() const { return num_ports_; }
+  [[nodiscard]] Bandwidth port_bandwidth() const { return port_bw_; }
+  [[nodiscard]] const topo::Matching& configuration() const { return config_; }
+
+  /// Delay the next reconfiguration to `target` would incur (no state change).
+  [[nodiscard]] TimeNs peek_delay(const topo::Matching& target) const;
+
+  /// Switches to `target`, returning the incurred delay and updating stats.
+  TimeNs reconfigure(const topo::Matching& target);
+
+  /// The topology currently realized: one directed edge per circuit, at full
+  /// port bandwidth.
+  [[nodiscard]] topo::Graph current_topology() const;
+
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+
+ private:
+  int num_ports_;
+  Bandwidth port_bw_;
+  std::unique_ptr<ReconfigDelayModel> delay_model_;
+  topo::Matching config_;
+  FabricStats stats_;
+};
+
+/// AWGR-style wavelength-switched fabric helper (§3.1's controller-free
+/// alternative): input port i reaches output port j by emitting wavelength
+/// (j − i) mod n. Returns the per-port wavelength index for a configuration
+/// (-1 for idle ports). Any matching is realizable contention-free because
+/// output ports are distinct.
+[[nodiscard]] std::vector<int> awgr_wavelength_assignment(const topo::Matching& config);
+
+}  // namespace psd::photonic

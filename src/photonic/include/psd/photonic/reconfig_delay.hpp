@@ -1,0 +1,55 @@
+// Reconfiguration-delay models for programmable photonic fabrics.
+//
+// The paper assumes a constant delay α_r but notes (§3.1, §4) that real
+// technologies often scale with the number of ports involved; both models
+// are provided as strategies so the optimizer and simulator can price
+// transitions accurately.
+#pragma once
+
+#include <memory>
+
+#include "psd/topo/matching.hpp"
+#include "psd/util/units.hpp"
+
+namespace psd::photonic {
+
+class ReconfigDelayModel {
+ public:
+  virtual ~ReconfigDelayModel() = default;
+
+  /// Delay to move the fabric from configuration `from` to `to`.
+  [[nodiscard]] virtual TimeNs delay(const topo::Matching& from,
+                                     const topo::Matching& to) const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<ReconfigDelayModel> clone() const = 0;
+};
+
+/// The paper's model: every reconfiguration costs α_r, except the identity
+/// transition (from == to) which is free.
+class ConstantDelayModel final : public ReconfigDelayModel {
+ public:
+  explicit ConstantDelayModel(TimeNs alpha_r);
+  [[nodiscard]] TimeNs delay(const topo::Matching& from,
+                             const topo::Matching& to) const override;
+  [[nodiscard]] std::unique_ptr<ReconfigDelayModel> clone() const override;
+
+ private:
+  TimeNs alpha_r_;
+};
+
+/// Port-count-dependent delay: fixed + per_port · (#ports whose connection
+/// changes). Captures MEMS/MZI-style switches where each moved circuit is
+/// re-established individually (research-agenda extension).
+class PerPortDelayModel final : public ReconfigDelayModel {
+ public:
+  PerPortDelayModel(TimeNs fixed, TimeNs per_port);
+  [[nodiscard]] TimeNs delay(const topo::Matching& from,
+                             const topo::Matching& to) const override;
+  [[nodiscard]] std::unique_ptr<ReconfigDelayModel> clone() const override;
+
+ private:
+  TimeNs fixed_;
+  TimeNs per_port_;
+};
+
+}  // namespace psd::photonic

@@ -1,0 +1,63 @@
+#include "psd/photonic/fabric.hpp"
+
+#include "psd/topo/builders.hpp"
+#include "psd/util/error.hpp"
+
+namespace psd::photonic {
+
+Fabric::Fabric(int num_ports, Bandwidth port_bw,
+               std::unique_ptr<ReconfigDelayModel> delay_model,
+               topo::Matching initial_config)
+    : num_ports_(num_ports), port_bw_(port_bw),
+      delay_model_(std::move(delay_model)), config_(std::move(initial_config)) {
+  PSD_REQUIRE(num_ports_ >= 2, "fabric needs at least 2 ports");
+  PSD_REQUIRE(port_bw_.bytes_per_ns() > 0.0, "port bandwidth must be positive");
+  PSD_REQUIRE(delay_model_ != nullptr, "delay model required");
+  PSD_REQUIRE(config_.size() == num_ports_, "configuration size mismatch");
+}
+
+Fabric::Fabric(const Fabric& other)
+    : num_ports_(other.num_ports_), port_bw_(other.port_bw_),
+      delay_model_(other.delay_model_->clone()), config_(other.config_),
+      stats_(other.stats_) {}
+
+Fabric& Fabric::operator=(const Fabric& other) {
+  if (this != &other) {
+    num_ports_ = other.num_ports_;
+    port_bw_ = other.port_bw_;
+    delay_model_ = other.delay_model_->clone();
+    config_ = other.config_;
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+TimeNs Fabric::peek_delay(const topo::Matching& target) const {
+  PSD_REQUIRE(target.size() == num_ports_, "configuration size mismatch");
+  return delay_model_->delay(config_, target);
+}
+
+TimeNs Fabric::reconfigure(const topo::Matching& target) {
+  const TimeNs d = peek_delay(target);
+  if (!(target == config_)) {
+    ++stats_.reconfigurations;
+    stats_.total_reconfig_time += d;
+    config_ = target;
+  }
+  return d;
+}
+
+topo::Graph Fabric::current_topology() const {
+  return topo::matched_topology(config_, port_bw_);
+}
+
+std::vector<int> awgr_wavelength_assignment(const topo::Matching& config) {
+  const int n = config.size();
+  std::vector<int> lambda(static_cast<std::size_t>(n), -1);
+  for (const auto& [src, dst] : config.pairs()) {
+    lambda[static_cast<std::size_t>(src)] = ((dst - src) % n + n) % n;
+  }
+  return lambda;
+}
+
+}  // namespace psd::photonic

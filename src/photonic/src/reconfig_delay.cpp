@@ -1,0 +1,37 @@
+#include "psd/photonic/reconfig_delay.hpp"
+
+#include "psd/util/error.hpp"
+
+namespace psd::photonic {
+
+ConstantDelayModel::ConstantDelayModel(TimeNs alpha_r) : alpha_r_(alpha_r) {
+  PSD_REQUIRE(alpha_r.ns() >= 0.0, "reconfiguration delay must be non-negative");
+}
+
+TimeNs ConstantDelayModel::delay(const topo::Matching& from,
+                                 const topo::Matching& to) const {
+  return (from == to) ? TimeNs(0.0) : alpha_r_;
+}
+
+std::unique_ptr<ReconfigDelayModel> ConstantDelayModel::clone() const {
+  return std::make_unique<ConstantDelayModel>(*this);
+}
+
+PerPortDelayModel::PerPortDelayModel(TimeNs fixed, TimeNs per_port)
+    : fixed_(fixed), per_port_(per_port) {
+  PSD_REQUIRE(fixed.ns() >= 0.0 && per_port.ns() >= 0.0,
+              "delays must be non-negative");
+}
+
+TimeNs PerPortDelayModel::delay(const topo::Matching& from,
+                                const topo::Matching& to) const {
+  const int changed = to.ports_changed_from(from);
+  if (changed == 0) return TimeNs(0.0);
+  return fixed_ + per_port_ * static_cast<double>(changed);
+}
+
+std::unique_ptr<ReconfigDelayModel> PerPortDelayModel::clone() const {
+  return std::make_unique<PerPortDelayModel>(*this);
+}
+
+}  // namespace psd::photonic

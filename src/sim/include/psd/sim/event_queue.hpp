@@ -1,0 +1,56 @@
+// Discrete-event queue with deterministic ordering: events at equal
+// timestamps pop in insertion order (monotone sequence numbers), so
+// simulations are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+
+#include "psd/util/error.hpp"
+#include "psd/util/units.hpp"
+
+namespace psd::sim {
+
+enum class EventType : std::uint8_t {
+  kReconfigDone,
+  kComputeDone,
+  kFlowCompleted,   // payload: flow id
+  kLastBitArrived,  // payload: flow id
+};
+
+struct Event {
+  TimeNs time;
+  EventType type = EventType::kFlowCompleted;
+  int payload = -1;
+  std::uint64_t epoch = 0;  // lazy invalidation: stale events are skipped
+  std::uint64_t seq = 0;    // assigned by the queue
+};
+
+class EventQueue {
+ public:
+  /// Schedules `ev` (its seq is overwritten). Time must be >= now().
+  void push(Event ev);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Pops the earliest event and advances now(). Queue must be non-empty.
+  Event pop();
+
+  /// Drops all pending events, keeping the clock.
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time.ns() != b.time.ns()) return a.time.ns() > b.time.ns();
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimeNs now_{0.0};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace psd::sim

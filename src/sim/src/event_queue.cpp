@@ -1,0 +1,24 @@
+#include "psd/sim/event_queue.hpp"
+
+namespace psd::sim {
+
+void EventQueue::push(Event ev) {
+  PSD_REQUIRE(ev.time >= now_, "cannot schedule an event in the past");
+  ev.seq = next_seq_++;
+  heap_.push(ev);
+}
+
+Event EventQueue::pop() {
+  PSD_REQUIRE(!heap_.empty(), "pop from empty event queue");
+  Event ev = heap_.top();
+  heap_.pop();
+  PSD_ASSERT(ev.time >= now_, "event queue time went backwards");
+  now_ = ev.time;
+  return ev;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace psd::sim

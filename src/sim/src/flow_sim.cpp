@@ -1,0 +1,283 @@
+#include "psd/sim/flow_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "psd/flow/rate_allocation.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/photonic/reconfig_delay.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/properties.hpp"
+#include "psd/topo/shortest_path.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::sim {
+
+namespace {
+
+/// Per-flow transmission state during a step.
+struct ActiveFlow {
+  int commodity = -1;
+  double remaining = 0.0;  // bytes
+  double rate = 0.0;       // bytes/ns
+  int hops = 0;
+  bool done = false;
+};
+
+}  // namespace
+
+FlowLevelSimulator::FlowLevelSimulator(topo::Graph base, topo::Matching base_config,
+                                       SimConfig config)
+    : base_(std::move(base)), base_config_(std::move(base_config)),
+      config_(std::move(config)) {
+  PSD_REQUIRE(base_.num_nodes() >= 2, "base topology needs at least 2 nodes");
+  PSD_REQUIRE(base_config_.size() == base_.num_nodes(),
+              "base configuration size mismatch");
+  PSD_REQUIRE(config_.params.b.bytes_per_ns() > 0.0, "bandwidth must be positive");
+}
+
+FlowLevelSimulator::StepOutcome FlowLevelSimulator::simulate_step(
+    const topo::Graph& g, const collective::Step& step) {
+  StepOutcome out;
+  const auto commodities = flow::commodities_from_matching(step.matching);
+  if (commodities.empty()) return out;
+  const Bandwidth b = config_.params.b;
+  const double bpn = b.bytes_per_ns();
+  const auto hops_all = topo::all_pairs_hops(g);
+
+  std::vector<ActiveFlow> flows(commodities.size());
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    flows[k].commodity = static_cast<int>(k);
+    flows[k].remaining = step.volume.count();
+    flows[k].hops = hops_all[static_cast<std::size_t>(commodities[k].src)]
+                            [static_cast<std::size_t>(commodities[k].dst)];
+    PSD_REQUIRE(flows[k].hops != topo::kUnreachable,
+                "flow endpoints disconnected in the current topology");
+  }
+
+  const auto caps = flow::normalized_capacities(g, b);
+
+  // --- Initial rate assignment -------------------------------------------
+  std::vector<std::vector<topo::EdgeId>> paths;  // max-min only
+  if (config_.policy == RatePolicy::kConcurrentFlow) {
+    double theta = 1.0;
+    std::vector<double> util(caps.size(), 0.0);
+    if (topo::matches_topology(g, step.matching)) {
+      // Dedicated circuits: each pair rides its own direct link.
+      theta = std::numeric_limits<double>::infinity();
+      for (const auto& c : commodities) {
+        const topo::EdgeId e = g.find_edge(c.src, c.dst);
+        theta = std::min(theta, caps[static_cast<std::size_t>(e)] / c.demand);
+      }
+      theta = std::min(theta, 1.0);  // a transceiver cannot exceed its rate
+      for (const auto& c : commodities) {
+        const topo::EdgeId e = g.find_edge(c.src, c.dst);
+        util[static_cast<std::size_t>(e)] +=
+            theta * c.demand / caps[static_cast<std::size_t>(e)];
+      }
+    } else {
+      const auto alloc =
+          flow::concurrent_flow_allocation(g, commodities, b, config_.gk_epsilon);
+      theta = alloc.rate.front() / commodities.front().demand;
+      // Utilization from the θ-feasible routing when available.
+      flow::ConcurrentFlowResult cf;
+      if (auto ring = flow::ring_concurrent_flow(g, step.matching, b)) {
+        cf = *std::move(ring);
+      } else {
+        cf = flow::gk_concurrent_flow(g, commodities, b,
+                                      {.epsilon = config_.gk_epsilon});
+      }
+      for (std::size_t e = 0; e < caps.size(); ++e) {
+        double load = 0.0;
+        for (std::size_t k = 0; k < cf.flow.size(); ++k) load += cf.flow[k][e];
+        util[e] = load / caps[e];
+      }
+    }
+    out.theta = theta;
+    for (auto& f : flows) f.rate = theta * bpn;
+    out.max_util = util.empty() ? 0.0 : *std::max_element(util.begin(), util.end());
+  } else {
+    const auto alloc = flow::max_min_fair_allocation(g, commodities, b);
+    paths = alloc.path;
+    double min_rate = std::numeric_limits<double>::infinity();
+    std::vector<double> util(caps.size(), 0.0);
+    for (std::size_t k = 0; k < flows.size(); ++k) {
+      flows[k].rate = alloc.rate[k] * bpn;
+      min_rate = std::min(min_rate, alloc.rate[k]);
+      for (topo::EdgeId e : paths[k]) {
+        util[static_cast<std::size_t>(e)] += alloc.rate[k] / caps[static_cast<std::size_t>(e)];
+      }
+    }
+    out.theta = min_rate;  // max-min's worst flow, for comparability
+    out.max_util = util.empty() ? 0.0 : *std::max_element(util.begin(), util.end());
+  }
+
+  // --- Event loop ---------------------------------------------------------
+  EventQueue queue;
+  std::uint64_t epoch = 0;
+  std::size_t in_flight = flows.size();
+  TimeNs last_arrival(0.0);
+
+  auto schedule_completions = [&]() {
+    for (const auto& f : flows) {
+      if (f.done || f.rate <= 0.0) continue;
+      Event ev;
+      ev.time = queue.now() + TimeNs(f.remaining / f.rate);
+      ev.type = EventType::kFlowCompleted;
+      ev.payload = f.commodity;
+      ev.epoch = epoch;
+      queue.push(ev);
+    }
+  };
+  auto advance_remaining = [&](TimeNs from, TimeNs to) {
+    const double dt = (to - from).ns();
+    for (auto& f : flows) {
+      if (!f.done) f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+    }
+  };
+
+  schedule_completions();
+  TimeNs last_progress = queue.now();
+  while (in_flight > 0 || !queue.empty()) {
+    PSD_ASSERT(!queue.empty(), "flows in flight but no pending events");
+    const Event ev = queue.pop();
+    if (ev.type == EventType::kFlowCompleted) {
+      if (ev.epoch != epoch) continue;  // stale: rates changed since scheduled
+      auto& f = flows[static_cast<std::size_t>(ev.payload)];
+      if (f.done) continue;
+      advance_remaining(last_progress, ev.time);
+      last_progress = ev.time;
+      f.done = true;
+      f.remaining = 0.0;
+      --in_flight;
+      ++out.events;
+      Event arrival;
+      arrival.time = ev.time + config_.params.delta * static_cast<double>(f.hops);
+      arrival.type = EventType::kLastBitArrived;
+      arrival.payload = f.commodity;
+      arrival.epoch = 0;  // arrivals never go stale
+      queue.push(arrival);
+      // Re-rate survivors under max-min (released capacity is reusable).
+      if (config_.policy == RatePolicy::kMaxMinFair && in_flight > 0) {
+        std::vector<flow::Commodity> live;
+        std::vector<std::size_t> live_idx;
+        for (std::size_t k = 0; k < flows.size(); ++k) {
+          if (!flows[k].done) {
+            live.push_back(commodities[k]);
+            live_idx.push_back(k);
+          }
+        }
+        const auto re = flow::max_min_fair_allocation(g, live, config_.params.b);
+        for (std::size_t j = 0; j < live_idx.size(); ++j) {
+          flows[live_idx[j]].rate = re.rate[j] * bpn;
+        }
+        ++epoch;
+        schedule_completions();
+      }
+    } else if (ev.type == EventType::kLastBitArrived) {
+      last_arrival = std::max(last_arrival, ev.time);
+    }
+  }
+  out.duration = last_arrival;
+  return out;
+}
+
+SimResult FlowLevelSimulator::run(const collective::CollectiveSchedule& schedule,
+                                  const std::vector<core::TopoChoice>& plan) {
+  PSD_REQUIRE(schedule.num_nodes() == base_.num_nodes(),
+              "schedule/topology node count mismatch");
+  PSD_REQUIRE(static_cast<int>(plan.size()) == schedule.num_steps(),
+              "plan must have one choice per step");
+  const bool overlap = !config_.compute_before_step.empty();
+  if (overlap) {
+    PSD_REQUIRE(static_cast<int>(config_.compute_before_step.size()) ==
+                    schedule.num_steps(),
+                "compute_before_step must have one entry per step");
+  }
+
+  PSD_REQUIRE(config_.reconfig_failure_prob >= 0.0 &&
+                  config_.reconfig_failure_prob < 1.0,
+              "failure probability must be in [0, 1)");
+
+  photonic::Fabric fabric(
+      base_.num_nodes(), config_.params.b,
+      std::make_unique<photonic::ConstantDelayModel>(config_.params.alpha_r),
+      base_config_);
+
+  SimResult result;
+  Rng failure_rng(config_.failure_seed);
+  TimeNs clock(0.0);
+  core::TopoChoice prev = core::TopoChoice::kBase;
+
+  for (int i = 0; i < schedule.num_steps(); ++i) {
+    const collective::Step& step = schedule.step(i);
+    const core::TopoChoice cur = plan[static_cast<std::size_t>(i)];
+
+    StepTrace trace;
+    trace.step = i;
+    trace.choice = cur;
+    trace.start = clock;
+    trace.flows = step.matching.active_pairs();
+
+    // --- reconfiguration ---------------------------------------------------
+    const topo::Matching& target =
+        (cur == core::TopoChoice::kBase) ? base_config_ : step.matching;
+    TimeNs charged(0.0);
+    if (config_.paper_reconfig_charging) {
+      // Eq. (7): z_i = x_i ∧ x_{i−1}; only base→base transitions are free.
+      if (!(prev == core::TopoChoice::kBase && cur == core::TopoChoice::kBase)) {
+        charged = config_.params.alpha_r;
+      }
+      fabric.reconfigure(target);
+    } else {
+      charged = fabric.reconfigure(target);  // physical changes only
+    }
+    // Failure injection: a charged attempt may fail and retry at full cost.
+    if (charged.ns() > 0.0 && config_.reconfig_failure_prob > 0.0) {
+      while (failure_rng.next_double() < config_.reconfig_failure_prob) {
+        charged += charged.ns() > 0.0 ? config_.params.alpha_r : TimeNs(0.0);
+        ++result.reconfig_retries;
+      }
+    }
+    trace.reconfigured = charged.ns() > 0.0;
+    trace.reconfig_delay = charged;
+    if (trace.reconfigured) ++result.reconfigurations;
+    result.total_reconfig_time += charged;
+
+    // --- α, compute overlap, communication ---------------------------------
+    const TimeNs compute =
+        overlap ? config_.compute_before_step[static_cast<std::size_t>(i)] : TimeNs(0.0);
+    const TimeNs pre_comm = TimeNs(std::max(compute.ns(), charged.ns()));
+    trace.comm_start = clock + config_.params.alpha + pre_comm;
+
+    const topo::Graph topology = (cur == core::TopoChoice::kBase)
+                                     ? base_
+                                     : fabric.current_topology();
+    const StepOutcome outcome = simulate_step(topology, step);
+    trace.theta = outcome.theta;
+    trace.max_link_utilization = outcome.max_util;
+    trace.end = trace.comm_start + outcome.duration;
+    result.flow_completion_events += outcome.events;
+    int max_hops = 0;
+    const auto hops_all = topo::all_pairs_hops(topology);
+    for (const auto& [s, d] : step.matching.pairs()) {
+      max_hops = std::max(
+          max_hops, hops_all[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]);
+    }
+    trace.max_hops = max_hops;
+
+    clock = trace.end;
+    result.steps.push_back(std::move(trace));
+    prev = cur;
+  }
+  result.completion_time = clock;
+  return result;
+}
+
+SimResult FlowLevelSimulator::run(const collective::CollectiveSchedule& schedule,
+                                  const core::ReconfigPlan& plan) {
+  return run(schedule, plan.choice);
+}
+
+}  // namespace psd::sim

@@ -1,0 +1,49 @@
+// Standard scale-up topologies.
+//
+// With a single transceiver per GPU, any realizable circuit configuration is
+// a permutation of ports (paper §3.1); the directed ring is the canonical
+// base topology G. Higher-degree builders (bidirectional ring, torus,
+// hypercube, ring unions) model multi-transceiver GPUs, for which the paper
+// notes the framework is "especially valuable".
+#pragma once
+
+#include <vector>
+
+#include "psd/topo/graph.hpp"
+#include "psd/topo/matching.hpp"
+
+namespace psd::topo {
+
+/// Directed (unidirectional) ring j -> (j+stride) mod n. `stride` must be
+/// coprime with n so the ring visits every node.
+[[nodiscard]] Graph directed_ring(int n, Bandwidth link_bw, int stride = 1);
+
+/// Bidirectional ring: edges j -> j±1, each with capacity `link_bw`.
+[[nodiscard]] Graph bidirectional_ring(int n, Bandwidth link_bw);
+
+/// Union of directed rings with the given strides (each coprime with n).
+/// Models a multi-transceiver GPU using one transceiver per ring (§3.3's
+/// "multiple co-prime rings as base topologies").
+[[nodiscard]] Graph coprime_ring_union(int n, Bandwidth link_bw,
+                                       const std::vector<int>& strides);
+
+/// 2-D torus with `rows` x `cols` nodes and bidirectional links along both
+/// dimensions. Node (r, c) has id r*cols + c.
+[[nodiscard]] Graph torus_2d(int rows, int cols, Bandwidth link_bw);
+
+/// d-dimensional hypercube over 2^dim nodes; bidirectional links.
+[[nodiscard]] Graph hypercube(int dim, Bandwidth link_bw);
+
+/// Complete digraph: every ordered pair connected directly.
+[[nodiscard]] Graph full_mesh(int n, Bandwidth link_bw);
+
+/// The topology realizing a circuit configuration: one directed edge per
+/// (src, dst) pair in the matching, each with full transceiver bandwidth.
+[[nodiscard]] Graph matched_topology(const Matching& m, Bandwidth link_bw);
+
+/// True if `g` is a single directed cycle visiting all nodes with each node
+/// having out-degree and in-degree exactly 1. If so and `order` is non-null,
+/// fills order[v] = position of v along the cycle starting from node 0.
+[[nodiscard]] bool is_directed_ring(const Graph& g, std::vector<int>* order = nullptr);
+
+}  // namespace psd::topo

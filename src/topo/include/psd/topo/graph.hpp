@@ -1,0 +1,90 @@
+// Capacitated directed graph: the model of a (possibly reconfigured) photonic
+// topology inside a scale-up domain. Nodes are GPU endpoints (transceiver
+// ports); edges are unidirectional optical circuits with a capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psd/util/error.hpp"
+#include "psd/util/units.hpp"
+
+namespace psd::topo {
+
+using NodeId = int;
+using EdgeId = int;
+
+struct Edge {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Bandwidth capacity;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph over `n` nodes with no edges.
+  explicit Graph(int n) : out_(checked_node_count(n)), in_(out_.size()) {}
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds a directed edge src -> dst with the given capacity; returns its id.
+  EdgeId add_edge(NodeId src, NodeId dst, Bandwidth capacity);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    PSD_ASSERT(e >= 0 && e < num_edges(), "edge id out of range");
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving `v` / entering `v`.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(NodeId v) const {
+    PSD_ASSERT(valid_node(v), "node id out of range");
+    return out_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(NodeId v) const {
+    PSD_ASSERT(valid_node(v), "node id out of range");
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] int out_degree(NodeId v) const {
+    return static_cast<int>(out_edges(v).size());
+  }
+  [[nodiscard]] int in_degree(NodeId v) const {
+    return static_cast<int>(in_edges(v).size());
+  }
+
+  /// Maximum out-degree over all nodes (0 for an empty graph).
+  [[nodiscard]] int max_out_degree() const;
+
+  /// Returns the edge id of some edge src -> dst, or -1 if absent.
+  [[nodiscard]] EdgeId find_edge(NodeId src, NodeId dst) const;
+
+  /// True if every edge has the same capacity (vacuously true if no edges).
+  [[nodiscard]] bool uniform_capacity() const;
+
+  /// Sum of all edge capacities.
+  [[nodiscard]] Bandwidth total_capacity() const;
+
+  [[nodiscard]] bool valid_node(NodeId v) const {
+    return v >= 0 && v < num_nodes();
+  }
+
+  /// Human-readable edge list for debugging.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::size_t checked_node_count(int n) {
+    PSD_REQUIRE(n >= 0, "node count must be non-negative");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace psd::topo

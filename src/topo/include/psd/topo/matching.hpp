@@ -1,0 +1,77 @@
+// A (partial) matching over n endpoints: each node sends to at most one node
+// and receives from at most one node. Matchings are the atoms of the paper's
+// framework — a collective step's communication pattern M_i, a permutation in
+// a BvN decomposition, and a realizable circuit configuration of a
+// single-transceiver photonic fabric are all matchings.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "psd/util/matrix.hpp"
+
+namespace psd::topo {
+
+class Matching {
+ public:
+  Matching() = default;
+
+  /// Creates an empty matching over `n` endpoints (nobody sends).
+  explicit Matching(int n);
+
+  /// The rotation sigma(j) = (j + k) mod n; k must not be ≡ 0 unless k == 0
+  /// (k == 0 yields the empty matching — self traffic is meaningless).
+  static Matching rotation(int n, int k);
+
+  /// Builds from explicit (src, dst) pairs.
+  static Matching from_pairs(int n, const std::vector<std::pair<int, int>>& pairs);
+
+  /// Builds from a destination vector: dst[j] is where j sends, or -1.
+  static Matching from_destinations(std::vector<int> dst);
+
+  /// Builds from a 0/1 sub-permutation matrix.
+  static Matching from_matrix(const psd::Matrix& m);
+
+  /// Adds the pair src -> dst; src must not already send, dst must not
+  /// already receive, and src != dst.
+  void set(int src, int dst);
+
+  /// Number of endpoints n.
+  [[nodiscard]] int size() const { return static_cast<int>(dst_.size()); }
+
+  /// Destination of `src`, or -1 if `src` is idle in this matching.
+  [[nodiscard]] int dst_of(int src) const;
+
+  /// Source sending to `dst`, or -1 if `dst` receives nothing.
+  [[nodiscard]] int src_of(int dst) const;
+
+  /// Number of (src, dst) pairs present.
+  [[nodiscard]] int active_pairs() const;
+
+  /// True if every endpoint sends (a full permutation).
+  [[nodiscard]] bool is_full() const;
+
+  /// True if the matching is its own inverse (pairwise exchanges only).
+  [[nodiscard]] bool is_involution() const;
+
+  /// All (src, dst) pairs, ordered by src.
+  [[nodiscard]] std::vector<std::pair<int, int>> pairs() const;
+
+  /// The n x n 0/1 matrix representation.
+  [[nodiscard]] psd::Matrix to_matrix() const;
+
+  /// Number of endpoints whose connection differs between this and `other`
+  /// (counting both send and receive sides). Drives port-count-dependent
+  /// reconfiguration-delay models.
+  [[nodiscard]] int ports_changed_from(const Matching& other) const;
+
+  friend bool operator==(const Matching& a, const Matching& b) {
+    return a.dst_ == b.dst_;
+  }
+
+ private:
+  std::vector<int> dst_;  // dst_[j] = destination of j, or -1
+  std::vector<int> src_;  // src_[k] = source sending to k, or -1
+};
+
+}  // namespace psd::topo

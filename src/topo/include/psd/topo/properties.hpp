@@ -1,0 +1,31 @@
+// Structural properties of topologies: connectivity, diameter, and the
+// path-length statistics ℓ_i the cost model consumes.
+#pragma once
+
+#include "psd/topo/graph.hpp"
+#include "psd/topo/matching.hpp"
+
+namespace psd::topo {
+
+/// True if every node can reach every other node.
+[[nodiscard]] bool is_strongly_connected(const Graph& g);
+
+/// Longest shortest-path hop count over all ordered pairs; throws
+/// InvalidArgument if the graph is not strongly connected.
+[[nodiscard]] int diameter(const Graph& g);
+
+/// ℓ(G, M): the maximum shortest-path hop count over the communicating pairs
+/// of `m` — the paper's per-step path length ℓ_i when staying on the base
+/// topology. Returns 0 for an empty matching. Throws if some pair is
+/// disconnected.
+[[nodiscard]] int max_pair_hops(const Graph& g, const Matching& m);
+
+/// Sum over pairs (j, k) of the shortest-path hop count j -> k; the
+/// denominator of the hop-capacity throughput proxy.
+[[nodiscard]] long long total_pair_hops(const Graph& g, const Matching& m);
+
+/// True if every pair of `m` has a direct edge in `g` (so θ(G, M) = 1 with
+/// full per-link bandwidth and ℓ = 1).
+[[nodiscard]] bool matches_topology(const Graph& g, const Matching& m);
+
+}  // namespace psd::topo

@@ -1,0 +1,40 @@
+// Shortest-path utilities over capacitated digraphs: unweighted BFS hop
+// counts (propagation-delay path lengths ℓ_i use hops) and Dijkstra with
+// arbitrary non-negative edge lengths (used by the Garg–Könemann concurrent
+// flow solver, where lengths are dual weights).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "psd/topo/graph.hpp"
+
+namespace psd::topo {
+
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distance from `src` to every node (kUnreachable if none).
+[[nodiscard]] std::vector<int> bfs_hops(const Graph& g, NodeId src);
+
+/// All-pairs hop distances; result[u][v] is the hop count u -> v.
+[[nodiscard]] std::vector<std::vector<int>> all_pairs_hops(const Graph& g);
+
+/// Result of a single-source Dijkstra run.
+struct DijkstraResult {
+  std::vector<double> dist;      // dist[v]; +inf if unreachable
+  std::vector<EdgeId> parent_edge;  // edge used to reach v, or -1
+};
+
+/// Dijkstra from `src` with per-edge lengths `edge_length` (size num_edges,
+/// all >= 0). Infinite lengths (std::numeric_limits<double>::infinity())
+/// effectively delete edges.
+[[nodiscard]] DijkstraResult dijkstra(const Graph& g, NodeId src,
+                                      const std::vector<double>& edge_length);
+
+/// Reconstructs the edge path src -> dst from a Dijkstra result; empty if
+/// dst is unreachable (or dst == src).
+[[nodiscard]] std::vector<EdgeId> extract_path(const Graph& g,
+                                               const DijkstraResult& res,
+                                               NodeId src, NodeId dst);
+
+}  // namespace psd::topo

@@ -1,0 +1,114 @@
+#include "psd/topo/builders.hpp"
+
+#include <numeric>
+
+namespace psd::topo {
+
+namespace {
+
+int gcd_int(int a, int b) { return std::gcd(a, b); }
+
+}  // namespace
+
+Graph directed_ring(int n, Bandwidth link_bw, int stride) {
+  PSD_REQUIRE(n >= 2, "ring requires at least 2 nodes");
+  const int s = ((stride % n) + n) % n;
+  PSD_REQUIRE(s != 0, "ring stride must not be 0 mod n");
+  PSD_REQUIRE(gcd_int(s, n) == 1, "ring stride must be coprime with n");
+  Graph g(n);
+  for (int j = 0; j < n; ++j) g.add_edge(j, (j + s) % n, link_bw);
+  return g;
+}
+
+Graph bidirectional_ring(int n, Bandwidth link_bw) {
+  PSD_REQUIRE(n >= 2, "ring requires at least 2 nodes");
+  Graph g(n);
+  for (int j = 0; j < n; ++j) {
+    g.add_edge(j, (j + 1) % n, link_bw);
+    g.add_edge((j + 1) % n, j, link_bw);
+  }
+  return g;
+}
+
+Graph coprime_ring_union(int n, Bandwidth link_bw, const std::vector<int>& strides) {
+  PSD_REQUIRE(!strides.empty(), "at least one stride required");
+  Graph g(n);
+  for (int stride : strides) {
+    const int s = ((stride % n) + n) % n;
+    PSD_REQUIRE(s != 0, "ring stride must not be 0 mod n");
+    PSD_REQUIRE(gcd_int(s, n) == 1, "ring stride must be coprime with n");
+    for (int j = 0; j < n; ++j) g.add_edge(j, (j + s) % n, link_bw);
+  }
+  return g;
+}
+
+Graph torus_2d(int rows, int cols, Bandwidth link_bw) {
+  PSD_REQUIRE(rows >= 2 && cols >= 2, "torus requires both dimensions >= 2");
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int right = id(r, (c + 1) % cols);
+      const int down = id((r + 1) % rows, c);
+      g.add_edge(id(r, c), right, link_bw);
+      g.add_edge(right, id(r, c), link_bw);
+      g.add_edge(id(r, c), down, link_bw);
+      g.add_edge(down, id(r, c), link_bw);
+    }
+  }
+  return g;
+}
+
+Graph hypercube(int dim, Bandwidth link_bw) {
+  PSD_REQUIRE(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
+  const int n = 1 << dim;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const int u = v ^ (1 << b);
+      if (v < u) {
+        g.add_edge(v, u, link_bw);
+        g.add_edge(u, v, link_bw);
+      }
+    }
+  }
+  return g;
+}
+
+Graph full_mesh(int n, Bandwidth link_bw) {
+  PSD_REQUIRE(n >= 2, "mesh requires at least 2 nodes");
+  Graph g(n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b) g.add_edge(a, b, link_bw);
+    }
+  }
+  return g;
+}
+
+Graph matched_topology(const Matching& m, Bandwidth link_bw) {
+  Graph g(m.size());
+  for (const auto& [s, d] : m.pairs()) g.add_edge(s, d, link_bw);
+  return g;
+}
+
+bool is_directed_ring(const Graph& g, std::vector<int>* order) {
+  const int n = g.num_nodes();
+  if (n < 2 || g.num_edges() != n) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (g.out_degree(v) != 1 || g.in_degree(v) != 1) return false;
+  }
+  // Walk the unique out-edges from node 0; must return to 0 after n hops.
+  std::vector<int> pos(static_cast<std::size_t>(n), -1);
+  NodeId cur = 0;
+  for (int i = 0; i < n; ++i) {
+    if (pos[static_cast<std::size_t>(cur)] != -1) return false;  // early cycle
+    pos[static_cast<std::size_t>(cur)] = i;
+    cur = g.edge(g.out_edges(cur).front()).dst;
+  }
+  if (cur != 0) return false;
+  if (order != nullptr) *order = std::move(pos);
+  return true;
+}
+
+}  // namespace psd::topo

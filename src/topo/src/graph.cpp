@@ -1,0 +1,60 @@
+#include "psd/topo/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psd::topo {
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, Bandwidth capacity) {
+  PSD_REQUIRE(valid_node(src), "edge source out of range");
+  PSD_REQUIRE(valid_node(dst), "edge destination out of range");
+  PSD_REQUIRE(src != dst, "self-loop edges are not allowed");
+  PSD_REQUIRE(capacity.bytes_per_ns() > 0.0, "edge capacity must be positive");
+  const EdgeId id = num_edges();
+  edges_.push_back(Edge{src, dst, capacity});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+int Graph::max_out_degree() const {
+  int d = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) d = std::max(d, out_degree(v));
+  return d;
+}
+
+EdgeId Graph::find_edge(NodeId src, NodeId dst) const {
+  PSD_REQUIRE(valid_node(src) && valid_node(dst), "node id out of range");
+  for (EdgeId e : out_edges(src)) {
+    if (edge(e).dst == dst) return e;
+  }
+  return -1;
+}
+
+bool Graph::uniform_capacity() const {
+  if (edges_.empty()) return true;
+  const double c0 = edges_.front().capacity.bytes_per_ns();
+  return std::all_of(edges_.begin(), edges_.end(), [c0](const Edge& e) {
+    return e.capacity.bytes_per_ns() == c0;
+  });
+}
+
+Bandwidth Graph::total_capacity() const {
+  double s = 0.0;
+  for (const Edge& e : edges_) s += e.capacity.bytes_per_ns();
+  return Bandwidth(s);
+}
+
+std::string Graph::to_string() const {
+  std::string out = "Graph(n=" + std::to_string(num_nodes()) +
+                    ", m=" + std::to_string(num_edges()) + ")\n";
+  char buf[128];
+  for (const Edge& e : edges_) {
+    std::snprintf(buf, sizeof(buf), "  %d -> %d  @ %s\n", e.src, e.dst,
+                  psd::to_string(e.capacity).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace psd::topo

@@ -1,0 +1,121 @@
+#include "psd/topo/matching.hpp"
+
+#include <cmath>
+
+#include "psd/util/error.hpp"
+
+namespace psd::topo {
+
+Matching::Matching(int n) {
+  PSD_REQUIRE(n >= 0, "matching size must be non-negative");
+  dst_.assign(static_cast<std::size_t>(n), -1);
+  src_.assign(static_cast<std::size_t>(n), -1);
+}
+
+Matching Matching::rotation(int n, int k) {
+  PSD_REQUIRE(n > 0, "rotation requires n > 0");
+  Matching m(n);
+  const int kk = ((k % n) + n) % n;
+  if (kk == 0) return m;  // empty: self-traffic carries no bytes
+  for (int j = 0; j < n; ++j) m.set(j, (j + kk) % n);
+  return m;
+}
+
+Matching Matching::from_pairs(int n, const std::vector<std::pair<int, int>>& pairs) {
+  Matching m(n);
+  for (const auto& [s, d] : pairs) m.set(s, d);
+  return m;
+}
+
+Matching Matching::from_destinations(std::vector<int> dst) {
+  Matching m(static_cast<int>(dst.size()));
+  for (int j = 0; j < static_cast<int>(dst.size()); ++j) {
+    if (dst[static_cast<std::size_t>(j)] >= 0) {
+      m.set(j, dst[static_cast<std::size_t>(j)]);
+    }
+  }
+  return m;
+}
+
+Matching Matching::from_matrix(const psd::Matrix& mat) {
+  PSD_REQUIRE(mat.rows() == mat.cols(), "matrix must be square");
+  PSD_REQUIRE(mat.is_sub_permutation(), "matrix must be a 0/1 sub-permutation");
+  const int n = static_cast<int>(mat.rows());
+  Matching m(n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (mat(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) > 0.5) {
+        m.set(r, c);
+      }
+    }
+  }
+  return m;
+}
+
+void Matching::set(int src, int dst) {
+  const int n = size();
+  PSD_REQUIRE(src >= 0 && src < n, "source out of range");
+  PSD_REQUIRE(dst >= 0 && dst < n, "destination out of range");
+  PSD_REQUIRE(src != dst, "a node cannot send to itself");
+  PSD_REQUIRE(dst_[static_cast<std::size_t>(src)] == -1, "source already matched");
+  PSD_REQUIRE(src_[static_cast<std::size_t>(dst)] == -1, "destination already matched");
+  dst_[static_cast<std::size_t>(src)] = dst;
+  src_[static_cast<std::size_t>(dst)] = src;
+}
+
+int Matching::dst_of(int src) const {
+  PSD_REQUIRE(src >= 0 && src < size(), "source out of range");
+  return dst_[static_cast<std::size_t>(src)];
+}
+
+int Matching::src_of(int dst) const {
+  PSD_REQUIRE(dst >= 0 && dst < size(), "destination out of range");
+  return src_[static_cast<std::size_t>(dst)];
+}
+
+int Matching::active_pairs() const {
+  int c = 0;
+  for (int d : dst_) c += (d >= 0) ? 1 : 0;
+  return c;
+}
+
+bool Matching::is_full() const { return active_pairs() == size(); }
+
+bool Matching::is_involution() const {
+  for (int j = 0; j < size(); ++j) {
+    const int d = dst_[static_cast<std::size_t>(j)];
+    if (d >= 0 && dst_[static_cast<std::size_t>(d)] != j) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<int, int>> Matching::pairs() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(static_cast<std::size_t>(active_pairs()));
+  for (int j = 0; j < size(); ++j) {
+    const int d = dst_[static_cast<std::size_t>(j)];
+    if (d >= 0) out.emplace_back(j, d);
+  }
+  return out;
+}
+
+psd::Matrix Matching::to_matrix() const {
+  const auto n = static_cast<std::size_t>(size());
+  psd::Matrix m(n, n);
+  for (const auto& [s, d] : pairs()) {
+    m(static_cast<std::size_t>(s), static_cast<std::size_t>(d)) = 1.0;
+  }
+  return m;
+}
+
+int Matching::ports_changed_from(const Matching& other) const {
+  PSD_REQUIRE(size() == other.size(), "matchings must have equal size");
+  int changed = 0;
+  for (int j = 0; j < size(); ++j) {
+    if (dst_[static_cast<std::size_t>(j)] != other.dst_[static_cast<std::size_t>(j)]) ++changed;
+    if (src_[static_cast<std::size_t>(j)] != other.src_[static_cast<std::size_t>(j)]) ++changed;
+  }
+  return changed;
+}
+
+}  // namespace psd::topo

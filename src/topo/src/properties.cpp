@@ -1,0 +1,72 @@
+#include "psd/topo/properties.hpp"
+
+#include <algorithm>
+
+#include "psd/topo/shortest_path.hpp"
+
+namespace psd::topo {
+
+bool is_strongly_connected(const Graph& g) {
+  const int n = g.num_nodes();
+  if (n <= 1) return true;
+  const auto from0 = bfs_hops(g, 0);
+  if (std::any_of(from0.begin(), from0.end(),
+                  [](int d) { return d == kUnreachable; })) {
+    return false;
+  }
+  // Reverse reachability: every node must reach node 0.
+  for (NodeId v = 1; v < n; ++v) {
+    const auto d = bfs_hops(g, v);
+    if (d[0] == kUnreachable) return false;
+  }
+  return true;
+}
+
+int diameter(const Graph& g) {
+  PSD_REQUIRE(g.num_nodes() >= 1, "diameter of empty graph undefined");
+  int dia = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = bfs_hops(g, v);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (u == v) continue;
+      PSD_REQUIRE(d[static_cast<std::size_t>(u)] != kUnreachable,
+                  "graph must be strongly connected");
+      dia = std::max(dia, d[static_cast<std::size_t>(u)]);
+    }
+  }
+  return dia;
+}
+
+int max_pair_hops(const Graph& g, const Matching& m) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  int worst = 0;
+  for (const auto& [s, d] : m.pairs()) {
+    const auto hops = bfs_hops(g, s);
+    PSD_REQUIRE(hops[static_cast<std::size_t>(d)] != kUnreachable,
+                "matching pair is disconnected in the topology");
+    worst = std::max(worst, hops[static_cast<std::size_t>(d)]);
+  }
+  return worst;
+}
+
+long long total_pair_hops(const Graph& g, const Matching& m) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  long long total = 0;
+  for (const auto& [s, d] : m.pairs()) {
+    const auto hops = bfs_hops(g, s);
+    PSD_REQUIRE(hops[static_cast<std::size_t>(d)] != kUnreachable,
+                "matching pair is disconnected in the topology");
+    total += hops[static_cast<std::size_t>(d)];
+  }
+  return total;
+}
+
+bool matches_topology(const Graph& g, const Matching& m) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  for (const auto& [s, d] : m.pairs()) {
+    if (g.find_edge(s, d) < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace psd::topo

@@ -1,0 +1,88 @@
+#include "psd/topo/shortest_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace psd::topo {
+
+std::vector<int> bfs_hops(const Graph& g, NodeId src) {
+  PSD_REQUIRE(g.valid_node(src), "bfs source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (EdgeId e : g.out_edges(u)) {
+      const NodeId v = g.edge(e).dst;
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out.push_back(bfs_hops(g, v));
+  return out;
+}
+
+DijkstraResult dijkstra(const Graph& g, NodeId src,
+                        const std::vector<double>& edge_length) {
+  PSD_REQUIRE(g.valid_node(src), "dijkstra source out of range");
+  PSD_REQUIRE(edge_length.size() == static_cast<std::size_t>(g.num_edges()),
+              "edge_length must have one entry per edge");
+  constexpr double inf = std::numeric_limits<double>::infinity();
+
+  DijkstraResult res;
+  res.dist.assign(static_cast<std::size_t>(g.num_nodes()), inf);
+  res.parent_edge.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  res.dist[static_cast<std::size_t>(src)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, src);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > res.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (EdgeId e : g.out_edges(u)) {
+      const double len = edge_length[static_cast<std::size_t>(e)];
+      PSD_ASSERT(len >= 0.0 || std::isinf(len), "edge lengths must be non-negative");
+      if (std::isinf(len)) continue;
+      const NodeId v = g.edge(e).dst;
+      const double nd = d + len;
+      if (nd < res.dist[static_cast<std::size_t>(v)]) {
+        res.dist[static_cast<std::size_t>(v)] = nd;
+        res.parent_edge[static_cast<std::size_t>(v)] = e;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<EdgeId> extract_path(const Graph& g, const DijkstraResult& res,
+                                 NodeId src, NodeId dst) {
+  PSD_REQUIRE(g.valid_node(src) && g.valid_node(dst), "node out of range");
+  std::vector<EdgeId> path;
+  if (std::isinf(res.dist[static_cast<std::size_t>(dst)])) return path;
+  NodeId cur = dst;
+  while (cur != src) {
+    const EdgeId e = res.parent_edge[static_cast<std::size_t>(cur)];
+    if (e < 0) return {};  // no path recorded
+    path.push_back(e);
+    cur = g.edge(e).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace psd::topo

@@ -1,0 +1,55 @@
+// Error handling primitives for the psd library.
+//
+// Contract violations at public API boundaries throw psd::Error (callers can
+// recover or report); internal invariants use PSD_ASSERT, which terminates
+// with a diagnostic (a broken internal invariant is not recoverable).
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace psd {
+
+/// Base exception for all errors raised by the psd library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numeric routine fails to converge or a model is infeasible.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace psd
+
+/// Check a documented precondition of a public API; throws InvalidArgument.
+#define PSD_REQUIRE(cond, msg)                      \
+  do {                                              \
+    if (!(cond)) {                                  \
+      throw ::psd::InvalidArgument(                 \
+          std::string("precondition failed: ") +    \
+          (msg) + " [" #cond "]");                  \
+    }                                               \
+  } while (false)
+
+/// Check an internal invariant; aborts with a diagnostic if violated.
+#define PSD_ASSERT(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::psd::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,61 @@
+// Minimal JSON writer for exporting plans, traces and bench results to
+// downstream tooling (plotting, dashboards). Write-only by design: the
+// library never needs to parse JSON, so no parser is shipped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psd/util/error.hpp"
+
+namespace psd {
+
+/// Streaming JSON builder with automatic comma/nesting management.
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("opt");
+///   w.key("steps").begin_array();
+///   w.value(1).value(2);
+///   w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object, directly before a value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Finished document; throws if containers remain open.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Ctx : std::uint8_t { kObjectKey, kObjectValue, kArray, kTop };
+
+  void before_value();
+  void push(char open, Ctx ctx);
+  void pop(char close, Ctx expect_a, Ctx expect_b);
+
+  std::string out_;
+  std::vector<Ctx> stack_{Ctx::kTop};
+  bool need_comma_ = false;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace psd

@@ -1,0 +1,84 @@
+// Dense row-major matrix of doubles, sized for scale-up domains (n <= a few
+// thousand). Used for demand matrices, permutation matrices and BvN inputs.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "psd/util/error.hpp"
+
+namespace psd {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a square n x n matrix, zero-initialized.
+  static Matrix square(std::size_t n) { return Matrix(n, n); }
+
+  /// Creates the n x n identity.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// Builds from nested initializer lists; all rows must be equal length.
+  static Matrix from_rows(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    PSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    PSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double row_sum(std::size_t r) const;
+  [[nodiscard]] double col_sum(std::size_t c) const;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double max_abs() const;
+
+  /// True if every entry is >= -tol.
+  [[nodiscard]] bool is_nonnegative(double tol = 1e-12) const;
+
+  /// True if all row sums and column sums equal `target` within tol.
+  [[nodiscard]] bool is_doubly_stochastic_scaled(double target, double tol = 1e-9) const;
+
+  /// True if the matrix is a 0/1 (sub-)permutation matrix: at most one 1 per
+  /// row and per column, all other entries 0 (within tol).
+  [[nodiscard]] bool is_sub_permutation(double tol = 1e-12) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double k);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double k) { return a *= k; }
+  friend Matrix operator*(double k, Matrix a) { return a *= k; }
+
+  /// Max |a - b| over all entries; matrices must be the same shape.
+  [[nodiscard]] static double max_diff(const Matrix& a, const Matrix& b);
+
+  /// Multi-line debug rendering.
+  [[nodiscard]] std::string to_string(int precision = 3) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace psd

@@ -1,0 +1,45 @@
+// Deterministic, fast PRNG (xoshiro256**) for reproducible tests, property
+// sweeps and workload synthesis. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> permutation(int n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace psd

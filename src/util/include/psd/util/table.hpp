@@ -1,0 +1,38 @@
+// Aligned-text table and CSV rendering for bench binaries. Every figure
+// bench prints a human-readable heatmap table followed by a machine-readable
+// CSV block, so plots can be regenerated without re-running.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace psd {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; rows may have differing lengths.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with columns padded to their widest cell, two-space separated.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with `decimals` fractional digits.
+[[nodiscard]] std::string fmt_double(double v, int decimals = 2);
+
+/// Formats a speedup value compactly: "1.00", "12.3", "480".
+[[nodiscard]] std::string fmt_speedup(double v);
+
+}  // namespace psd

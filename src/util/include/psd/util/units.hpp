@@ -1,0 +1,141 @@
+// Strong unit types used throughout the library (Core Guidelines I.4).
+//
+// Internal canonical units:
+//   time      — nanoseconds      (TimeNs)
+//   data      — bytes            (Bytes)
+//   bandwidth — bytes per nanosecond (Bandwidth); 800 Gbps == 100 B/ns.
+//
+// All three are thin wrappers over double with explicit constructors and the
+// arithmetic that is physically meaningful (Bytes / Bandwidth -> TimeNs,
+// Bandwidth * TimeNs -> Bytes, ...). Mixing units without a conversion is a
+// compile error.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace psd {
+
+/// A duration in nanoseconds.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(double ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr double ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return ns_ / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return ns_ / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return ns_ / 1e9; }
+
+  constexpr auto operator<=>(const TimeNs&) const = default;
+
+  constexpr TimeNs& operator+=(TimeNs other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator*=(double k) {
+    ns_ *= k;
+    return *this;
+  }
+
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) { return TimeNs(a.ns_ + b.ns_); }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) { return TimeNs(a.ns_ - b.ns_); }
+  friend constexpr TimeNs operator*(TimeNs a, double k) { return TimeNs(a.ns_ * k); }
+  friend constexpr TimeNs operator*(double k, TimeNs a) { return TimeNs(a.ns_ * k); }
+  friend constexpr double operator/(TimeNs a, TimeNs b) { return a.ns_ / b.ns_; }
+  friend constexpr TimeNs operator/(TimeNs a, double k) { return TimeNs(a.ns_ / k); }
+
+ private:
+  double ns_ = 0.0;
+};
+
+/// A data volume in bytes.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double b) : b_(b) {}
+
+  [[nodiscard]] constexpr double count() const { return b_; }
+  [[nodiscard]] constexpr double kib() const { return b_ / 1024.0; }
+  [[nodiscard]] constexpr double mib() const { return b_ / (1024.0 * 1024.0); }
+  [[nodiscard]] constexpr double gib() const { return b_ / (1024.0 * 1024.0 * 1024.0); }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    b_ += other.b_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.b_ + b.b_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.b_ - b.b_); }
+  friend constexpr Bytes operator*(Bytes a, double k) { return Bytes(a.b_ * k); }
+  friend constexpr Bytes operator*(double k, Bytes a) { return Bytes(a.b_ * k); }
+  friend constexpr Bytes operator/(Bytes a, double k) { return Bytes(a.b_ / k); }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.b_ / b.b_; }
+
+ private:
+  double b_ = 0.0;
+};
+
+/// A bandwidth in bytes per nanosecond (== GB/s).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_ns) : bpn_(bytes_per_ns) {}
+
+  [[nodiscard]] constexpr double bytes_per_ns() const { return bpn_; }
+  [[nodiscard]] constexpr double gbps() const { return bpn_ * 8.0; }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth(a.bpn_ * k); }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth(a.bpn_ * k); }
+  friend constexpr Bandwidth operator/(Bandwidth a, double k) { return Bandwidth(a.bpn_ / k); }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.bpn_ / b.bpn_; }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth(a.bpn_ + b.bpn_); }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) { return Bandwidth(a.bpn_ - b.bpn_); }
+
+ private:
+  double bpn_ = 0.0;
+};
+
+/// Transmission time of `data` over a link of bandwidth `bw`.
+constexpr TimeNs operator/(Bytes data, Bandwidth bw) {
+  return TimeNs(data.count() / bw.bytes_per_ns());
+}
+
+/// Data transferred at `bw` for duration `t`.
+constexpr Bytes operator*(Bandwidth bw, TimeNs t) {
+  return Bytes(bw.bytes_per_ns() * t.ns());
+}
+constexpr Bytes operator*(TimeNs t, Bandwidth bw) { return bw * t; }
+
+// ---- Named constructors -----------------------------------------------
+
+constexpr TimeNs nanoseconds(double v) { return TimeNs(v); }
+constexpr TimeNs microseconds(double v) { return TimeNs(v * 1e3); }
+constexpr TimeNs milliseconds(double v) { return TimeNs(v * 1e6); }
+constexpr TimeNs seconds(double v) { return TimeNs(v * 1e9); }
+
+constexpr Bytes bytes(double v) { return Bytes(v); }
+constexpr Bytes kib(double v) { return Bytes(v * 1024.0); }
+constexpr Bytes mib(double v) { return Bytes(v * 1024.0 * 1024.0); }
+constexpr Bytes gib(double v) { return Bytes(v * 1024.0 * 1024.0 * 1024.0); }
+
+constexpr Bandwidth gbps(double v) { return Bandwidth(v / 8.0); }
+constexpr Bandwidth bytes_per_ns(double v) { return Bandwidth(v); }
+
+/// Human-readable rendering, e.g. "1.5 us", "100 ns", "2.5 ms".
+[[nodiscard]] std::string to_string(TimeNs t);
+/// Human-readable rendering, e.g. "64 KiB", "1 GiB".
+[[nodiscard]] std::string to_string(Bytes b);
+/// Human-readable rendering, e.g. "800 Gbps".
+[[nodiscard]] std::string to_string(Bandwidth bw);
+
+}  // namespace psd

@@ -1,0 +1,14 @@
+#include "psd/util/error.hpp"
+
+#include <cstdio>
+
+namespace psd::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "psd: internal invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace psd::detail

@@ -1,0 +1,149 @@
+#include "psd/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace psd {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  PSD_REQUIRE(!stack_.empty(), "writer misuse: unbalanced containers");
+  const Ctx ctx = stack_.back();
+  PSD_REQUIRE(ctx != Ctx::kObjectKey,
+              "a key is required before a value inside an object");
+  if (need_comma_) out_ += ',';
+  if (ctx == Ctx::kObjectValue) {
+    stack_.back() = Ctx::kObjectKey;  // next item must be a key
+    need_comma_ = true;
+  } else if (ctx == Ctx::kArray) {
+    need_comma_ = true;
+  } else {  // top level: single value only
+    PSD_REQUIRE(out_.empty(), "only one top-level value allowed");
+    need_comma_ = false;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PSD_REQUIRE(!stack_.empty() && stack_.back() == Ctx::kObjectKey,
+              "key() is only valid inside an object");
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  stack_.back() = Ctx::kObjectValue;
+  return *this;
+}
+
+void JsonWriter::push(char open, Ctx ctx) {
+  before_value();
+  out_ += open;
+  stack_.push_back(ctx);
+  need_comma_ = false;
+}
+
+void JsonWriter::pop(char close, Ctx expect_a, Ctx expect_b) {
+  PSD_REQUIRE(stack_.size() > 1, "no open container to close");
+  const Ctx ctx = stack_.back();
+  PSD_REQUIRE(ctx == expect_a || ctx == expect_b, "mismatched container close");
+  stack_.pop_back();
+  out_ += close;
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  push('{', Ctx::kObjectKey);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  pop('}', Ctx::kObjectKey, Ctx::kObjectKey);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  push('[', Ctx::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  pop(']', Ctx::kArray, Ctx::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  PSD_REQUIRE(stack_.size() == 1, "unclosed containers remain");
+  return out_;
+}
+
+}  // namespace psd

@@ -1,0 +1,120 @@
+#include "psd/util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace psd {
+
+Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  const std::size_t r = rows.size();
+  PSD_REQUIRE(r > 0, "matrix must have at least one row");
+  const std::size_t c = rows.begin()->size();
+  Matrix m(r, c);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    PSD_REQUIRE(row.size() == c, "all rows must have equal length");
+    std::size_t j = 0;
+    for (double v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+double Matrix::row_sum(std::size_t r) const {
+  PSD_REQUIRE(r < rows_, "row index out of range");
+  double s = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) s += data_[r * cols_ + c];
+  return s;
+}
+
+double Matrix::col_sum(std::size_t c) const {
+  PSD_REQUIRE(c < cols_, "column index out of range");
+  double s = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) s += data_[r * cols_ + c];
+  return s;
+}
+
+double Matrix::total() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::is_nonnegative(double tol) const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [tol](double v) { return v >= -tol; });
+}
+
+bool Matrix::is_doubly_stochastic_scaled(double target, double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (std::fabs(row_sum(i) - target) > tol) return false;
+    if (std::fabs(col_sum(i) - target) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::is_sub_permutation(double tol) const {
+  if (rows_ != cols_) return false;
+  std::vector<int> col_used(cols_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    int ones_in_row = 0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double v = (*this)(r, c);
+      if (std::fabs(v) <= tol) continue;
+      if (std::fabs(v - 1.0) > tol) return false;
+      if (++ones_in_row > 1) return false;
+      if (++col_used[c] > 1) return false;
+    }
+  }
+  return true;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  PSD_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  PSD_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double k) {
+  for (double& v : data_) v *= k;
+  return *this;
+}
+
+double Matrix::max_diff(const Matrix& a, const Matrix& b) {
+  PSD_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%*.*f ", precision + 4, precision,
+                    (*this)(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace psd

@@ -1,0 +1,82 @@
+#include "psd/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psd {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  std::string out;
+  auto emit = [&out, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) {
+        out.append(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      if (i + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_speedup(double v) {
+  char buf[64];
+  if (v < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  } else if (v < 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace psd

@@ -1,0 +1,44 @@
+#include "psd/util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace psd {
+
+namespace {
+
+/// Renders `value` with up to 3 significant decimals, trimming zeros.
+std::string trim_number(double value) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.3f", value);
+  std::string s(buf.data());
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string to_string(TimeNs t) {
+  const double ns = t.ns();
+  const double mag = std::fabs(ns);
+  if (mag < 1e3) return trim_number(ns) + " ns";
+  if (mag < 1e6) return trim_number(ns / 1e3) + " us";
+  if (mag < 1e9) return trim_number(ns / 1e6) + " ms";
+  return trim_number(ns / 1e9) + " s";
+}
+
+std::string to_string(Bytes b) {
+  const double v = b.count();
+  const double mag = std::fabs(v);
+  constexpr double ki = 1024.0;
+  if (mag < ki) return trim_number(v) + " B";
+  if (mag < ki * ki) return trim_number(v / ki) + " KiB";
+  if (mag < ki * ki * ki) return trim_number(v / (ki * ki)) + " MiB";
+  return trim_number(v / (ki * ki * ki)) + " GiB";
+}
+
+std::string to_string(Bandwidth bw) { return trim_number(bw.gbps()) + " Gbps"; }
+
+}  // namespace psd

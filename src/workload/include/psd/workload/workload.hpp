@@ -1,0 +1,96 @@
+// Synthetic workload generators: the communication phases of distributed
+// training expressed as sequences of collective requests, materialized into
+// matching-level CollectiveSchedules for the optimizer and simulator.
+//
+// The paper motivates adaptive fabrics with AI scale-up traffic; since no
+// production traces are available (see DESIGN.md), these generators model
+// the standard structure: tensor-parallel activation AllReduces per layer,
+// MoE token dispatch/combine All-to-Alls, and bucketed data-parallel
+// gradient synchronization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psd/collective/schedule.hpp"
+
+namespace psd::workload {
+
+enum class CollectiveKind {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kAllToAll,
+  kBroadcast,
+};
+
+[[nodiscard]] const char* to_string(CollectiveKind kind);
+
+/// One collective to run over the whole scale-up domain.
+struct CollectiveRequest {
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  Bytes size;       // per-GPU buffer
+  std::string tag;  // provenance, e.g. "dp-bucket-2"
+};
+
+enum class AllReduceAlgo { kRing, kRecursiveDoubling, kHalvingDoubling, kSwing };
+enum class AllToAllAlgo { kTranspose, kBruck };
+
+struct MaterializeOptions {
+  AllReduceAlgo allreduce = AllReduceAlgo::kHalvingDoubling;
+  AllToAllAlgo alltoall = AllToAllAlgo::kTranspose;
+  int broadcast_root = 0;
+};
+
+/// Turns a request into a concrete matching-level schedule for n GPUs.
+/// Power-of-two n is required for the recursive algorithms (Bruck, swing,
+/// halving/doubling, recursive doubling); ring algorithms accept any n.
+[[nodiscard]] collective::CollectiveSchedule materialize(
+    const CollectiveRequest& request, int n, const MaterializeOptions& opts = {});
+
+/// Concatenates the materialized schedules of a whole request sequence.
+[[nodiscard]] collective::CollectiveSchedule materialize_sequence(
+    const std::vector<CollectiveRequest>& requests, int n,
+    const MaterializeOptions& opts = {});
+
+// ---- Generators ----------------------------------------------------------
+
+/// Bucketed data-parallel gradient sync: `buckets` AllReduces covering
+/// `model_gradients` bytes (equal buckets).
+struct DataParallelSpec {
+  Bytes model_gradients;
+  int buckets = 4;
+};
+[[nodiscard]] std::vector<CollectiveRequest> data_parallel_sync(
+    const DataParallelSpec& spec);
+
+/// MoE layers: one dispatch All-to-All and one combine All-to-All per layer.
+struct MoeSpec {
+  Bytes tokens_per_gpu;
+  int layers = 1;
+};
+[[nodiscard]] std::vector<CollectiveRequest> moe_dispatch_combine(const MoeSpec& spec);
+
+/// Megatron-style tensor parallelism: two activation AllReduces per layer
+/// forward and two backward.
+struct TensorParallelSpec {
+  Bytes activations_per_layer;
+  int layers = 1;
+};
+[[nodiscard]] std::vector<CollectiveRequest> tensor_parallel_activations(
+    const TensorParallelSpec& spec);
+
+/// One full training iteration: TP activations (forward), MoE layers,
+/// TP activations (backward), then bucketed DP gradient sync.
+struct TrainingIterationSpec {
+  TensorParallelSpec tp{Bytes(0.0), 0};
+  MoeSpec moe{Bytes(0.0), 0};
+  DataParallelSpec dp{Bytes(0.0), 0};
+};
+[[nodiscard]] std::vector<CollectiveRequest> training_iteration(
+    const TrainingIterationSpec& spec);
+
+/// Total bytes requested (per GPU) across a sequence.
+[[nodiscard]] Bytes total_bytes(const std::vector<CollectiveRequest>& requests);
+
+}  // namespace psd::workload

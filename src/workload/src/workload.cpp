@@ -1,0 +1,149 @@
+#include "psd/workload/workload.hpp"
+
+#include <bit>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/util/error.hpp"
+
+namespace psd::workload {
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "allreduce";
+    case CollectiveKind::kAllGather:
+      return "allgather";
+    case CollectiveKind::kReduceScatter:
+      return "reduce-scatter";
+    case CollectiveKind::kAllToAll:
+      return "alltoall";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+namespace {
+
+bool pow2(int n) { return n >= 2 && std::has_single_bit(static_cast<unsigned>(n)); }
+
+}  // namespace
+
+collective::CollectiveSchedule materialize(const CollectiveRequest& request,
+                                           int n, const MaterializeOptions& opts) {
+  PSD_REQUIRE(request.size.count() > 0.0, "request size must be positive");
+  switch (request.kind) {
+    case CollectiveKind::kAllReduce:
+      switch (opts.allreduce) {
+        case AllReduceAlgo::kRing:
+          return collective::ring_allreduce(n, request.size);
+        case AllReduceAlgo::kRecursiveDoubling:
+          return collective::recursive_doubling_allreduce(n, request.size);
+        case AllReduceAlgo::kHalvingDoubling:
+          return collective::halving_doubling_allreduce(n, request.size);
+        case AllReduceAlgo::kSwing:
+          return collective::swing_allreduce(n, request.size);
+      }
+      break;
+    case CollectiveKind::kAllGather:
+      if (pow2(n)) return collective::recursive_doubling_allgather(n, request.size);
+      return collective::ring_allgather(n, request.size);
+    case CollectiveKind::kReduceScatter:
+      if (pow2(n)) {
+        return collective::recursive_exchange_reduce_scatter(
+            "halving-reduce-scatter", n, request.size,
+            collective::halving_doubling_peers(n));
+      }
+      return collective::ring_reduce_scatter(n, request.size);
+    case CollectiveKind::kAllToAll:
+      if (opts.alltoall == AllToAllAlgo::kBruck) {
+        return collective::alltoall_bruck(n, request.size);
+      }
+      return collective::alltoall_transpose(n, request.size);
+    case CollectiveKind::kBroadcast:
+      return collective::binomial_broadcast(n, opts.broadcast_root, request.size);
+  }
+  throw InvalidArgument("unknown collective kind");
+}
+
+collective::CollectiveSchedule materialize_sequence(
+    const std::vector<CollectiveRequest>& requests, int n,
+    const MaterializeOptions& opts) {
+  PSD_REQUIRE(!requests.empty(), "request sequence must be non-empty");
+  auto out = materialize(requests.front(), n, opts);
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    out = out.then(materialize(requests[i], n, opts));
+  }
+  return out;
+}
+
+std::vector<CollectiveRequest> data_parallel_sync(const DataParallelSpec& spec) {
+  PSD_REQUIRE(spec.buckets >= 1, "at least one gradient bucket required");
+  PSD_REQUIRE(spec.model_gradients.count() > 0.0, "gradient bytes must be positive");
+  std::vector<CollectiveRequest> out;
+  const Bytes per_bucket = spec.model_gradients / static_cast<double>(spec.buckets);
+  for (int b = 0; b < spec.buckets; ++b) {
+    out.push_back({CollectiveKind::kAllReduce, per_bucket,
+                   "dp-bucket-" + std::to_string(b)});
+  }
+  return out;
+}
+
+std::vector<CollectiveRequest> moe_dispatch_combine(const MoeSpec& spec) {
+  PSD_REQUIRE(spec.layers >= 1, "at least one MoE layer required");
+  PSD_REQUIRE(spec.tokens_per_gpu.count() > 0.0, "token bytes must be positive");
+  std::vector<CollectiveRequest> out;
+  for (int l = 0; l < spec.layers; ++l) {
+    out.push_back({CollectiveKind::kAllToAll, spec.tokens_per_gpu,
+                   "moe-dispatch-" + std::to_string(l)});
+    out.push_back({CollectiveKind::kAllToAll, spec.tokens_per_gpu,
+                   "moe-combine-" + std::to_string(l)});
+  }
+  return out;
+}
+
+std::vector<CollectiveRequest> tensor_parallel_activations(
+    const TensorParallelSpec& spec) {
+  PSD_REQUIRE(spec.layers >= 1, "at least one layer required");
+  PSD_REQUIRE(spec.activations_per_layer.count() > 0.0,
+              "activation bytes must be positive");
+  std::vector<CollectiveRequest> out;
+  for (int l = 0; l < spec.layers; ++l) {
+    out.push_back({CollectiveKind::kAllReduce, spec.activations_per_layer,
+                   "tp-attn-" + std::to_string(l)});
+    out.push_back({CollectiveKind::kAllReduce, spec.activations_per_layer,
+                   "tp-mlp-" + std::to_string(l)});
+  }
+  return out;
+}
+
+std::vector<CollectiveRequest> training_iteration(const TrainingIterationSpec& spec) {
+  std::vector<CollectiveRequest> out;
+  const bool has_tp = spec.tp.layers > 0 && spec.tp.activations_per_layer.count() > 0;
+  if (has_tp) {
+    const auto fwd = tensor_parallel_activations(spec.tp);
+    out.insert(out.end(), fwd.begin(), fwd.end());
+  }
+  if (spec.moe.layers > 0 && spec.moe.tokens_per_gpu.count() > 0) {
+    const auto moe = moe_dispatch_combine(spec.moe);
+    out.insert(out.end(), moe.begin(), moe.end());
+  }
+  if (has_tp) {  // backward pass mirrors the forward AllReduces
+    const auto bwd = tensor_parallel_activations(spec.tp);
+    out.insert(out.end(), bwd.begin(), bwd.end());
+  }
+  if (spec.dp.buckets > 0 && spec.dp.model_gradients.count() > 0) {
+    const auto dp = data_parallel_sync(spec.dp);
+    out.insert(out.end(), dp.begin(), dp.end());
+  }
+  PSD_REQUIRE(!out.empty(), "training iteration spec enables no phase");
+  return out;
+}
+
+Bytes total_bytes(const std::vector<CollectiveRequest>& requests) {
+  Bytes total(0.0);
+  for (const auto& r : requests) total += r.size;
+  return total;
+}
+
+}  // namespace psd::workload

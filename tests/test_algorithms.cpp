@@ -1,0 +1,338 @@
+#include "psd/collective/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/executor.hpp"
+
+namespace psd::collective {
+namespace {
+
+using topo::Matching;
+
+// ---------------- Ring AllReduce ----------------------------------------
+
+class RingAllReduceP : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingAllReduceP, SemanticsAndShape) {
+  const int n = GetParam();
+  const auto sched = ring_allreduce(n, mib(1));
+  EXPECT_EQ(sched.num_steps(), 2 * (n - 1));
+  EXPECT_TRUE(is_valid_allreduce(sched)) << "n=" << n;
+  // Every step is the +1 rotation carrying one chunk.
+  for (const auto& step : sched.steps()) {
+    EXPECT_TRUE(step.matching == Matching::rotation(n, 1));
+    EXPECT_DOUBLE_EQ(step.volume.count(), mib(1).count() / n);
+  }
+  // Bandwidth-optimal: 2(n−1)/n · M per node.
+  EXPECT_NEAR(sched.max_bytes_sent_per_node().count(),
+              2.0 * (n - 1) / n * mib(1).count(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingAllReduceP,
+                         ::testing::Values(2, 3, 4, 5, 8, 16, 33, 64));
+
+TEST(RingPhases, ReduceScatterOwnership) {
+  const int n = 6;
+  const auto rs = ring_reduce_scatter(n, mib(1));
+  EXPECT_EQ(rs.num_steps(), n - 1);
+  const ChunkExecutor exec(rs, InitMode::kAllReduce);
+  // Chunk c travels one hop per step and is fully reduced at node
+  // (c + n − 1) mod n = (c − 1) mod n after the ring pass.
+  std::vector<int> owners(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) owners[static_cast<std::size_t>(c)] = (c + n - 1) % n;
+  EXPECT_TRUE(exec.verify_reduce_scatter(owners));
+}
+
+TEST(RingPhases, AllGatherCompletesFromOwnership) {
+  const int n = 6;
+  // Compose rs+ag manually and check the full pipeline (same as
+  // ring_allreduce, but exercises then()).
+  const auto composed = ring_reduce_scatter(n, mib(1)).then(ring_allgather(n, mib(1)));
+  EXPECT_TRUE(is_valid_allreduce(composed));
+}
+
+// ---------------- Recursive exchange family -----------------------------
+
+class AllReduceFamilyP
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {
+ public:
+  static CollectiveSchedule build(const std::string& algo, int n) {
+    if (algo == "ring") return ring_allreduce(n, mib(4));
+    if (algo == "hd") return halving_doubling_allreduce(n, mib(4));
+    if (algo == "swing") return swing_allreduce(n, mib(4));
+    if (algo == "rd") return recursive_doubling_allreduce(n, mib(4));
+    throw psd::InvalidArgument("unknown algorithm " + algo);
+  }
+};
+
+TEST_P(AllReduceFamilyP, ProducesCorrectAllReduce) {
+  const auto [algo, n] = GetParam();
+  EXPECT_TRUE(is_valid_allreduce(build(algo, n))) << algo << " n=" << n;
+}
+
+TEST_P(AllReduceFamilyP, NoDoubleCounting) {
+  const auto [algo, n] = GetParam();
+  const ChunkExecutor exec(build(algo, n), InitMode::kAllReduce);
+  EXPECT_FALSE(exec.double_counted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSizes, AllReduceFamilyP,
+    ::testing::Combine(::testing::Values("ring", "hd", "swing", "rd"),
+                       ::testing::Values(2, 4, 8, 16, 32, 64)));
+
+TEST(HalvingDoubling, StepCountLogarithmic) {
+  EXPECT_EQ(halving_doubling_allreduce(64, mib(1)).num_steps(), 12);
+  EXPECT_EQ(swing_allreduce(64, mib(1)).num_steps(), 12);
+  EXPECT_EQ(recursive_doubling_allreduce(64, mib(1)).num_steps(), 6);
+}
+
+TEST(RecursiveDoubling, FullVectorEveryStep) {
+  const auto sched = recursive_doubling_allreduce(8, mib(2));
+  for (const auto& step : sched.steps()) {
+    EXPECT_DOUBLE_EQ(step.volume.mib(), 2.0);
+  }
+  // Latency-optimal but NOT bandwidth-optimal: log2(n)·M per node.
+  EXPECT_DOUBLE_EQ(sched.max_bytes_sent_per_node().mib(), 3 * 2.0);
+}
+
+TEST(RecursiveDoubling, PeersAreXor) {
+  const auto sched = recursive_doubling_allreduce(8, mib(1));
+  for (int s = 0; s < 3; ++s) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(sched.step(s).matching.dst_of(j), j ^ (1 << s));
+    }
+  }
+}
+
+// ---------------- All-to-All ---------------------------------------------
+
+class AllToAllP : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllToAllP, TransposeSemantics) {
+  const int n = GetParam();
+  const auto sched = alltoall_transpose(n, mib(1));
+  EXPECT_EQ(sched.num_steps(), n - 1);
+  EXPECT_TRUE(is_valid_alltoall(sched)) << "n=" << n;
+  for (int i = 1; i < n; ++i) {
+    EXPECT_TRUE(sched.step(i - 1).matching == Matching::rotation(n, i));
+    EXPECT_DOUBLE_EQ(sched.step(i - 1).volume.count(), mib(1).count() / n);
+  }
+  // Each node ships (n−1)/n · M in total.
+  EXPECT_NEAR(sched.max_bytes_sent_per_node().count(),
+              (n - 1.0) / n * mib(1).count(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllToAllP, ::testing::Values(2, 3, 4, 7, 8, 16, 64));
+
+class BruckP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruckP, LogStepAllToAll) {
+  const int n = GetParam();
+  const auto sched = alltoall_bruck(n, mib(1));
+  int q = 0;
+  while ((1 << q) < n) ++q;
+  EXPECT_EQ(sched.num_steps(), q);
+  EXPECT_TRUE(is_valid_alltoall(sched)) << "n=" << n;
+  // Every step carries exactly M/2 per node over a power-of-two rotation.
+  for (int k = 0; k < q; ++k) {
+    EXPECT_TRUE(sched.step(k).matching == Matching::rotation(n, 1 << k));
+    EXPECT_DOUBLE_EQ(sched.step(k).volume.count(), mib(1).count() / 2.0);
+  }
+  // Total traffic: q·M/2 per node (relaying costs bandwidth).
+  EXPECT_NEAR(sched.max_bytes_sent_per_node().count(), q * mib(1).count() / 2.0,
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BruckP, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(Bruck, TradesBandwidthForSteps) {
+  // Versus the transpose: log(n) steps instead of n−1, but more bytes.
+  const int n = 32;
+  const auto bruck = alltoall_bruck(n, mib(1));
+  const auto transpose = alltoall_transpose(n, mib(1));
+  EXPECT_LT(bruck.num_steps(), transpose.num_steps());
+  EXPECT_GT(bruck.max_bytes_sent_per_node().count(),
+            transpose.max_bytes_sent_per_node().count());
+}
+
+TEST(Bruck, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)alltoall_bruck(6, mib(1)), psd::InvalidArgument);
+}
+
+// ---------------- Broadcast ----------------------------------------------
+
+class BroadcastP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BroadcastP, AllNodesReceiveRootData) {
+  const auto [n, root] = GetParam();
+  const auto sched = binomial_broadcast(n, root, mib(1));
+  const ChunkExecutor exec(sched, InitMode::kBroadcast, root);
+  EXPECT_TRUE(exec.verify_all_complete()) << "n=" << n << " root=" << root;
+  // ceil(log2(n)) steps.
+  int q = 0;
+  while ((1 << q) < n) ++q;
+  EXPECT_EQ(sched.num_steps(), q);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndRoots, BroadcastP,
+                         ::testing::Values(std::tuple{2, 0}, std::tuple{5, 0},
+                                           std::tuple{8, 3}, std::tuple{16, 15},
+                                           std::tuple{13, 6}, std::tuple{64, 0}));
+
+TEST(Broadcast, RejectsBadRoot) {
+  EXPECT_THROW((void)binomial_broadcast(4, 4, mib(1)), psd::InvalidArgument);
+  EXPECT_THROW((void)binomial_broadcast(4, -1, mib(1)), psd::InvalidArgument);
+}
+
+// ---------------- Allgather ----------------------------------------------
+
+TEST(RecursiveDoublingAllgather, CompletesAndDoublesVolumes) {
+  const int n = 16;
+  const auto sched = recursive_doubling_allgather(n, mib(1));
+  EXPECT_EQ(sched.num_steps(), 4);
+  const ChunkExecutor exec(sched, InitMode::kAllGather);
+  EXPECT_TRUE(exec.verify_all_complete());
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(sched.step(s).volume.count(),
+                     mib(1).count() / n * (1 << s));
+  }
+}
+
+TEST(RingAllgather, CompletesFromRingOwnership) {
+  // Ring allgather assumes the ring reduce-scatter's ownership: node j
+  // holds chunk (j+1) mod n, i.e. chunk c lives at node (c−1) mod n.
+  const int n = 8;
+  const auto sched = ring_allgather(n, mib(1));
+  std::vector<int> owners(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) owners[static_cast<std::size_t>(c)] = (c + n - 1) % n;
+  const ChunkExecutor exec(sched, owners);
+  EXPECT_TRUE(exec.verify_all_complete());
+
+  // From the *wrong* ownership (node j holding chunk j) it must fail.
+  const ChunkExecutor wrong(sched, InitMode::kAllGather);
+  EXPECT_FALSE(wrong.verify_all_complete());
+}
+
+class BruckAllgatherP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BruckAllgatherP, AnyNodeCountCompletes) {
+  const int n = GetParam();
+  const auto sched = bruck_allgather(n, mib(1));
+  int q = 0;
+  while ((1 << q) < n) ++q;
+  EXPECT_EQ(sched.num_steps(), q);  // ceil(log2 n) — beats the ring's n−1
+  const ChunkExecutor exec(sched, InitMode::kAllGather);
+  EXPECT_TRUE(exec.verify_all_complete()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BruckAllgatherP,
+                         ::testing::Values(2, 3, 5, 6, 8, 13, 16, 33, 64));
+
+class ReduceP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReduceP, RootAccumulatesEverything) {
+  const auto [n, root] = GetParam();
+  const auto sched = binomial_reduce(n, root, mib(1));
+  const ChunkExecutor exec(sched, InitMode::kAllReduce);
+  EXPECT_FALSE(exec.double_counted());
+  EXPECT_TRUE(exec.verify_reduce_scatter({root})) << "n=" << n << " root=" << root;
+  // Non-roots are NOT fully reduced (it is a reduce, not an allreduce).
+  const int other = (root + 1) % n;
+  EXPECT_FALSE(exec.mask_full(other, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndRoots, ReduceP,
+                         ::testing::Values(std::tuple{2, 0}, std::tuple{5, 2},
+                                           std::tuple{8, 0}, std::tuple{8, 7},
+                                           std::tuple{13, 6}, std::tuple{64, 9}));
+
+TEST(ScatterGather, ScatterDeliversDistinctChunks) {
+  const int n = 8;
+  const int root = 3;
+  const auto sched = binomial_scatter(n, root, mib(1));
+  EXPECT_EQ(sched.num_steps(), 3);
+  // Root starts with the whole buffer (all chunks complete).
+  std::vector<int> owners(static_cast<std::size_t>(n), root);
+  const ChunkExecutor exec(sched, owners);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_TRUE(exec.mask_full((root + r) % n, r)) << "relative rank " << r;
+  }
+  // Volumes halve: n/2, n/4, ... chunks.
+  EXPECT_DOUBLE_EQ(sched.step(0).volume.count(), mib(1).count() / 2);
+  EXPECT_DOUBLE_EQ(sched.step(2).volume.count(), mib(1).count() / 8);
+}
+
+TEST(ScatterGather, GatherCollectsAllChunksAtRoot) {
+  const int n = 16;
+  const int root = 5;
+  const auto sched = binomial_gather(n, root, mib(1));
+  EXPECT_EQ(sched.num_steps(), 4);
+  // Node (root + r) starts owning relative chunk r.
+  std::vector<int> owners(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) owners[static_cast<std::size_t>(r)] = (root + r) % n;
+  const ChunkExecutor exec(sched, owners);
+  for (int r = 0; r < n; ++r) {
+    EXPECT_TRUE(exec.mask_full(root, r)) << "chunk " << r;
+  }
+}
+
+TEST(ScatterGather, GatherMirrorsScatterVolumes) {
+  const int n = 8;
+  const auto scatter = binomial_scatter(n, 0, mib(1));
+  const auto gather = binomial_gather(n, 0, mib(1));
+  ASSERT_EQ(scatter.num_steps(), gather.num_steps());
+  for (int i = 0; i < scatter.num_steps(); ++i) {
+    EXPECT_DOUBLE_EQ(
+        scatter.step(i).volume.count(),
+        gather.step(gather.num_steps() - 1 - i).volume.count());
+  }
+}
+
+TEST(ScatterGather, RejectNonPowerOfTwoAndBadRoot) {
+  EXPECT_THROW((void)binomial_scatter(6, 0, mib(1)), psd::InvalidArgument);
+  EXPECT_THROW((void)binomial_gather(6, 0, mib(1)), psd::InvalidArgument);
+  EXPECT_THROW((void)binomial_scatter(8, 8, mib(1)), psd::InvalidArgument);
+  EXPECT_THROW((void)binomial_reduce(8, -1, mib(1)), psd::InvalidArgument);
+}
+
+class BarrierP : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierP, EveryoneHearsFromEveryone) {
+  const int n = GetParam();
+  const auto sched = dissemination_barrier(n, bytes(64));
+  int q = 0;
+  while ((1 << q) < n) ++q;
+  EXPECT_EQ(sched.num_steps(), q);
+  const ChunkExecutor exec(sched, InitMode::kAllReduce);
+  EXPECT_TRUE(exec.verify_all_complete()) << "n=" << n;
+}
+
+TEST_P(BarrierP, OneFewerRoundIsInsufficient) {
+  const int n = GetParam();
+  const auto full = dissemination_barrier(n, bytes(64));
+  if (full.num_steps() < 2) GTEST_SKIP();
+  CollectiveSchedule partial("partial-barrier", n, bytes(64), 1,
+                             ChunkSpace::kSegments);
+  for (int i = 0; i + 1 < full.num_steps(); ++i) partial.add_step(full.step(i));
+  const ChunkExecutor exec(partial, InitMode::kAllReduce);
+  EXPECT_FALSE(exec.verify_all_complete()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierP, ::testing::Values(2, 3, 5, 8, 17, 64));
+
+// ---------------- Composition ---------------------------------------------
+
+TEST(Composition, AllReduceThenAllToAllKeepsStructure) {
+  // §3.3: the framework supports sequences of collectives.
+  const auto composed = halving_doubling_allreduce(8, mib(1))
+                            .then(alltoall_transpose(8, mib(1)));
+  EXPECT_EQ(composed.num_steps(), 6 + 7);
+  // Annotations of the tail are dropped (different chunk spaces) but
+  // matchings and volumes survive.
+  EXPECT_TRUE(composed.step(6).matching == Matching::rotation(8, 1));
+  EXPECT_DOUBLE_EQ(composed.step(6).volume.count(), mib(1).count() / 8);
+}
+
+}  // namespace
+}  // namespace psd::collective

@@ -1,0 +1,136 @@
+#include "psd/bvn/birkhoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/util/rng.hpp"
+
+namespace psd::bvn {
+namespace {
+
+using psd::Matrix;
+using topo::Matching;
+
+/// Random scaled doubly-stochastic matrix (zero diagonal) built as a convex
+/// combination of rotations.
+Matrix random_ds(int n, int terms, psd::Rng& rng, double scale) {
+  Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  double remaining = scale;
+  for (int t = 0; t < terms; ++t) {
+    const double w = (t + 1 == terms) ? remaining : remaining * rng.next_double();
+    remaining -= w;
+    const int k = rng.uniform_int(1, n - 1);
+    const auto rot = Matching::rotation(n, k);
+    for (const auto& [s, d] : rot.pairs()) {
+      m(static_cast<std::size_t>(s), static_cast<std::size_t>(d)) += w;
+    }
+  }
+  return m;
+}
+
+TEST(Birkhoff, SinglePermutationYieldsOneTerm) {
+  const auto rot = Matching::rotation(6, 2);
+  const Matrix m = rot.to_matrix() * 3.5;
+  const auto terms = birkhoff_decompose(m);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_NEAR(terms[0].weight, 3.5, 1e-12);
+  EXPECT_TRUE(terms[0].matching == rot);
+}
+
+TEST(Birkhoff, IdentityDropsSelfTraffic) {
+  // Self-communication carries no bytes; the diagonal is discarded.
+  const auto terms = birkhoff_decompose(Matrix::identity(4));
+  EXPECT_TRUE(terms.empty());
+}
+
+TEST(Birkhoff, TwoTermCombinationRoundTrips) {
+  const Matrix m = Matching::rotation(5, 1).to_matrix() * 2.0 +
+                   Matching::rotation(5, 2).to_matrix() * 1.0;
+  const auto terms = birkhoff_decompose(m);
+  EXPECT_LE(terms.size(), 2u);
+  EXPECT_NEAR(Matrix::max_diff(recompose(terms, 5), m), 0.0, 1e-9);
+}
+
+TEST(Birkhoff, RandomDoublyStochasticRoundTrips) {
+  psd::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 8;
+    const Matrix m = random_ds(n, 5, rng, 4.0);
+    const auto terms =
+        birkhoff_decompose(m, {.tol = 1e-9, .allow_partial = false});
+    EXPECT_NEAR(Matrix::max_diff(recompose(terms, n), m), 0.0, 1e-7)
+        << "trial " << trial;
+    // Birkhoff bound: at most (n-1)^2 + 1 terms.
+    EXPECT_LE(terms.size(), static_cast<std::size_t>((n - 1) * (n - 1) + 1));
+    for (const auto& t : terms) EXPECT_GT(t.weight, 0.0);
+  }
+}
+
+TEST(Birkhoff, PartialMatrixDecomposes) {
+  Matrix m(4, 4);
+  m(0, 1) = 2.0;
+  m(2, 3) = 1.0;
+  const auto terms = birkhoff_decompose(m);
+  EXPECT_NEAR(Matrix::max_diff(recompose(terms, 4), m), 0.0, 1e-9);
+  EXPECT_LE(terms.size(), 2u);
+}
+
+TEST(Birkhoff, StrictModeRejectsUnevenSums) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;  // row 1 and column 0 empty
+  EXPECT_THROW(
+      (void)birkhoff_decompose(m, {.tol = 1e-9, .allow_partial = false}),
+      psd::InvalidArgument);
+}
+
+TEST(Birkhoff, RejectsNegativeAndNonSquare) {
+  EXPECT_THROW(
+      (void)birkhoff_decompose(Matrix::from_rows({{-1.0, 1.0}, {1.0, -1.0}})),
+      psd::InvalidArgument);
+  EXPECT_THROW((void)birkhoff_decompose(Matrix(2, 3)), psd::InvalidArgument);
+}
+
+TEST(Birkhoff, WeightsSumToRowSum) {
+  psd::Rng rng(11);
+  const Matrix m = random_ds(6, 4, rng, 2.5);
+  const auto terms = birkhoff_decompose(m, {.tol = 1e-9, .allow_partial = false});
+  double total = 0.0;
+  for (const auto& t : terms) total += t.weight;
+  EXPECT_NEAR(total, 2.5, 1e-7);
+}
+
+TEST(AggregateDemand, SumsWeightedMatchings) {
+  const std::vector<std::pair<double, Matching>> steps{
+      {2.0, Matching::rotation(4, 1)},
+      {3.0, Matching::rotation(4, 1)},
+      {1.0, Matching::rotation(4, 2)},
+  };
+  const Matrix agg = aggregate_demand(steps, 4);
+  EXPECT_DOUBLE_EQ(agg(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(agg(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(agg(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(agg.total(), 4 * 5.0 + 4 * 1.0);
+}
+
+TEST(AggregateDemand, ObservationOneRoundTrip) {
+  // A collective's step sequence IS a BvN decomposition of its aggregate
+  // demand (Observation 1): decomposing the aggregate and recomposing must
+  // return the aggregate exactly.
+  const std::vector<std::pair<double, Matching>> steps{
+      {1.0, Matching::rotation(6, 1)},
+      {1.0, Matching::rotation(6, 2)},
+      {0.5, Matching::rotation(6, 3)},
+  };
+  const Matrix agg = aggregate_demand(steps, 6);
+  const auto terms = birkhoff_decompose(agg);
+  EXPECT_NEAR(Matrix::max_diff(recompose(terms, 6), agg), 0.0, 1e-9);
+}
+
+TEST(AggregateDemand, ValidatesInput) {
+  EXPECT_THROW((void)aggregate_demand({{-1.0, Matching::rotation(4, 1)}}, 4),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)aggregate_demand({{1.0, Matching::rotation(5, 1)}}, 4),
+               psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::bvn

@@ -1,0 +1,113 @@
+#include "psd/topo/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/properties.hpp"
+
+namespace psd::topo {
+namespace {
+
+TEST(Builders, DirectedRingStructure) {
+  const Graph g = directed_ring(8, gbps(800));
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1);
+    EXPECT_EQ(g.in_degree(v), 1);
+    EXPECT_NE(g.find_edge(v, (v + 1) % 8), -1);
+  }
+  std::vector<int> order;
+  EXPECT_TRUE(is_directed_ring(g, &order));
+  for (int v = 0; v < 8; ++v) EXPECT_EQ(order[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Builders, DirectedRingWithStride) {
+  const Graph g = directed_ring(8, gbps(800), 3);
+  std::vector<int> order;
+  EXPECT_TRUE(is_directed_ring(g, &order));
+  // Walking 0 -> 3 -> 6 -> 1 ... covers all nodes.
+  EXPECT_EQ(order[3], 1);
+  EXPECT_EQ(order[6], 2);
+}
+
+TEST(Builders, DirectedRingRejectsBadStride) {
+  EXPECT_THROW((void)directed_ring(8, gbps(1), 0), psd::InvalidArgument);
+  EXPECT_THROW((void)directed_ring(8, gbps(1), 2), psd::InvalidArgument);  // gcd 2
+  EXPECT_THROW((void)directed_ring(8, gbps(1), 8), psd::InvalidArgument);  // 0 mod n
+  EXPECT_THROW((void)directed_ring(1, gbps(1)), psd::InvalidArgument);
+}
+
+TEST(Builders, BidirectionalRing) {
+  const Graph g = bidirectional_ring(6, gbps(400));
+  EXPECT_EQ(g.num_edges(), 12);
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.out_degree(v), 2);
+    EXPECT_EQ(g.in_degree(v), 2);
+  }
+  EXPECT_FALSE(is_directed_ring(g));
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(Builders, CoprimeRingUnion) {
+  const Graph g = coprime_ring_union(8, gbps(800), {1, 3});
+  EXPECT_EQ(g.num_edges(), 16);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.out_degree(v), 2);
+  EXPECT_THROW((void)coprime_ring_union(8, gbps(1), {1, 4}), psd::InvalidArgument);
+  EXPECT_THROW((void)coprime_ring_union(8, gbps(1), {}), psd::InvalidArgument);
+}
+
+TEST(Builders, Torus2d) {
+  const Graph g = torus_2d(3, 4, gbps(100));
+  EXPECT_EQ(g.num_nodes(), 12);
+  // 2 bidirectional links per node (right, down) => 4 directed edges per node.
+  EXPECT_EQ(g.num_edges(), 48);
+  for (NodeId v = 0; v < 12; ++v) {
+    EXPECT_EQ(g.out_degree(v), 4);
+    EXPECT_EQ(g.in_degree(v), 4);
+  }
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_THROW((void)torus_2d(1, 4, gbps(1)), psd::InvalidArgument);
+}
+
+TEST(Builders, Hypercube) {
+  const Graph g = hypercube(3, gbps(100));
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 8 * 3);  // dim directed edges out of each node
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.out_degree(v), 3);
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_THROW((void)hypercube(0, gbps(1)), psd::InvalidArgument);
+}
+
+TEST(Builders, FullMesh) {
+  const Graph g = full_mesh(5, gbps(100));
+  EXPECT_EQ(g.num_edges(), 20);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(Builders, MatchedTopologyRealizesMatching) {
+  const Matching m = Matching::from_pairs(4, {{0, 2}, {2, 0}, {1, 3}});
+  const Graph g = matched_topology(m, gbps(800));
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(matches_topology(g, m));
+  EXPECT_NE(g.find_edge(1, 3), -1);
+  EXPECT_EQ(g.find_edge(3, 1), -1);
+}
+
+TEST(Builders, IsDirectedRingNegativeCases) {
+  // Two disjoint 2-cycles: out/in degree 1 everywhere, but not one cycle.
+  Graph g(4);
+  g.add_edge(0, 1, gbps(1));
+  g.add_edge(1, 0, gbps(1));
+  g.add_edge(2, 3, gbps(1));
+  g.add_edge(3, 2, gbps(1));
+  EXPECT_FALSE(is_directed_ring(g));
+
+  const Graph mesh = full_mesh(3, gbps(1));
+  EXPECT_FALSE(is_directed_ring(mesh));
+
+  const Graph empty(3);
+  EXPECT_FALSE(is_directed_ring(empty));
+}
+
+}  // namespace
+}  // namespace psd::topo

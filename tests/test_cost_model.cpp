@@ -1,0 +1,190 @@
+#include "psd/core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/topo/builders.hpp"
+
+namespace psd::core {
+namespace {
+
+using topo::Matching;
+
+CostParams params_800g() {
+  CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = microseconds(10);
+  p.b = gbps(800);  // 100 B/ns
+  return p;
+}
+
+/// n=4 directed ring with a rotation-2 step of 1 MiB.
+struct Fixture {
+  Fixture()
+      : ring(topo::directed_ring(4, gbps(800))),
+        oracle(ring, gbps(800)),
+        inst({{mib(1), Matching::rotation(4, 2)},
+              {mib(1), Matching::rotation(4, 1)}},
+             oracle, params_800g()) {}
+  topo::Graph ring;
+  flow::ThetaOracle oracle;
+  ProblemInstance inst;
+};
+
+TEST(CostModel, PrecomputesThetaAndEll) {
+  const Fixture f;
+  ASSERT_EQ(f.inst.num_steps(), 2);
+  EXPECT_DOUBLE_EQ(f.inst.step(0).theta_base, 0.5);  // rotation-2 on a 4-ring
+  EXPECT_EQ(f.inst.step(0).ell_base, 2);
+  EXPECT_DOUBLE_EQ(f.inst.step(1).theta_base, 1.0);
+  EXPECT_EQ(f.inst.step(1).ell_base, 1);
+}
+
+TEST(CostModel, DctComponentsMatchHandComputation) {
+  const Fixture f;
+  // Base: δ·ℓ = 200 ns; β·m/θ = (1048576 / 100) * 2 = 20971.52 ns.
+  EXPECT_DOUBLE_EQ(f.inst.propagation_cost(0, TopoChoice::kBase).ns(), 200.0);
+  EXPECT_NEAR(f.inst.serialization_cost(0, TopoChoice::kBase).ns(), 20971.52, 1e-6);
+  // Matched: δ·1 = 100 ns; β·m = 10485.76 ns.
+  EXPECT_DOUBLE_EQ(f.inst.propagation_cost(0, TopoChoice::kMatched).ns(), 100.0);
+  EXPECT_NEAR(f.inst.serialization_cost(0, TopoChoice::kMatched).ns(), 10485.76, 1e-6);
+}
+
+TEST(CostModel, TransitionCostsFollowEq7) {
+  const Fixture f;
+  const ModelExtensions ext;
+  // base→base free; everything else costs α_r.
+  EXPECT_DOUBLE_EQ(
+      f.inst.transition_cost(1, TopoChoice::kBase, TopoChoice::kBase, ext).ns(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      f.inst.transition_cost(1, TopoChoice::kBase, TopoChoice::kMatched, ext).us(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      f.inst.transition_cost(1, TopoChoice::kMatched, TopoChoice::kBase, ext).us(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      f.inst.transition_cost(1, TopoChoice::kMatched, TopoChoice::kMatched, ext).us(), 10.0);
+  // Step 0 starts from the base state (x_0 = 1).
+  EXPECT_DOUBLE_EQ(
+      f.inst.transition_cost(0, TopoChoice::kBase, TopoChoice::kMatched, ext).us(), 10.0);
+  EXPECT_THROW(
+      (void)f.inst.transition_cost(0, TopoChoice::kMatched, TopoChoice::kBase, ext),
+      psd::InvalidArgument);
+}
+
+TEST(CostModel, EvaluatePlanBreakdown) {
+  const Fixture f;
+  const auto plan = evaluate_plan(
+      f.inst, {TopoChoice::kMatched, TopoChoice::kBase});
+  // latency: 2·α = 200 ns.
+  EXPECT_DOUBLE_EQ(plan.breakdown.latency.ns(), 200.0);
+  // propagation: 100 (matched) + 100 (rotation-1 on base, ℓ=1) = 200 ns.
+  EXPECT_DOUBLE_EQ(plan.breakdown.propagation.ns(), 200.0);
+  // reconfig: enter matched (α_r) + return to base (α_r) = 20 µs.
+  EXPECT_DOUBLE_EQ(plan.breakdown.reconfiguration.us(), 20.0);
+  // serialization: 10485.76 (matched) + 10485.76 (θ=1 on base) ns.
+  EXPECT_NEAR(plan.breakdown.serialization.ns(), 2 * 10485.76, 1e-6);
+  EXPECT_EQ(plan.num_reconfigurations, 2);
+  EXPECT_NEAR(plan.total_time().ns(),
+              200.0 + 200.0 + 20000.0 + 2 * 10485.76, 1e-6);
+}
+
+TEST(CostModel, DedupSkipsIdenticalMatchedTransitions) {
+  const auto ring = topo::directed_ring(4, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const ProblemInstance inst(
+      {{mib(1), Matching::rotation(4, 2)}, {mib(1), Matching::rotation(4, 2)}},
+      oracle, params_800g());
+  ModelExtensions ext;
+  ext.dedup_identical_matchings = true;
+  EXPECT_DOUBLE_EQ(
+      inst.transition_cost(1, TopoChoice::kMatched, TopoChoice::kMatched, ext).ns(),
+      0.0);
+  // Without dedup the paper's rule charges it.
+  EXPECT_DOUBLE_EQ(
+      inst.transition_cost(1, TopoChoice::kMatched, TopoChoice::kMatched, {}).us(),
+      10.0);
+}
+
+TEST(CostModel, PerPortDelayModelExtension) {
+  const auto ring = topo::directed_ring(4, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const ProblemInstance inst(
+      {{mib(1), Matching::rotation(4, 2)}, {mib(1), Matching::rotation(4, 2)}},
+      oracle, params_800g());
+  const photonic::PerPortDelayModel model(nanoseconds(0), nanoseconds(50));
+  ModelExtensions ext;
+  ext.delay_model = &model;
+  // Missing base_config must be rejected.
+  EXPECT_THROW((void)inst.transition_cost(0, TopoChoice::kBase,
+                                          TopoChoice::kMatched, ext),
+               psd::InvalidArgument);
+  ext.base_config = Matching::rotation(4, 1);
+  // ring(+1) -> rotation(+2): all 4 senders and 4 receivers change.
+  EXPECT_DOUBLE_EQ(
+      inst.transition_cost(0, TopoChoice::kBase, TopoChoice::kMatched, ext).ns(),
+      50.0 * 8);
+  // matched(rot2) -> matched(rot2): physically identical, free under the
+  // port-count model.
+  EXPECT_DOUBLE_EQ(
+      inst.transition_cost(1, TopoChoice::kMatched, TopoChoice::kMatched, ext).ns(),
+      0.0);
+}
+
+TEST(CostModel, OverlapHidesReconfigurationBehindCompute) {
+  const Fixture f;
+  ModelExtensions ext;
+  ext.compute_before_step = {microseconds(4), microseconds(15)};
+  const auto plan = evaluate_plan(
+      f.inst, {TopoChoice::kMatched, TopoChoice::kMatched}, ext);
+  // Step 0: α_r=10µs, compute 4µs → 6µs exposed. Step 1: fully hidden.
+  EXPECT_DOUBLE_EQ(plan.breakdown.reconfiguration.us(), 6.0);
+  EXPECT_DOUBLE_EQ(plan.breakdown.compute.us(), 19.0);
+}
+
+TEST(CostModel, RejectsMalformedInstances) {
+  const auto ring = topo::directed_ring(4, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const CostParams p = params_800g();
+  // Empty steps.
+  EXPECT_THROW(ProblemInstance({}, oracle, p), psd::InvalidArgument);
+  // Empty matching.
+  EXPECT_THROW(ProblemInstance({{mib(1), Matching(4)}}, oracle, p),
+               psd::InvalidArgument);
+  // Zero volume.
+  EXPECT_THROW(ProblemInstance({{bytes(0), Matching::rotation(4, 1)}}, oracle, p),
+               psd::InvalidArgument);
+  // Wrong matching size.
+  EXPECT_THROW(ProblemInstance({{mib(1), Matching::rotation(5, 1)}}, oracle, p),
+               psd::InvalidArgument);
+  // Bad parameters.
+  CostParams bad = p;
+  bad.alpha = nanoseconds(-1);
+  EXPECT_THROW(ProblemInstance({{mib(1), Matching::rotation(4, 1)}}, oracle, bad),
+               psd::InvalidArgument);
+}
+
+TEST(CostModel, EvaluatePlanValidatesShape) {
+  const Fixture f;
+  EXPECT_THROW((void)evaluate_plan(f.inst, {TopoChoice::kBase}), psd::InvalidArgument);
+  ModelExtensions ext;
+  ext.compute_before_step = {microseconds(1)};  // wrong length
+  EXPECT_THROW((void)evaluate_plan(f.inst,
+                                   {TopoChoice::kBase, TopoChoice::kBase}, ext),
+               psd::InvalidArgument);
+}
+
+TEST(CostModel, BuildsFromCollectiveSchedule) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::halving_doubling_allreduce(8, mib(1));
+  const ProblemInstance inst(sched, oracle, params_800g());
+  EXPECT_EQ(inst.num_steps(), sched.num_steps());
+  for (int i = 0; i < inst.num_steps(); ++i) {
+    EXPECT_GT(inst.step(i).theta_base, 0.0);
+    EXPECT_GE(inst.step(i).ell_base, 1);
+    EXPECT_DOUBLE_EQ(inst.step(i).volume.count(), sched.step(i).volume.count());
+  }
+}
+
+}  // namespace
+}  // namespace psd::core

@@ -1,0 +1,87 @@
+#include "psd/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psd::sim {
+namespace {
+
+Event make_event(double t_ns, int payload = 0,
+                 EventType type = EventType::kFlowCompleted) {
+  Event e;
+  e.time = TimeNs(t_ns);
+  e.type = type;
+  e.payload = payload;
+  return e;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(make_event(30.0, 3));
+  q.push(make_event(10.0, 1));
+  q.push(make_event(20.0, 2));
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, AdvancesClock) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now().ns(), 0.0);
+  q.push(make_event(15.0));
+  (void)q.pop();
+  EXPECT_DOUBLE_EQ(q.now().ns(), 15.0);
+}
+
+TEST(EventQueue, StableForEqualTimestamps) {
+  EventQueue q;
+  for (int i = 0; i < 10; ++i) q.push(make_event(5.0, i));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, RejectsPastEvents) {
+  EventQueue q;
+  q.push(make_event(10.0));
+  (void)q.pop();
+  EXPECT_THROW(q.push(make_event(5.0)), psd::InvalidArgument);
+  q.push(make_event(10.0));  // equal to now is allowed
+}
+
+TEST(EventQueue, PopFromEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), psd::InvalidArgument);
+}
+
+TEST(EventQueue, ClearKeepsClock) {
+  EventQueue q;
+  q.push(make_event(10.0));
+  (void)q.pop();
+  q.push(make_event(20.0));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now().ns(), 10.0);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(make_event(1.0));
+  q.push(make_event(2.0));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PreservesEventFields) {
+  EventQueue q;
+  Event e = make_event(7.0, 42, EventType::kReconfigDone);
+  e.epoch = 9;
+  q.push(e);
+  const Event out = q.pop();
+  EXPECT_EQ(out.type, EventType::kReconfigDone);
+  EXPECT_EQ(out.payload, 42);
+  EXPECT_EQ(out.epoch, 9u);
+}
+
+}  // namespace
+}  // namespace psd::sim

@@ -1,0 +1,196 @@
+#include "psd/collective/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::collective {
+namespace {
+
+using topo::Matching;
+
+/// A 2-node "allreduce" that exchanges the single chunk with reduction.
+CollectiveSchedule two_node_exchange(bool reduce) {
+  CollectiveSchedule s("pair", 2, kib(1), 1, ChunkSpace::kSegments);
+  Step st;
+  st.matching = Matching::from_pairs(2, {{0, 1}, {1, 0}});
+  st.volume = kib(1);
+  st.transfers = {{0, 1, {0}, reduce}, {1, 0, {0}, reduce}};
+  s.add_step(st);
+  return s;
+}
+
+TEST(ChunkExecutor, TwoNodeAllReduce) {
+  const ChunkExecutor exec(two_node_exchange(true), InitMode::kAllReduce);
+  EXPECT_TRUE(exec.verify_allreduce());
+  EXPECT_FALSE(exec.double_counted());
+  EXPECT_TRUE(exec.mask_full(0, 0));
+  EXPECT_TRUE(exec.has_contribution(0, 0, 1));
+}
+
+TEST(ChunkExecutor, ReplaceDoesNotReduce) {
+  // Replacing instead of reducing loses the receiver's own contribution.
+  const ChunkExecutor exec(two_node_exchange(false), InitMode::kAllReduce);
+  EXPECT_FALSE(exec.verify_allreduce());
+  EXPECT_TRUE(exec.has_contribution(0, 0, 1));
+  EXPECT_FALSE(exec.has_contribution(0, 0, 0));  // overwritten
+}
+
+TEST(ChunkExecutor, DetectsDoubleCounting) {
+  // Exchanging full state twice double-adds the partner's contribution.
+  CollectiveSchedule s("dup", 2, kib(2), 1, ChunkSpace::kSegments);
+  for (int rep = 0; rep < 2; ++rep) {
+    Step st;
+    st.matching = Matching::from_pairs(2, {{0, 1}, {1, 0}});
+    st.volume = kib(2);
+    st.transfers = {{0, 1, {0}, true}, {1, 0, {0}, true}};
+    s.add_step(st);
+  }
+  const ChunkExecutor exec(s, InitMode::kAllReduce);
+  EXPECT_TRUE(exec.double_counted());
+  EXPECT_FALSE(exec.verify_allreduce());
+}
+
+TEST(ChunkExecutor, IncompleteScheduleFailsVerification) {
+  // Only one direction of the exchange: node 1 never hears from node 0's
+  // partner... actually node 0 never receives.
+  CollectiveSchedule s("half", 2, kib(1), 1, ChunkSpace::kSegments);
+  Step st;
+  st.matching = Matching::from_pairs(2, {{0, 1}});
+  st.volume = kib(1);
+  st.transfers = {{0, 1, {0}, true}};
+  s.add_step(st);
+  const ChunkExecutor exec(s, InitMode::kAllReduce);
+  EXPECT_FALSE(exec.verify_allreduce());
+  EXPECT_TRUE(exec.mask_full(1, 0));   // receiver has both contributions
+  EXPECT_FALSE(exec.mask_full(0, 0));  // sender stuck with its own
+}
+
+TEST(ChunkExecutor, SynchronousSemantics) {
+  // In one step, A->B and B->A exchange *start-of-step* state: a chain
+  // A->B->C in a single step must NOT propagate A's data to C.
+  CollectiveSchedule s("chain", 3, kib(1), 1, ChunkSpace::kSegments);
+  Step st;
+  st.matching = Matching::from_pairs(3, {{0, 1}, {1, 2}});
+  st.volume = kib(1);
+  st.transfers = {{0, 1, {0}, true}, {1, 2, {0}, true}};
+  s.add_step(st);
+  const ChunkExecutor exec(s, InitMode::kAllReduce);
+  EXPECT_TRUE(exec.has_contribution(2, 0, 1));
+  EXPECT_FALSE(exec.has_contribution(2, 0, 0));  // A's data took one step only
+}
+
+TEST(ChunkExecutor, RequiresSegmentsAndAnnotations) {
+  const auto blocks = alltoall_transpose(4, mib(1));
+  EXPECT_THROW(ChunkExecutor(blocks, InitMode::kAllReduce), psd::InvalidArgument);
+
+  CollectiveSchedule bare("bare", 4, mib(1), 4, ChunkSpace::kSegments);
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = kib(1);
+  bare.add_step(st);
+  EXPECT_THROW(ChunkExecutor(bare, InitMode::kAllReduce), psd::InvalidArgument);
+}
+
+TEST(ChunkExecutor, LargeDomainMaskWords) {
+  // n = 80 crosses the 64-bit word boundary in the contribution masks.
+  const int n = 80;  // not a power of two: use the ring algorithm
+  EXPECT_TRUE(is_valid_allreduce(ring_allreduce(n, mib(1))));
+}
+
+TEST(ChunkExecutor, BroadcastInitMode) {
+  const auto sched = binomial_broadcast(8, 2, mib(1));
+  const ChunkExecutor exec(sched, InitMode::kBroadcast, 2);
+  EXPECT_TRUE(exec.verify_all_complete());
+  EXPECT_THROW(ChunkExecutor(sched, InitMode::kBroadcast, 9), psd::InvalidArgument);
+}
+
+TEST(ChunkExecutor, NumericShadowAgreesWithMasks) {
+  // Execute ring allreduce numerically (actual doubles) and compare with
+  // the mask verdict: both must certify correctness.
+  const int n = 8;
+  const auto sched = ring_allreduce(n, mib(1));
+  ASSERT_TRUE(is_valid_allreduce(sched));
+
+  psd::Rng rng(5);
+  std::vector<std::vector<double>> value(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n)));
+  double expected_total = 0.0;
+  std::vector<double> chunk_sum(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < n; ++c) {
+      value[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)] =
+          rng.uniform(-1.0, 1.0);
+      chunk_sum[static_cast<std::size_t>(c)] +=
+          value[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)];
+    }
+  }
+  (void)expected_total;
+  for (const auto& step : sched.steps()) {
+    auto snapshot = value;
+    for (const auto& t : step.transfers) {
+      for (int c : t.chunks) {
+        auto& dst = value[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(c)];
+        const double incoming =
+            snapshot[static_cast<std::size_t>(t.src)][static_cast<std::size_t>(c)];
+        dst = t.reduce ? dst + incoming : incoming;
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < n; ++c) {
+      EXPECT_NEAR(value[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)],
+                  chunk_sum[static_cast<std::size_t>(c)], 1e-9);
+    }
+  }
+}
+
+TEST(BlockExecutor, VerifiesAllToAll) {
+  const BlockExecutor exec(alltoall_transpose(6, mib(1)));
+  EXPECT_TRUE(exec.verify_alltoall());
+  // Node 2 holds every block destined to it plus its own originals.
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(exec.holds(2, i * 6 + 2));
+  EXPECT_TRUE(exec.holds(2, 2 * 6 + 5));  // own block for 5 (copy retained)
+  EXPECT_FALSE(exec.holds(2, 3 * 6 + 4)); // someone else's block for 4
+}
+
+TEST(BlockExecutor, DetectsMissingRotation) {
+  // Omit the last rotation: blocks at distance n−1 never arrive.
+  const int n = 5;
+  CollectiveSchedule s("partial-a2a", n, mib(1), n * n, ChunkSpace::kBlocks);
+  for (int i = 1; i < n - 1; ++i) {
+    Step st;
+    st.matching = Matching::rotation(n, i);
+    st.volume = s.chunk_size();
+    for (int j = 0; j < n; ++j) {
+      st.transfers.push_back({j, (j + i) % n, {j * n + (j + i) % n}, false});
+    }
+    s.add_step(st);
+  }
+  const BlockExecutor exec(s);
+  EXPECT_FALSE(exec.verify_alltoall());
+}
+
+TEST(BlockExecutor, RejectsForwardingUnheldBlocks) {
+  const int n = 4;
+  CollectiveSchedule s("bogus", n, mib(1), n * n, ChunkSpace::kBlocks);
+  Step st;
+  st.matching = Matching::rotation(n, 1);
+  st.volume = s.chunk_size();
+  // Node 0 claims to forward node 2's block — it does not hold it.
+  st.transfers.push_back({0, 1, {2 * n + 1}, false});
+  for (int j = 1; j < n; ++j) {
+    st.transfers.push_back({j, (j + 1) % n, {j * n + (j + 1) % n}, false});
+  }
+  s.add_step(st);
+  EXPECT_THROW(BlockExecutor{s}, psd::InvalidArgument);
+}
+
+TEST(BlockExecutor, RequiresBlockSpace) {
+  const auto segments = ring_allreduce(4, mib(1));
+  EXPECT_THROW(BlockExecutor{segments}, psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::collective

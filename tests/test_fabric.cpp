@@ -1,0 +1,109 @@
+#include "psd/photonic/fabric.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/properties.hpp"
+
+namespace psd::photonic {
+namespace {
+
+using topo::Matching;
+
+Fabric make_fabric(int n = 8, TimeNs alpha_r = microseconds(10)) {
+  return Fabric(n, gbps(800),
+                std::make_unique<ConstantDelayModel>(alpha_r),
+                Matching::rotation(n, 1));
+}
+
+TEST(Fabric, InitialState) {
+  const auto f = make_fabric();
+  EXPECT_EQ(f.num_ports(), 8);
+  EXPECT_DOUBLE_EQ(f.port_bandwidth().gbps(), 800.0);
+  EXPECT_TRUE(f.configuration() == Matching::rotation(8, 1));
+  EXPECT_EQ(f.stats().reconfigurations, 0);
+}
+
+TEST(Fabric, ReconfigureChargesAndUpdates) {
+  auto f = make_fabric();
+  const auto target = Matching::rotation(8, 3);
+  EXPECT_DOUBLE_EQ(f.peek_delay(target).us(), 10.0);
+  EXPECT_DOUBLE_EQ(f.reconfigure(target).us(), 10.0);
+  EXPECT_TRUE(f.configuration() == target);
+  EXPECT_EQ(f.stats().reconfigurations, 1);
+  EXPECT_DOUBLE_EQ(f.stats().total_reconfig_time.us(), 10.0);
+}
+
+TEST(Fabric, IdentityReconfigureIsFree) {
+  auto f = make_fabric();
+  EXPECT_DOUBLE_EQ(f.reconfigure(Matching::rotation(8, 1)).ns(), 0.0);
+  EXPECT_EQ(f.stats().reconfigurations, 0);
+}
+
+TEST(Fabric, CurrentTopologyRealizesConfiguration) {
+  auto f = make_fabric();
+  f.reconfigure(Matching::from_pairs(8, {{0, 4}, {4, 0}}));
+  const auto g = f.current_topology();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(topo::matches_topology(g, f.configuration()));
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity.gbps(), 800.0);
+}
+
+TEST(Fabric, CopyPreservesStateIndependently) {
+  auto f = make_fabric();
+  f.reconfigure(Matching::rotation(8, 2));
+  Fabric copy = f;
+  copy.reconfigure(Matching::rotation(8, 3));
+  EXPECT_TRUE(f.configuration() == Matching::rotation(8, 2));
+  EXPECT_TRUE(copy.configuration() == Matching::rotation(8, 3));
+  EXPECT_EQ(f.stats().reconfigurations, 1);
+  EXPECT_EQ(copy.stats().reconfigurations, 2);
+}
+
+TEST(Fabric, RejectsBadConstruction) {
+  EXPECT_THROW(Fabric(1, gbps(800),
+                      std::make_unique<ConstantDelayModel>(TimeNs(0)), Matching(1)),
+               psd::InvalidArgument);
+  EXPECT_THROW(Fabric(4, gbps(0),
+                      std::make_unique<ConstantDelayModel>(TimeNs(0)), Matching(4)),
+               psd::InvalidArgument);
+  EXPECT_THROW(Fabric(4, gbps(800), nullptr, Matching(4)), psd::InvalidArgument);
+  EXPECT_THROW(Fabric(4, gbps(800),
+                      std::make_unique<ConstantDelayModel>(TimeNs(0)), Matching(5)),
+               psd::InvalidArgument);
+}
+
+TEST(Fabric, SizeMismatchOnReconfigure) {
+  auto f = make_fabric(4);
+  EXPECT_THROW((void)f.reconfigure(Matching(5)), psd::InvalidArgument);
+}
+
+TEST(Awgr, WavelengthAssignmentIsContentionFree) {
+  // λ(i→j) = (j−i) mod n; receivers are distinct in a matching, so no two
+  // signals collide at an output.
+  const auto config = Matching::from_pairs(8, {{0, 3}, {1, 2}, {5, 6}, {6, 5}});
+  const auto lambda = awgr_wavelength_assignment(config);
+  EXPECT_EQ(lambda[0], 3);
+  EXPECT_EQ(lambda[1], 1);
+  EXPECT_EQ(lambda[5], 1);
+  EXPECT_EQ(lambda[6], 7);  // (5-6) mod 8
+  EXPECT_EQ(lambda[2], -1);  // idle port
+  // No output collisions: (src + λ) mod n pairwise distinct among active.
+  std::vector<int> outputs;
+  for (int i = 0; i < 8; ++i) {
+    if (lambda[static_cast<std::size_t>(i)] >= 0) {
+      outputs.push_back((i + lambda[static_cast<std::size_t>(i)]) % 8);
+    }
+  }
+  std::sort(outputs.begin(), outputs.end());
+  EXPECT_EQ(std::adjacent_find(outputs.begin(), outputs.end()), outputs.end());
+}
+
+TEST(Awgr, EmptyConfigurationAllIdle) {
+  const auto lambda = awgr_wavelength_assignment(Matching(4));
+  for (int v : lambda) EXPECT_EQ(v, -1);
+}
+
+}  // namespace
+}  // namespace psd::photonic

@@ -1,0 +1,164 @@
+#include "psd/flow/garg_konemann.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "psd/flow/mcf_lp.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+constexpr double kEps = 0.03;
+
+/// GK must return a feasible flow whose θ is within (1−3ε) of optimal.
+void expect_gk_close(double gk_theta, double exact_theta) {
+  EXPECT_LE(gk_theta, exact_theta * (1.0 + 1e-6));
+  EXPECT_GE(gk_theta, exact_theta * (1.0 - 3.0 * kEps));
+}
+
+TEST(GargKonemann, MatchesRingClosedFormOnRotations) {
+  const int n = 16;
+  const auto g = topo::directed_ring(n, gbps(800));
+  for (int k : {1, 2, 5, 8, 15}) {
+    const auto m = Matching::rotation(n, k);
+    const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+    const auto exact = ring_concurrent_flow(g, m, gbps(800));
+    ASSERT_TRUE(exact.has_value());
+    expect_gk_close(gk.theta, exact->theta);
+  }
+}
+
+TEST(GargKonemann, MatchesExactLpOnBidirectionalRing) {
+  const auto g = topo::bidirectional_ring(4, gbps(800));
+  const auto m = Matching::rotation(4, 1);
+  const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+  const auto lp = exact_concurrent_flow(g, m, gbps(800));
+  expect_gk_close(gk.theta, lp.theta);  // exact θ = 4/3
+}
+
+TEST(GargKonemann, MatchesExactLpOnHypercube) {
+  const auto g = topo::hypercube(3, gbps(800));
+  const auto m = Matching::rotation(8, 3);
+  const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+  const auto lp = exact_concurrent_flow(g, m, gbps(800));
+  expect_gk_close(gk.theta, lp.theta);
+}
+
+TEST(GargKonemann, FlowsAreStrictlyFeasible) {
+  const auto g = topo::directed_ring(12, gbps(800));
+  const auto m = Matching::rotation(12, 5);
+  const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+  const auto caps = normalized_capacities(g, gbps(800));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    double load = 0.0;
+    for (const auto& f : gk.flow) load += f[static_cast<std::size_t>(e)];
+    EXPECT_LE(load, caps[static_cast<std::size_t>(e)] + 1e-9);
+  }
+}
+
+TEST(GargKonemann, RandomMatchingsAgainstClosedForm) {
+  psd::Rng rng(4242);
+  const int n = 12;
+  const auto g = topo::directed_ring(n, gbps(800));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto perm = rng.permutation(n);
+    Matching m(n);
+    for (int j = 0; j < n; ++j) {
+      if (perm[static_cast<std::size_t>(j)] != j) {
+        m.set(j, perm[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (m.active_pairs() == 0) continue;
+    const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+    const auto exact = ring_concurrent_flow(g, m, gbps(800));
+    ASSERT_TRUE(exact.has_value());
+    expect_gk_close(gk.theta, exact->theta);
+  }
+}
+
+TEST(GargKonemann, TighterEpsilonTightensBound) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const auto m = Matching::rotation(8, 3);
+  const auto loose = gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.2});
+  const auto tight = gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.01});
+  const double exact = 1.0 / 3.0;
+  EXPECT_GE(tight.theta, exact * 0.97);
+  EXPECT_GE(tight.theta, loose.theta * 0.99);
+}
+
+TEST(GargKonemann, EmptyCommoditiesInfiniteTheta) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  const auto res =
+      gk_concurrent_flow(g, std::vector<Commodity>{}, gbps(800), {});
+  EXPECT_TRUE(std::isinf(res.theta));
+}
+
+TEST(GargKonemann, DisconnectedThrows) {
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  EXPECT_THROW((void)gk_concurrent_flow(g, {{0, 2, 1.0}}, gbps(800), {}),
+               psd::InvalidArgument);
+}
+
+TEST(GargKonemann, RejectsBadEpsilon) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  const auto m = Matching::rotation(4, 1);
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.0}),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.7}),
+               psd::InvalidArgument);
+}
+
+class GkRandomGraphP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GkRandomGraphP, MatchesExactLpOnRandomDigraphs) {
+  // Random strongly-connected digraphs (a ring plus random chords with
+  // random capacities) and random commodity sets: GK must stay within its
+  // guarantee of the exact simplex LP optimum.
+  psd::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  const int n = 6;
+  topo::Graph g(n);
+  for (int j = 0; j < n; ++j) {
+    g.add_edge(j, (j + 1) % n, gbps(rng.uniform(200.0, 800.0)));
+  }
+  const int extra = rng.uniform_int(2, 6);
+  for (int e = 0; e < extra; ++e) {
+    const int a = rng.uniform_int(0, n - 1);
+    const int b = rng.uniform_int(0, n - 1);
+    if (a != b) g.add_edge(a, b, gbps(rng.uniform(100.0, 800.0)));
+  }
+  std::vector<Commodity> commodities;
+  const int k = rng.uniform_int(1, 4);
+  for (int c = 0; c < k; ++c) {
+    const int s = rng.uniform_int(0, n - 1);
+    int d = rng.uniform_int(0, n - 1);
+    if (d == s) d = (d + 1) % n;
+    commodities.push_back({s, d, rng.uniform(0.5, 2.0)});
+  }
+  const auto lp = exact_concurrent_flow(g, commodities, gbps(800));
+  const auto gk = gk_concurrent_flow(g, commodities, gbps(800), {.epsilon = kEps});
+  expect_gk_close(gk.theta, lp.theta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GkRandomGraphP, ::testing::Range(0, 12));
+
+TEST(GargKonemann, HeterogeneousDemands) {
+  // Demand-2 commodity halves its θ relative to demand-1 on a shared link.
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(1, 2, gbps(800));
+  const auto res = gk_concurrent_flow(
+      g, std::vector<Commodity>{{0, 2, 2.0}, {1, 2, 1.0}}, gbps(800),
+      {.epsilon = kEps});
+  // Link 1->2 carries 3 demand units: θ* = 1/3.
+  expect_gk_close(res.theta, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace psd::flow

@@ -1,0 +1,74 @@
+#include "psd/topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psd::topo {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_out_degree(), 0);
+  EXPECT_TRUE(g.uniform_capacity());
+  EXPECT_DOUBLE_EQ(g.total_capacity().bytes_per_ns(), 0.0);
+}
+
+TEST(Graph, AddEdgeAndAdjacency) {
+  Graph g(3);
+  const EdgeId e0 = g.add_edge(0, 1, gbps(800));
+  const EdgeId e1 = g.add_edge(1, 2, gbps(800));
+  const EdgeId e2 = g.add_edge(0, 2, gbps(400));
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(e0).src, 0);
+  EXPECT_EQ(g.edge(e0).dst, 1);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(2), 2);
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.in_edges(1).front(), e0);
+  EXPECT_EQ(g.max_out_degree(), 2);
+  EXPECT_EQ(g.find_edge(1, 2), e1);
+  EXPECT_EQ(g.find_edge(2, 1), -1);
+  EXPECT_EQ(g.find_edge(0, 2), e2);
+}
+
+TEST(Graph, CapacityQueries) {
+  Graph g(2);
+  g.add_edge(0, 1, gbps(800));
+  EXPECT_TRUE(g.uniform_capacity());
+  g.add_edge(1, 0, gbps(400));
+  EXPECT_FALSE(g.uniform_capacity());
+  EXPECT_DOUBLE_EQ(g.total_capacity().gbps(), 1200.0);
+}
+
+TEST(Graph, RejectsInvalidEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(-1, 0, gbps(1)), psd::InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 3, gbps(1)), psd::InvalidArgument);
+  EXPECT_THROW(g.add_edge(1, 1, gbps(1)), psd::InvalidArgument);  // self-loop
+  EXPECT_THROW(g.add_edge(0, 1, gbps(0)), psd::InvalidArgument);  // zero cap
+  EXPECT_THROW(g.add_edge(0, 1, gbps(-5)), psd::InvalidArgument);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1, gbps(100));
+  g.add_edge(0, 1, gbps(100));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(Graph, NegativeNodeCountRejected) {
+  EXPECT_THROW(Graph(-1), psd::InvalidArgument);
+}
+
+TEST(Graph, ToStringMentionsEdges) {
+  Graph g(2);
+  g.add_edge(0, 1, gbps(800));
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(s.find("800 Gbps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psd::topo

@@ -1,0 +1,126 @@
+#include "psd/bvn/hopcroft_karp.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::bvn {
+namespace {
+
+/// Validates matching consistency: mutual pointers and edges exist.
+void expect_consistent(const BipartiteGraph& g, const MatchingResult& r) {
+  int size = 0;
+  for (int l = 0; l < g.n_left; ++l) {
+    const int m = r.match_left[static_cast<std::size_t>(l)];
+    if (m >= 0) {
+      ++size;
+      EXPECT_EQ(r.match_right[static_cast<std::size_t>(m)], l);
+      const auto& adj = g.adj[static_cast<std::size_t>(l)];
+      EXPECT_NE(std::find(adj.begin(), adj.end(), m), adj.end());
+    }
+  }
+  EXPECT_EQ(size, r.size);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnCompleteBipartite) {
+  BipartiteGraph g;
+  g.n_left = g.n_right = 5;
+  g.adj.assign(5, {0, 1, 2, 3, 4});
+  const auto r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 5);
+  expect_consistent(g, r);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  BipartiteGraph g;
+  g.n_left = 3;
+  g.n_right = 3;
+  g.adj.assign(3, {});
+  EXPECT_EQ(hopcroft_karp(g).size, 0);
+}
+
+TEST(HopcroftKarp, KnownMaximumOfTwo) {
+  // Left 0,1 both only reach right 0; left 2 reaches right 1.
+  BipartiteGraph g;
+  g.n_left = 3;
+  g.n_right = 2;
+  g.adj = {{0}, {0}, {1}};
+  const auto r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 2);
+  expect_consistent(g, r);
+}
+
+TEST(HopcroftKarp, RequiresAugmentingPaths) {
+  // Greedy left-to-right would match 0-0 and block 1; HK augments.
+  BipartiteGraph g;
+  g.n_left = 2;
+  g.n_right = 2;
+  g.adj = {{0, 1}, {0}};
+  const auto r = hopcroft_karp(g);
+  EXPECT_EQ(r.size, 2);
+  EXPECT_EQ(r.match_left[1], 0);
+  EXPECT_EQ(r.match_left[0], 1);
+}
+
+TEST(HopcroftKarp, StarGraph) {
+  BipartiteGraph g;
+  g.n_left = 4;
+  g.n_right = 1;
+  g.adj.assign(4, {0});
+  EXPECT_EQ(hopcroft_karp(g).size, 1);
+}
+
+TEST(HopcroftKarp, PermutationSupportHasPerfectMatching) {
+  psd::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 16;
+    const auto perm = rng.permutation(n);
+    BipartiteGraph g;
+    g.n_left = g.n_right = n;
+    g.adj.resize(static_cast<std::size_t>(n));
+    for (int l = 0; l < n; ++l) {
+      g.adj[static_cast<std::size_t>(l)].push_back(perm[static_cast<std::size_t>(l)]);
+    }
+    const auto r = hopcroft_karp(g);
+    EXPECT_EQ(r.size, n);
+    for (int l = 0; l < n; ++l) {
+      EXPECT_EQ(r.match_left[static_cast<std::size_t>(l)],
+                perm[static_cast<std::size_t>(l)]);
+    }
+  }
+}
+
+TEST(HopcroftKarp, RandomDenseGraphsConsistent) {
+  psd::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    BipartiteGraph g;
+    g.n_left = 12;
+    g.n_right = 12;
+    g.adj.resize(12);
+    for (int l = 0; l < 12; ++l) {
+      for (int r = 0; r < 12; ++r) {
+        if (rng.next_double() < 0.3) {
+          g.adj[static_cast<std::size_t>(l)].push_back(r);
+        }
+      }
+    }
+    const auto res = hopcroft_karp(g);
+    expect_consistent(g, res);
+  }
+}
+
+TEST(HopcroftKarp, RejectsMalformedInput) {
+  BipartiteGraph g;
+  g.n_left = 2;
+  g.n_right = 2;
+  g.adj = {{0}};  // missing adjacency for left vertex 1
+  EXPECT_THROW((void)hopcroft_karp(g), psd::InvalidArgument);
+  g.adj = {{0}, {5}};  // right vertex out of range
+  EXPECT_THROW((void)hopcroft_karp(g), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::bvn

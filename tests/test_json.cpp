@@ -1,0 +1,114 @@
+#include "psd/util/json.hpp"
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace psd {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr").begin_array();
+  w.value(1).value(2.5);
+  w.begin_object();
+  w.key("k").value("v");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"arr":[1,2.5,{"k":"v"}]})");
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a").value("b");
+  w.end_array();
+  EXPECT_EQ(w.str(), R"(["a","b"])");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("o").begin_object();
+  w.end_object();
+  w.key("a").begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("quote\"key").value("line\nbreak\ttab\\slash");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"quote\\\"key\":\"line\\nbreak\\ttab\\\\slash\"}");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, DoubleRoundTripPrecision) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.1);
+  w.end_array();
+  const std::string s = w.str();
+  EXPECT_EQ(std::stod(s.substr(1, s.size() - 2)), 0.1);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), InvalidArgument);  // unclosed
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), InvalidArgument);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InvalidArgument);  // key inside array
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.end_object(), InvalidArgument);  // nothing open
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), InvalidArgument);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), InvalidArgument);  // two top-level values
+  }
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,109 @@
+#include "psd/topo/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+
+namespace psd::topo {
+namespace {
+
+TEST(Matching, EmptyMatching) {
+  const Matching m(4);
+  EXPECT_EQ(m.size(), 4);
+  EXPECT_EQ(m.active_pairs(), 0);
+  EXPECT_FALSE(m.is_full());
+  EXPECT_TRUE(m.is_involution());  // vacuously
+  EXPECT_EQ(m.dst_of(0), -1);
+  EXPECT_EQ(m.src_of(3), -1);
+  EXPECT_TRUE(m.pairs().empty());
+}
+
+TEST(Matching, SetAndQuery) {
+  Matching m(4);
+  m.set(0, 2);
+  m.set(2, 0);
+  EXPECT_EQ(m.dst_of(0), 2);
+  EXPECT_EQ(m.src_of(2), 0);
+  EXPECT_EQ(m.active_pairs(), 2);
+  EXPECT_TRUE(m.is_involution());
+  EXPECT_FALSE(m.is_full());
+}
+
+TEST(Matching, RejectsConflicts) {
+  Matching m(4);
+  m.set(0, 1);
+  EXPECT_THROW(m.set(0, 2), psd::InvalidArgument);  // src already sends
+  EXPECT_THROW(m.set(2, 1), psd::InvalidArgument);  // dst already receives
+  EXPECT_THROW(m.set(3, 3), psd::InvalidArgument);  // self
+  EXPECT_THROW(m.set(4, 0), psd::InvalidArgument);  // out of range
+}
+
+TEST(Matching, RotationProperties) {
+  const Matching r1 = Matching::rotation(6, 1);
+  EXPECT_TRUE(r1.is_full());
+  EXPECT_FALSE(r1.is_involution());
+  for (int j = 0; j < 6; ++j) EXPECT_EQ(r1.dst_of(j), (j + 1) % 6);
+
+  const Matching r3 = Matching::rotation(6, 3);
+  EXPECT_TRUE(r3.is_involution());  // distance n/2 pairs up
+
+  const Matching rneg = Matching::rotation(6, -1);
+  for (int j = 0; j < 6; ++j) EXPECT_EQ(rneg.dst_of(j), (j + 5) % 6);
+
+  const Matching r0 = Matching::rotation(6, 0);
+  EXPECT_EQ(r0.active_pairs(), 0);  // self traffic carries no bytes
+  const Matching r6 = Matching::rotation(6, 6);
+  EXPECT_EQ(r6.active_pairs(), 0);
+}
+
+TEST(Matching, FromPairsAndDestinations) {
+  const Matching a = Matching::from_pairs(4, {{0, 3}, {3, 0}, {1, 2}});
+  EXPECT_EQ(a.dst_of(1), 2);
+  EXPECT_EQ(a.active_pairs(), 3);
+
+  const Matching b = Matching::from_destinations({3, 2, -1, 0});
+  EXPECT_EQ(b.dst_of(0), 3);
+  EXPECT_EQ(b.dst_of(2), -1);
+  EXPECT_EQ(b.active_pairs(), 3);
+}
+
+TEST(Matching, MatrixRoundTrip) {
+  const Matching m = Matching::from_pairs(4, {{0, 1}, {1, 0}, {2, 3}});
+  const psd::Matrix mat = m.to_matrix();
+  EXPECT_TRUE(mat.is_sub_permutation());
+  EXPECT_DOUBLE_EQ(mat(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(mat(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(mat(3, 2), 0.0);
+  const Matching back = Matching::from_matrix(mat);
+  EXPECT_TRUE(back == m);
+}
+
+TEST(Matching, FromMatrixRejectsNonPermutation) {
+  const psd::Matrix bad = psd::Matrix::from_rows({{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_THROW((void)Matching::from_matrix(bad), psd::InvalidArgument);
+}
+
+TEST(Matching, PortsChangedCountsBothSides) {
+  const Matching a = Matching::rotation(4, 1);
+  const Matching b = Matching::rotation(4, 1);
+  EXPECT_EQ(a.ports_changed_from(b), 0);
+
+  // Swap two destinations: 0->2, 2->... build explicit.
+  const Matching c = Matching::from_pairs(4, {{0, 2}, {1, 3}});
+  const Matching d = Matching::from_pairs(4, {{0, 2}, {1, 3}});
+  EXPECT_EQ(c.ports_changed_from(d), 0);
+  const Matching e = Matching::from_pairs(4, {{0, 3}, {1, 2}});
+  // All four nodes change either their send or receive side (or both):
+  // sends: 0 and 1 change (2); receives: 2 and 3 change (2).
+  EXPECT_EQ(c.ports_changed_from(e), 4);
+  // Versus the empty matching: every active endpoint differs.
+  EXPECT_EQ(c.ports_changed_from(Matching(4)), 4);
+}
+
+TEST(Matching, EqualityComparesStructure) {
+  EXPECT_TRUE(Matching::rotation(5, 2) == Matching::rotation(5, 2));
+  EXPECT_FALSE(Matching::rotation(5, 2) == Matching::rotation(5, 3));
+}
+
+}  // namespace
+}  // namespace psd::topo

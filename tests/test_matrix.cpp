@@ -1,0 +1,103 @@
+#include "psd/util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+
+namespace psd {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+  EXPECT_TRUE(id.is_sub_permutation());
+  EXPECT_TRUE(id.is_doubly_stochastic_scaled(1.0));
+}
+
+TEST(Matrix, FromRowsAndSums) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(0), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_sum(1), 7.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(0), 4.0);
+  EXPECT_DOUBLE_EQ(m.col_sum(1), 6.0);
+  EXPECT_DOUBLE_EQ(m.total(), 10.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, FromRowsRejectsRaggedInput) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, Arithmetic) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{4, 3}, {2, 1}});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = sum - b;
+  EXPECT_DOUBLE_EQ(Matrix::max_diff(diff, a), 0.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ((0.5 * scaled)(1, 0), 3.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, InvalidArgument);
+  EXPECT_THROW((void)Matrix::max_diff(a, b), InvalidArgument);
+}
+
+TEST(Matrix, NonNegativity) {
+  EXPECT_TRUE(Matrix::from_rows({{0, 1}, {2, 0}}).is_nonnegative());
+  EXPECT_FALSE(Matrix::from_rows({{0, -1}, {2, 0}}).is_nonnegative());
+  // Tiny negative noise within tolerance is accepted.
+  EXPECT_TRUE(Matrix::from_rows({{-1e-15, 1}, {2, 0}}).is_nonnegative());
+}
+
+TEST(Matrix, DoublyStochasticScaled) {
+  const Matrix m = Matrix::from_rows({{0.5, 1.5}, {1.5, 0.5}});
+  EXPECT_TRUE(m.is_doubly_stochastic_scaled(2.0));
+  EXPECT_FALSE(m.is_doubly_stochastic_scaled(1.0));
+  const Matrix uneven = Matrix::from_rows({{1, 0}, {0.5, 0.5}});
+  EXPECT_FALSE(uneven.is_doubly_stochastic_scaled(1.0));
+  EXPECT_FALSE(Matrix(2, 3).is_doubly_stochastic_scaled(0.0));  // non-square
+}
+
+TEST(Matrix, SubPermutationChecks) {
+  EXPECT_TRUE(Matrix::from_rows({{0, 1}, {1, 0}}).is_sub_permutation());
+  EXPECT_TRUE(Matrix::from_rows({{0, 1}, {0, 0}}).is_sub_permutation());
+  EXPECT_TRUE(Matrix(3, 3).is_sub_permutation());  // empty
+  // Two ones in a row.
+  EXPECT_FALSE(Matrix::from_rows({{1, 1}, {0, 0}}).is_sub_permutation());
+  // Two ones in a column.
+  EXPECT_FALSE(Matrix::from_rows({{1, 0}, {1, 0}}).is_sub_permutation());
+  // Non-0/1 entry.
+  EXPECT_FALSE(Matrix::from_rows({{0.5, 0}, {0, 1}}).is_sub_permutation());
+  // Non-square.
+  EXPECT_FALSE(Matrix(2, 3).is_sub_permutation());
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  const Matrix m = Matrix::from_rows({{1.25, 0}, {0, 2.5}});
+  const std::string s = m.to_string(2);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psd

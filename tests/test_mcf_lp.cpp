@@ -1,0 +1,125 @@
+#include "psd/flow/mcf_lp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+TEST(McfLp, SingleCommodityDirectEdge) {
+  topo::Graph g(2);
+  g.add_edge(0, 1, gbps(800));
+  const auto res = exact_concurrent_flow(g, {{0, 1, 1.0}}, gbps(800));
+  EXPECT_NEAR(res.theta, 1.0, 1e-8);
+  EXPECT_NEAR(res.flow[0][0], 1.0, 1e-8);
+}
+
+TEST(McfLp, ParallelEdgesDoubleThroughput) {
+  topo::Graph g(2);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(0, 1, gbps(800));
+  const auto res = exact_concurrent_flow(g, {{0, 1, 1.0}}, gbps(800));
+  EXPECT_NEAR(res.theta, 2.0, 1e-8);
+}
+
+TEST(McfLp, TwoDisjointPaths) {
+  // 0 -> 1 directly and 0 -> 2 -> 1: θ = 2 for a unit demand.
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(0, 2, gbps(800));
+  g.add_edge(2, 1, gbps(800));
+  const auto res = exact_concurrent_flow(g, {{0, 1, 1.0}}, gbps(800));
+  EXPECT_NEAR(res.theta, 2.0, 1e-8);
+}
+
+TEST(McfLp, CompetingCommoditiesShareLink) {
+  // Both commodities must cross the single middle link: θ = 1/2.
+  topo::Graph g(4);
+  g.add_edge(0, 2, gbps(800));
+  g.add_edge(1, 2, gbps(800));
+  g.add_edge(2, 3, gbps(800));
+  const auto res =
+      exact_concurrent_flow(g, {{0, 3, 1.0}, {1, 3, 1.0}}, gbps(800));
+  EXPECT_NEAR(res.theta, 0.5, 1e-8);
+}
+
+TEST(McfLp, BidirectionalRingRotationSplitsBothWays) {
+  // n=4 bidirectional ring, rotation by 1: optimal splits 3/4 clockwise and
+  // 1/4 the long way; θ = 4/3.
+  const auto g = topo::bidirectional_ring(4, gbps(800));
+  const auto res = exact_concurrent_flow(g, Matching::rotation(4, 1), gbps(800));
+  EXPECT_NEAR(res.theta, 4.0 / 3.0, 1e-7);
+}
+
+TEST(McfLp, MatchesRingClosedFormOnDirectedRings) {
+  psd::Rng rng(99);
+  for (const int n : {4, 6, 8}) {
+    const auto g = topo::directed_ring(n, gbps(800));
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto perm = rng.permutation(n);
+      Matching m(n);
+      for (int j = 0; j < n; ++j) {
+        if (perm[static_cast<std::size_t>(j)] != j) {
+          m.set(j, perm[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (m.active_pairs() == 0) continue;
+      const auto lp = exact_concurrent_flow(g, m, gbps(800));
+      const auto ring = ring_concurrent_flow(g, m, gbps(800));
+      ASSERT_TRUE(ring.has_value());
+      EXPECT_NEAR(lp.theta, ring->theta, 1e-6)
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
+TEST(McfLp, DemandScalingInverselyScalesTheta) {
+  topo::Graph g(2);
+  g.add_edge(0, 1, gbps(800));
+  const auto res = exact_concurrent_flow(g, {{0, 1, 2.0}}, gbps(800));
+  EXPECT_NEAR(res.theta, 0.5, 1e-8);
+}
+
+TEST(McfLp, EmptyCommoditiesInfiniteTheta) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  const auto res = exact_concurrent_flow(g, std::vector<Commodity>{}, gbps(800));
+  EXPECT_TRUE(std::isinf(res.theta));
+}
+
+TEST(McfLp, DisconnectedCommodityThrows) {
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  EXPECT_THROW((void)exact_concurrent_flow(g, {{0, 2, 1.0}}, gbps(800)),
+               psd::InvalidArgument);
+}
+
+TEST(McfLp, RejectsMalformedCommodities) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  EXPECT_THROW((void)exact_concurrent_flow(g, {{0, 0, 1.0}}, gbps(800)),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)exact_concurrent_flow(g, {{0, 5, 1.0}}, gbps(800)),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)exact_concurrent_flow(g, {{0, 1, -1.0}}, gbps(800)),
+               psd::InvalidArgument);
+}
+
+TEST(McfLp, FlowsSatisfyCapacities) {
+  const auto g = topo::bidirectional_ring(5, gbps(800));
+  const auto res = exact_concurrent_flow(g, Matching::rotation(5, 2), gbps(800));
+  const auto caps = normalized_capacities(g, gbps(800));
+  for (int e = 0; e < g.num_edges(); ++e) {
+    double load = 0.0;
+    for (const auto& f : res.flow) load += f[static_cast<std::size_t>(e)];
+    EXPECT_LE(load, caps[static_cast<std::size_t>(e)] + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace psd::flow

@@ -1,0 +1,182 @@
+#include "psd/core/multi_base.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/optimizers.hpp"
+#include "psd/topo/builders.hpp"
+
+namespace psd::core {
+namespace {
+
+CostParams make_params(TimeNs alpha_r) {
+  CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = alpha_r;
+  p.b = gbps(800);
+  return p;
+}
+
+TEST(MultiBase, SingletonPoolMatchesSingleBaseDp) {
+  const auto ring = topo::directed_ring(16, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(16, mib(1));
+  const auto params = make_params(microseconds(5));
+
+  const MultiBaseInstance multi(sched, {&oracle}, params);
+  const auto multi_plan = optimal_multi_base_plan(multi);
+
+  const ProblemInstance single(sched, oracle, params);
+  const auto single_plan = optimal_plan(single);
+
+  EXPECT_NEAR(multi_plan.total_time().ns(), single_plan.total_time().ns(), 1e-6);
+}
+
+TEST(MultiBase, LargerPoolNeverHurts) {
+  const int n = 16;
+  const auto ring1 = topo::directed_ring(n, gbps(800), 1);
+  const auto ring5 = topo::directed_ring(n, gbps(800), 5);
+  const flow::ThetaOracle o1(ring1, gbps(800));
+  const flow::ThetaOracle o5(ring5, gbps(800));
+  const auto sched = collective::alltoall_transpose(n, mib(1));
+  const auto params = make_params(microseconds(5));
+
+  const MultiBaseInstance pool1(sched, {&o1}, params);
+  const MultiBaseInstance pool2(sched, {&o1, &o5}, params);
+  EXPECT_LE(optimal_multi_base_plan(pool2).total_time().ns(),
+            optimal_multi_base_plan(pool1).total_time().ns() + 1e-6);
+}
+
+TEST(MultiBase, SecondBaseGetsUsedWhenItHelps) {
+  // Rotation-by-5 traffic is 1 hop on the stride-5 ring but 5 hops on the
+  // stride-1 ring; with moderate α_r the optimizer should hop bases.
+  const int n = 16;
+  const auto ring1 = topo::directed_ring(n, gbps(800), 1);
+  const auto ring5 = topo::directed_ring(n, gbps(800), 5);
+  const flow::ThetaOracle o1(ring1, gbps(800));
+  const flow::ThetaOracle o5(ring5, gbps(800));
+
+  // A long run of rotation-5 steps: worth one switch into base 1.
+  std::vector<std::pair<Bytes, topo::Matching>> raw(
+      6, {mib(1), topo::Matching::rotation(n, 5)});
+  collective::CollectiveSchedule sched("rot5", n, mib(6), 1,
+                                       collective::ChunkSpace::kSegments);
+  for (const auto& [v, m] : raw) {
+    collective::Step st;
+    st.matching = m;
+    st.volume = v;
+    sched.add_step(st);
+  }
+
+  const MultiBaseInstance inst(sched, {&o1, &o5}, make_params(microseconds(10)));
+  const auto plan = optimal_multi_base_plan(inst);
+  int in_base1 = 0;
+  for (int s : plan.state) in_base1 += (s == 1);
+  EXPECT_EQ(in_base1, 6);  // all steps on the stride-5 ring
+  EXPECT_EQ(plan.num_reconfigurations, 1);  // one switch from base 0
+}
+
+TEST(MultiBase, EvaluateExplicitStates) {
+  const int n = 8;
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(n, mib(1));
+  const auto params = make_params(microseconds(2));
+  const MultiBaseInstance inst(sched, {&oracle}, params);
+
+  // All-matched: every step pays α_r (matched state always re-charges).
+  std::vector<int> all_matched(static_cast<std::size_t>(inst.num_steps()),
+                               inst.matched_state());
+  const auto plan = evaluate_multi_base_plan(inst, all_matched);
+  EXPECT_EQ(plan.num_reconfigurations, inst.num_steps());
+  EXPECT_DOUBLE_EQ(plan.breakdown.reconfiguration.us(),
+                   2.0 * inst.num_steps());
+
+  // All base 0: free transitions.
+  std::vector<int> all_base(static_cast<std::size_t>(inst.num_steps()), 0);
+  EXPECT_EQ(evaluate_multi_base_plan(inst, all_base).num_reconfigurations, 0);
+}
+
+TEST(MultiBase, CostAccessorsMatchSingleBaseSemantics) {
+  const int n = 8;
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(n, mib(1));
+  const auto params = make_params(microseconds(2));
+  const MultiBaseInstance multi(sched, {&oracle}, params);
+  const ProblemInstance single(sched, oracle, params);
+
+  for (int i = 0; i < multi.num_steps(); ++i) {
+    EXPECT_DOUBLE_EQ(multi.propagation_cost(i, 0).ns(),
+                     single.propagation_cost(i, TopoChoice::kBase).ns());
+    EXPECT_DOUBLE_EQ(multi.serialization_cost(i, 0).ns(),
+                     single.serialization_cost(i, TopoChoice::kBase).ns());
+    EXPECT_DOUBLE_EQ(multi.propagation_cost(i, multi.matched_state()).ns(),
+                     single.propagation_cost(i, TopoChoice::kMatched).ns());
+    EXPECT_DOUBLE_EQ(multi.serialization_cost(i, multi.matched_state()).ns(),
+                     single.serialization_cost(i, TopoChoice::kMatched).ns());
+  }
+}
+
+TEST(MultiBase, DpMatchesExhaustiveEnumeration) {
+  // (k+1)^s enumeration over a 3-state pool on a short random-ish workload.
+  const int n = 8;
+  const auto ring1 = topo::directed_ring(n, gbps(800), 1);
+  const auto ring3 = topo::directed_ring(n, gbps(800), 3);
+  const flow::ThetaOracle o1(ring1, gbps(800));
+  const flow::ThetaOracle o3(ring3, gbps(800));
+
+  collective::CollectiveSchedule sched("mixed", n, mib(8), 1,
+                                       collective::ChunkSpace::kSegments);
+  const int rotations[] = {1, 3, 5, 2, 7, 3};
+  for (int r : rotations) {
+    collective::Step st;
+    st.matching = topo::Matching::rotation(n, r);
+    st.volume = mib(1);
+    sched.add_step(st);
+  }
+
+  const MultiBaseInstance inst(sched, {&o1, &o3}, make_params(microseconds(12)));
+  const auto dp = optimal_multi_base_plan(inst);
+
+  const int s = inst.num_steps();
+  const int states = inst.matched_state() + 1;
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> assign(static_cast<std::size_t>(s), 0);
+  for (long long code = 0; code < static_cast<long long>(std::pow(states, s));
+       ++code) {
+    long long rem = code;
+    for (int i = 0; i < s; ++i) {
+      assign[static_cast<std::size_t>(i)] = static_cast<int>(rem % states);
+      rem /= states;
+    }
+    best = std::min(best,
+                    evaluate_multi_base_plan(inst, assign).total_time().ns());
+  }
+  EXPECT_NEAR(dp.total_time().ns(), best, 1e-6);
+}
+
+TEST(MultiBase, ValidatesInput) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(8, mib(1));
+  const auto params = make_params(microseconds(1));
+  EXPECT_THROW(MultiBaseInstance(sched, {}, params), psd::InvalidArgument);
+  EXPECT_THROW(MultiBaseInstance(sched, {nullptr}, params), psd::InvalidArgument);
+
+  const auto small_ring = topo::directed_ring(4, gbps(800));
+  const flow::ThetaOracle small_oracle(small_ring, gbps(800));
+  EXPECT_THROW(MultiBaseInstance(sched, {&small_oracle}, params),
+               psd::InvalidArgument);
+
+  const MultiBaseInstance inst(sched, {&oracle}, params);
+  EXPECT_THROW((void)evaluate_multi_base_plan(inst, {0}), psd::InvalidArgument);
+  EXPECT_THROW((void)inst.propagation_cost(0, 5), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::core

@@ -1,0 +1,191 @@
+#include "psd/core/optimizers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::core {
+namespace {
+
+using topo::Matching;
+
+CostParams make_params(TimeNs alpha_r) {
+  CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = alpha_r;
+  p.b = gbps(800);
+  return p;
+}
+
+/// Random problem instance over a directed ring: random step matchings and
+/// volumes.
+ProblemInstance random_instance(int n, int steps, TimeNs alpha_r, psd::Rng& rng,
+                                const flow::ThetaOracle& oracle) {
+  std::vector<std::pair<Bytes, Matching>> raw;
+  for (int i = 0; i < steps; ++i) {
+    Matching m(n);
+    const auto perm = rng.permutation(n);
+    for (int j = 0; j < n; ++j) {
+      if (perm[static_cast<std::size_t>(j)] != j) {
+        m.set(j, perm[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (m.active_pairs() == 0) m.set(0, 1);
+    raw.emplace_back(kib(rng.uniform(1.0, 4096.0)), std::move(m));
+  }
+  return ProblemInstance(raw, oracle, make_params(alpha_r));
+}
+
+TEST(Optimizers, StaticAndBvnAreExtremes) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::halving_doubling_allreduce(8, mib(4));
+  const ProblemInstance inst(sched, oracle, make_params(microseconds(10)));
+
+  const auto st = static_plan(inst);
+  EXPECT_EQ(st.num_reconfigurations, 0);
+  EXPECT_DOUBLE_EQ(st.breakdown.reconfiguration.ns(), 0.0);
+  for (auto c : st.choice) EXPECT_EQ(c, TopoChoice::kBase);
+
+  const auto bvn = bvn_plan(inst);
+  EXPECT_EQ(bvn.num_reconfigurations, inst.num_steps());
+  for (auto c : bvn.choice) EXPECT_EQ(c, TopoChoice::kMatched);
+}
+
+TEST(Optimizers, BvnReconfigurationCount) {
+  // All-matched over s steps: every step pays α_r once (entering step i from
+  // step i-1 is never base→base), with no trailing charge: s charges total.
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(8, mib(1));
+  const ProblemInstance inst(sched, oracle, make_params(microseconds(1)));
+  const auto bvn = bvn_plan(inst);
+  EXPECT_EQ(bvn.num_reconfigurations, inst.num_steps());
+  EXPECT_DOUBLE_EQ(bvn.breakdown.reconfiguration.us(),
+                   static_cast<double>(inst.num_steps()));
+}
+
+TEST(Optimizers, DpMatchesBruteForceOnRandomInstances) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  psd::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto alpha_r = microseconds(rng.uniform(0.0, 50.0));
+    const auto inst = random_instance(8, 10, alpha_r, rng, oracle);
+    const auto dp = optimal_plan(inst);
+    const auto bf = brute_force_plan(inst);
+    EXPECT_NEAR(dp.total_time().ns(), bf.total_time().ns(), 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Optimizers, DpMatchesBruteForceWithExtensions) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  psd::Rng rng(77);
+  const photonic::PerPortDelayModel port_model(nanoseconds(500), nanoseconds(200));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst =
+        random_instance(8, 8, microseconds(rng.uniform(0.0, 20.0)), rng, oracle);
+    ModelExtensions ext;
+    ext.dedup_identical_matchings = (trial % 2 == 0);
+    if (trial % 3 == 0) {
+      ext.delay_model = &port_model;
+      ext.base_config = Matching::rotation(8, 1);
+    }
+    std::vector<TimeNs> compute;
+    for (int i = 0; i < inst.num_steps(); ++i) {
+      compute.push_back(microseconds(rng.uniform(0.0, 5.0)));
+    }
+    ext.compute_before_step = compute;
+    const auto dp = optimal_plan(inst, ext);
+    const auto bf = brute_force_plan(inst, ext);
+    EXPECT_NEAR(dp.total_time().ns(), bf.total_time().ns(), 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(Optimizers, DpNeverWorseThanAnyBaseline) {
+  const auto ring = topo::directed_ring(16, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  psd::Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = random_instance(
+        16, 14, microseconds(rng.uniform(0.0, 100.0)), rng, oracle);
+    const double opt = optimal_plan(inst).total_time().ns();
+    EXPECT_LE(opt, static_plan(inst).total_time().ns() + 1e-6);
+    EXPECT_LE(opt, bvn_plan(inst).total_time().ns() + 1e-6);
+    EXPECT_LE(opt, greedy_threshold_plan(inst).total_time().ns() + 1e-6);
+  }
+}
+
+TEST(Optimizers, HugeReconfigDelayForcesStatic) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::swing_allreduce(8, kib(64));
+  const ProblemInstance inst(sched, oracle, make_params(milliseconds(100)));
+  const auto dp = optimal_plan(inst);
+  const auto st = static_plan(inst);
+  EXPECT_NEAR(dp.total_time().ns(), st.total_time().ns(), 1e-6);
+  EXPECT_EQ(dp.num_reconfigurations, 0);
+}
+
+TEST(Optimizers, FreeReconfigurationForcesMatched) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::halving_doubling_allreduce(8, gib(1));
+  const ProblemInstance inst(sched, oracle, make_params(nanoseconds(0)));
+  const auto dp = optimal_plan(inst);
+  // On a directed ring θ ≤ 1 and ℓ ≥ 1: matching every step dominates.
+  EXPECT_NEAR(dp.total_time().ns(), bvn_plan(inst).total_time().ns(), 1e-6);
+}
+
+TEST(Optimizers, MixedRegimeUsesBothStates) {
+  // All-to-All on a ring: early rotations (distance 1-2) are cheap on the
+  // base; far rotations are heavily congested and worth a reconfiguration.
+  const auto ring = topo::directed_ring(16, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::alltoall_transpose(16, mib(4));
+  const ProblemInstance inst(sched, oracle, make_params(microseconds(20)));
+  const auto dp = optimal_plan(inst);
+  int base_count = 0;
+  int matched_count = 0;
+  for (auto c : dp.choice) {
+    (c == TopoChoice::kBase ? base_count : matched_count)++;
+  }
+  EXPECT_GT(base_count, 0);
+  EXPECT_GT(matched_count, 0);
+  EXPECT_LT(dp.total_time().ns(), static_plan(inst).total_time().ns());
+  EXPECT_LT(dp.total_time().ns(), bvn_plan(inst).total_time().ns());
+}
+
+TEST(Optimizers, GreedyIsFeasibleButMyopic) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  psd::Rng rng(555);
+  bool saw_gap = false;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto inst = random_instance(
+        8, 10, microseconds(rng.uniform(1.0, 40.0)), rng, oracle);
+    const double greedy = greedy_threshold_plan(inst).total_time().ns();
+    const double opt = optimal_plan(inst).total_time().ns();
+    EXPECT_GE(greedy, opt - 1e-6);
+    if (greedy > opt * 1.001) saw_gap = true;
+  }
+  EXPECT_TRUE(saw_gap);  // myopia must cost something somewhere
+}
+
+TEST(Optimizers, BruteForceRefusesHugeInstances) {
+  const auto ring = topo::directed_ring(4, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  std::vector<std::pair<Bytes, Matching>> raw(
+      30, {kib(1), Matching::rotation(4, 1)});
+  const ProblemInstance inst(raw, oracle, make_params(microseconds(1)));
+  EXPECT_THROW((void)brute_force_plan(inst), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::core

@@ -1,0 +1,141 @@
+#include "psd/core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/report.hpp"
+#include "psd/topo/builders.hpp"
+
+namespace psd::core {
+namespace {
+
+CostParams paper_params(TimeNs alpha_r) {
+  CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = alpha_r;
+  p.b = gbps(800);
+  return p;
+}
+
+TEST(Planner, ProducesAllPlans) {
+  Planner planner(topo::directed_ring(16, gbps(800)),
+                  paper_params(microseconds(10)));
+  const auto result =
+      planner.plan(collective::halving_doubling_allreduce(16, mib(16)));
+  EXPECT_EQ(result.optimal.choice.size(), 8u);
+  EXPECT_GE(result.speedup_vs_static(), 1.0 - 1e-9);
+  EXPECT_GE(result.speedup_vs_bvn(), 1.0 - 1e-9);
+  EXPECT_GE(result.speedup_vs_best_baseline(), 1.0 - 1e-9);
+  // Greedy is feasible: never faster than the optimum.
+  EXPECT_GE(result.greedy.total_time().ns(),
+            result.optimal.total_time().ns() - 1e-6);
+}
+
+TEST(Planner, SpeedupDefinitionsConsistent) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(1)));
+  const auto r = planner.plan(collective::alltoall_transpose(8, mib(8)));
+  const double vs_best = r.speedup_vs_best_baseline();
+  EXPECT_NEAR(vs_best,
+              std::min(r.speedup_vs_static(), r.speedup_vs_bvn()), 1e-12);
+}
+
+TEST(Planner, SetParamsKeepsThetaCache) {
+  Planner planner(topo::directed_ring(16, gbps(800)),
+                  paper_params(microseconds(10)));
+  const auto sched = collective::swing_allreduce(16, mib(1));
+  (void)planner.plan(sched);
+  const auto cached = planner.oracle().cache_size();
+  EXPECT_GT(cached, 0u);
+
+  planner.set_params(paper_params(microseconds(100)));
+  (void)planner.plan(sched);
+  // Same matchings: no new cache entries, only hits.
+  EXPECT_EQ(planner.oracle().cache_size(), cached);
+  EXPECT_GT(planner.oracle().cache_hits(), 0u);
+}
+
+TEST(Planner, SetParamsRejectsBandwidthChange) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(10)));
+  CostParams p = paper_params(microseconds(10));
+  p.b = gbps(400);
+  EXPECT_THROW(planner.set_params(p), psd::InvalidArgument);
+}
+
+TEST(Planner, InstanceExposesPrecomputedSteps) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(10)));
+  const auto inst = planner.instance(collective::ring_allreduce(8, mib(1)));
+  EXPECT_EQ(inst.num_steps(), 14);
+  for (int i = 0; i < inst.num_steps(); ++i) {
+    EXPECT_DOUBLE_EQ(inst.step(i).theta_base, 1.0);  // +1 rotations on a ring
+    EXPECT_EQ(inst.step(i).ell_base, 1);
+  }
+}
+
+TEST(Planner, ExtensionsFlowThrough) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(10)));
+  // Repeated identical matchings: dedup must help the BvN-style plan.
+  collective::CollectiveSchedule sched("rep", 8, mib(4), 1,
+                                       collective::ChunkSpace::kSegments);
+  for (int i = 0; i < 4; ++i) {
+    collective::Step st;
+    st.matching = topo::Matching::rotation(8, 3);
+    st.volume = mib(1);
+    sched.add_step(st);
+  }
+  ModelExtensions dedup;
+  dedup.dedup_identical_matchings = true;
+  const auto without = planner.plan(sched);
+  const auto with = planner.plan(sched, dedup);
+  EXPECT_LT(with.naive_bvn.total_time().ns(),
+            without.naive_bvn.total_time().ns());
+}
+
+TEST(Report, PlanJsonContainsBreakdown) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(10)));
+  const auto r = planner.plan(collective::swing_allreduce(8, mib(4)));
+  const std::string json = to_json(r.optimal);
+  EXPECT_NE(json.find("\"choice\":["), std::string::npos);
+  EXPECT_NE(json.find("\"breakdown\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"serialization_ns\":"), std::string::npos);
+  // One choice entry per step.
+  std::size_t entries = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"base\"", pos)) != std::string::npos; ++pos) {
+    ++entries;
+  }
+  for (std::size_t pos = 0;
+       (pos = json.find("\"matched\"", pos)) != std::string::npos; ++pos) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, r.optimal.choice.size());
+}
+
+TEST(Report, PlannerResultJsonHasAllPlans) {
+  Planner planner(topo::directed_ring(8, gbps(800)),
+                  paper_params(microseconds(1)));
+  const auto r = planner.plan(collective::alltoall_transpose(8, mib(4)));
+  const std::string json = to_json(r);
+  for (const char* k : {"\"optimal\":", "\"static\":", "\"naive_bvn\":",
+                        "\"greedy\":", "\"speedup_vs_static\":",
+                        "\"speedup_vs_bvn\":", "\"speedup_vs_best_baseline\":"}) {
+    EXPECT_NE(json.find(k), std::string::npos) << k;
+  }
+  // Balanced braces (cheap structural sanity).
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace psd::core

@@ -1,0 +1,75 @@
+#include "psd/topo/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/builders.hpp"
+
+namespace psd::topo {
+namespace {
+
+TEST(Properties, StrongConnectivity) {
+  EXPECT_TRUE(is_strongly_connected(directed_ring(5, gbps(1))));
+  EXPECT_TRUE(is_strongly_connected(full_mesh(4, gbps(1))));
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  g.add_edge(1, 2, gbps(1));
+  EXPECT_FALSE(is_strongly_connected(g));  // no way back to 0
+  EXPECT_TRUE(is_strongly_connected(Graph(1)));
+}
+
+TEST(Properties, Diameter) {
+  EXPECT_EQ(diameter(directed_ring(6, gbps(1))), 5);
+  EXPECT_EQ(diameter(bidirectional_ring(6, gbps(1))), 3);
+  EXPECT_EQ(diameter(full_mesh(4, gbps(1))), 1);
+  EXPECT_EQ(diameter(hypercube(4, gbps(1))), 4);
+  Graph disconnected(2);
+  EXPECT_THROW((void)diameter(disconnected), psd::InvalidArgument);
+}
+
+TEST(Properties, MaxPairHopsOnDirectedRing) {
+  const Graph g = directed_ring(8, gbps(1));
+  // Rotation by 3: every pair at clockwise distance 3.
+  EXPECT_EQ(max_pair_hops(g, Matching::rotation(8, 3)), 3);
+  // Pairwise exchange at distance 1: the reverse direction goes the long way.
+  const Matching ex = Matching::from_pairs(8, {{0, 1}, {1, 0}});
+  EXPECT_EQ(max_pair_hops(g, ex), 7);
+  EXPECT_EQ(max_pair_hops(g, Matching(8)), 0);  // empty
+}
+
+TEST(Properties, MaxPairHopsOnBidirectionalRing) {
+  const Graph g = bidirectional_ring(8, gbps(1));
+  EXPECT_EQ(max_pair_hops(g, Matching::rotation(8, 3)), 3);
+  EXPECT_EQ(max_pair_hops(g, Matching::rotation(8, 5)), 3);  // shorter way round
+}
+
+TEST(Properties, TotalPairHops) {
+  const Graph g = directed_ring(6, gbps(1));
+  EXPECT_EQ(total_pair_hops(g, Matching::rotation(6, 2)), 6 * 2);
+  const Matching ex = Matching::from_pairs(6, {{0, 2}, {2, 0}});
+  EXPECT_EQ(total_pair_hops(g, ex), 2 + 4);
+}
+
+TEST(Properties, DisconnectedPairThrows) {
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  const Matching m = Matching::from_pairs(3, {{0, 2}});
+  EXPECT_THROW((void)max_pair_hops(g, m), psd::InvalidArgument);
+  EXPECT_THROW((void)total_pair_hops(g, m), psd::InvalidArgument);
+}
+
+TEST(Properties, MatchesTopology) {
+  const Matching m = Matching::from_pairs(4, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(matches_topology(matched_topology(m, gbps(1)), m));
+  EXPECT_TRUE(matches_topology(full_mesh(4, gbps(1)), m));
+  EXPECT_FALSE(matches_topology(directed_ring(4, gbps(1)), m));  // 1->0 missing
+  EXPECT_TRUE(matches_topology(directed_ring(4, gbps(1)), Matching::rotation(4, 1)));
+}
+
+TEST(Properties, SizeMismatchThrows) {
+  const Graph g = directed_ring(4, gbps(1));
+  EXPECT_THROW((void)max_pair_hops(g, Matching(5)), psd::InvalidArgument);
+  EXPECT_THROW((void)matches_topology(g, Matching(3)), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::topo

@@ -1,0 +1,111 @@
+#include "psd/flow/rate_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/builders.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+TEST(ConcurrentFlowAllocation, UniformRatesEqualTheta) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const auto commodities =
+      commodities_from_matching(Matching::rotation(8, 4));
+  const auto alloc = concurrent_flow_allocation(g, commodities, gbps(800));
+  ASSERT_EQ(alloc.rate.size(), commodities.size());
+  for (double r : alloc.rate) EXPECT_NEAR(r, 0.25, 1e-9);
+}
+
+TEST(ConcurrentFlowAllocation, EmptyCommodities) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  const auto alloc = concurrent_flow_allocation(g, {}, gbps(800));
+  EXPECT_TRUE(alloc.rate.empty());
+}
+
+TEST(ConcurrentFlowAllocation, GeneralGraphUsesFptas) {
+  const auto g = topo::bidirectional_ring(6, gbps(800));
+  const auto commodities =
+      commodities_from_matching(Matching::rotation(6, 1));
+  const auto alloc =
+      concurrent_flow_allocation(g, commodities, gbps(800), 0.02);
+  // Exact θ > 1 because flows can split across both directions.
+  for (double r : alloc.rate) EXPECT_GT(r, 1.0);
+}
+
+TEST(MaxMinFair, SingleSharedBottleneck) {
+  // Three flows all crossing link 2 -> 3 of a directed line.
+  topo::Graph g(4);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(1, 2, gbps(800));
+  g.add_edge(2, 3, gbps(800));
+  const std::vector<Commodity> flows{{0, 3, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}};
+  const auto alloc = max_min_fair_allocation(g, flows, gbps(800));
+  for (double r : alloc.rate) EXPECT_NEAR(r, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(alloc.path[0].size(), 3u);
+  EXPECT_EQ(alloc.path[2].size(), 1u);
+}
+
+TEST(MaxMinFair, IndependentFlowsGetFullRate) {
+  const auto g = topo::directed_ring(6, gbps(800));
+  const std::vector<Commodity> flows{{0, 1, 1.0}, {3, 4, 1.0}};
+  const auto alloc = max_min_fair_allocation(g, flows, gbps(800));
+  EXPECT_NEAR(alloc.rate[0], 1.0, 1e-9);
+  EXPECT_NEAR(alloc.rate[1], 1.0, 1e-9);
+}
+
+TEST(MaxMinFair, UnevenBottlenecksFreezeProgressively) {
+  // A: 0->2 via the shared first link; B: 1->2 alone on a fat link.
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(400));   // thin
+  g.add_edge(1, 2, gbps(800));   // fat
+  const std::vector<Commodity> flows{{0, 2, 1.0}, {1, 2, 1.0}};
+  const auto alloc = max_min_fair_allocation(g, flows, gbps(800));
+  // A is capped by the thin link at 0.5; B then fills the fat link to 0.5.
+  EXPECT_NEAR(alloc.rate[0], 0.5, 1e-9);
+  EXPECT_NEAR(alloc.rate[1], 0.5, 1e-9);
+}
+
+TEST(MaxMinFair, ParkingLotFairness) {
+  // Classic parking lot: long flow shares each hop with a short flow.
+  topo::Graph g(4);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(1, 2, gbps(800));
+  g.add_edge(2, 3, gbps(800));
+  const std::vector<Commodity> flows{
+      {0, 3, 1.0},  // long
+      {0, 1, 1.0},
+      {1, 2, 1.0},
+      {2, 3, 1.0},
+  };
+  const auto alloc = max_min_fair_allocation(g, flows, gbps(800));
+  // Every link is shared by the long flow and one short flow: all get 1/2.
+  for (double r : alloc.rate) EXPECT_NEAR(r, 0.5, 1e-9);
+}
+
+TEST(MaxMinFair, RatesAreCapacityFeasible) {
+  const auto g = topo::bidirectional_ring(8, gbps(800));
+  const auto flows = commodities_from_matching(Matching::rotation(8, 3));
+  const auto alloc = max_min_fair_allocation(g, flows, gbps(800));
+  const auto caps = normalized_capacities(g, gbps(800));
+  std::vector<double> load(caps.size(), 0.0);
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    for (topo::EdgeId e : alloc.path[k]) {
+      load[static_cast<std::size_t>(e)] += alloc.rate[k];
+    }
+  }
+  for (std::size_t e = 0; e < caps.size(); ++e) {
+    EXPECT_LE(load[e], caps[e] + 1e-9);
+  }
+}
+
+TEST(MaxMinFair, DisconnectedThrows) {
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  EXPECT_THROW((void)max_min_fair_allocation(g, {{0, 2, 1.0}}, gbps(800)),
+               psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::flow

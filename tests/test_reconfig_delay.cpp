@@ -1,0 +1,54 @@
+#include "psd/photonic/reconfig_delay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psd::photonic {
+namespace {
+
+using topo::Matching;
+
+TEST(ConstantDelay, ChargesUnlessIdentical) {
+  const ConstantDelayModel model(microseconds(10));
+  const auto a = Matching::rotation(8, 1);
+  const auto b = Matching::rotation(8, 2);
+  EXPECT_DOUBLE_EQ(model.delay(a, b).us(), 10.0);
+  EXPECT_DOUBLE_EQ(model.delay(b, a).us(), 10.0);
+  EXPECT_DOUBLE_EQ(model.delay(a, Matching::rotation(8, 1)).ns(), 0.0);
+}
+
+TEST(ConstantDelay, RejectsNegative) {
+  EXPECT_THROW(ConstantDelayModel(nanoseconds(-1)), psd::InvalidArgument);
+}
+
+TEST(ConstantDelay, CloneIsIndependent) {
+  const ConstantDelayModel model(microseconds(1));
+  const auto clone = model.clone();
+  EXPECT_DOUBLE_EQ(
+      clone->delay(Matching::rotation(4, 1), Matching::rotation(4, 2)).us(), 1.0);
+}
+
+TEST(PerPortDelay, ScalesWithChangedPorts) {
+  const PerPortDelayModel model(microseconds(1), nanoseconds(100));
+  const auto a = Matching::rotation(8, 1);
+  // Identity: free.
+  EXPECT_DOUBLE_EQ(model.delay(a, Matching::rotation(8, 1)).ns(), 0.0);
+  // Full rotation change: all 8 senders and 8 receivers move.
+  const auto b = Matching::rotation(8, 2);
+  EXPECT_DOUBLE_EQ(model.delay(a, b).ns(), 1000.0 + 100.0 * 16);
+}
+
+TEST(PerPortDelay, PartialChangeCheaper) {
+  const PerPortDelayModel model(nanoseconds(0), nanoseconds(100));
+  const auto a = Matching::from_pairs(8, {{0, 1}, {2, 3}});
+  const auto b = Matching::from_pairs(8, {{0, 1}, {2, 4}});
+  // Sender 2 re-aims (1 change); receivers 3 and 4 change (2 changes).
+  EXPECT_DOUBLE_EQ(model.delay(a, b).ns(), 300.0);
+}
+
+TEST(PerPortDelay, SizeMismatchThrows) {
+  const PerPortDelayModel model(nanoseconds(0), nanoseconds(1));
+  EXPECT_THROW((void)model.delay(Matching(4), Matching(5)), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::photonic

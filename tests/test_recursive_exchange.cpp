@@ -1,0 +1,155 @@
+#include "psd/collective/recursive_exchange.hpp"
+
+#include <bit>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/executor.hpp"
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+namespace {
+
+TEST(SwingRho, MatchesPaperFormula) {
+  // ρ_s = (1 − (−2)^(s+1)) / 3: 1, −1, 3, −5, 11, −21, 43 ...
+  EXPECT_EQ(swing_rho(0), 1);
+  EXPECT_EQ(swing_rho(1), -1);
+  EXPECT_EQ(swing_rho(2), 3);
+  EXPECT_EQ(swing_rho(3), -5);
+  EXPECT_EQ(swing_rho(4), 11);
+  EXPECT_EQ(swing_rho(5), -21);
+  EXPECT_EQ(swing_rho(6), 43);
+}
+
+TEST(SwingPeers, AreInvolutionsWithOddDistances) {
+  for (int n : {4, 8, 16, 32, 64}) {
+    const auto peer = swing_peers(n);
+    const int q = std::countr_zero(static_cast<unsigned>(n));
+    for (int s = 0; s < q; ++s) {
+      for (int j = 0; j < n; ++j) {
+        const int w = peer(j, s);
+        EXPECT_NE(w, j);
+        EXPECT_EQ(peer(w, s), j) << "n=" << n << " s=" << s << " j=" << j;
+        // Ring distance is |ρ_s| in the node's parity direction.
+        const long long rho = swing_rho(s);
+        const int expect =
+            static_cast<int>((((j % 2 == 0 ? j + rho : j - rho) % n) + n) % n);
+        EXPECT_EQ(w, expect);
+      }
+    }
+  }
+}
+
+TEST(HalvingDoublingPeers, XorLargestDistanceFirst) {
+  const auto peer = halving_doubling_peers(8);
+  EXPECT_EQ(peer(0, 0), 4);  // distance n/2 first
+  EXPECT_EQ(peer(0, 1), 2);
+  EXPECT_EQ(peer(0, 2), 1);
+  EXPECT_EQ(peer(5, 0), 1);
+}
+
+TEST(RecursiveExchange, HalvingDoublingVolumesHalve) {
+  const int n = 16;
+  const auto sched =
+      recursive_exchange_allreduce("hd", n, mib(16), halving_doubling_peers(n));
+  ASSERT_EQ(sched.num_steps(), 8);  // 2 * log2(16)
+  // Reduce-scatter: M/2, M/4, M/8, M/16.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(sched.step(s).volume.mib(), 16.0 / (2 << s));
+  }
+  // Allgather mirrors: M/16, M/8, M/4, M/2.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(sched.step(4 + t).volume.mib(), (16.0 / 16) * (1 << t));
+  }
+}
+
+TEST(RecursiveExchange, TotalTrafficIsBandwidthOptimal) {
+  // AllReduce lower bound: each node sends 2(n−1)/n · M bytes.
+  for (int n : {4, 8, 32}) {
+    const auto sched =
+        recursive_exchange_allreduce("hd", n, mib(1), halving_doubling_peers(n));
+    const double expected = 2.0 * (n - 1) / n * mib(1).count();
+    EXPECT_NEAR(sched.max_bytes_sent_per_node().count(), expected, 1.0);
+  }
+}
+
+TEST(RecursiveExchange, ProducesValidAllReduce) {
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    EXPECT_TRUE(is_valid_allreduce(recursive_exchange_allreduce(
+        "hd", n, mib(1), halving_doubling_peers(n))))
+        << "halving-doubling n=" << n;
+    EXPECT_TRUE(is_valid_allreduce(
+        recursive_exchange_allreduce("swing", n, mib(1), swing_peers(n))))
+        << "swing n=" << n;
+  }
+}
+
+TEST(RecursiveExchange, ReduceScatterOwnership) {
+  const int n = 8;
+  const auto sched = recursive_exchange_reduce_scatter(
+      "hd-rs", n, mib(1), halving_doubling_peers(n));
+  EXPECT_EQ(sched.num_steps(), 3);
+  const ChunkExecutor exec(sched, InitMode::kAllReduce);
+  // The halving/doubling recursion assigns chunk j to node j.
+  std::vector<int> owners(n);
+  for (int c = 0; c < n; ++c) owners[static_cast<std::size_t>(c)] = c;
+  EXPECT_TRUE(exec.verify_reduce_scatter(owners));
+}
+
+TEST(RecursiveExchange, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)recursive_exchange_allreduce(
+                   "bad", 6, mib(1), [](int j, int) { return j ^ 1; }),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)swing_peers(12), psd::InvalidArgument);
+  EXPECT_THROW((void)halving_doubling_peers(0), psd::InvalidArgument);
+}
+
+TEST(RecursiveExchange, RejectsNonInvolution) {
+  // Rotation by 1 is not an involution for n = 4.
+  const auto bad = [](int j, int) { return (j + 1) % 4; };
+  EXPECT_THROW((void)recursive_exchange_allreduce("bad", 4, mib(1), bad),
+               psd::InvalidArgument);
+}
+
+TEST(RecursiveExchange, RejectsSelfPeer) {
+  const auto bad = [](int j, int s) { return s == 0 ? j : (j ^ 1); };
+  EXPECT_THROW((void)recursive_exchange_allreduce("bad", 4, mib(1), bad),
+               psd::InvalidArgument);
+}
+
+TEST(RecursiveExchange, RejectsPartitionViolation) {
+  // Using the same XOR bit twice: step-1 partners' responsibility sets
+  // coincide instead of being disjoint.
+  const auto bad = [](int j, int) { return j ^ 1; };
+  EXPECT_THROW((void)recursive_exchange_allreduce("bad", 4, mib(1), bad),
+               psd::InvalidArgument);
+}
+
+TEST(RecursiveExchange, MatchingsAreFullInvolutions) {
+  const auto sched =
+      recursive_exchange_allreduce("swing", 16, mib(1), swing_peers(16));
+  for (const auto& step : sched.steps()) {
+    EXPECT_TRUE(step.matching.is_full());
+    EXPECT_TRUE(step.matching.is_involution());
+  }
+}
+
+TEST(RecursiveExchange, SwingUsesSmallRingDistancesEarly) {
+  // Swing's defining property: consecutive steps talk to nearby ring
+  // neighbours (distances 1, 1, 3, 5, ...), unlike halving/doubling's n/2.
+  const int n = 16;
+  const auto sched =
+      recursive_exchange_allreduce("swing", n, mib(1), swing_peers(n));
+  const auto dist = [n](int a, int b) {
+    const int d = std::abs(a - b);
+    return std::min(d, n - d);
+  };
+  EXPECT_EQ(dist(0, sched.step(0).matching.dst_of(0)), 1);
+  EXPECT_EQ(dist(0, sched.step(1).matching.dst_of(0)), 1);
+  EXPECT_EQ(dist(0, sched.step(2).matching.dst_of(0)), 3);
+  EXPECT_EQ(dist(0, sched.step(3).matching.dst_of(0)), 5);
+}
+
+}  // namespace
+}  // namespace psd::collective

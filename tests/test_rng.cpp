@@ -1,0 +1,98 @@
+#include "psd/util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+
+namespace psd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng r(11);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.next_below(17), 17u);
+  EXPECT_THROW((void)r.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(13);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++seen[r.next_below(10)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW((void)r.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng r(23);
+  for (int n : {0, 1, 2, 8, 100}) {
+    auto p = r.permutation(n);
+    ASSERT_EQ(static_cast<int>(p.size()), n);
+    std::vector<int> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> expect(static_cast<std::size_t>(n));
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(sorted, expect);
+  }
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng r(29);
+  std::vector<int> v{5, 5, 1, 2, 3};
+  auto sorted_before = v;
+  std::sort(sorted_before.begin(), sorted_before.end());
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted_before);
+}
+
+}  // namespace
+}  // namespace psd

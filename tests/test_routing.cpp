@@ -1,0 +1,178 @@
+#include "psd/flow/routing.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/builders.hpp"
+#include "psd/topo/properties.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+TEST(KShortestPaths, SingleShortest) {
+  const auto g = topo::directed_ring(6, gbps(1));
+  const auto paths = k_shortest_paths(g, 0, 3, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 3);
+  EXPECT_DOUBLE_EQ(paths[0].length, 3.0);
+}
+
+TEST(KShortestPaths, DirectedRingHasOnlyOnePath) {
+  const auto g = topo::directed_ring(6, gbps(1));
+  const auto paths = k_shortest_paths(g, 0, 3, 5);
+  EXPECT_EQ(paths.size(), 1u);  // no alternative loopless paths exist
+}
+
+TEST(KShortestPaths, BidirectionalRingHasTwo) {
+  const auto g = topo::bidirectional_ring(6, gbps(1));
+  const auto paths = k_shortest_paths(g, 0, 2, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops(), 2);  // clockwise
+  EXPECT_EQ(paths[1].hops(), 4);  // counter-clockwise
+}
+
+TEST(KShortestPaths, LengthsNonDecreasingAndDistinct) {
+  const auto g = topo::hypercube(3, gbps(1));
+  const auto paths = k_shortest_paths(g, 0, 7, 10);
+  EXPECT_GE(paths.size(), 3u);
+  std::set<std::vector<topo::EdgeId>> seen;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    EXPECT_TRUE(seen.insert(paths[i].edges).second) << "duplicate path";
+    if (i > 0) {
+      EXPECT_GE(paths[i].length, paths[i - 1].length);
+    }
+    // Paths are loopless: visited nodes distinct.
+    std::set<topo::NodeId> nodes{0};
+    for (topo::EdgeId e : paths[i].edges) {
+      EXPECT_TRUE(nodes.insert(g.edge(e).dst).second) << "loop in path";
+    }
+  }
+}
+
+TEST(KShortestPaths, HypercubeShortestCount) {
+  // 0 -> 7 in a 3-cube: 3! = 6 shortest paths of length 3.
+  const auto g = topo::hypercube(3, gbps(1));
+  const auto paths = k_shortest_paths(g, 0, 7, 20);
+  const long count3 =
+      std::count_if(paths.begin(), paths.end(),
+                    [](const Path& p) { return p.hops() == 3; });
+  EXPECT_EQ(count3, 6);
+}
+
+TEST(KShortestPaths, RespectsEdgeLengths) {
+  // Direct edge is expensive; detour is cheaper and must come first.
+  topo::Graph g(3);
+  g.add_edge(0, 2, gbps(1));  // edge 0, length 10
+  g.add_edge(0, 1, gbps(1));  // edge 1, length 1
+  g.add_edge(1, 2, gbps(1));  // edge 2, length 1
+  const auto paths = k_shortest_paths(g, 0, 2, 2, {10.0, 1.0, 1.0});
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].hops(), 2);
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+  EXPECT_EQ(paths[1].hops(), 1);
+  EXPECT_DOUBLE_EQ(paths[1].length, 10.0);
+}
+
+TEST(KShortestPaths, UnreachableReturnsEmpty) {
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  EXPECT_TRUE(k_shortest_paths(g, 0, 2, 3).empty());
+}
+
+TEST(KShortestPaths, ValidatesInput) {
+  const auto g = topo::directed_ring(4, gbps(1));
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 0, 1), psd::InvalidArgument);
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 1, 0), psd::InvalidArgument);
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 9, 1), psd::InvalidArgument);
+  EXPECT_THROW((void)k_shortest_paths(g, 0, 1, 1, {1.0}), psd::InvalidArgument);
+}
+
+TEST(ValiantPaths, TwoLegsThroughIntermediate) {
+  const auto g = topo::bidirectional_ring(8, gbps(1));
+  Rng rng(7);
+  const auto commodities = commodities_from_matching(Matching::rotation(8, 1));
+  const auto paths = valiant_paths(g, commodities, rng);
+  ASSERT_EQ(paths.size(), commodities.size());
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    // Each path really connects src to dst.
+    topo::NodeId cur = commodities[k].src;
+    for (topo::EdgeId e : paths[k].edges) {
+      EXPECT_EQ(g.edge(e).src, cur);
+      cur = g.edge(e).dst;
+    }
+    EXPECT_EQ(cur, commodities[k].dst);
+  }
+}
+
+TEST(ValiantPaths, DeterministicGivenSeed) {
+  const auto g = topo::hypercube(4, gbps(1));
+  const auto commodities = commodities_from_matching(Matching::rotation(16, 3));
+  Rng a(11);
+  Rng b(11);
+  const auto pa = valiant_paths(g, commodities, a);
+  const auto pb = valiant_paths(g, commodities, b);
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    EXPECT_EQ(pa[k].edges, pb[k].edges);
+  }
+}
+
+TEST(ValiantPaths, TwoNodeGraphFallsBackToDirect) {
+  topo::Graph g(2);
+  g.add_edge(0, 1, gbps(1));
+  g.add_edge(1, 0, gbps(1));
+  Rng rng(3);
+  const auto paths = valiant_paths(g, {{0, 1, 1.0}}, rng);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops(), 1);
+}
+
+TEST(PathLoads, AccumulatesDemand) {
+  const auto g = topo::directed_ring(4, gbps(1));
+  const std::vector<Commodity> commodities{{0, 2, 2.0}, {1, 2, 1.0}};
+  std::vector<Path> paths(2);
+  paths[0].edges = {0, 1};  // 0->1->2
+  paths[1].edges = {1};     // 1->2
+  const auto load = path_loads(g, commodities, paths);
+  EXPECT_DOUBLE_EQ(load[0], 2.0);
+  EXPECT_DOUBLE_EQ(load[1], 3.0);
+  EXPECT_DOUBLE_EQ(load[2], 0.0);
+  EXPECT_THROW((void)path_loads(g, commodities, std::vector<Path>(1)),
+               psd::InvalidArgument);
+}
+
+TEST(ValiantPaths, PathLengthBoundedByTwiceDiameter) {
+  // VLB's defining property: every path is at most two shortest legs, so
+  // hop count <= 2 · diameter.
+  const auto g = topo::hypercube(4, gbps(1));
+  const int dia = topo::diameter(g);
+  Rng rng(77);
+  const auto commodities = commodities_from_matching(Matching::rotation(16, 7));
+  const auto paths = valiant_paths(g, commodities, rng);
+  for (const auto& p : paths) {
+    EXPECT_LE(p.hops(), 2 * dia);
+    EXPECT_GE(p.hops(), 1);
+  }
+}
+
+TEST(ValiantPaths, LoadConservation) {
+  // Total edge load equals Σ demand · hops regardless of spreading.
+  const auto g = topo::bidirectional_ring(12, gbps(1));
+  Rng rng(5);
+  const auto commodities = commodities_from_matching(Matching::rotation(12, 5));
+  const auto paths = valiant_paths(g, commodities, rng);
+  const auto load = path_loads(g, commodities, paths);
+  double total_load = 0.0;
+  for (double l : load) total_load += l;
+  double expected = 0.0;
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    expected += commodities[k].demand * paths[k].hops();
+  }
+  EXPECT_DOUBLE_EQ(total_load, expected);
+}
+
+}  // namespace
+}  // namespace psd::flow

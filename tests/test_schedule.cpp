@@ -1,0 +1,170 @@
+#include "psd/collective/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+namespace {
+
+using topo::Matching;
+
+CollectiveSchedule make_sched(int n = 4) {
+  return CollectiveSchedule("test", n, mib(1), n, ChunkSpace::kSegments);
+}
+
+TEST(CollectiveSchedule, ConstructionAndAccessors) {
+  const auto s = make_sched();
+  EXPECT_EQ(s.name(), "test");
+  EXPECT_EQ(s.num_nodes(), 4);
+  EXPECT_EQ(s.num_steps(), 0);
+  EXPECT_EQ(s.num_chunks(), 4);
+  EXPECT_DOUBLE_EQ(s.buffer_size().mib(), 1.0);
+  EXPECT_DOUBLE_EQ(s.chunk_size().count(), mib(1).count() / 4.0);
+}
+
+TEST(CollectiveSchedule, RejectsBadConstruction) {
+  EXPECT_THROW(CollectiveSchedule("x", 1, mib(1), 1, ChunkSpace::kSegments),
+               psd::InvalidArgument);
+  EXPECT_THROW(CollectiveSchedule("x", 4, bytes(0), 1, ChunkSpace::kSegments),
+               psd::InvalidArgument);
+  EXPECT_THROW(CollectiveSchedule("x", 4, mib(1), 0, ChunkSpace::kSegments),
+               psd::InvalidArgument);
+  // Block space requires n*n chunks.
+  EXPECT_THROW(CollectiveSchedule("x", 4, mib(1), 4, ChunkSpace::kBlocks),
+               psd::InvalidArgument);
+}
+
+TEST(CollectiveSchedule, BlockChunkSizeIsPerDestination) {
+  const CollectiveSchedule s("a2a", 4, mib(1), 16, ChunkSpace::kBlocks);
+  EXPECT_DOUBLE_EQ(s.chunk_size().count(), mib(1).count() / 4.0);
+}
+
+TEST(CollectiveSchedule, AddStepValidatesMatchingSize) {
+  auto s = make_sched();
+  Step st;
+  st.matching = Matching::rotation(5, 1);  // wrong n
+  st.volume = kib(1);
+  EXPECT_THROW(s.add_step(st), psd::InvalidArgument);
+}
+
+TEST(CollectiveSchedule, AddStepValidatesTransfers) {
+  auto s = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = s.chunk_size();
+  Transfer t;
+  t.src = 0;
+  t.dst = 2;  // not in matching (0 -> 1)
+  t.chunks = {0};
+  st.transfers = {t};
+  EXPECT_THROW(s.add_step(st), psd::InvalidArgument);
+
+  t.dst = 1;
+  t.chunks = {7};  // chunk out of range
+  st.transfers = {t};
+  EXPECT_THROW(s.add_step(st), psd::InvalidArgument);
+
+  t.chunks = {0, 1};  // bytes (2 chunks) != volume (1 chunk)
+  st.transfers = {t};
+  EXPECT_THROW(s.add_step(st), psd::InvalidArgument);
+
+  t.chunks = {0};
+  st.transfers = {t};
+  s.add_step(st);  // now consistent
+  EXPECT_EQ(s.num_steps(), 1);
+}
+
+TEST(CollectiveSchedule, FullyAnnotatedDetection) {
+  auto s = make_sched();
+  Step annotated;
+  annotated.matching = Matching::rotation(4, 1);
+  annotated.volume = s.chunk_size();
+  for (int j = 0; j < 4; ++j) {
+    annotated.transfers.push_back({j, (j + 1) % 4, {j}, false});
+  }
+  s.add_step(annotated);
+  EXPECT_TRUE(s.fully_annotated());
+
+  Step bare;
+  bare.matching = Matching::rotation(4, 2);
+  bare.volume = kib(2);
+  s.add_step(bare);
+  EXPECT_FALSE(s.fully_annotated());
+}
+
+TEST(CollectiveSchedule, MaxBytesSentPerNode) {
+  auto s = make_sched();
+  Step st;
+  st.matching = Matching::from_pairs(4, {{0, 1}});
+  st.volume = kib(4);
+  s.add_step(st);
+  Step st2;
+  st2.matching = Matching::rotation(4, 1);
+  st2.volume = kib(8);
+  s.add_step(st2);
+  // Node 0 sends in both steps: 4 + 8 KiB.
+  EXPECT_DOUBLE_EQ(s.max_bytes_sent_per_node().kib(), 12.0);
+}
+
+TEST(CollectiveSchedule, AggregateDemandSumsVolumes) {
+  auto s = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = kib(4);
+  s.add_step(st);
+  s.add_step(st);
+  const auto agg = s.aggregate_demand();
+  EXPECT_DOUBLE_EQ(agg(0, 1), 2.0 * kib(4).count());
+  EXPECT_DOUBLE_EQ(agg(1, 0), 0.0);
+}
+
+TEST(CollectiveSchedule, ThenConcatenatesSteps) {
+  auto a = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = kib(1);
+  a.add_step(st);
+  auto b = make_sched();
+  Step st2;
+  st2.matching = Matching::rotation(4, 2);
+  st2.volume = kib(2);
+  b.add_step(st2);
+
+  const auto c = a.then(b);
+  EXPECT_EQ(c.num_steps(), 2);
+  EXPECT_EQ(c.name(), "test+test");
+  EXPECT_DOUBLE_EQ(c.step(1).volume.kib(), 2.0);
+}
+
+TEST(CollectiveSchedule, ThenDropsIncompatibleAnnotations) {
+  auto a = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = a.chunk_size();
+  for (int j = 0; j < 4; ++j) st.transfers.push_back({j, (j + 1) % 4, {j}, false});
+  a.add_step(st);
+
+  CollectiveSchedule b("other", 4, mib(2), 8, ChunkSpace::kSegments);
+  Step st2;
+  st2.matching = Matching::rotation(4, 1);
+  st2.volume = b.chunk_size();
+  for (int j = 0; j < 4; ++j) st2.transfers.push_back({j, (j + 1) % 4, {j}, false});
+  b.add_step(st2);
+
+  const auto c = a.then(b);
+  EXPECT_EQ(c.num_steps(), 2);
+  EXPECT_FALSE(c.step(1).transfers.size() > 0);  // dropped: layouts differ
+  EXPECT_TRUE(c.step(0).transfers.size() > 0);   // kept
+
+  const CollectiveSchedule wrong_n("x", 8, mib(1), 8, ChunkSpace::kSegments);
+  EXPECT_THROW((void)a.then(wrong_n), psd::InvalidArgument);
+}
+
+TEST(CollectiveSchedule, StepIndexBounds) {
+  const auto s = make_sched();
+  EXPECT_THROW((void)s.step(0), psd::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::collective

@@ -1,0 +1,95 @@
+#include "psd/topo/shortest_path.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/builders.hpp"
+
+namespace psd::topo {
+namespace {
+
+TEST(Bfs, DirectedRingDistances) {
+  const Graph g = directed_ring(6, gbps(1));
+  const auto d = bfs_hops(g, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, BidirectionalRingDistances) {
+  const Graph g = bidirectional_ring(6, gbps(1));
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[5], 1);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[2], 2);
+}
+
+TEST(Bfs, UnreachableNodes) {
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Bfs, AllPairs) {
+  const Graph g = directed_ring(4, gbps(1));
+  const auto apsp = all_pairs_hops(g);
+  for (int u = 0; u < 4; ++u) {
+    for (int v = 0; v < 4; ++v) {
+      EXPECT_EQ(apsp[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                ((v - u) % 4 + 4) % 4);
+    }
+  }
+}
+
+TEST(Dijkstra, MatchesBfsOnUnitLengths) {
+  const Graph g = bidirectional_ring(8, gbps(1));
+  const std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  const auto dj = dijkstra(g, 2, unit);
+  const auto bfs = bfs_hops(g, 2);
+  for (int v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(dj.dist[static_cast<std::size_t>(v)],
+                     static_cast<double>(bfs[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+  // 0 -> 1 -> 2 with cheap edges vs a direct expensive edge 0 -> 2.
+  Graph g(3);
+  const EdgeId a = g.add_edge(0, 1, gbps(1));
+  const EdgeId b = g.add_edge(1, 2, gbps(1));
+  const EdgeId c = g.add_edge(0, 2, gbps(1));
+  const auto dj = dijkstra(g, 0, {1.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(dj.dist[2], 2.0);
+  const auto path = extract_path(g, dj, 0, 2);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], a);
+  EXPECT_EQ(path[1], b);
+  (void)c;
+}
+
+TEST(Dijkstra, InfiniteLengthDeletesEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  g.add_edge(1, 2, gbps(1));
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto dj = dijkstra(g, 0, {1.0, inf});
+  EXPECT_TRUE(std::isinf(dj.dist[2]));
+  EXPECT_TRUE(extract_path(g, dj, 0, 2).empty());
+}
+
+TEST(Dijkstra, RejectsWrongLengthVector) {
+  const Graph g = directed_ring(4, gbps(1));
+  EXPECT_THROW((void)dijkstra(g, 0, {1.0}), psd::InvalidArgument);
+}
+
+TEST(ExtractPath, SourceEqualsDestination) {
+  const Graph g = directed_ring(4, gbps(1));
+  const std::vector<double> unit(4, 1.0);
+  const auto dj = dijkstra(g, 1, unit);
+  EXPECT_TRUE(extract_path(g, dj, 1, 1).empty());
+}
+
+}  // namespace
+}  // namespace psd::topo

@@ -1,0 +1,193 @@
+#include "psd/flow/simplex.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "psd/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+
+namespace psd::flow {
+namespace {
+
+TEST(Simplex, BasicMaximization) {
+  // max 3x + 2y  s.t.  x + y <= 4,  x <= 2  ->  x = 2, y = 2, obj = 10.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {3.0, 2.0};
+  p.rows.push_back({{1.0, 1.0}, Rel::LessEq, 4.0});
+  p.rows.push_back({{1.0, 0.0}, Rel::LessEq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 10.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + 2y  s.t.  x + y = 3,  y <= 2  ->  x = 1, y = 2, obj = 5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 2.0};
+  p.rows.push_back({{1.0, 1.0}, Rel::Eq, 3.0});
+  p.rows.push_back({{0.0, 1.0}, Rel::LessEq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 5.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqConstraint) {
+  // max -x  s.t.  x >= 2  ->  x = 2, obj = -2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {-1.0};
+  p.rows.push_back({{1.0}, Rel::GreaterEq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, -2.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x >= -2  <=>  x <= 2;  max x -> 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.rows.push_back({{-1.0}, Rel::GreaterEq, -2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1.0};
+  p.rows.push_back({{1.0}, Rel::LessEq, 1.0});
+  p.rows.push_back({{1.0}, Rel::GreaterEq, 2.0});
+  EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 0.0};
+  p.rows.push_back({{0.0, 1.0}, Rel::LessEq, 1.0});  // x unconstrained above
+  EXPECT_EQ(solve_lp(p).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, DegenerateRedundantConstraints) {
+  // max x + y  s.t.  x <= 1, y <= 1, x + y <= 2 (redundant), x + y = 2.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.rows.push_back({{1.0, 0.0}, Rel::LessEq, 1.0});
+  p.rows.push_back({{0.0, 1.0}, Rel::LessEq, 1.0});
+  p.rows.push_back({{1.0, 1.0}, Rel::LessEq, 2.0});
+  p.rows.push_back({{1.0, 1.0}, Rel::Eq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  // Duplicate equality rows (linearly dependent but consistent).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 0.0};
+  p.rows.push_back({{1.0, 1.0}, Rel::Eq, 2.0});
+  p.rows.push_back({{1.0, 1.0}, Rel::Eq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveFeasibilityCheck) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {0.0, 0.0};
+  p.rows.push_back({{1.0, 1.0}, Rel::Eq, 1.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 0.0, 1e-12);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, RejectsMalformedRows) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  p.rows.push_back({{1.0}, Rel::LessEq, 1.0});  // wrong arity
+  EXPECT_THROW((void)solve_lp(p), psd::InvalidArgument);
+
+  LpProblem q;
+  q.num_vars = 2;
+  q.objective = {1.0};  // wrong objective size
+  EXPECT_THROW((void)solve_lp(q), psd::InvalidArgument);
+}
+
+class SimplexRandomP : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomP, RandomBounded2VarLpMatchesGridSearch) {
+  // Random 2-variable LPs with box constraints plus random cuts: the
+  // simplex optimum must dominate every feasible grid point and be achieved
+  // near some vertex of the grid hull.
+  psd::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 11);
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {rng.uniform(0.1, 2.0), rng.uniform(0.1, 2.0)};
+  p.rows.push_back({{1.0, 0.0}, Rel::LessEq, rng.uniform(1.0, 5.0)});
+  p.rows.push_back({{0.0, 1.0}, Rel::LessEq, rng.uniform(1.0, 5.0)});
+  const int cuts = rng.uniform_int(1, 3);
+  for (int c = 0; c < cuts; ++c) {
+    p.rows.push_back({{rng.uniform(0.1, 1.5), rng.uniform(0.1, 1.5)},
+                      Rel::LessEq, rng.uniform(1.0, 6.0)});
+  }
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+
+  double grid_best = 0.0;
+  const int grid = 200;
+  for (int i = 0; i <= grid; ++i) {
+    for (int j = 0; j <= grid; ++j) {
+      const double x = 5.0 * i / grid;
+      const double y = 5.0 * j / grid;
+      bool feasible = true;
+      for (const auto& row : p.rows) {
+        if (row.coeffs[0] * x + row.coeffs[1] * y > row.rhs + 1e-12) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        grid_best = std::max(grid_best, p.objective[0] * x + p.objective[1] * y);
+      }
+    }
+  }
+  EXPECT_GE(sol.objective_value, grid_best - 1e-9);
+  // The grid resolution bounds how far below the optimum it can sit.
+  EXPECT_LE(sol.objective_value, grid_best + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomP, ::testing::Range(0, 10));
+
+TEST(Simplex, BoundedPolytopeCorner) {
+  // max 2x + 3y  s.t.  x + 2y <= 14, 3x - y >= 0, x - y <= 2.
+  // Optimum at x = 6, y = 4, obj = 24.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {2.0, 3.0};
+  p.rows.push_back({{1.0, 2.0}, Rel::LessEq, 14.0});
+  p.rows.push_back({{3.0, -1.0}, Rel::GreaterEq, 0.0});
+  p.rows.push_back({{1.0, -1.0}, Rel::LessEq, 2.0});
+  const auto sol = solve_lp(p);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective_value, 24.0, 1e-8);
+  EXPECT_NEAR(sol.x[0], 6.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 4.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace psd::flow

@@ -1,0 +1,60 @@
+#include "psd/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psd {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"msg", "speedup"});
+  t.add_row({"1 KiB", "1.00"});
+  t.add_row({"256 MiB", "120"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("msg"), std::string::npos);
+  EXPECT_NE(out.find("256 MiB"), std::string::npos);
+  // Header separator line is present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Columns align: "speedup" starts at the same offset in each line.
+  const auto header_pos = out.find("speedup");
+  const auto row_pos = out.find("1.00");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(TextTable, RendersCsv) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"1", "extra"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersNothing) {
+  const TextTable t;
+  EXPECT_TRUE(t.render().empty());
+  EXPECT_TRUE(t.render_csv().empty());
+}
+
+TEST(FmtDouble, RespectsDecimals) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(FmtSpeedup, AdaptivePrecision) {
+  EXPECT_EQ(fmt_speedup(1.0), "1.00");
+  EXPECT_EQ(fmt_speedup(9.994), "9.99");
+  EXPECT_EQ(fmt_speedup(42.34), "42.3");
+  EXPECT_EQ(fmt_speedup(480.2), "480");
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,124 @@
+#include "psd/flow/theta.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "psd/topo/builders.hpp"
+#include "psd/topo/properties.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+TEST(ThetaOracle, RingDispatchMatchesClosedForm) {
+  const auto g = topo::directed_ring(64, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  for (int k : {1, 2, 7, 32, 63}) {
+    EXPECT_NEAR(oracle.theta(Matching::rotation(64, k)), 1.0 / k, 1e-12);
+  }
+}
+
+TEST(ThetaOracle, CachesRepeatedQueries) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  const auto m = Matching::rotation(16, 3);
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+  const double first = oracle.theta(m);
+  EXPECT_EQ(oracle.cache_size(), 1u);
+  const double second = oracle.theta(m);
+  EXPECT_EQ(oracle.cache_hits(), 1u);
+  EXPECT_DOUBLE_EQ(first, second);
+  (void)oracle.theta(Matching::rotation(16, 4));
+  EXPECT_EQ(oracle.cache_size(), 2u);
+}
+
+TEST(ThetaOracle, CacheCanBeDisabled) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  ThetaOptions opts;
+  opts.use_cache = false;
+  const ThetaOracle oracle(g, gbps(800), opts);
+  (void)oracle.theta(Matching::rotation(8, 2));
+  (void)oracle.theta(Matching::rotation(8, 2));
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+  EXPECT_EQ(oracle.cache_size(), 0u);
+}
+
+TEST(ThetaOracle, EmptyMatchingInfinite) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  EXPECT_TRUE(std::isinf(oracle.theta(Matching(8))));
+}
+
+TEST(ThetaOracle, SmallGeneralGraphUsesExactLp) {
+  const auto g = topo::bidirectional_ring(4, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  EXPECT_NEAR(oracle.theta(Matching::rotation(4, 1)), 4.0 / 3.0, 1e-7);
+}
+
+TEST(ThetaOracle, LargeGeneralGraphFallsBackToFptas) {
+  const auto g = topo::torus_2d(4, 4, gbps(800));  // 64 edges, K=16 -> GK
+  ThetaOptions opts;
+  opts.exact_var_limit = 100;  // force the FPTAS path
+  opts.epsilon = 0.03;
+  const ThetaOracle oracle(g, gbps(800), opts);
+  const double theta = oracle.theta(Matching::rotation(16, 1));
+  EXPECT_GT(theta, 0.5);
+  EXPECT_LE(theta, 4.0 + 1e-6);
+}
+
+TEST(ThetaOracle, ConcurrentFlowExposesRouting) {
+  const auto g = topo::directed_ring(6, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  const auto res = oracle.concurrent_flow(Matching::rotation(6, 2));
+  EXPECT_NEAR(res.theta, 0.5, 1e-12);
+  EXPECT_EQ(res.flow.size(), 6u);
+}
+
+TEST(ThetaOracle, RejectsBadInputs) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  EXPECT_THROW(ThetaOracle(g, gbps(0)), psd::InvalidArgument);
+  const ThetaOracle oracle(g, gbps(800));
+  EXPECT_THROW((void)oracle.theta(Matching(5)), psd::InvalidArgument);
+}
+
+TEST(ThetaProxy, UpperBoundsExactTheta) {
+  const auto ring = topo::directed_ring(16, gbps(800));
+  const ThetaOracle oracle(ring, gbps(800));
+  for (int k : {1, 3, 7, 15}) {
+    const auto m = Matching::rotation(16, k);
+    const double proxy = theta_upper_bound_hop_capacity(ring, m, gbps(800));
+    EXPECT_GE(proxy + 1e-12, oracle.theta(m)) << "k=" << k;
+  }
+}
+
+TEST(ThetaProxy, ExactOnUniformRotations) {
+  // Rotations load every ring link equally, so the hop-capacity bound is
+  // tight: proxy == θ == 1/k.
+  const auto ring = topo::directed_ring(16, gbps(800));
+  for (int k : {1, 2, 4, 8}) {
+    const auto m = Matching::rotation(16, k);
+    EXPECT_NEAR(theta_upper_bound_hop_capacity(ring, m, gbps(800)), 1.0 / k, 1e-12);
+  }
+}
+
+TEST(ThetaProxy, LooseOnAsymmetricPatterns) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  // Two parallel same-direction flows share links 1..3: the hop-capacity
+  // bound ignores the contention and reports 1.0 while θ is 0.5.
+  const auto m = topo::Matching::from_pairs(8, {{0, 4}, {1, 5}});
+  const ThetaOracle oracle(ring, gbps(800));
+  const double exact = oracle.theta(m);
+  const double proxy = theta_upper_bound_hop_capacity(ring, m, gbps(800));
+  EXPECT_NEAR(exact, 0.5, 1e-12);
+  EXPECT_NEAR(proxy, 1.0, 1e-12);  // strictly optimistic
+}
+
+TEST(ThetaProxy, EmptyMatchingInfinite) {
+  const auto ring = topo::directed_ring(8, gbps(800));
+  EXPECT_TRUE(std::isinf(theta_upper_bound_hop_capacity(ring, Matching(8), gbps(800))));
+}
+
+}  // namespace
+}  // namespace psd::flow

@@ -1,0 +1,103 @@
+#include "psd/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psd {
+namespace {
+
+TEST(Units, TimeConstructorsAndAccessors) {
+  EXPECT_DOUBLE_EQ(nanoseconds(100).ns(), 100.0);
+  EXPECT_DOUBLE_EQ(microseconds(10).ns(), 10'000.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1).ns(), 1e6);
+  EXPECT_DOUBLE_EQ(seconds(2).ns(), 2e9);
+  EXPECT_DOUBLE_EQ(microseconds(10).us(), 10.0);
+  EXPECT_DOUBLE_EQ(milliseconds(3).ms(), 3.0);
+  EXPECT_DOUBLE_EQ(seconds(1.5).seconds(), 1.5);
+}
+
+TEST(Units, TimeArithmetic) {
+  const TimeNs a = nanoseconds(100);
+  const TimeNs b = nanoseconds(50);
+  EXPECT_DOUBLE_EQ((a + b).ns(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).ns(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).ns(), 300.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).ns(), 200.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).ns(), 25.0);
+  TimeNs c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.ns(), 150.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.ns(), 100.0);
+  c *= 2.0;
+  EXPECT_DOUBLE_EQ(c.ns(), 200.0);
+}
+
+TEST(Units, TimeComparisons) {
+  EXPECT_LT(nanoseconds(1), nanoseconds(2));
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_GE(milliseconds(1), microseconds(1000));
+}
+
+TEST(Units, BytesConstructorsAndAccessors) {
+  EXPECT_DOUBLE_EQ(kib(1).count(), 1024.0);
+  EXPECT_DOUBLE_EQ(mib(1).count(), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(gib(1).count(), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(mib(4).mib(), 4.0);
+  EXPECT_DOUBLE_EQ(gib(2).gib(), 2.0);
+  EXPECT_DOUBLE_EQ(kib(8).kib(), 8.0);
+}
+
+TEST(Units, BandwidthGbpsRoundTrip) {
+  const Bandwidth b = gbps(800);
+  // 800 Gbps == 100 bytes per nanosecond.
+  EXPECT_DOUBLE_EQ(b.bytes_per_ns(), 100.0);
+  EXPECT_DOUBLE_EQ(b.gbps(), 800.0);
+}
+
+TEST(Units, CrossUnitArithmetic) {
+  const Bytes m = mib(1);
+  const Bandwidth b = gbps(800);
+  const TimeNs t = m / b;
+  EXPECT_NEAR(t.ns(), 1024.0 * 1024.0 / 100.0, 1e-9);
+  const Bytes moved = b * t;
+  EXPECT_NEAR(moved.count(), m.count(), 1e-6);
+  EXPECT_NEAR((t * b).count(), m.count(), 1e-6);
+}
+
+TEST(Units, BandwidthArithmetic) {
+  const Bandwidth b = gbps(400);
+  EXPECT_DOUBLE_EQ((b * 2.0).gbps(), 800.0);
+  EXPECT_DOUBLE_EQ((b / 2.0).gbps(), 200.0);
+  EXPECT_DOUBLE_EQ((b + b).gbps(), 800.0);
+  EXPECT_DOUBLE_EQ((b - b / 2.0).gbps(), 200.0);
+  EXPECT_DOUBLE_EQ(b / gbps(100), 4.0);
+}
+
+TEST(Units, TimeToString) {
+  EXPECT_EQ(to_string(nanoseconds(100)), "100 ns");
+  EXPECT_EQ(to_string(microseconds(10)), "10 us");
+  EXPECT_EQ(to_string(milliseconds(2.5)), "2.5 ms");
+  EXPECT_EQ(to_string(seconds(3)), "3 s");
+  EXPECT_EQ(to_string(nanoseconds(316.23)), "316.23 ns");
+}
+
+TEST(Units, BytesToString) {
+  EXPECT_EQ(to_string(bytes(512)), "512 B");
+  EXPECT_EQ(to_string(kib(64)), "64 KiB");
+  EXPECT_EQ(to_string(mib(1)), "1 MiB");
+  EXPECT_EQ(to_string(gib(1)), "1 GiB");
+}
+
+TEST(Units, BandwidthToString) {
+  EXPECT_EQ(to_string(gbps(800)), "800 Gbps");
+}
+
+TEST(Units, DefaultConstructedAreZero) {
+  EXPECT_DOUBLE_EQ(TimeNs{}.ns(), 0.0);
+  EXPECT_DOUBLE_EQ(Bytes{}.count(), 0.0);
+  EXPECT_DOUBLE_EQ(Bandwidth{}.bytes_per_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace psd

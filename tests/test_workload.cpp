@@ -1,0 +1,124 @@
+#include "psd/workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "psd/collective/executor.hpp"
+
+namespace psd::workload {
+namespace {
+
+TEST(Materialize, AllReduceAlgoSelection) {
+  const CollectiveRequest req{CollectiveKind::kAllReduce, mib(1), "x"};
+  MaterializeOptions opts;
+  opts.allreduce = AllReduceAlgo::kRing;
+  EXPECT_EQ(materialize(req, 8, opts).num_steps(), 14);
+  opts.allreduce = AllReduceAlgo::kRecursiveDoubling;
+  EXPECT_EQ(materialize(req, 8, opts).num_steps(), 3);
+  opts.allreduce = AllReduceAlgo::kHalvingDoubling;
+  EXPECT_EQ(materialize(req, 8, opts).num_steps(), 6);
+  opts.allreduce = AllReduceAlgo::kSwing;
+  EXPECT_EQ(materialize(req, 8, opts).name(), "swing-allreduce");
+}
+
+TEST(Materialize, AllToAllAlgoSelection) {
+  const CollectiveRequest req{CollectiveKind::kAllToAll, mib(1), "x"};
+  MaterializeOptions opts;
+  EXPECT_EQ(materialize(req, 8, opts).num_steps(), 7);
+  opts.alltoall = AllToAllAlgo::kBruck;
+  EXPECT_EQ(materialize(req, 8, opts).num_steps(), 3);
+}
+
+TEST(Materialize, GatherScatterAndBroadcast) {
+  EXPECT_EQ(materialize({CollectiveKind::kAllGather, mib(1), ""}, 8).num_steps(), 3);
+  EXPECT_EQ(materialize({CollectiveKind::kAllGather, mib(1), ""}, 6).num_steps(), 5);
+  EXPECT_EQ(materialize({CollectiveKind::kReduceScatter, mib(1), ""}, 8).num_steps(), 3);
+  EXPECT_EQ(materialize({CollectiveKind::kReduceScatter, mib(1), ""}, 6).num_steps(), 5);
+  MaterializeOptions opts;
+  opts.broadcast_root = 3;
+  const auto bc = materialize({CollectiveKind::kBroadcast, mib(1), ""}, 8, opts);
+  EXPECT_EQ(bc.num_steps(), 3);
+  const collective::ChunkExecutor exec(bc, collective::InitMode::kBroadcast, 3);
+  EXPECT_TRUE(exec.verify_all_complete());
+}
+
+TEST(Materialize, MaterializedAllReducesAreSemanticallyValid) {
+  for (auto algo : {AllReduceAlgo::kRing, AllReduceAlgo::kRecursiveDoubling,
+                    AllReduceAlgo::kHalvingDoubling, AllReduceAlgo::kSwing}) {
+    MaterializeOptions opts;
+    opts.allreduce = algo;
+    EXPECT_TRUE(collective::is_valid_allreduce(
+        materialize({CollectiveKind::kAllReduce, mib(1), ""}, 16, opts)));
+  }
+}
+
+TEST(Materialize, RejectsBadRequests) {
+  EXPECT_THROW((void)materialize({CollectiveKind::kAllReduce, Bytes(0.0), ""}, 8),
+               psd::InvalidArgument);
+}
+
+TEST(MaterializeSequence, ConcatenatesAll) {
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllToAll, mib(1), "a"},
+      {CollectiveKind::kAllReduce, mib(2), "b"},
+  };
+  const auto sched = materialize_sequence(reqs, 8);
+  EXPECT_EQ(sched.num_steps(), 7 + 6);
+  EXPECT_THROW((void)materialize_sequence({}, 8), psd::InvalidArgument);
+}
+
+TEST(Generators, DataParallelBuckets) {
+  const auto reqs = data_parallel_sync({gib(1), 4});
+  ASSERT_EQ(reqs.size(), 4u);
+  for (const auto& r : reqs) {
+    EXPECT_EQ(r.kind, CollectiveKind::kAllReduce);
+    EXPECT_DOUBLE_EQ(r.size.mib(), 256.0);
+  }
+  EXPECT_DOUBLE_EQ(total_bytes(reqs).gib(), 1.0);
+  EXPECT_THROW((void)data_parallel_sync({gib(1), 0}), psd::InvalidArgument);
+}
+
+TEST(Generators, MoeDispatchCombinePairs) {
+  const auto reqs = moe_dispatch_combine({mib(8), 3});
+  ASSERT_EQ(reqs.size(), 6u);
+  for (const auto& r : reqs) EXPECT_EQ(r.kind, CollectiveKind::kAllToAll);
+  EXPECT_EQ(reqs[0].tag, "moe-dispatch-0");
+  EXPECT_EQ(reqs[1].tag, "moe-combine-0");
+}
+
+TEST(Generators, TensorParallelTwoPerLayer) {
+  const auto reqs = tensor_parallel_activations({mib(4), 5});
+  EXPECT_EQ(reqs.size(), 10u);
+  EXPECT_DOUBLE_EQ(total_bytes(reqs).mib(), 40.0);
+}
+
+TEST(Generators, TrainingIterationComposition) {
+  TrainingIterationSpec spec;
+  spec.tp = {mib(2), 2};     // 4 fwd + 4 bwd AllReduces
+  spec.moe = {mib(8), 1};    // 2 All-to-Alls
+  spec.dp = {mib(512), 4};   // 4 AllReduces
+  const auto reqs = training_iteration(spec);
+  EXPECT_EQ(reqs.size(), 4u + 2u + 4u + 4u);
+  // Phases appear in order: tp fwd, moe, tp bwd, dp.
+  EXPECT_EQ(reqs[0].tag.substr(0, 2), "tp");
+  EXPECT_EQ(reqs[4].tag.substr(0, 3), "moe");
+  EXPECT_EQ(reqs[6].tag.substr(0, 2), "tp");
+  EXPECT_EQ(reqs[10].tag.substr(0, 2), "dp");
+}
+
+TEST(Generators, TrainingIterationPartialPhases) {
+  TrainingIterationSpec dp_only;
+  dp_only.dp = {gib(2), 8};
+  EXPECT_EQ(training_iteration(dp_only).size(), 8u);
+
+  TrainingIterationSpec none;
+  EXPECT_THROW((void)training_iteration(none), psd::InvalidArgument);
+}
+
+TEST(Generators, KindNames) {
+  EXPECT_STREQ(to_string(CollectiveKind::kAllReduce), "allreduce");
+  EXPECT_STREQ(to_string(CollectiveKind::kAllToAll), "alltoall");
+  EXPECT_STREQ(to_string(CollectiveKind::kBroadcast), "broadcast");
+}
+
+}  // namespace
+}  // namespace psd::workload
