@@ -3,6 +3,9 @@
 // Hopcroft–Karp and the Eq. 7 DP optimizer.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "psd/bvn/birkhoff.hpp"
 #include "psd/bvn/hopcroft_karp.hpp"
 #include "psd/collective/algorithms.hpp"
@@ -11,6 +14,7 @@
 #include "psd/flow/garg_konemann.hpp"
 #include "psd/flow/mcf_lp.hpp"
 #include "psd/flow/ring_theta.hpp"
+#include "psd/flow/theta.hpp"
 #include "psd/topo/builders.hpp"
 #include "psd/util/rng.hpp"
 
@@ -49,41 +53,153 @@ void BM_ExactLpSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactLpSmall)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
 
-void BM_Birkhoff(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(5);
+/// Sparse-support decomposition input: a convex combination of 8 rotations.
+Matrix rotation_mix(int n, int terms, std::uint64_t seed) {
+  Rng rng(seed);
   Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
-  for (int t = 0; t < 8; ++t) {
+  for (int t = 0; t < terms; ++t) {
     const auto rot = topo::Matching::rotation(n, rng.uniform_int(1, n - 1));
     const double w = rng.uniform(0.1, 1.0);
     for (const auto& [s, d] : rot.pairs()) {
       m(static_cast<std::size_t>(s), static_cast<std::size_t>(d)) += w;
     }
   }
+  return m;
+}
+
+void BM_Birkhoff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Matrix m = rotation_mix(n, 8, 5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bvn::birkhoff_decompose(m));
   }
 }
-BENCHMARK(BM_Birkhoff)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Birkhoff)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
-void BM_HopcroftKarp(benchmark::State& state) {
+// Full-rebuild reference path, for direct incremental-vs-rebuild comparison.
+void BM_BirkhoffRebuildReference(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
-  Rng rng(9);
+  const Matrix m = rotation_mix(n, 8, 5);
+  const bvn::BvnOptions opts{.tol = 1e-9, .allow_partial = true, .incremental = false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::birkhoff_decompose(m, opts));
+  }
+}
+BENCHMARK(BM_BirkhoffRebuildReference)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+// Dense support: the uniform doubly-stochastic matrix has all n² entries in
+// its support and decomposes into n disjoint permutations — the worst case
+// for the per-iteration support maintenance.
+void BM_BirkhoffDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r != c) {
+        m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            1.0 / static_cast<double>(n - 1);
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::birkhoff_decompose(m));
+  }
+}
+BENCHMARK(BM_BirkhoffDense)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+bvn::BipartiteGraph sparse_bipartite(int n, double avg_degree, std::uint64_t seed) {
+  Rng rng(seed);
   bvn::BipartiteGraph g;
   g.n_left = g.n_right = n;
   g.adj.resize(static_cast<std::size_t>(n));
   for (int l = 0; l < n; ++l) {
     for (int r = 0; r < n; ++r) {
-      if (rng.next_double() < 8.0 / n) {
+      if (rng.next_double() < avg_degree / n) {
         g.adj[static_cast<std::size_t>(l)].push_back(r);
       }
     }
   }
+  return g;
+}
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = sparse_bipartite(n, 8.0, 9);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bvn::hopcroft_karp(g));
   }
 }
 BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(512)->Arg(2048);
+
+// Warm-start repair: drop one matched edge and re-augment — the unit of work
+// the incremental Birkhoff loop performs per extraction.
+void BM_HopcroftKarpWarmStart(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto g = sparse_bipartite(n, 8.0, 9);
+  const auto full = bvn::hopcroft_karp(g);
+  // Remove one matched edge from the graph and the matching.
+  bvn::MatchingResult damaged = full;
+  for (int l = 0; l < n; ++l) {
+    const int r = damaged.match_left[static_cast<std::size_t>(l)];
+    if (r >= 0) {
+      auto& nbrs = g.adj[static_cast<std::size_t>(l)];
+      nbrs.erase(std::find(nbrs.begin(), nbrs.end(), r));
+      damaged.match_left[static_cast<std::size_t>(l)] = -1;
+      damaged.match_right[static_cast<std::size_t>(r)] = -1;
+      --damaged.size;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::hopcroft_karp(g, damaged));
+  }
+}
+BENCHMARK(BM_HopcroftKarpWarmStart)->Arg(512)->Arg(2048);
+
+// θ-oracle cached lookup: hash of the destination vector + LRU splice, no
+// heap allocation. This is the planner's steady-state query.
+void BM_ThetaOracleCacheHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(g, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 2 - 1);
+  benchmark::DoNotOptimize(oracle.theta(m));  // warm the entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.theta(m));
+  }
+}
+BENCHMARK(BM_ThetaOracleCacheHit)->Arg(64)->Arg(256)->Arg(1024);
+
+// Miss path including insertion and LRU eviction: capacity 1 with two
+// alternating matchings misses on every lookup. The ring closed form keeps
+// the underlying solve cheap, so this isolates the cache machinery.
+void BM_ThetaOracleCacheMissEvict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::directed_ring(n, gbps(800));
+  flow::ThetaOptions opts;
+  opts.cache_capacity = 1;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+  const auto m1 = topo::Matching::rotation(n, 3);
+  const auto m2 = topo::Matching::rotation(n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.theta(m1));
+    benchmark::DoNotOptimize(oracle.theta(m2));
+  }
+}
+BENCHMARK(BM_ThetaOracleCacheMissEvict)->Arg(64)->Arg(256);
+
+void BM_ThetaOracleUncached(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::directed_ring(n, gbps(800));
+  flow::ThetaOptions opts;
+  opts.use_cache = false;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+  const auto m = topo::Matching::rotation(n, n / 2 - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.theta(m));
+  }
+}
+BENCHMARK(BM_ThetaOracleUncached)->Arg(64)->Arg(256);
 
 void BM_DpOptimizer(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));

@@ -30,6 +30,14 @@ struct BvnOptions {
   double tol = 1e-9;      // entries below tol are treated as zero
   bool allow_partial = true;  // accept sub-doubly-stochastic inputs, producing
                               // sub-permutation terms (zero rows/cols allowed)
+  // Maintain the support graph and matching across extraction steps (only
+  // entries zeroed by a step leave the support, and Hopcroft–Karp restarts
+  // from the surviving matching) instead of rebuilding both from scratch
+  // every iteration. `false` selects the reference full-rebuild path, kept
+  // for differential testing; both paths satisfy recompose(terms) == m and
+  // the same term-count bound, and coincide exactly whenever the extracted
+  // matchings are forced (e.g. rotation mixtures).
+  bool incremental = true;
 };
 
 /// Decomposes `m` into weighted (sub-)permutations summing back to `m`.

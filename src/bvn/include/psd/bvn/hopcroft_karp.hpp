@@ -1,7 +1,10 @@
 // Hopcroft–Karp maximum bipartite matching in O(E·sqrt(V)).
 //
 // Substrate for Birkhoff's algorithm: each extraction step needs a perfect
-// matching on the support of the remaining doubly-stochastic matrix.
+// matching on the support of the remaining doubly-stochastic matrix. The
+// incremental decomposition warm-starts from the previous step's matching —
+// only the entries zeroed by the extraction leave the support, so restoring
+// maximality costs a handful of augmenting paths instead of a full solve.
 #pragma once
 
 #include <vector>
@@ -23,7 +26,36 @@ struct MatchingResult {
   std::vector<int> match_right;
 };
 
-/// Computes a maximum matching.
+/// Computes a maximum matching from scratch.
 [[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& g);
+
+/// Warm start: augments `init` — a consistent partial matching of `g` — to a
+/// maximum matching. Equivalent to the cold solve in result size, but costs
+/// only the augmenting paths missing from `init`.
+[[nodiscard]] MatchingResult hopcroft_karp(const BipartiteGraph& g,
+                                           MatchingResult init);
+
+/// Reusable augmentation engine. Owns the BFS/DFS scratch buffers so
+/// repeated solves over a shrinking graph (the Birkhoff inner loop) perform
+/// no per-call allocations once warmed up.
+///
+/// `augment` trusts its input: `match_left`/`match_right` must be mutually
+/// consistent, sized to the graph, and every matched edge must exist in
+/// `g.adj` (the public `hopcroft_karp` wrappers validate; this hot path does
+/// not). Returns the size of the resulting maximum matching.
+class MatchingAugmenter {
+ public:
+  int augment(const BipartiteGraph& g, std::vector<int>& match_left,
+              std::vector<int>& match_right);
+
+ private:
+  bool bfs_layers(const BipartiteGraph& g, const std::vector<int>& match_left,
+                  const std::vector<int>& match_right);
+  bool try_augment(const BipartiteGraph& g, int l, std::vector<int>& match_left,
+                   std::vector<int>& match_right);
+
+  std::vector<int> dist_;   // BFS layer of each left vertex
+  std::vector<int> queue_;  // flat FIFO for the layered BFS
+};
 
 }  // namespace psd::bvn

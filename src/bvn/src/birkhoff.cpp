@@ -42,18 +42,44 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
   psd::Matrix residual = input;
   std::vector<BvnTerm> terms;
 
+  // Incremental state: the support graph and the matching both persist
+  // across extraction steps. Subtracting a term only *removes* support
+  // entries (the ones driven to zero), so the support never needs a rebuild,
+  // and Hopcroft–Karp only has to re-augment the pairs it lost — O(removed
+  // edges) repair instead of an O(n²·√n + n²) solve per iteration.
+  BipartiteGraph support = support_graph(residual, opts.tol);
+  std::vector<int> match_left(static_cast<std::size_t>(n), -1);
+  std::vector<int> match_right(static_cast<std::size_t>(n), -1);
+  MatchingAugmenter augmenter;
+
+  // Drops (r, c) from the support adjacency and the matching together —
+  // every residual-zeroing site must keep the three views consistent.
+  const auto drop_support_edge = [&](int r, int c) {
+    auto& nbrs = support.adj[static_cast<std::size_t>(r)];
+    const auto it = std::find(nbrs.begin(), nbrs.end(), c);
+    PSD_ASSERT(it != nbrs.end(), "matched edge missing from support");
+    nbrs.erase(it);  // erase (not swap-pop) keeps adjacency order stable
+    match_left[static_cast<std::size_t>(r)] = -1;
+    match_right[static_cast<std::size_t>(c)] = -1;
+  };
+
   // Each iteration zeroes at least one support entry, so this terminates in
   // at most n² iterations.
   for (int guard = 0; guard < n * n + 1; ++guard) {
-    const auto support = support_graph(residual, opts.tol);
-    const auto match = hopcroft_karp(support);
-    if (match.size == 0) break;
+    if (!opts.incremental && guard > 0) {
+      // Reference path: rebuild everything from scratch each step.
+      support = support_graph(residual, opts.tol);
+      std::fill(match_left.begin(), match_left.end(), -1);
+      std::fill(match_right.begin(), match_right.end(), -1);
+    }
+    const int match_size = augmenter.augment(support, match_left, match_right);
+    if (match_size == 0) break;
 
     // Birkhoff's theorem guarantees a *perfect* matching on the support of a
     // doubly-stochastic matrix; with allow_partial we accept maximum
     // matchings (they still strictly shrink the support).
     if (!opts.allow_partial) {
-      PSD_REQUIRE(match.size == n,
+      PSD_REQUIRE(match_size == n,
                   "support admits no perfect matching: matrix is not doubly "
                   "stochastic (numerical tolerance too tight?)");
     }
@@ -62,7 +88,7 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
     term.matching = topo::Matching(n);
     double weight = std::numeric_limits<double>::infinity();
     for (int r = 0; r < n; ++r) {
-      const int c = match.match_left[static_cast<std::size_t>(r)];
+      const int c = match_left[static_cast<std::size_t>(r)];
       if (c < 0) continue;
       if (r == c) continue;  // diagonal (self) demand carries no traffic
       term.matching.set(r, c);
@@ -70,24 +96,39 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
                         residual(static_cast<std::size_t>(r), static_cast<std::size_t>(c)));
     }
     if (term.matching.active_pairs() == 0) {
-      // Matching covered only diagonal entries; clear them and finish.
+      // The maximum matching covered only diagonal entries (self-traffic,
+      // which the decomposition discards). Off-diagonal support may still
+      // remain — e.g. support {(1,1), (2,1)} admits the diagonal-only
+      // maximum matching {(1,1)} — so clear the matched diagonals out of
+      // the residual, the support and the matching, and keep extracting.
+      // Each pass removes at least one support entry, preserving the
+      // guard bound; once the support is diagonal-free the loop proceeds
+      // or terminates normally.
       for (int r = 0; r < n; ++r) {
+        if (match_left[static_cast<std::size_t>(r)] != r) continue;
         residual(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) = 0.0;
+        drop_support_edge(r, r);
       }
-      break;
+      continue;
     }
     PSD_ASSERT(std::isfinite(weight) && weight > 0.0, "matched entries must be positive");
     term.weight = weight;
-    for (const auto& [r, c] : term.matching.pairs()) {
+
+    // Subtract along every matched edge — diagonal entries matched alongside
+    // real pairs shrink by the same weight, under the same snap rule. An
+    // entry driven below tol leaves the residual, the support and the
+    // matching together, keeping all three views consistent.
+    for (int r = 0; r < n; ++r) {
+      const int c = match_left[static_cast<std::size_t>(r)];
+      if (c < 0) continue;
       double& cell = residual(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
       cell -= weight;
-      if (cell < opts.tol) cell = 0.0;
-    }
-    // Diagonal entries matched alongside real pairs also shrink.
-    for (int r = 0; r < n; ++r) {
-      if (match.match_left[static_cast<std::size_t>(r)] == r) {
-        double& cell = residual(static_cast<std::size_t>(r), static_cast<std::size_t>(r));
-        cell = std::max(0.0, cell - weight);
+      // The `<= 0.0` leg matters when tol == 0: the minimum matched cell
+      // lands on exactly 0.0 and must still leave the support, or the next
+      // iteration would extract a zero-weight term.
+      if (cell < opts.tol || cell <= 0.0) {
+        cell = 0.0;
+        drop_support_edge(r, c);
       }
     }
     terms.push_back(std::move(term));

@@ -5,10 +5,15 @@
 // form (O(n + k)); small instance → exact simplex LP; otherwise →
 // Garg–Könemann FPTAS. Results are cached per matching: collective
 // algorithms reuse the same patterns across steps and across bench sweeps.
+//
+// The memo table is keyed by the matching's destination vector under
+// topo::hash_destinations — a cache hit performs no heap allocation — and is
+// LRU-bounded so long bench sweeps cannot grow it without limit.
 #pragma once
 
-#include <string>
+#include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "psd/flow/commodity.hpp"
 #include "psd/flow/garg_konemann.hpp"
@@ -20,6 +25,9 @@ struct ThetaOptions {
   // Use the exact simplex LP when K·E (commodities × edges) is at most this.
   std::size_t exact_var_limit = 700;
   bool use_cache = true;
+  // Maximum number of memoized matchings; least-recently-used entries are
+  // evicted beyond this. Must be >= 1 when use_cache is set.
+  std::size_t cache_capacity = 1 << 14;
 };
 
 class ThetaOracle {
@@ -41,14 +49,31 @@ class ThetaOracle {
   /// Number of θ values served from cache so far (observability for tests).
   [[nodiscard]] std::size_t cache_hits() const { return hits_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// Number of entries dropped by the LRU bound.
+  [[nodiscard]] std::size_t cache_evictions() const { return evictions_; }
 
  private:
+  struct DstHash {
+    std::size_t operator()(const std::vector<int>& dst) const noexcept {
+      return topo::hash_destinations(dst);
+    }
+  };
+  // front() of lru_ is the most recently used entry; cache_ owns each key
+  // (unordered_map nodes have stable addresses) and lru_ holds pointers
+  // back to them, so every key is stored once. Hits splice within lru_ (no
+  // allocation); misses insert and evict from the back once full.
+  using LruList = std::list<const std::vector<int>*>;
+
   const topo::Graph& base_;
   Bandwidth b_ref_;
   ThetaOptions opts_;
   bool base_is_ring_;
-  mutable std::unordered_map<std::string, double> cache_;
+  mutable LruList lru_;
+  mutable std::unordered_map<std::vector<int>,
+                             std::pair<double, LruList::iterator>, DstHash>
+      cache_;
   mutable std::size_t hits_ = 0;
+  mutable std::size_t evictions_ = 0;
 };
 
 /// The research agenda's cheap congestion proxy: an *upper bound* on θ from

@@ -57,9 +57,10 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
           bottleneck = std::min(bottleneck, caps[static_cast<std::size_t>(e)]);
         }
         const double f = std::min(remaining, bottleneck);
+        double* flow_k = res.flow[k].data();
         for (topo::EdgeId e : path) {
           const auto ei = static_cast<std::size_t>(e);
-          res.flow[k][ei] += f;
+          flow_k[ei] += f;
           const double old_len = length[ei];
           length[ei] = old_len * (1.0 + eps * f / caps[ei]);
           dual_volume += caps[ei] * (length[ei] - old_len);
@@ -71,11 +72,17 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
   }
 
   // Rescale to strict feasibility: divide by the worst capacity violation.
+  // Accumulate per-edge load commodity-major so each pass streams one
+  // contiguous flow row (vectorizable) instead of striding across all K.
+  std::vector<double> load(E, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double* fk = res.flow[k].data();
+    double* ld = load.data();
+    for (std::size_t e = 0; e < E; ++e) ld[e] += fk[e];
+  }
   double violation = 0.0;
   for (std::size_t e = 0; e < E; ++e) {
-    double load = 0.0;
-    for (std::size_t k = 0; k < K; ++k) load += res.flow[k][e];
-    violation = std::max(violation, load / caps[e]);
+    violation = std::max(violation, load[e] / caps[e]);
   }
   PSD_ASSERT(violation > 0.0, "GK pushed no flow despite non-empty demand");
   const double inv = 1.0 / violation;

@@ -5,43 +5,47 @@
 #include <limits>
 
 #include "psd/util/error.hpp"
+#include "psd/util/matrix.hpp"
 
 namespace psd::flow {
 
 namespace {
 
 /// Canonical-form tableau: rows of [A | b] with the basic columns forming an
-/// identity, plus a maintained reduced-cost row.
+/// identity, plus a maintained reduced-cost row. A is stored as a flat
+/// row-major psd::Matrix so the pivot inner loops stream over contiguous row
+/// spans instead of chasing per-row vectors.
 class Tableau {
  public:
-  Tableau(std::vector<std::vector<double>> rows, std::vector<double> rhs,
-          std::vector<int> basis, double tol)
-      : a_(std::move(rows)), b_(std::move(rhs)), basis_(std::move(basis)), tol_(tol) {}
+  Tableau(psd::Matrix a, std::vector<double> rhs, std::vector<int> basis, double tol)
+      : a_(std::move(a)), num_rows_(a_.rows()), b_(std::move(rhs)),
+        basis_(std::move(basis)), tol_(tol) {}
 
   /// Installs the cost vector `c` (size = columns) and canonicalizes the
   /// reduced-cost row against the current basis.
   void set_costs(const std::vector<double>& c) {
     cost_ = c;
     reduced_ = c;
-    for (std::size_t i = 0; i < a_.size(); ++i) {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
       const double cb = cost_[static_cast<std::size_t>(basis_[i])];
       if (cb != 0.0) {
+        const auto row = a_.row(i);
         for (std::size_t j = 0; j < reduced_.size(); ++j) {
-          reduced_[j] -= cb * a_[i][j];
+          reduced_[j] -= cb * row[j];
         }
       }
     }
   }
 
-  [[nodiscard]] std::size_t num_rows() const { return a_.size(); }
+  [[nodiscard]] std::size_t num_rows() const { return num_rows_; }
   [[nodiscard]] std::size_t num_cols() const { return reduced_.size(); }
   [[nodiscard]] int basis_at(std::size_t row) const { return basis_[row]; }
   [[nodiscard]] double rhs_at(std::size_t row) const { return b_[row]; }
-  [[nodiscard]] double coeff(std::size_t row, std::size_t col) const { return a_[row][col]; }
+  [[nodiscard]] double coeff(std::size_t row, std::size_t col) const { return a_(row, col); }
 
   [[nodiscard]] double objective_value() const {
     double z = 0.0;
-    for (std::size_t i = 0; i < a_.size(); ++i) {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
       z += cost_[static_cast<std::size_t>(basis_[i])] * b_[i];
     }
     return z;
@@ -67,8 +71,8 @@ class Tableau {
     // --- ratio test: choose leaving row ---
     int leave = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < a_.size(); ++i) {
-      const double aij = a_[i][static_cast<std::size_t>(enter)];
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double aij = a_(i, static_cast<std::size_t>(enter));
       if (aij > tol_) {
         const double ratio = b_[i] / aij;
         const bool better =
@@ -89,24 +93,27 @@ class Tableau {
 
   /// Pivots so column `col` becomes basic in `row`.
   void pivot(std::size_t row, std::size_t col) {
-    const double piv = a_[row][col];
+    const auto prow = a_.row(row);
+    const double piv = prow[col];
     PSD_ASSERT(std::fabs(piv) > tol_ * 1e-3, "pivot element too small");
     const double inv = 1.0 / piv;
-    for (double& v : a_[row]) v *= inv;
+    const std::size_t cols = num_cols();
+    for (std::size_t j = 0; j < cols; ++j) prow[j] *= inv;
     b_[row] *= inv;
-    a_[row][col] = 1.0;  // fight round-off drift
-    for (std::size_t i = 0; i < a_.size(); ++i) {
+    prow[col] = 1.0;  // fight round-off drift
+    for (std::size_t i = 0; i < num_rows_; ++i) {
       if (i == row) continue;
-      const double f = a_[i][col];
+      const auto irow = a_.row(i);
+      const double f = irow[col];
       if (f == 0.0) continue;
-      for (std::size_t j = 0; j < a_[i].size(); ++j) a_[i][j] -= f * a_[row][j];
-      a_[i][col] = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) irow[j] -= f * prow[j];
+      irow[col] = 0.0;
       b_[i] -= f * b_[row];
       if (b_[i] < 0.0 && b_[i] > -tol_) b_[i] = 0.0;
     }
     const double rf = reduced_[col];
     if (rf != 0.0) {
-      for (std::size_t j = 0; j < reduced_.size(); ++j) reduced_[j] -= rf * a_[row][j];
+      for (std::size_t j = 0; j < cols; ++j) reduced_[j] -= rf * prow[j];
       reduced_[col] = 0.0;
     }
     basis_[row] = static_cast<int>(col);
@@ -116,9 +123,10 @@ class Tableau {
   /// allowed column with a usable coefficient. Returns true on success.
   template <typename AllowedFn>
   bool pivot_out(std::size_t row, const AllowedFn& allowed) {
+    const auto prow = a_.row(row);
     for (std::size_t j = 0; j < num_cols(); ++j) {
       if (!allowed(static_cast<int>(j))) continue;
-      if (std::fabs(a_[row][j]) > 1e-7) {
+      if (std::fabs(prow[j]) > 1e-7) {
         pivot(row, j);
         return true;
       }
@@ -126,15 +134,22 @@ class Tableau {
     return false;
   }
 
-  /// Removes a (redundant) row from the tableau.
+  /// Removes a (redundant) row from the tableau by shifting the rows below
+  /// it up one slot; the matrix keeps its allocation, num_rows_ shrinks.
   void drop_row(std::size_t row) {
-    a_.erase(a_.begin() + static_cast<std::ptrdiff_t>(row));
+    for (std::size_t i = row + 1; i < num_rows_; ++i) {
+      const auto src = a_.row(i);
+      const auto dst = a_.row(i - 1);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    --num_rows_;
     b_.erase(b_.begin() + static_cast<std::ptrdiff_t>(row));
     basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(row));
   }
 
  private:
-  std::vector<std::vector<double>> a_;
+  psd::Matrix a_;          // num_rows_ live rows; drop_row never reallocates
+  std::size_t num_rows_;
   std::vector<double> b_;
   std::vector<int> basis_;
   std::vector<double> cost_;
@@ -175,61 +190,61 @@ LpSolution solve_lp(const LpProblem& p, const SimplexOptions& opts) {
   const std::size_t m = p.rows.size();
   const std::size_t n = static_cast<std::size_t>(p.num_vars);
 
-  // Column layout: [structural | slacks/surplus | artificials].
+  // Column layout: [structural | slacks/surplus | artificials]. Rows are
+  // normalized to rhs >= 0 (flipping relation when negating). A <=-row with
+  // non-negative rhs gets a slack that can start basic; everything else
+  // needs an artificial. Pre-pass: per-row sign/relation, so the flat
+  // tableau can be allocated at its final width up front.
+  std::vector<double> sign(m, 1.0);
+  std::vector<Rel> rel(m, Rel::Eq);
   std::size_t num_slack = 0;
-  for (const LpRow& r : p.rows) {
-    if (r.rel != Rel::Eq) ++num_slack;
-  }
-
-  // Rows are normalized to rhs >= 0 (flipping relation when negating).
-  // A <=-row with non-negative rhs gets a slack that can start basic;
-  // everything else needs an artificial.
-  std::vector<std::vector<double>> rows(m);
-  std::vector<double> rhs(m, 0.0);
-  std::vector<int> basis(m, -1);
-  std::vector<std::size_t> needs_artificial;
-
-  std::size_t slack_cursor = 0;
-  const std::size_t slack_base = n;
+  std::size_t num_art = 0;
   for (std::size_t i = 0; i < m; ++i) {
     const LpRow& r = p.rows[i];
-    double sign = 1.0;
-    Rel rel = r.rel;
+    rel[i] = r.rel;
     if (r.rhs < 0.0) {
-      sign = -1.0;
-      if (rel == Rel::LessEq) {
-        rel = Rel::GreaterEq;
-      } else if (rel == Rel::GreaterEq) {
-        rel = Rel::LessEq;
+      sign[i] = -1.0;
+      if (rel[i] == Rel::LessEq) {
+        rel[i] = Rel::GreaterEq;
+      } else if (rel[i] == Rel::GreaterEq) {
+        rel[i] = Rel::LessEq;
       }
     }
-    rows[i].assign(n + num_slack, 0.0);
-    for (std::size_t j = 0; j < n; ++j) rows[i][j] = sign * r.coeffs[j];
-    rhs[i] = sign * r.rhs;
+    if (r.rel != Rel::Eq) ++num_slack;
+    if (r.rel == Rel::Eq || rel[i] == Rel::GreaterEq) ++num_art;
+  }
+
+  const std::size_t slack_base = n;
+  const std::size_t art_base = n + num_slack;
+  psd::Matrix a(m, art_base + num_art);
+  std::vector<double> rhs(m, 0.0);
+  std::vector<int> basis(m, -1);
+
+  std::size_t slack_cursor = 0;
+  std::size_t art_cursor = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const LpRow& r = p.rows[i];
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < n; ++j) row[j] = sign[i] * r.coeffs[j];
+    rhs[i] = sign[i] * r.rhs;
+    bool artificial = true;
     if (r.rel != Rel::Eq) {
       const std::size_t sc = slack_base + slack_cursor++;
-      rows[i][sc] = (rel == Rel::LessEq) ? 1.0 : -1.0;
-      if (rel == Rel::LessEq) {
+      row[sc] = (rel[i] == Rel::LessEq) ? 1.0 : -1.0;
+      if (rel[i] == Rel::LessEq) {
         basis[i] = static_cast<int>(sc);  // slack starts basic
-      } else {
-        needs_artificial.push_back(i);
+        artificial = false;
       }
-    } else {
-      needs_artificial.push_back(i);
+    }
+    if (artificial) {
+      const std::size_t ac = art_base + art_cursor++;
+      row[ac] = 1.0;
+      basis[i] = static_cast<int>(ac);
     }
   }
+  PSD_ASSERT(art_cursor == num_art, "artificial column accounting mismatch");
 
-  // Append artificial columns.
-  const std::size_t art_base = n + num_slack;
-  const std::size_t num_art = needs_artificial.size();
-  for (std::size_t i = 0; i < m; ++i) rows[i].resize(art_base + num_art, 0.0);
-  for (std::size_t a = 0; a < num_art; ++a) {
-    const std::size_t i = needs_artificial[a];
-    rows[i][art_base + a] = 1.0;
-    basis[i] = static_cast<int>(art_base + a);
-  }
-
-  Tableau t(std::move(rows), std::move(rhs), std::move(basis), opts.tol);
+  Tableau t(std::move(a), std::move(rhs), std::move(basis), opts.tol);
   const auto is_artificial = [art_base](int j) {
     return static_cast<std::size_t>(j) >= art_base;
   };

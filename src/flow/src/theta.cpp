@@ -9,42 +9,46 @@
 
 namespace psd::flow {
 
-namespace {
-
-/// Stable cache key: the destination vector, comma separated.
-std::string cache_key(const topo::Matching& m) {
-  std::string key;
-  key.reserve(static_cast<std::size_t>(m.size()) * 3);
-  for (int j = 0; j < m.size(); ++j) {
-    key += std::to_string(m.dst_of(j));
-    key += ',';
-  }
-  return key;
-}
-
-}  // namespace
-
 ThetaOracle::ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions opts)
     : base_(base), b_ref_(b_ref), opts_(opts),
       base_is_ring_(topo::is_directed_ring(base)) {
   PSD_REQUIRE(b_ref.bytes_per_ns() > 0.0, "reference bandwidth must be positive");
   PSD_REQUIRE(base.num_nodes() >= 2, "base topology needs at least 2 nodes");
+  PSD_REQUIRE(!opts.use_cache || opts.cache_capacity >= 1,
+              "cache_capacity must be at least 1");
 }
 
 double ThetaOracle::theta(const topo::Matching& m) const {
   PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
   if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
 
-  std::string key;
   if (opts_.use_cache) {
-    key = cache_key(m);
-    if (const auto it = cache_.find(key); it != cache_.end()) {
+    // Hit path: one hash of the destination vector, one splice. Neither
+    // allocates — destinations() is a reference into the matching and the
+    // splice relinks an existing node.
+    if (const auto it = cache_.find(m.destinations()); it != cache_.end()) {
       ++hits_;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      return it->second.first;
     }
   }
   const double value = concurrent_flow(m).theta;
-  if (opts_.use_cache) cache_.emplace(std::move(key), value);
+  if (opts_.use_cache) {
+    const auto [it, inserted] =
+        cache_.emplace(m.destinations(), std::make_pair(value, lru_.end()));
+    PSD_ASSERT(inserted, "cache miss raced an existing entry");
+    lru_.push_front(&it->first);
+    it->second.second = lru_.begin();
+    if (cache_.size() > opts_.cache_capacity) {
+      // Locate first, erase by iterator: erase-by-key would pass a
+      // reference aliasing the key of the node being destroyed.
+      const auto victim = cache_.find(*lru_.back());
+      PSD_ASSERT(victim != cache_.end(), "LRU tail missing from cache");
+      cache_.erase(victim);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
   return value;
 }
 

@@ -5,12 +5,17 @@
 // single-transceiver photonic fabric are all matchings.
 #pragma once
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
 #include "psd/util/matrix.hpp"
 
 namespace psd::topo {
+
+/// FNV-1a over a destination vector. Shared by Matching::hash() and the
+/// θ-oracle's memo table so both agree on the key function.
+[[nodiscard]] std::size_t hash_destinations(const std::vector<int>& dst);
 
 class Matching {
  public:
@@ -64,6 +69,15 @@ class Matching {
   /// (counting both send and receive sides). Drives port-count-dependent
   /// reconfiguration-delay models.
   [[nodiscard]] int ports_changed_from(const Matching& other) const;
+
+  /// The full destination vector (dst_of for every endpoint, -1 = idle).
+  /// This is the canonical identity of a matching: equality, hash() and the
+  /// θ-oracle cache key are all defined over it. Returned by reference so
+  /// lookups stay allocation-free.
+  [[nodiscard]] const std::vector<int>& destinations() const { return dst_; }
+
+  /// Hash consistent with operator== (FNV-1a over destinations()).
+  [[nodiscard]] std::size_t hash() const { return hash_destinations(dst_); }
 
   friend bool operator==(const Matching& a, const Matching& b) {
     return a.dst_ == b.dst_;

@@ -1,10 +1,24 @@
 #include "psd/topo/matching.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "psd/util/error.hpp"
 
 namespace psd::topo {
+
+std::size_t hash_destinations(const std::vector<int>& dst) {
+  // FNV-1a over the bytes of each destination; 64-bit offset basis / prime.
+  std::size_t h = 14695981039346656037ULL;
+  for (int d : dst) {
+    const auto v = static_cast<std::uint32_t>(d);
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
 
 Matching::Matching(int n) {
   PSD_REQUIRE(n >= 0, "matching size must be non-negative");

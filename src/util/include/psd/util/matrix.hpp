@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,13 +37,37 @@ class Matrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] bool empty() const { return data_.empty(); }
 
+  // Bounds checks are debug-only: operator() sits on the hot paths of the
+  // BvN and LP solvers, and release builds must compile it down to one fma.
   [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+#ifndef NDEBUG
     PSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+#endif
     return data_[r * cols_ + c];
   }
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+#ifndef NDEBUG
     PSD_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+#endif
     return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage (rows() * cols() doubles).
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  /// Contiguous view of row `r` — the allocation-free way to walk a row.
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+#ifndef NDEBUG
+    PSD_ASSERT(r < rows_, "row index out of range");
+#endif
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+#ifndef NDEBUG
+    PSD_ASSERT(r < rows_, "row index out of range");
+#endif
+    return {data_.data() + r * cols_, cols_};
   }
 
   [[nodiscard]] double row_sum(std::size_t r) const;

@@ -23,27 +23,36 @@ Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<double>> ro
 
 double Matrix::row_sum(std::size_t r) const {
   PSD_REQUIRE(r < rows_, "row index out of range");
+  const double* p = data_.data() + r * cols_;
   double s = 0.0;
-  for (std::size_t c = 0; c < cols_; ++c) s += data_[r * cols_ + c];
+  for (std::size_t c = 0; c < cols_; ++c) s += p[c];
   return s;
 }
 
 double Matrix::col_sum(std::size_t c) const {
   PSD_REQUIRE(c < cols_, "column index out of range");
+  const double* p = data_.data() + c;
   double s = 0.0;
-  for (std::size_t r = 0; r < rows_; ++r) s += data_[r * cols_ + c];
+  for (std::size_t r = 0; r < rows_; ++r) s += p[r * cols_];
   return s;
 }
 
 double Matrix::total() const {
+  const double* p = data_.data();
+  const std::size_t sz = data_.size();
   double s = 0.0;
-  for (double v : data_) s += v;
+  for (std::size_t i = 0; i < sz; ++i) s += p[i];
   return s;
 }
 
 double Matrix::max_abs() const {
+  const double* p = data_.data();
+  const std::size_t sz = data_.size();
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
+  for (std::size_t i = 0; i < sz; ++i) {
+    const double a = std::fabs(p[i]);
+    m = a > m ? a : m;
+  }
   return m;
 }
 
@@ -79,26 +88,38 @@ bool Matrix::is_sub_permutation(double tol) const {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   PSD_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  double* a = data_.data();
+  const double* b = other.data_.data();
+  const std::size_t sz = data_.size();
+  for (std::size_t i = 0; i < sz; ++i) a[i] += b[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   PSD_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  double* a = data_.data();
+  const double* b = other.data_.data();
+  const std::size_t sz = data_.size();
+  for (std::size_t i = 0; i < sz; ++i) a[i] -= b[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(double k) {
-  for (double& v : data_) v *= k;
+  double* a = data_.data();
+  const std::size_t sz = data_.size();
+  for (std::size_t i = 0; i < sz; ++i) a[i] *= k;
   return *this;
 }
 
 double Matrix::max_diff(const Matrix& a, const Matrix& b) {
   PSD_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  const double* pa = a.data_.data();
+  const double* pb = b.data_.data();
+  const std::size_t sz = a.data_.size();
   double m = 0.0;
-  for (std::size_t i = 0; i < a.data_.size(); ++i) {
-    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  for (std::size_t i = 0; i < sz; ++i) {
+    const double d = std::fabs(pa[i] - pb[i]);
+    m = d > m ? d : m;
   }
   return m;
 }

@@ -1,6 +1,8 @@
 #include "psd/bvn/hopcroft_karp.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -120,6 +122,104 @@ TEST(HopcroftKarp, RejectsMalformedInput) {
   EXPECT_THROW((void)hopcroft_karp(g), psd::InvalidArgument);
   g.adj = {{0}, {5}};  // right vertex out of range
   EXPECT_THROW((void)hopcroft_karp(g), psd::InvalidArgument);
+}
+
+BipartiteGraph random_sparse(int n, double avg_degree, std::uint64_t seed) {
+  psd::Rng rng(seed);
+  BipartiteGraph g;
+  g.n_left = g.n_right = n;
+  g.adj.resize(static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.next_double() < avg_degree / n) {
+        g.adj[static_cast<std::size_t>(l)].push_back(r);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(HopcroftKarpWarmStart, EmptyInitMatchesColdSolve) {
+  // The warm overload seeded with an empty matching must reach the same
+  // maximum size as the cold CSR solver — two independent engines
+  // cross-checking each other.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const auto g = random_sparse(96, 5.0, seed);
+    MatchingResult empty;
+    empty.match_left.assign(96, -1);
+    empty.match_right.assign(96, -1);
+    const auto warm = hopcroft_karp(g, empty);
+    const auto cold = hopcroft_karp(g);
+    EXPECT_EQ(warm.size, cold.size) << "seed " << seed;
+    expect_consistent(g, warm);
+  }
+}
+
+TEST(HopcroftKarpWarmStart, RepairsDamagedMatchingToMaximum) {
+  const auto g = random_sparse(128, 6.0, 17);
+  const auto cold = hopcroft_karp(g);
+  // Strip every fourth matched pair; re-augmentation must restore the size.
+  MatchingResult damaged = cold;
+  int stripped = 0;
+  for (int l = 0; l < g.n_left; ++l) {
+    const int r = damaged.match_left[static_cast<std::size_t>(l)];
+    if (r >= 0 && ++stripped % 4 == 0) {
+      damaged.match_left[static_cast<std::size_t>(l)] = -1;
+      damaged.match_right[static_cast<std::size_t>(r)] = -1;
+      --damaged.size;
+    }
+  }
+  ASSERT_LT(damaged.size, cold.size);
+  const auto repaired = hopcroft_karp(g, damaged);
+  EXPECT_EQ(repaired.size, cold.size);
+  expect_consistent(g, repaired);
+}
+
+TEST(HopcroftKarpWarmStart, RepairsAfterEdgeRemoval) {
+  // The incremental-Birkhoff scenario: matched edges leave the graph and the
+  // matching together; the warm solve only pays for the lost pairs.
+  auto g = random_sparse(64, 6.0, 23);
+  auto m = hopcroft_karp(g);
+  for (int round = 0; round < 5; ++round) {
+    // Remove the first two matched edges from both graph and matching.
+    int removed = 0;
+    for (int l = 0; l < g.n_left && removed < 2; ++l) {
+      const int r = m.match_left[static_cast<std::size_t>(l)];
+      if (r < 0) continue;
+      auto& nbrs = g.adj[static_cast<std::size_t>(l)];
+      nbrs.erase(std::find(nbrs.begin(), nbrs.end(), r));
+      m.match_left[static_cast<std::size_t>(l)] = -1;
+      m.match_right[static_cast<std::size_t>(r)] = -1;
+      --m.size;
+      ++removed;
+    }
+    m = hopcroft_karp(g, std::move(m));
+    const auto cold = hopcroft_karp(g);
+    EXPECT_EQ(m.size, cold.size) << "round " << round;
+    expect_consistent(g, m);
+  }
+}
+
+TEST(HopcroftKarpWarmStart, RejectsMalformedWarmStarts) {
+  BipartiteGraph g;
+  g.n_left = 2;
+  g.n_right = 2;
+  g.adj = {{0, 1}, {0}};
+
+  MatchingResult wrong_size;
+  wrong_size.match_left = {-1};
+  wrong_size.match_right = {-1, -1};
+  EXPECT_THROW((void)hopcroft_karp(g, wrong_size), psd::InvalidArgument);
+
+  MatchingResult inconsistent;
+  inconsistent.match_left = {0, -1};
+  inconsistent.match_right = {-1, -1};  // right side does not mirror
+  EXPECT_THROW((void)hopcroft_karp(g, inconsistent), psd::InvalidArgument);
+
+  MatchingResult phantom_edge;
+  phantom_edge.match_left = {-1, 1};  // edge (1,1) not in the graph
+  phantom_edge.match_right = {-1, 1};
+  EXPECT_THROW((void)hopcroft_karp(g, phantom_edge), psd::InvalidArgument);
 }
 
 }  // namespace

@@ -105,5 +105,34 @@ TEST(Matching, EqualityComparesStructure) {
   EXPECT_FALSE(Matching::rotation(5, 2) == Matching::rotation(5, 3));
 }
 
+TEST(Matching, HashConsistentWithEquality) {
+  // Equal matchings built through different constructors hash identically.
+  const Matching a = Matching::rotation(8, 3);
+  Matching b(8);
+  for (int j = 0; j < 8; ++j) b.set(j, (j + 3) % 8);
+  ASSERT_TRUE(a == b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), hash_destinations(a.destinations()));
+
+  // Distinct structures should (overwhelmingly) hash apart.
+  for (int k = 1; k < 8; ++k) {
+    for (int k2 = k + 1; k2 < 8; ++k2) {
+      EXPECT_NE(Matching::rotation(8, k).hash(), Matching::rotation(8, k2).hash())
+          << "k=" << k << " k2=" << k2;
+    }
+  }
+  // Idle endpoints participate in the hash (full vs partial differ).
+  EXPECT_NE(Matching(4).hash(), Matching::from_pairs(4, {{0, 1}}).hash());
+}
+
+TEST(Matching, DestinationsExposesCanonicalKey) {
+  const Matching m = Matching::from_pairs(5, {{0, 2}, {3, 1}});
+  const std::vector<int> expected{2, -1, -1, 1, -1};
+  EXPECT_EQ(m.destinations(), expected);
+  // Returned by reference: repeated calls view the same storage (the
+  // allocation-free contract the θ-oracle cache relies on).
+  EXPECT_EQ(m.destinations().data(), m.destinations().data());
+}
+
 }  // namespace
 }  // namespace psd::topo

@@ -99,5 +99,30 @@ TEST(Matrix, ToStringContainsEntries) {
   EXPECT_NE(s.find("2.50"), std::string::npos);
 }
 
+TEST(Matrix, RowSpansViewContiguousStorage) {
+  Matrix m = Matrix::from_rows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const auto r0 = m.row(0);
+  const auto r1 = m.row(1);
+  ASSERT_EQ(r0.size(), 3u);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r0[2], 3.0);
+  EXPECT_EQ(r1[0], 4.0);
+  // Rows are adjacent slices of one flat row-major buffer.
+  EXPECT_EQ(r0.data() + 3, r1.data());
+  EXPECT_EQ(m.data(), r0.data());
+
+  // Writes through a span are writes to the matrix.
+  r1[2] = 42.0;
+  EXPECT_EQ(m(1, 2), 42.0);
+}
+
+TEST(Matrix, ConstRowSpanReads) {
+  const Matrix m = Matrix::from_rows({{1.5, -2.5}});
+  const auto row = m.row(0);
+  EXPECT_EQ(row[0], 1.5);
+  EXPECT_EQ(row[1], -2.5);
+  EXPECT_EQ(m.data()[1], -2.5);
+}
+
 }  // namespace
 }  // namespace psd

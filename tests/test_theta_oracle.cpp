@@ -1,16 +1,40 @@
 #include "psd/flow/theta.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
 #include <gtest/gtest.h>
 
 #include "psd/topo/builders.hpp"
 #include "psd/topo/properties.hpp"
 
+// Global allocation counter: this binary replaces the plain operator
+// new/delete so the cached θ-lookup path can be asserted allocation-free
+// (tests/CMakeLists.txt builds one executable per test file precisely so
+// this override stays contained).
+namespace {
+std::atomic<std::size_t> g_live_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
 namespace psd::flow {
 namespace {
 
 using topo::Matching;
+
+std::size_t alloc_count() {
+  return g_live_allocs.load(std::memory_order_relaxed);
+}
 
 TEST(ThetaOracle, RingDispatchMatchesClosedForm) {
   const auto g = topo::directed_ring(64, gbps(800));
@@ -43,6 +67,84 @@ TEST(ThetaOracle, CacheCanBeDisabled) {
   (void)oracle.theta(Matching::rotation(8, 2));
   EXPECT_EQ(oracle.cache_hits(), 0u);
   EXPECT_EQ(oracle.cache_size(), 0u);
+  EXPECT_EQ(oracle.cache_evictions(), 0u);
+}
+
+TEST(ThetaOracle, DisabledCacheMatchesCachedValues) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  ThetaOptions no_cache;
+  no_cache.use_cache = false;
+  const ThetaOracle uncached(g, gbps(800), no_cache);
+  const ThetaOracle cached(g, gbps(800));
+  for (int k : {1, 3, 5, 3, 1}) {
+    const auto m = Matching::rotation(16, k);
+    EXPECT_DOUBLE_EQ(uncached.theta(m), cached.theta(m)) << "k=" << k;
+  }
+}
+
+TEST(ThetaOracle, HitRateAccountingAcrossRepeatedRotations) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int k = 1; k <= 5; ++k) {
+      (void)oracle.theta(Matching::rotation(16, k));
+    }
+  }
+  // First pass misses all 5, the two later passes hit all 5.
+  EXPECT_EQ(oracle.cache_size(), 5u);
+  EXPECT_EQ(oracle.cache_hits(), 10u);
+  EXPECT_EQ(oracle.cache_evictions(), 0u);
+}
+
+TEST(ThetaOracle, LruEvictsAtConfiguredBound) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  ThetaOptions opts;
+  opts.cache_capacity = 2;
+  const ThetaOracle oracle(g, gbps(800), opts);
+  const auto m1 = Matching::rotation(16, 1);
+  const auto m2 = Matching::rotation(16, 2);
+  const auto m3 = Matching::rotation(16, 3);
+  (void)oracle.theta(m1);
+  (void)oracle.theta(m2);
+  EXPECT_EQ(oracle.cache_size(), 2u);
+  EXPECT_EQ(oracle.cache_evictions(), 0u);
+
+  (void)oracle.theta(m1);  // m1 becomes most recently used
+  EXPECT_EQ(oracle.cache_hits(), 1u);
+  (void)oracle.theta(m3);  // evicts m2 (least recently used), not m1
+  EXPECT_EQ(oracle.cache_size(), 2u);
+  EXPECT_EQ(oracle.cache_evictions(), 1u);
+
+  (void)oracle.theta(m1);  // still cached
+  EXPECT_EQ(oracle.cache_hits(), 2u);
+  (void)oracle.theta(m2);  // miss: was evicted, evicts m3 in turn
+  EXPECT_EQ(oracle.cache_hits(), 2u);
+  EXPECT_EQ(oracle.cache_evictions(), 2u);
+  EXPECT_EQ(oracle.cache_size(), 2u);
+}
+
+TEST(ThetaOracle, RejectsZeroCapacityWithCache) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  ThetaOptions opts;
+  opts.cache_capacity = 0;
+  EXPECT_THROW(ThetaOracle(g, gbps(800), opts), psd::InvalidArgument);
+  opts.use_cache = false;  // capacity irrelevant when the cache is off
+  EXPECT_NO_THROW(ThetaOracle(g, gbps(800), opts));
+}
+
+TEST(ThetaOracle, CachedLookupPerformsNoHeapAllocation) {
+  const auto g = topo::directed_ring(64, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  const auto m = Matching::rotation(64, 7);
+  const double first = oracle.theta(m);  // miss: computes and inserts
+
+  const std::size_t before = alloc_count();
+  double value = 0.0;
+  for (int i = 0; i < 100; ++i) value = oracle.theta(m);
+  EXPECT_EQ(alloc_count(), before)
+      << "cache-hit path allocated on the heap";
+  EXPECT_DOUBLE_EQ(value, first);
+  EXPECT_EQ(oracle.cache_hits(), 100u);
 }
 
 TEST(ThetaOracle, EmptyMatchingInfinite) {
