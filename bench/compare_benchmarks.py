@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and emit a machine-readable delta.
+
+Usage:
+  bench/compare_benchmarks.py BASELINE.json NEW.json [--out DELTA.json]
+      [--max-ratio R] [--quiet]
+
+Prints a per-benchmark table of baseline time, new time and the new/baseline
+ratio (ratio < 1 is a speedup), and writes the same data as JSON when --out
+is given. Benchmarks present in only one file are reported but never fail
+the check.
+
+With --max-ratio R the script exits non-zero if any benchmark common to both
+files regressed by more than R× (ratio-based, so the ±15% run-to-run
+variance of a CI-class box doesn't trip it; R defaults to infinity = report
+only). --normalize divides every ratio by the median ratio across common
+benchmarks before gating: a uniformly slower machine (e.g. a shared CI
+runner compared against a baseline recorded on a developer box) shifts all
+ratios equally and cancels out, while a genuine regression of one benchmark
+still stands out. Because normalization would also cancel a *real* uniform
+regression, --max-median-ratio bounds the median itself (baseline box and
+CI runner speeds differ by a known, bounded factor). CI runs this against
+the committed BENCH_solvers.json with --max-ratio 3 --normalize
+--max-median-ratio 5.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # aggregate entries (mean/median/stddev) would double-count
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "real_time": b["real_time"],
+            "time_unit": b.get("time_unit", "ns"),
+        }
+    return out
+
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(entry):
+    return entry["real_time"] * UNIT_NS[entry["time_unit"]]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--out", help="write the delta as JSON to this path")
+    ap.add_argument("--max-ratio", type=float, default=math.inf,
+                    help="fail if any common benchmark regressed more than this")
+    ap.add_argument("--normalize", action="store_true",
+                    help="gate on ratios divided by the median ratio "
+                         "(cancels uniform machine-speed differences)")
+    ap.add_argument("--max-median-ratio", type=float, default=math.inf,
+                    help="fail if the median ratio itself exceeds this "
+                         "(catches uniform regressions --normalize would hide)")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    new = load_benchmarks(args.new)
+
+    delta = {"baseline_file": args.baseline, "new_file": args.new,
+             "max_ratio": None if math.isinf(args.max_ratio) else args.max_ratio,
+             "normalized": args.normalize,
+             "benchmarks": {}, "regressions": []}
+    rows = []
+    for name in sorted(set(base) | set(new)):
+        b = base.get(name)
+        n = new.get(name)
+        entry = {
+            "baseline_ns": to_ns(b) if b else None,
+            "new_ns": to_ns(n) if n else None,
+            "ratio": (to_ns(n) / to_ns(b)) if (b and n and to_ns(b) > 0) else None,
+        }
+        delta["benchmarks"][name] = entry
+        rows.append((name, entry))
+
+    ratios = sorted(e["ratio"] for _, e in rows if e["ratio"] is not None)
+    median = ratios[len(ratios) // 2] if ratios else 1.0
+    delta["median_ratio"] = median if ratios else None
+    for name, e in rows:
+        if e["ratio"] is None:
+            continue
+        gated = e["ratio"] / median if (args.normalize and median > 0) else e["ratio"]
+        e["gated_ratio"] = gated
+        if gated > args.max_ratio:
+            delta["regressions"].append(name)
+
+    if not args.quiet:
+        width = max((len(r[0]) for r in rows), default=10)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'new':>12}  {'ratio':>7}")
+        for name, e in rows:
+            fmt = lambda v: f"{v/1e3:.1f}us" if v is not None else "-"
+            ratio = f"{e['ratio']:.3f}" if e["ratio"] is not None else "-"
+            print(f"{name:<{width}}  {fmt(e['baseline_ns']):>12}  "
+                  f"{fmt(e['new_ns']):>12}  {ratio:>7}")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(delta, f, indent=2)
+            f.write("\n")
+        if not args.quiet:
+            print(f"Wrote {args.out}")
+
+    if (args.normalize and ratios and median > args.max_median_ratio):
+        print(f"error: median ratio {median:.2f} exceeds "
+              f"{args.max_median_ratio} - the whole suite regressed "
+              f"(or the runner is far slower than the baseline box)",
+              file=sys.stderr)
+        return 1
+    if delta["regressions"]:
+        print(f"error: {len(delta['regressions'])} benchmark(s) regressed more "
+              f"than {args.max_ratio}x: {', '.join(delta['regressions'])}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

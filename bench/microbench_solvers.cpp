@@ -22,7 +22,23 @@ namespace {
 
 using namespace psd;
 
+// θ-only closed form: the planner's actual query (O(n + k), no flow
+// materialization). Pre-sparse-refactor this benchmark materialized the full
+// K×E flow matrix and was quadratic in n.
 void BM_RingThetaClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::directed_ring(n, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 2 - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::ring_theta_only(g, m, gbps(800)));
+  }
+}
+BENCHMARK(BM_RingThetaClosedForm)->Arg(64)->Arg(256)->Arg(1024);
+
+// Full routing materialization in the sparse CSR FlowAssignment: O(n + total
+// path hops) — inherently superlinear for long rotations, but with no K×E
+// zero-fill. Only flow-level consumers (the simulator) pay this.
+void BM_RingFlowMaterialize(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto g = topo::directed_ring(n, gbps(800));
   const auto m = topo::Matching::rotation(n, n / 2 - 1);
@@ -30,7 +46,7 @@ void BM_RingThetaClosedForm(benchmark::State& state) {
     benchmark::DoNotOptimize(flow::ring_concurrent_flow(g, m, gbps(800)));
   }
 }
-BENCHMARK(BM_RingThetaClosedForm)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_RingFlowMaterialize)->Arg(64)->Arg(256)->Arg(1024);
 
 void BM_GargKonemann(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -42,6 +58,31 @@ void BM_GargKonemann(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GargKonemann)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Cold reference: fresh Dijkstra per push (the pre-warm-start behavior).
+void BM_GargKonemannCold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::torus_2d(n / 8, 8, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::gk_concurrent_flow(
+        g, m, gbps(800), {.epsilon = 0.1, .warm_start = false}));
+  }
+}
+BENCHMARK(BM_GargKonemannCold)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// θ-only FPTAS: what the ThetaOracle calls on non-ring fallback — tracks
+// only the O(E) aggregate load, no per-commodity entries.
+void BM_GargKonemannThetaOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::torus_2d(n / 8, 8, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::gk_theta_only(g, m, gbps(800), {.epsilon = 0.1}));
+  }
+}
+BENCHMARK(BM_GargKonemannThetaOnly)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_ExactLpSmall(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

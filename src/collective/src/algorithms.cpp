@@ -14,11 +14,13 @@ int mod_n(int v, int n) { return ((v % n) + n) % n; }
 void append_ring_phase(CollectiveSchedule& out, int n, bool reduce_phase) {
   // Reduce-scatter: at step s node j sends chunk (j−s) mod n, reducing.
   // Allgather:      at step s node j sends chunk (j+1−s) mod n, replacing.
+  const auto rot1 = topo::Matching::rotation(n, 1);  // same for every step
   for (int s = 0; s < n - 1; ++s) {
     Step step;
     step.label = (reduce_phase ? "rs-step-" : "ag-step-") + std::to_string(s);
-    step.matching = topo::Matching::rotation(n, 1);
+    step.matching = rot1;
     step.volume = out.chunk_size();
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       Transfer t;
       t.src = j;
@@ -74,6 +76,7 @@ CollectiveSchedule recursive_doubling_allreduce(int n, Bytes buffer) {
     step.label = "rd-step-" + std::to_string(s);
     step.matching = topo::Matching(n);
     step.volume = buffer;
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const int w = j ^ (1 << s);
       if (step.matching.dst_of(j) == -1) {
@@ -100,6 +103,7 @@ CollectiveSchedule alltoall_transpose(int n, Bytes buffer) {
     step.label = "rotation-" + std::to_string(i);
     step.matching = topo::Matching::rotation(n, i);
     step.volume = out.chunk_size();
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const int d = (j + i) % n;
       Transfer t;
@@ -129,11 +133,13 @@ CollectiveSchedule alltoall_bruck(int n, Bytes buffer) {
     step.label = "bruck-step-" + std::to_string(k);
     step.matching = topo::Matching::rotation(n, 1 << k);
     step.volume = out.chunk_size() * (n / 2.0);
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v) {
       Transfer t;
       t.src = v;
       t.dst = (v + (1 << k)) % n;
       t.reduce = false;
+      t.chunks.reserve(static_cast<std::size_t>(n / 2));
       for (int r = 1; r < n; ++r) {
         if ((r >> k) & 1) {
           const int f = r & ~((1 << k) - 1);
@@ -186,11 +192,13 @@ CollectiveSchedule bruck_allgather(int n, Bytes buffer) {
     step.label = "bruck-ag-span-" + std::to_string(span);
     step.matching = topo::Matching::rotation(n, -span);
     step.volume = out.chunk_size() * static_cast<double>(cnt);
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       Transfer t;
       t.src = j;
       t.dst = mod_n(j - span, n);
       t.reduce = false;
+      t.chunks.reserve(static_cast<std::size_t>(cnt));
       for (int c = 0; c < cnt; ++c) t.chunks.push_back(mod_n(j + c, n));
       step.transfers.push_back(std::move(t));
     }
@@ -247,6 +255,7 @@ CollectiveSchedule binomial_scatter(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = false;
+      t.chunks.reserve(static_cast<std::size_t>(span));
       for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
       step.transfers.push_back(std::move(t));
     }
@@ -275,6 +284,7 @@ CollectiveSchedule binomial_gather(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = false;
+      t.chunks.reserve(static_cast<std::size_t>(span));
       for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
       step.transfers.push_back(std::move(t));
     }
@@ -295,6 +305,7 @@ CollectiveSchedule dissemination_barrier(int n, Bytes flag_bytes) {
     step.label = "barrier-round-" + std::to_string(span);
     step.matching = topo::Matching::rotation(n, span);
     step.volume = flag_bytes;
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       Transfer t;
       t.src = j;
@@ -319,6 +330,7 @@ CollectiveSchedule recursive_doubling_allgather(int n, Bytes buffer) {
     step.label = "ag-step-" + std::to_string(s);
     step.matching = topo::Matching(n);
     step.volume = out.chunk_size() * static_cast<double>(1 << s);
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const int w = j ^ (1 << s);
       if (step.matching.dst_of(j) == -1) {

@@ -73,6 +73,7 @@ void emit_reduce_scatter(CollectiveSchedule& out, int n, Bytes buffer,
     step.label = "rs-step-" + std::to_string(s);
     step.matching = topo::Matching(n);
     step.volume = chunk * static_cast<double>(n >> (s + 1));
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const int w = peer(j, s);
       step.matching.set(j, w);  // involution: both directions get set
@@ -102,6 +103,7 @@ void emit_allgather(CollectiveSchedule& out, int n, Bytes buffer,
     step.label = "ag-step-" + std::to_string(t);
     step.matching = topo::Matching(n);
     step.volume = chunk * static_cast<double>(1 << t);
+    step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       const int w = peer(j, s);
       step.matching.set(j, w);
@@ -150,11 +152,17 @@ long long swing_rho(int s) {
 }
 
 PeerFn swing_peers(int n) {
-  (void)log2_exact(n);  // validate n
-  return [n](int j, int s) {
-    const long long rho = swing_rho(s);
+  const int q = log2_exact(n);
+  // ρ_s only depends on the step; precompute once instead of re-deriving it
+  // on each of the 2·q·n peer() calls a schedule build makes.
+  std::vector<long long> rho(static_cast<std::size_t>(q));
+  for (int s = 0; s < q; ++s) rho[static_cast<std::size_t>(s)] = swing_rho(s);
+  return [n, rho = std::move(rho)](int j, int s) {
+    const long long r = s < static_cast<int>(rho.size())
+                            ? rho[static_cast<std::size_t>(s)]
+                            : swing_rho(s);
     const long long sign = (j % 2 == 0) ? 1 : -1;
-    long long w = (j + sign * rho) % n;
+    long long w = (j + sign * r) % n;
     if (w < 0) w += n;
     return static_cast<int>(w);
   };

@@ -30,11 +30,21 @@ struct PlannerResult {
   }
 };
 
+struct PlannerOptions {
+  // Prewarm the θ cache and run the four strategies on the shared
+  // util::ThreadPool. The strategies are independent pure functions of the
+  // problem instance and θ is a pure function of each matching, so the
+  // result is identical to the serial path — this is an execution
+  // strategy, not an algorithm change.
+  bool parallel = true;
+};
+
 class Planner {
  public:
   /// Owns a copy of the base topology; the θ cache persists across plan()
   /// calls, so parameter sweeps over the same collective are cheap.
-  Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts = {});
+  Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts = {},
+          PlannerOptions planner_opts = {});
 
   Planner(const Planner&) = delete;
   Planner& operator=(const Planner&) = delete;
@@ -47,7 +57,10 @@ class Planner {
   /// fixed because θ is normalized by it).
   void set_params(const CostParams& params);
 
-  /// Plans `schedule` and evaluates all baselines.
+  /// Plans `schedule` and evaluates all baselines. With
+  /// PlannerOptions::parallel, θ values for the steps are computed
+  /// concurrently over the oracle's thread-safe cache and the four
+  /// strategies run concurrently; output is identical to the serial path.
   [[nodiscard]] PlannerResult plan(const collective::CollectiveSchedule& schedule,
                                    const ModelExtensions& ext = {}) const;
 
@@ -58,6 +71,7 @@ class Planner {
  private:
   topo::Graph base_;
   CostParams params_;
+  PlannerOptions planner_opts_;
   std::unique_ptr<flow::ThetaOracle> oracle_;
 };
 

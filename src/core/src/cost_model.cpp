@@ -47,7 +47,9 @@ void ProblemInstance::build(const std::vector<std::pair<Bytes, topo::Matching>>&
                             const flow::ThetaOracle& oracle) {
   const topo::Graph& base = oracle.base();
   PSD_REQUIRE(!raw.empty(), "collective must have at least one step");
-  const auto hops = topo::all_pairs_hops(base);
+  // Shared with every other instance built against this oracle — all-pairs
+  // BFS is O(n·(n+E)) and used to dominate repeated instance builds.
+  const auto& hops = oracle.base_hops();
 
   steps_.reserve(raw.size());
   for (const auto& [volume, matching] : raw) {

@@ -18,9 +18,9 @@ MultiBaseInstance::MultiBaseInstance(const collective::CollectiveSchedule& sched
   }
   PSD_REQUIRE(schedule.num_steps() > 0, "collective must have at least one step");
 
-  std::vector<std::vector<std::vector<int>>> hops;
+  std::vector<const std::vector<std::vector<int>>*> hops;
   hops.reserve(oracles_.size());
-  for (const auto* o : oracles_) hops.push_back(topo::all_pairs_hops(o->base()));
+  for (const auto* o : oracles_) hops.push_back(&o->base_hops());
 
   for (const auto& s : schedule.steps()) {
     PSD_REQUIRE(s.matching.active_pairs() > 0, "step matching must be non-empty");
@@ -32,7 +32,7 @@ MultiBaseInstance::MultiBaseInstance(const collective::CollectiveSchedule& sched
       th.push_back(oracles_[b]->theta(s.matching));
       int ell = 0;
       for (const auto& [src, dst] : s.matching.pairs()) {
-        const int h = hops[b][static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
+        const int h = (*hops[b])[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)];
         PSD_REQUIRE(h != topo::kUnreachable,
                     "matching pair disconnected in a base topology");
         ell = std::max(ell, h);

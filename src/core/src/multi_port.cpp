@@ -22,19 +22,20 @@ std::vector<flow::Commodity> union_commodities(const UnionStep& step) {
 }
 
 /// θ of an arbitrary commodity set on the oracle's base topology, using the
-/// same dispatch ladder as the oracle (ring → exact LP → FPTAS).
+/// same dispatch ladder as the oracle (ring → exact LP → FPTAS), through
+/// the θ-only entry points — union steps never need the routing.
 double union_theta(const flow::ThetaOracle& oracle,
                    const std::vector<flow::Commodity>& commodities) {
   const topo::Graph& g = oracle.base();
-  if (const auto ring = flow::ring_concurrent_flow(g, commodities, oracle.bandwidth())) {
-    return ring->theta;
+  if (const auto ring = flow::ring_theta_only(g, commodities, oracle.bandwidth())) {
+    return *ring;
   }
   const std::size_t lp_vars =
       commodities.size() * static_cast<std::size_t>(g.num_edges());
   if (lp_vars <= 700) {
     return flow::exact_concurrent_flow(g, commodities, oracle.bandwidth()).theta;
   }
-  return flow::gk_concurrent_flow(g, commodities, oracle.bandwidth(), {}).theta;
+  return flow::gk_theta_only(g, commodities, oracle.bandwidth(), {});
 }
 
 }  // namespace
@@ -46,7 +47,7 @@ MultiPortInstance::MultiPortInstance(std::vector<UnionStep> steps,
   PSD_REQUIRE(ports_ >= 1, "at least one port per GPU required");
   PSD_REQUIRE(!steps_.empty(), "at least one step required");
   const topo::Graph& base = oracle.base();
-  const auto hops = topo::all_pairs_hops(base);
+  const auto& hops = oracle.base_hops();
 
   for (const auto& step : steps_) {
     PSD_REQUIRE(!step.matchings.empty(), "union step must contain a matching");

@@ -1,9 +1,16 @@
 #include "psd/core/planner.hpp"
 
+#include <exception>
+#include <unordered_set>
+#include <vector>
+
+#include "psd/util/thread_pool.hpp"
+
 namespace psd::core {
 
-Planner::Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts)
-    : base_(std::move(base)), params_(params) {
+Planner::Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts,
+                 PlannerOptions planner_opts)
+    : base_(std::move(base)), params_(params), planner_opts_(planner_opts) {
   oracle_ = std::make_unique<flow::ThetaOracle>(base_, params_.b, theta_opts);
 }
 
@@ -16,12 +23,68 @@ void Planner::set_params(const CostParams& params) {
 
 PlannerResult Planner::plan(const collective::CollectiveSchedule& schedule,
                             const ModelExtensions& ext) const {
+  auto& pool = util::ThreadPool::shared();
+  const bool parallel = planner_opts_.parallel && pool.size() > 1 &&
+                        !util::ThreadPool::on_worker_thread();
+  // Prewarming only pays off when the oracle can remember the answers —
+  // with the cache disabled it would just compute every θ twice.
+  if (parallel && oracle_->options().use_cache) {
+    // Prewarm the θ cache: one task per *distinct* step matching plus one
+    // for the hop matrix. The oracle computes misses outside its lock with
+    // no in-flight dedup, so racing tasks on the same matching would each
+    // solve it — dedup up front instead. θ is a pure function of the
+    // matching, so the instance build below runs entirely on cache hits.
+    const auto& steps = schedule.steps();
+    std::vector<const topo::Matching*> distinct;
+    distinct.reserve(steps.size());
+    std::unordered_set<std::size_t> seen;
+    for (const auto& s : steps) {
+      if (s.matching.active_pairs() == 0) continue;
+      // Hash-based dedup: a collision only costs a redundant solve.
+      if (seen.insert(s.matching.hash()).second) {
+        distinct.push_back(&s.matching);
+      }
+    }
+    pool.parallel_for(distinct.size() + 1, [&](std::size_t i) {
+      if (i == distinct.size()) {
+        (void)oracle_->base_hops();
+      } else {
+        (void)oracle_->theta(*distinct[i]);
+      }
+    });
+  }
   const ProblemInstance inst(schedule, *oracle_, params_);
   PlannerResult r;
-  r.optimal = optimal_plan(inst, ext);
-  r.static_base = static_plan(inst, ext);
-  r.naive_bvn = bvn_plan(inst, ext);
-  r.greedy = greedy_threshold_plan(inst, ext);
+  if (parallel) {
+    auto optimal = pool.submit([&] { return optimal_plan(inst, ext); });
+    auto static_base = pool.submit([&] { return static_plan(inst, ext); });
+    auto naive_bvn = pool.submit([&] { return bvn_plan(inst, ext); });
+    // Drain every future even when a strategy throws: the submitted tasks
+    // capture `inst` and `ext` by reference, so unwinding before they
+    // finish would leave workers running against destroyed locals.
+    std::exception_ptr err;
+    const auto collect = [&err](auto& fut, ReconfigPlan& out) {
+      try {
+        out = fut.get();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    };
+    try {
+      r.greedy = greedy_threshold_plan(inst, ext);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    collect(optimal, r.optimal);
+    collect(static_base, r.static_base);
+    collect(naive_bvn, r.naive_bvn);
+    if (err) std::rethrow_exception(err);
+  } else {
+    r.optimal = optimal_plan(inst, ext);
+    r.static_base = static_plan(inst, ext);
+    r.naive_bvn = bvn_plan(inst, ext);
+    r.greedy = greedy_threshold_plan(inst, ext);
+  }
   return r;
 }
 

@@ -5,6 +5,9 @@
 // link capacities (Shahrokhi & Matula 1990), the paper's congestion factor.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "psd/topo/graph.hpp"
@@ -26,12 +29,90 @@ struct Commodity {
 [[nodiscard]] std::vector<double> normalized_capacities(const topo::Graph& g,
                                                         Bandwidth b_ref);
 
+/// Sparse per-commodity edge flows in CSR form: only the (edge, rate) pairs
+/// a commodity actually routes are stored, commodity-major. Replaces the
+/// former dense K×E matrix whose zero-fill was an O(n²) allocation on every
+/// solver call. Rates are in demand units, scaled so the solution is
+/// feasible and commodity k ships theta * demand_k.
+class FlowAssignment {
+ public:
+  FlowAssignment() = default;
+
+  /// Clears the assignment and records the edge count of the graph it is
+  /// built against. `commodity_hint` / `entry_hint` pre-size the arrays.
+  void reset(int num_edges, std::size_t commodity_hint = 0,
+             std::size_t entry_hint = 0);
+
+  /// Opens the next commodity; subsequent push() calls append to it.
+  void begin_commodity();
+
+  /// Appends (edge, rate) to the current commodity (begin_commodity() must
+  /// have been called). The same edge may be pushed repeatedly (e.g. once
+  /// per FPTAS path push); call merge_duplicates() once building is done.
+  void push(topo::EdgeId e, double rate) {
+    edges_.push_back(e);
+    rates_.push_back(rate);
+    ++offsets_.back();
+    loads_built_ = false;
+  }
+
+  /// Coalesces duplicate edges within each commodity, summing rates in
+  /// first-seen order (bitwise-equal to accumulating into a dense row).
+  void merge_duplicates();
+
+  /// Same coalescing contract as merge_duplicates() but over a standalone
+  /// (edge, rate) entry list, in place — for builders that accumulate raw
+  /// pushes before assembling a FlowAssignment (Garg–Könemann compacts its
+  /// per-commodity buffers with this mid-solve). `slot_scratch` must have
+  /// one SIZE_MAX-initialized entry per edge; it is restored on return.
+  static void coalesce_entries(
+      std::vector<std::pair<topo::EdgeId, double>>& entries,
+      std::vector<std::size_t>& slot_scratch);
+
+  /// Multiplies every rate by `factor`.
+  void scale(double factor);
+
+  [[nodiscard]] std::size_t num_commodities() const {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] int num_edges() const { return num_edges_; }
+  [[nodiscard]] std::size_t num_entries() const { return edges_.size(); }
+  [[nodiscard]] bool empty() const { return num_commodities() == 0; }
+
+  /// Edges / rates of commodity k (parallel spans).
+  [[nodiscard]] std::span<const topo::EdgeId> edges(std::size_t k) const;
+  [[nodiscard]] std::span<const double> rates(std::size_t k) const;
+
+  /// Flow of commodity k on edge e; O(|entries of k|).
+  [[nodiscard]] double at(std::size_t k, topo::EdgeId e) const;
+
+  /// Aggregated per-edge load Σ_k flow[k][e]. Built lazily in
+  /// O(entries + E) on first call and cached; builders that already know the
+  /// loads (the ring closed form) populate the cache for free. Not
+  /// thread-safe: confine a FlowAssignment to one thread or copy it.
+  [[nodiscard]] const std::vector<double>& edge_loads() const;
+
+  /// Dense K×E representation, bitwise-equal to the pre-sparse solvers'
+  /// output. For golden tests and slow consumers only — allocating this is
+  /// exactly the O(K·E) cost the sparse form exists to avoid.
+  [[nodiscard]] std::vector<std::vector<double>> densify() const;
+
+  /// Hands the precomputed aggregate to the load cache (builder use).
+  void set_edge_loads(std::vector<double> loads);
+
+ private:
+  std::vector<std::size_t> offsets_{0};  // commodity k: [offsets_[k], offsets_[k+1])
+  std::vector<topo::EdgeId> edges_;
+  std::vector<double> rates_;
+  int num_edges_ = 0;
+  mutable std::vector<double> loads_;
+  mutable bool loads_built_ = false;
+};
+
 /// The result of a concurrent-flow computation.
 struct ConcurrentFlowResult {
-  double theta = 0.0;  // achieved concurrent-flow fraction
-  // flow[k][e]: flow of commodity k on edge e, in demand units, scaled so the
-  // solution is feasible and each commodity k ships theta * demand_k.
-  std::vector<std::vector<double>> flow;
+  double theta = 0.0;   // achieved concurrent-flow fraction
+  FlowAssignment flow;  // sparse per-commodity edge flows
 };
 
 }  // namespace psd::flow

@@ -6,6 +6,18 @@
 // (θ_reported ≤ θ*), and the multiplicative-weights guarantee keeps it
 // ≥ (1 − O(ε))·θ*. Exactness is cross-validated in tests against the
 // closed-form ring solver and the simplex LP.
+//
+// Hot-path structure: edge lengths (duals) only ever grow, so the length a
+// commodity's shortest path had when computed lower-bounds the current
+// shortest distance forever — a cached path whose current length is within
+// a (1+ε)^O(1) window of that distance is still an approximate shortest
+// path (Fleischer's relaxation). With warm_start the solver reuses cached
+// paths under that test instead of running Dijkstra before every push,
+// computes the initial per-commodity paths as one batch (optionally on the
+// shared util::ThreadPool), and runs recomputes on an allocation-free
+// CSR-based Dijkstra that stops as soon as the destination settles. All of
+// this is bitwise-deterministic: parallel and serial execution produce
+// identical flows.
 #pragma once
 
 #include "psd/flow/commodity.hpp"
@@ -15,6 +27,20 @@ namespace psd::flow {
 struct GargKonemannOptions {
   double epsilon = 0.05;   // accuracy knob; smaller = tighter & slower
   long long max_path_pushes = 50'000'000;  // hard safety bound
+  // Reuse each commodity's shortest path across pushes until its current
+  // length exceeds (1+ε)³·(its distance when computed). Lengths are
+  // monotone, so such a path is within (1+ε)³ of the current shortest and
+  // the approximation guarantee loses O(ε) — cross-validated against the
+  // exact solvers in tests. false restores a fresh Dijkstra per push (the
+  // pre-warm-start reference behavior, used by the golden equivalence
+  // tests; its path choices are pinned to topo::dijkstra's).
+  bool warm_start = true;
+  // Execute the initial batch of per-commodity shortest paths on the shared
+  // ThreadPool. The solves are independent and read-only over the lengths,
+  // so results are bitwise identical to serial execution; this toggles an
+  // execution strategy, not the algorithm. No effect unless warm_start is
+  // set.
+  bool parallel = true;
 };
 
 /// Approximate θ and per-commodity edge flows. Throws InvalidArgument if a
@@ -28,5 +54,19 @@ struct GargKonemannOptions {
 [[nodiscard]] ConcurrentFlowResult gk_concurrent_flow(
     const topo::Graph& g, const topo::Matching& m, Bandwidth b_ref,
     const GargKonemannOptions& opts = {});
+
+/// θ alone, skipping per-commodity flow materialization: only the O(E)
+/// aggregate load is tracked, so no K×path-length flow storage is built.
+/// Matches gk_concurrent_flow's θ to floating-point roundoff (the rescale
+/// accumulates per-edge loads in push order rather than commodity order).
+[[nodiscard]] double gk_theta_only(const topo::Graph& g,
+                                   const std::vector<Commodity>& commodities,
+                                   Bandwidth b_ref,
+                                   const GargKonemannOptions& opts = {});
+
+/// θ-only convenience overload: commodities from a matching.
+[[nodiscard]] double gk_theta_only(const topo::Graph& g, const topo::Matching& m,
+                                   Bandwidth b_ref,
+                                   const GargKonemannOptions& opts = {});
 
 }  // namespace psd::flow

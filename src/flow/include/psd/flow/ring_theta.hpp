@@ -5,7 +5,9 @@
 // link is the sum of demands whose interval covers it, and
 //   θ = min over links of capacity(e) / load(e).
 // This is the base-topology case of the paper's evaluation (single
-// transceiver per GPU ⇒ base topology is a directed ring) and is O(n + k).
+// transceiver per GPU ⇒ base topology is a directed ring) and is O(n + k)
+// for θ alone; materializing the routing additionally costs O(total path
+// hops), stored sparsely (see FlowAssignment).
 #pragma once
 
 #include <optional>
@@ -27,5 +29,19 @@ namespace psd::flow {
 /// Convenience overload: one unit-demand commodity per pair of `m`.
 [[nodiscard]] std::optional<ConcurrentFlowResult> ring_concurrent_flow(
     const topo::Graph& g, const topo::Matching& m, Bandwidth b_ref);
+
+/// θ alone, skipping flow materialization entirely: O(n + k) with no
+/// per-hop work. This is what the ThetaOracle, planner strategies and BvN
+/// loop call — they only ever read `.theta`. The value is bitwise identical
+/// to ring_concurrent_flow()'s theta.
+[[nodiscard]] std::optional<double> ring_theta_only(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref);
+
+/// θ-only convenience overload over a matching; allocates no commodity
+/// vector (reads the destination array directly).
+[[nodiscard]] std::optional<double> ring_theta_only(const topo::Graph& g,
+                                                    const topo::Matching& m,
+                                                    Bandwidth b_ref);
 
 }  // namespace psd::flow

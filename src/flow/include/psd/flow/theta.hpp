@@ -3,15 +3,28 @@
 //
 // Dispatch: empty matching → +inf (no traffic); directed ring → exact closed
 // form (O(n + k)); small instance → exact simplex LP; otherwise →
-// Garg–Könemann FPTAS. Results are cached per matching: collective
-// algorithms reuse the same patterns across steps and across bench sweeps.
+// Garg–Könemann FPTAS. θ lookups take the θ-only solver paths
+// (ring_theta_only / gk_theta_only), which never materialize per-commodity
+// flows — flow routing is only built when concurrent_flow() is called.
+// Results are cached per matching: collective algorithms reuse the same
+// patterns across steps and across bench sweeps.
 //
 // The memo table is keyed by the matching's destination vector under
 // topo::hash_destinations — a cache hit performs no heap allocation — and is
 // LRU-bounded so long bench sweeps cannot grow it without limit.
+//
+// Thread safety: theta() may be called concurrently from any number of
+// threads (the parallel planner and the GK batch path do). The cache is
+// guarded by a mutex; θ computation itself runs outside the lock, so
+// concurrent misses solve in parallel. cache_lock_contentions() counts how
+// often a thread found the lock held — observability for tuning parallel
+// sweeps. concurrent_flow() is stateless apart from the shared base graph
+// and needs no locking.
 #pragma once
 
+#include <atomic>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,7 +50,7 @@ class ThetaOracle {
   ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions opts = {});
 
   /// θ(G, M): largest common fraction of the matching's demands routable
-  /// concurrently. +infinity for an empty matching.
+  /// concurrently. +infinity for an empty matching. Thread-safe.
   [[nodiscard]] double theta(const topo::Matching& m) const;
 
   /// Full result including per-commodity edge flows (uncached).
@@ -45,12 +58,22 @@ class ThetaOracle {
 
   [[nodiscard]] const topo::Graph& base() const { return base_; }
   [[nodiscard]] Bandwidth bandwidth() const { return b_ref_; }
+  [[nodiscard]] const ThetaOptions& options() const { return opts_; }
+
+  /// All-pairs hop distances of the base topology, computed once on first
+  /// use and shared by every cost-model consumer (ProblemInstance rebuilds,
+  /// multi-port/multi-base instances). Thread-safe.
+  [[nodiscard]] const std::vector<std::vector<int>>& base_hops() const;
 
   /// Number of θ values served from cache so far (observability for tests).
-  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_hits() const;
+  [[nodiscard]] std::size_t cache_size() const;
   /// Number of entries dropped by the LRU bound.
-  [[nodiscard]] std::size_t cache_evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t cache_evictions() const;
+  /// Times a thread found the cache lock already held (contention signal).
+  [[nodiscard]] std::size_t cache_lock_contentions() const {
+    return contentions_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct DstHash {
@@ -64,16 +87,27 @@ class ThetaOracle {
   // allocation); misses insert and evict from the back once full.
   using LruList = std::list<const std::vector<int>*>;
 
+  /// θ without the cache: ring closed form, exact LP, or GK — all through
+  /// their θ-only entry points.
+  [[nodiscard]] double theta_uncached(const topo::Matching& m) const;
+
+  /// Acquires the cache lock, counting contention when it was held.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_cache() const;
+
   const topo::Graph& base_;
   Bandwidth b_ref_;
   ThetaOptions opts_;
   bool base_is_ring_;
+  mutable std::mutex cache_mutex_;
   mutable LruList lru_;
   mutable std::unordered_map<std::vector<int>,
                              std::pair<double, LruList::iterator>, DstHash>
       cache_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t evictions_ = 0;
+  mutable std::atomic<std::size_t> contentions_{0};
+  mutable std::once_flag hops_once_;
+  mutable std::vector<std::vector<int>> hops_;
 };
 
 /// The research agenda's cheap congestion proxy: an *upper bound* on θ from

@@ -5,8 +5,10 @@ namespace psd::flow {
 std::vector<Commodity> commodities_from_matching(const topo::Matching& m) {
   std::vector<Commodity> out;
   out.reserve(static_cast<std::size_t>(m.active_pairs()));
-  for (const auto& [s, d] : m.pairs()) {
-    out.push_back(Commodity{s, d, 1.0});
+  const auto& dst = m.destinations();
+  for (int s = 0; s < m.size(); ++s) {
+    const int d = dst[static_cast<std::size_t>(s)];
+    if (d != -1) out.push_back(Commodity{s, d, 1.0});
   }
   return out;
 }
@@ -19,6 +21,135 @@ std::vector<double> normalized_capacities(const topo::Graph& g, Bandwidth b_ref)
         g.edge(e).capacity.bytes_per_ns() / b_ref.bytes_per_ns();
   }
   return caps;
+}
+
+void FlowAssignment::reset(int num_edges, std::size_t commodity_hint,
+                           std::size_t entry_hint) {
+  PSD_REQUIRE(num_edges >= 0, "edge count must be non-negative");
+  offsets_.clear();
+  offsets_.reserve(commodity_hint + 1);
+  offsets_.push_back(0);
+  edges_.clear();
+  edges_.reserve(entry_hint);
+  rates_.clear();
+  rates_.reserve(entry_hint);
+  num_edges_ = num_edges;
+  loads_.clear();
+  loads_built_ = false;
+}
+
+void FlowAssignment::begin_commodity() { offsets_.push_back(edges_.size()); }
+
+void FlowAssignment::merge_duplicates() {
+  // Per commodity: keep the first occurrence of each edge and fold later
+  // occurrences into it, preserving chronological summation order. The
+  // scratch map is edge-indexed and reset via the touched list, so the whole
+  // pass is O(entries + E) with no hashing.
+  std::vector<std::size_t> slot(static_cast<std::size_t>(num_edges_),
+                                static_cast<std::size_t>(-1));
+  std::size_t write = 0;
+  std::size_t read = 0;
+  for (std::size_t k = 0; k < num_commodities(); ++k) {
+    const std::size_t end = offsets_[k + 1];
+    const std::size_t out_begin = write;
+    for (; read < end; ++read) {
+      const auto e = static_cast<std::size_t>(edges_[read]);
+      if (slot[e] == static_cast<std::size_t>(-1)) {
+        slot[e] = write;
+        edges_[write] = edges_[read];
+        rates_[write] = rates_[read];
+        ++write;
+      } else {
+        rates_[slot[e]] += rates_[read];
+      }
+    }
+    for (std::size_t i = out_begin; i < write; ++i) {
+      slot[static_cast<std::size_t>(edges_[i])] = static_cast<std::size_t>(-1);
+    }
+    offsets_[k + 1] = write;
+  }
+  edges_.resize(write);
+  rates_.resize(write);
+  loads_built_ = false;
+}
+
+void FlowAssignment::coalesce_entries(
+    std::vector<std::pair<topo::EdgeId, double>>& entries,
+    std::vector<std::size_t>& slot_scratch) {
+  // First-seen in-place merge with chronological summation — the bitwise
+  // contract the golden equivalence tests pin (see merge_duplicates, which
+  // implements the same algorithm over the CSR's parallel arrays).
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto e = static_cast<std::size_t>(entries[i].first);
+    if (slot_scratch[e] == static_cast<std::size_t>(-1)) {
+      slot_scratch[e] = write;
+      entries[write++] = entries[i];
+    } else {
+      entries[slot_scratch[e]].second += entries[i].second;
+    }
+  }
+  for (std::size_t i = 0; i < write; ++i) {
+    slot_scratch[static_cast<std::size_t>(entries[i].first)] =
+        static_cast<std::size_t>(-1);
+  }
+  entries.resize(write);
+}
+
+void FlowAssignment::scale(double factor) {
+  for (double& r : rates_) r *= factor;
+  loads_built_ = false;
+}
+
+std::span<const topo::EdgeId> FlowAssignment::edges(std::size_t k) const {
+  PSD_REQUIRE(k < num_commodities(), "commodity index out of range");
+  return {edges_.data() + offsets_[k], offsets_[k + 1] - offsets_[k]};
+}
+
+std::span<const double> FlowAssignment::rates(std::size_t k) const {
+  PSD_REQUIRE(k < num_commodities(), "commodity index out of range");
+  return {rates_.data() + offsets_[k], offsets_[k + 1] - offsets_[k]};
+}
+
+double FlowAssignment::at(std::size_t k, topo::EdgeId e) const {
+  PSD_REQUIRE(k < num_commodities(), "commodity index out of range");
+  double total = 0.0;
+  for (std::size_t i = offsets_[k]; i < offsets_[k + 1]; ++i) {
+    if (edges_[i] == e) total += rates_[i];
+  }
+  return total;
+}
+
+const std::vector<double>& FlowAssignment::edge_loads() const {
+  if (!loads_built_) {
+    loads_.assign(static_cast<std::size_t>(num_edges_), 0.0);
+    // Commodity-major accumulation: per edge, contributions sum in ascending
+    // commodity order — the same order the former dense sweep used.
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+      loads_[static_cast<std::size_t>(edges_[i])] += rates_[i];
+    }
+    loads_built_ = true;
+  }
+  return loads_;
+}
+
+void FlowAssignment::set_edge_loads(std::vector<double> loads) {
+  PSD_REQUIRE(loads.size() == static_cast<std::size_t>(num_edges_),
+              "edge load vector size mismatch");
+  loads_ = std::move(loads);
+  loads_built_ = true;
+}
+
+std::vector<std::vector<double>> FlowAssignment::densify() const {
+  std::vector<std::vector<double>> dense(
+      num_commodities(),
+      std::vector<double>(static_cast<std::size_t>(num_edges_), 0.0));
+  for (std::size_t k = 0; k < num_commodities(); ++k) {
+    for (std::size_t i = offsets_[k]; i < offsets_[k + 1]; ++i) {
+      dense[k][static_cast<std::size_t>(edges_[i])] += rates_[i];
+    }
+  }
+  return dense;
 }
 
 }  // namespace psd::flow

@@ -3,20 +3,154 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
-#include "psd/topo/shortest_path.hpp"
+#include "psd/util/thread_pool.hpp"
 
 namespace psd::flow {
 
-ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
-                                        const std::vector<Commodity>& commodities,
-                                        Bandwidth b_ref,
-                                        const GargKonemannOptions& opts) {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double current_path_length(const std::vector<topo::EdgeId>& path,
+                           const std::vector<double>& length) {
+  double total = 0.0;
+  for (topo::EdgeId e : path) total += length[static_cast<std::size_t>(e)];
+  return total;
+}
+
+/// Flat adjacency copy of the graph: the push loop runs one shortest-path
+/// query per push — tens of thousands per solve — and the Graph's
+/// vector-of-vectors adjacency plus Edge-struct hops dominated the search's
+/// memory traffic.
+struct Csr {
+  std::vector<int> head;              // size V+1
+  std::vector<topo::NodeId> to;       // neighbour of the arc
+  std::vector<topo::EdgeId> eid;      // underlying edge id
+  std::vector<int> arc_of_edge;       // inverse of eid (edges appear once)
+
+  void build(const topo::Graph& g) {
+    const int V = g.num_nodes();
+    head.assign(static_cast<std::size_t>(V) + 1, 0);
+    to.resize(static_cast<std::size_t>(g.num_edges()));
+    eid.resize(static_cast<std::size_t>(g.num_edges()));
+    arc_of_edge.resize(static_cast<std::size_t>(g.num_edges()));
+    std::size_t at = 0;
+    for (topo::NodeId v = 0; v < V; ++v) {
+      head[static_cast<std::size_t>(v)] = static_cast<int>(at);
+      // Arcs in out_edges order: the relaxation order (and therefore every
+      // tie-break) matches a loop over g.out_edges exactly.
+      for (topo::EdgeId e : g.out_edges(v)) {
+        to[at] = g.edge(e).dst;
+        eid[at] = e;
+        arc_of_edge[static_cast<std::size_t>(e)] = static_cast<int>(at);
+        ++at;
+      }
+    }
+    head[static_cast<std::size_t>(V)] = static_cast<int>(at);
+  }
+};
+
+/// Allocation-free shortest-path engine for one commodity: epoch-stamped
+/// scratch (no O(V) clears), a manual binary heap reusing its buffer, an
+/// early stop once the destination settles, and a flat CSR adjacency. The
+/// relaxation order and tie-breaks are exactly topo::dijkstra's (the CSR
+/// stores arcs in out_edges order and both use a lazy-deletion binary
+/// min-heap over (dist, node)), so the returned path is identical — the
+/// golden equivalence tests pin this.
+struct PathFinder {
+  std::vector<double> dist;
+  std::vector<topo::EdgeId> parent;
+  std::vector<unsigned> stamp;
+  unsigned epoch = 0;
+  std::vector<std::pair<double, topo::NodeId>> heap;  // (dist, node) min-heap
+
+  void touch(std::size_t v) {
+    if (stamp[v] != epoch) {
+      stamp[v] = epoch;
+      dist[v] = kInf;
+      parent[v] = -1;
+    }
+  }
+
+  static bool heap_greater(const std::pair<double, topo::NodeId>& a,
+                           const std::pair<double, topo::NodeId>& b) {
+    return a > b;
+  }
+
+  /// Returns dist(src, dst), filling `path_out` with the edge path (empty if
+  /// unreachable). Stops as soon as dst is settled: the parent chain of a
+  /// settled node is final, so the result matches a full run.
+  double shortest_path(const topo::Graph& g, const Csr& fwd, topo::NodeId src,
+                       topo::NodeId dst, const std::vector<double>& arc_length,
+                       std::vector<topo::EdgeId>& path_out) {
+    const auto n = static_cast<std::size_t>(g.num_nodes());
+    if (dist.size() != n) {
+      dist.assign(n, kInf);
+      parent.assign(n, -1);
+      stamp.assign(n, 0);
+      epoch = 0;
+    }
+    ++epoch;
+    if (epoch == 0) {  // wrapped (engines are long-lived): avoid stale stamps
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+    heap.clear();
+    path_out.clear();
+    touch(static_cast<std::size_t>(src));
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    heap.emplace_back(0.0, src);
+    double dst_dist = kInf;
+    while (!heap.empty()) {
+      const auto [d, u] = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      heap.pop_back();
+      const auto ui = static_cast<std::size_t>(u);
+      if (stamp[ui] != epoch || d > dist[ui]) continue;  // stale entry
+      if (u == dst) {
+        dst_dist = d;
+        break;
+      }
+      const int arc_end = fwd.head[ui + 1];
+      for (int i = fwd.head[ui]; i < arc_end; ++i) {
+        const auto ai = static_cast<std::size_t>(i);
+        const double nd = d + arc_length[ai];
+        const auto vi = static_cast<std::size_t>(fwd.to[ai]);
+        touch(vi);
+        if (nd < dist[vi]) {
+          dist[vi] = nd;
+          parent[vi] = fwd.eid[ai];
+          heap.emplace_back(nd, fwd.to[ai]);
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        }
+      }
+    }
+    if (dst_dist == kInf) return kInf;
+    for (topo::NodeId cur = dst; cur != src;) {
+      const topo::EdgeId e = parent[static_cast<std::size_t>(cur)];
+      path_out.push_back(e);
+      cur = g.edge(e).src;
+    }
+    std::reverse(path_out.begin(), path_out.end());
+    return dst_dist;
+  }
+};
+
+/// Shared engine for the full and θ-only entry points. When `materialize`
+/// is false no per-commodity entries are recorded; only the aggregate edge
+/// load needed for the feasibility rescale is tracked.
+ConcurrentFlowResult gk_run(const topo::Graph& g,
+                            const std::vector<Commodity>& commodities,
+                            Bandwidth b_ref, const GargKonemannOptions& opts,
+                            bool materialize) {
   PSD_REQUIRE(opts.epsilon > 0.0 && opts.epsilon < 0.5,
               "epsilon must be in (0, 0.5)");
   ConcurrentFlowResult res;
+  res.flow.reset(g.num_edges());
   if (commodities.empty()) {
-    res.theta = std::numeric_limits<double>::infinity();
+    res.theta = kInf;
     return res;
   }
   for (const auto& c : commodities) {
@@ -38,7 +172,79 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
   for (std::size_t e = 0; e < E; ++e) length[e] = delta / caps[e];
   double dual_volume = static_cast<double>(E) * delta;  // Σ c_e · l_e
 
-  res.flow.assign(K, std::vector<double>(E, 0.0));
+  Csr fwd;
+  fwd.build(g);
+  // Arc-order mirror of `length`: the Dijkstra relaxation loop reads edge
+  // lengths in arc order, so this keeps it gather-free. Updated alongside
+  // `length` on every push (a push touches only its path's edges).
+  std::vector<double> arc_length(E);
+  for (std::size_t e = 0; e < E; ++e) {
+    arc_length[static_cast<std::size_t>(fwd.arc_of_edge[e])] = length[e];
+  }
+
+  // Per-commodity cached shortest path. It stays usable while its current
+  // length is within (1+ε)³ of its distance at compute time: lengths only
+  // grow, so that distance lower-bounds the current shortest distance for
+  // all time, making any reused path a (1+ε)³-approximate shortest path —
+  // extra (1+ε) factors in Fleischer's analysis, still a (1−O(ε))
+  // guarantee (cross-validated against the exact ring/LP solvers in
+  // tests). The window must exceed one round's worst-case growth of the
+  // path — ×(1+ε) from the commodity's own saturating push plus the growth
+  // contributed by commodities sharing its edges — else it never fires and
+  // the solver degenerates to one Dijkstra per push.
+  const double reuse_window = (1.0 + eps) * (1.0 + eps) * (1.0 + eps);
+  std::vector<std::vector<topo::EdgeId>> path(K);
+  std::vector<double> reuse_bound(K, -1.0);  // window·dist at compute; -1 = none
+  std::vector<double> path_cap(K, 0.0);      // static bottleneck of path[k]
+  // One scratch engine per thread, not per commodity: scratch contents
+  // never influence results (epoch stamping isolates calls), so sharing
+  // keeps the solver's footprint O(V·threads) instead of O(V·K) while the
+  // parallel initial batch still gets race-free engines.
+  const auto recompute_path = [&](std::size_t k) {
+    static thread_local PathFinder finder;
+    const auto& c = commodities[k];
+    const double d =
+        finder.shortest_path(g, fwd, c.src, c.dst, arc_length, path[k]);
+    PSD_REQUIRE(!path[k].empty(), "commodity endpoints disconnected");
+    reuse_bound[k] = reuse_window * d;
+    double cap = kInf;
+    for (topo::EdgeId e : path[k]) {
+      cap = std::min(cap, caps[static_cast<std::size_t>(e)]);
+    }
+    path_cap[k] = cap;
+  };
+  const auto path_is_fresh = [&](std::size_t k) {
+    return reuse_bound[k] >= 0.0 &&
+           current_path_length(path[k], length) <= reuse_bound[k];
+  };
+
+  if (opts.warm_start) {
+    // Initial batch: every commodity needs a path, and the lengths are
+    // untouched, so the K solves are independent read-only jobs — run them
+    // on the shared pool. Results are bitwise identical to the serial loop
+    // (disjoint per-commodity state).
+    if (opts.parallel && K > 1) {
+      util::ThreadPool::shared().parallel_for(
+          K, [&](std::size_t k) { recompute_path(k); });
+    } else {
+      for (std::size_t k = 0; k < K; ++k) recompute_path(k);
+    }
+  }
+
+  // Raw (edge, amount) entries per commodity, merged into the CSR result
+  // at the end (a commodity's path pushes interleave with other
+  // commodities', so direct commodity-major appends are impossible). Each
+  // list is compacted in place once it exceeds 2E entries, bounding the
+  // transient footprint at O(K·E) worst case instead of O(pushes·hops);
+  // in-place first-seen merging accumulates per-edge sums in chronological
+  // order, so compaction is invisible to the bitwise golden equivalence.
+  std::vector<std::vector<std::pair<topo::EdgeId, double>>> raw;
+  std::vector<std::size_t> compact_slot;  // edge -> slot scratch
+  if (materialize) {
+    raw.resize(K);
+    compact_slot.assign(E, static_cast<std::size_t>(-1));
+  }
+  std::vector<double> load(E, 0.0);  // aggregate, for the rescale (θ-only path)
   std::vector<double> shipped(K, 0.0);
 
   long long pushes = 0;
@@ -49,21 +255,23 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
       while (remaining > 1e-15 && dual_volume < 1.0) {
         PSD_REQUIRE(++pushes <= opts.max_path_pushes,
                     "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
-        const auto dj = topo::dijkstra(g, c.src, length);
-        const auto path = topo::extract_path(g, dj, c.src, c.dst);
-        PSD_REQUIRE(!path.empty(), "commodity endpoints disconnected");
-        double bottleneck = std::numeric_limits<double>::infinity();
-        for (topo::EdgeId e : path) {
-          bottleneck = std::min(bottleneck, caps[static_cast<std::size_t>(e)]);
-        }
-        const double f = std::min(remaining, bottleneck);
-        double* flow_k = res.flow[k].data();
-        for (topo::EdgeId e : path) {
+        if (!opts.warm_start || !path_is_fresh(k)) recompute_path(k);
+        const auto& p = path[k];
+        const double f = std::min(remaining, path_cap[k]);
+        for (topo::EdgeId e : p) {
           const auto ei = static_cast<std::size_t>(e);
-          flow_k[ei] += f;
+          if (materialize) {
+            raw[k].emplace_back(e, f);
+          } else {
+            load[ei] += f;
+          }
           const double old_len = length[ei];
           length[ei] = old_len * (1.0 + eps * f / caps[ei]);
+          arc_length[static_cast<std::size_t>(fwd.arc_of_edge[ei])] = length[ei];
           dual_volume += caps[ei] * (length[ei] - old_len);
+        }
+        if (materialize && raw[k].size() > 2 * E) {
+          FlowAssignment::coalesce_entries(raw[k], compact_slot);
         }
         shipped[k] += f;
         remaining -= f;
@@ -72,13 +280,20 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
   }
 
   // Rescale to strict feasibility: divide by the worst capacity violation.
-  // Accumulate per-edge load commodity-major so each pass streams one
-  // contiguous flow row (vectorizable) instead of striding across all K.
-  std::vector<double> load(E, 0.0);
-  for (std::size_t k = 0; k < K; ++k) {
-    const double* fk = res.flow[k].data();
-    double* ld = load.data();
-    for (std::size_t e = 0; e < E; ++e) ld[e] += fk[e];
+  if (materialize) {
+    std::size_t total_entries = 0;
+    for (const auto& r : raw) total_entries += r.size();
+    res.flow.reset(g.num_edges(), K, total_entries);
+    for (std::size_t k = 0; k < K; ++k) {
+      res.flow.begin_commodity();
+      for (const auto& [e, f] : raw[k]) res.flow.push(e, f);
+    }
+    // Coalescing sums chronologically per (commodity, edge) and the load
+    // aggregate sums commodity-major per edge — both exactly the orders the
+    // former dense representation produced, so the rescaled flows densify
+    // bitwise-identically to it.
+    res.flow.merge_duplicates();
+    load = res.flow.edge_loads();
   }
   double violation = 0.0;
   for (std::size_t e = 0; e < E; ++e) {
@@ -86,13 +301,22 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
   }
   PSD_ASSERT(violation > 0.0, "GK pushed no flow despite non-empty demand");
   const double inv = 1.0 / violation;
-  double theta = std::numeric_limits<double>::infinity();
+  if (materialize) res.flow.scale(inv);
+  double theta = kInf;
   for (std::size_t k = 0; k < K; ++k) {
-    for (double& v : res.flow[k]) v *= inv;
     theta = std::min(theta, shipped[k] * inv / commodities[k].demand);
   }
   res.theta = theta;
   return res;
+}
+
+}  // namespace
+
+ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
+                                        const std::vector<Commodity>& commodities,
+                                        Bandwidth b_ref,
+                                        const GargKonemannOptions& opts) {
+  return gk_run(g, commodities, b_ref, opts, /*materialize=*/true);
 }
 
 ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
@@ -100,6 +324,18 @@ ConcurrentFlowResult gk_concurrent_flow(const topo::Graph& g,
                                         const GargKonemannOptions& opts) {
   PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
   return gk_concurrent_flow(g, commodities_from_matching(m), b_ref, opts);
+}
+
+double gk_theta_only(const topo::Graph& g,
+                     const std::vector<Commodity>& commodities, Bandwidth b_ref,
+                     const GargKonemannOptions& opts) {
+  return gk_run(g, commodities, b_ref, opts, /*materialize=*/false).theta;
+}
+
+double gk_theta_only(const topo::Graph& g, const topo::Matching& m,
+                     Bandwidth b_ref, const GargKonemannOptions& opts) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  return gk_theta_only(g, commodities_from_matching(m), b_ref, opts);
 }
 
 }  // namespace psd::flow

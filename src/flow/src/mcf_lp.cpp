@@ -11,6 +11,7 @@ ConcurrentFlowResult exact_concurrent_flow(const topo::Graph& g,
                                            const std::vector<Commodity>& commodities,
                                            Bandwidth b_ref) {
   ConcurrentFlowResult res;
+  res.flow.reset(g.num_edges());
   if (commodities.empty()) {
     res.theta = std::numeric_limits<double>::infinity();
     return res;
@@ -79,10 +80,14 @@ ConcurrentFlowResult exact_concurrent_flow(const topo::Graph& g,
   }
 
   res.theta = sol.objective_value;
-  res.flow.assign(K, std::vector<double>(E, 0.0));
+  // Simplex keeps most non-basic f_{k,e} at exactly 0.0; store only the
+  // rest. densify() reproduces the former dense matrix bitwise.
+  res.flow.reset(g.num_edges(), K);
   for (std::size_t k = 0; k < K; ++k) {
+    res.flow.begin_commodity();
     for (std::size_t e = 0; e < E; ++e) {
-      res.flow[k][e] = sol.x[k * E + e];
+      const double v = sol.x[k * E + e];
+      if (v != 0.0) res.flow.push(static_cast<topo::EdgeId>(e), v);
     }
   }
   return res;

@@ -30,14 +30,14 @@ RateAllocation concurrent_flow_allocation(const topo::Graph& g,
     as_matching.set(c.src, c.dst);
   }
   if (matching_shaped) {
-    if (auto ring = ring_concurrent_flow(g, as_matching, b_ref)) {
-      theta = ring->theta;
+    if (const auto ring = ring_theta_only(g, as_matching, b_ref)) {
+      theta = *ring;
     }
   }
   if (theta == 0.0) {
     GargKonemannOptions gk;
     gk.epsilon = epsilon;
-    theta = gk_concurrent_flow(g, commodities, b_ref, gk).theta;
+    theta = gk_theta_only(g, commodities, b_ref, gk);
   }
 
   out.rate.reserve(commodities.size());
@@ -61,7 +61,8 @@ RateAllocation max_min_fair_allocation(const topo::Graph& g,
   for (std::size_t k = 0; k < K; ++k) {
     const auto& c = commodities[k];
     PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst), "commodity node out of range");
-    const auto dj = topo::dijkstra(g, c.src, unit_len);
+    // Single-destination query: stop the search once c.dst settles.
+    const auto dj = topo::dijkstra(g, c.src, unit_len, c.dst);
     out.path[k] = topo::extract_path(g, dj, c.src, c.dst);
     PSD_REQUIRE(!out.path[k].empty(), "commodity endpoints disconnected");
   }

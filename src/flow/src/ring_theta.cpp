@@ -8,78 +8,129 @@
 
 namespace psd::flow {
 
-std::optional<ConcurrentFlowResult> ring_concurrent_flow(
-    const topo::Graph& g, const std::vector<Commodity>& commodities,
-    Bandwidth b_ref) {
-  std::vector<int> pos;  // pos[v] = index of v along the cycle from node 0
-  if (!topo::is_directed_ring(g, &pos)) return std::nullopt;
+namespace {
+
+/// Cycle layout of a validated directed ring: node_at[i] is the node at
+/// cycle position i, ring_edge[i] the edge leaving it.
+struct RingLayout {
+  std::vector<int> node_at;
+  std::vector<topo::EdgeId> ring_edge;
+};
+
+RingLayout build_layout(const topo::Graph& g, const std::vector<int>& pos) {
+  const int n = g.num_nodes();
+  RingLayout layout;
+  layout.node_at.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    layout.node_at[static_cast<std::size_t>(pos[static_cast<std::size_t>(v)])] = v;
+  }
+  layout.ring_edge.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    layout.ring_edge[static_cast<std::size_t>(i)] =
+        g.out_edges(layout.node_at[static_cast<std::size_t>(i)]).front();
+  }
+  return layout;
+}
+
+void validate_commodities(const topo::Graph& g,
+                          const std::vector<Commodity>& commodities) {
   for (const auto& c : commodities) {
     PSD_REQUIRE(g.valid_node(c.src) && g.valid_node(c.dst),
                 "commodity node out of range");
     PSD_REQUIRE(c.src != c.dst, "commodity src == dst");
     PSD_REQUIRE(c.demand > 0.0, "commodity demand must be positive");
   }
+}
 
-  const int n = g.num_nodes();
-  const auto caps = normalized_capacities(g, b_ref);
-
-  ConcurrentFlowResult res;
-  if (commodities.empty()) {
-    res.theta = std::numeric_limits<double>::infinity();
-    return res;
+/// Adds commodity (src, dst, demand) to the cyclic difference array: it
+/// loads positions pos[src] .. pos[dst]-1 (mod n).
+inline void add_interval(std::vector<double>& diff, const std::vector<int>& pos,
+                         int n, int src, int dst, double demand) {
+  const int a = pos[static_cast<std::size_t>(src)];
+  const int b = pos[static_cast<std::size_t>(dst)];
+  if (a < b) {
+    diff[static_cast<std::size_t>(a)] += demand;
+    diff[static_cast<std::size_t>(b)] -= demand;
+  } else {  // wraps past position n-1
+    diff[static_cast<std::size_t>(a)] += demand;
+    diff[static_cast<std::size_t>(n)] -= demand;
+    diff[0] += demand;
+    diff[static_cast<std::size_t>(b)] -= demand;
   }
+}
 
-  // node_at[i] = node at cycle position i; ring_edge[i] = edge leaving it.
-  std::vector<int> node_at(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) node_at[static_cast<std::size_t>(pos[static_cast<std::size_t>(v)])] = v;
-  std::vector<topo::EdgeId> ring_edge(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    ring_edge[static_cast<std::size_t>(i)] =
-        g.out_edges(node_at[static_cast<std::size_t>(i)]).front();
-  }
-
-  // Accumulate interval loads with a cyclic difference array: commodity
-  // (s, d) loads positions pos[s] .. pos[d]-1 (mod n).
-  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
-  for (const auto& c : commodities) {
-    const int a = pos[static_cast<std::size_t>(c.src)];
-    const int b = pos[static_cast<std::size_t>(c.dst)];
-    if (a < b) {
-      diff[static_cast<std::size_t>(a)] += c.demand;
-      diff[static_cast<std::size_t>(b)] -= c.demand;
-    } else {  // wraps past position n-1
-      diff[static_cast<std::size_t>(a)] += c.demand;
-      diff[static_cast<std::size_t>(n)] -= c.demand;
-      diff[0] += c.demand;
-      diff[static_cast<std::size_t>(b)] -= c.demand;
-    }
-  }
-
+/// θ from the accumulated difference array; also leaves the per-position
+/// prefix loads in `diff` (diff[i] becomes the load on ring position i).
+double scan_theta(std::vector<double>& diff, const std::vector<double>& caps,
+                  const RingLayout& layout, int n) {
   double theta = std::numeric_limits<double>::infinity();
   double load = 0.0;
   for (int i = 0; i < n; ++i) {
     load += diff[static_cast<std::size_t>(i)];
+    diff[static_cast<std::size_t>(i)] = load;
     if (load > 1e-12) {
-      const double cap = caps[static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])];
+      const double cap =
+          caps[static_cast<std::size_t>(layout.ring_edge[static_cast<std::size_t>(i)])];
       theta = std::min(theta, cap / load);
     }
   }
   PSD_ASSERT(theta < std::numeric_limits<double>::infinity(),
              "non-empty matching must load at least one ring link");
+  return theta;
+}
+
+}  // namespace
+
+std::optional<ConcurrentFlowResult> ring_concurrent_flow(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    Bandwidth b_ref) {
+  std::vector<int> pos;  // pos[v] = index of v along the cycle from node 0
+  if (!topo::is_directed_ring(g, &pos)) return std::nullopt;
+  validate_commodities(g, commodities);
+
+  const int n = g.num_nodes();
+  const auto caps = normalized_capacities(g, b_ref);
+
+  ConcurrentFlowResult res;
+  res.flow.reset(g.num_edges());
+  if (commodities.empty()) {
+    res.theta = std::numeric_limits<double>::infinity();
+    return res;
+  }
+
+  const RingLayout layout = build_layout(g, pos);
+
+  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
+  std::size_t total_hops = 0;
+  for (const auto& c : commodities) {
+    add_interval(diff, pos, n, c.src, c.dst, c.demand);
+    const int a = pos[static_cast<std::size_t>(c.src)];
+    const int b = pos[static_cast<std::size_t>(c.dst)];
+    total_hops += static_cast<std::size_t>(b > a ? b - a : n - (a - b));
+  }
+  const double theta = scan_theta(diff, caps, layout, n);
 
   res.theta = theta;
-  res.flow.assign(commodities.size(),
-                  std::vector<double>(static_cast<std::size_t>(g.num_edges()), 0.0));
-  for (std::size_t k = 0; k < commodities.size(); ++k) {
-    const auto& c = commodities[k];
+  res.flow.reset(g.num_edges(), commodities.size(), total_hops);
+  for (const auto& c : commodities) {
+    res.flow.begin_commodity();
     const double f = theta * c.demand;
     int i = pos[static_cast<std::size_t>(c.src)];
     const int end = pos[static_cast<std::size_t>(c.dst)];
     while (i != end) {
-      res.flow[k][static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])] = f;
+      res.flow.push(layout.ring_edge[static_cast<std::size_t>(i)], f);
       i = (i + 1) % n;
     }
   }
+  // The aggregate is already known from the θ scan: position i carries
+  // θ·(interval load at i). Hand it to the cache so consumers' O(E)
+  // utilization sweeps cost nothing extra.
+  std::vector<double> loads(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (int i = 0; i < n; ++i) {
+    loads[static_cast<std::size_t>(layout.ring_edge[static_cast<std::size_t>(i)])] =
+        theta * diff[static_cast<std::size_t>(i)];
+  }
+  res.flow.set_edge_loads(std::move(loads));
   return res;
 }
 
@@ -88,6 +139,48 @@ std::optional<ConcurrentFlowResult> ring_concurrent_flow(const topo::Graph& g,
                                                          Bandwidth b_ref) {
   PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
   return ring_concurrent_flow(g, commodities_from_matching(m), b_ref);
+}
+
+std::optional<double> ring_theta_only(const topo::Graph& g,
+                                      const std::vector<Commodity>& commodities,
+                                      Bandwidth b_ref) {
+  std::vector<int> pos;
+  if (!topo::is_directed_ring(g, &pos)) return std::nullopt;
+  validate_commodities(g, commodities);
+  if (commodities.empty()) return std::numeric_limits<double>::infinity();
+
+  const int n = g.num_nodes();
+  const auto caps = normalized_capacities(g, b_ref);
+  const RingLayout layout = build_layout(g, pos);
+
+  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
+  for (const auto& c : commodities) {
+    add_interval(diff, pos, n, c.src, c.dst, c.demand);
+  }
+  return scan_theta(diff, caps, layout, n);
+}
+
+std::optional<double> ring_theta_only(const topo::Graph& g,
+                                      const topo::Matching& m, Bandwidth b_ref) {
+  PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
+  std::vector<int> pos;
+  if (!topo::is_directed_ring(g, &pos)) return std::nullopt;
+  if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
+
+  const int n = g.num_nodes();
+  const auto caps = normalized_capacities(g, b_ref);
+  const RingLayout layout = build_layout(g, pos);
+
+  // Same accumulation order as commodities_from_matching would produce
+  // (ascending source), so the θ value is bitwise identical — but with no
+  // commodity-vector allocation.
+  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
+  const auto& dst = m.destinations();
+  for (int s = 0; s < n; ++s) {
+    const int d = dst[static_cast<std::size_t>(s)];
+    if (d != -1) add_interval(diff, pos, n, s, d, 1.0);
+  }
+  return scan_theta(diff, caps, layout, n);
 }
 
 }  // namespace psd::flow

@@ -6,6 +6,7 @@
 #include "psd/flow/ring_theta.hpp"
 #include "psd/topo/builders.hpp"
 #include "psd/topo/properties.hpp"
+#include "psd/topo/shortest_path.hpp"
 
 namespace psd::flow {
 
@@ -18,6 +19,33 @@ ThetaOracle::ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions 
               "cache_capacity must be at least 1");
 }
 
+std::unique_lock<std::mutex> ThetaOracle::lock_cache() const {
+  std::unique_lock<std::mutex> lk(cache_mutex_, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    contentions_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+  }
+  return lk;
+}
+
+// Stats getters take a plain lock: counting an observer's poll as
+// "contention" would pollute the very signal cache_lock_contentions()
+// exists to provide about the θ lookup path.
+std::size_t ThetaOracle::cache_hits() const {
+  const std::lock_guard<std::mutex> lk(cache_mutex_);
+  return hits_;
+}
+
+std::size_t ThetaOracle::cache_size() const {
+  const std::lock_guard<std::mutex> lk(cache_mutex_);
+  return cache_.size();
+}
+
+std::size_t ThetaOracle::cache_evictions() const {
+  const std::lock_guard<std::mutex> lk(cache_mutex_);
+  return evictions_;
+}
+
 double ThetaOracle::theta(const topo::Matching& m) const {
   PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
   if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
@@ -25,18 +53,27 @@ double ThetaOracle::theta(const topo::Matching& m) const {
   if (opts_.use_cache) {
     // Hit path: one hash of the destination vector, one splice. Neither
     // allocates — destinations() is a reference into the matching and the
-    // splice relinks an existing node.
+    // splice relinks an existing node. The lock is uncontended in
+    // single-threaded sweeps (one atomic CAS).
+    const auto lk = lock_cache();
     if (const auto it = cache_.find(m.destinations()); it != cache_.end()) {
       ++hits_;
       lru_.splice(lru_.begin(), lru_, it->second.second);
       return it->second.first;
     }
   }
-  const double value = concurrent_flow(m).theta;
+  // Compute outside the lock so concurrent misses solve in parallel.
+  const double value = theta_uncached(m);
   if (opts_.use_cache) {
+    const auto lk = lock_cache();
     const auto [it, inserted] =
         cache_.emplace(m.destinations(), std::make_pair(value, lru_.end()));
-    PSD_ASSERT(inserted, "cache miss raced an existing entry");
+    if (!inserted) {
+      // Another thread computed the same matching first. θ is a pure
+      // function of the matching, so the values agree; just refresh LRU.
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      return it->second.first;
+    }
     lru_.push_front(&it->first);
     it->second.second = lru_.begin();
     if (cache_.size() > opts_.cache_capacity) {
@@ -50,6 +87,24 @@ double ThetaOracle::theta(const topo::Matching& m) const {
     }
   }
   return value;
+}
+
+double ThetaOracle::theta_uncached(const topo::Matching& m) const {
+  if (base_is_ring_) {
+    // θ-only closed form: no flow materialization, no commodity vector.
+    const auto ring = ring_theta_only(base_, m, b_ref_);
+    PSD_ASSERT(ring.has_value(), "ring dispatch inconsistent with builder check");
+    return *ring;
+  }
+  const auto commodities = commodities_from_matching(m);
+  const std::size_t lp_vars =
+      commodities.size() * static_cast<std::size_t>(base_.num_edges());
+  if (lp_vars <= opts_.exact_var_limit) {
+    return exact_concurrent_flow(base_, commodities, b_ref_).theta;
+  }
+  GargKonemannOptions gk;
+  gk.epsilon = opts_.epsilon;
+  return gk_theta_only(base_, commodities, b_ref_, gk);
 }
 
 ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const {
@@ -68,6 +123,11 @@ ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const
   GargKonemannOptions gk;
   gk.epsilon = opts_.epsilon;
   return gk_concurrent_flow(base_, commodities, b_ref_, gk);
+}
+
+const std::vector<std::vector<int>>& ThetaOracle::base_hops() const {
+  std::call_once(hops_once_, [&] { hops_ = topo::all_pairs_hops(base_); });
+  return hops_;
 }
 
 double theta_upper_bound_hop_capacity(const topo::Graph& g,

@@ -96,6 +96,7 @@ class FlowLevelSimulator {
     double theta = 0.0;
     double max_util = 0.0;
     long long events = 0;
+    int max_hops = 0;  // longest routed path among the step's flows
   };
 
   /// Simulates one step's flows on `g`, starting at queue time 0 (relative).

@@ -44,16 +44,25 @@ FlowLevelSimulator::StepOutcome FlowLevelSimulator::simulate_step(
   if (commodities.empty()) return out;
   const Bandwidth b = config_.params.b;
   const double bpn = b.bytes_per_ns();
-  const auto hops_all = topo::all_pairs_hops(g);
 
+  // Per-flow hop counts without an all-pairs sweep: a direct circuit is one
+  // hop (the common case once the fabric matches the step), otherwise one
+  // BFS from the flow's source — sources are distinct in a matching, so
+  // this is at most K single-source searches instead of n.
   std::vector<ActiveFlow> flows(commodities.size());
   for (std::size_t k = 0; k < commodities.size(); ++k) {
+    const auto& c = commodities[k];
     flows[k].commodity = static_cast<int>(k);
     flows[k].remaining = step.volume.count();
-    flows[k].hops = hops_all[static_cast<std::size_t>(commodities[k].src)]
-                            [static_cast<std::size_t>(commodities[k].dst)];
+    if (g.find_edge(c.src, c.dst) != -1) {
+      flows[k].hops = 1;
+    } else {
+      const auto bh = topo::bfs_hops(g, c.src);
+      flows[k].hops = bh[static_cast<std::size_t>(c.dst)];
+    }
     PSD_REQUIRE(flows[k].hops != topo::kUnreachable,
                 "flow endpoints disconnected in the current topology");
+    out.max_hops = std::max(out.max_hops, flows[k].hops);
   }
 
   const auto caps = flow::normalized_capacities(g, b);
@@ -77,10 +86,8 @@ FlowLevelSimulator::StepOutcome FlowLevelSimulator::simulate_step(
             theta * c.demand / caps[static_cast<std::size_t>(e)];
       }
     } else {
-      const auto alloc =
-          flow::concurrent_flow_allocation(g, commodities, b, config_.gk_epsilon);
-      theta = alloc.rate.front() / commodities.front().demand;
-      // Utilization from the θ-feasible routing when available.
+      // One concurrent-flow solve serves both the rate (θ) and the
+      // utilization sweep — this used to run the solver twice per step.
       flow::ConcurrentFlowResult cf;
       if (auto ring = flow::ring_concurrent_flow(g, step.matching, b)) {
         cf = *std::move(ring);
@@ -88,10 +95,10 @@ FlowLevelSimulator::StepOutcome FlowLevelSimulator::simulate_step(
         cf = flow::gk_concurrent_flow(g, commodities, b,
                                       {.epsilon = config_.gk_epsilon});
       }
+      theta = cf.theta;
+      const auto& load = cf.flow.edge_loads();
       for (std::size_t e = 0; e < caps.size(); ++e) {
-        double load = 0.0;
-        for (std::size_t k = 0; k < cf.flow.size(); ++k) load += cf.flow[k][e];
-        util[e] = load / caps[e];
+        util[e] = load[e] / caps[e];
       }
     }
     out.theta = theta;
@@ -259,13 +266,9 @@ SimResult FlowLevelSimulator::run(const collective::CollectiveSchedule& schedule
     trace.max_link_utilization = outcome.max_util;
     trace.end = trace.comm_start + outcome.duration;
     result.flow_completion_events += outcome.events;
-    int max_hops = 0;
-    const auto hops_all = topo::all_pairs_hops(topology);
-    for (const auto& [s, d] : step.matching.pairs()) {
-      max_hops = std::max(
-          max_hops, hops_all[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]);
-    }
-    trace.max_hops = max_hops;
+    // The step's flows are exactly the matching's pairs, so simulate_step
+    // already knows the longest routed path — no second hop sweep.
+    trace.max_hops = outcome.max_hops;
 
     clock = trace.end;
     result.steps.push_back(std::move(trace));

@@ -27,9 +27,14 @@ struct DijkstraResult {
 
 /// Dijkstra from `src` with per-edge lengths `edge_length` (size num_edges,
 /// all >= 0). Infinite lengths (std::numeric_limits<double>::infinity())
-/// effectively delete edges.
+/// effectively delete edges. If `stop_at` is a valid node, the search stops
+/// once that node is settled: dist[stop_at] and the parent chain from it
+/// are final (and identical to a full run), other nodes may be unsettled —
+/// use it for single-destination queries on large graphs. (Garg–Könemann
+/// has its own allocation-free engine with the same early stop.)
 [[nodiscard]] DijkstraResult dijkstra(const Graph& g, NodeId src,
-                                      const std::vector<double>& edge_length);
+                                      const std::vector<double>& edge_length,
+                                      NodeId stop_at = -1);
 
 /// Reconstructs the edge path src -> dst from a Dijkstra result; empty if
 /// dst is unreachable (or dst == src).

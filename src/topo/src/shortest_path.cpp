@@ -34,7 +34,7 @@ std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
 }
 
 DijkstraResult dijkstra(const Graph& g, NodeId src,
-                        const std::vector<double>& edge_length) {
+                        const std::vector<double>& edge_length, NodeId stop_at) {
   PSD_REQUIRE(g.valid_node(src), "dijkstra source out of range");
   PSD_REQUIRE(edge_length.size() == static_cast<std::size_t>(g.num_edges()),
               "edge_length must have one entry per edge");
@@ -53,6 +53,9 @@ DijkstraResult dijkstra(const Graph& g, NodeId src,
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > res.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    // Settled nodes and the parent chain leading to them are final, so an
+    // early stop returns the same dist/path for stop_at as a full run.
+    if (u == stop_at) break;
     for (EdgeId e : g.out_edges(u)) {
       const double len = edge_length[static_cast<std::size_t>(e)];
       PSD_ASSERT(len >= 0.0 || std::isinf(len), "edge lengths must be non-negative");

@@ -1,0 +1,84 @@
+// A small fixed-size worker pool for the solver hot paths: batched Dijkstra
+// recomputes in Garg–Könemann, the planner's four strategies, and θ-cache
+// prewarming all fan out through it.
+//
+// Design constraints, in order:
+//   1. Determinism — callers must produce bitwise-identical results whether
+//      work runs on the pool or inline. The pool therefore only *executes*
+//      independent tasks; it never reorders observable side effects.
+//   2. No nested blocking — a task that itself calls parallel_for() or
+//      submit() from a worker thread runs that work inline (tracked by a
+//      thread_local flag), so the pool cannot deadlock on itself.
+//   3. Exceptions propagate — submit() returns a std::future; parallel_for()
+//      rethrows the first task exception in the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace psd::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// True in code currently executing on one of this process's pool workers
+  /// (any pool). Used to collapse nested parallelism to inline execution.
+  [[nodiscard]] static bool on_worker_thread();
+
+  /// Process-wide pool sized to the hardware concurrency, created on first
+  /// use. Solver code paths share it so a sweep does not oversubscribe the
+  /// machine with per-call pools.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Schedules `fn` and returns its future. Called from a worker thread,
+  /// runs inline instead (the future is already satisfied on return).
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires copyable targets and
+    // packaged_task is move-only.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    if (on_worker_thread() || workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for every i in [0, n), distributing across the workers and
+  /// blocking until all complete. The calling thread participates. Tasks
+  /// must be independent: the iteration order is unspecified. Rethrows the
+  /// first exception thrown by any fn(i). From a worker thread (or a
+  /// single-worker pool) everything runs inline in index order.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace psd::util

@@ -1,0 +1,112 @@
+#include "psd/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace psd::util {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || on_worker_thread() || size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor; workers and the calling thread claim indices until done.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto batch = std::make_shared<Batch>();
+
+  auto run_chunk = [batch, n, &fn] {
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(batch->error_mutex);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lk(batch->done_mutex);
+        batch->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(n - 1, size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // Workers share fn by reference; the barrier below keeps it alive.
+    enqueue(run_chunk);
+  }
+  run_chunk();  // calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lk(batch->done_mutex);
+    batch->done_cv.wait(lk, [&] {
+      return batch->done.load(std::memory_order_acquire) == n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace psd::util

@@ -1,0 +1,304 @@
+// Golden equivalence of the sparse FlowAssignment against the pre-refactor
+// dense K×E flow representation: the in-test reference solvers below
+// re-implement the *original* dense algorithms verbatim (interval fill for
+// the ring closed form, a fresh full Dijkstra per push for Garg–Könemann),
+// and the sparse results must densify to bitwise-identical matrices.
+#include "psd/flow/commodity.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/mcf_lp.hpp"
+#include "psd/flow/ring_theta.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/shortest_path.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::flow {
+namespace {
+
+using topo::Matching;
+
+TEST(FlowAssignment, BuildAccessorsAndDensify) {
+  FlowAssignment fa;
+  fa.reset(4);
+  fa.begin_commodity();
+  fa.push(1, 0.5);
+  fa.push(3, 0.25);
+  fa.begin_commodity();  // empty commodity
+  fa.begin_commodity();
+  fa.push(0, 1.0);
+
+  ASSERT_EQ(fa.num_commodities(), 3u);
+  EXPECT_EQ(fa.num_edges(), 4);
+  EXPECT_EQ(fa.num_entries(), 3u);
+  EXPECT_FALSE(fa.empty());
+
+  ASSERT_EQ(fa.edges(0).size(), 2u);
+  EXPECT_EQ(fa.edges(0)[0], 1);
+  EXPECT_EQ(fa.rates(0)[1], 0.25);
+  EXPECT_EQ(fa.edges(1).size(), 0u);
+  EXPECT_EQ(fa.at(0, 3), 0.25);
+  EXPECT_EQ(fa.at(0, 2), 0.0);
+  EXPECT_EQ(fa.at(2, 0), 1.0);
+
+  const auto dense = fa.densify();
+  ASSERT_EQ(dense.size(), 3u);
+  EXPECT_EQ(dense[0][1], 0.5);
+  EXPECT_EQ(dense[0][3], 0.25);
+  EXPECT_EQ(dense[1][2], 0.0);
+  EXPECT_EQ(dense[2][0], 1.0);
+}
+
+TEST(FlowAssignment, MergeDuplicatesSumsChronologically) {
+  FlowAssignment fa;
+  fa.reset(3);
+  fa.begin_commodity();
+  fa.push(2, 1.0);
+  fa.push(0, 0.5);
+  fa.push(2, 0.25);
+  fa.push(2, 0.125);
+  fa.begin_commodity();
+  fa.push(2, 3.0);
+  fa.merge_duplicates();
+
+  ASSERT_EQ(fa.num_entries(), 3u);
+  EXPECT_EQ(fa.at(0, 2), 1.0 + 0.25 + 0.125);
+  EXPECT_EQ(fa.at(0, 0), 0.5);
+  EXPECT_EQ(fa.at(1, 2), 3.0);
+}
+
+TEST(FlowAssignment, ScaleAndEdgeLoads) {
+  FlowAssignment fa;
+  fa.reset(2);
+  fa.begin_commodity();
+  fa.push(0, 1.0);
+  fa.begin_commodity();
+  fa.push(0, 2.0);
+  fa.push(1, 4.0);
+  fa.scale(0.5);
+
+  const auto& loads = fa.edge_loads();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 1.5);
+  EXPECT_DOUBLE_EQ(loads[1], 2.0);
+  // scale invalidates the cached loads
+  fa.scale(2.0);
+  EXPECT_DOUBLE_EQ(fa.edge_loads()[0], 3.0);
+}
+
+TEST(FlowAssignment, EdgeLoadsMatchDensifyColumnSums) {
+  const auto g = topo::directed_ring(12, gbps(800));
+  psd::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto perm = rng.permutation(12);
+    Matching m(12);
+    for (int j = 0; j < 12; ++j) {
+      if (perm[static_cast<std::size_t>(j)] != j) m.set(j, perm[static_cast<std::size_t>(j)]);
+    }
+    if (m.active_pairs() == 0) continue;
+    const auto res = ring_concurrent_flow(g, m, gbps(800));
+    ASSERT_TRUE(res.has_value());
+    const auto dense = res->flow.densify();
+    const auto& loads = res->flow.edge_loads();
+    for (int e = 0; e < g.num_edges(); ++e) {
+      double col = 0.0;
+      for (const auto& row : dense) col += row[static_cast<std::size_t>(e)];
+      EXPECT_NEAR(loads[static_cast<std::size_t>(e)], col, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor dense reference solvers.
+
+/// The original ring closed form: dense K×E matrix, interval fill.
+std::vector<std::vector<double>> dense_ring_reference(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    double* theta_out) {
+  std::vector<int> pos;
+  EXPECT_TRUE(topo::is_directed_ring(g, &pos));
+  const int n = g.num_nodes();
+  const auto caps = normalized_capacities(g, gbps(800));
+  std::vector<int> node_at(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) node_at[static_cast<std::size_t>(pos[static_cast<std::size_t>(v)])] = v;
+  std::vector<topo::EdgeId> ring_edge(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ring_edge[static_cast<std::size_t>(i)] = g.out_edges(node_at[static_cast<std::size_t>(i)]).front();
+  }
+  std::vector<double> diff(static_cast<std::size_t>(n) + 1, 0.0);
+  for (const auto& c : commodities) {
+    const int a = pos[static_cast<std::size_t>(c.src)];
+    const int b = pos[static_cast<std::size_t>(c.dst)];
+    if (a < b) {
+      diff[static_cast<std::size_t>(a)] += c.demand;
+      diff[static_cast<std::size_t>(b)] -= c.demand;
+    } else {
+      diff[static_cast<std::size_t>(a)] += c.demand;
+      diff[static_cast<std::size_t>(n)] -= c.demand;
+      diff[0] += c.demand;
+      diff[static_cast<std::size_t>(b)] -= c.demand;
+    }
+  }
+  double theta = std::numeric_limits<double>::infinity();
+  double load = 0.0;
+  for (int i = 0; i < n; ++i) {
+    load += diff[static_cast<std::size_t>(i)];
+    if (load > 1e-12) {
+      theta = std::min(theta, caps[static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])] / load);
+    }
+  }
+  *theta_out = theta;
+  std::vector<std::vector<double>> flow(
+      commodities.size(),
+      std::vector<double>(static_cast<std::size_t>(g.num_edges()), 0.0));
+  for (std::size_t k = 0; k < commodities.size(); ++k) {
+    const auto& c = commodities[k];
+    const double f = theta * c.demand;
+    int i = pos[static_cast<std::size_t>(c.src)];
+    const int end = pos[static_cast<std::size_t>(c.dst)];
+    while (i != end) {
+      flow[k][static_cast<std::size_t>(ring_edge[static_cast<std::size_t>(i)])] = f;
+      i = (i + 1) % n;
+    }
+  }
+  return flow;
+}
+
+/// The original Garg–Könemann: dense K×E accumulation, a fresh full
+/// topo::dijkstra before every push, commodity-major load aggregation.
+std::vector<std::vector<double>> dense_gk_reference(
+    const topo::Graph& g, const std::vector<Commodity>& commodities,
+    double epsilon, double* theta_out) {
+  const std::size_t K = commodities.size();
+  const std::size_t E = static_cast<std::size_t>(g.num_edges());
+  const auto caps = normalized_capacities(g, gbps(800));
+  const double eps = epsilon;
+  const double delta = std::pow(static_cast<double>(E) / (1.0 - eps), -1.0 / eps);
+  std::vector<double> length(E);
+  for (std::size_t e = 0; e < E; ++e) length[e] = delta / caps[e];
+  double dual_volume = static_cast<double>(E) * delta;
+  std::vector<std::vector<double>> flow(K, std::vector<double>(E, 0.0));
+  std::vector<double> shipped(K, 0.0);
+  while (dual_volume < 1.0) {
+    for (std::size_t k = 0; k < K && dual_volume < 1.0; ++k) {
+      const auto& c = commodities[k];
+      double remaining = c.demand;
+      while (remaining > 1e-15 && dual_volume < 1.0) {
+        const auto dj = topo::dijkstra(g, c.src, length);
+        const auto path = topo::extract_path(g, dj, c.src, c.dst);
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (topo::EdgeId e : path) {
+          bottleneck = std::min(bottleneck, caps[static_cast<std::size_t>(e)]);
+        }
+        const double f = std::min(remaining, bottleneck);
+        for (topo::EdgeId e : path) {
+          const auto ei = static_cast<std::size_t>(e);
+          flow[k][ei] += f;
+          const double old_len = length[ei];
+          length[ei] = old_len * (1.0 + eps * f / caps[ei]);
+          dual_volume += caps[ei] * (length[ei] - old_len);
+        }
+        shipped[k] += f;
+        remaining -= f;
+      }
+    }
+  }
+  std::vector<double> load(E, 0.0);
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t e = 0; e < E; ++e) load[e] += flow[k][e];
+  }
+  double violation = 0.0;
+  for (std::size_t e = 0; e < E; ++e) {
+    violation = std::max(violation, load[e] / caps[e]);
+  }
+  const double inv = 1.0 / violation;
+  double theta = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < K; ++k) {
+    for (double& v : flow[k]) v *= inv;
+    theta = std::min(theta, shipped[k] * inv / commodities[k].demand);
+  }
+  *theta_out = theta;
+  return flow;
+}
+
+TEST(FlowAssignmentGolden, RingDensifiesToPreRefactorDenseFlows) {
+  psd::Rng rng(2024);
+  const int n = 16;
+  const auto g = topo::directed_ring(n, gbps(800));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto perm = rng.permutation(n);
+    Matching m(n);
+    for (int j = 0; j < n; ++j) {
+      if (perm[static_cast<std::size_t>(j)] != j) m.set(j, perm[static_cast<std::size_t>(j)]);
+    }
+    if (m.active_pairs() == 0) continue;
+    const auto commodities = commodities_from_matching(m);
+    const auto sparse = ring_concurrent_flow(g, commodities, gbps(800));
+    ASSERT_TRUE(sparse.has_value());
+    double ref_theta = 0.0;
+    const auto ref = dense_ring_reference(g, commodities, &ref_theta);
+    EXPECT_EQ(sparse->theta, ref_theta);  // bitwise
+    const auto dense = sparse->flow.densify();
+    ASSERT_EQ(dense.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      for (std::size_t e = 0; e < ref[k].size(); ++e) {
+        EXPECT_EQ(dense[k][e], ref[k][e]) << "k=" << k << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(FlowAssignmentGolden, ColdGkDensifiesToPreRefactorDenseFlows) {
+  // torus fixture: the GK path is what non-ring topologies take.
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  const auto m = Matching::rotation(16, 5);
+  const auto commodities = commodities_from_matching(m);
+  const GargKonemannOptions cold{.epsilon = 0.1, .warm_start = false};
+  const auto sparse = gk_concurrent_flow(g, commodities, gbps(800), cold);
+  double ref_theta = 0.0;
+  const auto ref = dense_gk_reference(g, commodities, 0.1, &ref_theta);
+  EXPECT_EQ(sparse.theta, ref_theta);  // bitwise
+  const auto dense = sparse.flow.densify();
+  ASSERT_EQ(dense.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    for (std::size_t e = 0; e < ref[k].size(); ++e) {
+      EXPECT_EQ(dense[k][e], ref[k][e]) << "k=" << k << " e=" << e;
+    }
+  }
+}
+
+TEST(FlowAssignmentGolden, ColdGkReferenceAlsoMatchesOnRing) {
+  const auto g = topo::directed_ring(12, gbps(800));
+  const auto m = Matching::rotation(12, 5);
+  const auto commodities = commodities_from_matching(m);
+  const GargKonemannOptions cold{.epsilon = 0.05, .warm_start = false};
+  const auto sparse = gk_concurrent_flow(g, commodities, gbps(800), cold);
+  double ref_theta = 0.0;
+  const auto ref = dense_gk_reference(g, commodities, 0.05, &ref_theta);
+  EXPECT_EQ(sparse.theta, ref_theta);
+  const auto dense = sparse.flow.densify();
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    for (std::size_t e = 0; e < ref[k].size(); ++e) {
+      EXPECT_EQ(dense[k][e], ref[k][e]);
+    }
+  }
+}
+
+TEST(FlowAssignmentGolden, LpFlowsDensifyConsistently) {
+  const auto g = topo::bidirectional_ring(4, gbps(800));
+  const auto res = exact_concurrent_flow(g, Matching::rotation(4, 1), gbps(800));
+  const auto dense = res.flow.densify();
+  const auto& loads = res.flow.edge_loads();
+  for (int e = 0; e < g.num_edges(); ++e) {
+    double col = 0.0;
+    for (const auto& row : dense) col += row[static_cast<std::size_t>(e)];
+    EXPECT_NEAR(loads[static_cast<std::size_t>(e)], col, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace psd::flow

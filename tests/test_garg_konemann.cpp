@@ -55,10 +55,10 @@ TEST(GargKonemann, FlowsAreStrictlyFeasible) {
   const auto m = Matching::rotation(12, 5);
   const auto gk = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
   const auto caps = normalized_capacities(g, gbps(800));
+  const auto& loads = gk.flow.edge_loads();
   for (int e = 0; e < g.num_edges(); ++e) {
-    double load = 0.0;
-    for (const auto& f : gk.flow) load += f[static_cast<std::size_t>(e)];
-    EXPECT_LE(load, caps[static_cast<std::size_t>(e)] + 1e-9);
+    EXPECT_LE(loads[static_cast<std::size_t>(e)],
+              caps[static_cast<std::size_t>(e)] + 1e-9);
   }
 }
 
@@ -147,6 +147,102 @@ TEST_P(GkRandomGraphP, MatchesExactLpOnRandomDigraphs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GkRandomGraphP, ::testing::Range(0, 12));
+
+TEST(GargKonemannWarmStart, MatchesColdExactlyOnDirectedRing) {
+  // On a directed ring every commodity has exactly one path, so path reuse
+  // cannot change any routing decision: warm and cold must produce the same
+  // push sequence and θ to the last bit (the satellite acceptance asks for
+  // 1e-9; bitwise is stronger).
+  const auto g = topo::directed_ring(12, gbps(800));
+  psd::Rng rng(31337);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto perm = rng.permutation(12);
+    Matching m(12);
+    for (int j = 0; j < 12; ++j) {
+      if (perm[static_cast<std::size_t>(j)] != j) {
+        m.set(j, perm[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (m.active_pairs() == 0) continue;
+    const auto warm = gk_concurrent_flow(g, m, gbps(800),
+                                         {.epsilon = kEps, .warm_start = true});
+    const auto cold = gk_concurrent_flow(g, m, gbps(800),
+                                         {.epsilon = kEps, .warm_start = false});
+    EXPECT_NEAR(warm.theta, cold.theta, 1e-9);
+    EXPECT_EQ(warm.theta, cold.theta);  // bitwise: unique paths
+    const auto dw = warm.flow.densify();
+    const auto dc = cold.flow.densify();
+    ASSERT_EQ(dw.size(), dc.size());
+    for (std::size_t k = 0; k < dw.size(); ++k) {
+      for (std::size_t e = 0; e < dw[k].size(); ++e) {
+        EXPECT_EQ(dw[k][e], dc[k][e]);
+      }
+    }
+  }
+}
+
+TEST(GargKonemannWarmStart, StaysWithinGuaranteeOnTorus) {
+  // Path reuse weakens the per-push shortest-path approximation to (1+ε)³;
+  // the end-to-end θ must still satisfy the FPTAS bound against cold GK's
+  // certified value (both are ≤ θ* by the feasibility rescale).
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  for (int rot : {1, 3, 5, 7}) {
+    const auto m = Matching::rotation(16, rot);
+    const auto warm = gk_concurrent_flow(g, m, gbps(800),
+                                         {.epsilon = kEps, .warm_start = true});
+    const auto cold = gk_concurrent_flow(g, m, gbps(800),
+                                         {.epsilon = kEps, .warm_start = false});
+    EXPECT_LE(std::abs(warm.theta - cold.theta), 3.0 * kEps * cold.theta)
+        << "rot=" << rot;
+  }
+}
+
+TEST(GargKonemannWarmStart, ThetaOnlyMatchesFullResult) {
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  const auto m = Matching::rotation(16, 5);
+  for (bool warm : {true, false}) {
+    const GargKonemannOptions opts{.epsilon = kEps, .warm_start = warm};
+    const auto full = gk_concurrent_flow(g, m, gbps(800), opts);
+    const double theta_only = gk_theta_only(g, m, gbps(800), opts);
+    // θ-only aggregates loads in push order rather than commodity order, so
+    // the rescale can differ by roundoff but nothing more.
+    EXPECT_NEAR(theta_only, full.theta, 1e-12) << "warm=" << warm;
+  }
+}
+
+TEST(GargKonemannWarmStart, ParallelExecutionIsBitwiseIdentical) {
+  // `parallel` toggles where the initial path batch runs, not what it
+  // computes: per-commodity state is disjoint and lengths are read-only
+  // during the batch.
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  const auto m = Matching::rotation(16, 7);
+  const auto par = gk_concurrent_flow(
+      g, m, gbps(800), {.epsilon = kEps, .warm_start = true, .parallel = true});
+  const auto ser = gk_concurrent_flow(
+      g, m, gbps(800), {.epsilon = kEps, .warm_start = true, .parallel = false});
+  EXPECT_EQ(par.theta, ser.theta);
+  const auto dp = par.flow.densify();
+  const auto ds = ser.flow.densify();
+  ASSERT_EQ(dp.size(), ds.size());
+  for (std::size_t k = 0; k < dp.size(); ++k) {
+    for (std::size_t e = 0; e < dp[k].size(); ++e) {
+      EXPECT_EQ(dp[k][e], ds[k][e]);
+    }
+  }
+}
+
+TEST(GargKonemannWarmStart, DisconnectedThrowsWithWarmStart) {
+  topo::Graph g(3);
+  g.add_edge(0, 1, gbps(800));
+  g.add_edge(1, 0, gbps(800));
+  g.add_edge(2, 0, gbps(800));
+  EXPECT_THROW((void)gk_concurrent_flow(g, {{0, 2, 1.0}}, gbps(800),
+                                        {.warm_start = true}),
+               psd::InvalidArgument);
+  EXPECT_THROW((void)gk_theta_only(g, {{0, 2, 1.0}}, gbps(800),
+                                   {.warm_start = true, .parallel = true}),
+               psd::InvalidArgument);
+}
 
 TEST(GargKonemann, HeterogeneousDemands) {
   // Demand-2 commodity halves its θ relative to demand-1 on a shared link.

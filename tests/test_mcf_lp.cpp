@@ -18,7 +18,7 @@ TEST(McfLp, SingleCommodityDirectEdge) {
   g.add_edge(0, 1, gbps(800));
   const auto res = exact_concurrent_flow(g, {{0, 1, 1.0}}, gbps(800));
   EXPECT_NEAR(res.theta, 1.0, 1e-8);
-  EXPECT_NEAR(res.flow[0][0], 1.0, 1e-8);
+  EXPECT_NEAR(res.flow.at(0, 0), 1.0, 1e-8);
 }
 
 TEST(McfLp, ParallelEdgesDoubleThroughput) {
@@ -114,10 +114,10 @@ TEST(McfLp, FlowsSatisfyCapacities) {
   const auto g = topo::bidirectional_ring(5, gbps(800));
   const auto res = exact_concurrent_flow(g, Matching::rotation(5, 2), gbps(800));
   const auto caps = normalized_capacities(g, gbps(800));
+  const auto& loads = res.flow.edge_loads();
   for (int e = 0; e < g.num_edges(); ++e) {
-    double load = 0.0;
-    for (const auto& f : res.flow) load += f[static_cast<std::size_t>(e)];
-    EXPECT_LE(load, caps[static_cast<std::size_t>(e)] + 1e-6);
+    EXPECT_LE(loads[static_cast<std::size_t>(e)],
+              caps[static_cast<std::size_t>(e)] + 1e-6);
   }
 }
 

@@ -32,6 +32,51 @@ TEST(Planner, ProducesAllPlans) {
             result.optimal.total_time().ns() - 1e-6);
 }
 
+TEST(Planner, ParallelPlanIdenticalToSerial) {
+  // The four strategies are pure functions of the instance and θ is a pure
+  // function of each matching, so the parallel execution path must
+  // reproduce the serial plan exactly — every choice and every breakdown
+  // term.
+  const auto base = topo::directed_ring(16, gbps(800));
+  const auto sched = collective::halving_doubling_allreduce(16, mib(16));
+  Planner serial(base, paper_params(microseconds(10)), {}, {.parallel = false});
+  Planner parallel(base, paper_params(microseconds(10)), {}, {.parallel = true});
+  const auto rs = serial.plan(sched);
+  const auto rp = parallel.plan(sched);
+
+  const auto expect_same = [](const ReconfigPlan& a, const ReconfigPlan& b) {
+    ASSERT_EQ(a.choice.size(), b.choice.size());
+    for (std::size_t i = 0; i < a.choice.size(); ++i) {
+      EXPECT_EQ(a.choice[i], b.choice[i]) << "step " << i;
+    }
+    EXPECT_EQ(a.total_time().ns(), b.total_time().ns());
+    EXPECT_EQ(a.num_reconfigurations, b.num_reconfigurations);
+    EXPECT_EQ(a.breakdown.serialization.ns(), b.breakdown.serialization.ns());
+    EXPECT_EQ(a.breakdown.reconfiguration.ns(), b.breakdown.reconfiguration.ns());
+  };
+  expect_same(rs.optimal, rp.optimal);
+  expect_same(rs.static_base, rp.static_base);
+  expect_same(rs.naive_bvn, rp.naive_bvn);
+  expect_same(rs.greedy, rp.greedy);
+}
+
+TEST(Planner, ParallelPlanIdenticalToSerialOnNonRingBase) {
+  // Torus base: θ goes through the LP/FPTAS ladder instead of the ring
+  // closed form — exercises the parallel cache prewarm on the slow path.
+  const auto base = topo::torus_2d(4, 4, gbps(800));
+  const auto sched = collective::alltoall_transpose(16, mib(4));
+  Planner serial(base, paper_params(microseconds(1)), {}, {.parallel = false});
+  Planner parallel(base, paper_params(microseconds(1)), {}, {.parallel = true});
+  const auto rs = serial.plan(sched);
+  const auto rp = parallel.plan(sched);
+  EXPECT_EQ(rs.optimal.total_time().ns(), rp.optimal.total_time().ns());
+  EXPECT_EQ(rs.greedy.total_time().ns(), rp.greedy.total_time().ns());
+  ASSERT_EQ(rs.optimal.choice.size(), rp.optimal.choice.size());
+  for (std::size_t i = 0; i < rs.optimal.choice.size(); ++i) {
+    EXPECT_EQ(rs.optimal.choice[i], rp.optimal.choice[i]);
+  }
+}
+
 TEST(Planner, SpeedupDefinitionsConsistent) {
   Planner planner(topo::directed_ring(8, gbps(800)),
                   paper_params(microseconds(1)));

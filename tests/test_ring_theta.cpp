@@ -57,11 +57,9 @@ TEST(RingTheta, DenseExchangeCongests) {
   // carries 4 of them minus boundary effects. Verify against brute force.
   double max_load = 0.0;
   const auto caps = normalized_capacities(g, gbps(800));
+  const auto& loads = res->flow.edge_loads();
   for (int e = 0; e < g.num_edges(); ++e) {
-    double load = 0.0;
-    for (std::size_t k = 0; k < res->flow.size(); ++k) {
-      load += res->flow[k][static_cast<std::size_t>(e)];
-    }
+    const double load = loads[static_cast<std::size_t>(e)];
     EXPECT_LE(load, caps[static_cast<std::size_t>(e)] + 1e-9);
     max_load = std::max(max_load, load);
   }
@@ -95,6 +93,7 @@ TEST(RingTheta, EmptyMatchingIsInfinite) {
   ASSERT_TRUE(res.has_value());
   EXPECT_TRUE(std::isinf(res->theta));
   EXPECT_TRUE(res->flow.empty());
+  EXPECT_EQ(res->flow.num_entries(), 0u);
 }
 
 TEST(RingTheta, NonRingReturnsNullopt) {
@@ -126,7 +125,7 @@ TEST(RingTheta, FlowsRespectConservationOnRandomMatchings) {
     for (std::size_t k = 0; k < pairs.size(); ++k) {
       double total_on_src_out = 0.0;
       for (topo::EdgeId e : g.out_edges(pairs[k].first)) {
-        total_on_src_out += res->flow[k][static_cast<std::size_t>(e)];
+        total_on_src_out += res->flow.at(k, e);
       }
       EXPECT_NEAR(total_on_src_out, res->theta, 1e-9);
     }

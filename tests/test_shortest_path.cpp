@@ -84,6 +84,33 @@ TEST(Dijkstra, RejectsWrongLengthVector) {
   EXPECT_THROW((void)dijkstra(g, 0, {1.0}), psd::InvalidArgument);
 }
 
+TEST(Dijkstra, EarlyStopMatchesFullRunForDestination) {
+  const Graph g = bidirectional_ring(10, gbps(1));
+  std::vector<double> len(static_cast<std::size_t>(g.num_edges()));
+  for (std::size_t e = 0; e < len.size(); ++e) {
+    len[e] = 1.0 + 0.1 * static_cast<double>(e % 7);  // break symmetry
+  }
+  for (NodeId dst = 0; dst < 10; ++dst) {
+    const auto full = dijkstra(g, 3, len);
+    const auto stopped = dijkstra(g, 3, len, dst);
+    EXPECT_DOUBLE_EQ(stopped.dist[static_cast<std::size_t>(dst)],
+                     full.dist[static_cast<std::size_t>(dst)]);
+    // The parent chain to dst is final: identical extracted path.
+    const auto pf = extract_path(g, full, 3, dst);
+    const auto ps = extract_path(g, stopped, 3, dst);
+    EXPECT_EQ(pf, ps) << "dst=" << dst;
+  }
+}
+
+TEST(Dijkstra, EarlyStopUnreachableDestination) {
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  const std::vector<double> len(1, 1.0);
+  const auto res = dijkstra(g, 0, len, 2);
+  EXPECT_TRUE(std::isinf(res.dist[2]));
+  EXPECT_TRUE(extract_path(g, res, 0, 2).empty());
+}
+
 TEST(ExtractPath, SourceEqualsDestination) {
   const Graph g = directed_ring(4, gbps(1));
   const std::vector<double> unit(4, 1.0);

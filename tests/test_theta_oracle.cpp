@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <new>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "psd/topo/builders.hpp"
 #include "psd/topo/properties.hpp"
+#include "psd/topo/shortest_path.hpp"
 
 // Global allocation counter: this binary replaces the plain operator
 // new/delete so the cached θ-lookup path can be asserted allocation-free
@@ -147,6 +150,58 @@ TEST(ThetaOracle, CachedLookupPerformsNoHeapAllocation) {
   EXPECT_EQ(oracle.cache_hits(), 100u);
 }
 
+TEST(ThetaOracle, ConcurrentLookupsAreConsistent) {
+  // The cache is mutex-guarded: hammer the same oracle from several threads
+  // with a mix of hits and misses and verify every thread observes the
+  // exact closed-form values and the cache stays coherent.
+  const auto g = topo::directed_ring(32, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int k = 1 + (i + t) % 8;
+        const double got = oracle.theta(Matching::rotation(32, k));
+        if (std::abs(got - 1.0 / k) > 1e-12) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(oracle.cache_size(), 8u);
+  // Every query beyond the 8 distinct misses was served from cache (racing
+  // duplicate misses may recompute, so allow a small shortfall).
+  EXPECT_GE(oracle.cache_hits(), static_cast<std::size_t>(kThreads * kIters) -
+                                     8u * static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThetaOracle, ContentionCounterStartsAtZero) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  (void)oracle.theta(Matching::rotation(8, 2));
+  (void)oracle.theta(Matching::rotation(8, 2));
+  // Single-threaded use never contends the lock.
+  EXPECT_EQ(oracle.cache_lock_contentions(), 0u);
+}
+
+TEST(ThetaOracle, BaseHopsMatchesAllPairsHops) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  const ThetaOracle oracle(g, gbps(800));
+  const auto& cached = oracle.base_hops();
+  const auto fresh = topo::all_pairs_hops(g);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t u = 0; u < fresh.size(); ++u) {
+    EXPECT_EQ(cached[u], fresh[u]) << "u=" << u;
+  }
+  // Second call returns the same object (computed once).
+  EXPECT_EQ(&oracle.base_hops(), &cached);
+}
+
 TEST(ThetaOracle, EmptyMatchingInfinite) {
   const auto g = topo::directed_ring(8, gbps(800));
   const ThetaOracle oracle(g, gbps(800));
@@ -175,7 +230,7 @@ TEST(ThetaOracle, ConcurrentFlowExposesRouting) {
   const ThetaOracle oracle(g, gbps(800));
   const auto res = oracle.concurrent_flow(Matching::rotation(6, 2));
   EXPECT_NEAR(res.theta, 0.5, 1e-12);
-  EXPECT_EQ(res.flow.size(), 6u);
+  EXPECT_EQ(res.flow.num_commodities(), 6u);
 }
 
 TEST(ThetaOracle, RejectsBadInputs) {

@@ -1,0 +1,106 @@
+#include "psd/util/thread_pool.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace psd::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::invalid_argument("x");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, OnWorkerThreadFlag) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return ThreadPool::on_worker_thread(); });
+  EXPECT_TRUE(fut.get());
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // A task that itself fans out must not wait on the pool it occupies —
+  // nested parallelism collapses to inline execution on the worker.
+  ThreadPool pool(2);
+  auto fut = pool.submit([&pool] {
+    std::atomic<int> inner{0};
+    pool.parallel_for(50, [&](std::size_t) {
+      EXPECT_TRUE(ThreadPool::on_worker_thread());
+      inner.fetch_add(1, std::memory_order_relaxed);
+    });
+    return inner.load();
+  });
+  EXPECT_EQ(fut.get(), 50);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  auto& pool = ThreadPool::shared();
+  EXPECT_GE(pool.size(), 1u);
+  auto fut = pool.submit([] { return 7; });
+  EXPECT_EQ(fut.get(), 7);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmits) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futs;
+  futs.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(futs[i].get(), i * i);
+  }
+}
+
+}  // namespace
+}  // namespace psd::util
