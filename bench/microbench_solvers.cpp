@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "psd/bvn/birkhoff.hpp"
 #include "psd/bvn/hopcroft_karp.hpp"
@@ -286,6 +287,27 @@ void BM_CollectiveGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CollectiveGeneration)->Arg(64)->Arg(256)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Core ChunkList algebra on the two shapes schedule builders produce: a
+// maximally scattered set (every other chunk — swing-style, runs ==
+// chunks/2) and a contiguous mod-n window (ring/binomial-style, 2 runs).
+// One iteration = union + intersection + rotation + full chunk iteration.
+void BM_ChunkListOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<int> evens;
+  for (int c = 0; c < n; c += 2) evens.push_back(c);
+  const auto scattered = collective::ChunkList::from_unsorted(evens);
+  const auto window = collective::ChunkList::wrapped_range(n - n / 4, n / 2, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scattered.union_with(window));
+    benchmark::DoNotOptimize(scattered.intersect(window));
+    benchmark::DoNotOptimize(collective::ChunkList::rotated(scattered, n / 3, n));
+    long long sum = 0;
+    for (int c : scattered) sum += c;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ChunkListOps)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

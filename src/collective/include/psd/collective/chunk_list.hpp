@@ -1,0 +1,172 @@
+// Interval-coded chunk sets for schedule transfers.
+//
+// The chunk sets moved by real collective builders are almost always
+// contiguous mod-n windows (ring/binomial) or unions of a handful of runs
+// (swing/halving-doubling responsibility sets), so storing them as explicit
+// per-chunk int vectors made schedule generation allocation-bound
+// (ROADMAP: BM_CollectiveGeneration/1024 ≈ 11 ms). ChunkList stores the set
+// as a sorted run-length list of (start, len) intervals with a two-run
+// inline buffer, so the common one-window transfer is allocation-free and
+// set algebra (union/intersection, the recursive-exchange partition
+// invariant) runs in O(runs) instead of O(chunks).
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace psd::collective {
+
+/// A sorted set of non-negative chunk indices, run-length encoded as
+/// maximal half-open runs [start, start+len). Invariants: runs are sorted,
+/// non-empty, non-overlapping and non-adjacent (always maximally coalesced),
+/// so two ChunkLists hold the same set iff their runs are identical.
+class ChunkList {
+ public:
+  struct Interval {
+    int start = 0;
+    int len = 0;
+    friend bool operator==(const Interval&, const Interval&) = default;
+  };
+
+  ChunkList() = default;
+  /// Builds from explicit chunk ids in any order; duplicates are rejected
+  /// (a transfer moving the same chunk twice is a schedule bug).
+  ChunkList(std::initializer_list<int> chunks);
+
+  ChunkList(const ChunkList&) = default;
+  ChunkList& operator=(const ChunkList&) = default;
+  // Moves leave the source empty: the default would keep the source's run
+  // count while its spill buffer is gone, making data() dangle.
+  ChunkList(ChunkList&& other) noexcept { *this = std::move(other); }
+  ChunkList& operator=(ChunkList&& other) noexcept {
+    if (this != &other) {
+      for (int i = 0; i < kInline; ++i) inline_[i] = other.inline_[i];
+      spill_ = std::move(other.spill_);
+      spill_offset_ = other.spill_offset_;
+      runs_ = other.runs_;
+      total_ = other.total_;
+      other.clear();
+    }
+    return *this;
+  }
+
+  /// The singleton set {chunk}.
+  [[nodiscard]] static ChunkList single(int chunk);
+  /// The contiguous run [start, start+len); len must be >= 1.
+  [[nodiscard]] static ChunkList range(int start, int len);
+  /// The mod-n window {(start + i) mod n : i < len} as one or two runs;
+  /// requires 0 <= start < n and 1 <= len <= n.
+  [[nodiscard]] static ChunkList wrapped_range(int start, int len, int n);
+  /// Builds from explicit chunk ids in any order; duplicates are rejected.
+  [[nodiscard]] static ChunkList from_unsorted(std::vector<int> chunks);
+  /// The set {(c + offset) mod n : c ∈ base}; base must lie within [0, n).
+  /// O(runs) — rotation maps runs to runs (at most one splits at the wrap
+  /// point). This is what makes translation-symmetric schedule builders
+  /// cheap: every node's chunk set is a rotation of one base set.
+  [[nodiscard]] static ChunkList rotated(const ChunkList& base, int offset, int n);
+  /// One rotation of `base` per entry of `offsets`, all sharing a single
+  /// backing run buffer (copy-on-write). Builders that hand a whole family
+  /// of rotated sets to a schedule (one per node) get one allocation per
+  /// family instead of one per set.
+  [[nodiscard]] static std::vector<ChunkList> rotated_all(
+      const ChunkList& base, std::span<const int> offsets, int n);
+
+  /// Appends the run [start, start+len); must begin strictly after the
+  /// current last chunk (coalesces when adjacent). Build-in-order helper.
+  void append_range(int start, int len);
+  void append(int chunk) { append_range(chunk, 1); }
+  void clear();
+
+  /// Number of chunks in the set (not the number of runs).
+  [[nodiscard]] int size() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] int num_intervals() const { return runs_; }
+  [[nodiscard]] std::span<const Interval> intervals() const {
+    return {data(), static_cast<std::size_t>(runs_)};
+  }
+  /// Smallest / largest chunk id; the set must be non-empty.
+  [[nodiscard]] int first() const;
+  [[nodiscard]] int last() const;
+
+  [[nodiscard]] bool contains(int chunk) const;
+
+  [[nodiscard]] ChunkList union_with(const ChunkList& other) const;
+  [[nodiscard]] ChunkList intersect(const ChunkList& other) const;
+
+  /// Explicit densification escape hatch (ascending order).
+  [[nodiscard]] std::vector<int> to_vector() const;
+
+  /// Forward iteration over individual chunk ids in ascending order, so
+  /// `for (int c : list)` keeps working for per-chunk consumers.
+  class const_iterator {
+   public:
+    using value_type = int;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const Interval* run, int offset) : run_(run), offset_(offset) {}
+
+    int operator*() const { return run_->start + offset_; }
+    const_iterator& operator++() {
+      if (++offset_ == run_->len) {
+        ++run_;
+        offset_ = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) = default;
+
+   private:
+    const Interval* run_ = nullptr;
+    int offset_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {data(), 0}; }
+  [[nodiscard]] const_iterator end() const { return {data() + runs_, 0}; }
+
+  friend bool operator==(const ChunkList& a, const ChunkList& b) {
+    if (a.runs_ != b.runs_ || a.total_ != b.total_) return false;
+    const Interval* pa = a.data();
+    const Interval* pb = b.data();
+    for (int i = 0; i < a.runs_; ++i) {
+      if (!(pa[i] == pb[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  // Most transfers are one window (possibly wrapped mod n): keep up to two
+  // runs inline so building a schedule never allocates per transfer.
+  static constexpr int kInline = 2;
+
+  [[nodiscard]] const Interval* data() const {
+    return runs_ <= kInline ? inline_ : spill_->data() + spill_offset_;
+  }
+
+  /// Trusted append: caller guarantees ordering (internal set algebra).
+  /// Coalesces with the last run when adjacent, like append_range.
+  void push_run(int start, int len);
+  /// Makes the spill buffer safe to mutate: uniquely owned, offset 0, and
+  /// exactly runs_ long (arena slices and shared buffers get copied out).
+  void ensure_owned_spill();
+
+  Interval inline_[kInline] = {};
+  // Holds the runs [spill_offset_, spill_offset_ + runs_) once
+  // runs_ > kInline. Shared copy-on-write: copying a ChunkList into a
+  // Transfer is O(1), so schedule builders can hand one responsibility set
+  // to many steps without re-materializing it, and rotated_all() packs a
+  // whole family of sets into one buffer via the offset.
+  std::shared_ptr<std::vector<Interval>> spill_;
+  int spill_offset_ = 0;
+  int runs_ = 0;
+  int total_ = 0;
+};
+
+}  // namespace psd::collective

@@ -28,7 +28,8 @@ enum class InitMode {
   // Node j holds the complete chunk j and nothing else — the start state of
   // allgather (post-reduce-scatter).
   kAllGather,
-  // Only `root` holds complete data (chunk 0) — the start state of broadcast.
+  // Only `root` holds complete data (every chunk) — the start state of
+  // broadcast.
   kBroadcast,
 };
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "psd/collective/chunk_list.hpp"
 #include "psd/topo/matching.hpp"
 #include "psd/util/units.hpp"
 
@@ -28,11 +29,12 @@ enum class ChunkSpace {
 };
 
 /// One chunk-level data movement within a step. The (src, dst) pair must be
-/// present in the step's matching.
+/// present in the step's matching, and a step may carry at most one transfer
+/// per pair.
 struct Transfer {
   int src = -1;
   int dst = -1;
-  std::vector<int> chunks;
+  ChunkList chunks;
   bool reduce = false;  // true: receiver accumulates; false: receiver replaces
 };
 
@@ -52,7 +54,8 @@ class CollectiveSchedule {
 
   /// Appends a step; validates matching size, volume sign, and that each
   /// transfer's endpoints appear in the matching with consistent byte count
-  /// (|chunks| · chunk_size == volume for annotated steps).
+  /// (|chunks| · chunk_size == volume for annotated steps). At most one
+  /// transfer per (src, dst) pair — duplicates are rejected.
   void add_step(Step step);
 
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -65,7 +68,9 @@ class CollectiveSchedule {
   [[nodiscard]] const Step& step(int i) const;
   [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
 
-  /// True if every step carries chunk-level transfer annotations.
+  /// True if every step is *completely* annotated: each active (src, dst)
+  /// pair of the step's matching carries a transfer. A step annotating only
+  /// some pairs does not count — executing it would silently under-deliver.
   [[nodiscard]] bool fully_annotated() const;
 
   /// Total bytes a single node sends across all steps (max over nodes) — the

@@ -1,7 +1,7 @@
 #include "psd/collective/algorithms.hpp"
 
 #include <bit>
-#include <numeric>
+#include <vector>
 
 #include "psd/util/error.hpp"
 
@@ -26,7 +26,7 @@ void append_ring_phase(CollectiveSchedule& out, int n, bool reduce_phase) {
       t.src = j;
       t.dst = (j + 1) % n;
       t.reduce = reduce_phase;
-      t.chunks = {reduce_phase ? mod_n(j - s, n) : mod_n(j + 1 - s, n)};
+      t.chunks = ChunkList::single(reduce_phase ? mod_n(j - s, n) : mod_n(j + 1 - s, n));
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -87,7 +87,7 @@ CollectiveSchedule recursive_doubling_allreduce(int n, Bytes buffer) {
       t.src = j;
       t.dst = w;
       t.reduce = true;
-      t.chunks = {0};
+      t.chunks = ChunkList::single(0);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -110,7 +110,7 @@ CollectiveSchedule alltoall_transpose(int n, Bytes buffer) {
       t.src = j;
       t.dst = d;
       t.reduce = false;
-      t.chunks = {j * n + d};  // block originating at j, destined to d
+      t.chunks = ChunkList::single(j * n + d);  // block originating at j, destined to d
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -134,20 +134,23 @@ CollectiveSchedule alltoall_bruck(int n, Bytes buffer) {
     step.matching = topo::Matching::rotation(n, 1 << k);
     step.volume = out.chunk_size() * (n / 2.0);
     step.transfers.reserve(static_cast<std::size_t>(n));
+    std::vector<int> block_ids;  // scattered block ids: densify, then encode
+    block_ids.reserve(static_cast<std::size_t>(n / 2));
     for (int v = 0; v < n; ++v) {
       Transfer t;
       t.src = v;
       t.dst = (v + (1 << k)) % n;
       t.reduce = false;
-      t.chunks.reserve(static_cast<std::size_t>(n / 2));
+      block_ids.clear();
       for (int r = 1; r < n; ++r) {
         if ((r >> k) & 1) {
           const int f = r & ~((1 << k) - 1);
           const int d = (v + f) % n;
           const int s = ((d - r) % n + n) % n;
-          t.chunks.push_back(s * n + d);
+          block_ids.push_back(s * n + d);
         }
       }
+      t.chunks = ChunkList::from_unsorted(block_ids);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -173,7 +176,7 @@ CollectiveSchedule binomial_broadcast(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = false;
-      t.chunks = {0};
+      t.chunks = ChunkList::single(0);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -198,8 +201,7 @@ CollectiveSchedule bruck_allgather(int n, Bytes buffer) {
       t.src = j;
       t.dst = mod_n(j - span, n);
       t.reduce = false;
-      t.chunks.reserve(static_cast<std::size_t>(cnt));
-      for (int c = 0; c < cnt; ++c) t.chunks.push_back(mod_n(j + c, n));
+      t.chunks = ChunkList::wrapped_range(j, cnt, n);  // window {j, ..., j+cnt−1} mod n
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -227,7 +229,7 @@ CollectiveSchedule binomial_reduce(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = true;
-      t.chunks = {0};
+      t.chunks = ChunkList::single(0);
       step.transfers.push_back(std::move(t));
     }
     if (step.matching.active_pairs() > 0) out.add_step(std::move(step));
@@ -255,8 +257,7 @@ CollectiveSchedule binomial_scatter(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = false;
-      t.chunks.reserve(static_cast<std::size_t>(span));
-      for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
+      t.chunks = ChunkList::range(r + span, span);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -284,8 +285,7 @@ CollectiveSchedule binomial_gather(int n, int root, Bytes buffer) {
       t.src = src;
       t.dst = dst;
       t.reduce = false;
-      t.chunks.reserve(static_cast<std::size_t>(span));
-      for (int c = r + span; c < r + 2 * span; ++c) t.chunks.push_back(c);
+      t.chunks = ChunkList::range(r + span, span);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -311,7 +311,7 @@ CollectiveSchedule dissemination_barrier(int n, Bytes flag_bytes) {
       t.src = j;
       t.dst = (j + span) % n;
       t.reduce = true;  // OR-combine knowledge masks
-      t.chunks = {0};
+      t.chunks = ChunkList::single(0);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));
@@ -342,9 +342,7 @@ CollectiveSchedule recursive_doubling_allgather(int n, Bytes buffer) {
       t.dst = w;
       t.reduce = false;
       // Node j currently holds the 2^s chunks of its aligned group.
-      const int group = (j >> s) << s;
-      t.chunks.resize(static_cast<std::size_t>(1) << s);
-      std::iota(t.chunks.begin(), t.chunks.end(), group);
+      t.chunks = ChunkList::range((j >> s) << s, 1 << s);
       step.transfers.push_back(std::move(t));
     }
     out.add_step(std::move(step));

@@ -1,0 +1,280 @@
+#include "psd/collective/chunk_list.hpp"
+
+#include <algorithm>
+
+#include "psd/util/error.hpp"
+
+namespace psd::collective {
+
+ChunkList::ChunkList(std::initializer_list<int> chunks)
+    : ChunkList(from_unsorted(std::vector<int>(chunks))) {}
+
+ChunkList ChunkList::single(int chunk) {
+  ChunkList out;
+  out.append_range(chunk, 1);
+  return out;
+}
+
+ChunkList ChunkList::range(int start, int len) {
+  ChunkList out;
+  out.append_range(start, len);
+  return out;
+}
+
+ChunkList ChunkList::wrapped_range(int start, int len, int n) {
+  PSD_REQUIRE(n >= 1 && start >= 0 && start < n, "wrapped_range start out of range");
+  PSD_REQUIRE(len >= 1 && len <= n, "wrapped_range length must be in [1, n]");
+  ChunkList out;
+  if (start + len <= n) {
+    out.append_range(start, len);
+  } else {
+    out.append_range(0, start + len - n);  // wrapped tail [0, start+len−n)
+    out.append_range(start, n - start);    // head [start, n)
+  }
+  return out;
+}
+
+ChunkList ChunkList::from_unsorted(std::vector<int> chunks) {
+  std::sort(chunks.begin(), chunks.end());
+  PSD_REQUIRE(std::adjacent_find(chunks.begin(), chunks.end()) == chunks.end(),
+              "chunk list must not contain duplicates");
+  PSD_REQUIRE(chunks.empty() || chunks.front() >= 0,
+              "chunk ids must be non-negative");
+  ChunkList out;
+  std::size_t i = 0;
+  while (i < chunks.size()) {
+    std::size_t j = i + 1;
+    while (j < chunks.size() && chunks[j] == chunks[j - 1] + 1) ++j;
+    out.push_run(chunks[i], static_cast<int>(j - i));
+    i = j;
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends the runs of `runs` rotated by o ∈ [0, n) to `out`, coalescing
+/// only within the appended slice. Runs with start + o >= n wrap to the
+/// front of [0, n); the run right before the wrap boundary may straddle it
+/// and split in two. Everything keeps its relative order within the
+/// wrapped / unwrapped groups, and the wrapped group (all values < o)
+/// precedes the unwrapped one (all values >= o).
+void write_rotated_runs(std::span<const ChunkList::Interval> runs, int o, int n,
+                        std::vector<ChunkList::Interval>& out) {
+  const std::size_t slice_begin = out.size();
+  const auto push = [&](int start, int len) {
+    if (out.size() > slice_begin) {
+      ChunkList::Interval& back = out.back();
+      if (back.start + back.len == start) {
+        back.len += len;
+        return;
+      }
+    }
+    out.push_back({start, len});
+  };
+  const auto wrap = std::partition_point(
+      runs.begin(), runs.end(),
+      [&](const ChunkList::Interval& iv) { return iv.start + o < n; });
+  if (wrap != runs.begin()) {
+    const ChunkList::Interval& straddle = *(wrap - 1);
+    if (straddle.start + straddle.len + o > n) {
+      push(0, straddle.start + straddle.len + o - n);
+    }
+  }
+  for (auto it = wrap; it != runs.end(); ++it) {
+    push(it->start + o - n, it->len);
+  }
+  for (auto it = runs.begin(); it != wrap; ++it) {
+    const int end = std::min(it->start + it->len + o, n);
+    if (end > it->start + o) push(it->start + o, end - (it->start + o));
+  }
+}
+
+}  // namespace
+
+ChunkList ChunkList::rotated(const ChunkList& base, int offset, int n) {
+  PSD_REQUIRE(n >= 1, "rotation modulus must be positive");
+  PSD_REQUIRE(base.empty() || (base.first() >= 0 && base.last() < n),
+              "base chunk ids must lie in [0, n)");
+  const int o = ((offset % n) + n) % n;
+  if (o == 0) return base;  // COW: shares the spill buffer
+  std::vector<Interval> runs;
+  runs.reserve(static_cast<std::size_t>(base.num_intervals()) + 1);
+  write_rotated_runs(base.intervals(), o, n, runs);
+  ChunkList out;
+  out.runs_ = static_cast<int>(runs.size());
+  out.total_ = base.total_;
+  if (out.runs_ <= kInline) {
+    std::copy(runs.begin(), runs.end(), out.inline_);
+  } else {
+    out.spill_ = std::make_shared<std::vector<Interval>>(std::move(runs));
+  }
+  return out;
+}
+
+std::vector<ChunkList> ChunkList::rotated_all(const ChunkList& base,
+                                              std::span<const int> offsets, int n) {
+  PSD_REQUIRE(n >= 1, "rotation modulus must be positive");
+  PSD_REQUIRE(base.empty() || (base.first() >= 0 && base.last() < n),
+              "base chunk ids must lie in [0, n)");
+  const std::span<const Interval> base_runs = base.intervals();
+  auto arena = std::make_shared<std::vector<Interval>>();
+  arena->reserve(offsets.size() * (base_runs.size() + 1));
+  std::vector<ChunkList> out(offsets.size());
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    const int o = ((offsets[k] % n) + n) % n;
+    const std::size_t begin = arena->size();
+    write_rotated_runs(base_runs, o, n, *arena);
+    const int count = static_cast<int>(arena->size() - begin);
+    ChunkList& cl = out[k];
+    cl.total_ = base.total_;
+    cl.runs_ = count;
+    if (count <= kInline) {  // small slices go inline; free the arena space
+      std::copy(arena->begin() + static_cast<std::ptrdiff_t>(begin), arena->end(),
+                cl.inline_);
+      arena->resize(begin);
+    } else {
+      cl.spill_ = arena;
+      cl.spill_offset_ = static_cast<int>(begin);
+    }
+  }
+  return out;
+}
+
+void ChunkList::ensure_owned_spill() {
+  if (!spill_) {
+    spill_ = std::make_shared<std::vector<Interval>>();
+    return;
+  }
+  if (spill_.use_count() == 1 && spill_offset_ == 0 &&
+      static_cast<int>(spill_->size()) == runs_) {
+    return;
+  }
+  spill_ = std::make_shared<std::vector<Interval>>(data(), data() + runs_);
+  spill_offset_ = 0;
+}
+
+void ChunkList::push_run(int start, int len) {
+  if (runs_ > kInline) ensure_owned_spill();  // about to mutate the back run
+  if (runs_ > 0) {
+    Interval& back = runs_ <= kInline ? inline_[runs_ - 1] : spill_->back();
+    if (start == back.start + back.len) {  // adjacent: coalesce
+      back.len += len;
+      total_ += len;
+      return;
+    }
+  }
+  if (runs_ < kInline) {
+    inline_[runs_] = {start, len};
+  } else {
+    if (runs_ == kInline) {  // spill transition: move the inline runs out
+      spill_ = std::make_shared<std::vector<Interval>>(inline_, inline_ + kInline);
+      spill_offset_ = 0;
+    }
+    spill_->push_back({start, len});
+  }
+  ++runs_;
+  total_ += len;
+}
+
+void ChunkList::append_range(int start, int len) {
+  PSD_REQUIRE(start >= 0 && len >= 1, "chunk run must be non-negative and non-empty");
+  if (runs_ > 0) {
+    const Interval& back = data()[runs_ - 1];
+    PSD_REQUIRE(start >= back.start + back.len,
+                "chunk runs must be appended in ascending order");
+  }
+  push_run(start, len);
+}
+
+void ChunkList::clear() {
+  spill_.reset();
+  spill_offset_ = 0;
+  runs_ = 0;
+  total_ = 0;
+}
+
+int ChunkList::first() const {
+  PSD_REQUIRE(runs_ > 0, "first() on an empty chunk list");
+  return data()[0].start;
+}
+
+int ChunkList::last() const {
+  PSD_REQUIRE(runs_ > 0, "last() on an empty chunk list");
+  const Interval& back = data()[runs_ - 1];
+  return back.start + back.len - 1;
+}
+
+bool ChunkList::contains(int chunk) const {
+  const std::span<const Interval> runs = intervals();
+  // First run starting strictly after `chunk`; the candidate is its
+  // predecessor.
+  auto it = std::upper_bound(runs.begin(), runs.end(), chunk,
+                             [](int c, const Interval& iv) { return c < iv.start; });
+  if (it == runs.begin()) return false;
+  --it;
+  return chunk < it->start + it->len;
+}
+
+ChunkList ChunkList::union_with(const ChunkList& other) const {
+  ChunkList out;
+  const std::span<const Interval> a = intervals();
+  const std::span<const Interval> b = other.intervals();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  // Sweep both run lists in start order, growing one pending run that
+  // absorbs everything overlapping or adjacent to it.
+  int cur_start = 0;
+  int cur_end = -1;  // exclusive; empty when cur_end < cur_start
+  bool open = false;
+  auto feed = [&](const Interval& iv) {
+    if (open && iv.start <= cur_end) {
+      cur_end = std::max(cur_end, iv.start + iv.len);
+    } else {
+      if (open) out.append_range(cur_start, cur_end - cur_start);
+      cur_start = iv.start;
+      cur_end = iv.start + iv.len;
+      open = true;
+    }
+  };
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].start <= b[j].start)) {
+      feed(a[i++]);
+    } else {
+      feed(b[j++]);
+    }
+  }
+  if (open) out.append_range(cur_start, cur_end - cur_start);
+  return out;
+}
+
+ChunkList ChunkList::intersect(const ChunkList& other) const {
+  ChunkList out;
+  const std::span<const Interval> a = intervals();
+  const std::span<const Interval> b = other.intervals();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int lo = std::max(a[i].start, b[j].start);
+    const int hi = std::min(a[i].start + a[i].len, b[j].start + b[j].len);
+    if (lo < hi) out.append_range(lo, hi - lo);
+    // Advance whichever run ends first.
+    if (a[i].start + a[i].len < b[j].start + b[j].len) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<int> ChunkList::to_vector() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(total_));
+  for (const Interval& iv : intervals()) {
+    for (int c = iv.start; c < iv.start + iv.len; ++c) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace psd::collective

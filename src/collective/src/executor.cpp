@@ -53,7 +53,10 @@ ChunkExecutor::ChunkExecutor(const CollectiveSchedule& schedule, InitMode mode,
       for (int j = 0; j < n_; ++j) set_full(j, j);
       break;
     case InitMode::kBroadcast:
-      set_full(root, 0);
+      // The root starts with the complete buffer, i.e. *every* chunk —
+      // seeding only chunk 0 made multi-chunk broadcast schedules
+      // unverifiable (the other chunks could never become full anywhere).
+      for (int c = 0; c < chunks_; ++c) set_full(root, c);
       break;
   }
   run(schedule);
@@ -77,16 +80,20 @@ void ChunkExecutor::run(const CollectiveSchedule& schedule) {
   for (const Step& step : schedule.steps()) {
     snapshot = mask_;  // synchronous step: reads see start-of-step state
     for (const Transfer& t : step.transfers) {
-      for (int c : t.chunks) {
-        const std::size_t src_off = idx(t.src, c);
-        const std::size_t dst_off = idx(t.dst, c);
-        for (std::size_t w = 0; w < words_; ++w) {
-          const std::uint64_t incoming = snapshot[src_off + w];
-          if (t.reduce) {
-            if ((snapshot[dst_off + w] & incoming) != 0) double_counted_ = true;
-            mask_[dst_off + w] = snapshot[dst_off + w] | incoming;
-          } else {
-            mask_[dst_off + w] = incoming;
+      for (const ChunkList::Interval& iv : t.chunks.intervals()) {
+        // Chunks of a run are contiguous in the mask, so both offsets just
+        // advance by words_ per chunk.
+        std::size_t src_off = idx(t.src, iv.start);
+        std::size_t dst_off = idx(t.dst, iv.start);
+        for (int c = 0; c < iv.len; ++c, src_off += words_, dst_off += words_) {
+          for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t incoming = snapshot[src_off + w];
+            if (t.reduce) {
+              if ((snapshot[dst_off + w] & incoming) != 0) double_counted_ = true;
+              mask_[dst_off + w] = snapshot[dst_off + w] | incoming;
+            } else {
+              mask_[dst_off + w] = incoming;
+            }
           }
         }
       }
@@ -170,10 +177,12 @@ BlockExecutor::BlockExecutor(const CollectiveSchedule& schedule) {
     snapshot = held_;
     for (const Transfer& t : step.transfers) {
       PSD_REQUIRE(!t.reduce, "block collectives do not reduce");
-      for (int c : t.chunks) {
-        PSD_REQUIRE(snapshot[static_cast<std::size_t>(t.src)][static_cast<std::size_t>(c)],
-                    "node forwarded a block it does not hold");
-        held_[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(c)] = true;
+      for (const ChunkList::Interval& iv : t.chunks.intervals()) {
+        for (int c = iv.start; c < iv.start + iv.len; ++c) {
+          PSD_REQUIRE(snapshot[static_cast<std::size_t>(t.src)][static_cast<std::size_t>(c)],
+                      "node forwarded a block it does not hold");
+          held_[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(c)] = true;
+        }
       }
     }
   }

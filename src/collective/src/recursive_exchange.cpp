@@ -1,7 +1,7 @@
 #include "psd/collective/recursive_exchange.hpp"
 
-#include <algorithm>
 #include <bit>
+#include <string>
 #include <vector>
 
 #include "psd/util/error.hpp"
@@ -16,57 +16,156 @@ int log2_exact(int n) {
   return std::countr_zero(static_cast<unsigned>(n));
 }
 
-/// Responsibility sets A(j, s) for all j and s, as sorted chunk vectors.
-/// sets[s][j] = A(j, s); sets has log n + 1 levels.
-std::vector<std::vector<std::vector<int>>> responsibility_sets(int n,
-                                                               const PeerFn& peer) {
-  const int q = log2_exact(n);
-  // Validate the peer function: range and involution at every step.
-  for (int s = 0; s < q; ++s) {
+/// Peer function evaluated once per (step, node) into a flat table, with a
+/// symmetry bit the set recursion exploits. Calling the std::function
+/// 2·q·n times per build was measurable; validating it is O(q·n) anyway.
+struct PeerTable {
+  int n = 0;
+  int q = 0;
+  std::vector<int> w;  // w[s*n + j] = peer of j at step s
+  // True iff p(j+2, s) == p(j, s) + 2 (mod n) for all j, s. Swing's
+  // p(j, s) = j + (−1)^j ρ_s has it; it makes every responsibility set a
+  // rotation of one of two base sets (even / odd nodes).
+  bool translation_symmetric = true;
+
+  [[nodiscard]] int peer(int j, int s) const {
+    return w[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(j)];
+  }
+};
+
+PeerTable build_peer_table(int n, const PeerFn& peer) {
+  PeerTable t;
+  t.n = n;
+  t.q = log2_exact(n);
+  t.w.resize(static_cast<std::size_t>(t.q) * static_cast<std::size_t>(n));
+  for (int s = 0; s < t.q; ++s) {
     for (int j = 0; j < n; ++j) {
       const int w = peer(j, s);
       PSD_REQUIRE(w >= 0 && w < n, "peer function out of range");
       PSD_REQUIRE(w != j, "peer function must not map a node to itself");
-      PSD_REQUIRE(peer(w, s) == j, "peer function must be an involution");
+      t.w[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(j)] = w;
     }
+  }
+  for (int s = 0; s < t.q; ++s) {
+    for (int j = 0; j < n; ++j) {
+      PSD_REQUIRE(t.peer(t.peer(j, s), s) == j,
+                  "peer function must be an involution");
+      if (t.peer((j + 2) % n, s) != (t.peer(j, s) + 2) % n) {
+        t.translation_symmetric = false;
+      }
+    }
+  }
+  return t;
+}
+
+/// Responsibility sets A(j, s) for all j and s, as interval-coded chunk
+/// sets. sets[s][j] = A(j, s); sets has log n + 1 levels. Level 0 (the full
+/// set) is only ever needed for the coverage check, so it is validated but
+/// not returned.
+///
+/// Generic path: backward recursion A(j, s) = A(j, s+1) ∪ A(p(j,s), s+1)
+/// with the partition invariant checked at every union. Symmetric path
+/// (translation-symmetric peers): only A(0, s) and A(1, s) are recursed —
+/// A(2k+δ, s) = A(δ, s) + 2k (mod n) — and all other sets are O(runs)
+/// rotations. Both paths produce identical sets; the symmetric one skips
+/// n−2 of the n unions per level.
+std::vector<std::vector<ChunkList>> responsibility_sets(const PeerTable& pt) {
+  const int n = pt.n;
+  const int q = pt.q;
+  std::vector<std::vector<ChunkList>> sets(
+      static_cast<std::size_t>(q) + 1,
+      std::vector<ChunkList>(static_cast<std::size_t>(n)));
+  for (int j = 0; j < n; ++j) {
+    sets[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)] =
+        ChunkList::single(j);
   }
 
-  std::vector<std::vector<std::vector<int>>> sets(
-      static_cast<std::size_t>(q) + 1,
-      std::vector<std::vector<int>>(static_cast<std::size_t>(n)));
-  for (int j = 0; j < n; ++j) {
-    sets[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)] = {j};
+  const auto check_partition = [](const ChunkList& merged, const ChunkList& mine,
+                                  const ChunkList& theirs, int s) {
+    PSD_REQUIRE(merged.size() == mine.size() + theirs.size(),
+                "peer function violates the partition invariant: the "
+                "responsibility sets of step-" + std::to_string(s) +
+                " partners overlap");
+  };
+
+  if (pt.translation_symmetric) {
+    // base[δ] tracks A(δ, s) for δ ∈ {0, 1} down the recursion. The other
+    // n−2 sets per level are rotations; the partition invariant for them
+    // follows from the base unions because rotation preserves disjointness.
+    ChunkList base[2] = {ChunkList::single(0), ChunkList::single(1)};
+    for (int s = q - 1; s >= 0; --s) {
+      ChunkList next[2];
+      for (int d = 0; d < 2; ++d) {
+        const int w = pt.peer(d, s);
+        // A(w, s+1) = A(w mod 2, s+1) rotated by the even part of w.
+        const ChunkList theirs = ChunkList::rotated(base[w % 2], w - w % 2, n);
+        next[d] = base[d].union_with(theirs);
+        check_partition(next[d], base[d], theirs, s);
+      }
+      base[0] = std::move(next[0]);
+      base[1] = std::move(next[1]);
+      if (s == 0) break;  // level 0 is only checked, never materialized
+      auto& level = sets[static_cast<std::size_t>(s)];
+      for (int d = 0; d < 2; ++d) {
+        // Rotations of a periodic set repeat: if base + p == base (mod n),
+        // nodes whose offsets agree mod p share one set. Swing's sets have
+        // period 2^(s+1), so only p/2 distinct sets exist per parity — the
+        // rest are O(1) COW copies. A period must divide n (a power of
+        // two), so probing powers of two finds it.
+        int period = n;
+        for (int c = 2; c < n; c <<= 1) {
+          if (ChunkList::rotated(base[d], c, n) == base[d]) {
+            period = c;
+            break;
+          }
+        }
+        std::vector<int> offsets(static_cast<std::size_t>(period / 2));
+        for (int k = 0; k < period / 2; ++k) {
+          offsets[static_cast<std::size_t>(k)] = 2 * k;
+        }
+        // A(2k+δ, s) = A(δ, s) + 2k (mod n): one arena-packed rotation
+        // family per parity, fanned out to node order by offset mod p.
+        const auto family = ChunkList::rotated_all(base[d], offsets, n);
+        for (int k = 0; k < n / 2; ++k) {
+          level[static_cast<std::size_t>(2 * k + d)] =
+              family[static_cast<std::size_t>((2 * k) % period / 2)];
+        }
+      }
+    }
+    for (int d = 0; d < 2; ++d) {
+      PSD_REQUIRE(base[d].size() == n,
+                  "peer function does not cover all chunks in log2(n) steps");
+    }
+    return sets;
   }
+
   for (int s = q - 1; s >= 0; --s) {
+    auto& level = sets[static_cast<std::size_t>(s)];
+    const auto& prev = sets[static_cast<std::size_t>(s) + 1];
     for (int j = 0; j < n; ++j) {
-      const int w = peer(j, s);
-      const auto& mine = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(j)];
-      const auto& theirs = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(w)];
-      std::vector<int> merged;
-      merged.reserve(mine.size() + theirs.size());
-      std::merge(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
-                 std::back_inserter(merged));
-      // Partition invariant: the two halves must be disjoint.
-      PSD_REQUIRE(std::adjacent_find(merged.begin(), merged.end()) == merged.end(),
-                  "peer function violates the partition invariant: the "
-                  "responsibility sets of step-" + std::to_string(s) +
-                  " partners overlap");
-      sets[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = std::move(merged);
+      const int w = pt.peer(j, s);
+      const ChunkList& mine = prev[static_cast<std::size_t>(j)];
+      const ChunkList& theirs = prev[static_cast<std::size_t>(w)];
+      ChunkList merged = mine.union_with(theirs);
+      check_partition(merged, mine, theirs, s);
+      level[static_cast<std::size_t>(j)] = std::move(merged);
     }
   }
-  // A(j, 0) must be the full chunk set.
   for (int j = 0; j < n; ++j) {
-    PSD_REQUIRE(static_cast<int>(sets[0][static_cast<std::size_t>(j)].size()) == n,
+    PSD_REQUIRE(sets[0][static_cast<std::size_t>(j)].size() == n,
                 "peer function does not cover all chunks in log2(n) steps");
   }
   return sets;
 }
 
-/// Emits the reduce-scatter steps into `out`.
+/// Emits the reduce-scatter steps into `out`. Transfers share the
+/// responsibility sets' interval storage (ChunkList copies are COW).
 void emit_reduce_scatter(CollectiveSchedule& out, int n, Bytes buffer,
-                         const PeerFn& peer,
-                         const std::vector<std::vector<std::vector<int>>>& sets) {
-  const int q = log2_exact(n);
+                         const PeerTable& pt,
+                         const std::vector<std::vector<ChunkList>>& sets) {
+  const int q = pt.q;
   const Bytes chunk = buffer / static_cast<double>(n);
   for (int s = 0; s < q; ++s) {
     Step step;
@@ -75,7 +174,7 @@ void emit_reduce_scatter(CollectiveSchedule& out, int n, Bytes buffer,
     step.volume = chunk * static_cast<double>(n >> (s + 1));
     step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
-      const int w = peer(j, s);
+      const int w = pt.peer(j, s);
       step.matching.set(j, w);  // involution: both directions get set
       Transfer t;
       t.src = j;
@@ -90,9 +189,9 @@ void emit_reduce_scatter(CollectiveSchedule& out, int n, Bytes buffer,
 
 /// Emits the mirrored allgather steps into `out`.
 void emit_allgather(CollectiveSchedule& out, int n, Bytes buffer,
-                    const PeerFn& peer,
-                    const std::vector<std::vector<std::vector<int>>>& sets) {
-  const int q = log2_exact(n);
+                    const PeerTable& pt,
+                    const std::vector<std::vector<ChunkList>>& sets) {
+  const int q = pt.q;
   const Bytes chunk = buffer / static_cast<double>(n);
   // At allgather step t, node j exchanges with its reduce-scatter partner of
   // step q-1-t and hands over everything gathered so far: exactly
@@ -105,7 +204,7 @@ void emit_allgather(CollectiveSchedule& out, int n, Bytes buffer,
     step.volume = chunk * static_cast<double>(1 << t);
     step.transfers.reserve(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
-      const int w = peer(j, s);
+      const int w = pt.peer(j, s);
       step.matching.set(j, w);
       Transfer t2;
       t2.src = j;
@@ -122,19 +221,21 @@ void emit_allgather(CollectiveSchedule& out, int n, Bytes buffer,
 
 CollectiveSchedule recursive_exchange_allreduce(std::string name, int n,
                                                 Bytes buffer, const PeerFn& peer) {
-  const auto sets = responsibility_sets(n, peer);
+  const PeerTable pt = build_peer_table(n, peer);
+  const auto sets = responsibility_sets(pt);
   CollectiveSchedule out(std::move(name), n, buffer, n, ChunkSpace::kSegments);
-  emit_reduce_scatter(out, n, buffer, peer, sets);
-  emit_allgather(out, n, buffer, peer, sets);
+  emit_reduce_scatter(out, n, buffer, pt, sets);
+  emit_allgather(out, n, buffer, pt, sets);
   return out;
 }
 
 CollectiveSchedule recursive_exchange_reduce_scatter(std::string name, int n,
                                                      Bytes buffer,
                                                      const PeerFn& peer) {
-  const auto sets = responsibility_sets(n, peer);
+  const PeerTable pt = build_peer_table(n, peer);
+  const auto sets = responsibility_sets(pt);
   CollectiveSchedule out(std::move(name), n, buffer, n, ChunkSpace::kSegments);
-  emit_reduce_scatter(out, n, buffer, peer, sets);
+  emit_reduce_scatter(out, n, buffer, pt, sets);
   return out;
 }
 

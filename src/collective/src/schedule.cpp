@@ -1,11 +1,22 @@
 #include "psd/collective/schedule.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <cstdint>
 
 #include "psd/util/error.hpp"
 
 namespace psd::collective {
+
+namespace {
+
+// Epoch-stamped scratch for duplicate-transfer detection in add_step: one
+// slot per source node, valid when the stamp matches the current epoch.
+// Thread-local so concurrent schedule builds don't share it, and reused
+// across calls so the hot generation path never allocates here.
+thread_local std::vector<std::uint32_t> t_src_stamp;
+thread_local std::uint32_t t_src_epoch = 0;
+
+}  // namespace
 
 CollectiveSchedule::CollectiveSchedule(std::string name, int n, Bytes buffer,
                                        int num_chunks, ChunkSpace space)
@@ -30,18 +41,31 @@ Bytes CollectiveSchedule::chunk_size() const {
 void CollectiveSchedule::add_step(Step step) {
   PSD_REQUIRE(step.matching.size() == n_, "step matching size mismatch");
   PSD_REQUIRE(step.volume.count() >= 0.0, "step volume must be non-negative");
-  const double cs = chunk_size().count();
-  for (const Transfer& t : step.transfers) {
-    PSD_REQUIRE(step.matching.dst_of(t.src) == t.dst,
-                "transfer endpoints must appear in the step matching");
-    PSD_REQUIRE(!t.chunks.empty(), "transfer must move at least one chunk");
-    for (int c : t.chunks) {
-      PSD_REQUIRE(c >= 0 && c < num_chunks_, "chunk index out of range");
+  const Bytes cs = chunk_size();
+  if (!step.transfers.empty()) {
+    if (static_cast<int>(t_src_stamp.size()) < n_) {
+      t_src_stamp.assign(static_cast<std::size_t>(n_), 0);
+      t_src_epoch = 0;
     }
-    const double bytes = static_cast<double>(t.chunks.size()) * cs;
-    PSD_REQUIRE(std::fabs(bytes - step.volume.count()) <=
-                    1e-6 * std::max(1.0, step.volume.count()),
-                "annotated transfer bytes must equal the step volume");
+    if (++t_src_epoch == 0) {  // epoch wrapped: stale stamps could collide
+      std::fill(t_src_stamp.begin(), t_src_stamp.end(), 0);
+      t_src_epoch = 1;
+    }
+    for (const Transfer& t : step.transfers) {
+      PSD_REQUIRE(step.matching.dst_of(t.src) == t.dst,
+                  "transfer endpoints must appear in the step matching");
+      PSD_REQUIRE(!t.chunks.empty(), "transfer must move at least one chunk");
+      // ChunkList runs are sorted, so range-checking the extremes covers
+      // every chunk without densifying.
+      PSD_REQUIRE(t.chunks.first() >= 0 && t.chunks.last() < num_chunks_,
+                  "chunk index out of range");
+      PSD_REQUIRE(t_src_stamp[static_cast<std::size_t>(t.src)] != t_src_epoch,
+                  "duplicate transfer for a (src, dst) pair within one step");
+      t_src_stamp[static_cast<std::size_t>(t.src)] = t_src_epoch;
+      PSD_REQUIRE(approx_equal(cs * static_cast<double>(t.chunks.size()),
+                               step.volume, 1e-6),
+                  "annotated transfer bytes must equal the step volume");
+    }
   }
   steps_.push_back(std::move(step));
 }
@@ -52,8 +76,11 @@ const Step& CollectiveSchedule::step(int i) const {
 }
 
 bool CollectiveSchedule::fully_annotated() const {
+  // add_step guarantees each transfer targets a distinct active pair, so a
+  // step covers its matching iff the counts agree (a step with any active
+  // pair left un-annotated would silently under-deliver in the executor).
   return std::all_of(steps_.begin(), steps_.end(), [](const Step& s) {
-    return !s.transfers.empty() || s.matching.active_pairs() == 0;
+    return static_cast<int>(s.transfers.size()) == s.matching.active_pairs();
   });
 }
 
@@ -81,9 +108,12 @@ psd::Matrix CollectiveSchedule::aggregate_demand() const {
 
 CollectiveSchedule CollectiveSchedule::then(const CollectiveSchedule& tail) const {
   PSD_REQUIRE(tail.n_ == n_, "composed collectives must have equal node count");
+  // Buffer sizes built from the same logical volume through differing
+  // arithmetic (e.g. summed bucket sizes vs one division) differ in the last
+  // ulps; exact == here would silently drop valid annotations.
   const bool keep_chunks = tail.space_ == space_ &&
                            tail.num_chunks_ == num_chunks_ &&
-                           tail.buffer_.count() == buffer_.count();
+                           approx_equal(tail.buffer_, buffer_);
   CollectiveSchedule out(name_ + "+" + tail.name_, n_, buffer_, num_chunks_, space_);
   for (const Step& s : steps_) out.add_step(s);
   for (Step s : tail.steps_) {

@@ -105,6 +105,20 @@ class Bandwidth {
   double bpn_ = 0.0;
 };
 
+/// Relative-tolerance equality for byte counts. Byte volumes are routinely
+/// derived through differing floating-point arithmetic (buffer/n*k vs
+/// chunk_size*k), so exact == on count() is almost always a bug; compare
+/// with this instead. The tolerance is relative to the larger magnitude,
+/// with an absolute floor of `rel_tol` near zero.
+[[nodiscard]] constexpr bool approx_equal(Bytes a, Bytes b, double rel_tol = 1e-9) {
+  const double diff = a.count() > b.count() ? a.count() - b.count()
+                                            : b.count() - a.count();
+  const double mag_a = a.count() < 0.0 ? -a.count() : a.count();
+  const double mag_b = b.count() < 0.0 ? -b.count() : b.count();
+  const double scale = mag_a > mag_b ? mag_a : mag_b;
+  return diff <= rel_tol * (scale > 1.0 ? scale : 1.0);
+}
+
 /// Transmission time of `data` over a link of bandwidth `bw`.
 constexpr TimeNs operator/(Bytes data, Bandwidth bw) {
   return TimeNs(data.count() / bw.bytes_per_ns());

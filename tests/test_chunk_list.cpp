@@ -1,0 +1,231 @@
+#include "psd/collective/chunk_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "psd/util/error.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::collective {
+namespace {
+
+std::vector<int> as_vec(const ChunkList& cl) {
+  std::vector<int> out;
+  for (int c : cl) out.push_back(c);
+  return out;
+}
+
+TEST(ChunkList, EmptyAndSingle) {
+  const ChunkList empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_EQ(empty.num_intervals(), 0);
+  EXPECT_FALSE(empty.contains(0));
+  EXPECT_EQ(as_vec(empty), std::vector<int>{});
+
+  const auto one = ChunkList::single(7);
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_EQ(one.num_intervals(), 1);
+  EXPECT_TRUE(one.contains(7));
+  EXPECT_FALSE(one.contains(6));
+  EXPECT_EQ(one.first(), 7);
+  EXPECT_EQ(one.last(), 7);
+}
+
+TEST(ChunkList, RangeAndInitializerList) {
+  const auto r = ChunkList::range(3, 4);  // {3,4,5,6}
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_EQ(r.num_intervals(), 1);
+  EXPECT_EQ(as_vec(r), (std::vector<int>{3, 4, 5, 6}));
+
+  const ChunkList il{6, 3, 5, 4};  // any order
+  EXPECT_EQ(il, r);
+
+  const ChunkList gap{0, 2, 3, 9};
+  EXPECT_EQ(gap.num_intervals(), 3);
+  EXPECT_EQ(as_vec(gap), (std::vector<int>{0, 2, 3, 9}));
+  EXPECT_TRUE(gap.contains(3));
+  EXPECT_FALSE(gap.contains(4));
+  EXPECT_EQ(gap.first(), 0);
+  EXPECT_EQ(gap.last(), 9);
+}
+
+TEST(ChunkList, RejectsDuplicatesAndNegatives) {
+  EXPECT_THROW((ChunkList{1, 1}), psd::InvalidArgument);
+  EXPECT_THROW((ChunkList{-1, 2}), psd::InvalidArgument);
+  EXPECT_THROW(ChunkList::from_unsorted({3, 5, 3}), psd::InvalidArgument);
+}
+
+TEST(ChunkList, AppendCoalescesAndValidatesOrder) {
+  ChunkList cl;
+  cl.append(0);
+  cl.append(1);           // adjacent: coalesces into [0,2)
+  cl.append_range(5, 2);  // {5,6}
+  EXPECT_EQ(cl.num_intervals(), 2);
+  EXPECT_EQ(cl.size(), 4);
+  EXPECT_THROW(cl.append(6), psd::InvalidArgument);   // overlaps the back run
+  EXPECT_THROW(cl.append(3), psd::InvalidArgument);   // before the back run
+  EXPECT_THROW(cl.append_range(8, 0), psd::InvalidArgument);  // empty run
+  cl.append(7);  // coalesces: {5,6,7}
+  EXPECT_EQ(cl.num_intervals(), 2);
+  EXPECT_EQ(as_vec(cl), (std::vector<int>{0, 1, 5, 6, 7}));
+}
+
+TEST(ChunkList, WrappedRange) {
+  EXPECT_EQ(ChunkList::wrapped_range(1, 3, 8), (ChunkList{1, 2, 3}));
+  // Window {6, 7, 0, 1} mod 8 → two runs.
+  const auto w = ChunkList::wrapped_range(6, 4, 8);
+  EXPECT_EQ(w.num_intervals(), 2);
+  EXPECT_EQ(as_vec(w), (std::vector<int>{0, 1, 6, 7}));
+  // Full circle is the whole range.
+  EXPECT_EQ(ChunkList::wrapped_range(5, 8, 8), ChunkList::range(0, 8));
+  EXPECT_THROW(ChunkList::wrapped_range(8, 1, 8), psd::InvalidArgument);
+  EXPECT_THROW(ChunkList::wrapped_range(0, 9, 8), psd::InvalidArgument);
+}
+
+TEST(ChunkList, UnionIntersectBasics) {
+  const ChunkList a{0, 1, 2, 8, 9};
+  const ChunkList b{2, 3, 4, 9, 15};
+  const auto u = a.union_with(b);
+  EXPECT_EQ(as_vec(u), (std::vector<int>{0, 1, 2, 3, 4, 8, 9, 15}));
+  const auto i = a.intersect(b);
+  EXPECT_EQ(as_vec(i), (std::vector<int>{2, 9}));
+  // Adjacent-but-disjoint runs coalesce in the union.
+  const auto adj = ChunkList::range(0, 2).union_with(ChunkList::range(2, 2));
+  EXPECT_EQ(adj.num_intervals(), 1);
+  EXPECT_EQ(adj.size(), 4);
+  // Union/intersection with the empty set.
+  EXPECT_EQ(a.union_with(ChunkList{}), a);
+  EXPECT_TRUE(a.intersect(ChunkList{}).empty());
+}
+
+TEST(ChunkList, ToVectorRoundTrip) {
+  const ChunkList a{5, 0, 1, 9, 2};
+  EXPECT_EQ(ChunkList::from_unsorted(a.to_vector()), a);
+}
+
+TEST(ChunkList, Rotated) {
+  const ChunkList base{0, 1, 5};
+  EXPECT_EQ(ChunkList::rotated(base, 0, 8), base);
+  EXPECT_EQ(ChunkList::rotated(base, 2, 8), (ChunkList{2, 3, 7}));
+  // 5 + 4 wraps: {4, 5, 1}.
+  EXPECT_EQ(ChunkList::rotated(base, 4, 8), (ChunkList{1, 4, 5}));
+  // Negative offsets normalize mod n.
+  EXPECT_EQ(ChunkList::rotated(base, -3, 8), ChunkList::rotated(base, 5, 8));
+  // A run straddling the wrap point splits...
+  EXPECT_EQ(ChunkList::rotated(ChunkList::range(6, 2), 1, 8), (ChunkList{0, 7}));
+  // ...and runs separated only by the boundary coalesce after rotation.
+  const ChunkList seam{0, 6, 7};
+  EXPECT_EQ(ChunkList::rotated(seam, 2, 8), ChunkList::range(0, 3));
+  EXPECT_THROW(ChunkList::rotated(ChunkList{9}, 1, 8), psd::InvalidArgument);
+}
+
+TEST(ChunkList, RotatedAllMatchesRotated) {
+  const ChunkList base{0, 3, 4, 9, 12, 13};
+  const std::vector<int> offsets = {0, 1, 5, 13, 15};
+  const auto family = ChunkList::rotated_all(base, offsets, 16);
+  ASSERT_EQ(family.size(), offsets.size());
+  for (std::size_t k = 0; k < offsets.size(); ++k) {
+    EXPECT_EQ(family[k], ChunkList::rotated(base, offsets[k], 16))
+        << "offset " << offsets[k];
+  }
+}
+
+TEST(ChunkList, CopyOnWriteIsolation) {
+  // Spilled lists share storage on copy; mutating the copy must not touch
+  // the original.
+  ChunkList a{0, 2, 4, 6};  // 4 runs: spilled
+  const ChunkList snapshot = a;
+  ChunkList b = a;
+  b.append(10);
+  EXPECT_EQ(a, snapshot);
+  EXPECT_EQ(b.size(), 5);
+  EXPECT_TRUE(b.contains(10));
+  EXPECT_FALSE(a.contains(10));
+}
+
+TEST(ChunkList, ArenaSliceMutationIsolation) {
+  // rotated_all packs all rotations into one shared buffer; appending to
+  // one member must not corrupt its siblings.
+  const ChunkList base{0, 2, 4, 8};
+  auto family = ChunkList::rotated_all(base, std::vector<int>{0, 1, 2}, 16);
+  const ChunkList sib0 = family[0];
+  const ChunkList sib2 = family[2];
+  family[1].append(14);
+  EXPECT_EQ(family[0], sib0);
+  EXPECT_EQ(family[2], sib2);
+  EXPECT_EQ(family[1].size(), base.size() + 1);
+}
+
+// ---- Randomized property tests against a std::set reference ------------
+
+std::vector<int> random_subset(Rng& rng, int universe, double density) {
+  std::vector<int> out;
+  for (int c = 0; c < universe; ++c) {
+    if (rng.next_double() < density) out.push_back(c);
+  }
+  return out;
+}
+
+TEST(ChunkListProperty, MatchesSetReference) {
+  Rng rng(20260731);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int universe = rng.uniform_int(1, 96);
+    const double da = rng.next_double();
+    const double db = rng.next_double();
+    const auto va = random_subset(rng, universe, da);
+    const auto vb = random_subset(rng, universe, db);
+    const std::set<int> sa(va.begin(), va.end());
+    const std::set<int> sb(vb.begin(), vb.end());
+    const auto ca = ChunkList::from_unsorted(va);
+    const auto cb = ChunkList::from_unsorted(vb);
+
+    // Size / iteration / contains agree with the reference set.
+    ASSERT_EQ(ca.size(), static_cast<int>(sa.size()));
+    ASSERT_EQ(as_vec(ca), std::vector<int>(sa.begin(), sa.end()));
+    for (int probe = 0; probe < 8; ++probe) {
+      const int c = rng.uniform_int(0, universe);
+      ASSERT_EQ(ca.contains(c), sa.count(c) > 0) << "chunk " << c;
+    }
+
+    // Union and intersection.
+    std::set<int> su = sa;
+    su.insert(sb.begin(), sb.end());
+    std::set<int> si;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(si, si.begin()));
+    ASSERT_EQ(as_vec(ca.union_with(cb)), std::vector<int>(su.begin(), su.end()));
+    ASSERT_EQ(as_vec(cb.union_with(ca)), std::vector<int>(su.begin(), su.end()));
+    ASSERT_EQ(as_vec(ca.intersect(cb)), std::vector<int>(si.begin(), si.end()));
+
+    // Rotation: {(c + o) mod n}.
+    const int o = rng.uniform_int(0, 2 * universe);
+    std::set<int> sr;
+    for (int c : sa) sr.insert((c + o) % universe);
+    ASSERT_EQ(as_vec(ChunkList::rotated(ca, o, universe)),
+              std::vector<int>(sr.begin(), sr.end()))
+        << "universe " << universe << " offset " << o;
+
+    // Canonical form: runs are maximal, so equal sets compare equal even
+    // when built along different paths.
+    ASSERT_EQ(ChunkList::from_unsorted(as_vec(ca)), ca);
+  }
+}
+
+TEST(ChunkListProperty, UnionIsAssociativeOnRandomTriples) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int universe = rng.uniform_int(1, 64);
+    const auto a = ChunkList::from_unsorted(random_subset(rng, universe, 0.4));
+    const auto b = ChunkList::from_unsorted(random_subset(rng, universe, 0.4));
+    const auto c = ChunkList::from_unsorted(random_subset(rng, universe, 0.4));
+    ASSERT_EQ(a.union_with(b).union_with(c), a.union_with(b.union_with(c)));
+    ASSERT_EQ(a.intersect(b).intersect(c), a.intersect(b.intersect(c)));
+  }
+}
+
+}  // namespace
+}  // namespace psd::collective

@@ -1,0 +1,326 @@
+// Golden equivalence matrix for the interval-coded chunk refactor: every
+// schedule builder, across n ∈ {2..9, 16, 64} and both chunk spaces, must
+// produce executor state byte-identical to the pre-refactor explicit
+// std::vector<int> implementation, which is kept here as the reference.
+//
+// RefChunkExecutor / RefBlockExecutor are faithful ports of the pre-ChunkList
+// executors (densifying every transfer with to_vector()), and
+// ref_responsibility_sets is the pre-refactor merge-based recursion that the
+// symmetric/periodic fast path in recursive_exchange.cpp must reproduce
+// exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/collective/executor.hpp"
+#include "psd/collective/recursive_exchange.hpp"
+
+namespace psd::collective {
+namespace {
+
+bool pow2(int n) { return std::has_single_bit(static_cast<unsigned>(n)); }
+
+// ---- Pre-refactor reference executors (explicit chunk vectors) ----------
+
+class RefChunkExecutor {
+ public:
+  RefChunkExecutor(const CollectiveSchedule& schedule, InitMode mode, int root = 0) {
+    n_ = schedule.num_nodes();
+    chunks_ = schedule.num_chunks();
+    words_ = static_cast<std::size_t>((n_ + 63) / 64);
+    mask_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(chunks_) *
+                     words_,
+                 0);
+    switch (mode) {
+      case InitMode::kAllReduce:
+        for (int j = 0; j < n_; ++j) {
+          for (int c = 0; c < chunks_; ++c) set_bit(j, c, j);
+        }
+        break;
+      case InitMode::kAllGather:
+        for (int j = 0; j < n_; ++j) set_full(j, j);
+        break;
+      case InitMode::kBroadcast:
+        for (int c = 0; c < chunks_; ++c) set_full(root, c);
+        break;
+    }
+    run(schedule);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& mask() const { return mask_; }
+  [[nodiscard]] bool double_counted() const { return double_counted_; }
+
+ private:
+  void set_bit(int node, int chunk, int source) {
+    mask_[idx(node, chunk) + static_cast<std::size_t>(source / 64)] |=
+        std::uint64_t{1} << (source % 64);
+  }
+  void set_full(int node, int chunk) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      mask_[idx(node, chunk) + w] = ~std::uint64_t{0};
+    }
+    const int spare = static_cast<int>(words_) * 64 - n_;
+    if (spare > 0) mask_[idx(node, chunk) + words_ - 1] >>= spare;
+  }
+  void run(const CollectiveSchedule& schedule) {
+    std::vector<std::uint64_t> snapshot;
+    for (const Step& step : schedule.steps()) {
+      snapshot = mask_;
+      for (const Transfer& t : step.transfers) {
+        for (int c : t.chunks.to_vector()) {  // densified, as pre-refactor
+          const std::size_t src_off = idx(t.src, c);
+          const std::size_t dst_off = idx(t.dst, c);
+          for (std::size_t w = 0; w < words_; ++w) {
+            const std::uint64_t incoming = snapshot[src_off + w];
+            if (t.reduce) {
+              if ((snapshot[dst_off + w] & incoming) != 0) double_counted_ = true;
+              mask_[dst_off + w] = snapshot[dst_off + w] | incoming;
+            } else {
+              mask_[dst_off + w] = incoming;
+            }
+          }
+        }
+      }
+    }
+  }
+  [[nodiscard]] std::size_t idx(int node, int chunk) const {
+    return (static_cast<std::size_t>(node) * static_cast<std::size_t>(chunks_) +
+            static_cast<std::size_t>(chunk)) *
+           words_;
+  }
+
+  int n_ = 0;
+  int chunks_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> mask_;
+  bool double_counted_ = false;
+};
+
+class RefBlockExecutor {
+ public:
+  explicit RefBlockExecutor(const CollectiveSchedule& schedule) {
+    n_ = schedule.num_nodes();
+    held_.assign(static_cast<std::size_t>(n_),
+                 std::vector<bool>(static_cast<std::size_t>(n_ * n_), false));
+    for (int j = 0; j < n_; ++j) {
+      for (int d = 0; d < n_; ++d) {
+        held_[static_cast<std::size_t>(j)][static_cast<std::size_t>(j * n_ + d)] =
+            true;
+      }
+    }
+    std::vector<std::vector<bool>> snapshot;
+    for (const Step& step : schedule.steps()) {
+      snapshot = held_;
+      for (const Transfer& t : step.transfers) {
+        for (int c : t.chunks.to_vector()) {
+          held_[static_cast<std::size_t>(t.dst)][static_cast<std::size_t>(c)] = true;
+        }
+      }
+    }
+  }
+  [[nodiscard]] bool holds(int node, int chunk) const {
+    return held_[static_cast<std::size_t>(node)][static_cast<std::size_t>(chunk)];
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<bool>> held_;
+};
+
+// ---- Pre-refactor reference responsibility recursion --------------------
+
+using RefSets = std::vector<std::vector<std::vector<int>>>;
+
+RefSets ref_responsibility_sets(int n, const PeerFn& peer) {
+  const int q = std::countr_zero(static_cast<unsigned>(n));
+  RefSets sets(static_cast<std::size_t>(q) + 1,
+               std::vector<std::vector<int>>(static_cast<std::size_t>(n)));
+  for (int j = 0; j < n; ++j) {
+    sets[static_cast<std::size_t>(q)][static_cast<std::size_t>(j)] = {j};
+  }
+  for (int s = q - 1; s >= 0; --s) {
+    for (int j = 0; j < n; ++j) {
+      const int w = peer(j, s);
+      const auto& mine = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(j)];
+      const auto& theirs = sets[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(w)];
+      std::vector<int> merged;
+      merged.reserve(mine.size() + theirs.size());
+      std::merge(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
+                 std::back_inserter(merged));
+      sets[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)] = std::move(merged);
+    }
+  }
+  return sets;
+}
+
+// ---- Comparisons --------------------------------------------------------
+
+void expect_masks_identical(const CollectiveSchedule& sched, InitMode mode,
+                            const std::string& what) {
+  const ChunkExecutor exec(sched, mode);
+  const RefChunkExecutor ref(sched, mode);
+  const int n = sched.num_nodes();
+  const int chunks = sched.num_chunks();
+  const std::size_t words = static_cast<std::size_t>((n + 63) / 64);
+  ASSERT_EQ(exec.double_counted(), ref.double_counted()) << what;
+  long long mismatches = 0;
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < chunks; ++c) {
+      for (int s = 0; s < n; ++s) {
+        const bool got = exec.has_contribution(j, c, s);
+        const bool want =
+            (ref.mask()[(static_cast<std::size_t>(j) * static_cast<std::size_t>(chunks) +
+                         static_cast<std::size_t>(c)) *
+                            words +
+                        static_cast<std::size_t>(s / 64)] >>
+             (s % 64)) &
+            1U;
+        if (got != want) {
+          if (mismatches == 0) {
+            ADD_FAILURE() << what << ": first mismatch at node " << j << " chunk "
+                          << c << " source " << s << " (got " << got << ")";
+          }
+          ++mismatches;
+        }
+      }
+    }
+  }
+  ASSERT_EQ(mismatches, 0) << what;
+}
+
+void expect_blocks_identical(const CollectiveSchedule& sched, const std::string& what) {
+  const BlockExecutor exec(sched);
+  const RefBlockExecutor ref(sched);
+  const int n = sched.num_nodes();
+  long long mismatches = 0;
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < n * n; ++c) {
+      if (exec.holds(j, c) != ref.holds(j, c)) {
+        if (mismatches == 0) {
+          ADD_FAILURE() << what << ": first mismatch at node " << j << " block " << c;
+        }
+        ++mismatches;
+      }
+    }
+  }
+  ASSERT_EQ(mismatches, 0) << what;
+}
+
+void expect_aggregate_demand_identical(const CollectiveSchedule& sched,
+                                       const std::string& what) {
+  const auto agg = sched.aggregate_demand();
+  const int n = sched.num_nodes();
+  psd::Matrix ref(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (const Step& s : sched.steps()) {
+    for (const auto& [src, dst] : s.matching.pairs()) {
+      ref(static_cast<std::size_t>(src), static_cast<std::size_t>(dst)) +=
+          s.volume.count();
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Bitwise equality: the aggregation must do the identical arithmetic.
+      ASSERT_EQ(agg(static_cast<std::size_t>(i), static_cast<std::size_t>(j)),
+                ref(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+          << what << " (" << i << ", " << j << ")";
+    }
+  }
+}
+
+const std::vector<int> kSizes = {2, 3, 4, 5, 6, 7, 8, 9, 16, 64};
+
+class GoldenP : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenP, SegmentBuildersMatchExplicitVectorReference) {
+  const int n = GetParam();
+  const Bytes buf = kib(64 * n);  // keeps chunk sizes integral
+  std::vector<std::pair<std::string, CollectiveSchedule>> schedules;
+  schedules.emplace_back("ring-rs", ring_reduce_scatter(n, buf));
+  schedules.emplace_back("ring-ag", ring_allgather(n, buf));
+  schedules.emplace_back("ring-ar", ring_allreduce(n, buf));
+  schedules.emplace_back("bruck-ag", bruck_allgather(n, buf));
+  schedules.emplace_back("binomial-bcast", binomial_broadcast(n, n / 2, buf));
+  schedules.emplace_back("binomial-reduce", binomial_reduce(n, n - 1, buf));
+  schedules.emplace_back("barrier", dissemination_barrier(n, bytes(64)));
+  if (pow2(n)) {
+    schedules.emplace_back("hd-ar", halving_doubling_allreduce(n, buf));
+    schedules.emplace_back("swing-ar", swing_allreduce(n, buf));
+    schedules.emplace_back("rd-ar", recursive_doubling_allreduce(n, buf));
+    schedules.emplace_back("rd-ag", recursive_doubling_allgather(n, buf));
+    schedules.emplace_back("binomial-scatter", binomial_scatter(n, 1 % n, buf));
+    schedules.emplace_back("binomial-gather", binomial_gather(n, 1 % n, buf));
+  }
+  for (const auto& [name, sched] : schedules) {
+    const std::string what = name + " n=" + std::to_string(n);
+    // Masks must match under both init modes the executor supports for
+    // arbitrary segment schedules (allgather init needs chunks == n).
+    expect_masks_identical(sched, InitMode::kAllReduce, what + " [allreduce-init]");
+    if (sched.num_chunks() == n) {
+      expect_masks_identical(sched, InitMode::kAllGather, what + " [allgather-init]");
+    }
+    expect_masks_identical(sched, InitMode::kBroadcast, what + " [broadcast-init]");
+    expect_aggregate_demand_identical(sched, what);
+  }
+}
+
+TEST_P(GoldenP, BlockBuildersMatchExplicitVectorReference) {
+  const int n = GetParam();
+  const Bytes buf = kib(64 * n);
+  {
+    const auto sched = alltoall_transpose(n, buf);
+    expect_blocks_identical(sched, "a2a-transpose n=" + std::to_string(n));
+    expect_aggregate_demand_identical(sched, "a2a-transpose n=" + std::to_string(n));
+  }
+  if (pow2(n)) {
+    const auto sched = alltoall_bruck(n, buf);
+    expect_blocks_identical(sched, "a2a-bruck n=" + std::to_string(n));
+    expect_aggregate_demand_identical(sched, "a2a-bruck n=" + std::to_string(n));
+  }
+}
+
+TEST_P(GoldenP, RecursiveExchangeChunkSetsMatchMergeRecursion) {
+  const int n = GetParam();
+  if (!pow2(n)) return;
+  const Bytes buf = kib(64 * n);
+  const int q = std::countr_zero(static_cast<unsigned>(n));
+  struct Case {
+    std::string name;
+    PeerFn peers;
+  };
+  const std::vector<Case> cases = {{"halving-doubling", halving_doubling_peers(n)},
+                                   {"swing", swing_peers(n)}};
+  for (const auto& [name, peers] : cases) {
+    const auto ref = ref_responsibility_sets(n, peers);
+    const auto sched = recursive_exchange_allreduce(name, n, buf, peers);
+    ASSERT_EQ(sched.num_steps(), 2 * q) << name;
+    // RS step s: transfer j → w carries A(w, s+1); AG step t: transfer
+    // j → w carries A(j, q−t). Both must equal the merge recursion's sets
+    // element-for-element.
+    for (int s = 0; s < q; ++s) {
+      for (const Transfer& t : sched.step(s).transfers) {
+        ASSERT_EQ(t.chunks.to_vector(),
+                  ref[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(t.dst)])
+            << name << " n=" << n << " rs-step " << s << " src " << t.src;
+      }
+    }
+    for (int tt = 0; tt < q; ++tt) {
+      const int s = q - 1 - tt;
+      for (const Transfer& t : sched.step(q + tt).transfers) {
+        ASSERT_EQ(t.chunks.to_vector(),
+                  ref[static_cast<std::size_t>(s) + 1][static_cast<std::size_t>(t.src)])
+            << name << " n=" << n << " ag-step " << tt << " src " << t.src;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GoldenP, ::testing::ValuesIn(kSizes));
+
+}  // namespace
+}  // namespace psd::collective

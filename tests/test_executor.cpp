@@ -106,6 +106,41 @@ TEST(ChunkExecutor, BroadcastInitMode) {
   EXPECT_THROW(ChunkExecutor(sched, InitMode::kBroadcast, 9), psd::InvalidArgument);
 }
 
+TEST(ChunkExecutor, BroadcastInitSeedsEveryChunk) {
+  // Regression: broadcast init used to seed only chunk 0 at the root, so a
+  // multi-chunk broadcast (scatter + allgather, the bandwidth-optimal van de
+  // Geijn algorithm) could never verify complete.
+  const int n = 8;
+  const int root = 0;  // scatter leaves chunk r at node r, as allgather expects
+  const auto sched =
+      binomial_scatter(n, root, mib(1)).then(bruck_allgather(n, mib(1)));
+  const ChunkExecutor exec(sched, InitMode::kBroadcast, root);
+  for (int c = 0; c < n; ++c) {
+    EXPECT_TRUE(exec.mask_full(root, c)) << "root lost chunk " << c;
+  }
+  EXPECT_TRUE(exec.verify_all_complete());
+}
+
+TEST(ChunkExecutor, RejectsUnderAnnotatedStep) {
+  // Regression: a step annotating only one of its matching's pairs used to
+  // slip through fully_annotated() — and the resulting schedule could even
+  // verify as a correct AllReduce while a claimed transfer moved nothing.
+  CollectiveSchedule s("under", 2, kib(1), 1, ChunkSpace::kSegments);
+  Step full;
+  full.matching = Matching::from_pairs(2, {{0, 1}, {1, 0}});
+  full.volume = kib(1);
+  full.transfers = {{0, 1, {0}, true}, {1, 0, {0}, true}};
+  s.add_step(full);
+  // Second step claims a bidirectional exchange but annotates one direction.
+  Step half;
+  half.matching = Matching::from_pairs(2, {{0, 1}, {1, 0}});
+  half.volume = kib(1);
+  half.transfers = {{0, 1, {0}, false}};
+  s.add_step(half);
+  EXPECT_FALSE(s.fully_annotated());
+  EXPECT_THROW(ChunkExecutor(s, InitMode::kAllReduce), psd::InvalidArgument);
+}
+
 TEST(ChunkExecutor, NumericShadowAgreesWithMasks) {
   // Execute ring allreduce numerically (actual doubles) and compare with
   // the mask verdict: both must certify correctness.

@@ -93,6 +93,55 @@ TEST(CollectiveSchedule, FullyAnnotatedDetection) {
   EXPECT_FALSE(s.fully_annotated());
 }
 
+TEST(CollectiveSchedule, FullyAnnotatedRequiresEveryActivePair) {
+  // Regression: a step annotating only SOME of its matching's active pairs
+  // used to count as annotated, so the executor silently under-delivered
+  // the other pairs' data.
+  auto s = make_sched();
+  Step partial;
+  partial.matching = Matching::rotation(4, 1);  // four active pairs
+  partial.volume = s.chunk_size();
+  partial.transfers.push_back({0, 1, {0}, false});  // only one annotated
+  s.add_step(partial);
+  EXPECT_FALSE(s.fully_annotated());
+}
+
+TEST(CollectiveSchedule, AddStepRejectsDuplicatePairTransfers) {
+  // Regression: two transfers for the same (src, dst) pair each passed the
+  // per-transfer byte check and would double-apply in the executor.
+  auto s = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = s.chunk_size();
+  for (int j = 0; j < 4; ++j) st.transfers.push_back({j, (j + 1) % 4, {j}, false});
+  st.transfers.push_back({0, 1, {2}, false});  // second transfer for 0 → 1
+  EXPECT_THROW(s.add_step(st), psd::InvalidArgument);
+}
+
+TEST(CollectiveSchedule, ThenKeepsAnnotationsAcrossFloatNoise) {
+  // Regression: then() compared buffer sizes with exact floating-point ==,
+  // dropping annotations for buffers built through differing arithmetic.
+  const double exact = kib(96).count();
+  double summed = 0.0;
+  for (int i = 0; i < 10; ++i) summed += exact / 10.0;
+  ASSERT_NE(summed, exact);  // the bit patterns genuinely differ...
+  ASSERT_TRUE(approx_equal(Bytes(summed), Bytes(exact)));  // ...but only in ulps
+
+  const auto make = [](double buffer) {
+    CollectiveSchedule s("part", 4, Bytes(buffer), 4, ChunkSpace::kSegments);
+    Step st;
+    st.matching = Matching::rotation(4, 1);
+    st.volume = s.chunk_size();
+    for (int j = 0; j < 4; ++j) st.transfers.push_back({j, (j + 1) % 4, {j}, false});
+    s.add_step(st);
+    return s;
+  };
+  const auto composed = make(exact).then(make(summed));
+  EXPECT_EQ(composed.num_steps(), 2);
+  EXPECT_TRUE(composed.fully_annotated());  // annotations survived
+  EXPECT_EQ(composed.step(1).transfers.size(), 4u);
+}
+
 TEST(CollectiveSchedule, MaxBytesSentPerNode) {
   auto s = make_sched();
   Step st;
