@@ -16,6 +16,7 @@
 #include "psd/flow/mcf_lp.hpp"
 #include "psd/flow/ring_theta.hpp"
 #include "psd/flow/theta.hpp"
+#include "psd/sweep/driver.hpp"
 #include "psd/topo/builders.hpp"
 #include "psd/util/rng.hpp"
 
@@ -308,6 +309,54 @@ void BM_ChunkListOps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ChunkListOps)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+// Multi-tenant sweep: 12 hypercube-16 scenarios (3 collectives x 2 sizes x
+// 2 reconfiguration delays) whose step matchings overlap heavily, with θ on
+// this topology going through the GK/LP solvers (the expensive case the
+// memo exists for). Arg(0) = per-planner caches (every tenant re-solves),
+// Arg(1) = one cross-planner SharedThetaCache. The counters report the
+// sweep-wide hit rate and the number of exact θ solves actually performed —
+// the shared cache's win is fewer solves, visible in both time and
+// theta_solves.
+void BM_SweepDriver(benchmark::State& state) {
+  const bool shared = state.range(0) == 1;
+  sweep::ScenarioGrid grid;
+  grid.topologies = {sweep::TopologyKind::kHypercube};
+  grid.node_counts = {16};
+  grid.collectives = {
+      sweep::CollectiveSpec{.kind = workload::CollectiveKind::kAllReduce,
+                            .allreduce = workload::AllReduceAlgo::kSwing},
+      sweep::CollectiveSpec{.kind = workload::CollectiveKind::kAllReduce,
+                            .allreduce = workload::AllReduceAlgo::kHalvingDoubling},
+      sweep::CollectiveSpec{.kind = workload::CollectiveKind::kAllGather},
+  };
+  grid.message_sizes = {mib(1), mib(16)};
+  core::CostParams fast;
+  fast.alpha = nanoseconds(100);
+  fast.delta = nanoseconds(100);
+  fast.alpha_r = nanoseconds(100);
+  fast.b = gbps(800);
+  core::CostParams slow = fast;
+  slow.alpha_r = microseconds(10);
+  grid.cost_params = {fast, slow};
+
+  double hit_rate = 0.0;
+  double solves = 0.0;
+  for (auto _ : state) {
+    sweep::SweepOptions options;
+    options.parallel = false;  // timing the work, not the pool
+    // Fresh cache per iteration: hit rate measured within one sweep, not
+    // warmed across iterations.
+    if (shared) options.shared_cache = sweep::make_shared_theta_cache();
+    const auto report = sweep::run_sweep(grid, options);
+    benchmark::DoNotOptimize(report);
+    hit_rate = report.cache.hit_rate();
+    solves = static_cast<double>(report.cache.misses);
+  }
+  state.counters["theta_hit_rate"] = hit_rate;
+  state.counters["theta_solves"] = solves;
+}
+BENCHMARK(BM_SweepDriver)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -42,7 +42,10 @@ struct PlannerOptions {
 class Planner {
  public:
   /// Owns a copy of the base topology; the θ cache persists across plan()
-  /// calls, so parameter sweeps over the same collective are cheap.
+  /// calls, so parameter sweeps over the same collective are cheap. Multi-
+  /// tenant sweeps can set theta_opts.shared_cache to pool θ results across
+  /// planners (see psd/sweep/shared_theta_cache.hpp); by default each
+  /// planner's oracle memoizes privately.
   Planner(topo::Graph base, CostParams params, flow::ThetaOptions theta_opts = {},
           PlannerOptions planner_opts = {});
 

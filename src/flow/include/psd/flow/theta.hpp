@@ -20,16 +20,25 @@
 // often a thread found the lock held — observability for tuning parallel
 // sweeps. concurrent_flow() is stateless apart from the shared base graph
 // and needs no locking.
+//
+// Multi-tenant sweeps can point many oracles at one cross-planner memo via
+// ThetaOptions::shared_cache (keyed by a context fingerprint — graph,
+// b_ref, solver options — plus destinations; see theta_cache.hpp); the
+// private LRU and its counters below then sit idle — hit/miss accounting
+// lives in the shared cache instead.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "psd/flow/commodity.hpp"
 #include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/theta_cache.hpp"
 
 namespace psd::flow {
 
@@ -41,6 +50,12 @@ struct ThetaOptions {
   // Maximum number of memoized matchings; least-recently-used entries are
   // evicted beyond this. Must be >= 1 when use_cache is set.
   std::size_t cache_capacity = 1 << 14;
+  // Cross-oracle memo shared by multi-tenant sweeps (sweep::SharedThetaCache
+  // is the stock implementation). When set (and use_cache is on), θ lookups
+  // go to the shared cache keyed by (graph fingerprint, destinations) and
+  // the private per-oracle LRU above is bypassed; when null — the default —
+  // each oracle memoizes privately as before. use_cache=false disables both.
+  std::shared_ptr<SharedThetaCacheBase> shared_cache;
 };
 
 class ThetaOracle {
@@ -98,6 +113,10 @@ class ThetaOracle {
   Bandwidth b_ref_;
   ThetaOptions opts_;
   bool base_is_ring_;
+  // Shared-cache key half: graph fingerprint mixed with b_ref and the
+  // solver options (everything θ depends on besides the matching). Only
+  // computed when a shared cache is attached.
+  std::uint64_t context_fp_ = 0;
   mutable std::mutex cache_mutex_;
   mutable LruList lru_;
   mutable std::unordered_map<std::vector<int>,

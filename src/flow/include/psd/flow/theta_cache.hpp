@@ -1,0 +1,41 @@
+// The seam between ThetaOracle and a cache shared across oracles.
+//
+// A single oracle memoizes θ privately (see theta.hpp); a multi-tenant
+// sweep runs many planners — and therefore many oracles — over overlapping
+// (topology, matching) pairs, where a shared memo turns each repeated
+// matching into one solve fleet-wide. The flow layer cannot depend on the
+// sweep layer that owns such a cache, so the oracle talks to this abstract
+// interface; sweep::SharedThetaCache is the concrete sharded-LRU
+// implementation.
+//
+// Keys are (context fingerprint, destination vector). The context
+// fingerprint is everything θ depends on besides the matching: the oracle
+// mixes topo::graph_fingerprint with its reference bandwidth and its solver
+// options (epsilon, exact_var_limit), because θ values are normalized by
+// b_ref and solver settings change the computed value — oracles differing
+// in any of these must never serve each other's entries. Implementations
+// must be thread-safe and first-writer-wins on insert races (θ is a pure
+// function of the full key, so racing values are equal anyway).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace psd::flow {
+
+class SharedThetaCacheBase {
+ public:
+  virtual ~SharedThetaCacheBase() = default;
+
+  /// Memoized θ for (context fingerprint, destination vector), or nullopt.
+  [[nodiscard]] virtual std::optional<double> lookup(
+      std::uint64_t context_fp, const std::vector<int>& destinations) = 0;
+
+  /// Records a computed θ; returns the canonical cached value (the first
+  /// writer's, under races — equal to `theta` whenever θ is pure).
+  virtual double insert(std::uint64_t context_fp,
+                        const std::vector<int>& destinations, double theta) = 0;
+};
+
+}  // namespace psd::flow

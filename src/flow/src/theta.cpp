@@ -1,6 +1,8 @@
 #include "psd/flow/theta.hpp"
 
+#include <bit>
 #include <limits>
+#include <utility>
 
 #include "psd/flow/mcf_lp.hpp"
 #include "psd/flow/ring_theta.hpp"
@@ -10,13 +12,34 @@
 
 namespace psd::flow {
 
+namespace {
+
+// The shared-cache context fingerprint: everything θ depends on besides the
+// matching. θ is a pure function of (graph, b_ref, epsilon, exact_var_limit,
+// matching) — b_ref normalizes the value outright, and the solver options
+// move the LP/FPTAS dispatch boundary and the FPTAS accuracy — so oracles
+// differing in any of them must not share entries.
+std::uint64_t shared_context_fingerprint(const topo::Graph& g, Bandwidth b_ref,
+                                         const ThetaOptions& opts) {
+  std::uint64_t h = topo::graph_fingerprint(g);
+  h = topo::fnv1a_mix64(h, std::bit_cast<std::uint64_t>(b_ref.bytes_per_ns()));
+  h = topo::fnv1a_mix64(h, std::bit_cast<std::uint64_t>(opts.epsilon));
+  h = topo::fnv1a_mix64(h, static_cast<std::uint64_t>(opts.exact_var_limit));
+  return h;
+}
+
+}  // namespace
+
 ThetaOracle::ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions opts)
-    : base_(base), b_ref_(b_ref), opts_(opts),
+    : base_(base), b_ref_(b_ref), opts_(std::move(opts)),
       base_is_ring_(topo::is_directed_ring(base)) {
   PSD_REQUIRE(b_ref.bytes_per_ns() > 0.0, "reference bandwidth must be positive");
   PSD_REQUIRE(base.num_nodes() >= 2, "base topology needs at least 2 nodes");
-  PSD_REQUIRE(!opts.use_cache || opts.cache_capacity >= 1,
+  PSD_REQUIRE(!opts_.use_cache || opts_.cache_capacity >= 1,
               "cache_capacity must be at least 1");
+  if (opts_.shared_cache) {
+    context_fp_ = shared_context_fingerprint(base_, b_ref_, opts_);
+  }
 }
 
 std::unique_lock<std::mutex> ThetaOracle::lock_cache() const {
@@ -50,6 +73,16 @@ double ThetaOracle::theta(const topo::Matching& m) const {
   PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
   if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
 
+  if (opts_.use_cache && opts_.shared_cache) {
+    // Cross-planner path: the shared cache replaces the private LRU
+    // entirely, so every oracle over the same context fingerprint (graph +
+    // b_ref + solver options) sees one memo. Misses solve outside any lock;
+    // insert() resolves races first-writer-wins (θ is a pure function of
+    // the full key, so racing values agree).
+    auto& shared = *opts_.shared_cache;
+    if (const auto v = shared.lookup(context_fp_, m.destinations())) return *v;
+    return shared.insert(context_fp_, m.destinations(), theta_uncached(m));
+  }
   if (opts_.use_cache) {
     // Hit path: one hash of the destination vector, one splice. Neither
     // allocates — destinations() is a reference into the matching and the

@@ -4,8 +4,9 @@
 // (direct optical paths); reconfiguring to a new matching costs a delay
 // given by a pluggable ReconfigDelayModel.
 //
-// This is the hardware substitution for a physical OCS (see DESIGN.md): the
-// theory consumes only connectivity and delay, both of which are exact here.
+// This is the hardware substitution for a physical OCS (see
+// docs/architecture.md, "photonic — the fabric model"): the theory consumes
+// only connectivity and delay, both of which are exact here.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,92 @@
+// The multi-tenant sweep driver: expands a scenario grid into independent
+// plan jobs, runs them across a thread pool, and aggregates the planner's
+// Figure 1/2 comparisons into one report.
+//
+// Each job is self-contained — it builds its scenario's topology,
+// materializes the workload, constructs a Planner and plans — so jobs
+// parallelize across scenarios with no shared mutable state except the
+// optional cross-planner θ cache (whose inserts are first-writer-wins over
+// a pure function, so results cannot depend on interleaving). Results land
+// in pre-assigned slots indexed by expansion order; the report's rows are
+// therefore byte-identical between serial and parallel execution, which
+// tests assert and downstream diffing relies on.
+//
+// Report serialization: to_csv() is the deterministic artifact (rows only);
+// to_json() adds the cache counters, whose values under a *shared* cache
+// legitimately depend on thread interleaving (racing misses both solve) —
+// pass include_cache_stats=false when byte-comparing JSON across runs. See
+// docs/sweep.md for both schemas.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psd/core/planner.hpp"
+#include "psd/sweep/scenario.hpp"
+#include "psd/sweep/shared_theta_cache.hpp"
+
+namespace psd::sweep {
+
+struct SweepOptions {
+  // Run scenarios concurrently. With threads == 0 the process-wide
+  // util::ThreadPool::shared() is used; a positive count spins up a
+  // dedicated pool of that size for this sweep.
+  bool parallel = true;
+  unsigned threads = 0;
+  // Per-oracle θ options for every scenario's planner. The shared_cache
+  // field below overrides theta.shared_cache when set.
+  flow::ThetaOptions theta;
+  // Cross-planner θ memo; null means every planner keeps a private cache.
+  std::shared_ptr<SharedThetaCache> shared_cache;
+};
+
+/// One planned scenario.
+struct SweepRow {
+  Scenario scenario;
+  int steps = 0;
+  core::PlannerResult result;
+};
+
+/// Where the report's cache counters came from.
+enum class CacheMode { kPerPlanner, kShared };
+
+[[nodiscard]] const char* to_string(CacheMode mode);
+
+struct SweepReport {
+  std::vector<SweepRow> rows;   // expansion order
+  std::size_t skipped = 0;      // invalid grid combinations (grid runs only)
+  CacheMode cache_mode = CacheMode::kPerPlanner;
+  // Aggregated θ-cache counters: the shared cache's stats, or the sum of
+  // every planner's private-cache counters. Deterministic for per-planner
+  // runs; interleaving-dependent for shared parallel runs (see file
+  // comment). When a shared cache is reused across sweeps, the monotonic
+  // counters (hits/misses/insertions/evictions/contentions) are this
+  // sweep's delta, while `entries` is a gauge: the cache's point-in-time
+  // resident count, including earlier sweeps' entries.
+  util::ShardedLruStats cache;
+};
+
+/// Plans every scenario. Rows come back in input order regardless of
+/// execution order or thread count.
+[[nodiscard]] SweepReport run_sweep(const std::vector<Scenario>& scenarios,
+                                    const SweepOptions& options = {});
+
+/// expand() + run_sweep(), recording the skipped-combination count.
+[[nodiscard]] SweepReport run_sweep(const ScenarioGrid& grid,
+                                    const SweepOptions& options = {});
+
+/// docs/sweep.md JSON schema ("psd-sweep-report-v1"). With
+/// include_cache_stats the "cache" object is appended; without it the
+/// output is byte-identical across serial/parallel runs of the same grid.
+[[nodiscard]] std::string to_json(const SweepReport& report,
+                                  bool include_cache_stats = true);
+
+/// docs/sweep.md CSV schema: header + one row per scenario, rows only —
+/// always byte-identical across serial/parallel runs of the same grid.
+[[nodiscard]] std::string to_csv(const SweepReport& report);
+
+/// Human-readable column-aligned table of the report rows (for CLIs).
+[[nodiscard]] std::string to_table(const SweepReport& report);
+
+}  // namespace psd::sweep

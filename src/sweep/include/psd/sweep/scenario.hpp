@@ -1,0 +1,98 @@
+// Scenario grids: the design-space axes a multi-tenant sweep evaluates.
+//
+// A Scenario is one fully-specified planning problem — (topology builder,
+// node count, collective + algorithm, message size, cost parameters) — and a
+// ScenarioGrid is the cross product of per-axis value lists, expanded in a
+// fixed nesting order so every run of the same grid numbers its scenarios
+// identically (the determinism the sweep report depends on).
+//
+// Grids can be built programmatically or parsed from the line-oriented spec
+// format documented in docs/sweep.md.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psd/core/cost_model.hpp"
+#include "psd/workload/workload.hpp"
+
+namespace psd::sweep {
+
+/// The topology builders a sweep can instantiate (see topo/builders.hpp).
+enum class TopologyKind {
+  kDirectedRing,       // directed_ring(n)
+  kBidirectionalRing,  // bidirectional_ring(n)
+  kTorus2D,            // torus_2d(rows, cols), rows x cols = n, near-square
+  kHypercube,          // hypercube(log2 n); n must be a power of two
+  kFullMesh,           // full_mesh(n)
+};
+
+[[nodiscard]] const char* to_string(TopologyKind kind);
+/// Parses the spec-file names: ring, bidir-ring, torus, hypercube, mesh.
+[[nodiscard]] std::optional<TopologyKind> topology_from_string(std::string_view s);
+
+/// A collective together with the algorithm materializing it. The algorithm
+/// fields only apply to their own kind (allreduce / alltoall); other kinds
+/// use workload::materialize's built-in choice.
+struct CollectiveSpec {
+  workload::CollectiveKind kind = workload::CollectiveKind::kAllReduce;
+  workload::AllReduceAlgo allreduce = workload::AllReduceAlgo::kHalvingDoubling;
+  workload::AllToAllAlgo alltoall = workload::AllToAllAlgo::kTranspose;
+};
+
+/// "allreduce:swing", "alltoall:bruck", "allgather", ...
+[[nodiscard]] std::string to_string(const CollectiveSpec& spec);
+/// Parses to_string's format; the ":algo" suffix is optional and only valid
+/// for allreduce (ring, rd, hd, swing) and alltoall (transpose, bruck).
+[[nodiscard]] std::optional<CollectiveSpec> collective_from_string(
+    std::string_view s);
+
+/// One point of the sweep's design space.
+struct Scenario {
+  TopologyKind topology = TopologyKind::kDirectedRing;
+  int nodes = 0;
+  CollectiveSpec collective;
+  Bytes message;
+  core::CostParams params;
+  int cost_index = 0;  // which ScenarioGrid::cost_params entry
+
+  /// Deterministic label, e.g. "ring/n16/allreduce:swing/4194304B/c0".
+  [[nodiscard]] std::string id() const;
+};
+
+/// Per-axis value lists; expand() takes their cross product.
+struct ScenarioGrid {
+  std::vector<TopologyKind> topologies;
+  std::vector<int> node_counts;
+  std::vector<CollectiveSpec> collectives;
+  std::vector<Bytes> message_sizes;
+  std::vector<core::CostParams> cost_params;
+};
+
+/// True if the combination can be materialized and planned: n >= 2 always;
+/// hypercube and the recursive algorithms (recursive doubling, halving/
+/// doubling, swing, bruck alltoall) need power-of-two n; the torus needs a
+/// factorization with both sides >= 2.
+[[nodiscard]] bool scenario_valid(TopologyKind topology, int nodes,
+                                  const CollectiveSpec& collective);
+
+/// Cross product in fixed nesting order — topology (outermost), nodes,
+/// collective, message size, cost params (innermost) — skipping invalid
+/// combinations (counted into *skipped when non-null). Deterministic: the
+/// i-th scenario of a grid is the same in every process and every run.
+[[nodiscard]] std::vector<Scenario> expand(const ScenarioGrid& grid,
+                                           std::size_t* skipped = nullptr);
+
+/// Builds the scenario's base topology (bandwidth = params.b per link).
+[[nodiscard]] topo::Graph build_topology(TopologyKind kind, int nodes,
+                                         Bandwidth link_bw);
+
+/// Parses the docs/sweep.md grid-spec format: `key = v1, v2, ...` lines,
+/// '#' comments. Throws InvalidArgument naming the offending line on any
+/// unknown key, unparsable value, or missing required axis.
+[[nodiscard]] ScenarioGrid parse_grid_spec(std::string_view text);
+
+}  // namespace psd::sweep

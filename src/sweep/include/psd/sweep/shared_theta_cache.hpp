@@ -1,0 +1,72 @@
+// The cross-planner θ memo for multi-tenant sweeps.
+//
+// A scenario sweep instantiates one Planner (and so one ThetaOracle) per
+// (topology, workload, algorithm, cost) point, but the θ values those
+// planners need overlap heavily: every scenario on the same topology asks
+// about the same step matchings regardless of message size or
+// reconfiguration delay, and collectives share rotation patterns across
+// algorithms. SharedThetaCache is one sharded-mutex LRU — keyed by
+// (topo::graph_fingerprint, destination vector) — that every oracle in the
+// fleet plugs into via flow::ThetaOptions::shared_cache, so each distinct
+// (graph, matching) pair is solved once per sweep instead of once per
+// tenant.
+//
+// Isolation: the oracle-provided context fingerprint (graph fingerprint
+// mixed with b_ref and θ solver options — see flow/theta_cache.hpp) is part
+// of the key, so two topologies — or two oracles with different reference
+// bandwidths or accuracy settings — never share entries even when their
+// matchings' destination vectors are identical. Thread safety and eviction
+// semantics are those of util::ShardedLruCache (per-shard LRU,
+// first-writer-wins inserts).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "psd/flow/theta_cache.hpp"
+#include "psd/util/sharded_lru.hpp"
+
+namespace psd::sweep {
+
+struct SharedThetaCacheOptions {
+  // Total entries across all shards; LRU-evicted per shard beyond this.
+  std::size_t capacity = 1 << 16;
+  // Rounded up to a power of two. One or two per expected worker thread is
+  // plenty: θ solves dwarf the critical section.
+  std::size_t shards = 16;
+};
+
+class SharedThetaCache final : public flow::SharedThetaCacheBase {
+ public:
+  explicit SharedThetaCache(SharedThetaCacheOptions opts = {});
+
+  [[nodiscard]] std::optional<double> lookup(
+      std::uint64_t context_fp, const std::vector<int>& destinations) override;
+
+  double insert(std::uint64_t context_fp, const std::vector<int>& destinations,
+                double theta) override;
+
+  /// Aggregated hit/miss/eviction/contention counters (see ShardedLruStats).
+  [[nodiscard]] util::ShardedLruStats stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t num_shards() const { return cache_.num_shards(); }
+
+ private:
+  struct Key {
+    std::uint64_t context_fp = 0;
+    std::vector<int> destinations;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  util::ShardedLruCache<Key, double, KeyHash> cache_;
+};
+
+/// Convenience: a fresh shared cache as the shared_ptr ThetaOptions wants.
+[[nodiscard]] std::shared_ptr<SharedThetaCache> make_shared_theta_cache(
+    SharedThetaCacheOptions opts = {});
+
+}  // namespace psd::sweep

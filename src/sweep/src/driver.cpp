@@ -1,0 +1,218 @@
+#include "psd/sweep/driver.hpp"
+
+#include <cstdio>
+
+#include "psd/util/json.hpp"
+#include "psd/util/table.hpp"
+#include "psd/util/thread_pool.hpp"
+
+namespace psd::sweep {
+
+namespace {
+
+/// "%.17g": round-trip exact for doubles and identical to JsonWriter's
+/// rendering, so the CSV and JSON artifacts agree on every number.
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct JobResult {
+  SweepRow row;
+  util::ShardedLruStats oracle_stats;  // private θ-cache counters
+};
+
+JobResult run_one(const Scenario& sc, const flow::ThetaOptions& theta_opts) {
+  JobResult out;
+  out.row.scenario = sc;
+  // Planner-internal parallelism off: sweep jobs already saturate the pool
+  // (nested submission would collapse inline anyway), and a single-threaded
+  // plan keeps the private oracle counters a pure function of the scenario.
+  core::Planner planner(build_topology(sc.topology, sc.nodes, sc.params.b),
+                        sc.params, theta_opts,
+                        core::PlannerOptions{.parallel = false});
+  const workload::CollectiveRequest request{sc.collective.kind, sc.message,
+                                            sc.id()};
+  workload::MaterializeOptions mat;
+  mat.allreduce = sc.collective.allreduce;
+  mat.alltoall = sc.collective.alltoall;
+  const auto schedule = workload::materialize(request, sc.nodes, mat);
+  out.row.steps = schedule.num_steps();
+  out.row.result = planner.plan(schedule);
+  const auto& oracle = planner.oracle();
+  out.oracle_stats.hits = oracle.cache_hits();
+  out.oracle_stats.entries = oracle.cache_size();
+  out.oracle_stats.evictions = oracle.cache_evictions();
+  // Every private-cache miss inserts exactly once.
+  out.oracle_stats.insertions = out.oracle_stats.entries + out.oracle_stats.evictions;
+  out.oracle_stats.misses = out.oracle_stats.insertions;
+  out.oracle_stats.lock_contentions = oracle.cache_lock_contentions();
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(CacheMode mode) {
+  return mode == CacheMode::kShared ? "shared" : "per-planner";
+}
+
+SweepReport run_sweep(const std::vector<Scenario>& scenarios,
+                      const SweepOptions& options) {
+  flow::ThetaOptions theta_opts = options.theta;
+  if (options.shared_cache) theta_opts.shared_cache = options.shared_cache;
+  // The effective shared cache, whichever field it arrived through:
+  // options.shared_cache wins, but a SharedThetaCache passed directly via
+  // options.theta.shared_cache is honored too (a custom
+  // SharedThetaCacheBase implementation still runs shared — the report
+  // marks the mode but cannot read counters it doesn't know about).
+  std::shared_ptr<SharedThetaCache> shared = options.shared_cache;
+  if (!shared && theta_opts.shared_cache) {
+    shared = std::dynamic_pointer_cast<SharedThetaCache>(theta_opts.shared_cache);
+  }
+  const bool shared_mode = theta_opts.shared_cache != nullptr;
+
+  // Snapshot the shared cache so a reused cache reports this sweep's delta,
+  // not its lifetime totals.
+  util::ShardedLruStats before;
+  if (shared) before = shared->stats();
+
+  std::vector<JobResult> jobs(scenarios.size());
+  const auto run_job = [&](std::size_t i) {
+    jobs[i] = run_one(scenarios[i], theta_opts);
+  };
+  if (!options.parallel) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) run_job(i);
+  } else if (options.threads > 0) {
+    util::ThreadPool pool(options.threads);
+    pool.parallel_for(scenarios.size(), run_job);
+  } else {
+    util::ThreadPool::shared().parallel_for(scenarios.size(), run_job);
+  }
+
+  SweepReport report;
+  report.rows.reserve(jobs.size());
+  for (auto& job : jobs) {
+    report.rows.push_back(std::move(job.row));
+    if (!shared_mode) {
+      report.cache.hits += job.oracle_stats.hits;
+      report.cache.misses += job.oracle_stats.misses;
+      report.cache.insertions += job.oracle_stats.insertions;
+      report.cache.evictions += job.oracle_stats.evictions;
+      report.cache.entries += job.oracle_stats.entries;
+      report.cache.lock_contentions += job.oracle_stats.lock_contentions;
+    }
+  }
+  if (shared_mode) report.cache_mode = CacheMode::kShared;
+  if (shared) {
+    const auto after = shared->stats();
+    report.cache.hits = after.hits - before.hits;
+    report.cache.misses = after.misses - before.misses;
+    report.cache.insertions = after.insertions - before.insertions;
+    report.cache.evictions = after.evictions - before.evictions;
+    report.cache.entries = after.entries;
+    report.cache.lock_contentions = after.lock_contentions - before.lock_contentions;
+  }
+  return report;
+}
+
+SweepReport run_sweep(const ScenarioGrid& grid, const SweepOptions& options) {
+  std::size_t skipped = 0;
+  const auto scenarios = expand(grid, &skipped);
+  auto report = run_sweep(scenarios, options);
+  report.skipped = skipped;
+  return report;
+}
+
+std::string to_json(const SweepReport& report, bool include_cache_stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("psd-sweep-report-v1");
+  w.key("scenarios").value(static_cast<std::int64_t>(report.rows.size()));
+  w.key("skipped").value(static_cast<std::int64_t>(report.skipped));
+  w.key("rows").begin_array();
+  for (const auto& row : report.rows) {
+    const auto& sc = row.scenario;
+    const auto& r = row.result;
+    w.begin_object();
+    w.key("id").value(sc.id());
+    w.key("topology").value(to_string(sc.topology));
+    w.key("nodes").value(sc.nodes);
+    w.key("collective").value(to_string(sc.collective));
+    w.key("message_bytes").value(sc.message.count());
+    w.key("alpha_ns").value(sc.params.alpha.ns());
+    w.key("delta_ns").value(sc.params.delta.ns());
+    w.key("alpha_r_ns").value(sc.params.alpha_r.ns());
+    w.key("bandwidth_gbps").value(sc.params.b.gbps());
+    w.key("steps").value(row.steps);
+    w.key("optimal_ns").value(r.optimal.total_time().ns());
+    w.key("static_ns").value(r.static_base.total_time().ns());
+    w.key("naive_bvn_ns").value(r.naive_bvn.total_time().ns());
+    w.key("greedy_ns").value(r.greedy.total_time().ns());
+    w.key("reconfigurations").value(r.optimal.num_reconfigurations);
+    w.key("speedup_vs_static").value(r.speedup_vs_static());
+    w.key("speedup_vs_bvn").value(r.speedup_vs_bvn());
+    w.key("speedup_vs_best").value(r.speedup_vs_best_baseline());
+    w.end_object();
+  }
+  w.end_array();
+  if (include_cache_stats) {
+    w.key("cache").begin_object();
+    w.key("mode").value(to_string(report.cache_mode));
+    w.key("hits").value(static_cast<std::int64_t>(report.cache.hits));
+    w.key("misses").value(static_cast<std::int64_t>(report.cache.misses));
+    w.key("insertions").value(static_cast<std::int64_t>(report.cache.insertions));
+    w.key("evictions").value(static_cast<std::int64_t>(report.cache.evictions));
+    w.key("entries").value(static_cast<std::int64_t>(report.cache.entries));
+    w.key("lock_contentions")
+        .value(static_cast<std::int64_t>(report.cache.lock_contentions));
+    w.key("hit_rate").value(report.cache.hit_rate());
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string to_csv(const SweepReport& report) {
+  TextTable t;
+  t.set_header({"id", "topology", "nodes", "collective", "message_bytes",
+                "alpha_ns", "delta_ns", "alpha_r_ns", "bandwidth_gbps", "steps",
+                "optimal_ns", "static_ns", "naive_bvn_ns", "greedy_ns",
+                "reconfigurations", "speedup_vs_static", "speedup_vs_bvn",
+                "speedup_vs_best"});
+  for (const auto& row : report.rows) {
+    const auto& sc = row.scenario;
+    const auto& r = row.result;
+    t.add_row({sc.id(), to_string(sc.topology), std::to_string(sc.nodes),
+               to_string(sc.collective), fmt17(sc.message.count()),
+               fmt17(sc.params.alpha.ns()), fmt17(sc.params.delta.ns()),
+               fmt17(sc.params.alpha_r.ns()), fmt17(sc.params.b.gbps()),
+               std::to_string(row.steps), fmt17(r.optimal.total_time().ns()),
+               fmt17(r.static_base.total_time().ns()),
+               fmt17(r.naive_bvn.total_time().ns()),
+               fmt17(r.greedy.total_time().ns()),
+               std::to_string(r.optimal.num_reconfigurations),
+               fmt17(r.speedup_vs_static()), fmt17(r.speedup_vs_bvn()),
+               fmt17(r.speedup_vs_best_baseline())});
+  }
+  return t.render_csv();
+}
+
+std::string to_table(const SweepReport& report) {
+  TextTable t;
+  t.set_header({"scenario", "steps", "optimal", "static", "naive-bvn", "greedy",
+                "vs-static", "vs-bvn", "reconf"});
+  for (const auto& row : report.rows) {
+    const auto& r = row.result;
+    t.add_row({row.scenario.id(), std::to_string(row.steps),
+               psd::to_string(r.optimal.total_time()),
+               psd::to_string(r.static_base.total_time()),
+               psd::to_string(r.naive_bvn.total_time()),
+               psd::to_string(r.greedy.total_time()),
+               fmt_speedup(r.speedup_vs_static()), fmt_speedup(r.speedup_vs_bvn()),
+               std::to_string(r.optimal.num_reconfigurations)});
+  }
+  return t.render();
+}
+
+}  // namespace psd::sweep

@@ -1,0 +1,361 @@
+#include "psd/sweep/scenario.hpp"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "psd/topo/builders.hpp"
+#include "psd/util/error.hpp"
+
+namespace psd::sweep {
+
+namespace {
+
+using workload::AllReduceAlgo;
+using workload::AllToAllAlgo;
+using workload::CollectiveKind;
+
+bool pow2(int n) { return n >= 2 && std::has_single_bit(static_cast<unsigned>(n)); }
+
+/// Largest divisor of n that is <= sqrt(n) — the torus row count. 1 when n
+/// is prime (which scenario_valid rejects).
+int near_square_rows(int n) {
+  int best = 1;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) best = d;
+  }
+  return best;
+}
+
+std::string fmt_bytes_exact(Bytes b) {
+  const double v = b.count();
+  char buf[40];
+  if (v == std::floor(v) && v >= 0 && v < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+const char* allreduce_suffix(AllReduceAlgo a) {
+  switch (a) {
+    case AllReduceAlgo::kRing: return "ring";
+    case AllReduceAlgo::kRecursiveDoubling: return "rd";
+    case AllReduceAlgo::kHalvingDoubling: return "hd";
+    case AllReduceAlgo::kSwing: return "swing";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDirectedRing: return "ring";
+    case TopologyKind::kBidirectionalRing: return "bidir-ring";
+    case TopologyKind::kTorus2D: return "torus";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kFullMesh: return "mesh";
+  }
+  return "?";
+}
+
+std::optional<TopologyKind> topology_from_string(std::string_view s) {
+  if (s == "ring") return TopologyKind::kDirectedRing;
+  if (s == "bidir-ring") return TopologyKind::kBidirectionalRing;
+  if (s == "torus") return TopologyKind::kTorus2D;
+  if (s == "hypercube") return TopologyKind::kHypercube;
+  if (s == "mesh") return TopologyKind::kFullMesh;
+  return std::nullopt;
+}
+
+std::string to_string(const CollectiveSpec& spec) {
+  std::string out = workload::to_string(spec.kind);
+  if (spec.kind == CollectiveKind::kAllReduce) {
+    out += ':';
+    out += allreduce_suffix(spec.allreduce);
+  } else if (spec.kind == CollectiveKind::kAllToAll) {
+    out += ':';
+    out += spec.alltoall == AllToAllAlgo::kBruck ? "bruck" : "transpose";
+  }
+  return out;
+}
+
+std::optional<CollectiveSpec> collective_from_string(std::string_view s) {
+  std::string_view kind = s;
+  std::string_view algo;
+  if (const auto colon = s.find(':'); colon != std::string_view::npos) {
+    kind = s.substr(0, colon);
+    algo = s.substr(colon + 1);
+  }
+  CollectiveSpec spec;
+  if (kind == "allreduce") {
+    spec.kind = CollectiveKind::kAllReduce;
+    if (algo.empty() || algo == "hd") spec.allreduce = AllReduceAlgo::kHalvingDoubling;
+    else if (algo == "ring") spec.allreduce = AllReduceAlgo::kRing;
+    else if (algo == "rd") spec.allreduce = AllReduceAlgo::kRecursiveDoubling;
+    else if (algo == "swing") spec.allreduce = AllReduceAlgo::kSwing;
+    else return std::nullopt;
+    return spec;
+  }
+  if (kind == "alltoall") {
+    spec.kind = CollectiveKind::kAllToAll;
+    if (algo.empty() || algo == "transpose") spec.alltoall = AllToAllAlgo::kTranspose;
+    else if (algo == "bruck") spec.alltoall = AllToAllAlgo::kBruck;
+    else return std::nullopt;
+    return spec;
+  }
+  if (!algo.empty()) return std::nullopt;
+  if (kind == "allgather") spec.kind = CollectiveKind::kAllGather;
+  else if (kind == "reduce-scatter") spec.kind = CollectiveKind::kReduceScatter;
+  else if (kind == "broadcast") spec.kind = CollectiveKind::kBroadcast;
+  else return std::nullopt;
+  return spec;
+}
+
+std::string Scenario::id() const {
+  std::string out = to_string(topology);
+  out += "/n" + std::to_string(nodes);
+  out += "/" + to_string(collective);
+  out += "/" + fmt_bytes_exact(message) + "B";
+  out += "/c" + std::to_string(cost_index);
+  return out;
+}
+
+bool scenario_valid(TopologyKind topology, int nodes,
+                    const CollectiveSpec& collective) {
+  if (nodes < 2) return false;
+  switch (topology) {
+    case TopologyKind::kHypercube:
+      if (!pow2(nodes)) return false;
+      break;
+    case TopologyKind::kTorus2D:
+      if (near_square_rows(nodes) < 2) return false;
+      break;
+    default:
+      break;
+  }
+  const bool needs_pow2 =
+      (collective.kind == CollectiveKind::kAllReduce &&
+       collective.allreduce != AllReduceAlgo::kRing) ||
+      (collective.kind == CollectiveKind::kAllToAll &&
+       collective.alltoall == AllToAllAlgo::kBruck);
+  return !needs_pow2 || pow2(nodes);
+}
+
+std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
+  PSD_REQUIRE(!grid.topologies.empty(), "grid needs at least one topology");
+  PSD_REQUIRE(!grid.node_counts.empty(), "grid needs at least one node count");
+  PSD_REQUIRE(!grid.collectives.empty(), "grid needs at least one collective");
+  PSD_REQUIRE(!grid.message_sizes.empty(), "grid needs at least one message size");
+  PSD_REQUIRE(!grid.cost_params.empty(), "grid needs at least one cost point");
+  std::size_t skip_count = 0;
+  std::vector<Scenario> out;
+  for (const auto topology : grid.topologies) {
+    for (const int n : grid.node_counts) {
+      for (const auto& coll : grid.collectives) {
+        if (!scenario_valid(topology, n, coll)) {
+          skip_count += grid.message_sizes.size() * grid.cost_params.size();
+          continue;
+        }
+        for (const auto size : grid.message_sizes) {
+          for (std::size_t c = 0; c < grid.cost_params.size(); ++c) {
+            out.push_back(Scenario{topology, n, coll, size, grid.cost_params[c],
+                                   static_cast<int>(c)});
+          }
+        }
+      }
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return out;
+}
+
+topo::Graph build_topology(TopologyKind kind, int nodes, Bandwidth link_bw) {
+  switch (kind) {
+    case TopologyKind::kDirectedRing:
+      return topo::directed_ring(nodes, link_bw);
+    case TopologyKind::kBidirectionalRing:
+      return topo::bidirectional_ring(nodes, link_bw);
+    case TopologyKind::kTorus2D: {
+      const int rows = near_square_rows(nodes);
+      return topo::torus_2d(rows, nodes / rows, link_bw);
+    }
+    case TopologyKind::kHypercube:
+      return topo::hypercube(std::countr_zero(static_cast<unsigned>(nodes)),
+                             link_bw);
+    case TopologyKind::kFullMesh:
+      return topo::full_mesh(nodes, link_bw);
+  }
+  throw InvalidArgument("unknown topology kind");
+}
+
+// ---- Grid-spec parsing ---------------------------------------------------
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_list(std::string_view s) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const auto comma = s.find(',');
+    out.push_back(trim(s.substr(0, comma)));
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+[[noreturn]] void spec_error(int line, const std::string& what) {
+  throw InvalidArgument("grid spec line " + std::to_string(line) + ": " + what);
+}
+
+double parse_number(std::string_view s, int line) {
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    spec_error(line, "expected a number, got '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+int parse_int(std::string_view s, int line) {
+  int v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) {
+    spec_error(line, "expected an integer, got '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// "4MiB", "64KiB", "1GiB", "512B" or a plain number of bytes.
+Bytes parse_size(std::string_view s, int line) {
+  double scale = 1.0;
+  if (s.size() > 3 && s.substr(s.size() - 3) == "KiB") {
+    scale = 1024.0;
+    s.remove_suffix(3);
+  } else if (s.size() > 3 && s.substr(s.size() - 3) == "MiB") {
+    scale = 1024.0 * 1024.0;
+    s.remove_suffix(3);
+  } else if (s.size() > 3 && s.substr(s.size() - 3) == "GiB") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+    s.remove_suffix(3);
+  } else if (s.size() > 1 && s.back() == 'B') {
+    s.remove_suffix(1);
+  }
+  const double v = parse_number(trim(s), line);
+  if (v <= 0.0) spec_error(line, "message size must be positive");
+  return Bytes(v * scale);
+}
+
+}  // namespace
+
+ScenarioGrid parse_grid_spec(std::string_view text) {
+  ScenarioGrid grid;
+  std::vector<double> alpha_r_ns = {10000.0};  // 10 us, the paper's slow OCS
+  double alpha_ns = 100.0;
+  double delta_ns = 100.0;
+  double bandwidth_gbps = 800.0;
+
+  int line_no = 0;
+  std::set<std::string, std::less<>> seen_keys;
+  while (!text.empty()) {
+    ++line_no;
+    const auto nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      spec_error(line_no, "expected 'key = value[, value...]'");
+    }
+    const auto key = trim(line.substr(0, eq));
+    // One line per key: silently accumulating a repeated axis would emit
+    // duplicate scenario ids, and "overriding" would silently ignore the
+    // earlier line — neither is ever what the author meant.
+    if (!seen_keys.emplace(key).second) {
+      spec_error(line_no, "duplicate key '" + std::string(key) +
+                              "' (each key may appear once)");
+    }
+    const auto values = split_list(trim(line.substr(eq + 1)));
+    if (values.empty() || values.front().empty()) {
+      spec_error(line_no, "empty value list for '" + std::string(key) + "'");
+    }
+    if (key == "topology") {
+      for (const auto v : values) {
+        const auto t = topology_from_string(v);
+        if (!t) spec_error(line_no, "unknown topology '" + std::string(v) + "'");
+        grid.topologies.push_back(*t);
+      }
+    } else if (key == "nodes") {
+      for (const auto v : values) {
+        const int n = parse_int(v, line_no);
+        if (n < 2) spec_error(line_no, "node count must be >= 2");
+        grid.node_counts.push_back(n);
+      }
+    } else if (key == "collective") {
+      for (const auto v : values) {
+        const auto c = collective_from_string(v);
+        if (!c) spec_error(line_no, "unknown collective '" + std::string(v) + "'");
+        grid.collectives.push_back(*c);
+      }
+    } else if (key == "size") {
+      for (const auto v : values) grid.message_sizes.push_back(parse_size(v, line_no));
+    } else if (key == "alpha_r_ns") {
+      alpha_r_ns.clear();
+      for (const auto v : values) {
+        const double r = parse_number(v, line_no);
+        if (r < 0.0) spec_error(line_no, "alpha_r_ns must be non-negative");
+        alpha_r_ns.push_back(r);
+      }
+    } else if (key == "alpha_ns" || key == "delta_ns" || key == "bandwidth_gbps") {
+      // Scalars, not axes: a value list here would silently drop all but
+      // the first entry, so reject it outright.
+      if (values.size() != 1) {
+        spec_error(line_no, "'" + std::string(key) +
+                                "' takes a single value, not a list");
+      }
+      const double v = parse_number(values.front(), line_no);
+      if (key == "bandwidth_gbps") {
+        if (v <= 0.0) spec_error(line_no, "bandwidth must be positive");
+        bandwidth_gbps = v;
+      } else {
+        if (v < 0.0) {
+          spec_error(line_no, "'" + std::string(key) + "' must be non-negative");
+        }
+        (key == "alpha_ns" ? alpha_ns : delta_ns) = v;
+      }
+    } else {
+      spec_error(line_no, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (grid.topologies.empty()) throw InvalidArgument("grid spec: missing 'topology'");
+  if (grid.node_counts.empty()) throw InvalidArgument("grid spec: missing 'nodes'");
+  if (grid.collectives.empty()) throw InvalidArgument("grid spec: missing 'collective'");
+  if (grid.message_sizes.empty()) throw InvalidArgument("grid spec: missing 'size'");
+  for (const double r : alpha_r_ns) {
+    core::CostParams p;
+    p.alpha = TimeNs(alpha_ns);
+    p.delta = TimeNs(delta_ns);
+    p.alpha_r = TimeNs(r);
+    p.b = gbps(bandwidth_gbps);
+    grid.cost_params.push_back(p);
+  }
+  return grid;
+}
+
+}  // namespace psd::sweep

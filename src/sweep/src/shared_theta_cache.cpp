@@ -1,0 +1,40 @@
+#include "psd/sweep/shared_theta_cache.hpp"
+
+#include "psd/topo/matching.hpp"
+
+namespace psd::sweep {
+
+std::size_t SharedThetaCache::KeyHash::operator()(const Key& k) const noexcept {
+  // Combine the context fingerprint with the destination hash the
+  // per-oracle cache already uses; the multiply-rotate keeps (fp, dst)
+  // pairs that swap bits from colliding trivially.
+  std::size_t h = topo::hash_destinations(k.destinations);
+  h ^= static_cast<std::size_t>(k.context_fp) + 0x9E3779B97F4A7C15ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+SharedThetaCache::SharedThetaCache(SharedThetaCacheOptions opts)
+    : cache_(opts.capacity, opts.shards) {}
+
+std::optional<double> SharedThetaCache::lookup(
+    std::uint64_t context_fp, const std::vector<int>& destinations) {
+  // The temporary key copies the destination vector; callers are on the θ
+  // miss/solve path or a hit that just avoided an exact solve, so this
+  // allocation is noise. (A heterogeneous-lookup variant could remove it if
+  // a profile ever says otherwise.)
+  return cache_.lookup(Key{context_fp, destinations});
+}
+
+double SharedThetaCache::insert(std::uint64_t context_fp,
+                                const std::vector<int>& destinations,
+                                double theta) {
+  return cache_.insert(Key{context_fp, destinations}, theta);
+}
+
+std::shared_ptr<SharedThetaCache> make_shared_theta_cache(
+    SharedThetaCacheOptions opts) {
+  return std::make_shared<SharedThetaCache>(opts);
+}
+
+}  // namespace psd::sweep

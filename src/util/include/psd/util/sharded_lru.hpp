@@ -1,0 +1,185 @@
+// A sharded, mutex-per-shard, capacity-bounded LRU map — the concurrency
+// substrate for caches shared by many threads (the cross-planner θ cache of
+// multi-tenant sweeps is the motivating user).
+//
+// The single-mutex LRU inside ThetaOracle is the right shape for one oracle
+// serving one planner; a cache shared by a whole sweep fleet serializes every
+// lookup through that one lock. Sharding by key hash keeps the same
+// per-shard design (intrusive LRU list over map nodes, no allocation on
+// hits) while letting disjoint keys proceed in parallel; the LRU bound and
+// the hit/miss/eviction counters are maintained per shard and aggregated on
+// demand.
+//
+// Semantics:
+//   - lookup() returns the cached value and refreshes recency, or nullopt
+//     (counted as a miss).
+//   - insert() is first-writer-wins: when two threads race to insert the
+//     same key, the second caller gets the already-cached value back. Values
+//     must therefore be pure functions of their key — exactly the θ(G, M)
+//     contract.
+//   - Eviction is least-recently-used *within a shard*; total capacity is
+//     divided evenly across shards, so a pathological key distribution can
+//     evict earlier than a global LRU would. Caches of pure functions only
+//     pay a recompute for that, never a wrong answer.
+//
+// Thread safety: all methods may be called concurrently. Stats aggregation
+// locks shards one at a time, so a concurrently-updated aggregate is a
+// point-in-time-per-shard snapshot, not an atomic cut — fine for
+// observability, which is all it is for.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "psd/util/error.hpp"
+
+namespace psd::util {
+
+/// Aggregated counters over all shards of a ShardedLruCache.
+struct ShardedLruStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;       // lookups that found nothing
+  std::size_t insertions = 0;   // entries actually added (losers of races excluded)
+  std::size_t evictions = 0;    // entries dropped by the per-shard LRU bound
+  std::size_t entries = 0;      // current resident entries
+  std::size_t lock_contentions = 0;  // times a caller found a shard lock held
+
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is divided evenly across shards (rounded up, at least 1
+  /// per shard), so the effective total bound is per-shard-capacity x
+  /// shards — up to shards - 1 entries above `capacity`. `num_shards` is
+  /// rounded up to a power of two.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16)
+      : hash_() {
+    PSD_REQUIRE(capacity >= 1, "cache capacity must be at least 1");
+    PSD_REQUIRE(num_shards >= 1, "cache needs at least one shard");
+    const std::size_t shards = std::bit_ceil(num_shards);
+    shards_.reserve(shards);
+    const std::size_t per_shard = (capacity + shards - 1) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Cached value for `key` (refreshing its recency), or nullopt.
+  [[nodiscard]] std::optional<Value> lookup(const Key& key) {
+    Shard& sh = shard_for(key);
+    const auto lk = lock_shard(sh);
+    if (const auto it = sh.map.find(key); it != sh.map.end()) {
+      ++sh.hits;
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second.second);
+      return it->second.first;
+    }
+    ++sh.misses;
+    return std::nullopt;
+  }
+
+  /// Inserts `key -> value`, evicting the shard's LRU tail when full.
+  /// Returns the canonical cached value: on an insert race the first
+  /// writer's value wins and is returned to every caller.
+  Value insert(const Key& key, Value value) {
+    Shard& sh = shard_for(key);
+    const auto lk = lock_shard(sh);
+    const auto [it, inserted] =
+        sh.map.emplace(key, std::make_pair(std::move(value), sh.lru.end()));
+    if (!inserted) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it->second.second);
+      return it->second.first;
+    }
+    ++sh.insertions;
+    sh.lru.push_front(&it->first);
+    it->second.second = sh.lru.begin();
+    if (sh.map.size() > sh.capacity) {
+      // Locate first, erase by iterator: erase-by-key would pass a
+      // reference aliasing the key of the node being destroyed.
+      const auto victim = sh.map.find(*sh.lru.back());
+      PSD_ASSERT(victim != sh.map.end(), "LRU tail missing from shard map");
+      sh.map.erase(victim);
+      sh.lru.pop_back();
+      ++sh.evictions;
+    }
+    return it->second.first;
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// Total resident entries (sums shard sizes; see class comment on
+  /// concurrent snapshots).
+  [[nodiscard]] std::size_t size() const { return stats().entries; }
+
+  [[nodiscard]] ShardedLruStats stats() const {
+    ShardedLruStats agg;
+    for (const auto& sh : shards_) {
+      const std::lock_guard<std::mutex> lk(sh->mutex);
+      agg.hits += sh->hits;
+      agg.misses += sh->misses;
+      agg.insertions += sh->insertions;
+      agg.evictions += sh->evictions;
+      agg.entries += sh->map.size();
+    }
+    agg.lock_contentions = contentions_.load(std::memory_order_relaxed);
+    return agg;
+  }
+
+ private:
+  // Same single-ownership layout as ThetaOracle's LRU: the map owns each key
+  // (unordered_map nodes have stable addresses) and the list holds pointers
+  // back, so hits and splices never allocate.
+  using LruList = std::list<const Key*>;
+
+  struct Shard {
+    explicit Shard(std::size_t cap) : capacity(cap) {}
+    std::mutex mutex;
+    LruList lru;  // front() = most recently used
+    std::unordered_map<Key, std::pair<Value, typename LruList::iterator>, Hash> map;
+    std::size_t capacity;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+  };
+
+  /// Acquires the shard lock, counting contention when it was already held.
+  [[nodiscard]] std::unique_lock<std::mutex> lock_shard(Shard& sh) {
+    std::unique_lock<std::mutex> lk(sh.mutex, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      contentions_.fetch_add(1, std::memory_order_relaxed);
+      lk.lock();
+    }
+    return lk;
+  }
+
+  [[nodiscard]] Shard& shard_for(const Key& key) {
+    // Spread the hash before masking: unordered_map inside the shard uses
+    // the same hash, so shard selection must not just strip its low bits.
+    std::size_t h = hash_(key);
+    h ^= h >> 17;
+    h *= 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    return *shards_[h & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::size_t> contentions_{0};
+  Hash hash_;
+};
+
+}  // namespace psd::util

@@ -3,10 +3,11 @@
 // matching-level CollectiveSchedules for the optimizer and simulator.
 //
 // The paper motivates adaptive fabrics with AI scale-up traffic; since no
-// production traces are available (see DESIGN.md), these generators model
-// the standard structure: tensor-parallel activation AllReduces per layer,
-// MoE token dispatch/combine All-to-Alls, and bucketed data-parallel
-// gradient synchronization.
+// production traces are available (see docs/architecture.md, "workload —
+// synthetic traffic"), these generators model the standard structure:
+// tensor-parallel activation AllReduces per layer, MoE token
+// dispatch/combine All-to-Alls, and bucketed data-parallel gradient
+// synchronization.
 #pragma once
 
 #include <string>

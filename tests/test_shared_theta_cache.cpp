@@ -1,0 +1,300 @@
+// SharedThetaCache and its util::ShardedLruCache substrate: single-shard LRU
+// semantics, cross-tenant sharing, graph-fingerprint isolation, eviction,
+// and concurrent multi-oracle hammering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psd/flow/theta.hpp"
+#include "psd/sweep/shared_theta_cache.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/properties.hpp"
+#include "psd/util/sharded_lru.hpp"
+
+namespace {
+
+using namespace psd;
+
+// ---- util::ShardedLruCache ----------------------------------------------
+
+TEST(ShardedLruCache, MissThenInsertThenHit) {
+  util::ShardedLruCache<int, double> cache(8, 1);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.insert(1, 2.5), 2.5);
+  const auto v = cache.lookup(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2.5);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedLruCache, FirstWriterWinsOnDuplicateInsert) {
+  util::ShardedLruCache<int, double> cache(8, 1);
+  EXPECT_EQ(cache.insert(7, 1.0), 1.0);
+  // Losing writer gets the canonical value back, no second insertion.
+  EXPECT_EQ(cache.insert(7, 99.0), 1.0);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(*cache.lookup(7), 1.0);
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsedWithinShard) {
+  // One shard so the LRU order is global and deterministic.
+  util::ShardedLruCache<int, int> cache(3, 1);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(3, 30);
+  // Touch 1 so 2 becomes the LRU tail, then overflow.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  cache.insert(4, 40);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_TRUE(cache.lookup(4).has_value());
+}
+
+TEST(ShardedLruCache, ShardCountRoundsUpToPowerOfTwo) {
+  util::ShardedLruCache<int, int> cache(100, 5);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  util::ShardedLruCache<int, int> one(100, 1);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(ShardedLruCache, CapacitySpreadsAcrossShards) {
+  // 16 entries over 4 shards = 4 per shard; inserting many distinct keys
+  // never grows past the total bound (modulo per-shard rounding).
+  util::ShardedLruCache<int, int> cache(16, 4);
+  for (int i = 0; i < 1000; ++i) cache.insert(i, i);
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GE(cache.stats().evictions, 1000u - 16u - 3u);
+}
+
+TEST(ShardedLruCache, ConcurrentMixedLookupInsert) {
+  util::ShardedLruCache<int, int> cache(1 << 10, 8);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 256;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          const int key = (k + t * 17) % kKeys;
+          if (const auto v = cache.lookup(key)) {
+            // Values are pure functions of the key.
+            ASSERT_EQ(*v, key * 3);
+          } else {
+            ASSERT_EQ(cache.insert(key, key * 3), key * 3);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(stats.insertions, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(stats.evictions, 0u);
+  // Every lookup either hit or missed; the sum is exact even under races.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::size_t>(kThreads) * 50u * kKeys);
+}
+
+// ---- topo::graph_fingerprint --------------------------------------------
+
+TEST(GraphFingerprint, EqualGraphsCollideDifferentGraphsDoNot) {
+  const auto a = topo::directed_ring(8, gbps(800));
+  const auto b = topo::directed_ring(8, gbps(800));
+  EXPECT_EQ(topo::graph_fingerprint(a), topo::graph_fingerprint(b));
+  EXPECT_NE(topo::graph_fingerprint(a),
+            topo::graph_fingerprint(topo::directed_ring(9, gbps(800))));
+  EXPECT_NE(topo::graph_fingerprint(a),
+            topo::graph_fingerprint(topo::full_mesh(8, gbps(800))));
+  // Capacity participates in the key exactly as θ distinguishes it.
+  EXPECT_NE(topo::graph_fingerprint(a),
+            topo::graph_fingerprint(topo::directed_ring(8, gbps(400))));
+}
+
+// ---- sweep::SharedThetaCache --------------------------------------------
+
+TEST(SharedThetaCache, OraclesOnSameGraphShareEntries) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  auto cache = sweep::make_shared_theta_cache();
+  flow::ThetaOptions opts;
+  opts.shared_cache = cache;
+  const flow::ThetaOracle a(g, gbps(800), opts);
+  const flow::ThetaOracle b(g, gbps(800), opts);
+
+  const auto m = topo::Matching::rotation(16, 5);
+  const double va = a.theta(m);
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_EQ(cache->stats().entries, 1u);
+  const double vb = b.theta(m);
+  EXPECT_EQ(va, vb);
+  // Second oracle was served from the shared memo, not a private solve.
+  EXPECT_EQ(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().entries, 1u);
+  // The private per-oracle caches sat idle.
+  EXPECT_EQ(a.cache_size(), 0u);
+  EXPECT_EQ(b.cache_size(), 0u);
+}
+
+TEST(SharedThetaCache, SharedValuesMatchPrivateCacheValues) {
+  for (const auto& g : {topo::directed_ring(12, gbps(800)),
+                        topo::torus_2d(3, 4, gbps(800))}) {
+    auto cache = sweep::make_shared_theta_cache();
+    flow::ThetaOptions shared_opts;
+    shared_opts.shared_cache = cache;
+    const flow::ThetaOracle shared_oracle(g, gbps(800), shared_opts);
+    const flow::ThetaOracle private_oracle(g, gbps(800));
+    for (int k = 1; k < 12; ++k) {
+      const auto m = topo::Matching::rotation(12, k);
+      EXPECT_EQ(shared_oracle.theta(m), private_oracle.theta(m)) << "k=" << k;
+      // Cached read-back agrees too.
+      EXPECT_EQ(shared_oracle.theta(m), private_oracle.theta(m)) << "k=" << k;
+    }
+  }
+}
+
+TEST(SharedThetaCache, GraphFingerprintIsolatesTopologies) {
+  // Same destination vectors, different topologies: entries must not mix.
+  const auto ring = topo::directed_ring(8, gbps(800));
+  const auto mesh = topo::full_mesh(8, gbps(800));
+  auto cache = sweep::make_shared_theta_cache();
+  flow::ThetaOptions opts;
+  opts.shared_cache = cache;
+  const flow::ThetaOracle ring_oracle(ring, gbps(800), opts);
+  const flow::ThetaOracle mesh_oracle(mesh, gbps(800), opts);
+
+  const auto m = topo::Matching::rotation(8, 3);
+  const double theta_ring = ring_oracle.theta(m);
+  const double theta_mesh = mesh_oracle.theta(m);
+  // On the mesh every pair has a direct link: θ = 1. On the ring a k=3
+  // rotation shares links: θ < 1. A key collision would conflate them.
+  EXPECT_NE(theta_ring, theta_mesh);
+  EXPECT_EQ(cache->stats().entries, 2u);
+  EXPECT_EQ(cache->stats().misses, 2u);
+  // Read back through fresh oracles: both served from the right entry.
+  const flow::ThetaOracle ring2(ring, gbps(800), opts);
+  const flow::ThetaOracle mesh2(mesh, gbps(800), opts);
+  EXPECT_EQ(ring2.theta(m), theta_ring);
+  EXPECT_EQ(mesh2.theta(m), theta_mesh);
+  EXPECT_EQ(cache->stats().hits, 2u);
+}
+
+TEST(SharedThetaCache, DifferentBandwidthOrSolverOptionsDoNotShareEntries) {
+  // θ is normalized by b_ref and shaped by the solver options, so the
+  // context fingerprint must isolate oracles that differ in either — a
+  // graph-only key would let an 800 Gbps tenant serve a 400 Gbps tenant a
+  // 2x-wrong θ.
+  const auto g = topo::directed_ring(8, gbps(800));
+  auto cache = sweep::make_shared_theta_cache();
+  flow::ThetaOptions opts;
+  opts.shared_cache = cache;
+  const flow::ThetaOracle fast(g, gbps(800), opts);
+  const flow::ThetaOracle slow(g, gbps(400), opts);
+  const auto m = topo::Matching::rotation(8, 3);
+  const double theta_fast = fast.theta(m);
+  const double theta_slow = slow.theta(m);
+  EXPECT_EQ(theta_slow, 2.0 * theta_fast);  // half the demand per unit link
+  EXPECT_EQ(cache->stats().entries, 2u);
+  EXPECT_EQ(cache->stats().misses, 2u);
+
+  // Solver-option changes are isolated the same way (fresh entry, not a
+  // hit against the default-options entry).
+  flow::ThetaOptions tweaked = opts;
+  tweaked.epsilon = 0.2;
+  tweaked.exact_var_limit = 0;  // force the FPTAS everywhere
+  const flow::ThetaOracle approx(g, gbps(800), tweaked);
+  (void)approx.theta(m);
+  EXPECT_EQ(cache->stats().entries, 3u);
+}
+
+TEST(SharedThetaCache, LruEvictionAcrossTenantsRecomputesCorrectly) {
+  const auto g = topo::directed_ring(16, gbps(800));
+  auto cache = sweep::make_shared_theta_cache(
+      sweep::SharedThetaCacheOptions{.capacity = 4, .shards = 1});
+  flow::ThetaOptions opts;
+  opts.shared_cache = cache;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+
+  std::vector<double> reference;
+  for (int k = 1; k < 16; ++k) {
+    reference.push_back(oracle.theta(topo::Matching::rotation(16, k)));
+  }
+  EXPECT_GE(cache->stats().evictions, 15u - 4u);
+  EXPECT_LE(cache->stats().entries, 4u);
+  // Evicted entries are recomputed, not wrong.
+  for (int k = 1; k < 16; ++k) {
+    EXPECT_EQ(oracle.theta(topo::Matching::rotation(16, k)),
+              reference[static_cast<std::size_t>(k - 1)]);
+  }
+}
+
+TEST(SharedThetaCache, UseCacheFalseBypassesSharedCache) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  auto cache = sweep::make_shared_theta_cache();
+  flow::ThetaOptions opts;
+  opts.use_cache = false;
+  opts.shared_cache = cache;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+  (void)oracle.theta(topo::Matching::rotation(8, 1));
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(SharedThetaCache, ConcurrentMultiOracleHammering) {
+  // Several threads, each with its own oracle (two distinct topologies),
+  // hammer overlapping rotations through one shared cache. Values must
+  // match a serial single-oracle reference exactly; counters must add up.
+  const auto ring = topo::directed_ring(16, gbps(800));
+  const auto cube = topo::hypercube(4, gbps(800));
+  const flow::ThetaOracle ring_ref(ring, gbps(800), {});
+  const flow::ThetaOracle cube_ref(cube, gbps(800), {});
+  std::vector<double> ref_ring, ref_cube;
+  for (int k = 1; k < 16; ++k) {
+    ref_ring.push_back(ring_ref.theta(topo::Matching::rotation(16, k)));
+    ref_cube.push_back(cube_ref.theta(topo::Matching::rotation(16, k)));
+  }
+
+  auto cache = sweep::make_shared_theta_cache(
+      sweep::SharedThetaCacheOptions{.capacity = 1 << 10, .shards = 4});
+  flow::ThetaOptions opts;
+  opts.shared_cache = cache;
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const bool use_ring = t % 2 == 0;
+      const flow::ThetaOracle oracle(use_ring ? ring : cube, gbps(800), opts);
+      const auto& ref = use_ring ? ref_ring : ref_cube;
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 1; k < 16; ++k) {
+          const double v = oracle.theta(topo::Matching::rotation(16, k));
+          ASSERT_EQ(v, ref[static_cast<std::size_t>(k - 1)])
+              << "t=" << t << " k=" << k;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.entries, 30u);  // 15 rotations x 2 topologies
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::size_t>(kThreads) * kRounds * 15u);
+  // Racing first-round misses may each solve, but the steady state hits:
+  // at least every round after the first per thread.
+  EXPECT_GE(stats.hits, static_cast<std::size_t>(kThreads) * (kRounds - 1) * 15u);
+}
+
+}  // namespace

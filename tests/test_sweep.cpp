@@ -1,0 +1,317 @@
+// Sweep subsystem: grid expansion, spec parsing, driver determinism
+// (serial == parallel, shared == per-planner rows), cache-mode hit-rate
+// comparison, and the docs/sweep.md worked example pinned verbatim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "psd/sweep/driver.hpp"
+#include "psd/util/error.hpp"
+
+namespace {
+
+using namespace psd;
+using sweep::CollectiveSpec;
+using sweep::ScenarioGrid;
+using sweep::TopologyKind;
+using workload::AllReduceAlgo;
+using workload::AllToAllAlgo;
+using workload::CollectiveKind;
+
+core::CostParams cost(double alpha_r_ns) {
+  core::CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = nanoseconds(alpha_r_ns);
+  p.b = gbps(800);
+  return p;
+}
+
+/// ring+hypercube grid with heavy θ overlap across sizes and α_r values.
+ScenarioGrid overlap_grid() {
+  ScenarioGrid grid;
+  grid.topologies = {TopologyKind::kDirectedRing, TopologyKind::kHypercube};
+  grid.node_counts = {8};
+  grid.collectives = {
+      CollectiveSpec{.kind = CollectiveKind::kAllReduce,
+                     .allreduce = AllReduceAlgo::kSwing},
+      CollectiveSpec{.kind = CollectiveKind::kAllReduce,
+                     .allreduce = AllReduceAlgo::kHalvingDoubling},
+      CollectiveSpec{.kind = CollectiveKind::kAllGather},
+  };
+  grid.message_sizes = {mib(1), mib(16)};
+  grid.cost_params = {cost(100.0), cost(10000.0)};
+  return grid;
+}
+
+// ---- Expansion -----------------------------------------------------------
+
+TEST(ScenarioGrid, ExpandsInFixedNestingOrder) {
+  ScenarioGrid grid;
+  grid.topologies = {TopologyKind::kDirectedRing, TopologyKind::kFullMesh};
+  grid.node_counts = {4, 8};
+  grid.collectives = {CollectiveSpec{.kind = CollectiveKind::kAllReduce,
+                                     .allreduce = AllReduceAlgo::kRing}};
+  grid.message_sizes = {mib(1), mib(2)};
+  grid.cost_params = {cost(100.0), cost(10000.0)};
+  std::size_t skipped = 123;
+  const auto scenarios = sweep::expand(grid, &skipped);
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(scenarios.size(), 16u);
+  // Innermost axis first: cost, then size, then nodes, then topology.
+  EXPECT_EQ(scenarios[0].id(), "ring/n4/allreduce:ring/1048576B/c0");
+  EXPECT_EQ(scenarios[1].id(), "ring/n4/allreduce:ring/1048576B/c1");
+  EXPECT_EQ(scenarios[2].id(), "ring/n4/allreduce:ring/2097152B/c0");
+  EXPECT_EQ(scenarios[4].id(), "ring/n8/allreduce:ring/1048576B/c0");
+  EXPECT_EQ(scenarios[8].id(), "mesh/n4/allreduce:ring/1048576B/c0");
+  EXPECT_EQ(scenarios[15].id(), "mesh/n8/allreduce:ring/2097152B/c1");
+}
+
+TEST(ScenarioGrid, SkipsInvalidCombinationsDeterministically) {
+  ScenarioGrid grid;
+  grid.topologies = {TopologyKind::kHypercube};
+  grid.node_counts = {6, 8};  // 6 is not a power of two
+  grid.collectives = {CollectiveSpec{.kind = CollectiveKind::kAllGather}};
+  grid.message_sizes = {mib(1), mib(2)};
+  grid.cost_params = {cost(100.0)};
+  std::size_t skipped = 0;
+  const auto scenarios = sweep::expand(grid, &skipped);
+  EXPECT_EQ(scenarios.size(), 2u);  // n=8 only
+  EXPECT_EQ(skipped, 2u);           // n=6 x 2 sizes x 1 cost
+}
+
+TEST(ScenarioValidity, PowerOfTwoAndFactorizationRules) {
+  const CollectiveSpec ring_ar{.kind = CollectiveKind::kAllReduce,
+                               .allreduce = AllReduceAlgo::kRing};
+  const CollectiveSpec swing_ar{.kind = CollectiveKind::kAllReduce,
+                                .allreduce = AllReduceAlgo::kSwing};
+  const CollectiveSpec bruck{.kind = CollectiveKind::kAllToAll,
+                             .alltoall = AllToAllAlgo::kBruck};
+  const CollectiveSpec transpose{.kind = CollectiveKind::kAllToAll,
+                                 .alltoall = AllToAllAlgo::kTranspose};
+  // Recursive algorithms need power-of-two n; ring/transpose do not.
+  EXPECT_TRUE(sweep::scenario_valid(TopologyKind::kDirectedRing, 6, ring_ar));
+  EXPECT_FALSE(sweep::scenario_valid(TopologyKind::kDirectedRing, 6, swing_ar));
+  EXPECT_FALSE(sweep::scenario_valid(TopologyKind::kDirectedRing, 6, bruck));
+  EXPECT_TRUE(sweep::scenario_valid(TopologyKind::kDirectedRing, 6, transpose));
+  // Hypercube needs power-of-two n regardless of collective.
+  EXPECT_FALSE(sweep::scenario_valid(TopologyKind::kHypercube, 6, ring_ar));
+  EXPECT_TRUE(sweep::scenario_valid(TopologyKind::kHypercube, 8, swing_ar));
+  // Torus needs a rows x cols factorization with both sides >= 2.
+  EXPECT_FALSE(sweep::scenario_valid(TopologyKind::kTorus2D, 7, ring_ar));
+  EXPECT_TRUE(sweep::scenario_valid(TopologyKind::kTorus2D, 6, ring_ar));
+  // Nothing plans on fewer than 2 nodes.
+  EXPECT_FALSE(sweep::scenario_valid(TopologyKind::kDirectedRing, 1, ring_ar));
+}
+
+TEST(ScenarioGrid, BuildTopologyMatchesKind) {
+  EXPECT_EQ(sweep::build_topology(TopologyKind::kTorus2D, 12, gbps(800)).num_nodes(),
+            12);
+  EXPECT_EQ(sweep::build_topology(TopologyKind::kHypercube, 16, gbps(800))
+                .num_edges(),
+            16 * 4 /*dim*/);
+  EXPECT_EQ(sweep::build_topology(TopologyKind::kFullMesh, 5, gbps(800)).num_edges(),
+            5 * 4);
+}
+
+// ---- Spec parsing --------------------------------------------------------
+
+TEST(GridSpec, ParsesAxesSuffixesAndDefaults) {
+  const auto grid = sweep::parse_grid_spec(
+      "# comment\n"
+      "topology = ring, torus   # trailing comment\n"
+      "nodes = 8, 12\n"
+      "collective = allreduce:swing, alltoall:bruck, allgather\n"
+      "size = 512B, 64KiB, 4MiB, 1GiB, 1000\n"
+      "alpha_r_ns = 100, 10000\n");
+  ASSERT_EQ(grid.topologies.size(), 2u);
+  EXPECT_EQ(grid.topologies[1], TopologyKind::kTorus2D);
+  ASSERT_EQ(grid.node_counts.size(), 2u);
+  ASSERT_EQ(grid.collectives.size(), 3u);
+  EXPECT_EQ(grid.collectives[0].allreduce, AllReduceAlgo::kSwing);
+  EXPECT_EQ(grid.collectives[1].alltoall, AllToAllAlgo::kBruck);
+  EXPECT_EQ(grid.collectives[2].kind, CollectiveKind::kAllGather);
+  ASSERT_EQ(grid.message_sizes.size(), 5u);
+  EXPECT_EQ(grid.message_sizes[0].count(), 512.0);
+  EXPECT_EQ(grid.message_sizes[1].count(), 64.0 * 1024.0);
+  EXPECT_EQ(grid.message_sizes[2].count(), 4.0 * 1024.0 * 1024.0);
+  EXPECT_EQ(grid.message_sizes[3].count(), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_EQ(grid.message_sizes[4].count(), 1000.0);
+  ASSERT_EQ(grid.cost_params.size(), 2u);
+  EXPECT_EQ(grid.cost_params[0].alpha_r.ns(), 100.0);
+  EXPECT_EQ(grid.cost_params[1].alpha_r.ns(), 10000.0);
+  // Defaults for the unspecified scalars.
+  EXPECT_EQ(grid.cost_params[0].alpha.ns(), 100.0);
+  EXPECT_EQ(grid.cost_params[0].delta.ns(), 100.0);
+  EXPECT_EQ(grid.cost_params[0].b.gbps(), 800.0);
+}
+
+TEST(GridSpec, RejectsMalformedInput) {
+  EXPECT_THROW(sweep::parse_grid_spec("nonsense line\n"), InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("frobnicate = 3\n"), InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("topology = klein-bottle\n"), InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("nodes = eight\n"), InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("collective = allgather:bruck\n"),
+               InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("size = -4MiB\n"), InvalidArgument);
+  // Negative delays would reward the DP per reconfiguration.
+  EXPECT_THROW(sweep::parse_grid_spec("alpha_r_ns = -10000\n"), InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("alpha_ns = -1\n"), InvalidArgument);
+  // Scalar keys must not silently drop list entries.
+  EXPECT_THROW(sweep::parse_grid_spec("bandwidth_gbps = 400, 800\n"),
+               InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("alpha_ns = 100, 200\n"), InvalidArgument);
+  // Repeated keys would either duplicate scenarios or silently override.
+  EXPECT_THROW(sweep::parse_grid_spec("size = 1MiB\nsize = 16MiB\n"),
+               InvalidArgument);
+  EXPECT_THROW(sweep::parse_grid_spec("topology = ring\nnodes = 8\n"
+                                      "collective = allgather\n"),
+               InvalidArgument);  // missing size
+  EXPECT_THROW(sweep::parse_grid_spec(""), InvalidArgument);
+}
+
+// ---- Driver determinism and cache modes ----------------------------------
+
+TEST(SweepDriver, RowsComeBackInInputOrder) {
+  const auto scenarios = sweep::expand(overlap_grid());
+  const auto report = sweep::run_sweep(scenarios, sweep::SweepOptions{});
+  ASSERT_EQ(report.rows.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(report.rows[i].scenario.id(), scenarios[i].id());
+    EXPECT_GT(report.rows[i].steps, 0);
+    EXPECT_GE(report.rows[i].result.speedup_vs_static(), 1.0);
+    EXPECT_GE(report.rows[i].result.speedup_vs_bvn(), 1.0);
+  }
+}
+
+TEST(SweepDriver, ParallelReportBytesEqualSerialReport) {
+  const auto grid = overlap_grid();
+  for (const bool shared : {false, true}) {
+    sweep::SweepOptions serial;
+    serial.parallel = false;
+    sweep::SweepOptions parallel;
+    parallel.parallel = true;
+    parallel.threads = 4;  // real workers even on a single-core box
+    if (shared) {
+      serial.shared_cache = sweep::make_shared_theta_cache();
+      parallel.shared_cache = sweep::make_shared_theta_cache();
+    }
+    const auto a = sweep::run_sweep(grid, serial);
+    const auto b = sweep::run_sweep(grid, parallel);
+    // The deterministic artifacts: CSV always, JSON minus cache counters
+    // (shared-cache counters legitimately depend on interleaving).
+    EXPECT_EQ(sweep::to_csv(a), sweep::to_csv(b)) << "shared=" << shared;
+    EXPECT_EQ(sweep::to_json(a, /*include_cache_stats=*/false),
+              sweep::to_json(b, /*include_cache_stats=*/false))
+        << "shared=" << shared;
+  }
+}
+
+TEST(SweepDriver, SharedCacheViaThetaOptionsFieldIsHonored) {
+  // A cache handed in through theta.shared_cache (instead of the dedicated
+  // SweepOptions field) must still be recognized: shared mode reported,
+  // counters read from that cache, not a bogus all-zero per-planner block.
+  const auto grid = overlap_grid();
+  sweep::SweepOptions options;
+  options.parallel = false;
+  options.theta.shared_cache = sweep::make_shared_theta_cache();
+  const auto report = sweep::run_sweep(grid, options);
+  EXPECT_EQ(report.cache_mode, sweep::CacheMode::kShared);
+  EXPECT_GT(report.cache.hits, 0u);
+  EXPECT_GT(report.cache.entries, 0u);
+}
+
+TEST(SweepDriver, CacheModeDoesNotChangeResults) {
+  const auto grid = overlap_grid();
+  sweep::SweepOptions per_planner;
+  per_planner.parallel = false;
+  sweep::SweepOptions shared;
+  shared.parallel = false;
+  shared.shared_cache = sweep::make_shared_theta_cache();
+  EXPECT_EQ(sweep::to_csv(sweep::run_sweep(grid, per_planner)),
+            sweep::to_csv(sweep::run_sweep(grid, shared)));
+}
+
+TEST(SweepDriver, SharedCacheHitRateBeatsPerPlannerCaches) {
+  // The acceptance comparison: on a grid whose scenarios ask overlapping θ
+  // questions, one shared memo turns the other tenants' misses into hits.
+  const auto grid = overlap_grid();
+  sweep::SweepOptions per_planner;
+  per_planner.parallel = false;
+  const auto private_report = sweep::run_sweep(grid, per_planner);
+
+  sweep::SweepOptions shared;
+  shared.parallel = false;
+  shared.shared_cache = sweep::make_shared_theta_cache();
+  const auto shared_report = sweep::run_sweep(grid, shared);
+
+  EXPECT_EQ(private_report.cache_mode, sweep::CacheMode::kPerPlanner);
+  EXPECT_EQ(shared_report.cache_mode, sweep::CacheMode::kShared);
+  // Same questions asked either way...
+  EXPECT_EQ(shared_report.cache.hits + shared_report.cache.misses,
+            private_report.cache.hits + private_report.cache.misses);
+  // ...but the shared cache answers far more of them from memory: misses
+  // are exact solves, so this is the "solves saved" headline.
+  EXPECT_GT(shared_report.cache.hit_rate(), private_report.cache.hit_rate());
+  EXPECT_LT(shared_report.cache.misses, private_report.cache.misses / 2);
+}
+
+TEST(SweepDocs, WorkedExampleMatchesDocsVerbatim) {
+  // The exact spec and CSV shown in docs/sweep.md "Worked example". If this
+  // fails, the planner/cost-model/report behavior changed — update the doc
+  // together with this golden.
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\n"
+      "nodes = 8\n"
+      "collective = allreduce:swing\n"
+      "size = 4MiB\n"
+      "alpha_ns = 100\n"
+      "delta_ns = 100\n"
+      "alpha_r_ns = 100, 10000\n"
+      "bandwidth_gbps = 800\n");
+  sweep::SweepOptions options;
+  // Serial: the CSV is interleaving-independent anyway, but the doc also
+  // quotes the cache counters, which are only deterministic serially.
+  options.parallel = false;
+  options.shared_cache = sweep::make_shared_theta_cache();
+  const auto report = sweep::run_sweep(grid, options);
+  const std::string expected =
+      "id,topology,nodes,collective,message_bytes,alpha_ns,delta_ns,"
+      "alpha_r_ns,bandwidth_gbps,steps,optimal_ns,static_ns,naive_bvn_ns,"
+      "greedy_ns,reconfigurations,speedup_vs_static,speedup_vs_bvn,"
+      "speedup_vs_best\n"
+      "ring/n8/allreduce:swing/4194304B/c0,ring,8,allreduce:swing,4194304,"
+      "100,100,100,800,6,75200.319999999992,298001.27999999997,"
+      "75200.319999999992,75200.319999999992,6,3.9627661158888685,1,1\n"
+      "ring/n8/allreduce:swing/4194304B/c1,ring,8,allreduce:swing,4194304,"
+      "100,100,10000,800,6,134600.32000000001,298001.27999999997,"
+      "134600.32000000001,134600.32000000001,6,2.2139715566798053,1,1\n";
+  EXPECT_EQ(sweep::to_csv(report), expected);
+  // The cache-counter story told by the doc: 3 distinct step matchings
+  // solved once, 9 further lookups served from memory.
+  EXPECT_EQ(report.cache.misses, 3u);
+  EXPECT_EQ(report.cache.hits, 9u);
+}
+
+TEST(SweepDriver, JsonReportHasSchemaAndCacheBlock) {
+  ScenarioGrid grid;
+  grid.topologies = {TopologyKind::kDirectedRing};
+  grid.node_counts = {4};
+  grid.collectives = {CollectiveSpec{.kind = CollectiveKind::kAllReduce,
+                                     .allreduce = AllReduceAlgo::kRing}};
+  grid.message_sizes = {mib(1)};
+  grid.cost_params = {cost(10000.0)};
+  sweep::SweepOptions options;
+  options.parallel = false;
+  options.shared_cache = sweep::make_shared_theta_cache();
+  const auto report = sweep::run_sweep(grid, options);
+  const auto json = sweep::to_json(report);
+  EXPECT_NE(json.find("\"schema\":\"psd-sweep-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cache\":{\"mode\":\"shared\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\":"), std::string::npos);
+  const auto without = sweep::to_json(report, /*include_cache_stats=*/false);
+  EXPECT_EQ(without.find("\"cache\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate a psd_sweep report pair against the docs/sweep.md schema.
+
+Usage: check_sweep_report.py REPORT.json [REPORT.csv]
+
+Checks the JSON top-level shape, every row's fields and invariants
+(speedups >= 1, positive times, optimal <= baselines), the cache counter
+block, and — when the CSV is given — that it has the documented header and
+one line per JSON row. Exits non-zero with a message on the first
+violation; CI runs this on the smoke grid's output.
+"""
+import json
+import sys
+
+CSV_HEADER = (
+    "id,topology,nodes,collective,message_bytes,alpha_ns,delta_ns,alpha_r_ns,"
+    "bandwidth_gbps,steps,optimal_ns,static_ns,naive_bvn_ns,greedy_ns,"
+    "reconfigurations,speedup_vs_static,speedup_vs_bvn,speedup_vs_best"
+)
+ROW_FIELDS = CSV_HEADER.split(",")
+CACHE_FIELDS = ["mode", "hits", "misses", "insertions", "evictions",
+                "entries", "lock_contentions", "hit_rate"]
+
+
+def fail(msg):
+    print(f"check_sweep_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_sweep_report.py REPORT.json [REPORT.csv]")
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+
+    if report.get("schema") != "psd-sweep-report-v1":
+        fail(f"unexpected schema {report.get('schema')!r}")
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("rows must be a non-empty array")
+    if report.get("scenarios") != len(rows):
+        fail(f"scenarios={report.get('scenarios')} but {len(rows)} rows")
+    if not isinstance(report.get("skipped"), int) or report["skipped"] < 0:
+        fail("skipped must be a non-negative integer")
+
+    for i, row in enumerate(rows):
+        missing = [k for k in ROW_FIELDS if k not in row]
+        if missing:
+            fail(f"row {i} missing fields: {missing}")
+        for k in ("optimal_ns", "static_ns", "naive_bvn_ns", "greedy_ns"):
+            if not (isinstance(row[k], (int, float)) and row[k] > 0):
+                fail(f"row {i}: {k}={row[k]!r} must be a positive number")
+        # DP optimality: nothing beats the optimal plan.
+        for k in ("static_ns", "naive_bvn_ns", "greedy_ns"):
+            if row[k] < row["optimal_ns"] * (1 - 1e-9):
+                fail(f"row {i}: {k}={row[k]} < optimal_ns={row['optimal_ns']}")
+        for k in ("speedup_vs_static", "speedup_vs_bvn", "speedup_vs_best"):
+            if row[k] < 1 - 1e-9:
+                fail(f"row {i}: {k}={row[k]} < 1")
+        if row["steps"] <= 0 or row["nodes"] < 2:
+            fail(f"row {i}: implausible steps/nodes {row['steps']}/{row['nodes']}")
+
+    cache = report.get("cache")
+    if not isinstance(cache, dict):
+        fail("cache block missing")
+    missing = [k for k in CACHE_FIELDS if k not in cache]
+    if missing:
+        fail(f"cache block missing fields: {missing}")
+    if cache["mode"] not in ("shared", "per-planner"):
+        fail(f"cache mode {cache['mode']!r}")
+    if not 0 <= cache["hit_rate"] <= 1:
+        fail(f"hit_rate {cache['hit_rate']} out of [0, 1]")
+
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            lines = f.read().splitlines()
+        if not lines or lines[0] != CSV_HEADER:
+            fail("CSV header does not match docs/sweep.md")
+        data_lines = [ln for ln in lines[1:] if ln]
+        if len(data_lines) != len(rows):
+            fail(f"CSV has {len(data_lines)} rows, JSON has {len(rows)}")
+        for i, ln in enumerate(data_lines):
+            if len(ln.split(",")) != len(ROW_FIELDS):
+                fail(f"CSV row {i} has wrong column count")
+
+    print(f"check_sweep_report: OK — {len(rows)} rows, "
+          f"cache[{cache['mode']}] hit_rate={cache['hit_rate']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+// psd_sweep: run a multi-tenant scenario sweep from a grid-spec file and
+// emit the JSON/CSV report (schemas in docs/sweep.md).
+//
+//   psd_sweep --spec grid.spec [--out-json report.json] [--out-csv report.csv]
+//             [--serial] [--threads N] [--per-planner-cache] [--quiet]
+//
+// By default scenarios run in parallel on the process-wide pool with one
+// cross-planner θ cache shared by every planner; --per-planner-cache gives
+// each planner its own memo (the baseline the shared cache is measured
+// against), --serial runs scenarios one at a time (the report rows are
+// byte-identical either way).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "psd/sweep/driver.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --spec FILE [--out-json FILE] [--out-csv FILE]\n"
+               "          [--serial] [--threads N] [--per-planner-cache] "
+               "[--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "psd_sweep: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path, out_json, out_csv;
+  bool serial = false, per_planner = false, quiet = false;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psd_sweep: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--spec") spec_path = next();
+    else if (arg == "--out-json") out_json = next();
+    else if (arg == "--out-csv") out_csv = next();
+    else if (arg == "--serial") serial = true;
+    else if (arg == "--threads") {
+      // Digits only: stoul would accept "-1" by wrapping to ULONG_MAX and
+      // the sweep would then try to spawn billions of workers.
+      const std::string v = next();
+      constexpr unsigned kMaxThreads = 1024;
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos ||
+          v.size() > 4 || std::stoul(v) > kMaxThreads) {
+        std::fprintf(stderr, "psd_sweep: --threads needs an integer in [0, %u]\n",
+                     kMaxThreads);
+        return 2;
+      }
+      threads = static_cast<unsigned>(std::stoul(v));
+    }
+    else if (arg == "--per-planner-cache") per_planner = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    else {
+      std::fprintf(stderr, "psd_sweep: unknown argument %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(spec_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "psd_sweep: cannot read %s\n", spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    const auto grid = psd::sweep::parse_grid_spec(buf.str());
+    psd::sweep::SweepOptions options;
+    options.parallel = !serial;
+    options.threads = threads;
+    if (!per_planner) options.shared_cache = psd::sweep::make_shared_theta_cache();
+    const auto report = psd::sweep::run_sweep(grid, options);
+
+    if (!quiet) {
+      std::printf("%s\n", psd::sweep::to_table(report).c_str());
+      std::printf("scenarios: %zu  skipped: %zu  theta-cache[%s]: %zu hits / %zu "
+                  "misses (hit rate %.3f), %zu entries, %zu evictions\n",
+                  report.rows.size(), report.skipped,
+                  to_string(report.cache_mode), report.cache.hits,
+                  report.cache.misses, report.cache.hit_rate(),
+                  report.cache.entries, report.cache.evictions);
+    }
+    if (!out_json.empty() && !write_file(out_json, psd::sweep::to_json(report)))
+      return 1;
+    if (!out_csv.empty() && !write_file(out_csv, psd::sweep::to_csv(report)))
+      return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psd_sweep: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
