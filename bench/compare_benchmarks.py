@@ -19,9 +19,17 @@ runner compared against a baseline recorded on a developer box) shifts all
 ratios equally and cancels out, while a genuine regression of one benchmark
 still stands out. Because normalization would also cancel a *real* uniform
 regression, --max-median-ratio bounds the median itself (baseline box and
-CI runner speeds differ by a known, bounded factor). CI runs this against
-the committed BENCH_solvers.json with --max-ratio 3 --normalize
---max-median-ratio 5.
+CI runner speeds differ by a known, bounded factor).
+
+--check-families exits non-zero when the two files cover different
+benchmark families: a baseline family missing from the new run means a
+perf PR silently dropped coverage; a new family missing from the baseline
+means the committed baseline was not regenerated, leaving that benchmark
+unguarded by the regression gate. Either direction lists the offending
+names.
+
+CI runs this against the committed BENCH_solvers.json with --max-ratio 3
+--normalize --max-median-ratio 5 --check-families.
 """
 
 import argparse
@@ -65,6 +73,9 @@ def main():
     ap.add_argument("--max-median-ratio", type=float, default=math.inf,
                     help="fail if the median ratio itself exceeds this "
                          "(catches uniform regressions --normalize would hide)")
+    ap.add_argument("--check-families", action="store_true",
+                    help="fail if either file has benchmark families the "
+                         "other lacks (dropped coverage / stale baseline)")
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args()
 
@@ -74,7 +85,9 @@ def main():
     delta = {"baseline_file": args.baseline, "new_file": args.new,
              "max_ratio": None if math.isinf(args.max_ratio) else args.max_ratio,
              "normalized": args.normalize,
-             "benchmarks": {}, "regressions": []}
+             "benchmarks": {}, "regressions": [],
+             "missing_from_new": sorted(set(base) - set(new)),
+             "missing_from_baseline": sorted(set(new) - set(base))}
     rows = []
     for name in sorted(set(base) | set(new)):
         b = base.get(name)
@@ -114,6 +127,18 @@ def main():
         if not args.quiet:
             print(f"Wrote {args.out}")
 
+    if args.check_families and (delta["missing_from_new"] or
+                                delta["missing_from_baseline"]):
+        if delta["missing_from_new"]:
+            print("error: benchmark families in the baseline but missing from "
+                  "the new run (dropped coverage): "
+                  + ", ".join(delta["missing_from_new"]), file=sys.stderr)
+        if delta["missing_from_baseline"]:
+            print("error: benchmark families in the new run but missing from "
+                  "the baseline (regenerate BENCH_solvers.json so the "
+                  "regression gate guards them): "
+                  + ", ".join(delta["missing_from_baseline"]), file=sys.stderr)
+        return 1
     if (args.normalize and ratios and median > args.max_median_ratio):
         print(f"error: median ratio {median:.2f} exceeds "
               f"{args.max_median_ratio} - the whole suite regressed "

@@ -17,8 +17,10 @@
 #include "psd/flow/ring_theta.hpp"
 #include "psd/flow/theta.hpp"
 #include "psd/sweep/driver.hpp"
+#include "psd/sweep/shared_theta_cache.hpp"
 #include "psd/topo/builders.hpp"
 #include "psd/util/rng.hpp"
+#include "psd/util/thread_pool.hpp"
 
 namespace {
 
@@ -50,6 +52,9 @@ void BM_RingFlowMaterialize(benchmark::State& state) {
 }
 BENCHMARK(BM_RingFlowMaterialize)->Arg(64)->Arg(256)->Arg(1024);
 
+// Default solver: Fleischer phase schedule over the bucket-queue SSSP with
+// batched demand routings per visit (see flow/garg_konemann.hpp). Arg(128)
+// tracks the large-domain scaling the phase schedule opened up.
 void BM_GargKonemann(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto g = topo::torus_2d(n / 8, 8, gbps(800));
@@ -59,7 +64,7 @@ void BM_GargKonemann(benchmark::State& state) {
         flow::gk_concurrent_flow(g, m, gbps(800), {.epsilon = 0.1}));
   }
 }
-BENCHMARK(BM_GargKonemann)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GargKonemann)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
 // Cold reference: fresh Dijkstra per push (the pre-warm-start behavior).
 void BM_GargKonemannCold(benchmark::State& state) {
@@ -72,6 +77,34 @@ void BM_GargKonemannCold(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GargKonemannCold)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// The PR 2 (1+ε)³ reuse-window algorithm, kept measurable for continuity:
+// the delta between this and BM_GargKonemann is what the phase schedule +
+// bucket queue + batched routings bought.
+void BM_GargKonemannWindowReuse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::torus_2d(n / 8, 8, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::gk_concurrent_flow(
+        g, m, gbps(800), {.epsilon = 0.1, .phase_schedule = false}));
+  }
+}
+BENCHMARK(BM_GargKonemannWindowReuse)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Phase schedule with the exact binary-heap engine: isolates the bucket
+// queue's contribution from the schedule's.
+void BM_GargKonemannPhaseHeap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = topo::torus_2d(n / 8, 8, gbps(800));
+  const auto m = topo::Matching::rotation(n, n / 3);
+  flow::GargKonemannOptions opts{.epsilon = 0.1};
+  opts.sp_engine = flow::GkSpEngine::kBinaryHeap;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::gk_concurrent_flow(g, m, gbps(800), opts));
+  }
+}
+BENCHMARK(BM_GargKonemannPhaseHeap)->Arg(64)->Unit(benchmark::kMillisecond);
 
 // θ-only FPTAS: what the ThetaOracle calls on non-ring fallback — tracks
 // only the O(E) aggregate load, no per-commodity entries.
@@ -150,6 +183,35 @@ void BM_BirkhoffDense(benchmark::State& state) {
 }
 BENCHMARK(BM_BirkhoffDense)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// Threads axis for the pool-parallel support maintenance: Arg pair is
+// (n, parallel?). On a single-core box both rows coincide (parallel_for
+// inlines); on multi-core boxes the delta is the fan-out's win. Results are
+// byte-identical either way (asserted in tests).
+void BM_BirkhoffDenseParallel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool parallel = state.range(1) == 1;
+  Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r != c) {
+        m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            1.0 / static_cast<double>(n - 1);
+      }
+    }
+  }
+  const bvn::BvnOptions opts{.parallel = parallel};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bvn::birkhoff_decompose(m, opts));
+  }
+  state.counters["threads"] = parallel
+      ? static_cast<double>(util::ThreadPool::shared().size())
+      : 1.0;
+}
+BENCHMARK(BM_BirkhoffDenseParallel)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMillisecond);
+
 bvn::BipartiteGraph sparse_bipartite(int n, double avg_degree, std::uint64_t seed) {
   Rng rng(seed);
   bvn::BipartiteGraph g;
@@ -198,6 +260,21 @@ void BM_HopcroftKarpWarmStart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HopcroftKarpWarmStart)->Arg(512)->Arg(2048);
+
+// Shared-cache hit path: heterogeneous KeyView lookup — hash of the
+// borrowed destination vector + sharded LRU splice, no allocation (the
+// temporary-Key copy this used to make is gone; compare against
+// BM_ThetaOracleCacheHit for the private-cache equivalent).
+void BM_SharedThetaCacheLookupHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sweep::SharedThetaCache cache;
+  const auto m = topo::Matching::rotation(n, n / 2 - 1);
+  cache.insert(0x1234, m.destinations(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(0x1234, m.destinations()));
+  }
+}
+BENCHMARK(BM_SharedThetaCacheLookupHit)->Arg(64)->Arg(1024);
 
 // θ-oracle cached lookup: hash of the destination vector + LRU splice, no
 // heap allocation. This is the planner's steady-state query.

@@ -38,6 +38,15 @@ struct BvnOptions {
   // the same term-count bound, and coincide exactly whenever the extracted
   // matchings are forced (e.g. rotation mixtures).
   bool incremental = true;
+  // Fan the per-extraction support maintenance — the residual-subtract +
+  // support-drop scan, and the initial support build — out over
+  // util::ThreadPool::shared(), partitioned by rows. Rows of a matching
+  // touch disjoint state (residual cells, adjacency rows, match slots), so
+  // the decomposition is byte-identical to the serial scan (asserted in
+  // tests, same pattern as the parallel planner); this toggles an execution
+  // strategy, not the algorithm. Engaged for n >= 64 only — below that the
+  // scan is cheaper than the fan-out.
+  bool parallel = true;
 };
 
 /// Decomposes `m` into weighted (sub-)permutations summing back to `m`.

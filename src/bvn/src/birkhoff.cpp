@@ -4,25 +4,45 @@
 #include <cmath>
 
 #include "psd/bvn/hopcroft_karp.hpp"
+#include "psd/util/thread_pool.hpp"
 
 namespace psd::bvn {
 
 namespace {
 
-/// Builds the support bipartite graph of `m` (entries > tol).
-BipartiteGraph support_graph(const psd::Matrix& m, double tol) {
+// Below this size the per-step scans are cheaper than a pool fan-out.
+constexpr int kParallelMinRows = 64;
+
+/// Runs fn(r) for every row, on the shared pool when worthwhile. Rows
+/// touch disjoint state in every caller, so pool and serial execution are
+/// byte-identical; the pool merely reorders independent work.
+template <typename Fn>
+void for_each_row(int n, bool parallel, const Fn& fn) {
+  if (parallel && n >= kParallelMinRows) {
+    util::ThreadPool::shared().parallel_for(
+        static_cast<std::size_t>(n),
+        [&](std::size_t r) { fn(static_cast<int>(r)); });
+  } else {
+    for (int r = 0; r < n; ++r) fn(r);
+  }
+}
+
+/// Builds the support bipartite graph of `m` (entries > tol). Row fills are
+/// independent, so the scan fans out on the pool for large matrices.
+BipartiteGraph support_graph(const psd::Matrix& m, double tol, bool parallel) {
   const int n = static_cast<int>(m.rows());
   BipartiteGraph g;
   g.n_left = n;
   g.n_right = n;
   g.adj.resize(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
+  for_each_row(n, parallel, [&](int r) {
+    auto& row = g.adj[static_cast<std::size_t>(r)];
     for (int c = 0; c < n; ++c) {
       if (m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) > tol) {
-        g.adj[static_cast<std::size_t>(r)].push_back(c);
+        row.push_back(c);
       }
     }
-  }
+  });
   return g;
 }
 
@@ -47,7 +67,7 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
   // entries (the ones driven to zero), so the support never needs a rebuild,
   // and Hopcroft–Karp only has to re-augment the pairs it lost — O(removed
   // edges) repair instead of an O(n²·√n + n²) solve per iteration.
-  BipartiteGraph support = support_graph(residual, opts.tol);
+  BipartiteGraph support = support_graph(residual, opts.tol, opts.parallel);
   std::vector<int> match_left(static_cast<std::size_t>(n), -1);
   std::vector<int> match_right(static_cast<std::size_t>(n), -1);
   MatchingAugmenter augmenter;
@@ -68,7 +88,7 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
   for (int guard = 0; guard < n * n + 1; ++guard) {
     if (!opts.incremental && guard > 0) {
       // Reference path: rebuild everything from scratch each step.
-      support = support_graph(residual, opts.tol);
+      support = support_graph(residual, opts.tol, opts.parallel);
       std::fill(match_left.begin(), match_left.end(), -1);
       std::fill(match_right.begin(), match_right.end(), -1);
     }
@@ -117,10 +137,13 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
     // Subtract along every matched edge — diagonal entries matched alongside
     // real pairs shrink by the same weight, under the same snap rule. An
     // entry driven below tol leaves the residual, the support and the
-    // matching together, keeping all three views consistent.
-    for (int r = 0; r < n; ++r) {
+    // matching together, keeping all three views consistent. Each row
+    // touches only its own residual cell, adjacency row and match slots
+    // (matched columns are distinct), so the scan fans out on the pool with
+    // byte-identical results.
+    for_each_row(n, opts.parallel, [&](int r) {
       const int c = match_left[static_cast<std::size_t>(r)];
-      if (c < 0) continue;
+      if (c < 0) return;
       double& cell = residual(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
       cell -= weight;
       // The `<= 0.0` leg matters when tol == 0: the minimum matched cell
@@ -130,7 +153,7 @@ std::vector<BvnTerm> birkhoff_decompose(const psd::Matrix& input,
         cell = 0.0;
         drop_support_edge(r, c);
       }
-    }
+    });
     terms.push_back(std::move(term));
   }
 

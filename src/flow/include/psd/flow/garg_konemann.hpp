@@ -11,35 +11,67 @@
 // commodity's shortest path had when computed lower-bounds the current
 // shortest distance forever — a cached path whose current length is within
 // a (1+ε)^O(1) window of that distance is still an approximate shortest
-// path (Fleischer's relaxation). With warm_start the solver reuses cached
-// paths under that test instead of running Dijkstra before every push,
-// computes the initial per-commodity paths as one batch (optionally on the
-// shared util::ThreadPool), and runs recomputes on an allocation-free
-// CSR-based Dijkstra that stops as soon as the destination settles. All of
-// this is bitwise-deterministic: parallel and serial execution produce
-// identical flows.
+// path (Fleischer's relaxation). The default solver runs Fleischer's phase
+// schedule: a global threshold α·(1+ε)^{2i} sweeps upward, each commodity
+// keeps pushing along its cached path while the path's dual length stays
+// under (1+ε)·threshold, and a recompute — one radius-capped bucket-queue
+// SSSP per *source group*, so k same-source commodities cost one search —
+// only fires when the path crosses. The bucket queue (topo::BucketQueueSssp)
+// settles ε-quantized dual distances in a monotone sweep: no heap, integer
+// compares, and nodes beyond the threshold radius are never explored, which
+// is what makes a "wasted" search (commodity already past the phase) cheap.
+// phase_schedule=false selects the earlier (1+ε)³ reuse-window round-robin;
+// warm_start=false restores the legacy fresh-Dijkstra-per-push reference
+// bit-for-bit. All modes are bitwise-deterministic: parallel and serial
+// execution produce identical flows.
 #pragma once
 
 #include "psd/flow/commodity.hpp"
 
 namespace psd::flow {
 
+/// SSSP backend for the phase schedule's recomputes. The bucket queue is
+/// the fast path; the binary heap is exact (it also tightens the
+/// commodity's distance lower bound, saving phase checks) and is what the
+/// non-phase modes always use.
+enum class GkSpEngine {
+  kBucketQueue,
+  kBinaryHeap,
+};
+
 struct GargKonemannOptions {
   double epsilon = 0.05;   // accuracy knob; smaller = tighter & slower
   long long max_path_pushes = 50'000'000;  // hard safety bound
-  // Reuse each commodity's shortest path across pushes until its current
-  // length exceeds (1+ε)³·(its distance when computed). Lengths are
-  // monotone, so such a path is within (1+ε)³ of the current shortest and
-  // the approximation guarantee loses O(ε) — cross-validated against the
-  // exact solvers in tests. false restores a fresh Dijkstra per push (the
-  // pre-warm-start reference behavior, used by the golden equivalence
-  // tests; its path choices are pinned to topo::dijkstra's).
+  // Reuse each commodity's cached shortest path across pushes (under the
+  // phase-threshold or (1+ε)³-window test — see phase_schedule) instead of
+  // running a fresh search before every push. false restores the legacy
+  // reference behavior — fresh Dijkstra per push, round-robin schedule —
+  // bit-for-bit (its path choices are pinned to topo::dijkstra's); the
+  // golden equivalence tests rely on this.
   bool warm_start = true;
-  // Execute the initial batch of per-commodity shortest paths on the shared
-  // ThreadPool. The solves are independent and read-only over the lengths,
-  // so results are bitwise identical to serial execution; this toggles an
-  // execution strategy, not the algorithm. No effect unless warm_start is
-  // set.
+  // Fleischer's phase schedule (see header comment): commodities are pushed
+  // in threshold order and searches batch by source and are radius-capped.
+  // false selects the earlier round-robin (1+ε)³ reuse-window variant,
+  // unchanged from PR 2 (the differential tests pin it against the legacy
+  // reference). No effect unless warm_start is set. Both stay within the
+  // (1 − O(ε)) guarantee with the same (1+ε)³ per-push approximation.
+  bool phase_schedule = true;
+  // SSSP engine for phase-schedule recomputes (no effect in other modes).
+  GkSpEngine sp_engine = GkSpEngine::kBucketQueue;
+  // Full demand routings per commodity visit in the phase schedule
+  // (Fleischer routes a commodity repeatedly within a phase). One search
+  // amortizes across the batch, and fairness is exact — every commodity
+  // ships the same batch per round-robin round — at the cost of a
+  // termination imbalance of up to this many demand units, negligible
+  // against the hundreds of rounds a solve runs. 1 restores one routing
+  // per visit (the other modes' granularity). No effect unless
+  // phase_schedule is active.
+  int phase_visit_routings = 4;
+  // Execute the initial batch of per-source shortest-path searches on the
+  // shared ThreadPool. The solves are independent and read-only over the
+  // lengths, so results are bitwise identical to serial execution; this
+  // toggles an execution strategy, not the algorithm. No effect unless
+  // warm_start is set.
   bool parallel = true;
 };
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "psd/topo/shortest_path.hpp"
 #include "psd/util/thread_pool.hpp"
 
 namespace psd::flow {
@@ -20,48 +21,17 @@ double current_path_length(const std::vector<topo::EdgeId>& path,
   return total;
 }
 
-/// Flat adjacency copy of the graph: the push loop runs one shortest-path
-/// query per push — tens of thousands per solve — and the Graph's
-/// vector-of-vectors adjacency plus Edge-struct hops dominated the search's
-/// memory traffic.
-struct Csr {
-  std::vector<int> head;              // size V+1
-  std::vector<topo::NodeId> to;       // neighbour of the arc
-  std::vector<topo::EdgeId> eid;      // underlying edge id
-  std::vector<int> arc_of_edge;       // inverse of eid (edges appear once)
-
-  void build(const topo::Graph& g) {
-    const int V = g.num_nodes();
-    head.assign(static_cast<std::size_t>(V) + 1, 0);
-    to.resize(static_cast<std::size_t>(g.num_edges()));
-    eid.resize(static_cast<std::size_t>(g.num_edges()));
-    arc_of_edge.resize(static_cast<std::size_t>(g.num_edges()));
-    std::size_t at = 0;
-    for (topo::NodeId v = 0; v < V; ++v) {
-      head[static_cast<std::size_t>(v)] = static_cast<int>(at);
-      // Arcs in out_edges order: the relaxation order (and therefore every
-      // tie-break) matches a loop over g.out_edges exactly.
-      for (topo::EdgeId e : g.out_edges(v)) {
-        to[at] = g.edge(e).dst;
-        eid[at] = e;
-        arc_of_edge[static_cast<std::size_t>(e)] = static_cast<int>(at);
-        ++at;
-      }
-    }
-    head[static_cast<std::size_t>(V)] = static_cast<int>(at);
-  }
-};
-
 /// Allocation-free shortest-path engine for one commodity: epoch-stamped
 /// scratch (no O(V) clears), a manual binary heap reusing its buffer, an
-/// early stop once the destination settles, and a flat CSR adjacency. The
-/// relaxation order and tie-breaks are exactly topo::dijkstra's (the CSR
-/// stores arcs in out_edges order and both use a lazy-deletion binary
-/// min-heap over (dist, node)), so the returned path is identical — the
-/// golden equivalence tests pin this.
+/// early stop once the destination settles, and a flat CSR adjacency
+/// (topo::CsrAdjacency). The relaxation order and tie-breaks are exactly
+/// topo::dijkstra's (the CSR stores arcs in out_edges order and both use a
+/// lazy-deletion binary min-heap over (dist, node)), so the returned path
+/// is identical — the golden equivalence tests pin this.
 struct PathFinder {
   std::vector<double> dist;
   std::vector<topo::EdgeId> parent;
+  std::vector<topo::NodeId> parent_node;
   std::vector<unsigned> stamp;
   unsigned epoch = 0;
   std::vector<std::pair<double, topo::NodeId>> heap;  // (dist, node) min-heap
@@ -71,7 +41,24 @@ struct PathFinder {
       stamp[v] = epoch;
       dist[v] = kInf;
       parent[v] = -1;
+      parent_node[v] = -1;
     }
+  }
+
+  void reset(std::size_t n) {
+    if (dist.size() != n) {
+      dist.assign(n, kInf);
+      parent.assign(n, -1);
+      parent_node.assign(n, -1);
+      stamp.assign(n, 0);
+      epoch = 0;
+    }
+    ++epoch;
+    if (epoch == 0) {  // wrapped (engines are long-lived): avoid stale stamps
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 1;
+    }
+    heap.clear();
   }
 
   static bool heap_greater(const std::pair<double, topo::NodeId>& a,
@@ -82,22 +69,11 @@ struct PathFinder {
   /// Returns dist(src, dst), filling `path_out` with the edge path (empty if
   /// unreachable). Stops as soon as dst is settled: the parent chain of a
   /// settled node is final, so the result matches a full run.
-  double shortest_path(const topo::Graph& g, const Csr& fwd, topo::NodeId src,
-                       topo::NodeId dst, const std::vector<double>& arc_length,
+  double shortest_path(const topo::Graph& g, const topo::CsrAdjacency& fwd,
+                       topo::NodeId src, topo::NodeId dst,
+                       const std::vector<double>& arc_length,
                        std::vector<topo::EdgeId>& path_out) {
-    const auto n = static_cast<std::size_t>(g.num_nodes());
-    if (dist.size() != n) {
-      dist.assign(n, kInf);
-      parent.assign(n, -1);
-      stamp.assign(n, 0);
-      epoch = 0;
-    }
-    ++epoch;
-    if (epoch == 0) {  // wrapped (engines are long-lived): avoid stale stamps
-      std::fill(stamp.begin(), stamp.end(), 0u);
-      epoch = 1;
-    }
-    heap.clear();
+    reset(static_cast<std::size_t>(g.num_nodes()));
     path_out.clear();
     touch(static_cast<std::size_t>(src));
     dist[static_cast<std::size_t>(src)] = 0.0;
@@ -136,6 +112,66 @@ struct PathFinder {
     std::reverse(path_out.begin(), path_out.end());
     return dst_dist;
   }
+
+  /// Multi-target variant for the phase schedule's same-source batches:
+  /// settles nodes until every entry of `targets` is settled (or the queue
+  /// empties), after which extract() reads each target's distance and path.
+  /// k same-source commodities cost one search instead of k.
+  void run_targets(const topo::CsrAdjacency& fwd, topo::NodeId src,
+                   const std::vector<double>& arc_length,
+                   std::span<const topo::NodeId> targets) {
+    reset(fwd.head.size() - 1);
+    touch(static_cast<std::size_t>(src));
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    heap.emplace_back(0.0, src);
+    std::size_t targets_left = targets.size();
+    while (!heap.empty() && targets_left > 0) {
+      const auto [d, u] = heap.front();
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      heap.pop_back();
+      const auto ui = static_cast<std::size_t>(u);
+      if (stamp[ui] != epoch || d > dist[ui]) continue;  // stale entry
+      for (const topo::NodeId t : targets) {
+        if (t == u) --targets_left;
+      }
+      if (targets_left == 0) break;
+      const int arc_end = fwd.head[ui + 1];
+      for (int i = fwd.head[ui]; i < arc_end; ++i) {
+        const auto ai = static_cast<std::size_t>(i);
+        const double nd = d + arc_length[ai];
+        const auto vi = static_cast<std::size_t>(fwd.to[ai]);
+        touch(vi);
+        if (nd < dist[vi]) {
+          dist[vi] = nd;
+          parent[vi] = fwd.eid[ai];
+          parent_node[vi] = u;
+          heap.emplace_back(nd, fwd.to[ai]);
+          std::push_heap(heap.begin(), heap.end(), heap_greater);
+        }
+      }
+    }
+  }
+
+  /// Distance and edge path to a target settled by run_targets(); +inf and
+  /// an empty path if the target never settled (disconnected).
+  double extract(topo::NodeId src, topo::NodeId dst,
+                 std::vector<topo::EdgeId>& path_out) const {
+    path_out.clear();
+    const auto di = static_cast<std::size_t>(dst);
+    if (stamp[di] != epoch || dist[di] == kInf) return kInf;
+    for (topo::NodeId cur = dst; cur != src;) {
+      const auto ci = static_cast<std::size_t>(cur);
+      const topo::EdgeId e = parent[ci];
+      if (e < 0) {
+        path_out.clear();
+        return kInf;
+      }
+      path_out.push_back(e);
+      cur = parent_node[ci];
+    }
+    std::reverse(path_out.begin(), path_out.end());
+    return dist[di];
+  }
 };
 
 /// Shared engine for the full and θ-only entry points. When `materialize`
@@ -147,6 +183,8 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
                             bool materialize) {
   PSD_REQUIRE(opts.epsilon > 0.0 && opts.epsilon < 0.5,
               "epsilon must be in (0, 0.5)");
+  PSD_REQUIRE(opts.phase_visit_routings >= 1,
+              "phase_visit_routings must be at least 1");
   ConcurrentFlowResult res;
   res.flow.reset(g.num_edges());
   if (commodities.empty()) {
@@ -172,26 +210,24 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   for (std::size_t e = 0; e < E; ++e) length[e] = delta / caps[e];
   double dual_volume = static_cast<double>(E) * delta;  // Σ c_e · l_e
 
-  Csr fwd;
+  topo::CsrAdjacency fwd;
   fwd.build(g);
-  // Arc-order mirror of `length`: the Dijkstra relaxation loop reads edge
-  // lengths in arc order, so this keeps it gather-free. Updated alongside
-  // `length` on every push (a push touches only its path's edges).
+  // Arc-order mirror of `length`: the relaxation loops read edge lengths in
+  // arc order, so this keeps them gather-free. Updated alongside `length`
+  // on every push (a push touches only its path's edges).
   std::vector<double> arc_length(E);
   for (std::size_t e = 0; e < E; ++e) {
     arc_length[static_cast<std::size_t>(fwd.arc_of_edge[e])] = length[e];
   }
 
-  // Per-commodity cached shortest path. It stays usable while its current
-  // length is within (1+ε)³ of its distance at compute time: lengths only
-  // grow, so that distance lower-bounds the current shortest distance for
-  // all time, making any reused path a (1+ε)³-approximate shortest path —
-  // extra (1+ε) factors in Fleischer's analysis, still a (1−O(ε))
-  // guarantee (cross-validated against the exact ring/LP solvers in
-  // tests). The window must exceed one round's worst-case growth of the
-  // path — ×(1+ε) from the commodity's own saturating push plus the growth
-  // contributed by commodities sharing its edges — else it never fires and
-  // the solver degenerates to one Dijkstra per push.
+  // Per-commodity cached shortest path. Reuse policy depends on the mode:
+  // the (1+ε)³-window mode keeps a path while its current length is within
+  // that factor of its distance at compute time; the phase mode keeps it
+  // while its current length is under (1+ε)·(the global phase threshold).
+  // Lengths only grow, so both tests certify the reused path as a
+  // (1+ε)^O(1)-approximate shortest path (Fleischer's relaxation) and the
+  // end-to-end guarantee stays (1 − O(ε)) — cross-validated against the
+  // exact ring/LP solvers in tests.
   const double reuse_window = (1.0 + eps) * (1.0 + eps) * (1.0 + eps);
   std::vector<std::vector<topo::EdgeId>> path(K);
   std::vector<double> reuse_bound(K, -1.0);  // window·dist at compute; -1 = none
@@ -218,7 +254,8 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
            current_path_length(path[k], length) <= reuse_bound[k];
   };
 
-  if (opts.warm_start) {
+  const bool phase_mode = opts.warm_start && opts.phase_schedule;
+  if (opts.warm_start && !phase_mode) {
     // Initial batch: every commodity needs a path, and the lengths are
     // untouched, so the K solves are independent read-only jobs — run them
     // on the shared pool. Results are bitwise identical to the serial loop
@@ -248,33 +285,242 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   std::vector<double> shipped(K, 0.0);
 
   long long pushes = 0;
-  while (dual_volume < 1.0) {
-    for (std::size_t k = 0; k < K && dual_volume < 1.0; ++k) {
+  // Pushes `f` units along path[k], growing the multiplicative duals. One
+  // shared body for the round-robin and phase schedules so their per-push
+  // arithmetic is identical to the last bit.
+  const auto push_along_path = [&](std::size_t k, double f) {
+    for (topo::EdgeId e : path[k]) {
+      const auto ei = static_cast<std::size_t>(e);
+      if (materialize) {
+        raw[k].emplace_back(e, f);
+      } else {
+        load[ei] += f;
+      }
+      const double old_len = length[ei];
+      length[ei] = old_len * (1.0 + eps * f / caps[ei]);
+      arc_length[static_cast<std::size_t>(fwd.arc_of_edge[ei])] = length[ei];
+      dual_volume += caps[ei] * (length[ei] - old_len);
+    }
+    if (materialize && raw[k].size() > 2 * E) {
+      FlowAssignment::coalesce_entries(raw[k], compact_slot);
+    }
+    shipped[k] += f;
+  };
+
+  if (!phase_mode) {
+    // Round-robin schedule (the legacy reference when warm_start is off,
+    // the (1+ε)³ reuse-window variant when it is on): visit commodities
+    // cyclically, each visit routing its full demand.
+    while (dual_volume < 1.0) {
+      for (std::size_t k = 0; k < K && dual_volume < 1.0; ++k) {
+        const auto& c = commodities[k];
+        double remaining = c.demand;
+        while (remaining > 1e-15 && dual_volume < 1.0) {
+          PSD_REQUIRE(++pushes <= opts.max_path_pushes,
+                      "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
+          if (!opts.warm_start || !path_is_fresh(k)) recompute_path(k);
+          const double f = std::min(remaining, path_cap[k]);
+          push_along_path(k, f);
+          remaining -= f;
+        }
+      }
+    }
+  } else {
+    // Phase schedule (Fleischer-style). Every commodity owns a phase
+    // threshold on the global (1+ε) grid, always within one grid step above
+    // a proven lower bound on its current shortest distance. A commodity
+    // keeps pushing along its cached path while the path's dual length
+    // stays under (1+ε)²·threshold — i.e. within (1+ε)³ of its true
+    // distance, the same per-push approximation the reuse-window mode
+    // certifies — and only a crossing triggers a search. The search is
+    // batched per *source group* (k same-source commodities cost one SSSP,
+    // refreshed opportunistically) and radius-capped at the expired path's
+    // own length, which always upper-bounds the fresh distance; the bucket
+    // engine quantizes dual lengths to q = ε·threshold/V so the cap is
+    // ~V·(1+ε)³/ε buckets and settles them in one monotone integer sweep.
+    //
+    // The commodity *visit order and demand granularity stay exactly the
+    // legacy round-robin*: a strictly global threshold that skips
+    // not-yet-reached commodities sounds closer to Fleischer's
+    // max-multicommodity loop, but concurrent flow scores min_k
+    // shipped_k/demand_k, and a schedule that lets cheap commodities race
+    // ahead strands the expensive ones at termination (θ collapses toward
+    // zero). Per-commodity thresholds keep the fairness of the round-robin
+    // while retaining every amortization the phase structure buys.
+    const std::size_t V = static_cast<std::size_t>(g.num_nodes());
+    const double grid = 1.0 + eps;
+
+    // Same-source batches, in first-appearance order.
+    std::vector<int> group_of_src(V, -1);
+    struct Group {
+      topo::NodeId src = -1;
+      std::vector<std::size_t> members;
+      std::vector<topo::NodeId> targets;
+    };
+    std::vector<Group> groups;
+    std::vector<std::size_t> group_of(K);
+    for (std::size_t k = 0; k < K; ++k) {
       const auto& c = commodities[k];
-      double remaining = c.demand;
-      while (remaining > 1e-15 && dual_volume < 1.0) {
-        PSD_REQUIRE(++pushes <= opts.max_path_pushes,
-                    "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
-        if (!opts.warm_start || !path_is_fresh(k)) recompute_path(k);
-        const auto& p = path[k];
-        const double f = std::min(remaining, path_cap[k]);
-        for (topo::EdgeId e : p) {
-          const auto ei = static_cast<std::size_t>(e);
-          if (materialize) {
-            raw[k].emplace_back(e, f);
-          } else {
-            load[ei] += f;
+      int gi = group_of_src[static_cast<std::size_t>(c.src)];
+      if (gi < 0) {
+        gi = static_cast<int>(groups.size());
+        group_of_src[static_cast<std::size_t>(c.src)] = gi;
+        groups.push_back(Group{c.src, {}, {}});
+      }
+      groups[static_cast<std::size_t>(gi)].members.push_back(k);
+      groups[static_cast<std::size_t>(gi)].targets.push_back(c.dst);
+      group_of[k] = static_cast<std::size_t>(gi);
+    }
+
+    // threshold[k]: the commodity's phase value — ≥ a proven lower bound on
+    // its current shortest distance (lower bounds stay valid forever since
+    // lengths only grow) and ratcheted in (1+ε) steps as the distance
+    // climbs. It scales the bucket engine's quantum and radius.
+    // reuse_limit[k]: the push window — (1+ε)³ times the fresh path's
+    // length at the last search, so every pushed path is within (1+ε)³ of
+    // a (1+ε)-approximate shortest distance: the same (1 − O(ε)) budget as
+    // the reuse-window mode, with the quantization slack folded in.
+    std::vector<double> threshold(K, 0.0);
+    std::vector<double> reuse_limit(K, 0.0);
+
+    // Ratchets the threshold until the (fresh, just-computed) path fits the
+    // window. `lb` is the new proven distance lower bound; the loop runs at
+    // most a couple of steps because plen ≤ (1+ε)·distance for any fresh
+    // path (exact for the heap engine, quantization-bounded for buckets).
+    const auto ratchet = [&](std::size_t k, double lb, double plen) {
+      threshold[k] = std::max(threshold[k], lb);
+      const double win = grid * grid;
+      while (win * threshold[k] < plen) threshold[k] *= grid;
+      reuse_limit[k] = grid * grid * grid * plen;
+    };
+
+    const auto refresh_cap = [&](std::size_t k) {
+      double cap = kInf;
+      for (topo::EdgeId e : path[k]) {
+        cap = std::min(cap, caps[static_cast<std::size_t>(e)]);
+      }
+      path_cap[k] = cap;
+    };
+
+    const auto refresh_member_exact = [&](const PathFinder& finder,
+                                          std::size_t k) {
+      const auto& c = commodities[k];
+      const double d = finder.extract(c.src, c.dst, path[k]);
+      PSD_REQUIRE(!path[k].empty(), "commodity endpoints disconnected");
+      refresh_cap(k);
+      ratchet(k, d, d);
+    };
+
+    // Initial batch: one exact multi-target Dijkstra per source group (the
+    // exact distances seed the phase thresholds), parallel across groups —
+    // lengths are untouched, so the group solves are independent read-only
+    // jobs and results are bitwise identical to the serial loop.
+    const auto initial_group = [&](std::size_t gi) {
+      static thread_local PathFinder finder;
+      const auto& grp = groups[gi];
+      finder.run_targets(fwd, grp.src, arc_length, grp.targets);
+      for (const std::size_t k : grp.members) refresh_member_exact(finder, k);
+    };
+    if (opts.parallel && groups.size() > 1) {
+      util::ThreadPool::shared().parallel_for(groups.size(), initial_group);
+    } else {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) initial_group(gi);
+    }
+
+    // Engines for the serial push loop (one live search at a time). The
+    // bucket engine needs ~2(1+ε)²·V/ε buckets; beyond its radius guard
+    // (huge V at tiny ε) fall back to the exact heap engine instead of
+    // aborting mid-solve.
+    PathFinder heap_finder;
+    topo::BucketQueueSssp bucket;
+    const double bucket_cap =
+        2.0 * std::ceil(grid * grid * static_cast<double>(V) / eps);
+    const bool use_bucket =
+        opts.sp_engine == GkSpEngine::kBucketQueue &&
+        bucket_cap <= static_cast<double>(topo::BucketQueueSssp::kMaxRadius);
+    const std::int32_t radius_cap =
+        use_bucket ? static_cast<std::int32_t>(bucket_cap) : 0;
+
+    // One batched search for k's source group, radius-capped at k's expired
+    // path length (the fresh shortest distance can never exceed the length
+    // of a path that exists) and at a fixed number of buckets. Members
+    // whose destinations settle within the cap are refreshed for free; the
+    // others keep their caches — their own expiry will trigger their own
+    // search. If k itself fails to settle — its distance outran its phase
+    // threshold while it waited its round-robin turn — the cap has *proven*
+    // d > 2(1+ε)²·threshold, so the threshold ratchets one grid step (still
+    // ≤ d/(1+ε), preserving the window invariant) and the search retries at
+    // the coarser quantum; the retries are geometric, each costs one cheap
+    // capped sweep, and every one advances k's phase permanently.
+    const auto recompute_group = [&](std::size_t k, double expired_len) {
+      const Group& grp = groups[group_of[k]];
+      const auto& ck = commodities[k];
+      if (use_bucket) {
+        for (;;) {
+          const double q = eps * threshold[k] / static_cast<double>(V);
+          const auto radius = std::min(
+              static_cast<std::int32_t>(
+                  std::min(std::floor(expired_len / q),
+                           static_cast<double>(radius_cap))) + 1,
+              radius_cap);
+          bucket.run(fwd, grp.src, arc_length, q, radius, grp.targets);
+          if (bucket.quantized_dist(ck.dst) ==
+              topo::BucketQueueSssp::kUnsettled) {
+            // Only possible at the fixed cap (the expired path itself fits
+            // the radius otherwise), which proves d > 2(1+ε)²·threshold:
+            // ratchet one grid step (still ≤ d/(1+ε)) and retry coarser.
+            threshold[k] *= grid;
+            continue;
           }
-          const double old_len = length[ei];
-          length[ei] = old_len * (1.0 + eps * f / caps[ei]);
-          arc_length[static_cast<std::size_t>(fwd.arc_of_edge[ei])] = length[ei];
-          dual_volume += caps[ei] * (length[ei] - old_len);
+          for (const std::size_t m : grp.members) {
+            const auto& c = commodities[m];
+            const std::int32_t qd = bucket.quantized_dist(c.dst);
+            if (qd == topo::BucketQueueSssp::kUnsettled) continue;
+            const double lb = q * static_cast<double>(qd);
+            // Opportunistic refresh only at a compatible scale: this
+            // search's quantization slack is ε·threshold[k] — the
+            // *trigger's* scale. A member whose distance is far below it
+            // could have a near-optimal cached path replaced by a detour
+            // of pure quantization noise (and its lease inflated to
+            // match); skip those — their own expiry searches at their own
+            // quantum. The trigger always qualifies by construction.
+            if (m != k && lb * (1.0 + eps) < threshold[k]) continue;
+            bucket.extract_path(grp.src, c.dst, path[m]);
+            PSD_ASSERT(!path[m].empty(), "settled target lost its parent chain");
+            refresh_cap(m);
+            ratchet(m, lb, current_path_length(path[m], length));
+          }
+          break;
         }
-        if (materialize && raw[k].size() > 2 * E) {
-          FlowAssignment::coalesce_entries(raw[k], compact_slot);
+      } else {
+        heap_finder.run_targets(fwd, grp.src, arc_length, grp.targets);
+        for (const std::size_t m : grp.members) {
+          refresh_member_exact(heap_finder, m);
         }
-        shipped[k] += f;
-        remaining -= f;
+      }
+    };
+
+    // Per visit a commodity routes `phase_visit_routings` full demands —
+    // Fleischer's repeated per-phase routings. One search amortizes over
+    // the whole batch (the lease usually survives a routing's self-growth
+    // of ×(1+ε); mid-visit expiries re-search and continue). Fairness is
+    // exact — every commodity ships the same batch per round — and the
+    // termination imbalance grows from one to B demand units, vanishing
+    // against the hundreds of rounds a solve runs.
+    const double batch = static_cast<double>(opts.phase_visit_routings);
+    while (dual_volume < 1.0) {
+      for (std::size_t k = 0; k < K && dual_volume < 1.0; ++k) {
+        const auto& c = commodities[k];
+        double remaining = c.demand * batch;
+        while (remaining > 1e-15 && dual_volume < 1.0) {
+          PSD_REQUIRE(++pushes <= opts.max_path_pushes,
+                      "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
+          const double plen = current_path_length(path[k], length);
+          if (plen > reuse_limit[k]) recompute_group(k, plen);
+          const double f = std::min(remaining, path_cap[k]);
+          push_along_path(k, f);
+          remaining -= f;
+        }
       }
     }
   }

@@ -25,7 +25,7 @@ namespace psd::sweep {
 enum class TopologyKind {
   kDirectedRing,       // directed_ring(n)
   kBidirectionalRing,  // bidirectional_ring(n)
-  kTorus2D,            // torus_2d(rows, cols), rows x cols = n, near-square
+  kTorus2D,            // torus_2d(rows, cols), rows x cols = n
   kHypercube,          // hypercube(log2 n); n must be a power of two
   kFullMesh,           // full_mesh(n)
 };
@@ -33,6 +33,31 @@ enum class TopologyKind {
 [[nodiscard]] const char* to_string(TopologyKind kind);
 /// Parses the spec-file names: ring, bidir-ring, torus, hypercube, mesh.
 [[nodiscard]] std::optional<TopologyKind> topology_from_string(std::string_view s);
+
+/// A topology axis value: the builder kind plus, for the torus, an optional
+/// explicit rows × cols shape. Default shape (rows == 0) factors n
+/// near-square as before; an explicit shape opens rectangular tori
+/// (`torus4x8`) and only matches node counts equal to rows·cols.
+/// Implicitly constructible from TopologyKind so kind-only grids read (and
+/// compile) unchanged.
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kDirectedRing;
+  int rows = 0;  // kTorus2D only; 0 = auto near-square factorization
+  int cols = 0;
+
+  TopologySpec() = default;
+  TopologySpec(TopologyKind k) : kind(k) {}  // NOLINT: implicit by design
+  TopologySpec(TopologyKind k, int r, int c) : kind(k), rows(r), cols(c) {}
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+/// "ring", "torus", "torus4x8", ... (the spec-file syntax).
+[[nodiscard]] std::string to_string(const TopologySpec& spec);
+/// Parses to_string's format: a plain kind name, or torus<rows>x<cols> with
+/// both sides >= 2. Rejects malformed shapes ("torus4x", "torus0x8", ...).
+[[nodiscard]] std::optional<TopologySpec> topology_spec_from_string(
+    std::string_view s);
 
 /// A collective together with the algorithm materializing it. The algorithm
 /// fields only apply to their own kind (allreduce / alltoall); other kinds
@@ -52,7 +77,7 @@ struct CollectiveSpec {
 
 /// One point of the sweep's design space.
 struct Scenario {
-  TopologyKind topology = TopologyKind::kDirectedRing;
+  TopologySpec topology;
   int nodes = 0;
   CollectiveSpec collective;
   Bytes message;
@@ -65,7 +90,7 @@ struct Scenario {
 
 /// Per-axis value lists; expand() takes their cross product.
 struct ScenarioGrid {
-  std::vector<TopologyKind> topologies;
+  std::vector<TopologySpec> topologies;
   std::vector<int> node_counts;
   std::vector<CollectiveSpec> collectives;
   std::vector<Bytes> message_sizes;
@@ -75,8 +100,9 @@ struct ScenarioGrid {
 /// True if the combination can be materialized and planned: n >= 2 always;
 /// hypercube and the recursive algorithms (recursive doubling, halving/
 /// doubling, swing, bruck alltoall) need power-of-two n; the torus needs a
-/// factorization with both sides >= 2.
-[[nodiscard]] bool scenario_valid(TopologyKind topology, int nodes,
+/// factorization with both sides >= 2, and an explicit rows × cols shape
+/// only matches n == rows·cols.
+[[nodiscard]] bool scenario_valid(const TopologySpec& topology, int nodes,
                                   const CollectiveSpec& collective);
 
 /// Cross product in fixed nesting order — topology (outermost), nodes,
@@ -87,7 +113,7 @@ struct ScenarioGrid {
                                            std::size_t* skipped = nullptr);
 
 /// Builds the scenario's base topology (bandwidth = params.b per link).
-[[nodiscard]] topo::Graph build_topology(TopologyKind kind, int nodes,
+[[nodiscard]] topo::Graph build_topology(const TopologySpec& spec, int nodes,
                                          Bandwidth link_bw);
 
 /// Parses the docs/sweep.md grid-spec format: `key = v1, v2, ...` lines,

@@ -56,13 +56,34 @@ class SharedThetaCache final : public flow::SharedThetaCacheBase {
   struct Key {
     std::uint64_t context_fp = 0;
     std::vector<int> destinations;
-    bool operator==(const Key&) const = default;
+  };
+  /// Borrowed-destination view of a Key: what lookup() probes with, so a
+  /// cache hit (the steady state of a warm sweep) allocates nothing. The
+  /// transparent hash/eq below make Key and KeyView interchangeable in the
+  /// shard map.
+  struct KeyView {
+    std::uint64_t context_fp = 0;
+    const std::vector<int>* destinations = nullptr;
   };
   struct KeyHash {
+    using is_transparent = void;
     std::size_t operator()(const Key& k) const noexcept;
+    std::size_t operator()(const KeyView& k) const noexcept;
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const noexcept {
+      return a.context_fp == b.context_fp && a.destinations == b.destinations;
+    }
+    bool operator()(const KeyView& a, const Key& b) const noexcept {
+      return a.context_fp == b.context_fp && *a.destinations == b.destinations;
+    }
+    bool operator()(const Key& a, const KeyView& b) const noexcept {
+      return (*this)(b, a);
+    }
   };
 
-  util::ShardedLruCache<Key, double, KeyHash> cache_;
+  util::ShardedLruCache<Key, double, KeyHash, KeyEq> cache_;
 };
 
 /// Convenience: a fresh shared cache as the shared_ptr ThetaOptions wants.

@@ -72,6 +72,35 @@ std::optional<TopologyKind> topology_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+std::string to_string(const TopologySpec& spec) {
+  std::string out = to_string(spec.kind);
+  if (spec.kind == TopologyKind::kTorus2D && spec.rows > 0) {
+    out += std::to_string(spec.rows) + "x" + std::to_string(spec.cols);
+  }
+  return out;
+}
+
+std::optional<TopologySpec> topology_spec_from_string(std::string_view s) {
+  if (const auto kind = topology_from_string(s)) return TopologySpec(*kind);
+  // torus<rows>x<cols>: both sides explicit integers >= 2, nothing else.
+  constexpr std::string_view prefix = "torus";
+  if (!s.starts_with(prefix)) return std::nullopt;
+  std::string_view shape = s.substr(prefix.size());
+  const auto x = shape.find('x');
+  if (x == std::string_view::npos) return std::nullopt;
+  const std::string_view rows_s = shape.substr(0, x);
+  const std::string_view cols_s = shape.substr(x + 1);
+  int rows = 0;
+  int cols = 0;
+  auto parse_side = [](std::string_view v, int& out) {
+    const auto [end, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    return ec == std::errc{} && end == v.data() + v.size();
+  };
+  if (!parse_side(rows_s, rows) || !parse_side(cols_s, cols)) return std::nullopt;
+  if (rows < 2 || cols < 2) return std::nullopt;
+  return TopologySpec(TopologyKind::kTorus2D, rows, cols);
+}
+
 std::string to_string(const CollectiveSpec& spec) {
   std::string out = workload::to_string(spec.kind);
   if (spec.kind == CollectiveKind::kAllReduce) {
@@ -125,15 +154,20 @@ std::string Scenario::id() const {
   return out;
 }
 
-bool scenario_valid(TopologyKind topology, int nodes,
+bool scenario_valid(const TopologySpec& topology, int nodes,
                     const CollectiveSpec& collective) {
   if (nodes < 2) return false;
-  switch (topology) {
+  switch (topology.kind) {
     case TopologyKind::kHypercube:
       if (!pow2(nodes)) return false;
       break;
     case TopologyKind::kTorus2D:
-      if (near_square_rows(nodes) < 2) return false;
+      if (topology.rows > 0) {
+        // Explicit shape: only the matching node count materializes.
+        if (nodes != topology.rows * topology.cols) return false;
+      } else if (near_square_rows(nodes) < 2) {
+        return false;
+      }
       break;
     default:
       break;
@@ -174,13 +208,19 @@ std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
   return out;
 }
 
-topo::Graph build_topology(TopologyKind kind, int nodes, Bandwidth link_bw) {
-  switch (kind) {
+topo::Graph build_topology(const TopologySpec& spec, int nodes,
+                           Bandwidth link_bw) {
+  switch (spec.kind) {
     case TopologyKind::kDirectedRing:
       return topo::directed_ring(nodes, link_bw);
     case TopologyKind::kBidirectionalRing:
       return topo::bidirectional_ring(nodes, link_bw);
     case TopologyKind::kTorus2D: {
+      if (spec.rows > 0) {
+        PSD_REQUIRE(nodes == spec.rows * spec.cols,
+                    "torus shape does not match the node count");
+        return topo::torus_2d(spec.rows, spec.cols, link_bw);
+      }
       const int rows = near_square_rows(nodes);
       return topo::torus_2d(rows, nodes / rows, link_bw);
     }
@@ -297,8 +337,13 @@ ScenarioGrid parse_grid_spec(std::string_view text) {
     }
     if (key == "topology") {
       for (const auto v : values) {
-        const auto t = topology_from_string(v);
-        if (!t) spec_error(line_no, "unknown topology '" + std::string(v) + "'");
+        const auto t = topology_spec_from_string(v);
+        if (!t) {
+          spec_error(line_no,
+                     "unknown topology '" + std::string(v) +
+                         "' (expected ring, bidir-ring, torus, torus<R>x<C> "
+                         "with both sides >= 2, hypercube, or mesh)");
+        }
         grid.topologies.push_back(*t);
       }
     } else if (key == "nodes") {

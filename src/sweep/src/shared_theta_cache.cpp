@@ -4,14 +4,28 @@
 
 namespace psd::sweep {
 
-std::size_t SharedThetaCache::KeyHash::operator()(const Key& k) const noexcept {
-  // Combine the context fingerprint with the destination hash the
-  // per-oracle cache already uses; the multiply-rotate keeps (fp, dst)
-  // pairs that swap bits from colliding trivially.
-  std::size_t h = topo::hash_destinations(k.destinations);
-  h ^= static_cast<std::size_t>(k.context_fp) + 0x9E3779B97F4A7C15ull + (h << 6) +
+namespace {
+
+// Combine the context fingerprint with the destination hash the per-oracle
+// cache already uses; the multiply-rotate keeps (fp, dst) pairs that swap
+// bits from colliding trivially. One definition serves Key and KeyView —
+// transparent lookups require the two to hash identically.
+std::size_t hash_key(std::uint64_t context_fp,
+                     const std::vector<int>& destinations) noexcept {
+  std::size_t h = topo::hash_destinations(destinations);
+  h ^= static_cast<std::size_t>(context_fp) + 0x9E3779B97F4A7C15ull + (h << 6) +
        (h >> 2);
   return h;
+}
+
+}  // namespace
+
+std::size_t SharedThetaCache::KeyHash::operator()(const Key& k) const noexcept {
+  return hash_key(k.context_fp, k.destinations);
+}
+
+std::size_t SharedThetaCache::KeyHash::operator()(const KeyView& k) const noexcept {
+  return hash_key(k.context_fp, *k.destinations);
 }
 
 SharedThetaCache::SharedThetaCache(SharedThetaCacheOptions opts)
@@ -19,11 +33,10 @@ SharedThetaCache::SharedThetaCache(SharedThetaCacheOptions opts)
 
 std::optional<double> SharedThetaCache::lookup(
     std::uint64_t context_fp, const std::vector<int>& destinations) {
-  // The temporary key copies the destination vector; callers are on the θ
-  // miss/solve path or a hit that just avoided an exact solve, so this
-  // allocation is noise. (A heterogeneous-lookup variant could remove it if
-  // a profile ever says otherwise.)
-  return cache_.lookup(Key{context_fp, destinations});
+  // Heterogeneous probe: the view borrows the caller's destination vector,
+  // so a lookup — hit or miss — performs no allocation. Only a miss's
+  // insert() (which must own the key anyway) copies.
+  return cache_.lookup(KeyView{context_fp, &destinations});
 }
 
 double SharedThetaCache::insert(std::uint64_t context_fp,

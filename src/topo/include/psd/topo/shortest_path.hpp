@@ -1,10 +1,13 @@
 // Shortest-path utilities over capacitated digraphs: unweighted BFS hop
-// counts (propagation-delay path lengths ℓ_i use hops) and Dijkstra with
-// arbitrary non-negative edge lengths (used by the Garg–Könemann concurrent
-// flow solver, where lengths are dual weights).
+// counts (propagation-delay path lengths ℓ_i use hops), Dijkstra with
+// arbitrary non-negative edge lengths, and a Dial-style bucket-queue SSSP
+// over ε-quantized lengths (both used by the Garg–Könemann concurrent flow
+// solver, where lengths are multiplicative dual weights).
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "psd/topo/graph.hpp"
@@ -41,5 +44,128 @@ struct DijkstraResult {
 [[nodiscard]] std::vector<EdgeId> extract_path(const Graph& g,
                                                const DijkstraResult& res,
                                                NodeId src, NodeId dst);
+
+/// Flat CSR copy of a graph's out-adjacency. Search loops that run tens of
+/// thousands of times per solve (the Garg–Könemann push loop) pay for the
+/// Graph's vector-of-vectors adjacency and Edge-struct hops in memory
+/// traffic; this is the contiguous alternative. Arcs are stored in
+/// out_edges order, so a relaxation loop over the CSR visits neighbours in
+/// exactly the order a loop over Graph::out_edges would — tie-breaks match.
+struct CsrAdjacency {
+  std::vector<int> head;        // size V+1; arcs of v are [head[v], head[v+1])
+  std::vector<NodeId> to;       // neighbour of the arc
+  std::vector<EdgeId> eid;      // underlying edge id
+  std::vector<int> arc_of_edge; // inverse of eid (each edge appears once)
+
+  void build(const Graph& g);
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(head.size()) - 1; }
+  [[nodiscard]] int num_arcs() const { return static_cast<int>(to.size()); }
+};
+
+/// Dial-style bucket-queue single-source shortest path over quantized
+/// lengths: every arc length is floored to an integer number of quanta and
+/// distances are settled bucket-by-bucket in one monotone sweep — no heap,
+/// integer comparisons only, and nodes farther than a radius are never
+/// explored.
+///
+/// Guarantees (q = quantum, d(v) = true shortest distance):
+///   - quantized distances are exact SSSP over the floored weights, so
+///     q·dist(v) ≤ d(v) — never an overestimate;
+///   - the recorded parent chain is a real path whose true length is at
+///     most q·(dist(v) + hops), i.e. within (hops)·q of d(v);
+///   - a node is settled iff its quantized distance is ≤ the radius.
+///
+/// The Garg–Könemann phase schedule picks q = ε·threshold/V, making every
+/// returned path an (1+ε)-approximate shortest path at threshold scale —
+/// exactly the accuracy Fleischer's analysis budgets for.
+///
+/// Scratch buffers (buckets, stamps) persist across run() calls, so a
+/// long-lived engine performs no allocations once warmed up.
+class BucketQueueSssp {
+ public:
+  static constexpr std::int32_t kUnsettled = -1;
+
+  /// Largest accepted radius_quanta. Buckets are directly indexed by
+  /// quantized distance, so the radius bounds the engine's memory; callers
+  /// whose quantum/radius combination cannot fit (V/ε beyond this) must
+  /// use a coarser quantum or a different engine — the Garg–Könemann phase
+  /// schedule falls back to its binary-heap engine in that regime.
+  static constexpr std::int32_t kMaxRadius = (1 << 22) - 1;
+
+  /// Runs SSSP from `src`. `arc_length` is indexed in *arc* order (parallel
+  /// to csr.to, see CsrAdjacency; use csr.arc_of_edge to convert); entries
+  /// may be +infinity (edge deleted). `radius_quanta` bounds the search:
+  /// nodes whose quantized distance exceeds it stay unsettled. When
+  /// `targets` is non-empty the sweep additionally stops as soon as every
+  /// target is settled or provably beyond the radius.
+  ///
+  /// `potential`, when non-null, is a *feasible potential* of size V
+  /// (π(v) ≤ π(u) + length(u,v) for every arc, e.g. the distance field of
+  /// an earlier search over shorter-or-equal lengths): arcs are searched
+  /// under reduced lengths length(u,v) + π(u) − π(v), so distances,
+  /// radius_quanta, and quantized_dist() are all in *reduced* units
+  /// (true distance to v = π(v) + quantum·dist when π(src) == 0). A
+  /// warm-started re-search then explores only the region whose distances
+  /// actually grew. Note the Garg–Könemann phase schedule does NOT use
+  /// this: measured counterproductive there, because round-robin pushes
+  /// grow duals everywhere between one source group's consecutive
+  /// searches (see docs/performance.md). The hook is kept — and
+  /// property-tested — for access patterns that re-search hot sources
+  /// frequently. Negative reduced lengths from floating-point drift are
+  /// clamped to zero.
+  void run(const CsrAdjacency& csr, NodeId src,
+           const std::vector<double>& arc_length, double quantum,
+           std::int32_t radius_quanta, std::span<const NodeId> targets = {},
+           const double* potential = nullptr);
+
+  /// Quantized distance of v (multiply by quantum for length units), or
+  /// kUnsettled if v was not settled within the radius.
+  [[nodiscard]] std::int32_t quantized_dist(NodeId v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return stamp_[vi] == epoch_ ? settled_dist_[vi] : kUnsettled;
+  }
+
+  /// The bucket index where the last run() stopped sweeping. Every
+  /// unsettled node's quantized distance is provably ≥ this — the
+  /// certificate callers need to advance lower bounds (potentials) for
+  /// nodes the early stop never reached.
+  [[nodiscard]] std::int32_t last_sweep_bucket() const { return stop_bucket_; }
+
+  /// Appends the edge path src -> v to `out` (cleared first). Empty if v is
+  /// unsettled or v == src.
+  void extract_path(NodeId src, NodeId v, std::vector<EdgeId>& out) const;
+
+ private:
+  void touch(std::size_t v);
+
+  std::vector<std::int32_t> dist_;          // tentative, valid when stamped
+  std::vector<std::int32_t> settled_dist_;  // final, kUnsettled until popped
+  std::vector<EdgeId> parent_edge_;
+  std::vector<NodeId> parent_node_;
+  std::vector<unsigned> stamp_;
+  unsigned epoch_ = 0;
+  std::int32_t stop_bucket_ = 0;
+  // Buckets as intrusive lists over one contiguous entry pool: bucket b's
+  // entries are pool indices chained through pool_next_ from
+  // bucket_head_[b]. Lazy deletion (a node may appear in several buckets;
+  // stale entries are skipped at pop time).
+  std::vector<std::int32_t> bucket_head_;
+  std::vector<NodeId> pool_node_;
+  std::vector<std::int32_t> pool_next_;
+  std::vector<std::uint64_t> occupied_;  // bitmask over bucket indices
+};
+
+/// Graph-level convenience wrapper (tests, offline consumers): quantized
+/// bucket SSSP from `src` in DijkstraResult form. dist[v] is the quantized
+/// distance scaled back to length units (so dist[v] ≤ true distance ≤
+/// dist[v] + hops·quantum), +inf for nodes beyond `radius` or unreachable.
+/// With a valid `stop_at` the sweep ends once that node settles. The
+/// Garg–Könemann solver uses the allocation-free engine above directly.
+[[nodiscard]] DijkstraResult bucket_sssp(
+    const Graph& g, NodeId src, const std::vector<double>& edge_length,
+    double quantum,
+    double radius = std::numeric_limits<double>::infinity(),
+    NodeId stop_at = -1);
 
 }  // namespace psd::topo

@@ -1,10 +1,13 @@
 #include "psd/topo/shortest_path.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <queue>
 
 namespace psd::topo {
+
+
 
 std::vector<int> bfs_hops(const Graph& g, NodeId src) {
   PSD_REQUIRE(g.valid_node(src), "bfs source out of range");
@@ -67,6 +70,250 @@ DijkstraResult dijkstra(const Graph& g, NodeId src,
         res.parent_edge[static_cast<std::size_t>(v)] = e;
         pq.emplace(nd, v);
       }
+    }
+  }
+  return res;
+}
+
+void CsrAdjacency::build(const Graph& g) {
+  const int V = g.num_nodes();
+  head.assign(static_cast<std::size_t>(V) + 1, 0);
+  to.resize(static_cast<std::size_t>(g.num_edges()));
+  eid.resize(static_cast<std::size_t>(g.num_edges()));
+  arc_of_edge.resize(static_cast<std::size_t>(g.num_edges()));
+  std::size_t at = 0;
+  for (NodeId v = 0; v < V; ++v) {
+    head[static_cast<std::size_t>(v)] = static_cast<int>(at);
+    // Arcs in out_edges order: the relaxation order (and therefore every
+    // tie-break) of a CSR loop matches a loop over g.out_edges exactly.
+    for (EdgeId e : g.out_edges(v)) {
+      to[at] = g.edge(e).dst;
+      eid[at] = e;
+      arc_of_edge[static_cast<std::size_t>(e)] = static_cast<int>(at);
+      ++at;
+    }
+  }
+  head[static_cast<std::size_t>(V)] = static_cast<int>(at);
+}
+
+// Parents are deliberately left stale: they are only read for settled
+// nodes (extract_path), and any settled node other than the source was
+// written by the relaxation that discovered it this epoch.
+void BucketQueueSssp::touch(std::size_t v) {
+  if (stamp_[v] != epoch_) {
+    stamp_[v] = epoch_;
+    dist_[v] = std::numeric_limits<std::int32_t>::max();
+    settled_dist_[v] = kUnsettled;
+  }
+}
+
+void BucketQueueSssp::run(const CsrAdjacency& csr, NodeId src,
+                          const std::vector<double>& arc_length, double quantum,
+                          std::int32_t radius_quanta,
+                          std::span<const NodeId> targets,
+                          const double* potential) {
+  const auto n = static_cast<std::size_t>(csr.num_nodes());
+  PSD_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < n,
+              "bucket SSSP source out of range");
+  PSD_REQUIRE(arc_length.size() == static_cast<std::size_t>(csr.num_arcs()),
+              "arc_length must have one entry per arc");
+  PSD_REQUIRE(quantum > 0.0, "quantum must be positive");
+  PSD_REQUIRE(radius_quanta >= 0 && radius_quanta <= kMaxRadius,
+              "bucket SSSP radius too fine for its quantum");
+  if (dist_.size() != n) {
+    dist_.assign(n, 0);
+    settled_dist_.assign(n, 0);
+    parent_edge_.assign(n, -1);
+    parent_node_.assign(n, -1);
+    stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped (engines are long-lived): avoid stale stamps
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  const auto nbuckets = static_cast<std::size_t>(radius_quanta) + 1;
+  if (bucket_head_.size() < nbuckets) bucket_head_.resize(nbuckets, -1);
+  const std::size_t nwords = (nbuckets + 63) / 64;
+  if (occupied_.size() < nwords) occupied_.resize(nwords, 0);
+  // Entries live in one contiguous pool (node + intrusive next index);
+  // bucket_head_ holds the head entry of each bucket. Compared to one
+  // vector per bucket this keeps every insertion and pop on the same few
+  // cache lines regardless of how distances scatter across buckets.
+  pool_node_.clear();
+  pool_next_.clear();
+
+  const double inv_q = 1.0 / quantum;
+  const double radius_d = static_cast<double>(radius_quanta);
+  const bool has_targets = !targets.empty();
+  std::size_t targets_left = targets.size();
+
+  const auto push_entry = [&](NodeId v, std::int32_t b) {
+    const auto bi = static_cast<std::size_t>(b);
+    pool_node_.push_back(v);
+    pool_next_.push_back(bucket_head_[bi]);
+    bucket_head_[bi] = static_cast<std::int32_t>(pool_node_.size()) - 1;
+    occupied_[bi >> 6] |= 1ull << (bi & 63);
+  };
+
+  touch(static_cast<std::size_t>(src));
+  dist_[static_cast<std::size_t>(src)] = 0;
+  push_entry(src, 0);
+
+  std::int32_t cur = 0;
+  while (cur <= radius_quanta && (!has_targets || targets_left > 0)) {
+    // Jump to the next occupied bucket via the occupancy bitmask.
+    std::size_t w = static_cast<std::size_t>(cur) >> 6;
+    std::uint64_t word =
+        occupied_[w] & (~0ull << (static_cast<std::size_t>(cur) & 63));
+    while (word == 0) {
+      if (++w >= nwords) { cur = radius_quanta + 1; break; }
+      word = occupied_[w];
+    }
+    if (cur > radius_quanta) break;
+    cur = static_cast<std::int32_t>((w << 6) +
+                                    static_cast<std::size_t>(std::countr_zero(word)));
+    if (cur > radius_quanta) break;
+
+    // Pop entries until the bucket drains; entries appended mid-scan (via
+    // zero-quantum arcs) reuse the same head and are picked up here too.
+    // The occupancy bit is cleared only on a full drain — an early target
+    // stop leaves it set so the end-of-run sweep resets the head.
+    const auto ci = static_cast<std::size_t>(cur);
+    for (;;) {
+      const std::int32_t ei = bucket_head_[ci];
+      if (ei < 0) {
+        occupied_[ci >> 6] &= ~(1ull << (ci & 63));
+        break;
+      }
+      bucket_head_[ci] = pool_next_[static_cast<std::size_t>(ei)];
+      const NodeId u = pool_node_[static_cast<std::size_t>(ei)];
+      const auto ui = static_cast<std::size_t>(u);
+      if (settled_dist_[ui] != kUnsettled || dist_[ui] != cur) continue;  // stale
+      settled_dist_[ui] = cur;
+      if (has_targets) {
+        for (const NodeId t : targets) {
+          if (t == u && targets_left > 0) --targets_left;
+        }
+        if (targets_left == 0) break;
+      }
+      const int arc_end = csr.head[ui + 1];
+      if (potential == nullptr) {
+        for (int a = csr.head[ui]; a < arc_end; ++a) {
+          const auto ai = static_cast<std::size_t>(a);
+          const double wd = arc_length[ai] * inv_q;  // +inf deletes the arc
+          if (!(wd <= radius_d)) continue;
+          const std::int32_t nd = cur + static_cast<std::int32_t>(wd);
+          if (nd > radius_quanta) continue;
+          const auto vi = static_cast<std::size_t>(csr.to[ai]);
+          touch(vi);
+          // A settled node's final distance is ≤ cur ≤ nd, so this compare
+          // alone also rejects re-relaxing settled nodes.
+          if (nd < dist_[vi]) {
+            dist_[vi] = nd;
+            parent_edge_[vi] = csr.eid[ai];
+            parent_node_[vi] = u;
+            push_entry(csr.to[ai], nd);
+          }
+        }
+      } else {
+        for (int a = csr.head[ui]; a < arc_end; ++a) {
+          const auto ai = static_cast<std::size_t>(a);
+          const auto vi = static_cast<std::size_t>(csr.to[ai]);
+          // Reduced length under the potential (clamped: feasibility holds
+          // in exact arithmetic, floating-point drift can leave a tiny
+          // negative).
+          const double len =
+              std::max(0.0, arc_length[ai] + potential[ui] - potential[vi]);
+          const double wd = len * inv_q;  // +inf deletes the arc
+          if (!(wd <= radius_d)) continue;
+          const std::int32_t nd = cur + static_cast<std::int32_t>(wd);
+          if (nd > radius_quanta) continue;
+          touch(vi);
+          if (nd < dist_[vi]) {
+            dist_[vi] = nd;
+            parent_edge_[vi] = csr.eid[ai];
+            parent_node_[vi] = u;
+            push_entry(csr.to[ai], nd);
+          }
+        }
+      }
+    }
+  }
+  stop_bucket_ = std::min(cur, radius_quanta + 1);
+
+  // Early stop (targets settled) and radius pruning can leave populated
+  // buckets behind; reset their heads so the next run starts clean (pool
+  // entries are recycled wholesale by the clear() above).
+  for (std::size_t w = 0; w < nwords; ++w) {
+    std::uint64_t word = occupied_[w];
+    while (word != 0) {
+      const auto b = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      bucket_head_[b] = -1;
+      word &= word - 1;
+    }
+    occupied_[w] = 0;
+  }
+}
+
+void BucketQueueSssp::extract_path(NodeId src, NodeId v,
+                                   std::vector<EdgeId>& out) const {
+  out.clear();
+  if (quantized_dist(v) == kUnsettled) return;
+  for (NodeId cur = v; cur != src;) {
+    const auto ci = static_cast<std::size_t>(cur);
+    const EdgeId e = parent_edge_[ci];
+    if (e < 0) { out.clear(); return; }  // src unreachable (disjoint settle)
+    out.push_back(e);
+    cur = parent_node_[ci];
+  }
+  std::reverse(out.begin(), out.end());
+}
+
+DijkstraResult bucket_sssp(const Graph& g, NodeId src,
+                           const std::vector<double>& edge_length,
+                           double quantum, double radius, NodeId stop_at) {
+  PSD_REQUIRE(g.valid_node(src), "bucket_sssp source out of range");
+  PSD_REQUIRE(edge_length.size() == static_cast<std::size_t>(g.num_edges()),
+              "edge_length must have one entry per edge");
+  PSD_REQUIRE(quantum > 0.0, "quantum must be positive");
+  CsrAdjacency csr;
+  csr.build(g);
+  std::vector<double> arc_length(edge_length.size());
+  for (std::size_t e = 0; e < edge_length.size(); ++e) {
+    PSD_ASSERT(edge_length[e] >= 0.0 || std::isinf(edge_length[e]),
+               "edge lengths must be non-negative");
+    arc_length[static_cast<std::size_t>(csr.arc_of_edge[e])] = edge_length[e];
+  }
+  // Bound the bucket range: the farthest reachable quantized distance is at
+  // most (V-1) times the largest finite arc weight.
+  double max_w = 0.0;
+  for (const double l : arc_length) {
+    if (std::isfinite(l)) max_w = std::max(max_w, std::floor(l / quantum));
+  }
+  double bound = max_w * static_cast<double>(std::max(g.num_nodes() - 1, 1));
+  if (std::isfinite(radius)) bound = std::min(bound, std::floor(radius / quantum));
+  PSD_REQUIRE(bound <= static_cast<double>(BucketQueueSssp::kMaxRadius),
+              "quantum too fine for this graph/radius (would need too many "
+              "buckets); use a coarser quantum");
+  BucketQueueSssp engine;
+  const NodeId target = (stop_at >= 0 && g.valid_node(stop_at)) ? stop_at : -1;
+  engine.run(csr, src, arc_length, quantum, static_cast<std::int32_t>(bound),
+             target >= 0 ? std::span<const NodeId>(&target, 1)
+                         : std::span<const NodeId>{});
+  DijkstraResult res;
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  res.dist.assign(n, std::numeric_limits<double>::infinity());
+  res.parent_edge.assign(n, -1);
+  std::vector<EdgeId> path;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::int32_t qd = engine.quantized_dist(v);
+    if (qd == BucketQueueSssp::kUnsettled) continue;
+    res.dist[static_cast<std::size_t>(v)] = quantum * static_cast<double>(qd);
+    engine.extract_path(src, v, path);
+    if (!path.empty()) {
+      res.parent_edge[static_cast<std::size_t>(v)] = path.back();
     }
   }
   return res;

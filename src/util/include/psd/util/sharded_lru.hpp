@@ -57,7 +57,8 @@ struct ShardedLruStats {
   }
 };
 
-template <typename Key, typename Value, typename Hash = std::hash<Key>>
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
 class ShardedLruCache {
  public:
   /// `capacity` is divided evenly across shards (rounded up, at least 1
@@ -79,8 +80,13 @@ class ShardedLruCache {
   ShardedLruCache(const ShardedLruCache&) = delete;
   ShardedLruCache& operator=(const ShardedLruCache&) = delete;
 
-  /// Cached value for `key` (refreshing its recency), or nullopt.
-  [[nodiscard]] std::optional<Value> lookup(const Key& key) {
+  /// Cached value for `key` (refreshing its recency), or nullopt. Accepts
+  /// any key-like type when Hash and Eq are transparent (declare
+  /// `is_transparent` and overload for the view type) — a lookup then
+  /// builds no temporary Key, which is what lets the sweep's shared θ cache
+  /// probe with a borrowed destination vector instead of copying it.
+  template <typename K = Key>
+  [[nodiscard]] std::optional<Value> lookup(const K& key) {
     Shard& sh = shard_for(key);
     const auto lk = lock_shard(sh);
     if (const auto it = sh.map.find(key); it != sh.map.end()) {
@@ -149,7 +155,9 @@ class ShardedLruCache {
     explicit Shard(std::size_t cap) : capacity(cap) {}
     std::mutex mutex;
     LruList lru;  // front() = most recently used
-    std::unordered_map<Key, std::pair<Value, typename LruList::iterator>, Hash> map;
+    std::unordered_map<Key, std::pair<Value, typename LruList::iterator>, Hash,
+                       Eq>
+        map;
     std::size_t capacity;
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -167,9 +175,12 @@ class ShardedLruCache {
     return lk;
   }
 
-  [[nodiscard]] Shard& shard_for(const Key& key) {
+  template <typename K>
+  [[nodiscard]] Shard& shard_for(const K& key) {
     // Spread the hash before masking: unordered_map inside the shard uses
     // the same hash, so shard selection must not just strip its low bits.
+    // Transparent hashes must agree between Key and its view types, or a
+    // view lookup would probe the wrong shard.
     std::size_t h = hash_(key);
     h ^= h >> 17;
     h *= 0x9E3779B97F4A7C15ull;

@@ -421,5 +421,64 @@ TEST(BirkhoffGolden, ReferencePathIsByteIdenticalToPreRewrite) {
   }
 }
 
+// ---- Pool-parallel support maintenance -----------------------------------
+
+/// Byte-level equality of two decompositions: same term count, bitwise
+/// weights, identical matchings.
+void expect_terms_identical(const std::vector<BvnTerm>& a,
+                            const std::vector<BvnTerm>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].weight, b[i].weight) << "term " << i;
+    EXPECT_TRUE(a[i].matching == b[i].matching) << "term " << i;
+  }
+}
+
+TEST(BirkhoffParallel, ByteIdenticalToSerialOnRotationMix) {
+  // n >= 64 engages the pool fan-out of the residual-subtract +
+  // support-drop scan; rows touch disjoint state, so the emitted terms
+  // must match the serial scan byte for byte.
+  psd::Rng rng(17);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Matrix m = random_ds(96, 7, rng, 3.0);
+    const auto serial =
+        birkhoff_decompose(m, {.tol = 1e-9, .parallel = false});
+    const auto parallel =
+        birkhoff_decompose(m, {.tol = 1e-9, .parallel = true});
+    expect_terms_identical(serial, parallel);
+    EXPECT_NEAR(Matrix::max_diff(recompose(parallel, 96), m), 0.0, 1e-7);
+  }
+}
+
+TEST(BirkhoffParallel, ByteIdenticalOnDenseSupport) {
+  // Dense uniform doubly-stochastic input: every off-diagonal entry in the
+  // support — the worst case for the per-step maintenance scan.
+  const int n = 64;
+  Matrix m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r != c) {
+        m(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+            1.0 / static_cast<double>(n - 1);
+      }
+    }
+  }
+  const auto serial = birkhoff_decompose(m, {.parallel = false});
+  const auto parallel = birkhoff_decompose(m, {.parallel = true});
+  expect_terms_identical(serial, parallel);
+}
+
+TEST(BirkhoffParallel, ByteIdenticalOnReferenceRebuildPath) {
+  // The full-rebuild reference path rebuilds the support every step — its
+  // parallel row fill must also be invisible in the output.
+  psd::Rng rng(23);
+  const Matrix m = random_ds(64, 5, rng, 2.0);
+  const auto serial = birkhoff_decompose(
+      m, {.tol = 1e-9, .incremental = false, .parallel = false});
+  const auto parallel = birkhoff_decompose(
+      m, {.tol = 1e-9, .incremental = false, .parallel = true});
+  expect_terms_identical(serial, parallel);
+}
+
 }  // namespace
 }  // namespace psd::bvn

@@ -150,9 +150,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, GkRandomGraphP, ::testing::Range(0, 12));
 
 TEST(GargKonemannWarmStart, MatchesColdExactlyOnDirectedRing) {
   // On a directed ring every commodity has exactly one path, so path reuse
-  // cannot change any routing decision: warm and cold must produce the same
-  // push sequence and θ to the last bit (the satellite acceptance asks for
-  // 1e-9; bitwise is stronger).
+  // cannot change any routing decision: with single-demand visit
+  // granularity (the window mode, and the phase mode at
+  // phase_visit_routings = 1) the push sequence — and therefore θ and
+  // every flow — matches the cold reference to the last bit. The phase
+  // default (batched routings per visit) interleaves pushes differently
+  // and is covered by the guarantee tests instead.
   const auto g = topo::directed_ring(12, gbps(800));
   psd::Rng rng(31337);
   for (int trial = 0; trial < 5; ++trial) {
@@ -164,18 +167,23 @@ TEST(GargKonemannWarmStart, MatchesColdExactlyOnDirectedRing) {
       }
     }
     if (m.active_pairs() == 0) continue;
-    const auto warm = gk_concurrent_flow(g, m, gbps(800),
-                                         {.epsilon = kEps, .warm_start = true});
     const auto cold = gk_concurrent_flow(g, m, gbps(800),
                                          {.epsilon = kEps, .warm_start = false});
-    EXPECT_NEAR(warm.theta, cold.theta, 1e-9);
-    EXPECT_EQ(warm.theta, cold.theta);  // bitwise: unique paths
-    const auto dw = warm.flow.densify();
-    const auto dc = cold.flow.densify();
-    ASSERT_EQ(dw.size(), dc.size());
-    for (std::size_t k = 0; k < dw.size(); ++k) {
-      for (std::size_t e = 0; e < dw[k].size(); ++e) {
-        EXPECT_EQ(dw[k][e], dc[k][e]);
+    const GargKonemannOptions window{.epsilon = kEps,
+                                     .warm_start = true,
+                                     .phase_schedule = false};
+    GargKonemannOptions phase1{.epsilon = kEps, .warm_start = true};
+    phase1.phase_visit_routings = 1;
+    for (const auto& opts : {window, phase1}) {
+      const auto warm = gk_concurrent_flow(g, m, gbps(800), opts);
+      EXPECT_EQ(warm.theta, cold.theta);  // bitwise: unique paths
+      const auto dw = warm.flow.densify();
+      const auto dc = cold.flow.densify();
+      ASSERT_EQ(dw.size(), dc.size());
+      for (std::size_t k = 0; k < dw.size(); ++k) {
+        for (std::size_t e = 0; e < dw[k].size(); ++e) {
+          EXPECT_EQ(dw[k][e], dc[k][e]);
+        }
       }
     }
   }
@@ -241,6 +249,92 @@ TEST(GargKonemannWarmStart, DisconnectedThrowsWithWarmStart) {
                psd::InvalidArgument);
   EXPECT_THROW((void)gk_theta_only(g, {{0, 2, 1.0}}, gbps(800),
                                    {.warm_start = true, .parallel = true}),
+               psd::InvalidArgument);
+}
+
+TEST(GargKonemannPhase, AllModesStayWithinGuaranteeOnRandomDigraphs) {
+  // The randomized equivalence suite for the phase schedule: every solver
+  // mode — legacy cold, reuse window, phase + binary heap, phase + bucket
+  // queue, phase with single routings — must land within (1 − 3ε) of the
+  // exact LP optimum (and never above it: the feasibility rescale certifies
+  // every reported θ).
+  psd::Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 7;
+    topo::Graph g(n);
+    for (int j = 0; j < n; ++j) {
+      g.add_edge(j, (j + 1) % n, gbps(rng.uniform(200.0, 800.0)));
+    }
+    const int extra = rng.uniform_int(3, 8);
+    for (int e = 0; e < extra; ++e) {
+      const int a = rng.uniform_int(0, n - 1);
+      const int b = rng.uniform_int(0, n - 1);
+      if (a != b) g.add_edge(a, b, gbps(rng.uniform(100.0, 800.0)));
+    }
+    std::vector<Commodity> commodities;
+    const int k = rng.uniform_int(2, 5);
+    for (int c = 0; c < k; ++c) {
+      const int s = rng.uniform_int(0, n - 1);
+      int d = rng.uniform_int(0, n - 1);
+      if (d == s) d = (d + 1) % n;
+      commodities.push_back({s, d, rng.uniform(0.5, 2.0)});
+    }
+    const double lp = exact_concurrent_flow(g, commodities, gbps(800)).theta;
+
+    GargKonemannOptions cold{.epsilon = kEps, .warm_start = false};
+    GargKonemannOptions window{.epsilon = kEps, .phase_schedule = false};
+    GargKonemannOptions phase_bucket{.epsilon = kEps};
+    GargKonemannOptions phase_heap{.epsilon = kEps};
+    phase_heap.sp_engine = GkSpEngine::kBinaryHeap;
+    GargKonemannOptions phase_single{.epsilon = kEps};
+    phase_single.phase_visit_routings = 1;
+    for (const auto& opts :
+         {cold, window, phase_bucket, phase_heap, phase_single}) {
+      const double theta = gk_theta_only(g, commodities, gbps(800), opts);
+      expect_gk_close(theta, lp);
+    }
+  }
+}
+
+TEST(GargKonemannPhase, SameSourceCommoditiesBatchIntoOneSearch) {
+  // Several commodities sharing a source exercise the grouped multi-target
+  // searches; θ must still match the exact LP within the guarantee, for
+  // both engines.
+  const auto g = topo::torus_2d(3, 3, gbps(800));
+  const std::vector<Commodity> commodities = {
+      {0, 4, 1.0}, {0, 8, 1.0}, {0, 2, 2.0}, {4, 0, 1.0}, {4, 6, 0.5}};
+  const double lp = exact_concurrent_flow(g, commodities, gbps(800)).theta;
+  GargKonemannOptions bucket{.epsilon = kEps};
+  GargKonemannOptions heap{.epsilon = kEps};
+  heap.sp_engine = GkSpEngine::kBinaryHeap;
+  expect_gk_close(gk_theta_only(g, commodities, gbps(800), bucket), lp);
+  expect_gk_close(gk_theta_only(g, commodities, gbps(800), heap), lp);
+  const auto full = gk_concurrent_flow(g, commodities, gbps(800), bucket);
+  expect_gk_close(full.theta, lp);
+}
+
+TEST(GargKonemannPhase, BucketAndHeapEnginesAgreeWithinTolerance) {
+  // The engines route along (possibly) different approximate shortest
+  // paths, so bitwise equality is not expected — but both are certified
+  // feasible and within the same guarantee, so they bracket each other.
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  for (int rot : {1, 5, 7}) {
+    const auto m = Matching::rotation(16, rot);
+    GargKonemannOptions bucket{.epsilon = kEps};
+    GargKonemannOptions heap{.epsilon = kEps};
+    heap.sp_engine = GkSpEngine::kBinaryHeap;
+    const double tb = gk_theta_only(g, m, gbps(800), bucket);
+    const double th = gk_theta_only(g, m, gbps(800), heap);
+    EXPECT_LE(std::abs(tb - th), 3.0 * kEps * std::max(tb, th)) << rot;
+  }
+}
+
+TEST(GargKonemannPhase, RejectsBadVisitRoutings) {
+  const auto g = topo::directed_ring(4, gbps(800));
+  const auto m = Matching::rotation(4, 1);
+  GargKonemannOptions opts{.epsilon = kEps};
+  opts.phase_visit_routings = 0;
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800), opts),
                psd::InvalidArgument);
 }
 

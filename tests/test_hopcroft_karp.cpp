@@ -200,6 +200,63 @@ TEST(HopcroftKarpWarmStart, RepairsAfterEdgeRemoval) {
   }
 }
 
+TEST(HopcroftKarpWarmStart, CsrRepairMatchesColdAfterSingleEdgeDamage) {
+  // The bench-shaped regression for the warm-start inversion: damage one
+  // matched edge of a maximum matching (remove it from graph and matching)
+  // and re-augment. The repaired matching must be maximum on the damaged
+  // graph — equal in size to a cold solve — and consistent. This now runs
+  // through the same CSR engine as the cold path (the greedy pass skips
+  // already-matched left vertices), which is what restored warm < cold in
+  // BM_HopcroftKarpWarmStart.
+  psd::Rng rng(4711);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = 200;
+    BipartiteGraph g;
+    g.n_left = g.n_right = n;
+    g.adj.resize(static_cast<std::size_t>(n));
+    for (int l = 0; l < n; ++l) {
+      const int deg = rng.uniform_int(2, 8);
+      for (int d = 0; d < deg; ++d) {
+        const int r = rng.uniform_int(0, n - 1);
+        auto& adj = g.adj[static_cast<std::size_t>(l)];
+        if (std::find(adj.begin(), adj.end(), r) == adj.end()) adj.push_back(r);
+      }
+    }
+    const auto full = hopcroft_karp(g);
+    ASSERT_GT(full.size, 0);
+    MatchingResult damaged = full;
+    for (int l = 0; l < n; ++l) {
+      const int r = damaged.match_left[static_cast<std::size_t>(l)];
+      if (r >= 0) {
+        auto& nbrs = g.adj[static_cast<std::size_t>(l)];
+        nbrs.erase(std::find(nbrs.begin(), nbrs.end(), r));
+        damaged.match_left[static_cast<std::size_t>(l)] = -1;
+        damaged.match_right[static_cast<std::size_t>(r)] = -1;
+        --damaged.size;
+        break;
+      }
+    }
+    const auto warm = hopcroft_karp(g, damaged);
+    const auto cold = hopcroft_karp(g);
+    EXPECT_EQ(warm.size, cold.size) << "trial " << trial;
+    expect_consistent(g, warm);
+  }
+}
+
+TEST(HopcroftKarpWarmStart, CompleteSeedIsReturnedUntouched) {
+  // A warm start that is already maximum must pass through unchanged.
+  BipartiteGraph g;
+  g.n_left = g.n_right = 3;
+  g.adj = {{0}, {1}, {2}};
+  MatchingResult seed;
+  seed.size = 3;
+  seed.match_left = {0, 1, 2};
+  seed.match_right = {0, 1, 2};
+  const auto warm = hopcroft_karp(g, seed);
+  EXPECT_EQ(warm.size, 3);
+  EXPECT_EQ(warm.match_left, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(HopcroftKarpWarmStart, RejectsMalformedWarmStarts) {
   BipartiteGraph g;
   g.n_left = 2;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -295,6 +296,70 @@ TEST(SharedThetaCache, ConcurrentMultiOracleHammering) {
   // Racing first-round misses may each solve, but the steady state hits:
   // at least every round after the first per thread.
   EXPECT_GE(stats.hits, static_cast<std::size_t>(kThreads) * (kRounds - 1) * 15u);
+}
+
+// ---- Heterogeneous (borrowed-key) lookup ---------------------------------
+
+TEST(ShardedLruCache, TransparentLookupFindsOwnedKeys) {
+  // A string cache probed with string_views: the transparent hash/eq route
+  // the view to the same shard and map slot as the owning key, so lookups
+  // build no temporary std::string. The sweep's SharedThetaCache uses the
+  // same mechanism with a borrowed destination vector.
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  util::ShardedLruCache<std::string, int, Hash, Eq> cache(64, 8);
+  for (int i = 0; i < 20; ++i) {
+    cache.insert("key-" + std::to_string(i), i);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string owned = "key-" + std::to_string(i);
+    const std::string_view view = owned;
+    const auto hit = cache.lookup(view);
+    ASSERT_TRUE(hit.has_value()) << owned;
+    EXPECT_EQ(*hit, i);
+  }
+  EXPECT_FALSE(cache.lookup(std::string_view("key-99")).has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 20u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SharedThetaCache, LookupDoesNotCopyDestinations) {
+  // Functional check of the KeyView path: entries inserted with owning keys
+  // are found by borrowed-vector probes across many shards, and repeated
+  // probes count as hits (same shard, same slot — i.e. hash/eq agree
+  // between Key and KeyView).
+  sweep::SharedThetaCache cache({.capacity = 1 << 10, .shards = 8});
+  std::vector<std::vector<int>> keys;
+  for (int k = 1; k < 40; ++k) {
+    keys.push_back(topo::Matching::rotation(64, k).destinations());
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cache.insert(0xfeedULL + (i % 3), keys[i], static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto hit = cache.lookup(0xfeedULL + (i % 3), keys[i]);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, static_cast<double>(i));
+    // Same destinations under a different context fingerprint: distinct key.
+    EXPECT_FALSE(cache.lookup(0xbeefULL, keys[i]).has_value());
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, keys.size());
+  EXPECT_EQ(stats.entries, keys.size());
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include "psd/topo/shortest_path.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
 #include "psd/topo/builders.hpp"
+#include "psd/util/rng.hpp"
 
 namespace psd::topo {
 namespace {
@@ -116,6 +118,198 @@ TEST(ExtractPath, SourceEqualsDestination) {
   const std::vector<double> unit(4, 1.0);
   const auto dj = dijkstra(g, 1, unit);
   EXPECT_TRUE(extract_path(g, dj, 1, 1).empty());
+}
+
+// ---- Bucket-queue SSSP ---------------------------------------------------
+
+/// Random strongly-connected digraph: a ring plus chords, random lengths.
+Graph random_digraph(psd::Rng& rng, int n, int extra_edges) {
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n, gbps(1));
+  for (int e = 0; e < extra_edges; ++e) {
+    const int a = rng.uniform_int(0, n - 1);
+    const int b = rng.uniform_int(0, n - 1);
+    if (a != b) g.add_edge(a, b, gbps(1));
+  }
+  return g;
+}
+
+std::vector<double> random_lengths(psd::Rng& rng, const Graph& g, double lo,
+                                   double hi) {
+  std::vector<double> len(static_cast<std::size_t>(g.num_edges()));
+  for (auto& l : len) l = rng.uniform(lo, hi);
+  return len;
+}
+
+double path_length(const std::vector<EdgeId>& path,
+                   const std::vector<double>& len) {
+  double total = 0.0;
+  for (EdgeId e : path) total += len[static_cast<std::size_t>(e)];
+  return total;
+}
+
+TEST(BucketSssp, AgreesWithDijkstraWithinQuantizationBound) {
+  // The engine floors every edge length to quanta, so for each node the
+  // quantized distance never exceeds the true distance and undershoots by
+  // at most one quantum per hop; the recorded parent chain is a real path
+  // whose true length is within (hops)·q of optimal.
+  psd::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(5, 24);
+    const Graph g = random_digraph(rng, n, rng.uniform_int(0, 3 * n));
+    const auto len = random_lengths(rng, g, 0.05, 2.0);
+    const double q = rng.uniform(0.001, 0.05);
+    const auto exact = dijkstra(g, 0, len);
+    const auto approx = bucket_sssp(g, 0, len, q);
+    const double slack = static_cast<double>(n - 1) * q;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      ASSERT_TRUE(std::isfinite(approx.dist[vi])) << "v=" << v;
+      EXPECT_LE(approx.dist[vi], exact.dist[vi] + 1e-12);
+      EXPECT_GE(approx.dist[vi], exact.dist[vi] - slack - 1e-12);
+      const auto path = extract_path(g, approx, 0, v);
+      if (v != 0) {
+        ASSERT_FALSE(path.empty());
+        EXPECT_LE(path_length(path, len), exact.dist[vi] + slack + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(BucketSssp, ExactWhenLengthsAreMultiplesOfQuantum) {
+  // Lengths that are exact multiples of q lose nothing to flooring: the
+  // quantized distances equal Dijkstra's.
+  const Graph g = bidirectional_ring(10, gbps(1));
+  std::vector<double> len(static_cast<std::size_t>(g.num_edges()));
+  psd::Rng rng(7);
+  for (auto& l : len) l = 0.25 * rng.uniform_int(1, 12);
+  const auto exact = dijkstra(g, 3, len);
+  const auto approx = bucket_sssp(g, 3, len, 0.25);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(approx.dist[static_cast<std::size_t>(v)],
+                     exact.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(BucketSssp, RadiusPrunesFarNodes) {
+  const Graph g = directed_ring(8, gbps(1));
+  const std::vector<double> unit(8, 1.0);
+  // Radius 3.5 with unit lengths: nodes 0..3 reachable, 4..7 pruned.
+  const auto res = bucket_sssp(g, 0, unit, 0.5, /*radius=*/3.5);
+  for (int v = 0; v <= 3; ++v) {
+    EXPECT_TRUE(std::isfinite(res.dist[static_cast<std::size_t>(v)])) << v;
+  }
+  for (int v = 4; v < 8; ++v) {
+    EXPECT_TRUE(std::isinf(res.dist[static_cast<std::size_t>(v)])) << v;
+  }
+}
+
+TEST(BucketSssp, EarlyStopMatchesFullRunForDestination) {
+  psd::Rng rng(123);
+  const Graph g = random_digraph(rng, 12, 10);
+  const auto len = random_lengths(rng, g, 0.1, 1.0);
+  for (NodeId dst = 1; dst < 12; ++dst) {
+    const auto full = bucket_sssp(g, 0, len, 0.01);
+    const auto stopped = bucket_sssp(
+        g, 0, len, 0.01, std::numeric_limits<double>::infinity(), dst);
+    EXPECT_DOUBLE_EQ(stopped.dist[static_cast<std::size_t>(dst)],
+                     full.dist[static_cast<std::size_t>(dst)]);
+  }
+}
+
+TEST(BucketSssp, InfiniteLengthDeletesEdgeAndUnreachableStaysInf) {
+  Graph g(3);
+  g.add_edge(0, 1, gbps(1));
+  g.add_edge(1, 2, gbps(1));
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto res = bucket_sssp(g, 0, {0.5, inf}, 0.1);
+  EXPECT_DOUBLE_EQ(res.dist[1], 0.5);
+  EXPECT_TRUE(std::isinf(res.dist[2]));
+  EXPECT_TRUE(extract_path(g, res, 0, 2).empty());
+}
+
+TEST(BucketSssp, RejectsBadArguments) {
+  const Graph g = directed_ring(4, gbps(1));
+  const std::vector<double> unit(4, 1.0);
+  EXPECT_THROW((void)bucket_sssp(g, -1, unit, 0.1), psd::InvalidArgument);
+  EXPECT_THROW((void)bucket_sssp(g, 0, {1.0}, 0.1), psd::InvalidArgument);
+  EXPECT_THROW((void)bucket_sssp(g, 0, unit, 0.0), psd::InvalidArgument);
+  // Quantum so fine the bucket range would explode (memory guard).
+  EXPECT_THROW((void)bucket_sssp(g, 0, unit, 1e-12), psd::InvalidArgument);
+}
+
+TEST(BucketSssp, ReducedCostSearchWithFeasiblePotentialRecoversDistances) {
+  // Feed the engine an exact distance field as the potential, grow a few
+  // lengths (monotone — the field stays a feasible lower bound), and check
+  // the reduced-cost search still reports distances within the
+  // quantization bound of a fresh Dijkstra. This is the warm-start pattern
+  // the Garg–Könemann phase schedule relies on.
+  psd::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = rng.uniform_int(6, 16);
+    const Graph g = random_digraph(rng, n, rng.uniform_int(0, 2 * n));
+    auto len = random_lengths(rng, g, 0.1, 1.0);
+    const auto before = dijkstra(g, 0, len);
+    std::vector<double> pot = before.dist;
+    // Grow a random subset of lengths (duals only grow in GK).
+    for (auto& l : len) {
+      if (rng.next_double() < 0.3) l *= rng.uniform(1.0, 1.5);
+    }
+    const auto after = dijkstra(g, 0, len);
+
+    CsrAdjacency csr;
+    csr.build(g);
+    std::vector<double> arc_len(len.size());
+    for (std::size_t e = 0; e < len.size(); ++e) {
+      arc_len[static_cast<std::size_t>(csr.arc_of_edge[e])] = len[e];
+    }
+    const double q = 0.01;
+    BucketQueueSssp engine;
+    engine.run(csr, 0, arc_len, q, /*radius_quanta=*/100000, {}, pot.data());
+    const double slack = static_cast<double>(n - 1) * q;
+    for (int v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const auto qd = engine.quantized_dist(v);
+      ASSERT_NE(qd, BucketQueueSssp::kUnsettled) << v;
+      // True distance = potential + reduced distance (quantized down).
+      const double recovered = pot[vi] + q * static_cast<double>(qd);
+      EXPECT_LE(recovered, after.dist[vi] + 1e-12);
+      EXPECT_GE(recovered, after.dist[vi] - slack - 1e-12);
+    }
+  }
+}
+
+TEST(BucketSssp, EngineReuseAcrossDifferentGraphsAndRadii) {
+  // One engine, many runs: scratch reuse must not leak state between runs
+  // (epoch stamping) or between graphs of different sizes.
+  BucketQueueSssp engine;
+  psd::Rng rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = rng.uniform_int(4, 20);
+    const Graph g = random_digraph(rng, n, rng.uniform_int(0, n));
+    const auto len = random_lengths(rng, g, 0.2, 1.0);
+    CsrAdjacency csr;
+    csr.build(g);
+    std::vector<double> arc_len(len.size());
+    for (std::size_t e = 0; e < len.size(); ++e) {
+      arc_len[static_cast<std::size_t>(csr.arc_of_edge[e])] = len[e];
+    }
+    const double q = 0.02;
+    const auto radius = static_cast<std::int32_t>(rng.uniform_int(50, 2000));
+    engine.run(csr, 0, arc_len, q, radius);
+    const auto exact = dijkstra(g, 0, len);
+    for (int v = 0; v < n; ++v) {
+      const auto qd = engine.quantized_dist(v);
+      if (qd == BucketQueueSssp::kUnsettled) {
+        // Unsettled ⇒ provably beyond the radius.
+        EXPECT_GT(exact.dist[static_cast<std::size_t>(v)],
+                  q * static_cast<double>(radius));
+      } else {
+        EXPECT_LE(q * static_cast<double>(qd),
+                  exact.dist[static_cast<std::size_t>(v)] + 1e-12);
+      }
+    }
+  }
 }
 
 }  // namespace
