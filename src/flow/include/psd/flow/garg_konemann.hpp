@@ -75,6 +75,46 @@ struct GargKonemannOptions {
   bool parallel = true;
 };
 
+/// Carryable solver state for delta-restarts: the per-commodity routed
+/// paths of a previous run, as *node* sequences (front() == src,
+/// back() == dst). Node paths — not edge ids — survive Graph::remove_edge's
+/// renumbering; they are re-resolved against the current graph at solve
+/// time, and any path with a missing hop (an edge the delta cut) silently
+/// falls back to the cold initial search for that commodity. Duals are NOT
+/// carried: Garg–Könemann's runtime is the dual-volume climb from m·δ to 1,
+/// and restarting from grown duals either terminates instantly with a
+/// garbage θ (if left as-is) or saves nothing (if renormalized) — the
+/// valuable state is the paths, which skip the initial SSSP batch and seed
+/// each commodity's phase threshold.
+struct GkWarmState {
+  std::vector<std::vector<topo::NodeId>> node_paths;  // one per commodity
+
+  [[nodiscard]] bool empty() const { return node_paths.empty(); }
+};
+
+/// Work counters of one solve — the churn simulator's replan-cost metric.
+struct GkRunStats {
+  long long path_pushes = 0;   // flow augmentations
+  long long sssp_searches = 0; // shortest-path computations (any engine)
+};
+
+/// Optional side-channels of a solve, all owned by the caller:
+///   warm  — in: seeds paths (skipping their initial searches) when the
+///           entry for a commodity is a valid path in the current graph;
+///           out: overwritten with the final routed paths, ready to carry
+///           into the next delta-restart. Cold runs: pass a default
+///           GkWarmState to harvest paths without seeding.
+///   stats — out: work counters accumulated over the solve.
+///   edge_loads — out: the feasibility-rescaled aggregate per-edge load;
+///           its positive entries are the solution's support.
+/// Seeding applies to the warm_start modes only; warm_start=false (the
+/// bit-exact cold reference) ignores incoming paths but still reports.
+struct GkSideChannels {
+  GkWarmState* warm = nullptr;
+  GkRunStats* stats = nullptr;
+  std::vector<double>* edge_loads = nullptr;
+};
+
 /// Approximate θ and per-commodity edge flows. Throws InvalidArgument if a
 /// commodity's endpoints are disconnected. An empty commodity list yields
 /// theta = +infinity with no flows.
@@ -100,5 +140,16 @@ struct GargKonemannOptions {
 [[nodiscard]] double gk_theta_only(const topo::Graph& g, const topo::Matching& m,
                                    Bandwidth b_ref,
                                    const GargKonemannOptions& opts = {});
+
+/// θ-only with side-channels: warm-restart path carry-over, work counters
+/// and the load support (see GkSideChannels). Identical θ to gk_theta_only
+/// when no warm paths are seeded; a delta-restart from near-shortest
+/// carried paths stays within the (1+ε) guarantee of a cold solve (pinned
+/// empirically by the churn property tests).
+[[nodiscard]] double gk_theta_only_ex(const topo::Graph& g,
+                                      const std::vector<Commodity>& commodities,
+                                      Bandwidth b_ref,
+                                      const GargKonemannOptions& opts,
+                                      const GkSideChannels& side);
 
 }  // namespace psd::flow

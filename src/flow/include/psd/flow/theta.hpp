@@ -39,6 +39,7 @@
 #include "psd/flow/commodity.hpp"
 #include "psd/flow/garg_konemann.hpp"
 #include "psd/flow/theta_cache.hpp"
+#include "psd/topo/delta.hpp"
 
 namespace psd::flow {
 
@@ -50,6 +51,12 @@ struct ThetaOptions {
   // Maximum number of memoized matchings; least-recently-used entries are
   // evicted beyond this. Must be >= 1 when use_cache is set.
   std::size_t cache_capacity = 1 << 14;
+  // Record each θ's routed support (the edges carrying positive flow) next
+  // to the cached value, enabling edge-level invalidation across topology
+  // deltas (see apply_topology_delta) and GK warm-restart hints. Costs one
+  // flow materialization on the ring/LP paths and an O(E) scan on the GK
+  // path per miss; off by default — sweeps without churn don't pay it.
+  bool track_support = false;
   // Cross-oracle memo shared by multi-tenant sweeps (sweep::SharedThetaCache
   // is the stock implementation). When set (and use_cache is on), θ lookups
   // go to the shared cache keyed by (graph fingerprint, destinations) and
@@ -90,6 +97,40 @@ class ThetaOracle {
     return contentions_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative solver work across every cache miss — the churn engine's
+  /// replan-cost metric. GK counters are zero for ring/LP-dispatched solves.
+  struct SolveStats {
+    long long solves = 0;            // θ computations (cache misses)
+    long long gk_path_pushes = 0;    // flow augmentations (GK dispatch only)
+    long long gk_sssp_searches = 0;  // shortest-path runs (GK dispatch only)
+  };
+  [[nodiscard]] SolveStats solve_stats() const;
+
+  /// Outcome of apply_topology_delta over the private memo (and, when a
+  /// shared cache is attached, its carry across the context change).
+  struct InvalidationStats {
+    std::size_t examined = 0;     // private entries inspected
+    std::size_t survived = 0;     // kept: support recorded and untouched
+    std::size_t invalidated = 0;  // erased: touched, unknown, or relaxing
+    std::size_t warm_hints = 0;   // erased entries whose GK paths were kept
+    SharedThetaCacheBase::CarryStats shared;
+  };
+
+  /// Notifies the oracle that its base graph just changed by `delta`
+  /// (applied externally via topo::apply_delta on the same Graph object —
+  /// delta.epoch must match base().epoch(), i.e. call this right after).
+  /// Edge-level invalidation: a private entry whose recorded support avoids
+  /// the delta's touched edges survives verbatim when the delta is
+  /// restricting (its θ stays feasible *and* optimal — see topo/delta.hpp);
+  /// everything else is erased, but an erased entry's final GK paths are
+  /// stashed as warm hints that seed the next solve of the same matching
+  /// (gk warm restart). Refreshes the ring-dispatch flag, the cached hop
+  /// matrix, and the shared-cache context fingerprint (carrying surviving
+  /// shared entries to the new context). NOT thread-safe against concurrent
+  /// theta()/base_hops() readers: the caller quiesces the oracle first (the
+  /// churn engine is strictly serial per oracle).
+  InvalidationStats apply_topology_delta(const topo::DeltaResult& delta);
+
  private:
   struct DstHash {
     std::size_t operator()(const std::vector<int>& dst) const noexcept {
@@ -102,9 +143,23 @@ class ThetaOracle {
   // allocation); misses insert and evict from the back once full.
   using LruList = std::list<const std::vector<int>*>;
 
+  /// A memoized θ plus, under track_support, the evidence that keeps it
+  /// valid across deltas: the routed support (sorted edge pair codes) and
+  /// the final GK paths (warm-restart seed; empty for ring/LP dispatch).
+  struct Entry {
+    double theta = 0.0;
+    std::vector<std::uint64_t> support;
+    GkWarmState warm;
+    LruList::iterator it;
+  };
+
   /// θ without the cache: ring closed form, exact LP, or GK — all through
-  /// their θ-only entry points.
-  [[nodiscard]] double theta_uncached(const topo::Matching& m) const;
+  /// their θ-only entry points. `support` (when non-null) receives the
+  /// sorted pair codes of the positive-load edges; `warm` (when non-null)
+  /// seeds and harvests GK paths; `stats` receives the GK work counters.
+  [[nodiscard]] double solve_theta(const topo::Matching& m,
+                                   std::vector<std::uint64_t>* support,
+                                   GkWarmState* warm, GkRunStats* stats) const;
 
   /// Acquires the cache lock, counting contention when it was held.
   [[nodiscard]] std::unique_lock<std::mutex> lock_cache() const;
@@ -119,13 +174,20 @@ class ThetaOracle {
   std::uint64_t context_fp_ = 0;
   mutable std::mutex cache_mutex_;
   mutable LruList lru_;
-  mutable std::unordered_map<std::vector<int>,
-                             std::pair<double, LruList::iterator>, DstHash>
-      cache_;
+  mutable std::unordered_map<std::vector<int>, Entry, DstHash> cache_;
+  // Final GK paths of invalidated entries, keyed by destination vector:
+  // consumed (moved out) by the next miss on the same matching to seed the
+  // warm restart. Guarded by cache_mutex_.
+  mutable std::unordered_map<std::vector<int>, GkWarmState, DstHash>
+      warm_hints_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t evictions_ = 0;
+  mutable SolveStats solve_stats_;
   mutable std::atomic<std::size_t> contentions_{0};
-  mutable std::once_flag hops_once_;
+  // Lazily-built hop matrix; a bool (not std::once_flag) so a topology
+  // delta can mark it for rebuild.
+  mutable std::mutex hops_mutex_;
+  mutable bool hops_ready_ = false;
   mutable std::vector<std::vector<int>> hops_;
 };
 

@@ -16,6 +16,15 @@
 // in any of these must never serve each other's entries. Implementations
 // must be thread-safe and first-writer-wins on insert races (θ is a pure
 // function of the full key, so racing values are equal anyway).
+//
+// Churn support: a topology delta changes the graph fingerprint, so a
+// mutated oracle moves to a *new* context — old entries simply stop being
+// probed (other oracles still on the old graph keep using them). To avoid
+// cold-starting the whole context, insert_with_support() records each θ's
+// routed support as sorted topo::edge_pair_codes, and carry_across_delta()
+// *copies* the entries whose support avoids the delta's touched set to the
+// new context: for a restricting delta their θ is still feasible and still
+// optimal (see topo/delta.hpp), so survival is exact, never approximate.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,15 @@ class SharedThetaCacheBase {
  public:
   virtual ~SharedThetaCacheBase() = default;
 
+  /// Outcome of carry_across_delta: entries examined under the old context,
+  /// how many survived (were copied to the new context), and how many were
+  /// invalidated (support touched the delta, or support unknown).
+  struct CarryStats {
+    std::size_t examined = 0;
+    std::size_t survived = 0;
+    std::size_t invalidated = 0;
+  };
+
   /// Memoized θ for (context fingerprint, destination vector), or nullopt.
   [[nodiscard]] virtual std::optional<double> lookup(
       std::uint64_t context_fp, const std::vector<int>& destinations) = 0;
@@ -36,6 +54,36 @@ class SharedThetaCacheBase {
   /// writer's, under races — equal to `theta` whenever θ is pure).
   virtual double insert(std::uint64_t context_fp,
                         const std::vector<int>& destinations, double theta) = 0;
+
+  /// insert() plus the θ's routed support: the sorted, de-duplicated
+  /// topo::edge_pair_codes of every edge carrying positive flow in the
+  /// solution that produced `theta`. Implementations that don't track
+  /// support may ignore it (the default forwards to insert()).
+  virtual double insert_with_support(std::uint64_t context_fp,
+                                     const std::vector<int>& destinations,
+                                     double theta,
+                                     const std::vector<std::uint64_t>& support) {
+    (void)support;
+    return insert(context_fp, destinations, theta);
+  }
+
+  /// Carries surviving entries across a topology delta: every entry under
+  /// `old_context_fp` whose recorded support avoids the sorted `touched`
+  /// pair-code set is copied to `new_context_fp`. Entries without support,
+  /// or any entry when `relaxing` (the delta could have raised θ), are not
+  /// carried. Old-context entries are left in place — other oracles may
+  /// still be keyed on them; the LRU retires them naturally. The default is
+  /// a no-op (nothing carried).
+  virtual CarryStats carry_across_delta(std::uint64_t old_context_fp,
+                                        std::uint64_t new_context_fp,
+                                        const std::vector<std::uint64_t>& touched,
+                                        bool relaxing) {
+    (void)old_context_fp;
+    (void)new_context_fp;
+    (void)touched;
+    (void)relaxing;
+    return {};
+  }
 };
 
 }  // namespace psd::flow

@@ -1,6 +1,7 @@
 #include "psd/flow/garg_konemann.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -174,13 +175,41 @@ struct PathFinder {
   }
 };
 
+/// Resolves a carried node path against the current graph. Returns false —
+/// leaving `edges_out` empty — when the path no longer exists (wrong
+/// endpoints, or a hop's edge was removed by a delta); the commodity then
+/// takes the cold initial search.
+bool resolve_node_path(const topo::Graph& g, const Commodity& c,
+                       const std::vector<topo::NodeId>& nodes,
+                       std::vector<topo::EdgeId>& edges_out) {
+  edges_out.clear();
+  if (nodes.size() < 2 || nodes.front() != c.src || nodes.back() != c.dst) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    if (!g.valid_node(nodes[i]) || !g.valid_node(nodes[i + 1])) {
+      edges_out.clear();
+      return false;
+    }
+    const topo::EdgeId e = g.find_edge(nodes[i], nodes[i + 1]);
+    if (e < 0) {
+      edges_out.clear();
+      return false;
+    }
+    edges_out.push_back(e);
+  }
+  return true;
+}
+
 /// Shared engine for the full and θ-only entry points. When `materialize`
 /// is false no per-commodity entries are recorded; only the aggregate edge
-/// load needed for the feasibility rescale is tracked.
+/// load needed for the feasibility rescale is tracked. `side` carries the
+/// optional warm-restart / stats / support channels (see GkSideChannels).
 ConcurrentFlowResult gk_run(const topo::Graph& g,
                             const std::vector<Commodity>& commodities,
                             Bandwidth b_ref, const GargKonemannOptions& opts,
-                            bool materialize) {
+                            bool materialize,
+                            const GkSideChannels& side = {}) {
   PSD_REQUIRE(opts.epsilon > 0.0 && opts.epsilon < 0.5,
               "epsilon must be in (0, 0.5)");
   PSD_REQUIRE(opts.phase_visit_routings >= 1,
@@ -189,6 +218,11 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   res.flow.reset(g.num_edges());
   if (commodities.empty()) {
     res.theta = kInf;
+    if (side.stats != nullptr) *side.stats = {};
+    if (side.warm != nullptr) side.warm->node_paths.clear();
+    if (side.edge_loads != nullptr) {
+      side.edge_loads->assign(static_cast<std::size_t>(g.num_edges()), 0.0);
+    }
     return res;
   }
   for (const auto& c : commodities) {
@@ -236,8 +270,12 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   // never influence results (epoch stamping isolates calls), so sharing
   // keeps the solver's footprint O(V·threads) instead of O(V·K) while the
   // parallel initial batch still gets race-free engines.
+  // Search counter (atomic: the initial batches run on the pool). Relaxed
+  // increments — the count is a diagnostic, not a synchronization point.
+  std::atomic<long long> searches{0};
   const auto recompute_path = [&](std::size_t k) {
     static thread_local PathFinder finder;
+    searches.fetch_add(1, std::memory_order_relaxed);
     const auto& c = commodities[k];
     const double d =
         finder.shortest_path(g, fwd, c.src, c.dst, arc_length, path[k]);
@@ -255,16 +293,51 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   };
 
   const bool phase_mode = opts.warm_start && opts.phase_schedule;
+
+  // Warm-restart seeding (see GkWarmState): re-resolve carried node paths
+  // against the current graph; every hit skips its initial search. Only the
+  // warm_start modes seed — warm_start=false stays the bit-exact cold
+  // reference. A seeded commodity's reuse window starts from its carried
+  // path's length under the *initial* (uniform) duals, which upper-bounds
+  // its true distance, so the window is slightly looser than a fresh
+  // search's — acceptable because carried paths were near-shortest in the
+  // pre-delta solve (the churn property tests pin θ within (1+ε) of cold).
+  std::vector<char> seeded(K, 0);
+  std::size_t seeded_count = 0;
+  if (opts.warm_start && side.warm != nullptr &&
+      side.warm->node_paths.size() == K) {
+    for (std::size_t k = 0; k < K; ++k) {
+      if (resolve_node_path(g, commodities[k], side.warm->node_paths[k],
+                            path[k])) {
+        seeded[k] = 1;
+        ++seeded_count;
+      }
+    }
+  }
+
   if (opts.warm_start && !phase_mode) {
-    // Initial batch: every commodity needs a path, and the lengths are
-    // untouched, so the K solves are independent read-only jobs — run them
-    // on the shared pool. Results are bitwise identical to the serial loop
-    // (disjoint per-commodity state).
+    // Initial batch: every unseeded commodity needs a path, and the lengths
+    // are untouched, so the solves are independent read-only jobs — run
+    // them on the shared pool. Results are bitwise identical to the serial
+    // loop (disjoint per-commodity state).
     if (opts.parallel && K > 1) {
-      util::ThreadPool::shared().parallel_for(
-          K, [&](std::size_t k) { recompute_path(k); });
+      util::ThreadPool::shared().parallel_for(K, [&](std::size_t k) {
+        if (!seeded[k]) recompute_path(k);
+      });
     } else {
-      for (std::size_t k = 0; k < K; ++k) recompute_path(k);
+      for (std::size_t k = 0; k < K; ++k) {
+        if (!seeded[k]) recompute_path(k);
+      }
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      if (!seeded[k]) continue;
+      const double plen = current_path_length(path[k], length);
+      reuse_bound[k] = reuse_window * plen;
+      double cap = kInf;
+      for (topo::EdgeId e : path[k]) {
+        cap = std::min(cap, caps[static_cast<std::size_t>(e)]);
+      }
+      path_cap[k] = cap;
     }
   }
 
@@ -418,8 +491,40 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
     const auto initial_group = [&](std::size_t gi) {
       static thread_local PathFinder finder;
       const auto& grp = groups[gi];
-      finder.run_targets(fwd, grp.src, arc_length, grp.targets);
-      for (const std::size_t k : grp.members) refresh_member_exact(finder, k);
+      if (seeded_count == 0) {
+        searches.fetch_add(1, std::memory_order_relaxed);
+        finder.run_targets(fwd, grp.src, arc_length, grp.targets);
+        for (const std::size_t k : grp.members) {
+          refresh_member_exact(finder, k);
+        }
+        return;
+      }
+      // Warm restart: only the unseeded members search; a group whose
+      // members all carried valid paths skips its SSSP entirely — that
+      // skip is where the delta-restart speedup comes from. Seeded members
+      // get a deliberately *tight* window — threshold one grid window
+      // below the carried length, lease (1+ε)² instead of (1+ε)³ — so a
+      // carried path that the delta pushed off-optimal is re-searched
+      // after little flow lands on it.
+      std::vector<std::size_t> pending;
+      std::vector<topo::NodeId> pending_targets;
+      for (const std::size_t k : grp.members) {
+        if (seeded[k]) continue;
+        pending.push_back(k);
+        pending_targets.push_back(commodities[k].dst);
+      }
+      if (!pending.empty()) {
+        searches.fetch_add(1, std::memory_order_relaxed);
+        finder.run_targets(fwd, grp.src, arc_length, pending_targets);
+        for (const std::size_t k : pending) refresh_member_exact(finder, k);
+      }
+      for (const std::size_t k : grp.members) {
+        if (!seeded[k]) continue;
+        const double plen = current_path_length(path[k], length);
+        refresh_cap(k);
+        threshold[k] = plen / (grid * grid);
+        reuse_limit[k] = grid * grid * plen;
+      }
     };
     if (opts.parallel && groups.size() > 1) {
       util::ThreadPool::shared().parallel_for(groups.size(), initial_group);
@@ -457,6 +562,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
       const auto& ck = commodities[k];
       if (use_bucket) {
         for (;;) {
+          searches.fetch_add(1, std::memory_order_relaxed);
           const double q = eps * threshold[k] / static_cast<double>(V);
           const auto radius = std::min(
               static_cast<std::int32_t>(
@@ -493,6 +599,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
           break;
         }
       } else {
+        searches.fetch_add(1, std::memory_order_relaxed);
         heap_finder.run_targets(fwd, grp.src, arc_length, grp.targets);
         for (const std::size_t m : grp.members) {
           refresh_member_exact(heap_finder, m);
@@ -553,6 +660,26 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
     theta = std::min(theta, shipped[k] * inv / commodities[k].demand);
   }
   res.theta = theta;
+
+  if (side.stats != nullptr) {
+    side.stats->path_pushes = pushes;
+    side.stats->sssp_searches = searches.load(std::memory_order_relaxed);
+  }
+  if (side.edge_loads != nullptr) {
+    side.edge_loads->resize(E);
+    for (std::size_t e = 0; e < E; ++e) (*side.edge_loads)[e] = load[e] * inv;
+  }
+  if (side.warm != nullptr) {
+    // Harvest the final routed paths as node sequences (edge ids don't
+    // survive remove_edge's renumbering; node pairs do).
+    auto& out = side.warm->node_paths;
+    out.assign(K, {});
+    for (std::size_t k = 0; k < K; ++k) {
+      out[k].reserve(path[k].size() + 1);
+      out[k].push_back(commodities[k].src);
+      for (topo::EdgeId e : path[k]) out[k].push_back(g.edge(e).dst);
+    }
+  }
   return res;
 }
 
@@ -582,6 +709,13 @@ double gk_theta_only(const topo::Graph& g, const topo::Matching& m,
                      Bandwidth b_ref, const GargKonemannOptions& opts) {
   PSD_REQUIRE(g.num_nodes() == m.size(), "matching/graph size mismatch");
   return gk_theta_only(g, commodities_from_matching(m), b_ref, opts);
+}
+
+double gk_theta_only_ex(const topo::Graph& g,
+                        const std::vector<Commodity>& commodities,
+                        Bandwidth b_ref, const GargKonemannOptions& opts,
+                        const GkSideChannels& side) {
+  return gk_run(g, commodities, b_ref, opts, /*materialize=*/false, side).theta;
 }
 
 }  // namespace psd::flow

@@ -1,5 +1,6 @@
 #include "psd/flow/theta.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <limits>
 #include <utility>
@@ -26,6 +27,23 @@ std::uint64_t shared_context_fingerprint(const topo::Graph& g, Bandwidth b_ref,
   h = topo::fnv1a_mix64(h, std::bit_cast<std::uint64_t>(opts.epsilon));
   h = topo::fnv1a_mix64(h, static_cast<std::uint64_t>(opts.exact_var_limit));
   return h;
+}
+
+/// The sorted, de-duplicated pair codes of every edge carrying positive
+/// load — the support invariant insert_with_support/apply_topology_delta
+/// match against a delta's touched set.
+std::vector<std::uint64_t> support_from_loads(const topo::Graph& g,
+                                              const std::vector<double>& loads) {
+  std::vector<std::uint64_t> support;
+  for (topo::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (loads[static_cast<std::size_t>(e)] > 0.0) {
+      const auto& edge = g.edge(e);
+      support.push_back(topo::edge_pair_code(edge.src, edge.dst));
+    }
+  }
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  return support;
 }
 
 }  // namespace
@@ -72,17 +90,35 @@ std::size_t ThetaOracle::cache_evictions() const {
 double ThetaOracle::theta(const topo::Matching& m) const {
   PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
   if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
+  const bool track = opts_.track_support;
 
   if (opts_.use_cache && opts_.shared_cache) {
     // Cross-planner path: the shared cache replaces the private LRU
     // entirely, so every oracle over the same context fingerprint (graph +
     // b_ref + solver options) sees one memo. Misses solve outside any lock;
     // insert() resolves races first-writer-wins (θ is a pure function of
-    // the full key, so racing values agree).
+    // the full key, so racing values agree). Under track_support the
+    // support rides along so carry_across_delta can keep the entry alive.
     auto& shared = *opts_.shared_cache;
     if (const auto v = shared.lookup(context_fp_, m.destinations())) return *v;
-    return shared.insert(context_fp_, m.destinations(), theta_uncached(m));
+    std::vector<std::uint64_t> support;
+    GkRunStats stats;
+    const double value =
+        solve_theta(m, track ? &support : nullptr, nullptr, &stats);
+    {
+      const auto lk = lock_cache();
+      ++solve_stats_.solves;
+      solve_stats_.gk_path_pushes += stats.path_pushes;
+      solve_stats_.gk_sssp_searches += stats.sssp_searches;
+    }
+    if (track) {
+      return shared.insert_with_support(context_fp_, m.destinations(), value,
+                                        support);
+    }
+    return shared.insert(context_fp_, m.destinations(), value);
   }
+
+  GkWarmState warm;
   if (opts_.use_cache) {
     // Hit path: one hash of the destination vector, one splice. Neither
     // allocates — destinations() is a reference into the matching and the
@@ -91,24 +127,40 @@ double ThetaOracle::theta(const topo::Matching& m) const {
     const auto lk = lock_cache();
     if (const auto it = cache_.find(m.destinations()); it != cache_.end()) {
       ++hits_;
-      lru_.splice(lru_.begin(), lru_, it->second.second);
-      return it->second.first;
+      lru_.splice(lru_.begin(), lru_, it->second.it);
+      return it->second.theta;
+    }
+    // Miss: consume any warm hint a topology delta stashed for this
+    // matching — the invalidated entry's final GK paths seed the re-solve.
+    if (track) {
+      if (const auto h = warm_hints_.find(m.destinations());
+          h != warm_hints_.end()) {
+        warm = std::move(h->second);
+        warm_hints_.erase(h);
+      }
     }
   }
   // Compute outside the lock so concurrent misses solve in parallel.
-  const double value = theta_uncached(m);
+  std::vector<std::uint64_t> support;
+  GkRunStats stats;
+  const double value = solve_theta(m, track ? &support : nullptr,
+                                   track ? &warm : nullptr, &stats);
   if (opts_.use_cache) {
     const auto lk = lock_cache();
-    const auto [it, inserted] =
-        cache_.emplace(m.destinations(), std::make_pair(value, lru_.end()));
+    ++solve_stats_.solves;
+    solve_stats_.gk_path_pushes += stats.path_pushes;
+    solve_stats_.gk_sssp_searches += stats.sssp_searches;
+    const auto [it, inserted] = cache_.emplace(
+        m.destinations(),
+        Entry{value, std::move(support), std::move(warm), lru_.end()});
     if (!inserted) {
       // Another thread computed the same matching first. θ is a pure
       // function of the matching, so the values agree; just refresh LRU.
-      lru_.splice(lru_.begin(), lru_, it->second.second);
-      return it->second.first;
+      lru_.splice(lru_.begin(), lru_, it->second.it);
+      return it->second.theta;
     }
     lru_.push_front(&it->first);
-    it->second.second = lru_.begin();
+    it->second.it = lru_.begin();
     if (cache_.size() > opts_.cache_capacity) {
       // Locate first, erase by iterator: erase-by-key would pass a
       // reference aliasing the key of the node being destroyed.
@@ -118,26 +170,56 @@ double ThetaOracle::theta(const topo::Matching& m) const {
       lru_.pop_back();
       ++evictions_;
     }
+  } else {
+    const auto lk = lock_cache();
+    ++solve_stats_.solves;
+    solve_stats_.gk_path_pushes += stats.path_pushes;
+    solve_stats_.gk_sssp_searches += stats.sssp_searches;
   }
   return value;
 }
 
-double ThetaOracle::theta_uncached(const topo::Matching& m) const {
+double ThetaOracle::solve_theta(const topo::Matching& m,
+                                std::vector<std::uint64_t>* support,
+                                GkWarmState* warm, GkRunStats* stats) const {
   if (base_is_ring_) {
-    // θ-only closed form: no flow materialization, no commodity vector.
-    const auto ring = ring_theta_only(base_, m, b_ref_);
+    if (warm != nullptr) warm->node_paths.clear();  // ring carries no paths
+    if (support == nullptr) {
+      // θ-only closed form: no flow materialization, no commodity vector.
+      const auto ring = ring_theta_only(base_, m, b_ref_);
+      PSD_ASSERT(ring.has_value(), "ring dispatch inconsistent with builder check");
+      return *ring;
+    }
+    auto ring = ring_concurrent_flow(base_, m, b_ref_);
     PSD_ASSERT(ring.has_value(), "ring dispatch inconsistent with builder check");
-    return *ring;
+    *support = support_from_loads(base_, ring->flow.edge_loads());
+    return ring->theta;
   }
   const auto commodities = commodities_from_matching(m);
   const std::size_t lp_vars =
       commodities.size() * static_cast<std::size_t>(base_.num_edges());
   if (lp_vars <= opts_.exact_var_limit) {
-    return exact_concurrent_flow(base_, commodities, b_ref_).theta;
+    if (warm != nullptr) warm->node_paths.clear();  // LP carries no paths
+    if (support == nullptr) {
+      return exact_concurrent_flow(base_, commodities, b_ref_).theta;
+    }
+    auto res = exact_concurrent_flow(base_, commodities, b_ref_);
+    *support = support_from_loads(base_, res.flow.edge_loads());
+    return res.theta;
   }
   GargKonemannOptions gk;
   gk.epsilon = opts_.epsilon;
-  return gk_theta_only(base_, commodities, b_ref_, gk);
+  if (support == nullptr && warm == nullptr && stats == nullptr) {
+    return gk_theta_only(base_, commodities, b_ref_, gk);
+  }
+  std::vector<double> loads;
+  GkSideChannels side;
+  side.warm = warm;
+  side.stats = stats;
+  side.edge_loads = (support != nullptr) ? &loads : nullptr;
+  const double value = gk_theta_only_ex(base_, commodities, b_ref_, gk, side);
+  if (support != nullptr) *support = support_from_loads(base_, loads);
+  return value;
 }
 
 ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const {
@@ -158,8 +240,65 @@ ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const
   return gk_concurrent_flow(base_, commodities, b_ref_, gk);
 }
 
+ThetaOracle::SolveStats ThetaOracle::solve_stats() const {
+  const std::lock_guard<std::mutex> lk(cache_mutex_);
+  return solve_stats_;
+}
+
+ThetaOracle::InvalidationStats ThetaOracle::apply_topology_delta(
+    const topo::DeltaResult& delta) {
+  PSD_REQUIRE(base_.epoch() == delta.epoch,
+              "delta result is stale: apply_topology_delta must follow the "
+              "topo::apply_delta that produced it, with no mutation between");
+  InvalidationStats out;
+  base_is_ring_ = topo::is_directed_ring(base_);
+  {
+    const std::lock_guard<std::mutex> lk(hops_mutex_);
+    hops_ready_ = false;
+    hops_.clear();
+  }
+  const std::uint64_t old_fp = context_fp_;
+  {
+    const std::lock_guard<std::mutex> lk(cache_mutex_);
+    out.examined = cache_.size();
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      Entry& e = it->second;
+      // Exact survival (see topo/delta.hpp): a restricting delta cannot
+      // raise θ of any matching and cannot lower θ of a solution routed
+      // entirely off the touched edges — so an entry with recorded support
+      // disjoint from the touched set stays feasible and optimal verbatim.
+      const bool survives = !delta.relaxing && !e.support.empty() &&
+                            !topo::pair_codes_intersect(e.support, delta.touched);
+      if (survives) {
+        ++out.survived;
+        ++it;
+        continue;
+      }
+      ++out.invalidated;
+      if (!e.warm.empty()) {
+        // The value dies but its paths remain the best available starting
+        // point — stash them for the re-solve's GK warm restart.
+        warm_hints_[it->first] = std::move(e.warm);
+        ++out.warm_hints;
+      }
+      lru_.erase(e.it);
+      it = cache_.erase(it);
+    }
+  }
+  if (opts_.shared_cache) {
+    context_fp_ = shared_context_fingerprint(base_, b_ref_, opts_);
+    out.shared = opts_.shared_cache->carry_across_delta(
+        old_fp, context_fp_, delta.touched, delta.relaxing);
+  }
+  return out;
+}
+
 const std::vector<std::vector<int>>& ThetaOracle::base_hops() const {
-  std::call_once(hops_once_, [&] { hops_ = topo::all_pairs_hops(base_); });
+  const std::lock_guard<std::mutex> lk(hops_mutex_);
+  if (!hops_ready_) {
+    hops_ = topo::all_pairs_hops(base_);
+    hops_ready_ = true;
+  }
   return hops_;
 }
 

@@ -1,0 +1,124 @@
+// Topology-churn driver: seeded fault injection over a live topology with
+// replanning after every event, measuring what the paper's adaptive domains
+// must survive in practice — how deep θ dips when links fail, how fast the
+// planner's caches and the warm-restarted GK solver recover it, and what
+// each replan costs.
+//
+// The engine owns a mutable copy of the base graph and a private
+// support-tracking ThetaOracle over it. A fault either cuts a random alive
+// link (droop == 1) or droops its capacity (droop < 1); every fault
+// schedules a repair that restores the original capacity. Events flow
+// through sim::EventQueue (deterministic (time, seq) order), and after each
+// one the engine applies the topology delta, notifies the oracle —
+// edge-level cache invalidation plus GK warm hints — and re-solves θ for
+// every matching of the workload, recording the trace row.
+//
+// Determinism: every random draw comes from a fresh util::Rng seeded by
+// derive_stream_seed(seed, scenario_key, fault_index) — a pure function of
+// the (scenario, event) key — and all metrics come from the engine's private
+// oracle, never from a shared cache whose counters depend on sweep-wide
+// interleaving. Identical configs therefore produce byte-identical reports
+// across runs and thread counts; the sweep determinism tests pin this.
+//
+// Connectivity guard: a cut that would disconnect the topology (θ would be
+// 0 and every solver would throw) falls back to a deep droop
+// (kDisconnectFallbackDroop) — the link is "down hard" but the domain stays
+// routable, which matches how an optical fabric degrades before full
+// partition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psd/flow/theta.hpp"
+#include "psd/sim/event_queue.hpp"
+#include "psd/topo/delta.hpp"
+#include "psd/topo/graph.hpp"
+#include "psd/topo/matching.hpp"
+
+namespace psd::sim {
+
+struct ChurnConfig {
+  int drops = 1;       // fault events to inject (>= 1)
+  double droop = 1.0;  // 1.0: cut the link; (0, 1): scale its capacity
+  std::uint64_t seed = 1;
+  // Stream name for seed derivation — scenario id in sweeps, so every
+  // scenario draws from its own independent stream regardless of how many
+  // others ran first.
+  std::string scenario_key = "churn";
+  TimeNs fault_spacing{100'000.0};  // 100 us between successive faults
+  TimeNs repair_delay{250'000.0};   // repair fires this long after its fault
+  // θ solver settings of the private oracle (mirrors flow::ThetaOptions).
+  double gk_epsilon = 0.05;
+  std::size_t exact_var_limit = 700;
+};
+
+/// A cut that would disconnect the domain degrades to this capacity factor
+/// instead (see header comment).
+inline constexpr double kDisconnectFallbackDroop = 0.25;
+
+enum class ChurnEventKind : std::uint8_t { kFault, kRepair };
+
+/// One trace row: what happened, what it did to θ, and what the replan cost.
+struct ChurnEventRecord {
+  double time_ns = 0.0;
+  ChurnEventKind kind = ChurnEventKind::kFault;
+  int fault_index = -1;
+  topo::NodeId src = -1;
+  topo::NodeId dst = -1;
+  bool dropped = false;  // fault removed the edge (vs drooped its capacity)
+  double theta_before = 0.0;  // min θ over the workload, pre-event
+  double theta_after = 0.0;   // min θ after the replan
+  // Oracle invalidation outcome for this event's delta.
+  std::size_t cache_kept = 0;
+  std::size_t cache_erased = 0;
+  // Replan cost: θ solves this event forced, and their GK work.
+  long long replan_solves = 0;
+  long long gk_path_pushes = 0;
+  long long gk_sssp_searches = 0;
+  bool recovered = false;  // θ back within tolerance of healthy after this event
+
+  bool operator==(const ChurnEventRecord&) const = default;
+};
+
+struct ChurnReport {
+  double theta_healthy = 0.0;  // min θ over the workload, pristine topology
+  double theta_min = 0.0;      // worst min-θ observed during the run
+  // Worst fault-to-recovery gap among recovered faults (0 when drops == 0).
+  double worst_recovery_ns = 0.0;
+  bool fully_recovered = false;  // every fault's θ dip recovered by run end
+  long long total_replan_solves = 0;
+  long long total_gk_path_pushes = 0;
+  long long total_gk_sssp_searches = 0;
+  std::size_t total_cache_kept = 0;
+  std::size_t total_cache_erased = 0;
+  std::vector<ChurnEventRecord> events;
+
+  /// Depth of the θ degradation: 0 = unscathed, 1 = fully collapsed.
+  [[nodiscard]] double degradation_depth() const {
+    if (theta_healthy <= 0.0) return 0.0;
+    return 1.0 - theta_min / theta_healthy;
+  }
+
+  bool operator==(const ChurnReport&) const = default;
+};
+
+/// Runs the churn schedule against one workload (the matchings of a
+/// collective's steps). The graph is copied — the caller's stays pristine.
+class ChurnEngine {
+ public:
+  ChurnEngine(topo::Graph base, std::vector<topo::Matching> matchings,
+              Bandwidth b_ref, ChurnConfig cfg);
+
+  /// Executes the full fault/repair schedule; callable once per engine.
+  [[nodiscard]] ChurnReport run();
+
+ private:
+  topo::Graph graph_;
+  std::vector<topo::Matching> matchings_;
+  Bandwidth b_ref_;
+  ChurnConfig cfg_;
+  bool ran_ = false;
+};
+
+}  // namespace psd::sim

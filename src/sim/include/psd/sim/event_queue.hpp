@@ -16,6 +16,8 @@ enum class EventType : std::uint8_t {
   kComputeDone,
   kFlowCompleted,   // payload: flow id
   kLastBitArrived,  // payload: flow id
+  kLinkFault,       // payload: fault index (churn driver)
+  kLinkRepair,      // payload: fault index (churn driver)
 };
 
 struct Event {

@@ -1,0 +1,193 @@
+#include "psd/sim/churn.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "psd/topo/properties.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::sim {
+
+namespace {
+
+/// The workload's score under the current topology: min θ over its step
+/// matchings (the binding constraint of the cost model). Pure cache hits
+/// when nothing changed since the last call.
+double min_theta(const flow::ThetaOracle& oracle,
+                 const std::vector<topo::Matching>& matchings) {
+  double t = std::numeric_limits<double>::infinity();
+  for (const auto& m : matchings) t = std::min(t, oracle.theta(m));
+  return t;
+}
+
+}  // namespace
+
+ChurnEngine::ChurnEngine(topo::Graph base, std::vector<topo::Matching> matchings,
+                         Bandwidth b_ref, ChurnConfig cfg)
+    : graph_(std::move(base)),
+      matchings_(std::move(matchings)),
+      b_ref_(b_ref),
+      cfg_(std::move(cfg)) {
+  PSD_REQUIRE(cfg_.drops >= 1, "churn needs at least one fault");
+  PSD_REQUIRE(cfg_.droop > 0.0 && cfg_.droop <= 1.0,
+              "droop must be in (0, 1] (1 = cut the link)");
+  PSD_REQUIRE(!matchings_.empty(), "churn needs a workload of matchings");
+  PSD_REQUIRE(cfg_.fault_spacing.ns() > 0.0, "fault_spacing must be positive");
+  PSD_REQUIRE(cfg_.repair_delay.ns() > 0.0, "repair_delay must be positive");
+}
+
+ChurnReport ChurnEngine::run() {
+  PSD_REQUIRE(!ran_, "ChurnEngine::run is single-shot");
+  ran_ = true;
+
+  flow::ThetaOptions topts;
+  topts.epsilon = cfg_.gk_epsilon;
+  topts.exact_var_limit = cfg_.exact_var_limit;
+  topts.track_support = true;  // edge-level invalidation + GK warm hints
+  flow::ThetaOracle oracle(graph_, b_ref_, topts);
+
+  ChurnReport report;
+  report.theta_healthy = min_theta(oracle, matchings_);
+  report.theta_min = report.theta_healthy;
+  // GK resolves within (1±ε), so a repaired topology's re-solved θ can sit
+  // a bit under the healthy solve of the same instance; "recovered" allows
+  // two ε of solver slack (plus roundoff) rather than demanding bit equality.
+  const double recover_floor =
+      report.theta_healthy * (1.0 - 2.0 * cfg_.gk_epsilon) - 1e-12;
+
+  struct Fault {
+    topo::NodeId src = -1;
+    topo::NodeId dst = -1;
+    Bandwidth original;
+    bool dropped = false;
+    bool skipped = false;  // no candidate link was available
+    bool pending = false;  // θ dip not yet recovered
+    double time_ns = 0.0;
+  };
+  std::vector<Fault> faults(static_cast<std::size_t>(cfg_.drops));
+
+  EventQueue queue;
+  for (int i = 0; i < cfg_.drops; ++i) {
+    const double t = cfg_.fault_spacing.ns() * static_cast<double>(i + 1);
+    queue.push(Event{TimeNs{t}, EventType::kLinkFault, i});
+    queue.push(
+        Event{TimeNs{t + cfg_.repair_delay.ns()}, EventType::kLinkRepair, i});
+  }
+
+  // Pair codes of links under an active (un-repaired) fault: a fault never
+  // strikes one of these again — its repair would otherwise need to stack.
+  std::vector<std::uint64_t> active;
+
+  while (!queue.empty()) {
+    const Event ev = queue.pop();
+    Fault& f = faults[static_cast<std::size_t>(ev.payload)];
+
+    topo::TopologyDelta delta;
+    ChurnEventRecord rec;
+    rec.time_ns = ev.time.ns();
+    rec.fault_index = ev.payload;
+
+    if (ev.type == EventType::kLinkFault) {
+      rec.kind = ChurnEventKind::kFault;
+      // Fresh stream per (scenario, fault index): the draw is a pure
+      // function of the key, independent of execution history.
+      Rng rng(derive_stream_seed(cfg_.seed, cfg_.scenario_key,
+                                 static_cast<std::uint64_t>(ev.payload)));
+      std::vector<topo::EdgeId> candidates;
+      for (topo::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+        const auto& edge = graph_.edge(e);
+        const std::uint64_t code = topo::edge_pair_code(edge.src, edge.dst);
+        if (std::find(active.begin(), active.end(), code) == active.end()) {
+          candidates.push_back(e);
+        }
+      }
+      if (candidates.empty()) {  // every link already faulted: nothing to cut
+        f.skipped = true;
+        continue;
+      }
+      const topo::EdgeId victim = candidates[static_cast<std::size_t>(
+          rng.next_below(candidates.size()))];
+      const auto& edge = graph_.edge(victim);
+      f.src = edge.src;
+      f.dst = edge.dst;
+      f.original = edge.capacity;
+      f.time_ns = ev.time.ns();
+      f.pending = true;
+      rec.src = f.src;
+      rec.dst = f.dst;
+      bool drop = cfg_.droop >= 1.0;
+      if (drop) {
+        // Connectivity guard: probe the cut on a copy; a disconnecting cut
+        // degrades to a deep droop instead (see header comment).
+        topo::Graph probe = graph_;
+        probe.remove_edge(victim);
+        if (!topo::is_strongly_connected(probe)) drop = false;
+      }
+      f.dropped = drop;
+      rec.dropped = drop;
+      if (drop) {
+        delta.remove_edge(f.src, f.dst);
+      } else {
+        delta.scale_capacity(
+            f.src, f.dst,
+            cfg_.droop < 1.0 ? cfg_.droop : kDisconnectFallbackDroop);
+      }
+      active.push_back(topo::edge_pair_code(f.src, f.dst));
+    } else {
+      PSD_ASSERT(ev.type == EventType::kLinkRepair, "unexpected churn event");
+      if (f.skipped) continue;
+      rec.kind = ChurnEventKind::kRepair;
+      rec.src = f.src;
+      rec.dst = f.dst;
+      rec.dropped = f.dropped;
+      // Restore the exact original capacity (set, not inverse-scale: the
+      // round trip through a multiply would not be bit-exact).
+      if (f.dropped) {
+        delta.add_edge(f.src, f.dst, f.original);
+      } else {
+        delta.set_capacity(f.src, f.dst, f.original);
+      }
+      active.erase(std::find(active.begin(), active.end(),
+                             topo::edge_pair_code(f.src, f.dst)));
+    }
+
+    // Pre-delta θ is fully memoized — this is a cache sweep, not a solve.
+    rec.theta_before = min_theta(oracle, matchings_);
+    const auto before = oracle.solve_stats();
+    const auto dres = topo::apply_delta(graph_, delta);
+    const auto inv = oracle.apply_topology_delta(dres);
+    rec.cache_kept = inv.survived;
+    rec.cache_erased = inv.invalidated;
+    rec.theta_after = min_theta(oracle, matchings_);
+    const auto after = oracle.solve_stats();
+    rec.replan_solves = after.solves - before.solves;
+    rec.gk_path_pushes = after.gk_path_pushes - before.gk_path_pushes;
+    rec.gk_sssp_searches = after.gk_sssp_searches - before.gk_sssp_searches;
+
+    report.theta_min = std::min(report.theta_min, rec.theta_after);
+    rec.recovered = rec.theta_after >= recover_floor;
+    if (rec.recovered) {
+      // Every outstanding dip is healed by this event: time-to-recover is
+      // measured from each fault to the first event that restores θ.
+      for (auto& pf : faults) {
+        if (!pf.pending) continue;
+        pf.pending = false;
+        report.worst_recovery_ns =
+            std::max(report.worst_recovery_ns, ev.time.ns() - pf.time_ns);
+      }
+    }
+    report.total_replan_solves += rec.replan_solves;
+    report.total_gk_path_pushes += rec.gk_path_pushes;
+    report.total_gk_sssp_searches += rec.gk_sssp_searches;
+    report.total_cache_kept += rec.cache_kept;
+    report.total_cache_erased += rec.cache_erased;
+    report.events.push_back(rec);
+  }
+
+  report.fully_recovered = std::none_of(
+      faults.begin(), faults.end(), [](const Fault& f) { return f.pending; });
+  return report;
+}
+
+}  // namespace psd::sim

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "psd/core/planner.hpp"
+#include "psd/sim/churn.hpp"
 #include "psd/sweep/scenario.hpp"
 #include "psd/sweep/shared_theta_cache.hpp"
 
@@ -41,11 +43,16 @@ struct SweepOptions {
   std::shared_ptr<SharedThetaCache> shared_cache;
 };
 
-/// One planned scenario.
+/// One planned scenario. Churn scenarios (scenario.churn.drops > 0)
+/// additionally carry the fault-injection report: the engine runs on a
+/// *private* support-tracking oracle seeded purely by the scenario id, so
+/// every churn metric is deterministic regardless of thread count or
+/// shared-cache interleaving (the serial==parallel row pins rely on it).
 struct SweepRow {
   Scenario scenario;
   int steps = 0;
   core::PlannerResult result;
+  std::optional<sim::ChurnReport> churn;
 };
 
 /// Where the report's cache counters came from.

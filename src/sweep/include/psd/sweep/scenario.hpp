@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -75,6 +76,19 @@ struct CollectiveSpec {
 [[nodiscard]] std::optional<CollectiveSpec> collective_from_string(
     std::string_view s);
 
+/// The failure axes of a scenario: how many link faults the churn driver
+/// injects, how hard each one droops the link (1.0 = cut it outright), and
+/// the seed of the deterministic fault-sampling stream. drops == 0 — the
+/// default — means no churn: the scenario plans once on the pristine
+/// topology exactly as before.
+struct ChurnSpec {
+  int drops = 0;
+  double droop = 1.0;
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
 /// One point of the sweep's design space.
 struct Scenario {
   TopologySpec topology;
@@ -83,18 +97,25 @@ struct Scenario {
   Bytes message;
   core::CostParams params;
   int cost_index = 0;  // which ScenarioGrid::cost_params entry
+  ChurnSpec churn;
 
-  /// Deterministic label, e.g. "ring/n16/allreduce:swing/4194304B/c0".
+  /// Deterministic label, e.g. "ring/n16/allreduce:swing/4194304B/c0";
+  /// churn scenarios append "/k<drops>/f<droop>/s<seed>".
   [[nodiscard]] std::string id() const;
 };
 
-/// Per-axis value lists; expand() takes their cross product.
+/// Per-axis value lists; expand() takes their cross product. The churn axes
+/// (drop_counts × droops × seeds) may be left empty — they then behave as
+/// {0} / {1.0} / {1}, i.e. no churn, and existing grids expand unchanged.
 struct ScenarioGrid {
   std::vector<TopologySpec> topologies;
   std::vector<int> node_counts;
   std::vector<CollectiveSpec> collectives;
   std::vector<Bytes> message_sizes;
   std::vector<core::CostParams> cost_params;
+  std::vector<int> drop_counts;
+  std::vector<double> droops;
+  std::vector<std::uint64_t> seeds;
 };
 
 /// True if the combination can be materialized and planned: n >= 2 always;

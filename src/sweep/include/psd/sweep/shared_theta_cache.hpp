@@ -18,6 +18,18 @@
 // matchings' destination vectors are identical. Thread safety and eviction
 // semantics are those of util::ShardedLruCache (per-shard LRU,
 // first-writer-wins inserts).
+//
+// Hashing: the destination vector is FNV-hashed exactly once per call and
+// the resulting 64-bit digest travels inside the key. The sharded map hashes
+// a key twice per probe (shard selection, then the shard's unordered_map);
+// with the digest precomputed both are O(1) mixes instead of O(n) vector
+// scans — the earlier design paid the FNV walk twice per lookup.
+//
+// Churn: insert_with_support() stores each θ's routed support (sorted
+// topo::edge_pair_codes) beside the value; carry_across_delta() copies the
+// entries provably unaffected by a topology delta to the post-delta context
+// fingerprint (see flow/theta_cache.hpp for the exactness argument), leaving
+// the originals for oracles still on the pre-delta graph.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +60,15 @@ class SharedThetaCache final : public flow::SharedThetaCacheBase {
   double insert(std::uint64_t context_fp, const std::vector<int>& destinations,
                 double theta) override;
 
+  double insert_with_support(
+      std::uint64_t context_fp, const std::vector<int>& destinations,
+      double theta, const std::vector<std::uint64_t>& support) override;
+
+  CarryStats carry_across_delta(std::uint64_t old_context_fp,
+                                std::uint64_t new_context_fp,
+                                const std::vector<std::uint64_t>& touched,
+                                bool relaxing) override;
+
   /// Aggregated hit/miss/eviction/contention counters (see ShardedLruStats).
   [[nodiscard]] util::ShardedLruStats stats() const { return cache_.stats(); }
   [[nodiscard]] std::size_t num_shards() const { return cache_.num_shards(); }
@@ -55,6 +76,9 @@ class SharedThetaCache final : public flow::SharedThetaCacheBase {
  private:
   struct Key {
     std::uint64_t context_fp = 0;
+    // topo::hash_destinations(destinations), computed once at key build;
+    // every downstream hash is then an O(1) mix of two digests.
+    std::uint64_t dest_hash = 0;
     std::vector<int> destinations;
   };
   /// Borrowed-destination view of a Key: what lookup() probes with, so a
@@ -63,6 +87,7 @@ class SharedThetaCache final : public flow::SharedThetaCacheBase {
   /// shard map.
   struct KeyView {
     std::uint64_t context_fp = 0;
+    std::uint64_t dest_hash = 0;
     const std::vector<int>* destinations = nullptr;
   };
   struct KeyHash {
@@ -70,20 +95,33 @@ class SharedThetaCache final : public flow::SharedThetaCacheBase {
     std::size_t operator()(const Key& k) const noexcept;
     std::size_t operator()(const KeyView& k) const noexcept;
   };
+  // Digest equality first: it rejects nearly every non-match without
+  // touching the vectors, and hash-equal non-identical vectors are the
+  // astronomically rare case the full compare exists for.
   struct KeyEq {
     using is_transparent = void;
     bool operator()(const Key& a, const Key& b) const noexcept {
-      return a.context_fp == b.context_fp && a.destinations == b.destinations;
+      return a.context_fp == b.context_fp && a.dest_hash == b.dest_hash &&
+             a.destinations == b.destinations;
     }
     bool operator()(const KeyView& a, const Key& b) const noexcept {
-      return a.context_fp == b.context_fp && *a.destinations == b.destinations;
+      return a.context_fp == b.context_fp && a.dest_hash == b.dest_hash &&
+             *a.destinations == b.destinations;
     }
     bool operator()(const Key& a, const KeyView& b) const noexcept {
       return (*this)(b, a);
     }
   };
 
-  util::ShardedLruCache<Key, double, KeyHash, KeyEq> cache_;
+  /// θ plus (when recorded via insert_with_support) its routed support.
+  /// The support is shared-ptr'd so carrying an entry across a delta
+  /// aliases the edge list instead of copying it.
+  struct CacheEntry {
+    double theta = 0.0;
+    std::shared_ptr<const std::vector<std::uint64_t>> support;
+  };
+
+  util::ShardedLruCache<Key, CacheEntry, KeyHash, KeyEq> cache_;
 };
 
 /// Convenience: a fresh shared cache as the shared_ptr ThetaOptions wants.

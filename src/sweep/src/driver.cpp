@@ -40,6 +40,26 @@ JobResult run_one(const Scenario& sc, const flow::ThetaOptions& theta_opts) {
   const auto schedule = workload::materialize(request, sc.nodes, mat);
   out.row.steps = schedule.num_steps();
   out.row.result = planner.plan(schedule);
+  if (sc.churn.drops > 0) {
+    // Churn rides on a private oracle (never the sweep's shared cache):
+    // shared-cache counters depend on scenario interleaving, and the churn
+    // metrics must be a pure function of the scenario (see SweepRow).
+    std::vector<topo::Matching> matchings;
+    matchings.reserve(static_cast<std::size_t>(schedule.num_steps()));
+    for (int s = 0; s < schedule.num_steps(); ++s) {
+      matchings.push_back(schedule.step(s).matching);
+    }
+    sim::ChurnConfig cc;
+    cc.drops = sc.churn.drops;
+    cc.droop = sc.churn.droop;
+    cc.seed = sc.churn.seed;
+    cc.scenario_key = sc.id();
+    cc.gk_epsilon = theta_opts.epsilon;
+    cc.exact_var_limit = theta_opts.exact_var_limit;
+    sim::ChurnEngine engine(build_topology(sc.topology, sc.nodes, sc.params.b),
+                            std::move(matchings), sc.params.b, cc);
+    out.row.churn = engine.run();
+  }
   const auto& oracle = planner.oracle();
   out.oracle_stats.hits = oracle.cache_hits();
   out.oracle_stats.entries = oracle.cache_size();
@@ -153,6 +173,31 @@ std::string to_json(const SweepReport& report, bool include_cache_stats) {
     w.key("speedup_vs_static").value(r.speedup_vs_static());
     w.key("speedup_vs_bvn").value(r.speedup_vs_bvn());
     w.key("speedup_vs_best").value(r.speedup_vs_best_baseline());
+    if (row.churn) {
+      // JSON-only: the CSV schema stays frozen (its header is pinned by
+      // tools/check_sweep_report.py and the docs' worked example).
+      const auto& c = *row.churn;
+      w.key("churn").begin_object();
+      w.key("drops").value(sc.churn.drops);
+      w.key("droop").value(sc.churn.droop);
+      w.key("seed").value(static_cast<std::int64_t>(sc.churn.seed));
+      w.key("events").value(static_cast<std::int64_t>(c.events.size()));
+      w.key("theta_healthy").value(c.theta_healthy);
+      w.key("theta_min").value(c.theta_min);
+      w.key("degradation_depth").value(c.degradation_depth());
+      w.key("worst_recovery_ns").value(c.worst_recovery_ns);
+      w.key("fully_recovered").value(c.fully_recovered);
+      w.key("replan_solves")
+          .value(static_cast<std::int64_t>(c.total_replan_solves));
+      w.key("gk_path_pushes")
+          .value(static_cast<std::int64_t>(c.total_gk_path_pushes));
+      w.key("gk_sssp_searches")
+          .value(static_cast<std::int64_t>(c.total_gk_sssp_searches));
+      w.key("cache_kept").value(static_cast<std::int64_t>(c.total_cache_kept));
+      w.key("cache_erased")
+          .value(static_cast<std::int64_t>(c.total_cache_erased));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -151,6 +151,12 @@ std::string Scenario::id() const {
   out += "/" + to_string(collective);
   out += "/" + fmt_bytes_exact(message) + "B";
   out += "/c" + std::to_string(cost_index);
+  if (churn.drops > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "/k%d/f%.6g/s%llu", churn.drops, churn.droop,
+                  static_cast<unsigned long long>(churn.seed));
+    out += buf;
+  }
   return out;
 }
 
@@ -186,6 +192,14 @@ std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
   PSD_REQUIRE(!grid.collectives.empty(), "grid needs at least one collective");
   PSD_REQUIRE(!grid.message_sizes.empty(), "grid needs at least one message size");
   PSD_REQUIRE(!grid.cost_params.empty(), "grid needs at least one cost point");
+  // Empty churn axes behave as the no-churn defaults so pre-churn grids
+  // expand to the same scenario list (and ids) they always did.
+  const std::vector<int> drop_counts =
+      grid.drop_counts.empty() ? std::vector<int>{0} : grid.drop_counts;
+  const std::vector<double> droops =
+      grid.droops.empty() ? std::vector<double>{1.0} : grid.droops;
+  const std::vector<std::uint64_t> seeds =
+      grid.seeds.empty() ? std::vector<std::uint64_t>{1} : grid.seeds;
   std::size_t skip_count = 0;
   std::vector<Scenario> out;
   for (const auto topology : grid.topologies) {
@@ -197,8 +211,24 @@ std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
         }
         for (const auto size : grid.message_sizes) {
           for (std::size_t c = 0; c < grid.cost_params.size(); ++c) {
-            out.push_back(Scenario{topology, n, coll, size, grid.cost_params[c],
-                                   static_cast<int>(c)});
+            for (const int drops : drop_counts) {
+              if (drops == 0) {
+                // No churn: one scenario regardless of droop/seed values —
+                // they only parameterize faults that never happen.
+                out.push_back(Scenario{topology, n, coll, size,
+                                       grid.cost_params[c],
+                                       static_cast<int>(c), ChurnSpec{}});
+                continue;
+              }
+              for (const double droop : droops) {
+                for (const std::uint64_t seed : seeds) {
+                  out.push_back(Scenario{topology, n, coll, size,
+                                         grid.cost_params[c],
+                                         static_cast<int>(c),
+                                         ChurnSpec{drops, droop, seed}});
+                }
+              }
+            }
           }
         }
       }
@@ -367,6 +397,26 @@ ScenarioGrid parse_grid_spec(std::string_view text) {
         if (r < 0.0) spec_error(line_no, "alpha_r_ns must be non-negative");
         alpha_r_ns.push_back(r);
       }
+    } else if (key == "drops") {
+      for (const auto v : values) {
+        const int d = parse_int(v, line_no);
+        if (d < 0) spec_error(line_no, "drops must be non-negative");
+        grid.drop_counts.push_back(d);
+      }
+    } else if (key == "droop") {
+      for (const auto v : values) {
+        const double f = parse_number(v, line_no);
+        if (f <= 0.0 || f > 1.0) {
+          spec_error(line_no, "droop must be in (0, 1] (1 = cut the link)");
+        }
+        grid.droops.push_back(f);
+      }
+    } else if (key == "seed") {
+      for (const auto v : values) {
+        const int s = parse_int(v, line_no);
+        if (s < 0) spec_error(line_no, "seed must be non-negative");
+        grid.seeds.push_back(static_cast<std::uint64_t>(s));
+      }
     } else if (key == "alpha_ns" || key == "delta_ns" || key == "bandwidth_gbps") {
       // Scalars, not axes: a value list here would silently drop all but
       // the first entry, so reject it outright.
@@ -392,6 +442,10 @@ ScenarioGrid parse_grid_spec(std::string_view text) {
   if (grid.node_counts.empty()) throw InvalidArgument("grid spec: missing 'nodes'");
   if (grid.collectives.empty()) throw InvalidArgument("grid spec: missing 'collective'");
   if (grid.message_sizes.empty()) throw InvalidArgument("grid spec: missing 'size'");
+  if ((!grid.droops.empty() || !grid.seeds.empty()) && grid.drop_counts.empty()) {
+    throw InvalidArgument(
+        "grid spec: 'droop'/'seed' only make sense with a 'drops' axis");
+  }
   for (const double r : alpha_r_ns) {
     core::CostParams p;
     p.alpha = TimeNs(alpha_ns);

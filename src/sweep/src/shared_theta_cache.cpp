@@ -1,18 +1,18 @@
 #include "psd/sweep/shared_theta_cache.hpp"
 
+#include "psd/topo/delta.hpp"
 #include "psd/topo/matching.hpp"
 
 namespace psd::sweep {
 
 namespace {
 
-// Combine the context fingerprint with the destination hash the per-oracle
-// cache already uses; the multiply-rotate keeps (fp, dst) pairs that swap
-// bits from colliding trivially. One definition serves Key and KeyView —
-// transparent lookups require the two to hash identically.
-std::size_t hash_key(std::uint64_t context_fp,
-                     const std::vector<int>& destinations) noexcept {
-  std::size_t h = topo::hash_destinations(destinations);
+// Combine the two precomputed digests. The multiply-rotate keeps (fp, dst)
+// pairs that swap bits from colliding trivially. One definition serves Key
+// and KeyView — transparent lookups require the two to hash identically.
+// O(1): the destination vector was digested once when the key was built.
+std::size_t hash_key(std::uint64_t context_fp, std::uint64_t dest_hash) noexcept {
+  std::size_t h = static_cast<std::size_t>(dest_hash);
   h ^= static_cast<std::size_t>(context_fp) + 0x9E3779B97F4A7C15ull + (h << 6) +
        (h >> 2);
   return h;
@@ -21,11 +21,11 @@ std::size_t hash_key(std::uint64_t context_fp,
 }  // namespace
 
 std::size_t SharedThetaCache::KeyHash::operator()(const Key& k) const noexcept {
-  return hash_key(k.context_fp, k.destinations);
+  return hash_key(k.context_fp, k.dest_hash);
 }
 
 std::size_t SharedThetaCache::KeyHash::operator()(const KeyView& k) const noexcept {
-  return hash_key(k.context_fp, *k.destinations);
+  return hash_key(k.context_fp, k.dest_hash);
 }
 
 SharedThetaCache::SharedThetaCache(SharedThetaCacheOptions opts)
@@ -34,15 +34,61 @@ SharedThetaCache::SharedThetaCache(SharedThetaCacheOptions opts)
 std::optional<double> SharedThetaCache::lookup(
     std::uint64_t context_fp, const std::vector<int>& destinations) {
   // Heterogeneous probe: the view borrows the caller's destination vector,
-  // so a lookup — hit or miss — performs no allocation. Only a miss's
-  // insert() (which must own the key anyway) copies.
-  return cache_.lookup(KeyView{context_fp, &destinations});
+  // so a lookup — hit or miss — performs no allocation, and the vector is
+  // FNV-walked exactly once (here), not once per internal hash.
+  const auto entry = cache_.lookup(
+      KeyView{context_fp, topo::hash_destinations(destinations), &destinations});
+  if (!entry) return std::nullopt;
+  return entry->theta;
 }
 
 double SharedThetaCache::insert(std::uint64_t context_fp,
                                 const std::vector<int>& destinations,
                                 double theta) {
-  return cache_.insert(Key{context_fp, destinations}, theta);
+  return cache_
+      .insert(Key{context_fp, topo::hash_destinations(destinations), destinations},
+              CacheEntry{theta, nullptr})
+      .theta;
+}
+
+double SharedThetaCache::insert_with_support(
+    std::uint64_t context_fp, const std::vector<int>& destinations, double theta,
+    const std::vector<std::uint64_t>& support) {
+  return cache_
+      .insert(Key{context_fp, topo::hash_destinations(destinations), destinations},
+              CacheEntry{theta,
+                         std::make_shared<const std::vector<std::uint64_t>>(
+                             support)})
+      .theta;
+}
+
+SharedThetaCache::CarryStats SharedThetaCache::carry_across_delta(
+    std::uint64_t old_context_fp, std::uint64_t new_context_fp,
+    const std::vector<std::uint64_t>& touched, bool relaxing) {
+  CarryStats stats;
+  // Collect first, insert after: for_each holds shard locks, and the
+  // survivor inserts hash to arbitrary shards (new_context_fp changes the
+  // shard), so inserting from inside the visit could self-deadlock.
+  std::vector<Key> keys;
+  std::vector<CacheEntry> entries;
+  cache_.for_each([&](const Key& k, const CacheEntry& e) {
+    if (k.context_fp != old_context_fp) return;
+    ++stats.examined;
+    // Survival is exact only for restricting deltas with recorded,
+    // untouched support (see flow/theta_cache.hpp).
+    if (relaxing || e.support == nullptr ||
+        topo::pair_codes_intersect(*e.support, touched)) {
+      ++stats.invalidated;
+      return;
+    }
+    ++stats.survived;
+    keys.push_back(Key{new_context_fp, k.dest_hash, k.destinations});
+    entries.push_back(e);  // aliases the support vector, no deep copy
+  });
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cache_.insert(std::move(keys[i]), std::move(entries[i]));
+  }
+  return stats;
 }
 
 std::shared_ptr<SharedThetaCache> make_shared_theta_cache(

@@ -1,0 +1,104 @@
+// First-class topology deltas: the churn vocabulary of an adaptive photonic
+// scale-up domain. Links appear (a circuit is provisioned), disappear (a cut
+// or a reconfiguration away), and degrade (optical droop), and consumers —
+// θ caches, warm-restarted solvers, the churn simulator — need to reason
+// about *what* changed, not just that something did.
+//
+// apply_delta() mutates a Graph in place and returns:
+//   - the graph's new epoch,
+//   - the "touched set": the (src, dst) pair codes of every edge an op
+//     modified. Pair codes, not edge ids, because remove_edge renumbers ids
+//     (swap-and-pop) while the endpoint pair is stable — it is the identity
+//     flow supports are recorded under (see flow/theta_cache.hpp).
+//   - whether the delta was *relaxing* (added an edge or raised a capacity).
+//     A purely restricting delta cannot raise θ, so a cached θ whose routed
+//     support avoids every touched edge remains both feasible and optimal —
+//     that is the survival rule edge-level cache invalidation implements. A
+//     relaxing delta can raise θ for *any* matching (new shortcuts), so
+//     consumers must invalidate conservatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "psd/topo/graph.hpp"
+
+namespace psd::topo {
+
+/// Stable identity of a directed edge across id renumbering: (src, dst)
+/// packed into one word. Self-loops are forbidden, so codes are unique per
+/// directed pair; parallel src->dst edges share a code (they are
+/// invalidated together, which is conservative and safe).
+[[nodiscard]] constexpr std::uint64_t edge_pair_code(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+}
+
+enum class DeltaOpKind : std::uint8_t {
+  kAddEdge,        // add src -> dst with `capacity`
+  kRemoveEdge,     // cut src -> dst (must exist)
+  kSetCapacity,    // set src -> dst capacity to `capacity`
+  kScaleCapacity,  // multiply src -> dst capacity by `factor` (droop/repair)
+};
+
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kSetCapacity;
+  NodeId src = -1;
+  NodeId dst = -1;
+  Bandwidth capacity;   // kAddEdge / kSetCapacity
+  double factor = 1.0;  // kScaleCapacity; must be positive
+};
+
+/// An ordered batch of edge-level changes. Builder methods return *this so
+/// deltas compose fluently: TopologyDelta{}.remove_edge(2, 3).scale(...).
+struct TopologyDelta {
+  std::vector<DeltaOp> ops;
+
+  TopologyDelta& add_edge(NodeId src, NodeId dst, Bandwidth capacity) {
+    ops.push_back({DeltaOpKind::kAddEdge, src, dst, capacity, 1.0});
+    return *this;
+  }
+  TopologyDelta& remove_edge(NodeId src, NodeId dst) {
+    ops.push_back({DeltaOpKind::kRemoveEdge, src, dst, Bandwidth{}, 1.0});
+    return *this;
+  }
+  TopologyDelta& set_capacity(NodeId src, NodeId dst, Bandwidth capacity) {
+    ops.push_back({DeltaOpKind::kSetCapacity, src, dst, capacity, 1.0});
+    return *this;
+  }
+  TopologyDelta& scale_capacity(NodeId src, NodeId dst, double factor) {
+    ops.push_back({DeltaOpKind::kScaleCapacity, src, dst, Bandwidth{}, factor});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+};
+
+/// What apply_delta did, in the terms cache invalidation consumes.
+struct DeltaResult {
+  std::uint64_t epoch = 0;  // graph epoch after the delta
+  // Sorted, de-duplicated edge_pair_codes of every modified edge.
+  std::vector<std::uint64_t> touched;
+  // True when any op could *raise* θ (edge added, capacity increased):
+  // support-avoiding cache entries then no longer prove optimality and
+  // consumers must invalidate conservatively. Restricting deltas (cuts,
+  // droop) leave support-avoiding entries exactly valid.
+  bool relaxing = false;
+  int edges_added = 0;
+  int edges_removed = 0;
+  int capacity_changes = 0;
+};
+
+/// Applies `delta`'s ops in order. Ops address edges by (src, dst): each op
+/// except kAddEdge requires the edge to exist (InvalidArgument otherwise);
+/// kScaleCapacity requires factor > 0; kAddEdge requires no existing
+/// src -> dst edge (parallel circuits are modeled as capacity, not
+/// duplicate edges — use kSetCapacity/kScaleCapacity to widen a link).
+[[nodiscard]] DeltaResult apply_delta(Graph& g, const TopologyDelta& delta);
+
+/// True if two sorted pair-code sets intersect — the cache-survival test
+/// "does this entry's routed support touch any modified edge?". O(|a|+|b|).
+[[nodiscard]] bool pair_codes_intersect(const std::vector<std::uint64_t>& a,
+                                        const std::vector<std::uint64_t>& b);
+
+}  // namespace psd::topo

@@ -1,6 +1,13 @@
 // Capacitated directed graph: the model of a (possibly reconfigured) photonic
 // topology inside a scale-up domain. Nodes are GPU endpoints (transceiver
 // ports); edges are unidirectional optical circuits with a capacity.
+//
+// Graphs are mutable under churn: set_capacity models droop/degradation and
+// remove_edge models a link cut (swap-and-pop, so edge ids stay dense and
+// every E-indexed consumer remains valid — the id of the moved edge is
+// reported to the caller). Every mutation bumps an epoch counter and
+// incrementally maintains the multiset fingerprint graph_fingerprint() is
+// built from, so identity checks after a delta are O(1) instead of O(E).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,19 @@ struct Edge {
   Bandwidth capacity;
 };
 
+/// Byte-wise FNV-1a mix of `v` into `h` — the hashing primitive behind
+/// graph_fingerprint, shared so fingerprint extensions (e.g. the θ-oracle's
+/// context fingerprint) stay on the same scheme.
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix64(std::uint64_t h,
+                                                  std::uint64_t v) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ull;
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xFFu;
+    h *= kPrime;
+  }
+  return h;
+}
+
 class Graph {
  public:
   Graph() = default;
@@ -33,6 +53,17 @@ class Graph {
 
   /// Adds a directed edge src -> dst with the given capacity; returns its id.
   EdgeId add_edge(NodeId src, NodeId dst, Bandwidth capacity);
+
+  /// Replaces edge `e`'s capacity (must stay positive — a dead link is
+  /// remove_edge's job; a zero capacity would poison every solver dual).
+  void set_capacity(EdgeId e, Bandwidth capacity);
+
+  /// Removes edge `e` by swap-and-pop: the last edge takes over id `e`, so
+  /// ids stay dense in [0, num_edges()). Returns the *former* id of the
+  /// edge that moved into slot `e` (== old num_edges() - 1), or -1 when `e`
+  /// was the last edge and nothing moved. Callers holding edge ids must
+  /// apply that renumbering (or re-resolve via find_edge).
+  EdgeId remove_edge(EdgeId e);
 
   [[nodiscard]] const Edge& edge(EdgeId e) const {
     PSD_ASSERT(e >= 0 && e < num_edges(), "edge id out of range");
@@ -69,6 +100,24 @@ class Graph {
   /// Sum of all edge capacities.
   [[nodiscard]] Bandwidth total_capacity() const;
 
+  /// Number of mutations (add/remove/set_capacity) applied so far. Consumers
+  /// caching graph-derived state compare epochs to detect staleness.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Identity fingerprint, maintained incrementally (O(1) per mutation): the
+  /// node count FNV-mixed with the *sum* (mod 2^64) of the per-edge hashes
+  /// over (src, dst, capacity bit pattern). The sum is commutative — equal
+  /// edge multisets collide regardless of insertion order, which is what
+  /// keeps the fingerprint stable across remove_edge's renumbering — and,
+  /// unlike an XOR fold, duplicate parallel edges do not cancel. θ depends
+  /// only on the edge multiset, so a collision of reordered builds costs
+  /// nothing; distinct multisets are distinguished modulo 64-bit hash luck.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return fnv1a_mix64(fnv1a_mix64(kFnvOffset, static_cast<std::uint64_t>(
+                                                   num_nodes())),
+                       edge_hash_sum_);
+  }
+
   [[nodiscard]] bool valid_node(NodeId v) const {
     return v >= 0 && v < num_nodes();
   }
@@ -77,14 +126,20 @@ class Graph {
   [[nodiscard]] std::string to_string() const;
 
  private:
+  static constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+
   static std::size_t checked_node_count(int n) {
     PSD_REQUIRE(n >= 0, "node count must be non-negative");
     return static_cast<std::size_t>(n);
   }
 
+  [[nodiscard]] static std::uint64_t edge_hash(const Edge& e);
+
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  std::uint64_t edge_hash_sum_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace psd::topo

@@ -31,26 +31,15 @@ namespace psd::topo {
 /// full per-link bandwidth and ℓ = 1).
 [[nodiscard]] bool matches_topology(const Graph& g, const Matching& m);
 
-/// Byte-wise FNV-1a mix of `v` into `h` — the hashing primitive behind
-/// graph_fingerprint, shared so fingerprint extensions (e.g. the θ-oracle's
-/// context fingerprint) stay on the same scheme.
-[[nodiscard]] constexpr std::uint64_t fnv1a_mix64(std::uint64_t h,
-                                                  std::uint64_t v) {
-  constexpr std::uint64_t kPrime = 0x100000001B3ull;
-  for (int byte = 0; byte < 8; ++byte) {
-    h ^= (v >> (8 * byte)) & 0xFFu;
-    h *= kPrime;
-  }
-  return h;
-}
-
-/// Order-sensitive identity fingerprint of a graph: FNV-1a over the node
-/// count and every edge's (src, dst, capacity bit pattern) in edge-id order.
-/// θ is a pure function of (graph, matching), so this is the graph half of a
-/// cross-planner θ-cache key. Equal graphs (same nodes, same edges in the
-/// same insertion order, same capacities) always collide; isomorphic graphs
-/// built differently need not — a conservative distinction that costs a
-/// duplicate cache entry, never a wrong θ. O(E).
+/// Identity fingerprint of a graph: the node count FNV-mixed with the
+/// commutative multiset hash of every edge's (src, dst, capacity bit
+/// pattern). θ is a pure function of (graph, matching), so this is the graph
+/// half of a cross-planner θ-cache key. Equal edge multisets always collide
+/// (θ only sees the multiset, so that is free sharing, never a wrong θ);
+/// isomorphic graphs built over different node labels need not. The value is
+/// maintained incrementally by Graph's mutators, so this call is O(1) — see
+/// Graph::fingerprint(). (fnv1a_mix64, the underlying primitive, now lives
+/// in graph.hpp next to the maintained sum.)
 [[nodiscard]] std::uint64_t graph_fingerprint(const Graph& g);
 
 }  // namespace psd::topo

@@ -1,0 +1,65 @@
+#include "psd/topo/delta.hpp"
+
+#include <algorithm>
+
+namespace psd::topo {
+
+DeltaResult apply_delta(Graph& g, const TopologyDelta& delta) {
+  DeltaResult res;
+  for (const DeltaOp& op : delta.ops) {
+    PSD_REQUIRE(g.valid_node(op.src) && g.valid_node(op.dst),
+                "delta op endpoint out of range");
+    const EdgeId e = g.find_edge(op.src, op.dst);
+    switch (op.kind) {
+      case DeltaOpKind::kAddEdge:
+        PSD_REQUIRE(e < 0, "delta adds an edge that already exists");
+        (void)g.add_edge(op.src, op.dst, op.capacity);
+        res.relaxing = true;
+        ++res.edges_added;
+        break;
+      case DeltaOpKind::kRemoveEdge:
+        PSD_REQUIRE(e >= 0, "delta removes a missing edge");
+        (void)g.remove_edge(e);
+        ++res.edges_removed;
+        break;
+      case DeltaOpKind::kSetCapacity: {
+        PSD_REQUIRE(e >= 0, "delta rescales a missing edge");
+        if (op.capacity.bytes_per_ns() > g.edge(e).capacity.bytes_per_ns()) {
+          res.relaxing = true;
+        }
+        g.set_capacity(e, op.capacity);
+        ++res.capacity_changes;
+        break;
+      }
+      case DeltaOpKind::kScaleCapacity: {
+        PSD_REQUIRE(e >= 0, "delta rescales a missing edge");
+        PSD_REQUIRE(op.factor > 0.0, "capacity scale factor must be positive");
+        if (op.factor > 1.0) res.relaxing = true;
+        g.set_capacity(e, Bandwidth(g.edge(e).capacity.bytes_per_ns() *
+                                    op.factor));
+        ++res.capacity_changes;
+        break;
+      }
+    }
+    res.touched.push_back(edge_pair_code(op.src, op.dst));
+  }
+  std::sort(res.touched.begin(), res.touched.end());
+  res.touched.erase(std::unique(res.touched.begin(), res.touched.end()),
+                    res.touched.end());
+  res.epoch = g.epoch();
+  return res;
+}
+
+bool pair_codes_intersect(const std::vector<std::uint64_t>& a,
+                          const std::vector<std::uint64_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) ++ia;
+    else ++ib;
+  }
+  return false;
+}
+
+}  // namespace psd::topo

@@ -1,9 +1,27 @@
 #include "psd/topo/graph.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
+#include "psd/util/rng.hpp"
+
 namespace psd::topo {
+
+std::uint64_t Graph::edge_hash(const Edge& e) {
+  std::uint64_t h = fnv1a_mix64(
+      kFnvOffset, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.src)));
+  h = fnv1a_mix64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.dst)));
+  // Bit pattern, not value: capacities are compared exactly by θ, so the
+  // key must distinguish exactly what the solver distinguishes.
+  h = fnv1a_mix64(h, std::bit_cast<std::uint64_t>(e.capacity.bytes_per_ns()));
+  // FNV's xor-multiply is too linear for a *summed* multiset digest: a
+  // capacity-bit flip shared by every edge shifts each term by ±2^bit, and
+  // the shifts cancel whenever half the edges carry the bit — a ~27% class
+  // of collisions on uniform-capacity graphs. A full avalanche finalizer
+  // decorrelates the terms so the sum inherits per-edge diffusion.
+  return splitmix64(h);
+}
 
 EdgeId Graph::add_edge(NodeId src, NodeId dst, Bandwidth capacity) {
   PSD_REQUIRE(valid_node(src), "edge source out of range");
@@ -14,7 +32,53 @@ EdgeId Graph::add_edge(NodeId src, NodeId dst, Bandwidth capacity) {
   edges_.push_back(Edge{src, dst, capacity});
   out_[static_cast<std::size_t>(src)].push_back(id);
   in_[static_cast<std::size_t>(dst)].push_back(id);
+  edge_hash_sum_ += edge_hash(edges_.back());
+  ++epoch_;
   return id;
+}
+
+void Graph::set_capacity(EdgeId e, Bandwidth capacity) {
+  PSD_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  PSD_REQUIRE(capacity.bytes_per_ns() > 0.0, "edge capacity must be positive");
+  Edge& edge = edges_[static_cast<std::size_t>(e)];
+  edge_hash_sum_ -= edge_hash(edge);
+  edge.capacity = capacity;
+  edge_hash_sum_ += edge_hash(edge);
+  ++epoch_;
+}
+
+EdgeId Graph::remove_edge(EdgeId e) {
+  PSD_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  const auto drop_id = [](std::vector<EdgeId>& ids, EdgeId id) {
+    const auto it = std::find(ids.begin(), ids.end(), id);
+    PSD_ASSERT(it != ids.end(), "adjacency list missing its edge id");
+    ids.erase(it);
+  };
+  const auto rename_id = [](std::vector<EdgeId>& ids, EdgeId from, EdgeId to) {
+    const auto it = std::find(ids.begin(), ids.end(), from);
+    PSD_ASSERT(it != ids.end(), "adjacency list missing its edge id");
+    *it = to;
+  };
+
+  const Edge removed = edges_[static_cast<std::size_t>(e)];
+  edge_hash_sum_ -= edge_hash(removed);
+  drop_id(out_[static_cast<std::size_t>(removed.src)], e);
+  drop_id(in_[static_cast<std::size_t>(removed.dst)], e);
+
+  const EdgeId last = num_edges() - 1;
+  EdgeId moved = -1;
+  if (e != last) {
+    // Swap-and-pop keeps ids dense: the former last edge takes over slot e,
+    // and its adjacency entries are renamed accordingly.
+    const Edge& tail = edges_[static_cast<std::size_t>(last)];
+    rename_id(out_[static_cast<std::size_t>(tail.src)], last, e);
+    rename_id(in_[static_cast<std::size_t>(tail.dst)], last, e);
+    edges_[static_cast<std::size_t>(e)] = tail;
+    moved = last;
+  }
+  edges_.pop_back();
+  ++epoch_;
+  return moved;
 }
 
 int Graph::max_out_degree() const {

@@ -1,7 +1,6 @@
 #include "psd/topo/properties.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "psd/topo/shortest_path.hpp"
 
@@ -70,17 +69,6 @@ bool matches_topology(const Graph& g, const Matching& m) {
   return true;
 }
 
-std::uint64_t graph_fingerprint(const Graph& g) {
-  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ull;
-  std::uint64_t h = fnv1a_mix64(kOffset, static_cast<std::uint64_t>(g.num_nodes()));
-  for (const auto& e : g.edges()) {
-    h = fnv1a_mix64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.src)));
-    h = fnv1a_mix64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(e.dst)));
-    // Bit pattern, not value: capacities are compared exactly by θ, so the
-    // key must distinguish exactly what the solver distinguishes.
-    h = fnv1a_mix64(h, std::bit_cast<std::uint64_t>(e.capacity.bytes_per_ns()));
-  }
-  return h;
-}
+std::uint64_t graph_fingerprint(const Graph& g) { return g.fingerprint(); }
 
 }  // namespace psd::topo

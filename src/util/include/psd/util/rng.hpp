@@ -3,9 +3,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace psd {
+
+/// splitmix64 finalizer: one well-mixed 64-bit value from another. The
+/// standard seed-derivation primitive (also what Rng's constructor uses to
+/// expand its seed), exposed for keyed stream derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Deterministic seed for a named sub-stream of `root`: mixes the root
+/// seed, an FNV-1a hash of `name`, and `index`. Fault-injection and other
+/// sampled schedules key their streams by (scenario id, event index) so
+/// every draw is a pure function of the key — independent of thread count,
+/// execution order, or how many other streams were consumed first.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t root,
+                                               std::string_view name,
+                                               std::uint64_t index);
 
 class Rng {
  public:

@@ -125,6 +125,41 @@ class ShardedLruCache {
     return it->second.first;
   }
 
+  /// Removes every entry for which `pred(key, value)` returns true; returns
+  /// the number removed. Shards are processed one at a time under their own
+  /// lock, so concurrent lookups of unaffected keys proceed; removals are
+  /// not counted as evictions (they are invalidations, not capacity
+  /// pressure — callers keep their own counters).
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t erased = 0;
+    for (const auto& shp : shards_) {
+      Shard& sh = *shp;
+      const auto lk = lock_shard(sh);
+      for (auto it = sh.map.begin(); it != sh.map.end();) {
+        if (pred(it->first, it->second.first)) {
+          sh.lru.erase(it->second.second);
+          it = sh.map.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
+  /// Visits every resident entry as `fn(key, value)` without refreshing
+  /// recency. Shard-by-shard snapshot (see class comment); `fn` must not
+  /// call back into the cache (the shard lock is held).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& shp : shards_) {
+      const std::lock_guard<std::mutex> lk(shp->mutex);
+      for (const auto& [key, value] : shp->map) fn(key, value.first);
+    }
+  }
+
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
 
   /// Total resident entries (sums shard sizes; see class comment on

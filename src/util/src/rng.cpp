@@ -12,20 +12,36 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
-/// splitmix64: seeds the xoshiro state from a single 64-bit value.
-std::uint64_t splitmix64(std::uint64_t& state) {
+/// splitmix64 sequence step: advances `state` and returns the next value.
+std::uint64_t splitmix64_next(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  return splitmix64(state);
 }
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t root, std::string_view name,
+                                 std::uint64_t index) {
+  // FNV-1a over the stream name, then two splitmix rounds folding in the
+  // root and the index. Each stage is a bijection-or-hash of well-mixed
+  // words, so nearby (root, index) keys land on unrelated streams.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return splitmix64(splitmix64(root ^ h) + index);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
-  for (auto& word : s_) word = splitmix64(sm);
+  for (auto& word : s_) word = splitmix64_next(sm);
 }
 
 std::uint64_t Rng::next_u64() {

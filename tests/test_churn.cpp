@@ -1,0 +1,261 @@
+// Churn engine semantics (fault/repair traces, recovery accounting,
+// connectivity guard, determinism) and the sweep integration of the failure
+// axes (grid expansion, scenario ids, serial == parallel reports).
+#include "psd/sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "psd/sweep/driver.hpp"
+#include "psd/sweep/scenario.hpp"
+#include "psd/topo/builders.hpp"
+
+namespace psd {
+namespace {
+
+std::vector<topo::Matching> ring_workload(int n) {
+  return {topo::Matching::rotation(n, 1), topo::Matching::rotation(n, 2)};
+}
+
+sim::ChurnConfig small_config(int drops, double droop, std::uint64_t seed) {
+  sim::ChurnConfig cfg;
+  cfg.drops = drops;
+  cfg.droop = droop;
+  cfg.seed = seed;
+  cfg.scenario_key = "test";
+  return cfg;
+}
+
+TEST(ChurnEngine, ValidatesConfig) {
+  const auto g = topo::bidirectional_ring(6, gbps(800));
+  EXPECT_THROW(sim::ChurnEngine(g, ring_workload(6), gbps(800),
+                                small_config(0, 1.0, 1)),
+               InvalidArgument);
+  EXPECT_THROW(sim::ChurnEngine(g, ring_workload(6), gbps(800),
+                                small_config(1, 0.0, 1)),
+               InvalidArgument);
+  EXPECT_THROW(sim::ChurnEngine(g, ring_workload(6), gbps(800),
+                                small_config(1, 1.5, 1)),
+               InvalidArgument);
+  EXPECT_THROW(
+      sim::ChurnEngine(g, {}, gbps(800), small_config(1, 1.0, 1)),
+      InvalidArgument);
+}
+
+TEST(ChurnEngine, RunIsSingleShot) {
+  sim::ChurnEngine engine(topo::bidirectional_ring(6, gbps(800)),
+                          ring_workload(6), gbps(800), small_config(1, 0.5, 1));
+  (void)engine.run();
+  EXPECT_THROW((void)engine.run(), InvalidArgument);
+}
+
+TEST(ChurnEngine, TraceStructureAndAggregates) {
+  sim::ChurnEngine engine(topo::bidirectional_ring(6, gbps(800)),
+                          ring_workload(6), gbps(800), small_config(2, 1.0, 3));
+  const auto report = engine.run();
+
+  ASSERT_EQ(report.events.size(), 4u);  // 2 faults + 2 repairs
+  // EventQueue order: F0@100us, F1@200us, R0@350us, R1@450us.
+  EXPECT_EQ(report.events[0].kind, sim::ChurnEventKind::kFault);
+  EXPECT_EQ(report.events[1].kind, sim::ChurnEventKind::kFault);
+  EXPECT_EQ(report.events[2].kind, sim::ChurnEventKind::kRepair);
+  EXPECT_EQ(report.events[3].kind, sim::ChurnEventKind::kRepair);
+  EXPECT_EQ(report.events[0].fault_index, 0);
+  EXPECT_EQ(report.events[1].fault_index, 1);
+  EXPECT_EQ(report.events[2].fault_index, 0);
+  EXPECT_EQ(report.events[3].fault_index, 1);
+  for (std::size_t i = 1; i < report.events.size(); ++i) {
+    EXPECT_LT(report.events[i - 1].time_ns, report.events[i].time_ns);
+  }
+  // A repair restores the exact link its fault hit.
+  EXPECT_EQ(report.events[0].src, report.events[2].src);
+  EXPECT_EQ(report.events[0].dst, report.events[2].dst);
+
+  // Totals are exactly the event sums.
+  long long solves = 0, pushes = 0, searches = 0;
+  std::size_t kept = 0, erased = 0;
+  for (const auto& e : report.events) {
+    solves += e.replan_solves;
+    pushes += e.gk_path_pushes;
+    searches += e.gk_sssp_searches;
+    kept += e.cache_kept;
+    erased += e.cache_erased;
+  }
+  EXPECT_EQ(report.total_replan_solves, solves);
+  EXPECT_EQ(report.total_gk_path_pushes, pushes);
+  EXPECT_EQ(report.total_gk_sssp_searches, searches);
+  EXPECT_EQ(report.total_cache_kept, kept);
+  EXPECT_EQ(report.total_cache_erased, erased);
+
+  EXPECT_LE(report.theta_min, report.theta_healthy);
+  EXPECT_GE(report.degradation_depth(), 0.0);
+  EXPECT_LE(report.degradation_depth(), 1.0);
+}
+
+// On an LP-dispatched instance (exact solver) the restricting/relaxing
+// directions are sharp: faults can only lower θ, repairs only raise it, and
+// a fully repaired topology lands back on the healthy θ.
+TEST(ChurnEngine, FaultsDegradeAndRepairsRecoverTheta) {
+  sim::ChurnEngine engine(topo::bidirectional_ring(6, gbps(800)),
+                          ring_workload(6), gbps(800), small_config(2, 1.0, 5));
+  const auto report = engine.run();
+  for (const auto& e : report.events) {
+    if (e.kind == sim::ChurnEventKind::kFault) {
+      EXPECT_LE(e.theta_after, e.theta_before + 1e-12);
+    } else {
+      EXPECT_GE(e.theta_after, e.theta_before - 1e-12);
+    }
+  }
+  EXPECT_TRUE(report.fully_recovered);
+  EXPECT_TRUE(report.events.back().recovered);
+  EXPECT_NEAR(report.events.back().theta_after, report.theta_healthy, 1e-9);
+  // A cut that actually dipped θ cannot recover before its repair fires.
+  if (report.degradation_depth() > 0.2) {
+    EXPECT_GE(report.worst_recovery_ns, 250'000.0);
+  }
+}
+
+// A cut that would disconnect the domain must degrade to the fallback droop
+// instead: every fault on a directed ring disconnects it.
+TEST(ChurnEngine, DisconnectingCutFallsBackToDroop) {
+  sim::ChurnEngine engine(topo::directed_ring(6, gbps(800)),
+                          {topo::Matching::rotation(6, 2)}, gbps(800),
+                          small_config(1, 1.0, 11));
+  const auto report = engine.run();
+  ASSERT_EQ(report.events.size(), 2u);
+  EXPECT_FALSE(report.events[0].dropped);  // degraded, not removed
+  EXPECT_LT(report.theta_min, report.theta_healthy);  // the droop bites
+  EXPECT_TRUE(report.fully_recovered);
+}
+
+TEST(ChurnEngine, ReportsAreDeterministicAcrossRuns) {
+  const auto g = topo::torus_2d(3, 3, gbps(800));
+  const std::vector<topo::Matching> workload = {
+      topo::Matching::rotation(9, 1), topo::Matching::rotation(9, 4)};
+  const auto cfg = small_config(3, 1.0, 42);
+  sim::ChurnEngine a(g, workload, gbps(800), cfg);
+  sim::ChurnEngine b(g, workload, gbps(800), cfg);
+  EXPECT_EQ(a.run(), b.run());
+}
+
+TEST(ChurnEngine, GkDispatchedReportsAreDeterministicAcrossRuns) {
+  auto cfg = small_config(2, 0.5, 7);
+  cfg.exact_var_limit = 0;  // force the FPTAS + warm-hint path
+  const auto g = topo::bidirectional_ring(8, gbps(800));
+  sim::ChurnEngine a(g, ring_workload(8), gbps(800), cfg);
+  sim::ChurnEngine b(g, ring_workload(8), gbps(800), cfg);
+  EXPECT_EQ(a.run(), b.run());
+}
+
+TEST(ChurnEngine, SeedSelectsTheFaultStream) {
+  const auto g = topo::torus_2d(3, 3, gbps(800));
+  const std::vector<topo::Matching> workload = {topo::Matching::rotation(9, 1)};
+  sim::ChurnEngine a(g, workload, gbps(800), small_config(1, 1.0, 1));
+  sim::ChurnEngine b(g, workload, gbps(800), small_config(1, 1.0, 2));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  // Same structure either way; the victim draw is all that may differ, and
+  // both runs of the same seed must reproduce it (pinned above). Distinct
+  // seeds hitting distinct links is the overwhelmingly likely case but not
+  // guaranteed, so assert only the structural match.
+  ASSERT_EQ(ra.events.size(), rb.events.size());
+  EXPECT_EQ(ra.theta_healthy, rb.theta_healthy);
+}
+
+// --- Sweep integration --------------------------------------------------
+
+TEST(ChurnSweep, GridExpansionAndScenarioIds) {
+  sweep::ScenarioGrid grid;
+  grid.topologies = {sweep::TopologyKind::kBidirectionalRing};
+  grid.node_counts = {8};
+  grid.collectives = {{workload::CollectiveKind::kAllReduce,
+                       workload::AllReduceAlgo::kHalvingDoubling,
+                       workload::AllToAllAlgo::kTranspose}};
+  grid.message_sizes = {bytes(1 << 20)};
+  core::CostParams cost;
+  cost.alpha = TimeNs(100.0);
+  cost.delta = TimeNs(100.0);
+  cost.alpha_r = TimeNs(10'000.0);
+  cost.b = gbps(800);
+  grid.cost_params = {cost};
+  grid.drop_counts = {0, 1};
+  grid.droops = {0.5, 1.0};
+  grid.seeds = {7};
+  const auto scenarios = sweep::expand(grid);
+  // drops=0 collapses the droop/seed axes to one no-churn scenario.
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].churn.drops, 0);
+  EXPECT_EQ(scenarios[0].id().find("/k"), std::string::npos);
+  EXPECT_NE(scenarios[1].id().find("/k1/f0.5/s7"), std::string::npos);
+  EXPECT_NE(scenarios[2].id().find("/k1/f1/s7"), std::string::npos);
+}
+
+TEST(ChurnSweep, ParserRejectsOrphanFailureAxes) {
+  EXPECT_THROW((void)sweep::parse_grid_spec("topology = ring\n"
+                                            "nodes = 8\n"
+                                            "collective = allreduce:hd\n"
+                                            "size = 1024\n"
+                                            "droop = 0.5\n"),
+               InvalidArgument);
+  const auto grid = sweep::parse_grid_spec("topology = bidir-ring\n"
+                                           "nodes = 8\n"
+                                           "collective = allreduce:hd\n"
+                                           "size = 1024\n"
+                                           "drops = 1, 2\n"
+                                           "droop = 0.5\n"
+                                           "seed = 7\n");
+  EXPECT_EQ(grid.drop_counts, (std::vector<int>{1, 2}));
+  EXPECT_EQ(grid.droops, (std::vector<double>{0.5}));
+  EXPECT_EQ(grid.seeds, (std::vector<std::uint64_t>{7}));
+}
+
+TEST(ChurnSweep, RowsCarryChurnReportsAndMatchSerialExecution) {
+  sweep::ScenarioGrid grid;
+  grid.topologies = {sweep::TopologyKind::kBidirectionalRing};
+  grid.node_counts = {8};
+  grid.collectives = {{workload::CollectiveKind::kAllReduce,
+                       workload::AllReduceAlgo::kHalvingDoubling,
+                       workload::AllToAllAlgo::kTranspose}};
+  grid.message_sizes = {bytes(1 << 20)};
+  core::CostParams cost;
+  cost.alpha = TimeNs(100.0);
+  cost.delta = TimeNs(100.0);
+  cost.alpha_r = TimeNs(10'000.0);
+  cost.b = gbps(800);
+  grid.cost_params = {cost};
+  grid.drop_counts = {0, 1};
+  grid.droops = {0.5};
+  grid.seeds = {7};
+
+  sweep::SweepOptions serial;
+  serial.parallel = false;
+  sweep::SweepOptions parallel;
+  parallel.threads = 4;
+  const auto a = sweep::run_sweep(grid, serial);
+  const auto b = sweep::run_sweep(grid, parallel);
+
+  ASSERT_EQ(a.rows.size(), 2u);
+  EXPECT_FALSE(a.rows[0].churn.has_value());  // the drops=0 scenario
+  ASSERT_TRUE(a.rows[1].churn.has_value());
+  const auto& churn = *a.rows[1].churn;
+  EXPECT_GT(churn.theta_healthy, 0.0);
+  EXPECT_EQ(churn.events.size(), 2u);
+  EXPECT_TRUE(churn.fully_recovered);
+
+  // Churn metrics come from a private per-scenario oracle, so the full
+  // report — churn blocks included — is byte-identical across thread
+  // counts (cache counters excluded: shared-cache totals may interleave).
+  ASSERT_EQ(b.rows.size(), 2u);
+  EXPECT_EQ(a.rows[1].churn, b.rows[1].churn);
+  EXPECT_EQ(sweep::to_json(a, false), sweep::to_json(b, false));
+  EXPECT_EQ(sweep::to_csv(a), sweep::to_csv(b));
+  // The JSON carries the churn block for churn rows only.
+  const auto json = sweep::to_json(a, false);
+  EXPECT_NE(json.find("\"churn\""), std::string::npos);
+  EXPECT_NE(json.find("\"worst_recovery_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,461 @@
+// Tentpole coverage for topology churn: Graph mutator invariants (epoch,
+// incremental fingerprint, swap-and-pop renumbering), apply_delta semantics,
+// the GK delta-warm-restart θ pin, edge-level θ-cache invalidation (private
+// oracle and shared cache), and the seeded stream derivation the fault
+// sampler builds on.
+#include "psd/topo/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "psd/flow/commodity.hpp"
+#include "psd/flow/garg_konemann.hpp"
+#include "psd/flow/theta.hpp"
+#include "psd/sweep/shared_theta_cache.hpp"
+#include "psd/topo/builders.hpp"
+#include "psd/topo/graph.hpp"
+#include "psd/topo/matching.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd {
+namespace {
+
+using topo::edge_pair_code;
+using topo::Graph;
+
+// --- Graph mutator invariants ------------------------------------------
+
+TEST(GraphMutators, SetCapacityBumpsEpochAndRestoresFingerprint) {
+  Graph g = topo::directed_ring(8, gbps(800));
+  const auto fp0 = g.fingerprint();
+  const auto epoch0 = g.epoch();
+  const topo::EdgeId e = g.find_edge(2, 3);
+  g.set_capacity(e, gbps(400));
+  EXPECT_EQ(g.epoch(), epoch0 + 1);
+  EXPECT_NE(g.fingerprint(), fp0);
+  g.set_capacity(e, gbps(800));
+  EXPECT_EQ(g.epoch(), epoch0 + 2);  // epoch is a mutation count, not state
+  EXPECT_EQ(g.fingerprint(), fp0);   // but the multiset is back
+}
+
+// Regression for the summed-hash weakness: per-edge hashes must avalanche
+// before summing, else a single shared capacity-bit flip cancels across the
+// sum (directed_ring(8, 800) and (8, 400) used to collide).
+TEST(GraphMutators, FingerprintDistinguishesUniformCapacityChange) {
+  const Graph a = topo::directed_ring(8, gbps(800));
+  const Graph b = topo::directed_ring(8, gbps(400));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(GraphMutators, FingerprintIgnoresInsertionOrder) {
+  Graph a(4);
+  a.add_edge(0, 1, gbps(800));
+  a.add_edge(1, 2, gbps(400));
+  a.add_edge(2, 3, gbps(200));
+  Graph b(4);
+  b.add_edge(2, 3, gbps(200));
+  b.add_edge(0, 1, gbps(800));
+  b.add_edge(1, 2, gbps(400));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(GraphMutators, FingerprintSeesDuplicateParallelEdges) {
+  Graph once(2);
+  once.add_edge(0, 1, gbps(800));
+  Graph twice(2);
+  twice.add_edge(0, 1, gbps(800));
+  twice.add_edge(0, 1, gbps(800));
+  // An XOR fold would cancel the duplicate; the sum must not.
+  EXPECT_NE(once.fingerprint(), twice.fingerprint());
+}
+
+TEST(GraphMutators, RemoveEdgeSwapAndPopRenumbers) {
+  Graph g(4);
+  const topo::EdgeId e0 = g.add_edge(0, 1, gbps(800));
+  g.add_edge(1, 2, gbps(800));
+  const topo::EdgeId last = g.add_edge(2, 3, gbps(800));
+  const topo::EdgeId moved = g.remove_edge(e0);
+  EXPECT_EQ(moved, last);  // the old last edge took over slot e0
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e0).src, 2);
+  EXPECT_EQ(g.edge(e0).dst, 3);
+  EXPECT_EQ(g.find_edge(0, 1), -1);
+  EXPECT_EQ(g.find_edge(2, 3), e0);
+  // Adjacency lists track the renumbering.
+  EXPECT_EQ(g.out_edges(2).front(), e0);
+  EXPECT_EQ(g.in_edges(3).front(), e0);
+  // Removing the (new) last edge moves nothing.
+  EXPECT_EQ(g.remove_edge(g.num_edges() - 1), -1);
+}
+
+TEST(GraphMutators, RemoveThenReAddRestoresFingerprint) {
+  Graph g = topo::bidirectional_ring(6, gbps(800));
+  const auto fp0 = g.fingerprint();
+  const topo::EdgeId e = g.find_edge(1, 2);
+  g.remove_edge(e);
+  EXPECT_NE(g.fingerprint(), fp0);
+  g.add_edge(1, 2, gbps(800));
+  EXPECT_EQ(g.fingerprint(), fp0);  // multiset identity ignores edge ids
+}
+
+// --- Incremental fingerprint == recomputed, randomized -----------------
+
+// Rebuilds g's edge multiset into a fresh graph; equal multisets must give
+// equal fingerprints no matter how many mutations produced them.
+std::uint64_t recomputed_fingerprint(const Graph& g) {
+  Graph fresh(g.num_nodes());
+  for (const auto& e : g.edges()) fresh.add_edge(e.src, e.dst, e.capacity);
+  return fresh.fingerprint();
+}
+
+TEST(GraphMutators, IncrementalFingerprintMatchesRecomputedOverRandomDeltas) {
+  Rng rng(0xFEEDu);
+  Graph g = topo::torus_2d(4, 4, gbps(800));
+  for (int step = 0; step < 400; ++step) {
+    const auto epoch0 = g.epoch();
+    const int op = static_cast<int>(rng.next_below(4));
+    if (op == 0 && g.num_edges() > 8) {
+      g.remove_edge(static_cast<topo::EdgeId>(rng.next_below(
+          static_cast<std::uint64_t>(g.num_edges()))));
+    } else if (op == 1) {
+      const auto a = static_cast<topo::NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+      const auto b = static_cast<topo::NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+      if (a == b) continue;
+      g.add_edge(a, b, gbps(100 + 100 * static_cast<double>(rng.next_below(8))));
+    } else {
+      const auto e = static_cast<topo::EdgeId>(
+          rng.next_below(static_cast<std::uint64_t>(g.num_edges())));
+      g.set_capacity(e, gbps(50 + 50 * static_cast<double>(rng.next_below(16))));
+    }
+    EXPECT_GT(g.epoch(), epoch0);
+    ASSERT_EQ(g.fingerprint(), recomputed_fingerprint(g)) << "step " << step;
+  }
+}
+
+// --- apply_delta semantics ---------------------------------------------
+
+TEST(ApplyDelta, TouchedSetIsSortedUniqueAndCountsAreRight) {
+  Graph g = topo::bidirectional_ring(6, gbps(800));
+  const auto res = topo::apply_delta(g, topo::TopologyDelta{}
+                                            .scale_capacity(0, 1, 0.5)
+                                            .scale_capacity(0, 1, 0.5)
+                                            .remove_edge(3, 4)
+                                            .set_capacity(4, 3, gbps(100)));
+  EXPECT_EQ(res.epoch, g.epoch());
+  EXPECT_FALSE(res.relaxing);
+  EXPECT_EQ(res.edges_removed, 1);
+  EXPECT_EQ(res.edges_added, 0);
+  EXPECT_EQ(res.capacity_changes, 3);
+  std::vector<std::uint64_t> want = {edge_pair_code(0, 1), edge_pair_code(3, 4),
+                                     edge_pair_code(4, 3)};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(res.touched, want);
+}
+
+TEST(ApplyDelta, RelaxingFlagTracksAnyThetaRaisingOp) {
+  {  // pure restriction: cuts and droops
+    Graph g = topo::bidirectional_ring(6, gbps(800));
+    EXPECT_FALSE(topo::apply_delta(g, topo::TopologyDelta{}
+                                          .remove_edge(0, 1)
+                                          .scale_capacity(1, 2, 0.25)
+                                          .set_capacity(2, 3, gbps(400)))
+                     .relaxing);
+  }
+  {  // a new edge relaxes
+    Graph g = topo::bidirectional_ring(6, gbps(800));
+    EXPECT_TRUE(
+        topo::apply_delta(g, topo::TopologyDelta{}.add_edge(0, 3, gbps(100)))
+            .relaxing);
+  }
+  {  // raising a capacity relaxes, even alongside restrictions
+    Graph g = topo::bidirectional_ring(6, gbps(800));
+    EXPECT_TRUE(topo::apply_delta(g, topo::TopologyDelta{}
+                                         .remove_edge(0, 1)
+                                         .scale_capacity(1, 2, 2.0))
+                    .relaxing);
+  }
+  {  // set_capacity to the same value neither restricts nor relaxes θ
+    Graph g = topo::bidirectional_ring(6, gbps(800));
+    EXPECT_FALSE(
+        topo::apply_delta(g, topo::TopologyDelta{}.set_capacity(0, 1, gbps(800)))
+            .relaxing);
+  }
+}
+
+TEST(ApplyDelta, RejectsMissingEdgesDuplicatesAndBadFactors) {
+  Graph g = topo::directed_ring(4, gbps(800));
+  EXPECT_THROW(
+      (void)topo::apply_delta(g, topo::TopologyDelta{}.remove_edge(0, 2)),
+      InvalidArgument);
+  EXPECT_THROW((void)topo::apply_delta(
+                   g, topo::TopologyDelta{}.add_edge(0, 1, gbps(100))),
+               InvalidArgument);
+  EXPECT_THROW((void)topo::apply_delta(
+                   g, topo::TopologyDelta{}.scale_capacity(0, 1, 0.0)),
+               InvalidArgument);
+  // Failed deltas must not have half-applied: fingerprint intact.
+  EXPECT_EQ(g.fingerprint(), topo::directed_ring(4, gbps(800)).fingerprint());
+}
+
+TEST(ApplyDelta, PairCodesIntersectIsExact) {
+  const std::vector<std::uint64_t> a = {edge_pair_code(0, 1),
+                                        edge_pair_code(2, 3)};
+  const std::vector<std::uint64_t> b = {edge_pair_code(1, 0),
+                                        edge_pair_code(3, 2)};
+  const std::vector<std::uint64_t> c = {edge_pair_code(2, 3)};
+  EXPECT_FALSE(topo::pair_codes_intersect(a, b));  // direction matters
+  EXPECT_TRUE(topo::pair_codes_intersect(a, c));
+  EXPECT_FALSE(topo::pair_codes_intersect({}, a));
+}
+
+// --- GK delta warm restart ---------------------------------------------
+
+// A delta-restart seeded with the pre-delta paths must land within the same
+// (1+ε) band as a cold solve of the post-delta graph, and must skip the
+// seeded commodities' initial searches.
+TEST(GkWarmRestart, DeltaRestartThetaWithinEpsilonOfCold) {
+  const double eps = 0.1;
+  Graph g = topo::torus_2d(4, 8, gbps(800));
+  const auto m = topo::Matching::rotation(32, 11);
+  const auto commodities = flow::commodities_from_matching(m);
+  flow::GargKonemannOptions opts{.epsilon = eps};
+
+  flow::GkWarmState warm;
+  flow::GkRunStats cold_stats;
+  (void)flow::gk_theta_only_ex(g, commodities, gbps(800), opts,
+                               {.warm = &warm, .stats = &cold_stats});
+  ASSERT_EQ(warm.node_paths.size(), commodities.size());
+
+  // Droop one edge, then cut another: some carried paths break (cold
+  // fallback), the rest seed.
+  (void)topo::apply_delta(g, topo::TopologyDelta{}
+                                 .scale_capacity(0, 1, 0.5)
+                                 .remove_edge(8, 9));
+
+  flow::GkRunStats warm_stats;
+  const double theta_warm = flow::gk_theta_only_ex(
+      g, commodities, gbps(800), opts, {.warm = &warm, .stats = &warm_stats});
+  const double theta_cold =
+      flow::gk_theta_only(g, commodities, gbps(800), opts);
+
+  // Both are within [OPT/(1+ε), OPT], so their ratio is within (1+ε).
+  EXPECT_LE(theta_warm, theta_cold * (1.0 + eps) + 1e-12);
+  EXPECT_GE(theta_warm, theta_cold / (1.0 + eps) - 1e-12);
+  // Seeding must save initial searches over the cold run.
+  EXPECT_LT(warm_stats.sssp_searches, cold_stats.sssp_searches);
+}
+
+TEST(GkWarmRestart, ColdReferenceIgnoresSeededPaths) {
+  const Graph g = topo::torus_2d(4, 4, gbps(800));
+  const auto m = topo::Matching::rotation(16, 5);
+  const auto commodities = flow::commodities_from_matching(m);
+  flow::GargKonemannOptions cold{.epsilon = 0.1, .warm_start = false};
+
+  const double reference = flow::gk_theta_only(g, commodities, gbps(800), cold);
+  flow::GkWarmState warm;
+  (void)flow::gk_theta_only_ex(g, commodities, gbps(800),
+                               {.epsilon = 0.1}, {.warm = &warm});
+  const double seeded = flow::gk_theta_only_ex(g, commodities, gbps(800), cold,
+                                               {.warm = &warm});
+  EXPECT_EQ(seeded, reference);  // bit-exact: warm_start=false is the anchor
+}
+
+// --- Oracle edge-level invalidation ------------------------------------
+
+// Two isolated 4-node bidirectional rings: tenant matchings with provably
+// disjoint routed supports (flow cannot leave a component), which is what
+// lets a single-edge delta leave the other tenant's entry untouched.
+Graph two_ring_union() {
+  Graph g(8);
+  for (int base = 0; base < 8; base += 4) {
+    for (int i = 0; i < 4; ++i) {
+      const int a = base + i;
+      const int b = base + (i + 1) % 4;
+      g.add_edge(a, b, gbps(800));
+      g.add_edge(b, a, gbps(800));
+    }
+  }
+  return g;
+}
+
+topo::Matching ring_rotation(int base, int shift) {
+  std::vector<int> dst(8, -1);
+  for (int i = 0; i < 4; ++i) dst[base + i] = base + (i + shift) % 4;
+  return topo::Matching::from_destinations(std::move(dst));
+}
+
+TEST(OracleInvalidation, SingleEdgeDeltaInvalidatesOnlySupportTouchingEntries) {
+  Graph g = two_ring_union();
+  flow::ThetaOptions opts;
+  opts.track_support = true;
+  opts.exact_var_limit = 0;  // force GK so warm hints are exercised
+  opts.epsilon = 0.05;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+  const auto m0 = ring_rotation(0, 1);  // support ⊆ ring 0
+  const auto m1 = ring_rotation(4, 1);  // support ⊆ ring 1
+  const double t0 = oracle.theta(m0);
+  const double t1 = oracle.theta(m1);
+  ASSERT_EQ(oracle.cache_size(), 2u);
+
+  flow::ThetaOracle& mut = const_cast<flow::ThetaOracle&>(oracle);
+  const auto dres =
+      topo::apply_delta(g, topo::TopologyDelta{}.scale_capacity(0, 1, 0.5));
+  const auto inv = mut.apply_topology_delta(dres);
+  EXPECT_EQ(inv.examined, 2u);
+  EXPECT_EQ(inv.survived, 1u);     // ring 1's entry: support avoids (0,1)
+  EXPECT_EQ(inv.invalidated, 1u);  // ring 0's entry: support touches it
+  EXPECT_EQ(inv.warm_hints, 1u);   // its GK paths became a warm hint
+
+  // Ring 1's θ is a pure cache hit; ring 0's re-solves (warm-seeded).
+  const auto hits_before = oracle.cache_hits();
+  const auto solves_before = oracle.solve_stats().solves;
+  EXPECT_EQ(oracle.theta(m1), t1);
+  EXPECT_EQ(oracle.cache_hits(), hits_before + 1);
+  EXPECT_EQ(oracle.solve_stats().solves, solves_before);
+  const double t0_after = oracle.theta(m0);
+  EXPECT_EQ(oracle.solve_stats().solves, solves_before + 1);
+  EXPECT_LE(t0_after, t0 + 1e-12);  // restricting delta cannot raise θ
+}
+
+TEST(OracleInvalidation, RelaxingDeltaInvalidatesEverything) {
+  Graph g = two_ring_union();
+  flow::ThetaOptions opts;
+  opts.track_support = true;
+  const flow::ThetaOracle oracle(g, gbps(800), opts);
+  (void)oracle.theta(ring_rotation(0, 1));
+  (void)oracle.theta(ring_rotation(4, 1));
+  const auto dres =
+      topo::apply_delta(g, topo::TopologyDelta{}.scale_capacity(0, 1, 2.0));
+  const auto inv =
+      const_cast<flow::ThetaOracle&>(oracle).apply_topology_delta(dres);
+  EXPECT_EQ(inv.examined, 2u);
+  EXPECT_EQ(inv.survived, 0u);
+  EXPECT_EQ(inv.invalidated, 2u);
+  EXPECT_EQ(oracle.cache_size(), 0u);
+}
+
+TEST(OracleInvalidation, WithoutSupportTrackingNothingSurvives) {
+  Graph g = two_ring_union();
+  const flow::ThetaOracle oracle(g, gbps(800));  // track_support off
+  (void)oracle.theta(ring_rotation(4, 1));
+  const auto dres =
+      topo::apply_delta(g, topo::TopologyDelta{}.scale_capacity(0, 1, 0.5));
+  const auto inv =
+      const_cast<flow::ThetaOracle&>(oracle).apply_topology_delta(dres);
+  EXPECT_EQ(inv.survived, 0u);  // no recorded support ⇒ conservative erase
+  EXPECT_EQ(inv.invalidated, 1u);
+}
+
+// --- Shared-cache carry ------------------------------------------------
+
+TEST(SharedCacheCarry, CarriesExactlySupportAvoidingEntries) {
+  sweep::SharedThetaCache cache;
+  const std::uint64_t fp_old = 0xAAA, fp_new = 0xBBB;
+  const std::vector<int> d0 = {1, 0, 3, 2};
+  const std::vector<int> d1 = {3, 2, 1, 0};
+  const std::vector<int> d2 = {2, 3, 0, 1};
+  std::vector<std::uint64_t> s0 = {edge_pair_code(0, 1), edge_pair_code(1, 0)};
+  std::vector<std::uint64_t> s1 = {edge_pair_code(2, 3), edge_pair_code(3, 2)};
+  std::sort(s0.begin(), s0.end());
+  std::sort(s1.begin(), s1.end());
+  (void)cache.insert_with_support(fp_old, d0, 0.25, s0);
+  (void)cache.insert_with_support(fp_old, d1, 0.5, s1);
+  (void)cache.insert(fp_old, d2, 0.75);  // no support recorded
+
+  const std::vector<std::uint64_t> touched = {edge_pair_code(0, 1)};
+  const auto stats = cache.carry_across_delta(fp_old, fp_new, touched, false);
+  EXPECT_EQ(stats.examined, 3u);
+  EXPECT_EQ(stats.survived, 1u);  // only d1: support avoids (0,1)
+  EXPECT_EQ(stats.invalidated, 2u);
+
+  EXPECT_EQ(cache.lookup(fp_new, d1), std::optional<double>(0.5));
+  EXPECT_EQ(cache.lookup(fp_new, d0), std::nullopt);
+  EXPECT_EQ(cache.lookup(fp_new, d2), std::nullopt);
+  // Copy, not move: old-context entries remain for sibling oracles.
+  EXPECT_EQ(cache.lookup(fp_old, d0), std::optional<double>(0.25));
+  EXPECT_EQ(cache.lookup(fp_old, d1), std::optional<double>(0.5));
+
+  // A relaxing delta carries nothing, even with clean supports.
+  const auto relaxed = cache.carry_across_delta(fp_new, 0xCCC, touched, true);
+  EXPECT_EQ(relaxed.survived, 0u);
+  EXPECT_EQ(cache.lookup(0xCCC, d1), std::nullopt);
+}
+
+// Randomized exactness: survivors are precisely the support-avoiding
+// entries, for hundreds of random (support, touched) draws.
+TEST(SharedCacheCarry, RandomizedSurvivorSetIsExact) {
+  Rng rng(0xC0FFEEu);
+  for (int round = 0; round < 50; ++round) {
+    sweep::SharedThetaCache cache;
+    const std::uint64_t fp_old = 0x1000u + static_cast<std::uint64_t>(round);
+    const std::uint64_t fp_new = 0x2000u + static_cast<std::uint64_t>(round);
+    const int entries = 8;
+    std::vector<std::vector<int>> dsts;
+    std::vector<std::vector<std::uint64_t>> supports;
+    for (int i = 0; i < entries; ++i) {
+      // Distinct destination vectors via the entry index.
+      dsts.push_back({i + 1, -1, -1, -1, -1, -1, -1, -1, 0});
+      std::vector<std::uint64_t> sup;
+      const int edges = 1 + static_cast<int>(rng.next_below(4));
+      for (int j = 0; j < edges; ++j) {
+        const auto a = static_cast<int>(rng.next_below(6));
+        const auto b = static_cast<int>(rng.next_below(6));
+        if (a != b) sup.push_back(edge_pair_code(a, b));
+      }
+      std::sort(sup.begin(), sup.end());
+      sup.erase(std::unique(sup.begin(), sup.end()), sup.end());
+      supports.push_back(sup);
+      (void)cache.insert_with_support(fp_old, dsts.back(), 0.1 * (i + 1),
+                                      supports.back());
+    }
+    std::vector<std::uint64_t> touched;
+    for (int j = 0; j < 3; ++j) {
+      const auto a = static_cast<int>(rng.next_below(6));
+      const auto b = static_cast<int>(rng.next_below(6));
+      if (a != b) touched.push_back(edge_pair_code(a, b));
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+    const auto stats = cache.carry_across_delta(fp_old, fp_new, touched, false);
+    std::size_t want_survivors = 0;
+    for (int i = 0; i < entries; ++i) {
+      // A *recorded* empty support routes no flow, so it survives any
+      // restricting delta (only nullptr — support never recorded — is
+      // conservatively invalidated).
+      const bool expect_alive = !topo::pair_codes_intersect(
+          supports[static_cast<std::size_t>(i)], touched);
+      want_survivors += expect_alive ? 1u : 0u;
+      const auto got = cache.lookup(fp_new, dsts[static_cast<std::size_t>(i)]);
+      ASSERT_EQ(got.has_value(), expect_alive)
+          << "round " << round << " entry " << i;
+    }
+    EXPECT_EQ(stats.survived, want_survivors);
+    EXPECT_EQ(stats.examined, static_cast<std::size_t>(entries));
+  }
+}
+
+// --- Seeded stream derivation ------------------------------------------
+
+TEST(StreamSeeds, DeterministicAndIndependentPerKey) {
+  const auto s = derive_stream_seed(7, "scenario-a", 0);
+  EXPECT_EQ(derive_stream_seed(7, "scenario-a", 0), s);
+  EXPECT_NE(derive_stream_seed(7, "scenario-a", 1), s);
+  EXPECT_NE(derive_stream_seed(7, "scenario-b", 0), s);
+  EXPECT_NE(derive_stream_seed(8, "scenario-a", 0), s);
+  // Streams must decorrelate even for adjacent indices: identical first
+  // draws would mean every fault picks the same victim.
+  Rng a(derive_stream_seed(7, "scenario-a", 0));
+  Rng b(derive_stream_seed(7, "scenario-a", 1));
+  EXPECT_NE(a.next_below(1u << 30), b.next_below(1u << 30));
+}
+
+}  // namespace
+}  // namespace psd

@@ -20,11 +20,50 @@ CSV_HEADER = (
 ROW_FIELDS = CSV_HEADER.split(",")
 CACHE_FIELDS = ["mode", "hits", "misses", "insertions", "evictions",
                 "entries", "lock_contentions", "hit_rate"]
+# JSON-only churn block: present exactly on churn rows (id contains "/k").
+CHURN_FIELDS = ["drops", "droop", "seed", "events", "theta_healthy",
+                "theta_min", "degradation_depth", "worst_recovery_ns",
+                "fully_recovered", "replan_solves", "gk_path_pushes",
+                "gk_sssp_searches", "cache_kept", "cache_erased"]
 
 
 def fail(msg):
     print(f"check_sweep_report: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def check_churn(i, row):
+    """Validates a row's churn block: required iff the scenario id carries
+    the failure-axis suffix ("/k<drops>/f<droop>/s<seed>")."""
+    is_churn = "/k" in row["id"]
+    churn = row.get("churn")
+    if not is_churn:
+        if churn is not None:
+            fail(f"row {i}: churn block on a non-churn scenario {row['id']!r}")
+        return
+    if not isinstance(churn, dict):
+        fail(f"row {i}: churn scenario {row['id']!r} lacks a churn block")
+    missing = [k for k in CHURN_FIELDS if k not in churn]
+    if missing:
+        fail(f"row {i}: churn block missing fields: {missing}")
+    if churn["drops"] < 1:
+        fail(f"row {i}: churn drops={churn['drops']} must be >= 1")
+    if not 0 < churn["droop"] <= 1:
+        fail(f"row {i}: churn droop={churn['droop']} out of (0, 1]")
+    if churn["theta_healthy"] <= 0:
+        fail(f"row {i}: theta_healthy={churn['theta_healthy']} must be positive")
+    if churn["theta_min"] > churn["theta_healthy"] * (1 + 1e-9):
+        fail(f"row {i}: theta_min={churn['theta_min']} exceeds "
+             f"theta_healthy={churn['theta_healthy']}")
+    if not -1e-9 <= churn["degradation_depth"] <= 1 + 1e-9:
+        fail(f"row {i}: degradation_depth={churn['degradation_depth']} "
+             "out of [0, 1]")
+    if not isinstance(churn["fully_recovered"], bool):
+        fail(f"row {i}: fully_recovered must be a boolean")
+    for k in ("events", "worst_recovery_ns", "replan_solves", "gk_path_pushes",
+              "gk_sssp_searches", "cache_kept", "cache_erased"):
+        if not (isinstance(churn[k], (int, float)) and churn[k] >= 0):
+            fail(f"row {i}: churn {k}={churn[k]!r} must be non-negative")
 
 
 def main():
@@ -59,6 +98,7 @@ def main():
                 fail(f"row {i}: {k}={row[k]} < 1")
         if row["steps"] <= 0 or row["nodes"] < 2:
             fail(f"row {i}: implausible steps/nodes {row['steps']}/{row['nodes']}")
+        check_churn(i, row)
 
     cache = report.get("cache")
     if not isinstance(cache, dict):
