@@ -4,10 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "psd/bvn/birkhoff.hpp"
+#include "psd/serve/service.hpp"
 #include "psd/bvn/hopcroft_karp.hpp"
 #include "psd/collective/algorithms.hpp"
 #include "psd/core/optimizers.hpp"
@@ -522,6 +525,41 @@ void BM_SweepDriver(benchmark::State& state) {
   state.counters["theta_solves"] = solves;
 }
 BENCHMARK(BM_SweepDriver)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Planning-as-a-service throughput: one PlanService fed a round-robin
+// request stream over range(0) distinct solve keys. The first pass per key
+// is a cold solve, everything after is a plan-memo hit — the daemon's
+// steady-state mix (Arg(1) = pure hit path, Arg(8) = 1/8 cold). Counters
+// export the service's own latency percentiles — the serve SLO numbers
+// tracked across baselines.
+void BM_ServeThroughput(benchmark::State& state) {
+  const int keys = static_cast<int>(state.range(0));
+  constexpr int kRequestsPerIter = 64;
+  std::atomic<std::size_t> emitted{0};
+  serve::ServiceOptions opts;
+  opts.workers = 2;
+  serve::PlanService svc(opts, [&emitted](const std::string& line) {
+    emitted.fetch_add(line.size(), std::memory_order_relaxed);
+  });
+  std::size_t seq = 0;
+  for (auto _ : state) {
+    for (int r = 0; r < kRequestsPerIter; ++r) {
+      svc.submit_line(
+          "{\"op\":\"plan\",\"id\":\"b" + std::to_string(seq++) +
+          "\",\"topology\":\"ring\",\"nodes\":8,"
+          "\"collective\":\"allreduce:ring\",\"message_bytes\":" +
+          std::to_string((1 << 20) + r % keys) + "}");
+    }
+    svc.drain();
+  }
+  benchmark::DoNotOptimize(emitted.load());
+  const auto st = svc.stats();
+  state.counters["p50_plan_ms"] = st.p50_plan_ms;
+  state.counters["p99_plan_ms"] = st.p99_plan_ms;
+  state.counters["memo_hit_rate"] = st.cache_hit_rate();
+  state.SetItemsProcessed(state.iterations() * kRequestsPerIter);
+}
+BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

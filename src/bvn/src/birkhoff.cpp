@@ -19,9 +19,13 @@ constexpr int kParallelMinRows = 64;
 template <typename Fn>
 void for_each_row(int n, bool parallel, const Fn& fn) {
   if (parallel && n >= kParallelMinRows) {
-    util::ThreadPool::shared().parallel_for(
-        static_cast<std::size_t>(n),
-        [&](std::size_t r) { fn(static_cast<int>(r)); });
+    try {
+      util::ThreadPool::shared().parallel_for(
+          static_cast<std::size_t>(n),
+          [&](std::size_t r) { fn(static_cast<int>(r)); });
+    } catch (const util::JobError& e) {
+      e.rethrow_original();  // pool and serial paths must throw identically
+    }
   } else {
     for (int r = 0; r < n; ++r) fn(r);
   }

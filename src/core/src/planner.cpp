@@ -45,13 +45,19 @@ PlannerResult Planner::plan(const collective::CollectiveSchedule& schedule,
         distinct.push_back(&s.matching);
       }
     }
-    pool.parallel_for(distinct.size() + 1, [&](std::size_t i) {
-      if (i == distinct.size()) {
-        (void)oracle_->base_hops();
-      } else {
-        (void)oracle_->theta(*distinct[i]);
-      }
-    });
+    try {
+      pool.parallel_for(distinct.size() + 1, [&](std::size_t i) {
+        if (i == distinct.size()) {
+          (void)oracle_->base_hops();
+        } else {
+          (void)oracle_->theta(*distinct[i]);
+        }
+      });
+    } catch (const util::JobError& e) {
+      // plan() must throw what the serial path throws (e.g. Cancelled from
+      // a deadline-bounded oracle); strip the pool's index wrapper.
+      e.rethrow_original();
+    }
   }
   const ProblemInstance inst(schedule, *oracle_, params_);
   PlannerResult r;

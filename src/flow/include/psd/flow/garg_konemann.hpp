@@ -27,6 +27,7 @@
 #pragma once
 
 #include "psd/flow/commodity.hpp"
+#include "psd/util/cancellation.hpp"
 
 namespace psd::flow {
 
@@ -73,6 +74,15 @@ struct GargKonemannOptions {
   // toggles an execution strategy, not the algorithm. No effect unless
   // warm_start is set.
   bool parallel = true;
+  // Cooperative cancellation (deadline-bounded daemon solves): polled once
+  // per path push and once per initial-batch search; a poll that observes a
+  // cancelled token (or an expired deadline) throws psd::Cancelled and the
+  // solve unwinds with nothing published. Null — the default — costs the
+  // hot loop a single branch. The polling points are deterministic but the
+  // *time* a deadline fires is not, so a cancelled solve makes no result
+  // guarantees; rerunning uncancelled is bit-exact to never having
+  // cancelled (pinned by tests).
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Carryable solver state for delta-restarts: the per-commodity routed

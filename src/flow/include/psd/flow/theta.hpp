@@ -63,7 +63,24 @@ struct ThetaOptions {
   // the private per-oracle LRU above is bypassed; when null — the default —
   // each oracle memoizes privately as before. use_cache=false disables both.
   std::shared_ptr<SharedThetaCacheBase> shared_cache;
+  // Cooperative cancellation for deadline-bounded solves (the planning
+  // daemon arms one token per request and hands each request its own
+  // oracle). Polled at theta() entry and inside the GK hot loop; a firing
+  // poll throws psd::Cancelled *before* anything is inserted into any
+  // cache layer, and a consumed warm hint is re-stashed, so replaying the
+  // request later computes the bit-exact uncancelled answer. Not part of
+  // the shared-cache context fingerprint: it never changes θ's value.
+  const util::CancellationToken* cancel = nullptr;
 };
+
+/// The shared-cache context fingerprint: everything θ depends on besides
+/// the matching (graph fingerprint mixed with b_ref and the solver
+/// options). Exposed so a service owning the graph can carry shared-cache
+/// entries across a topology delta without an oracle in hand — it must
+/// match the fingerprint ThetaOracle computes internally, which tests pin.
+[[nodiscard]] std::uint64_t theta_context_fingerprint(const topo::Graph& g,
+                                                      Bandwidth b_ref,
+                                                      const ThetaOptions& opts);
 
 class ThetaOracle {
  public:

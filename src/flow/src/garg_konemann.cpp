@@ -275,6 +275,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
   std::atomic<long long> searches{0};
   const auto recompute_path = [&](std::size_t k) {
     static thread_local PathFinder finder;
+    if (opts.cancel != nullptr) opts.cancel->check("gk solve cancelled");
     searches.fetch_add(1, std::memory_order_relaxed);
     const auto& c = commodities[k];
     const double d =
@@ -321,9 +322,16 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
     // them on the shared pool. Results are bitwise identical to the serial
     // loop (disjoint per-commodity state).
     if (opts.parallel && K > 1) {
-      util::ThreadPool::shared().parallel_for(K, [&](std::size_t k) {
-        if (!seeded[k]) recompute_path(k);
-      });
+      try {
+        util::ThreadPool::shared().parallel_for(K, [&](std::size_t k) {
+          if (!seeded[k]) recompute_path(k);
+        });
+      } catch (const util::JobError& e) {
+        // The parallel batch must throw exactly what the serial loop
+        // throws (disconnected endpoints -> InvalidArgument, cancellation
+        // -> Cancelled); strip the pool's index wrapper.
+        e.rethrow_original();
+      }
     } else {
       for (std::size_t k = 0; k < K; ++k) {
         if (!seeded[k]) recompute_path(k);
@@ -391,6 +399,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
         while (remaining > 1e-15 && dual_volume < 1.0) {
           PSD_REQUIRE(++pushes <= opts.max_path_pushes,
                       "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
+          if (opts.cancel != nullptr) opts.cancel->check("gk solve cancelled");
           if (!opts.warm_start || !path_is_fresh(k)) recompute_path(k);
           const double f = std::min(remaining, path_cap[k]);
           push_along_path(k, f);
@@ -490,6 +499,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
     // jobs and results are bitwise identical to the serial loop.
     const auto initial_group = [&](std::size_t gi) {
       static thread_local PathFinder finder;
+      if (opts.cancel != nullptr) opts.cancel->check("gk solve cancelled");
       const auto& grp = groups[gi];
       if (seeded_count == 0) {
         searches.fetch_add(1, std::memory_order_relaxed);
@@ -527,7 +537,11 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
       }
     };
     if (opts.parallel && groups.size() > 1) {
-      util::ThreadPool::shared().parallel_for(groups.size(), initial_group);
+      try {
+        util::ThreadPool::shared().parallel_for(groups.size(), initial_group);
+      } catch (const util::JobError& e) {
+        e.rethrow_original();  // see the round-robin batch above
+      }
     } else {
       for (std::size_t gi = 0; gi < groups.size(); ++gi) initial_group(gi);
     }
@@ -622,6 +636,7 @@ ConcurrentFlowResult gk_run(const topo::Graph& g,
         while (remaining > 1e-15 && dual_volume < 1.0) {
           PSD_REQUIRE(++pushes <= opts.max_path_pushes,
                       "Garg-Konemann exceeded max_path_pushes; epsilon too small?");
+          if (opts.cancel != nullptr) opts.cancel->check("gk solve cancelled");
           const double plen = current_path_length(path[k], length);
           if (plen > reuse_limit[k]) recompute_group(k, plen);
           const double f = std::min(remaining, path_cap[k]);

@@ -13,21 +13,20 @@
 
 namespace psd::flow {
 
-namespace {
-
-// The shared-cache context fingerprint: everything θ depends on besides the
-// matching. θ is a pure function of (graph, b_ref, epsilon, exact_var_limit,
+// θ is a pure function of (graph, b_ref, epsilon, exact_var_limit,
 // matching) — b_ref normalizes the value outright, and the solver options
 // move the LP/FPTAS dispatch boundary and the FPTAS accuracy — so oracles
 // differing in any of them must not share entries.
-std::uint64_t shared_context_fingerprint(const topo::Graph& g, Bandwidth b_ref,
-                                         const ThetaOptions& opts) {
+std::uint64_t theta_context_fingerprint(const topo::Graph& g, Bandwidth b_ref,
+                                        const ThetaOptions& opts) {
   std::uint64_t h = topo::graph_fingerprint(g);
   h = topo::fnv1a_mix64(h, std::bit_cast<std::uint64_t>(b_ref.bytes_per_ns()));
   h = topo::fnv1a_mix64(h, std::bit_cast<std::uint64_t>(opts.epsilon));
   h = topo::fnv1a_mix64(h, static_cast<std::uint64_t>(opts.exact_var_limit));
   return h;
 }
+
+namespace {
 
 /// The sorted, de-duplicated pair codes of every edge carrying positive
 /// load — the support invariant insert_with_support/apply_topology_delta
@@ -56,7 +55,7 @@ ThetaOracle::ThetaOracle(const topo::Graph& base, Bandwidth b_ref, ThetaOptions 
   PSD_REQUIRE(!opts_.use_cache || opts_.cache_capacity >= 1,
               "cache_capacity must be at least 1");
   if (opts_.shared_cache) {
-    context_fp_ = shared_context_fingerprint(base_, b_ref_, opts_);
+    context_fp_ = theta_context_fingerprint(base_, b_ref_, opts_);
   }
 }
 
@@ -90,6 +89,23 @@ std::size_t ThetaOracle::cache_evictions() const {
 double ThetaOracle::theta(const topo::Matching& m) const {
   PSD_REQUIRE(m.size() == base_.num_nodes(), "matching/graph size mismatch");
   if (m.active_pairs() == 0) return std::numeric_limits<double>::infinity();
+  // Admission poll: a request whose deadline already passed must not start
+  // a solve at all (cache hits still serve — they are effectively free).
+  if (opts_.cancel != nullptr && opts_.cancel->cancelled()) {
+    if (opts_.use_cache && opts_.shared_cache) {
+      if (const auto v = opts_.shared_cache->lookup(context_fp_, m.destinations())) {
+        return *v;
+      }
+    } else if (opts_.use_cache) {
+      const auto lk = lock_cache();
+      if (const auto it = cache_.find(m.destinations()); it != cache_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.it);
+        return it->second.theta;
+      }
+    }
+    throw Cancelled("theta solve cancelled before dispatch");
+  }
   const bool track = opts_.track_support;
 
   if (opts_.use_cache && opts_.shared_cache) {
@@ -143,8 +159,22 @@ double ThetaOracle::theta(const topo::Matching& m) const {
   // Compute outside the lock so concurrent misses solve in parallel.
   std::vector<std::uint64_t> support;
   GkRunStats stats;
-  const double value = solve_theta(m, track ? &support : nullptr,
-                                   track ? &warm : nullptr, &stats);
+  double value = 0.0;
+  try {
+    value = solve_theta(m, track ? &support : nullptr,
+                        track ? &warm : nullptr, &stats);
+  } catch (...) {
+    // Abandoned solve (cancellation, solver failure): put a consumed warm
+    // hint back so the retry starts from the exact state this attempt saw —
+    // the bit-exact-resume guarantee the daemon's deadline tests pin. GK
+    // only writes its side channels on successful return, so `warm` still
+    // holds the moved-in hint.
+    if (track && !warm.empty()) {
+      const auto lk = lock_cache();
+      warm_hints_.emplace(m.destinations(), std::move(warm));
+    }
+    throw;
+  }
   if (opts_.use_cache) {
     const auto lk = lock_cache();
     ++solve_stats_.solves;
@@ -209,6 +239,7 @@ double ThetaOracle::solve_theta(const topo::Matching& m,
   }
   GargKonemannOptions gk;
   gk.epsilon = opts_.epsilon;
+  gk.cancel = opts_.cancel;
   if (support == nullptr && warm == nullptr && stats == nullptr) {
     return gk_theta_only(base_, commodities, b_ref_, gk);
   }
@@ -237,6 +268,7 @@ ConcurrentFlowResult ThetaOracle::concurrent_flow(const topo::Matching& m) const
   }
   GargKonemannOptions gk;
   gk.epsilon = opts_.epsilon;
+  gk.cancel = opts_.cancel;
   return gk_concurrent_flow(base_, commodities, b_ref_, gk);
 }
 
@@ -286,7 +318,7 @@ ThetaOracle::InvalidationStats ThetaOracle::apply_topology_delta(
     }
   }
   if (opts_.shared_cache) {
-    context_fp_ = shared_context_fingerprint(base_, b_ref_, opts_);
+    context_fp_ = theta_context_fingerprint(base_, b_ref_, opts_);
     out.shared = opts_.shared_cache->carry_across_delta(
         old_fp, context_fp_, delta.touched, delta.relaxing);
   }

@@ -1,0 +1,114 @@
+// The planning daemon's JSON-lines wire protocol (see docs/serve.md).
+//
+// One request per line, one response line per request (responses may
+// arrive out of order — clients correlate by the echoed "id"). Four ops:
+//
+//   plan      — plan a collective on a registered topology context, under
+//               an optional deadline budget
+//   delta     — apply a topo::TopologyDelta to a context (epoch bump +
+//               edge-level θ-cache carry + async replans)
+//   stats     — snapshot the service counters and latency percentiles
+//   shutdown  — stop admitting work and drain
+//
+// Parsing is strict: unknown ops, missing required fields, or wrong-typed
+// fields throw (InvalidArgument / JsonParseError) and the service folds
+// the message into an INVALID_REQUEST response. Every response carries a
+// "code" from ErrorCode below; non-OK responses add "error" text, and SHED
+// adds the admission controller's "retry_after_ms" hint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "psd/core/cost_model.hpp"
+#include "psd/sweep/scenario.hpp"
+#include "psd/topo/delta.hpp"
+
+namespace psd::serve {
+
+/// Structured outcome of every response line. Stable wire names via
+/// to_string (clients switch on the string, not the enum ordinal).
+enum class ErrorCode : std::uint8_t {
+  kOk,                // answered (possibly degraded — see the degraded flag)
+  kInvalidRequest,    // unparsable line or bad field; request not admitted
+  kShed,              // admission queue full; retry_after_ms hints when
+  kDeadlineExceeded,  // budget elapsed with no answer (even stale) available
+  kInternal,          // solver threw; the worker survived, the request did not
+  kShuttingDown,      // service is draining; no new work admitted
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+enum class RequestOp : std::uint8_t { kPlan, kStats, kDelta, kShutdown };
+
+/// A parsed "plan" request. Cost parameters default to a 400 Gb/s fabric
+/// with microsecond-scale reconfiguration — override per request.
+struct PlanFields {
+  sweep::TopologySpec topology;
+  int nodes = 0;
+  sweep::CollectiveSpec collective;
+  Bytes message{1 << 20};
+  core::CostParams params{TimeNs(500.0), TimeNs(50.0), TimeNs(20'000.0),
+                          Bandwidth(50.0)};
+  // Deadline budget in milliseconds from admission; <= 0 means none.
+  double deadline_ms = 0.0;
+  // Permit a stale-epoch (degraded) answer when the budget cannot fit a
+  // fresh solve. Off ⇒ such requests get DEADLINE_EXCEEDED instead.
+  bool allow_degraded = true;
+  // Test/ops hook: make the worker thread that picks this request up die
+  // (crash-only restart drill — the watchdog must respawn it).
+  bool inject_worker_crash = false;
+};
+
+/// A parsed "delta" request: which context's graph to mutate, and how.
+struct DeltaFields {
+  sweep::TopologySpec topology;
+  int nodes = 0;
+  double bandwidth_gbps = 400.0;  // context key half (must match plans)
+  topo::TopologyDelta delta;
+};
+
+struct Request {
+  RequestOp op = RequestOp::kPlan;
+  std::string id;  // echoed verbatim in the response
+  PlanFields plan;    // op == kPlan
+  DeltaFields delta;  // op == kDelta
+};
+
+/// Parses exactly one protocol line. Throws psd::InvalidArgument (field
+/// errors) or psd::JsonParseError (malformed JSON); the thrown message is
+/// safe to echo to the client. When `id_out` is non-null it receives the
+/// request's "id" as soon as one is recoverable, so even a rejected
+/// request's error response can be correlated by the client.
+[[nodiscard]] Request parse_request(std::string_view line,
+                                    std::string* id_out = nullptr);
+
+/// One-line error response: {"id":..., "code":..., "error":...} plus a
+/// "retry_after_ms" field when retry_after_ms >= 0 (SHED responses).
+[[nodiscard]] std::string error_response(std::string_view id, ErrorCode code,
+                                         std::string_view message,
+                                         double retry_after_ms = -1.0);
+
+/// The numbers a plan response carries (and the degradation memo stores).
+struct PlanAnswer {
+  int steps = 0;
+  double optimal_ns = 0.0;
+  double static_ns = 0.0;
+  double naive_bvn_ns = 0.0;
+  double greedy_ns = 0.0;
+  int reconfigurations = 0;
+  double speedup_vs_static = 0.0;
+  double speedup_vs_bvn = 0.0;
+};
+
+/// OK plan response. `epoch_lag` > 0 marks a degraded (stale-epoch) answer
+/// and implies degraded == true on the wire; `cached` flags a memo hit and
+/// `coalesced` a piggyback on another request's in-flight solve.
+[[nodiscard]] std::string plan_response(std::string_view id,
+                                        const PlanAnswer& answer,
+                                        std::uint64_t epoch,
+                                        std::uint64_t epoch_lag, bool cached,
+                                        bool coalesced, double plan_ms);
+
+}  // namespace psd::serve

@@ -1,0 +1,252 @@
+// PlanService: the fault-tolerant planning-as-a-service engine behind
+// tools/psd_serve.
+//
+// Requests arrive as protocol lines (see protocol.hpp / docs/serve.md);
+// responses leave through the Emit callback, possibly out of submission
+// order. Inside, the service is a bounded admission queue in front of a
+// small worker fleet, with a watchdog thread enforcing deadlines and
+// reviving crashed workers:
+//
+//   admission   — fresh memo hits answer synchronously; budgets at or
+//                 below the fast-path floor take the degradation ladder
+//                 immediately (a solve could never fit); identical
+//                 in-flight/queued solves coalesce (the new request rides
+//                 as an extra waiter); a full queue sheds with a
+//                 retry_after hint derived from the observed p50 latency.
+//   workers     — each job plans on a *snapshot* of its context's graph
+//                 with a per-job Planner over the shared θ cache, under a
+//                 cooperative cancellation token armed with the latest
+//                 waiter deadline. Solver exceptions are contained (the
+//                 waiters get INTERNAL, the worker lives); a crashed
+//                 worker thread (crash drill or escaping non-solver
+//                 failure) is respawned by the watchdog — crash-only
+//                 recovery, the daemon itself never dies.
+//   watchdog    — every tick it expires overdue waiters (degraded answer
+//                 from the stale memo when allowed, DEADLINE_EXCEEDED
+//                 otherwise), cancels in-flight solves nobody waits for
+//                 anymore, and respawns dead workers.
+//   deltas      — a topology delta bumps the context's graph epoch in
+//                 place, carries provably-unaffected θ entries to the new
+//                 context fingerprint (the PR-6 edge-level survival rule
+//                 via SharedThetaCache::carry_across_delta), leaves the
+//                 plan memo as stale degraded-answer fodder, and enqueues
+//                 internal replan jobs that refresh it asynchronously.
+//
+// Degradation ladder (tight or blown deadlines): a stale-epoch memo entry
+// for the exact solve key is served with degraded=true and its epoch lag;
+// with no entry (or allow_degraded=false) the request gets
+// DEADLINE_EXCEEDED. A request answered from a solve that a delta
+// overtook mid-flight reports its lag the same way instead of erroring.
+//
+// Timing guarantee: with fast_path_budget_ms >= the watchdog interval
+// (both default 5 ms), every deadline-carrying request is answered within
+// its budget plus one watchdog tick — i.e. within 2x its budget — no
+// matter what the workers are busy with.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "psd/core/planner.hpp"
+#include "psd/serve/protocol.hpp"
+#include "psd/serve/stats.hpp"
+#include "psd/sweep/shared_theta_cache.hpp"
+#include "psd/util/cancellation.hpp"
+
+namespace psd::serve {
+
+struct ServiceOptions {
+  // Worker threads solving plan jobs (>= 1).
+  unsigned workers = 2;
+  // Admission bound: plan requests beyond this many *queued* jobs are shed.
+  std::size_t queue_limit = 32;
+  // Watchdog tick: deadline sweeps and worker-liveness checks.
+  std::chrono::milliseconds watchdog_interval{5};
+  // Budgets at or below this take the degradation ladder at admission (no
+  // solve could finish in time). Keep >= watchdog_interval to preserve the
+  // 2x-budget answer guarantee (see file comment).
+  double fast_path_budget_ms = 5.0;
+  // retry_after seed before any latency samples exist.
+  double retry_fallback_ms = 50.0;
+  // Plan-latency percentile window (ServeStats).
+  std::size_t latency_window = 512;
+  // Plan-memo bound: completed answers kept for cache hits / degradation.
+  std::size_t memo_capacity = 1024;
+  // Enqueue internal memo-refresh jobs after a topology delta.
+  bool replan_on_delta = true;
+  // θ solver settings shared by every job (cancel and shared_cache are
+  // overridden per job; track_support is forced on — the delta carry
+  // needs routed supports recorded).
+  flow::ThetaOptions theta;
+  sweep::SharedThetaCacheOptions theta_cache;
+};
+
+class PlanService {
+ public:
+  /// `emit` receives one response line per answered request, called from
+  /// service threads (admission caller, workers, watchdog) — it must be
+  /// thread-safe. It is never called while internal locks are held.
+  using Emit = std::function<void(const std::string&)>;
+
+  PlanService(ServiceOptions opts, Emit emit);
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Handles one protocol line (thread-safe). stats/delta/shutdown and all
+  /// synchronous plan outcomes (memo hit, shed, fast-path ladder) emit
+  /// before returning; queued solves emit later from a worker or the
+  /// watchdog.
+  void submit_line(const std::string& line);
+
+  /// Blocks until no job is queued or in flight (test synchronization).
+  void drain();
+
+  /// Stops admitting work, fails queued waiters with SHUTTING_DOWN, lets
+  /// in-flight solves finish, joins every thread. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] bool shutting_down() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+  [[nodiscard]] const sweep::SharedThetaCache& theta_cache() const {
+    return *shared_cache_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted request riding on a (possibly coalesced) solve job.
+  struct Waiter {
+    std::string id;
+    Clock::time_point admitted;
+    Clock::time_point deadline;  // meaningful iff has_deadline
+    bool has_deadline = false;
+    bool allow_degraded = true;
+    bool coalesced = false;  // joined an existing job rather than creating it
+  };
+
+  /// One solve: the representative request plus everyone waiting on it.
+  /// waiters is guarded by mu_; token is internally atomic (the watchdog
+  /// cancels it while a worker polls it).
+  struct Job {
+    std::string solve_key;
+    std::string context_key;
+    PlanFields plan;
+    std::vector<Waiter> waiters;
+    util::CancellationToken token;
+    bool in_flight = false;
+    bool internal = false;  // post-delta memo refresh: no waiters, no emits
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// A registered topology: the authoritative graph deltas mutate. Jobs
+  /// solve on value snapshots, so epoch() can advance mid-solve (the
+  /// answer is then reported with its epoch lag).
+  struct Context {
+    topo::Graph graph;
+    Bandwidth b_ref;
+    // Graph epoch at construction (build_topology bumps it once per edge);
+    // wire epochs are reported relative to this so a fresh context is 0
+    // and each delta op adds one.
+    std::uint64_t base_epoch = 0;
+  };
+
+  /// The context's wire epoch: mutations since this service built it.
+  static std::uint64_t epoch_of(const Context& ctx) {
+    return ctx.graph.epoch() - ctx.base_epoch;
+  }
+
+  /// A completed answer, kept for fresh cache hits (entry epoch == context
+  /// epoch) and stale degraded answers (entry epoch behind). The request
+  /// fields ride along so delta-triggered replans can re-solve the key.
+  struct MemoEntry {
+    PlanAnswer answer;
+    std::uint64_t epoch = 0;
+    PlanFields plan;
+    std::uint64_t last_used = 0;  // LRU clock for eviction
+  };
+
+  void handle_plan(const Request& req);
+  void handle_delta(const Request& req);
+  void handle_stats(const Request& req);
+  void initiate_shutdown(std::vector<std::string>* responses);
+
+  /// Worker thread body; the out-of-line crash boundary lives in
+  /// run_worker (marks the slot dead on any escape).
+  void run_worker(std::size_t slot);
+  void worker_loop(std::size_t slot);
+  void watchdog_loop();
+
+  /// The solve itself: per-job Planner on a graph snapshot over the shared
+  /// θ cache, cancellation token threaded through to GK.
+  [[nodiscard]] PlanAnswer solve_plan(topo::Graph graph, const PlanFields& plan,
+                                      const util::CancellationToken* token) const;
+
+  Context& ensure_context_locked(const sweep::TopologySpec& topology, int nodes,
+                                 Bandwidth b_ref, const std::string& key);
+
+  /// Ladder answer for an overdue/unservable waiter: stale memo entry (when
+  /// allowed) or DEADLINE_EXCEEDED. Appends the response; caller emits
+  /// after unlocking.
+  void answer_expired_locked(const Waiter& w, const std::string& solve_key,
+                             std::uint64_t context_epoch,
+                             std::vector<std::string>* responses);
+
+  /// Removes overdue waiters from `job`, answering each via the ladder.
+  void expire_overdue_locked(const JobPtr& job, Clock::time_point now,
+                             std::vector<std::string>* responses);
+
+  /// Memo upsert with LRU-by-use eviction at memo_capacity.
+  void memo_put_locked(const std::string& solve_key, PlanAnswer answer,
+                       std::uint64_t epoch, const PlanFields& plan);
+
+  [[nodiscard]] static std::string context_key(
+      const sweep::TopologySpec& topology, int nodes, double gbps);
+  [[nodiscard]] static std::string solve_key(const std::string& context_key,
+                                             const PlanFields& plan);
+
+  ServiceOptions opts_;
+  Emit emit_;
+  ServeStats stats_;
+  std::shared_ptr<sweep::SharedThetaCache> shared_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: queue non-empty / shutdown
+  std::condition_variable idle_cv_;   // drain(): queue empty, nothing in flight
+  std::condition_variable watchdog_cv_;
+  std::deque<JobPtr> queue_;
+  std::map<std::string, JobPtr> jobs_by_key_;  // queued + in-flight
+  std::map<std::string, std::unique_ptr<Context>> contexts_;
+  std::map<std::string, MemoEntry> memo_;
+  std::uint64_t memo_clock_ = 0;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  bool watchdog_stop_ = false;
+
+  /// Crash-only worker slot: `alive` drops when the thread exits for any
+  /// reason; the watchdog joins and respawns it unless shutting down.
+  struct WorkerSlot {
+    std::thread thread;
+    std::atomic<bool> alive{false};
+  };
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  std::thread watchdog_;
+
+  // Serializes shutdown(): one caller joins, concurrent callers block
+  // until teardown finishes, later callers return immediately.
+  std::mutex shutdown_mu_;
+  bool shutdown_done_ = false;
+};
+
+}  // namespace psd::serve

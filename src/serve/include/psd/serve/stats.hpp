@@ -1,0 +1,111 @@
+// Service observability: monotonic outcome counters plus a bounded window
+// of plan latencies for percentile estimation.
+//
+// Counters are atomics — workers, the watchdog and the admission path bump
+// them concurrently. Latencies land in a fixed-size ring (mutex-guarded;
+// recording is O(1) and never allocates after construction), and
+// percentiles are computed on demand from a snapshot of the window —
+// p50/p99 over the last `window` plans, which is the operationally useful
+// number for a long-running daemon (lifetime percentiles go stale).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psd::serve {
+
+/// Point-in-time copy of every counter (see ServeStats::snapshot).
+struct ServeStatsSnapshot {
+  std::uint64_t received = 0;   // protocol lines admitted to parsing
+  std::uint64_t planned = 0;    // fresh solves completed
+  std::uint64_t cache_hits = 0; // answered from the plan memo (fresh epoch)
+  std::uint64_t coalesced = 0;  // piggybacked on an in-flight identical solve
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;   // stale-epoch answers served
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t internal_errors = 0;
+  std::uint64_t worker_restarts = 0;
+  std::uint64_t replans = 0;    // async post-delta memo refreshes completed
+  std::uint64_t deltas = 0;     // topology deltas applied
+  std::size_t latency_samples = 0;  // plans inside the percentile window
+  double p50_plan_ms = 0.0;
+  double p99_plan_ms = 0.0;
+
+  /// Fraction of answered plan requests that never waited for a solve.
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t answered = planned + cache_hits + coalesced + degraded;
+    return answered == 0 ? 0.0
+                         : static_cast<double>(cache_hits + coalesced) /
+                               static_cast<double>(answered);
+  }
+};
+
+class ServeStats {
+ public:
+  /// `latency_window` caps the percentile ring (>= 1).
+  explicit ServeStats(std::size_t latency_window = 512);
+
+  // Outcome counters (thread-safe, relaxed — they are monotonic tallies).
+  void on_received() { received_.fetch_add(1, std::memory_order_relaxed); }
+  void on_planned() { planned_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_coalesced() { coalesced_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_degraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  void on_deadline_exceeded() {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_invalid() { invalid_.fetch_add(1, std::memory_order_relaxed); }
+  void on_internal_error() {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_worker_restart() {
+    worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_replan() { replans_.fetch_add(1, std::memory_order_relaxed); }
+  void on_delta() { deltas_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Records one completed plan's wall latency into the percentile ring.
+  void record_plan_latency_ms(double ms);
+
+  [[nodiscard]] ServeStatsSnapshot snapshot() const;
+
+  /// Current p50 over the window — the admission controller's service-time
+  /// estimate for retry_after hints. `fallback_ms` when no samples yet.
+  [[nodiscard]] double p50_plan_ms(double fallback_ms) const;
+
+  /// Serializes a snapshot as the "stats" object of a stats response.
+  [[nodiscard]] static std::string to_json_object(
+      const ServeStatsSnapshot& s, std::size_t queue_depth,
+      double shared_cache_hit_rate);
+
+ private:
+  /// Percentile by rank over a copy of the window (nth_element); `p` in
+  /// [0, 1]. Zero when the window is empty.
+  [[nodiscard]] double percentile_ms(double p) const;
+
+  std::atomic<std::uint64_t> received_{0};
+  std::atomic<std::uint64_t> planned_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> internal_errors_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> replans_{0};
+  std::atomic<std::uint64_t> deltas_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;  // ms; filled circularly
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;  // min(total recorded, ring size)
+};
+
+}  // namespace psd::serve

@@ -1,0 +1,230 @@
+#include "psd/serve/protocol.hpp"
+
+#include <cmath>
+
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+
+namespace {
+
+/// Required object member, with the field name in every failure message so
+/// a client sees exactly which key to fix.
+const JsonValue& require(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    throw InvalidArgument("missing field \"" + std::string(key) + "\"");
+  }
+  return *v;
+}
+
+double require_number(const JsonValue& obj, std::string_view key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_number()) {
+    throw InvalidArgument("field \"" + std::string(key) + "\" must be a number");
+  }
+  return v.as_number();
+}
+
+std::string require_string(const JsonValue& obj, std::string_view key) {
+  const JsonValue& v = require(obj, key);
+  if (!v.is_string()) {
+    throw InvalidArgument("field \"" + std::string(key) + "\" must be a string");
+  }
+  return v.as_string();
+}
+
+/// Optional scalar with a default; present-but-wrong-type is still an error
+/// (silent coercion would mask client bugs).
+double number_or(const JsonValue& obj, std::string_view key, double dflt) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_number()) {
+    throw InvalidArgument("field \"" + std::string(key) + "\" must be a number");
+  }
+  return v->as_number();
+}
+
+bool bool_or(const JsonValue& obj, std::string_view key, bool dflt) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return dflt;
+  if (!v->is_bool()) {
+    throw InvalidArgument("field \"" + std::string(key) + "\" must be a bool");
+  }
+  return v->as_bool();
+}
+
+int require_node_count(const JsonValue& obj) {
+  const double n = require_number(obj, "nodes");
+  if (n < 2.0 || n > 4096.0 || n != std::floor(n)) {
+    throw InvalidArgument("field \"nodes\" must be an integer in [2, 4096]");
+  }
+  return static_cast<int>(n);
+}
+
+sweep::TopologySpec require_topology(const JsonValue& obj) {
+  const std::string s = require_string(obj, "topology");
+  const auto spec = sweep::topology_spec_from_string(s);
+  if (!spec) throw InvalidArgument("unknown topology \"" + s + "\"");
+  return *spec;
+}
+
+topo::NodeId require_node_id(const JsonValue& obj, std::string_view key,
+                             int nodes) {
+  const double v = require_number(obj, key);
+  if (v < 0.0 || v >= static_cast<double>(nodes) || v != std::floor(v)) {
+    throw InvalidArgument("field \"" + std::string(key) +
+                          "\" must be a node id in [0, nodes)");
+  }
+  return static_cast<topo::NodeId>(v);
+}
+
+PlanFields parse_plan_fields(const JsonValue& obj) {
+  PlanFields plan;
+  plan.topology = require_topology(obj);
+  plan.nodes = require_node_count(obj);
+  const std::string coll = require_string(obj, "collective");
+  const auto collective = sweep::collective_from_string(coll);
+  if (!collective) throw InvalidArgument("unknown collective \"" + coll + "\"");
+  plan.collective = *collective;
+  if (!sweep::scenario_valid(plan.topology, plan.nodes, plan.collective)) {
+    throw InvalidArgument("collective \"" + coll +
+                          "\" cannot be materialized on this topology/nodes");
+  }
+  const double bytes = number_or(obj, "message_bytes", plan.message.count());
+  if (bytes <= 0.0) throw InvalidArgument("field \"message_bytes\" must be > 0");
+  plan.message = Bytes(bytes);
+  plan.params.alpha = TimeNs(number_or(obj, "alpha_ns", plan.params.alpha.ns()));
+  plan.params.delta = TimeNs(number_or(obj, "delta_ns", plan.params.delta.ns()));
+  plan.params.alpha_r =
+      TimeNs(number_or(obj, "alpha_r_ns", plan.params.alpha_r.ns()));
+  const double gbps = number_or(obj, "bandwidth_gbps", plan.params.b.gbps());
+  if (gbps <= 0.0) throw InvalidArgument("field \"bandwidth_gbps\" must be > 0");
+  plan.params.b = Bandwidth(gbps / 8.0);
+  plan.deadline_ms = number_or(obj, "deadline_ms", 0.0);
+  plan.allow_degraded = bool_or(obj, "allow_degraded", true);
+  plan.inject_worker_crash = bool_or(obj, "inject_worker_crash", false);
+  return plan;
+}
+
+DeltaFields parse_delta_fields(const JsonValue& obj) {
+  DeltaFields d;
+  d.topology = require_topology(obj);
+  d.nodes = require_node_count(obj);
+  d.bandwidth_gbps = number_or(obj, "bandwidth_gbps", d.bandwidth_gbps);
+  if (d.bandwidth_gbps <= 0.0) {
+    throw InvalidArgument("field \"bandwidth_gbps\" must be > 0");
+  }
+  const JsonValue& ops = require(obj, "ops");
+  if (!ops.is_array()) throw InvalidArgument("field \"ops\" must be an array");
+  if (ops.as_array().empty()) throw InvalidArgument("field \"ops\" is empty");
+  const Bandwidth link_bw(d.bandwidth_gbps / 8.0);
+  for (const JsonValue& op : ops.as_array()) {
+    if (!op.is_object()) throw InvalidArgument("delta op must be an object");
+    const std::string kind = require_string(op, "kind");
+    const topo::NodeId src = require_node_id(op, "src", d.nodes);
+    const topo::NodeId dst = require_node_id(op, "dst", d.nodes);
+    if (kind == "remove_edge") {
+      d.delta.remove_edge(src, dst);
+    } else if (kind == "add_edge") {
+      const double f = number_or(op, "capacity_factor", 1.0);
+      if (f <= 0.0) throw InvalidArgument("\"capacity_factor\" must be > 0");
+      d.delta.add_edge(src, dst, link_bw * f);
+    } else if (kind == "set_capacity") {
+      const double f = require_number(op, "capacity_factor");
+      if (f <= 0.0) throw InvalidArgument("\"capacity_factor\" must be > 0");
+      d.delta.set_capacity(src, dst, link_bw * f);
+    } else if (kind == "scale_capacity") {
+      const double f = require_number(op, "factor");
+      if (f <= 0.0) throw InvalidArgument("\"factor\" must be > 0");
+      d.delta.scale_capacity(src, dst, f);
+    } else {
+      throw InvalidArgument("unknown delta op kind \"" + kind + "\"");
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidRequest: return "INVALID_REQUEST";
+    case ErrorCode::kShed: return "SHED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+  }
+  return "INTERNAL";
+}
+
+Request parse_request(std::string_view line, std::string* id_out) {
+  const JsonValue doc = parse_json(line);
+  if (!doc.is_object()) throw InvalidArgument("request must be a JSON object");
+  // Salvage the id before strict validation: a rejected request's error
+  // response should still be correlatable.
+  if (id_out != nullptr) {
+    if (const JsonValue* v = doc.find("id"); v != nullptr && v->is_string()) {
+      *id_out = v->as_string();
+    }
+  }
+  Request req;
+  req.id = require_string(doc, "id");
+  const std::string op = require_string(doc, "op");
+  if (op == "plan") {
+    req.op = RequestOp::kPlan;
+    req.plan = parse_plan_fields(doc);
+  } else if (op == "stats") {
+    req.op = RequestOp::kStats;
+  } else if (op == "delta") {
+    req.op = RequestOp::kDelta;
+    req.delta = parse_delta_fields(doc);
+  } else if (op == "shutdown") {
+    req.op = RequestOp::kShutdown;
+  } else {
+    throw InvalidArgument("unknown op \"" + op + "\"");
+  }
+  return req;
+}
+
+std::string error_response(std::string_view id, ErrorCode code,
+                           std::string_view message, double retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("code").value(to_string(code));
+  w.key("error").value(message);
+  if (retry_after_ms >= 0.0) w.key("retry_after_ms").value(retry_after_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string plan_response(std::string_view id, const PlanAnswer& answer,
+                          std::uint64_t epoch, std::uint64_t epoch_lag,
+                          bool cached, bool coalesced, double plan_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("code").value(to_string(ErrorCode::kOk));
+  w.key("degraded").value(epoch_lag > 0);
+  if (epoch_lag > 0) {
+    w.key("epoch_lag").value(static_cast<std::int64_t>(epoch_lag));
+  }
+  w.key("epoch").value(static_cast<std::int64_t>(epoch));
+  w.key("cached").value(cached);
+  w.key("coalesced").value(coalesced);
+  w.key("steps").value(answer.steps);
+  w.key("optimal_ns").value(answer.optimal_ns);
+  w.key("static_ns").value(answer.static_ns);
+  w.key("naive_bvn_ns").value(answer.naive_bvn_ns);
+  w.key("greedy_ns").value(answer.greedy_ns);
+  w.key("reconfigurations").value(answer.reconfigurations);
+  w.key("speedup_vs_static").value(answer.speedup_vs_static);
+  w.key("speedup_vs_bvn").value(answer.speedup_vs_bvn);
+  w.key("plan_latency_ms").value(plan_ms);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psd::serve

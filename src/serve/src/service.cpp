@@ -1,0 +1,615 @@
+#include "psd/serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "psd/util/json.hpp"
+#include "psd/workload/workload.hpp"
+
+namespace psd::serve {
+
+namespace {
+
+/// Escapes worker_loop's per-job exception containment on purpose: the
+/// crash drill must kill the worker *thread* (run_worker's crash boundary)
+/// rather than be folded into an INTERNAL response. Deliberately not a
+/// std::exception so no generic handler can swallow it.
+struct WorkerCrash {};
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::string fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+PlanService::PlanService(ServiceOptions opts, Emit emit)
+    : opts_(std::move(opts)),
+      emit_(std::move(emit)),
+      stats_(opts_.latency_window < 1 ? 1 : opts_.latency_window) {
+  PSD_REQUIRE(emit_ != nullptr, "PlanService needs an emit callback");
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.memo_capacity < 1) opts_.memo_capacity = 1;
+  // The delta carry needs routed supports recorded beside every shared θ
+  // entry, and per-job oracles are throwaway — shared memo or nothing.
+  opts_.theta.track_support = true;
+  opts_.theta.use_cache = true;
+  shared_cache_ = sweep::make_shared_theta_cache(opts_.theta_cache);
+  workers_.reserve(opts_.workers);
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->alive.store(true);
+    workers_.push_back(std::move(slot));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { run_worker(i); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+PlanService::~PlanService() { shutdown(); }
+
+std::string PlanService::context_key(const sweep::TopologySpec& topology,
+                                     int nodes, double gbps) {
+  return sweep::to_string(topology) + "/n" + std::to_string(nodes) + "/bw" +
+         fmt17(gbps);
+}
+
+std::string PlanService::solve_key(const std::string& context_key,
+                                   const PlanFields& plan) {
+  return context_key + "/" + sweep::to_string(plan.collective) + "/m" +
+         fmt17(plan.message.count()) + "/a" + fmt17(plan.params.alpha.ns()) +
+         "/d" + fmt17(plan.params.delta.ns()) + "/ar" +
+         fmt17(plan.params.alpha_r.ns());
+}
+
+PlanService::Context& PlanService::ensure_context_locked(
+    const sweep::TopologySpec& topology, int nodes, Bandwidth b_ref,
+    const std::string& key) {
+  auto it = contexts_.find(key);
+  if (it == contexts_.end()) {
+    auto ctx = std::make_unique<Context>(
+        Context{sweep::build_topology(topology, nodes, b_ref), b_ref});
+    ctx->base_epoch = ctx->graph.epoch();
+    it = contexts_.emplace(key, std::move(ctx)).first;
+  }
+  return *it->second;
+}
+
+void PlanService::memo_put_locked(const std::string& solve_key,
+                                  PlanAnswer answer, std::uint64_t epoch,
+                                  const PlanFields& plan) {
+  auto& entry = memo_[solve_key];
+  // A delta may have overtaken this solve; never let a stale answer clobber
+  // a fresher one another worker already recorded.
+  if (entry.last_used != 0 && entry.epoch > epoch) return;
+  entry.answer = answer;
+  entry.epoch = epoch;
+  entry.plan = plan;
+  entry.last_used = ++memo_clock_;
+  if (memo_.size() > opts_.memo_capacity) {
+    auto victim = memo_.begin();
+    for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    memo_.erase(victim);
+  }
+}
+
+void PlanService::answer_expired_locked(const Waiter& w,
+                                        const std::string& solve_key,
+                                        std::uint64_t context_epoch,
+                                        std::vector<std::string>* responses) {
+  const double elapsed = ms_between(w.admitted, Clock::now());
+  const auto it = memo_.find(solve_key);
+  if (w.allow_degraded && it != memo_.end()) {
+    it->second.last_used = ++memo_clock_;
+    const std::uint64_t lag = context_epoch - it->second.epoch;
+    if (lag == 0) {
+      stats_.on_cache_hit();
+    } else {
+      stats_.on_degraded();
+    }
+    responses->push_back(plan_response(w.id, it->second.answer,
+                                       it->second.epoch, lag, true,
+                                       w.coalesced, elapsed));
+  } else {
+    stats_.on_deadline_exceeded();
+    responses->push_back(error_response(
+        w.id, ErrorCode::kDeadlineExceeded,
+        "deadline budget exhausted with no answer (or stale answer) available"));
+  }
+}
+
+void PlanService::expire_overdue_locked(const JobPtr& job,
+                                        Clock::time_point now,
+                                        std::vector<std::string>* responses) {
+  if (job->internal) return;
+  std::uint64_t epoch = 0;
+  if (const auto cit = contexts_.find(job->context_key); cit != contexts_.end()) {
+    epoch = epoch_of(*cit->second);
+  }
+  auto& ws = job->waiters;
+  for (auto it = ws.begin(); it != ws.end();) {
+    if (it->has_deadline && now >= it->deadline) {
+      answer_expired_locked(*it, job->solve_key, epoch, responses);
+      it = ws.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanService::submit_line(const std::string& line) {
+  stats_.on_received();
+  Request req;
+  std::string id;
+  try {
+    req = parse_request(line, &id);
+  } catch (const std::exception& e) {
+    stats_.on_invalid();
+    emit_(error_response(id, ErrorCode::kInvalidRequest, e.what()));
+    return;
+  }
+  switch (req.op) {
+    case RequestOp::kPlan: handle_plan(req); break;
+    case RequestOp::kStats: handle_stats(req); break;
+    case RequestOp::kDelta: handle_delta(req); break;
+    case RequestOp::kShutdown: {
+      // Ack first so the client sees the transition, then drain: queued
+      // waiters get SHUTTING_DOWN, in-flight solves finish and answer.
+      JsonWriter w;
+      w.begin_object();
+      w.key("id").value(req.id);
+      w.key("code").value(to_string(ErrorCode::kOk));
+      w.key("shutting_down").value(true);
+      w.end_object();
+      emit_(w.str());
+      shutdown();
+      break;
+    }
+  }
+}
+
+void PlanService::handle_plan(const Request& req) {
+  const auto now = Clock::now();
+  std::vector<std::string> responses;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (shutting_down_) {
+      responses.push_back(error_response(req.id, ErrorCode::kShuttingDown,
+                                         "service is shutting down"));
+    } else {
+      const std::string ckey =
+          context_key(req.plan.topology, req.plan.nodes, req.plan.params.b.gbps());
+      Context& ctx =
+          ensure_context_locked(req.plan.topology, req.plan.nodes,
+                                req.plan.params.b, ckey);
+      const std::string skey = solve_key(ckey, req.plan);
+      const std::uint64_t epoch = epoch_of(ctx);
+
+      Waiter w;
+      w.id = req.id;
+      w.admitted = now;
+      w.allow_degraded = req.plan.allow_degraded;
+      if (req.plan.deadline_ms > 0.0) {
+        w.has_deadline = true;
+        w.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   req.plan.deadline_ms));
+      }
+
+      const auto mit = memo_.find(skey);
+      if (mit != memo_.end() && mit->second.epoch == epoch) {
+        // Fresh memo hit: answered synchronously, deadline trivially met.
+        mit->second.last_used = ++memo_clock_;
+        stats_.on_cache_hit();
+        responses.push_back(
+            plan_response(req.id, mit->second.answer, epoch, 0, true, false,
+                          ms_between(now, Clock::now())));
+      } else if (w.has_deadline &&
+                 req.plan.deadline_ms <= opts_.fast_path_budget_ms) {
+        // Budget below the plausible-solve floor: take the degradation
+        // ladder right now instead of queueing work that cannot finish.
+        answer_expired_locked(w, skey, epoch, &responses);
+      } else if (const auto jit = jobs_by_key_.find(skey);
+                 jit != jobs_by_key_.end()) {
+        // Identical solve already queued or in flight — piggyback.
+        w.coalesced = true;
+        const JobPtr& job = jit->second;
+        job->waiters.push_back(w);
+        if (job->in_flight && w.has_deadline) {
+          // Extend an armed in-flight token to cover the new waiter (a
+          // disarmed token — some waiter without a deadline — stays so).
+          const auto need = w.deadline - Clock::now();
+          if (job->token.remaining() < need) {
+            job->token.set_deadline_after(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(need));
+          }
+        }
+      } else if (queue_.size() >= opts_.queue_limit) {
+        // Admission control: shed with a service-time-derived retry hint
+        // instead of growing the queue without bound.
+        const double p50 = stats_.p50_plan_ms(opts_.retry_fallback_ms);
+        const double retry =
+            p50 * static_cast<double>(queue_.size() + in_flight_ + 1);
+        stats_.on_shed();
+        responses.push_back(error_response(req.id, ErrorCode::kShed,
+                                           "admission queue full", retry));
+      } else {
+        auto job = std::make_shared<Job>();
+        job->solve_key = skey;
+        job->context_key = ckey;
+        job->plan = req.plan;
+        job->waiters.push_back(w);
+        jobs_by_key_[skey] = job;
+        queue_.push_back(std::move(job));
+        work_cv_.notify_one();
+      }
+    }
+  }
+  for (const auto& r : responses) emit_(r);
+}
+
+void PlanService::handle_stats(const Request& req) {
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    depth = queue_.size() + in_flight_;
+  }
+  const auto cache_stats = shared_cache_->stats();
+  const std::string obj = ServeStats::to_json_object(stats_.snapshot(), depth,
+                                                     cache_stats.hit_rate());
+  std::string out = "{\"id\":\"" + json_escape(req.id) +
+                    "\",\"code\":\"OK\",\"stats\":" + obj + "}";
+  emit_(out);
+}
+
+void PlanService::handle_delta(const Request& req) {
+  std::vector<std::string> responses;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const std::string ckey = context_key(req.delta.topology, req.delta.nodes,
+                                         req.delta.bandwidth_gbps);
+    const Bandwidth b_ref(req.delta.bandwidth_gbps / 8.0);
+    Context& ctx =
+        ensure_context_locked(req.delta.topology, req.delta.nodes, b_ref, ckey);
+    const std::uint64_t old_fp =
+        flow::theta_context_fingerprint(ctx.graph, ctx.b_ref, opts_.theta);
+    topo::DeltaResult result;
+    try {
+      result = topo::apply_delta(ctx.graph, req.delta.delta);
+    } catch (const std::exception& e) {
+      stats_.on_invalid();
+      responses.push_back(
+          error_response(req.id, ErrorCode::kInvalidRequest, e.what()));
+      lk.unlock();
+      for (const auto& r : responses) emit_(r);
+      return;
+    }
+    const std::uint64_t new_fp =
+        flow::theta_context_fingerprint(ctx.graph, ctx.b_ref, opts_.theta);
+    const std::uint64_t wire_epoch = result.epoch - ctx.base_epoch;
+    // PR-6 survival rule at the θ layer: entries whose routed support
+    // provably avoids every touched edge follow the graph to its new
+    // context fingerprint; the rest are left behind to age out.
+    const auto carry = shared_cache_->carry_across_delta(
+        old_fp, new_fp, result.touched, result.relaxing);
+
+    // The plan memo is NOT erased: its now-stale entries are exactly what
+    // the degradation ladder serves to tight-deadline requests. Refresh
+    // them asynchronously instead.
+    std::size_t stale = 0;
+    std::size_t replans = 0;
+    for (const auto& [key, entry] : memo_) {
+      if (key.compare(0, ckey.size() + 1, ckey + "/") != 0) continue;
+      if (entry.epoch >= wire_epoch) continue;
+      ++stale;
+      if (!opts_.replan_on_delta || shutting_down_) continue;
+      if (jobs_by_key_.count(key) != 0) continue;  // already being solved
+      if (queue_.size() >= opts_.queue_limit) continue;  // plans outrank
+      auto job = std::make_shared<Job>();
+      job->solve_key = key;
+      job->context_key = ckey;
+      job->plan = entry.plan;
+      job->internal = true;
+      jobs_by_key_[key] = job;
+      queue_.push_back(std::move(job));
+      ++replans;
+    }
+    if (replans > 0) work_cv_.notify_all();
+    stats_.on_delta();
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("id").value(req.id);
+    w.key("code").value(to_string(ErrorCode::kOk));
+    w.key("epoch").value(static_cast<std::int64_t>(wire_epoch));
+    w.key("touched").value(static_cast<std::int64_t>(result.touched.size()));
+    w.key("relaxing").value(result.relaxing);
+    w.key("theta_examined").value(static_cast<std::int64_t>(carry.examined));
+    w.key("theta_carried").value(static_cast<std::int64_t>(carry.survived));
+    w.key("theta_invalidated")
+        .value(static_cast<std::int64_t>(carry.invalidated));
+    w.key("memo_stale").value(static_cast<std::int64_t>(stale));
+    w.key("replans_enqueued").value(static_cast<std::int64_t>(replans));
+    w.end_object();
+    responses.push_back(w.str());
+  }
+  for (const auto& r : responses) emit_(r);
+}
+
+PlanAnswer PlanService::solve_plan(topo::Graph graph, const PlanFields& plan,
+                                   const util::CancellationToken* token) const {
+  flow::ThetaOptions theta = opts_.theta;
+  theta.shared_cache = shared_cache_;
+  theta.cancel = token;
+  // Planner-internal parallelism off: the service's own workers provide
+  // the concurrency, and a serial plan keeps each job's cost attributable.
+  core::Planner planner(std::move(graph), plan.params, theta,
+                        core::PlannerOptions{.parallel = false});
+  const workload::CollectiveRequest request{plan.collective.kind, plan.message,
+                                            "serve"};
+  workload::MaterializeOptions mat;
+  mat.allreduce = plan.collective.allreduce;
+  mat.alltoall = plan.collective.alltoall;
+  const auto schedule = workload::materialize(request, plan.nodes, mat);
+  const auto result = planner.plan(schedule);
+  PlanAnswer a;
+  a.steps = schedule.num_steps();
+  a.optimal_ns = result.optimal.total_time().ns();
+  a.static_ns = result.static_base.total_time().ns();
+  a.naive_bvn_ns = result.naive_bvn.total_time().ns();
+  a.greedy_ns = result.greedy.total_time().ns();
+  a.reconfigurations = result.optimal.num_reconfigurations;
+  a.speedup_vs_static = result.speedup_vs_static();
+  a.speedup_vs_bvn = result.speedup_vs_bvn();
+  return a;
+}
+
+void PlanService::run_worker(std::size_t slot) {
+  try {
+    worker_loop(slot);
+  } catch (...) {
+    // Crash-only recovery: whatever escaped the per-job containment kills
+    // this thread alone. The watchdog notices the dead slot and respawns
+    // it; the daemon never dies with the worker.
+  }
+  workers_[slot]->alive.store(false);
+}
+
+void PlanService::worker_loop(std::size_t /*slot*/) {
+  while (true) {
+    JobPtr job;
+    topo::Graph snapshot;
+    std::uint64_t snapshot_epoch = 0;
+    std::vector<std::string> responses;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, nothing left
+      job = queue_.front();
+      queue_.pop_front();
+      // Pre-dispatch deadline check: don't burn a solve on waiters that
+      // already expired while queued.
+      expire_overdue_locked(job, Clock::now(), &responses);
+      if (job->waiters.empty() && !job->internal) {
+        jobs_by_key_.erase(job->solve_key);
+        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+        lk.unlock();
+        for (const auto& r : responses) emit_(r);
+        continue;
+      }
+      const auto cit = contexts_.find(job->context_key);
+      PSD_ASSERT(cit != contexts_.end(), "job's topology context vanished");
+      snapshot = cit->second->graph;  // jobs solve on a value snapshot
+      snapshot_epoch = epoch_of(*cit->second);
+      job->in_flight = true;
+      ++in_flight_;
+      // Arm the cooperative token with the *latest* waiter deadline (an
+      // earlier waiter is expired individually by the watchdog while the
+      // solve keeps going for the rest); any deadline-free waiter, or an
+      // internal replan, leaves it disarmed.
+      job->token.reset();
+      bool all_deadlined = !job->internal;
+      Clock::time_point latest = Clock::time_point::min();
+      for (const auto& w : job->waiters) {
+        if (!w.has_deadline) {
+          all_deadlined = false;
+          break;
+        }
+        latest = std::max(latest, w.deadline);
+      }
+      if (all_deadlined) {
+        job->token.set_deadline_after(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                latest - Clock::now()));
+      }
+    }
+    for (const auto& r : responses) emit_(r);
+    responses.clear();
+
+    if (job->plan.inject_worker_crash) {
+      // Crash drill: answer and detach the job first so nothing dangles,
+      // then die. WorkerCrash sails past the containment below by design.
+      {
+        const std::lock_guard<std::mutex> lk(mu_);
+        stats_.on_internal_error();
+        for (const auto& w : job->waiters) {
+          responses.push_back(
+              error_response(w.id, ErrorCode::kInternal,
+                             "worker crashed while planning (crash drill)"));
+        }
+        jobs_by_key_.erase(job->solve_key);
+        job->in_flight = false;
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      }
+      for (const auto& r : responses) emit_(r);
+      throw WorkerCrash{};
+    }
+
+    const auto start = Clock::now();
+    enum class Outcome : std::uint8_t { kOk, kCancelled, kError };
+    Outcome outcome = Outcome::kOk;
+    PlanAnswer answer;
+    std::string error_msg;
+    try {
+      answer = solve_plan(std::move(snapshot), job->plan, &job->token);
+    } catch (const Cancelled&) {
+      outcome = Outcome::kCancelled;
+    } catch (const std::exception& e) {
+      // Containment boundary: a solver failure costs this request, never
+      // the worker.
+      outcome = Outcome::kError;
+      error_msg = e.what();
+    }
+    const double solve_ms = ms_between(start, Clock::now());
+
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      jobs_by_key_.erase(job->solve_key);
+      job->in_flight = false;
+      --in_flight_;
+      std::uint64_t ctx_epoch = snapshot_epoch;
+      if (const auto cit = contexts_.find(job->context_key);
+          cit != contexts_.end()) {
+        ctx_epoch = epoch_of(*cit->second);
+      }
+      if (outcome == Outcome::kOk) {
+        memo_put_locked(job->solve_key, answer, snapshot_epoch, job->plan);
+        if (job->internal) {
+          stats_.on_replan();
+        } else {
+          stats_.on_planned();
+          stats_.record_plan_latency_ms(solve_ms);
+          // A delta that landed mid-solve makes this answer stale by
+          // (ctx_epoch - snapshot_epoch) — report the lag, don't error.
+          const std::uint64_t lag = ctx_epoch - snapshot_epoch;
+          for (const auto& w : job->waiters) {
+            if (w.coalesced) stats_.on_coalesced();
+            if (lag > 0) stats_.on_degraded();
+            responses.push_back(plan_response(w.id, answer, snapshot_epoch,
+                                              lag, false, w.coalesced,
+                                              solve_ms));
+          }
+        }
+      } else if (outcome == Outcome::kCancelled) {
+        for (const auto& w : job->waiters) {
+          answer_expired_locked(w, job->solve_key, ctx_epoch, &responses);
+        }
+      } else if (!job->internal) {
+        stats_.on_internal_error();
+        for (const auto& w : job->waiters) {
+          responses.push_back(
+              error_response(w.id, ErrorCode::kInternal, error_msg));
+        }
+      }
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+    for (const auto& r : responses) emit_(r);
+  }
+}
+
+void PlanService::watchdog_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lk, opts_.watchdog_interval,
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    std::vector<std::string> responses;
+    const auto now = Clock::now();
+    // Expire overdue waiters of queued jobs; drop jobs nobody waits for.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      expire_overdue_locked(*it, now, &responses);
+      if ((*it)->waiters.empty() && !(*it)->internal) {
+        jobs_by_key_.erase((*it)->solve_key);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // In-flight jobs: expire overdue waiters individually; once nobody is
+    // left waiting, cancel the solve — its work benefits no one.
+    for (const auto& [key, job] : jobs_by_key_) {
+      if (!job->in_flight) continue;
+      expire_overdue_locked(job, now, &responses);
+      if (job->waiters.empty() && !job->internal) job->token.cancel();
+    }
+    // Crash-only worker recovery: join dead slots and respawn them.
+    if (!shutting_down_) {
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        WorkerSlot& slot = *workers_[i];
+        if (!slot.alive.load() && slot.thread.joinable()) {
+          slot.thread.join();
+          stats_.on_worker_restart();
+          slot.alive.store(true);
+          slot.thread = std::thread([this, i] { run_worker(i); });
+        }
+      }
+    }
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    if (!responses.empty()) {
+      lk.unlock();
+      for (const auto& r : responses) emit_(r);
+      lk.lock();
+    }
+  }
+}
+
+void PlanService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+bool PlanService::shutting_down() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return shutting_down_;
+}
+
+std::size_t PlanService::queue_depth() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void PlanService::shutdown() {
+  // One caller performs the joins; later/concurrent callers (e.g. the
+  // destructor after a shutdown op) wait here until teardown is complete.
+  const std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  if (shutdown_done_) return;
+  std::vector<std::string> responses;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    shutting_down_ = true;
+    for (const auto& job : queue_) {
+      for (const auto& w : job->waiters) {
+        responses.push_back(
+            error_response(w.id, ErrorCode::kShuttingDown,
+                           "service shut down before the request was solved"));
+      }
+      jobs_by_key_.erase(job->solve_key);
+    }
+    queue_.clear();
+    work_cv_.notify_all();
+    watchdog_stop_ = true;
+    watchdog_cv_.notify_all();
+  }
+  for (const auto& r : responses) emit_(r);
+  // Join the watchdog before the workers: once it is gone nothing else
+  // touches the worker std::thread objects (it joins/respawns dead slots),
+  // so the joins below cannot race it. In-flight solves still finish and
+  // answer — their deadline tokens keep ticking without the watchdog.
+  if (watchdog_.joinable()) watchdog_.join();
+  for (const auto& slot : workers_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  shutdown_done_ = true;
+}
+
+}  // namespace psd::serve

@@ -1,0 +1,102 @@
+#include "psd/serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "psd/util/error.hpp"
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+
+ServeStats::ServeStats(std::size_t latency_window) {
+  PSD_REQUIRE(latency_window >= 1, "latency window must be >= 1");
+  latency_ring_.resize(latency_window, 0.0);
+}
+
+void ServeStats::record_plan_latency_ms(double ms) {
+  const std::lock_guard<std::mutex> lk(latency_mutex_);
+  latency_ring_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_ring_.size());
+}
+
+double ServeStats::percentile_ms(double p) const {
+  std::vector<double> window;
+  {
+    const std::lock_guard<std::mutex> lk(latency_mutex_);
+    if (latency_count_ == 0) return 0.0;
+    window.assign(latency_ring_.begin(),
+                  latency_ring_.begin() + static_cast<std::ptrdiff_t>(latency_count_));
+  }
+  // Nearest-rank percentile: rank ⌈p·n⌉ (1-based), clamped into the window.
+  const std::size_t n = window.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  std::nth_element(window.begin(),
+                   window.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                   window.end());
+  return window[rank - 1];
+}
+
+double ServeStats::p50_plan_ms(double fallback_ms) const {
+  const double p50 = percentile_ms(0.50);
+  bool empty = false;
+  {
+    const std::lock_guard<std::mutex> lk(latency_mutex_);
+    empty = latency_count_ == 0;
+  }
+  return empty ? fallback_ms : p50;
+}
+
+ServeStatsSnapshot ServeStats::snapshot() const {
+  ServeStatsSnapshot s;
+  s.received = received_.load(std::memory_order_relaxed);
+  s.planned = planned_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
+  s.replans = replans_.load(std::memory_order_relaxed);
+  s.deltas = deltas_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lk(latency_mutex_);
+    s.latency_samples = latency_count_;
+  }
+  s.p50_plan_ms = percentile_ms(0.50);
+  s.p99_plan_ms = percentile_ms(0.99);
+  return s;
+}
+
+std::string ServeStats::to_json_object(const ServeStatsSnapshot& s,
+                                       std::size_t queue_depth,
+                                       double shared_cache_hit_rate) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("received").value(static_cast<std::int64_t>(s.received));
+  w.key("planned").value(static_cast<std::int64_t>(s.planned));
+  w.key("cache_hits").value(static_cast<std::int64_t>(s.cache_hits));
+  w.key("coalesced").value(static_cast<std::int64_t>(s.coalesced));
+  w.key("shed").value(static_cast<std::int64_t>(s.shed));
+  w.key("degraded").value(static_cast<std::int64_t>(s.degraded));
+  w.key("deadline_exceeded")
+      .value(static_cast<std::int64_t>(s.deadline_exceeded));
+  w.key("invalid").value(static_cast<std::int64_t>(s.invalid));
+  w.key("internal_errors").value(static_cast<std::int64_t>(s.internal_errors));
+  w.key("worker_restarts").value(static_cast<std::int64_t>(s.worker_restarts));
+  w.key("replans").value(static_cast<std::int64_t>(s.replans));
+  w.key("deltas").value(static_cast<std::int64_t>(s.deltas));
+  w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth));
+  w.key("latency_samples").value(static_cast<std::int64_t>(s.latency_samples));
+  w.key("p50_plan_ms").value(s.p50_plan_ms);
+  w.key("p99_plan_ms").value(s.p99_plan_ms);
+  w.key("memo_hit_rate").value(s.cache_hit_rate());
+  w.key("theta_cache_hit_rate").value(shared_cache_hit_rate);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace psd::serve

@@ -53,6 +53,12 @@ struct SweepRow {
   int steps = 0;
   core::PlannerResult result;
   std::optional<sim::ChurnReport> churn;
+  // Set when this scenario's plan (or churn run) threw: the row's numbers
+  // are then default-zero and only the id/axes are meaningful. One broken
+  // scenario no longer aborts the whole sweep — the error is recorded
+  // per row (JSON "error" field; the frozen CSV schema carries zeros) and
+  // every other row is planned normally.
+  std::optional<std::string> error;
 };
 
 /// Where the report's cache counters came from.

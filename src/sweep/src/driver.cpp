@@ -1,5 +1,6 @@
 #include "psd/sweep/driver.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "psd/util/json.hpp"
@@ -23,7 +24,12 @@ struct JobResult {
   util::ShardedLruStats oracle_stats;  // private θ-cache counters
 };
 
-JobResult run_one(const Scenario& sc, const flow::ThetaOptions& theta_opts) {
+/// Error rows carry default-zero plans, whose speedup ratios are 0/0; the
+/// artifacts must stay valid JSON/CSV, so those render as 0 instead of nan.
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+JobResult run_one_checked(const Scenario& sc,
+                          const flow::ThetaOptions& theta_opts) {
   JobResult out;
   out.row.scenario = sc;
   // Planner-internal parallelism off: sweep jobs already saturate the pool
@@ -69,6 +75,20 @@ JobResult run_one(const Scenario& sc, const flow::ThetaOptions& theta_opts) {
   out.oracle_stats.misses = out.oracle_stats.insertions;
   out.oracle_stats.lock_contentions = oracle.cache_lock_contentions();
   return out;
+}
+
+/// One sweep job, exception-contained: a scenario whose plan throws yields
+/// an error row instead of aborting the whole sweep (the pool would wrap
+/// the escape in a JobError and lose every other scenario's work).
+JobResult run_one(const Scenario& sc, const flow::ThetaOptions& theta_opts) {
+  try {
+    return run_one_checked(sc, theta_opts);
+  } catch (const std::exception& e) {
+    JobResult out;
+    out.row.scenario = sc;
+    out.row.error = e.what();
+    return out;
+  }
 }
 
 }  // namespace
@@ -170,9 +190,14 @@ std::string to_json(const SweepReport& report, bool include_cache_stats) {
     w.key("naive_bvn_ns").value(r.naive_bvn.total_time().ns());
     w.key("greedy_ns").value(r.greedy.total_time().ns());
     w.key("reconfigurations").value(r.optimal.num_reconfigurations);
-    w.key("speedup_vs_static").value(r.speedup_vs_static());
-    w.key("speedup_vs_bvn").value(r.speedup_vs_bvn());
-    w.key("speedup_vs_best").value(r.speedup_vs_best_baseline());
+    w.key("speedup_vs_static").value(finite_or_zero(r.speedup_vs_static()));
+    w.key("speedup_vs_bvn").value(finite_or_zero(r.speedup_vs_bvn()));
+    w.key("speedup_vs_best").value(finite_or_zero(r.speedup_vs_best_baseline()));
+    if (row.error) {
+      // JSON-only, like churn: the CSV schema stays frozen (error rows
+      // carry default-zero numbers there).
+      w.key("error").value(*row.error);
+    }
     if (row.churn) {
       // JSON-only: the CSV schema stays frozen (its header is pinned by
       // tools/check_sweep_report.py and the docs' worked example).
@@ -237,8 +262,9 @@ std::string to_csv(const SweepReport& report) {
                fmt17(r.naive_bvn.total_time().ns()),
                fmt17(r.greedy.total_time().ns()),
                std::to_string(r.optimal.num_reconfigurations),
-               fmt17(r.speedup_vs_static()), fmt17(r.speedup_vs_bvn()),
-               fmt17(r.speedup_vs_best_baseline())});
+               fmt17(finite_or_zero(r.speedup_vs_static())),
+               fmt17(finite_or_zero(r.speedup_vs_bvn())),
+               fmt17(finite_or_zero(r.speedup_vs_best_baseline()))});
   }
   return t.render_csv();
 }
@@ -249,6 +275,11 @@ std::string to_table(const SweepReport& report) {
                 "vs-static", "vs-bvn", "reconf"});
   for (const auto& row : report.rows) {
     const auto& r = row.result;
+    if (row.error) {
+      t.add_row({row.scenario.id(), "-", "FAILED: " + *row.error, "-", "-",
+                 "-", "-", "-", "-"});
+      continue;
+    }
     t.add_row({row.scenario.id(), std::to_string(row.steps),
                psd::to_string(r.optimal.total_time()),
                psd::to_string(r.static_base.total_time()),

@@ -1,0 +1,85 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancellationToken is owned by whoever can decide to abandon work — the
+// planning daemon's per-request state, a test — and observed by the solver
+// hot loops (Garg–Könemann's push loop polls it between augmentations; see
+// flow::GargKonemannOptions::cancel). Cancellation is cooperative and
+// exception-based: a poll that observes the cancel flag (or an expired
+// deadline) throws psd::Cancelled, unwinding the solve without leaving
+// partial results anywhere observable — the θ cache layers only insert on a
+// completed solve, so a cancelled request replayed later recomputes the
+// bit-exact uncancelled answer (pinned by tests).
+//
+// Thread safety: cancel()/set_deadline_after() and the poll side may race
+// freely (all state is atomic). The deadline is stored as a steady-clock
+// nanosecond stamp so polls cost one atomic load plus, only when a deadline
+// is armed, one clock read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "psd/util/error.hpp"
+
+namespace psd::util {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation; sticky until reset().
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) an absolute deadline `budget` from now. A
+  /// non-positive budget cancels immediately.
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    deadline_ns_.store(now_ns() + budget.count(), std::memory_order_relaxed);
+  }
+
+  /// Disarms the deadline and clears the cancel flag (token reuse across
+  /// requests in a pooled worker).
+  void reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  /// True once cancel() was called or an armed deadline has passed.
+  [[nodiscard]] bool cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    return dl != kNoDeadline && now_ns() >= dl;
+  }
+
+  /// Poll point for solver loops: throws psd::Cancelled when cancelled.
+  void check(const char* what) const {
+    if (cancelled()) throw Cancelled(what);
+  }
+
+  /// Remaining budget of the armed deadline; zero when expired, a huge
+  /// value when no deadline is armed.
+  [[nodiscard]] std::chrono::nanoseconds remaining() const {
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    if (dl == kNoDeadline) return std::chrono::nanoseconds::max();
+    const std::int64_t left = dl - now_ns();
+    return std::chrono::nanoseconds(left > 0 ? left : 0);
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = INT64_MAX;
+
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace psd::util

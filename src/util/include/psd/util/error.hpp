@@ -29,6 +29,15 @@ class NumericalError : public Error {
   explicit NumericalError(const std::string& what) : Error(what) {}
 };
 
+/// Raised by a cooperative-cancellation poll point when its token was
+/// cancelled or its deadline passed (see util/cancellation.hpp). The solve
+/// unwinds with no partial results published; rerunning it uncancelled
+/// produces the bit-exact undisturbed answer.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& msg);

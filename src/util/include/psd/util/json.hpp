@@ -1,9 +1,14 @@
-// Minimal JSON writer for exporting plans, traces and bench results to
-// downstream tooling (plotting, dashboards). Write-only by design: the
-// library never needs to parse JSON, so no parser is shipped.
+// Minimal JSON support: a streaming writer for exporting plans, traces and
+// bench results, and a small strict parser for the planning daemon's
+// JSON-lines request protocol (see psd/serve/protocol.hpp). The parser
+// covers the full JSON grammar except \uXXXX escapes outside the Basic
+// Latin range (requests are machine-generated ASCII); it rejects trailing
+// garbage, so one parse consumes exactly one protocol line.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,5 +62,66 @@ class JsonWriter {
 
 /// Escapes a string for embedding in JSON (quotes not included).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Raised by parse_json on malformed input; the message carries a byte
+/// offset so protocol errors point at the offending character.
+class JsonParseError : public Error {
+ public:
+  explicit JsonParseError(const std::string& what) : Error(what) {}
+};
+
+/// A parsed JSON document. Objects keep their members in a sorted map —
+/// the protocol layer looks fields up by name, so source order is
+/// irrelevant — and numbers are stored as double (the protocol's integers
+/// are all well within the 2^53 exact range).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), num_(n) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit JsonValue(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw JsonParseError on kind mismatch so protocol
+  /// code can funnel "field has the wrong type" into one error path.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member by name, or nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // shared_ptr keeps JsonValue complete at declaration time (a by-value
+  // Array member would recurse) and makes copies cheap.
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parses exactly one JSON document from `text` (surrounding whitespace
+/// allowed, anything else after the value rejected). Throws JsonParseError
+/// with a byte offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace psd

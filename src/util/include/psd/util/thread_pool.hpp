@@ -10,19 +10,49 @@
 //      submit() from a worker thread runs that work inline (tracked by a
 //      thread_local flag), so the pool cannot deadlock on itself.
 //   3. Exceptions propagate — submit() returns a std::future; parallel_for()
-//      rethrows the first task exception in the calling thread.
+//      rethrows the first failing task's exception wrapped in a JobError
+//      that names the failing index (callers that must preserve the
+//      original type — e.g. solver loops pinned identical to their serial
+//      path — call JobError::rethrow_original()).
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "psd/util/error.hpp"
+
 namespace psd::util {
+
+/// A parallel_for task failed. Carries the failing job's index — the
+/// identity a fleet-level caller needs to report *which* scenario/request
+/// died — and the original exception for callers whose contract is "the
+/// parallel path throws exactly what the serial path throws".
+class JobError : public Error {
+ public:
+  JobError(std::size_t job_index, std::exception_ptr original,
+           const std::string& what)
+      : Error("parallel job " + std::to_string(job_index) + " failed: " + what),
+        job_index_(job_index),
+        original_(std::move(original)) {}
+
+  [[nodiscard]] std::size_t job_index() const { return job_index_; }
+  [[nodiscard]] const std::exception_ptr& original() const { return original_; }
+  [[noreturn]] void rethrow_original() const {
+    std::rethrow_exception(original_);
+  }
+
+ private:
+  std::size_t job_index_;
+  std::exception_ptr original_;
+};
 
 class ThreadPool {
  public:
@@ -65,8 +95,10 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [0, n), distributing across the workers and
   /// blocking until all complete. The calling thread participates. Tasks
-  /// must be independent: the iteration order is unspecified. Rethrows the
-  /// first exception thrown by any fn(i). From a worker thread (or a
+  /// must be independent: the iteration order is unspecified. The first
+  /// exception thrown by any fn(i) is rethrown as a JobError naming the
+  /// failing index (serial and parallel execution agree on this — an
+  /// inline run wraps identically). From a worker thread (or a
   /// single-worker pool) everything runs inline in index order.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 

@@ -57,11 +57,38 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// What a failing fn(i) threw, as parallel_for reports it: a JobError
+/// naming the index and carrying the original exception (an existing
+/// JobError passes through untouched so nesting never stacks wrappers).
+std::exception_ptr wrap_job_error(std::size_t i) {
+  const std::exception_ptr original = std::current_exception();
+  try {
+    std::rethrow_exception(original);
+  } catch (const JobError&) {
+    return original;
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(JobError(i, original, e.what()));
+  } catch (...) {
+    return std::make_exception_ptr(
+        JobError(i, original, "unknown exception type"));
+  }
+}
+
+}  // namespace
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || on_worker_thread() || size() <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::rethrow_exception(wrap_job_error(i));
+      }
+    }
     return;
   }
 
@@ -84,7 +111,7 @@ void ThreadPool::parallel_for(std::size_t n,
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lk(batch->error_mutex);
-        if (!batch->error) batch->error = std::current_exception();
+        if (!batch->error) batch->error = wrap_job_error(i);
       }
       if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lk(batch->done_mutex);

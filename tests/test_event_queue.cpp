@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace psd::sim {
 namespace {
 
@@ -70,6 +72,55 @@ TEST(EventQueue, SizeTracksContents) {
   EXPECT_EQ(q.size(), 2u);
   (void)q.pop();
   EXPECT_EQ(q.size(), 1u);
+}
+
+// Insertion-order stability must survive interleaving with the heap's
+// sift operations, not just a push-all-then-pop-all sequence: pops in
+// between reshuffle the backing vector, and equal-time events pushed in
+// separate batches still need to drain in global insertion order.
+TEST(EventQueue, StableForEqualTimestampsAcrossInterleavedPops) {
+  EventQueue q;
+  q.push(make_event(5.0, 0));
+  q.push(make_event(5.0, 1));
+  q.push(make_event(1.0, 100));
+  EXPECT_EQ(q.pop().payload, 100);  // reshuffles the heap under 0 and 1
+  q.push(make_event(5.0, 2));
+  q.push(make_event(5.0, 3));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+// The event-driven simulators push follow-up events from inside their
+// drain loop; an event scheduled at exactly now() during the drain must be
+// served this round, after already-queued events of the same timestamp.
+TEST(EventQueue, PushDuringDrain) {
+  EventQueue q;
+  q.push(make_event(10.0, 0));
+  q.push(make_event(10.0, 1));
+  std::vector<int> order;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    order.push_back(e.payload);
+    if (e.payload == 0) {
+      q.push(make_event(10.0, 2));   // lands behind payload 1 (same time)
+      q.push(make_event(12.0, 3));   // lands after every t=10 event
+    }
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().ns(), 12.0);
+}
+
+// clear() must not reset the sequence counter: events pushed after a clear
+// still order stably against each other and the clock keeps rejecting
+// past-timestamp pushes.
+TEST(EventQueue, StableAfterClear) {
+  EventQueue q;
+  q.push(make_event(5.0, 9));
+  (void)q.pop();
+  q.push(make_event(8.0, 9));
+  q.clear();
+  for (int i = 0; i < 5; ++i) q.push(make_event(6.0, i));
+  EXPECT_THROW(q.push(make_event(4.0)), psd::InvalidArgument);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().payload, i);
 }
 
 TEST(EventQueue, PreservesEventFields) {

@@ -1,5 +1,6 @@
 #include "psd/flow/garg_konemann.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -336,6 +337,52 @@ TEST(GargKonemannPhase, RejectsBadVisitRoutings) {
   opts.phase_visit_routings = 0;
   EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800), opts),
                psd::InvalidArgument);
+}
+
+TEST(GargKonemann, PreCancelledTokenThrowsCancelled) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const auto m = Matching::rotation(8, 3);
+  util::CancellationToken token;
+  token.cancel();
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800),
+                                        {.epsilon = kEps, .cancel = &token}),
+               psd::Cancelled);
+}
+
+TEST(GargKonemann, ExpiredDeadlineThrowsCancelled) {
+  const auto g = topo::directed_ring(8, gbps(800));
+  const auto m = Matching::rotation(8, 3);
+  util::CancellationToken token;
+  token.set_deadline_after(std::chrono::nanoseconds(-1));
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800),
+                                        {.epsilon = kEps, .cancel = &token}),
+               psd::Cancelled);
+}
+
+// The cancel hook must be observability-only: an armed-but-unfired token
+// changes nothing about the result, and rerunning after a cancelled
+// attempt is bit-exact to never having cancelled (GK is deterministic and
+// the token is polled, never consulted for decisions).
+TEST(GargKonemann, UnfiredTokenLeavesResultBitExact) {
+  const auto g = topo::hypercube(3, gbps(800));
+  const auto m = Matching::rotation(8, 3);
+  const auto plain = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+
+  util::CancellationToken token;
+  token.set_deadline_after(std::chrono::minutes(10));
+  const auto gated = gk_concurrent_flow(
+      g, m, gbps(800), {.epsilon = kEps, .cancel = &token});
+  EXPECT_EQ(gated.theta, plain.theta);
+  EXPECT_EQ(gated.flow.edge_loads(), plain.flow.edge_loads());
+
+  util::CancellationToken fired;
+  fired.cancel();
+  EXPECT_THROW((void)gk_concurrent_flow(g, m, gbps(800),
+                                        {.epsilon = kEps, .cancel = &fired}),
+               psd::Cancelled);
+  const auto after = gk_concurrent_flow(g, m, gbps(800), {.epsilon = kEps});
+  EXPECT_EQ(after.theta, plain.theta);
+  EXPECT_EQ(after.flow.edge_loads(), plain.flow.edge_loads());
 }
 
 TEST(GargKonemann, HeterogeneousDemands) {

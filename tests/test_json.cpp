@@ -110,5 +110,84 @@ TEST(JsonWriter, MisuseThrows) {
   }
 }
 
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json("  \"ws\"  ").as_string(), "ws");
+}
+
+TEST(ParseJson, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("\n\t\r\b\f")").as_string(), "\n\t\r\b\f");
+  EXPECT_EQ(parse_json(R"("A/")").as_string(), "A/");
+}
+
+TEST(ParseJson, NestedContainers) {
+  const auto v = parse_json(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_bool(), true);
+  EXPECT_TRUE(v.find("c")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ParseJson, EmptyContainers) {
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+}
+
+TEST(ParseJson, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x \"y\"\n");
+  w.key("pi").value(0.1 + 0.2);
+  w.key("list").begin_array().value(1).value(false).null().end_array();
+  w.end_object();
+  const auto v = parse_json(w.str());
+  EXPECT_EQ(v.find("name")->as_string(), "x \"y\"\n");
+  EXPECT_DOUBLE_EQ(v.find("pi")->as_number(), 0.1 + 0.2);
+  ASSERT_EQ(v.find("list")->as_array().size(), 3u);
+  EXPECT_TRUE(v.find("list")->as_array()[2].is_null());
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), JsonParseError);
+  EXPECT_THROW((void)parse_json("{"), JsonParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("{\"a\": 1,}"), JsonParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW((void)parse_json("nul"), JsonParseError);
+  EXPECT_THROW((void)parse_json("01"), JsonParseError);
+  EXPECT_THROW((void)parse_json("1 2"), JsonParseError);  // trailing garbage
+  EXPECT_THROW((void)parse_json("{} x"), JsonParseError);
+}
+
+TEST(ParseJson, ErrorsCarryByteOffset) {
+  try {
+    (void)parse_json("{\"a\": !}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("6"), std::string::npos)
+        << "offset of '!' missing from: " << e.what();
+  }
+}
+
+TEST(ParseJson, TypeMismatchThrows) {
+  const auto v = parse_json("{\"n\": 1}");
+  EXPECT_THROW((void)v.as_array(), JsonParseError);
+  EXPECT_THROW((void)v.find("n")->as_string(), JsonParseError);
+  EXPECT_THROW((void)parse_json("true").as_number(), JsonParseError);
+}
+
 }  // namespace
 }  // namespace psd

@@ -1,0 +1,460 @@
+// Serve subsystem: wire-protocol parsing, and PlanService end-to-end —
+// memo hits, coalescing, the deadline/degradation ladder (including the
+// 2x-budget answer guarantee), admission shed, bit-exact resume after a
+// cancelled solve, delta-driven θ-cache carry, crash-only worker
+// recovery, and shutdown semantics. Timing-sensitive tests use a ~1.5 s
+// mesh/alltoall solve as the blocker and assert only generous bounds.
+#include "psd/serve/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Thread-safe response sink: parses each emitted line and hands tests a
+/// blocking lookup by request id.
+class Capture {
+ public:
+  void operator()(const std::string& line) {
+    auto v = parse_json(line);
+    const auto* id = v.find("id");
+    const std::lock_guard<std::mutex> lk(mu_);
+    by_id_[id != nullptr ? id->as_string() : ""] = std::move(v);
+    cv_.notify_all();
+  }
+
+  /// Blocks until the response for `id` arrives (fails the test on timeout).
+  JsonValue wait(const std::string& id,
+                 std::chrono::milliseconds timeout = 30'000ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return by_id_.count(id) != 0; })) {
+      ADD_FAILURE() << "no response for " << id;
+      return JsonValue{};
+    }
+    return by_id_[id];
+  }
+
+  [[nodiscard]] bool seen(const std::string& id) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return by_id_.count(id) != 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, JsonValue> by_id_;
+};
+
+std::string code_of(const JsonValue& v) {
+  const auto* c = v.find("code");
+  return c != nullptr ? c->as_string() : "<missing>";
+}
+
+/// Cheap request: sub-millisecond solve.
+std::string cheap_plan(const std::string& id, const std::string& extra = "") {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"ring","nodes":8,"collective":"allreduce:ring",)" +
+         R"("message_bytes":1048576)" + extra + "}";
+}
+
+/// Heavy request: ~1.5 s cold solve (mesh n12 all-to-all), the blocker
+/// for deadline/coalescing/shed tests. `salt` varies the solve key.
+std::string heavy_plan(const std::string& id, int salt = 0,
+                       const std::string& extra = "") {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"mesh","nodes":12,"collective":"alltoall",)" +
+         R"("message_bytes":)" + std::to_string(4194304 + salt) + extra + "}";
+}
+
+std::string ring_delta(const std::string& id, int src, int dst) {
+  return R"({"op":"delta","id":")" + id +
+         R"(","topology":"ring","nodes":8,"ops":[{"kind":"scale_capacity",)" +
+         R"("src":)" + std::to_string(src) + R"(,"dst":)" +
+         std::to_string(dst) + R"(,"factor":0.5}]})";
+}
+
+// ---- Protocol parsing ----------------------------------------------------
+
+TEST(ServeProtocol, ParsesPlanRequest) {
+  const auto req = parse_request(
+      R"({"op":"plan","id":"x","topology":"hypercube","nodes":16,)"
+      R"("collective":"allreduce:swing","message_bytes":2048,)"
+      R"("deadline_ms":12.5,"allow_degraded":false})");
+  EXPECT_EQ(req.op, RequestOp::kPlan);
+  EXPECT_EQ(req.id, "x");
+  EXPECT_EQ(req.plan.nodes, 16);
+  EXPECT_DOUBLE_EQ(req.plan.message.count(), 2048.0);
+  EXPECT_DOUBLE_EQ(req.plan.deadline_ms, 12.5);
+  EXPECT_FALSE(req.plan.allow_degraded);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  EXPECT_THROW((void)parse_request("not json"), JsonParseError);
+  EXPECT_THROW((void)parse_request("[1,2]"), Error);       // not an object
+  EXPECT_THROW((void)parse_request(R"({"id":"x"})"), Error);  // no op
+  EXPECT_THROW((void)parse_request(R"({"op":"fly","id":"x"})"), Error);
+  EXPECT_THROW(  // invalid scenario combination (hypercube needs 2^k)
+      (void)parse_request(
+          R"({"op":"plan","id":"x","topology":"hypercube","nodes":6,)"
+          R"("collective":"allreduce"})"),
+      Error);
+  EXPECT_THROW(  // node count out of range
+      (void)parse_request(
+          R"({"op":"plan","id":"x","topology":"ring","nodes":1,)"
+          R"("collective":"allreduce"})"),
+      Error);
+}
+
+TEST(ServeProtocol, SalvagesIdFromInvalidRequest) {
+  std::string id;
+  EXPECT_THROW((void)parse_request(
+                   R"({"op":"plan","id":"keepme","topology":"nope",)"
+                   R"("nodes":8,"collective":"allreduce"})",
+                   &id),
+               Error);
+  EXPECT_EQ(id, "keepme");
+}
+
+TEST(ServeProtocol, ErrorResponseShape) {
+  const auto v = parse_json(
+      error_response("r", ErrorCode::kShed, "queue full", 12.0));
+  EXPECT_EQ(v.find("id")->as_string(), "r");
+  EXPECT_EQ(v.find("code")->as_string(), "SHED");
+  EXPECT_EQ(v.find("error")->as_string(), "queue full");
+  EXPECT_DOUBLE_EQ(v.find("retry_after_ms")->as_number(), 12.0);
+  // Without a retry hint the field is absent, not -1.
+  const auto w = parse_json(
+      error_response("r", ErrorCode::kDeadlineExceeded, "late"));
+  EXPECT_EQ(w.find("retry_after_ms"), nullptr);
+  EXPECT_EQ(w.find("code")->as_string(), "DEADLINE_EXCEEDED");
+}
+
+// ---- Service basics ------------------------------------------------------
+
+TEST(PlanService, ColdSolveThenMemoHit) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("a"));
+  const auto a = cap.wait("a");
+  ASSERT_EQ(code_of(a), "OK");
+  EXPECT_FALSE(a.find("degraded")->as_bool());
+  EXPECT_FALSE(a.find("cached")->as_bool());
+  EXPECT_GT(a.find("optimal_ns")->as_number(), 0.0);
+  EXPECT_GT(a.find("steps")->as_number(), 0.0);
+
+  svc.submit_line(cheap_plan("b"));
+  const auto b = cap.wait("b");
+  ASSERT_EQ(code_of(b), "OK");
+  EXPECT_TRUE(b.find("cached")->as_bool());
+  EXPECT_EQ(b.find("optimal_ns")->as_number(),
+            a.find("optimal_ns")->as_number());  // bit-exact
+
+  const auto st = svc.stats();
+  EXPECT_EQ(st.planned, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+  svc.shutdown();
+}
+
+TEST(PlanService, CoalescesIdenticalInFlightRequests) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  // Occupy the only worker, then submit two identical heavy requests:
+  // they must ride the same job (one solve, two answers).
+  svc.submit_line(heavy_plan("blocker", 1));
+  svc.submit_line(heavy_plan("c1", 2));
+  svc.submit_line(heavy_plan("c2", 2));
+  const auto c1 = cap.wait("c1");
+  const auto c2 = cap.wait("c2");
+  ASSERT_EQ(code_of(c1), "OK");
+  ASSERT_EQ(code_of(c2), "OK");
+  EXPECT_EQ(c1.find("optimal_ns")->as_number(),
+            c2.find("optimal_ns")->as_number());
+  EXPECT_FALSE(c1.find("coalesced")->as_bool());
+  EXPECT_TRUE(c2.find("coalesced")->as_bool());
+  EXPECT_GE(svc.stats().coalesced, 1u);
+  // Two heavy keys solved in total, not three.
+  EXPECT_EQ(svc.stats().planned, 2u);
+  svc.shutdown();
+}
+
+// The acceptance guarantee: a deadline-carrying request is answered within
+// 2x its budget even while the only worker grinds a cold multi-second
+// solve. Budget 250 ms >> the 5 ms watchdog tick, so the sweep that
+// expires it lands well inside the 2x bound.
+TEST(PlanService, DeadlineAnsweredWithinTwiceBudgetUnderLoad) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("blocker"));
+  const double budget_ms = 250.0;
+  const auto start = std::chrono::steady_clock::now();
+  svc.submit_line(cheap_plan("dl", ",\"deadline_ms\":250"));
+  const auto r = cap.wait("dl");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Never seen this key and the worker is busy: the ladder has nothing to
+  // serve, so the watchdog answers DEADLINE_EXCEEDED at ~budget.
+  EXPECT_EQ(code_of(r), "DEADLINE_EXCEEDED");
+  EXPECT_LT(elapsed_ms, 2.0 * budget_ms);
+  EXPECT_GE(svc.stats().deadline_exceeded, 1u);
+  svc.shutdown();
+}
+
+// Budgets at or below the fast-path floor are answered synchronously —
+// no timing involved at all.
+TEST(PlanService, FastPathBudgetAnsweredSynchronously) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("f1", ",\"deadline_ms\":0.01"));
+  ASSERT_TRUE(cap.seen("f1"));  // emitted before submit_line returned
+  EXPECT_EQ(code_of(cap.wait("f1")), "DEADLINE_EXCEEDED");
+
+  // Warm the memo, then the same tight budget is a fresh cache hit.
+  svc.submit_line(cheap_plan("warm"));
+  (void)cap.wait("warm");
+  svc.submit_line(cheap_plan("f2", ",\"deadline_ms\":0.01"));
+  const auto f2 = cap.wait("f2");
+  EXPECT_EQ(code_of(f2), "OK");
+  EXPECT_TRUE(f2.find("cached")->as_bool());
+  EXPECT_FALSE(f2.find("degraded")->as_bool());
+  svc.shutdown();
+}
+
+// A cancelled solve must leave no partial state behind: rerunning the
+// identical request afterwards yields the bit-exact answer an uncancelled
+// service computes.
+TEST(PlanService, CancelledSolveResumesBitExact) {
+  ServiceOptions opts;
+  opts.workers = 1;
+
+  // Reference: the same heavy plan solved with no deadline pressure.
+  Capture ref_cap;
+  PlanService ref(opts, std::ref(ref_cap));
+  ref.submit_line(heavy_plan("ref"));
+  const auto ref_answer = ref_cap.wait("ref");
+  ASSERT_EQ(code_of(ref_answer), "OK");
+  ref.shutdown();
+
+  Capture cap;
+  PlanService svc(opts, std::ref(cap));
+  // 100 ms budget on a ~1.5 s solve: dispatches (above the fast path),
+  // then the armed token cancels it mid-GK.
+  svc.submit_line(heavy_plan("cancelled", 0, ",\"deadline_ms\":100"));
+  const auto c = cap.wait("cancelled");
+  EXPECT_EQ(code_of(c), "DEADLINE_EXCEEDED");
+
+  svc.submit_line(heavy_plan("retry"));
+  const auto r = cap.wait("retry");
+  ASSERT_EQ(code_of(r), "OK");
+  EXPECT_FALSE(r.find("degraded")->as_bool());
+  EXPECT_EQ(r.find("optimal_ns")->as_number(),
+            ref_answer.find("optimal_ns")->as_number());
+  EXPECT_EQ(r.find("steps")->as_number(),
+            ref_answer.find("steps")->as_number());
+  svc.shutdown();
+}
+
+TEST(PlanService, OverloadBurstShedsWithRetryAfter) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_limit = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("h0", 0));  // dispatched
+  // Give the worker time to dequeue h0 (its solve runs ~1.5 s, so it is
+  // still busy when the burst lands); otherwise h1 could race for the
+  // queue slot.
+  std::this_thread::sleep_for(250ms);
+  svc.submit_line(heavy_plan("h1", 1));  // queued (fills the queue)
+  svc.submit_line(heavy_plan("h2", 2));  // shed
+  svc.submit_line(heavy_plan("h3", 3));  // shed
+  const auto h2 = cap.wait("h2");
+  const auto h3 = cap.wait("h3");
+  EXPECT_EQ(code_of(h2), "SHED");
+  EXPECT_EQ(code_of(h3), "SHED");
+  ASSERT_NE(h2.find("retry_after_ms"), nullptr);
+  EXPECT_GT(h2.find("retry_after_ms")->as_number(), 0.0);
+  EXPECT_GE(svc.stats().shed, 2u);
+
+  // Shutdown fails the queued job with SHUTTING_DOWN and lets the
+  // in-flight solve finish and answer.
+  svc.shutdown();
+  EXPECT_EQ(code_of(cap.wait("h1")), "SHUTTING_DOWN");
+  EXPECT_EQ(code_of(cap.wait("h0")), "OK");
+  svc.submit_line(cheap_plan("late"));
+  EXPECT_EQ(code_of(cap.wait("late")), "SHUTTING_DOWN");
+}
+
+// ---- Deltas and degradation ----------------------------------------------
+
+TEST(PlanService, DeltaCarriesThetaCacheAndDegradesStaleMemo) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.replan_on_delta = false;  // keep the memo stale deterministically
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("seed"));
+  ASSERT_EQ(code_of(cap.wait("seed")), "OK");
+  const auto pre = svc.theta_cache().stats();
+  ASSERT_GT(pre.entries, 0u);
+
+  svc.submit_line(ring_delta("d", 2, 3));
+  const auto d = cap.wait("d");
+  ASSERT_EQ(code_of(d), "OK");
+  EXPECT_EQ(d.find("epoch")->as_number(), 1.0);  // first delta, one op
+  EXPECT_EQ(d.find("touched")->as_number(), 1.0);
+  EXPECT_FALSE(d.find("relaxing")->as_bool());
+  // Edge-level carry: every examined entry is either carried or
+  // invalidated, nothing vanishes unaccounted.
+  const double examined = d.find("theta_examined")->as_number();
+  EXPECT_GT(examined, 0.0);
+  EXPECT_EQ(d.find("theta_carried")->as_number() +
+                d.find("theta_invalidated")->as_number(),
+            examined);
+  EXPECT_EQ(d.find("memo_stale")->as_number(), 1.0);
+  EXPECT_EQ(d.find("replans_enqueued")->as_number(), 0.0);
+
+  // The stale memo entry is the degradation ladder's fodder: a tight
+  // budget on the same key is answered degraded with its epoch lag.
+  svc.submit_line(cheap_plan("deg", ",\"deadline_ms\":0.01"));
+  const auto deg = cap.wait("deg");
+  ASSERT_EQ(code_of(deg), "OK");
+  EXPECT_TRUE(deg.find("degraded")->as_bool());
+  EXPECT_EQ(deg.find("epoch_lag")->as_number(), 1.0);
+  EXPECT_GE(svc.stats().degraded, 1u);
+
+  // allow_degraded=false refuses the stale answer.
+  svc.submit_line(
+      cheap_plan("strict", ",\"deadline_ms\":0.01,\"allow_degraded\":false"));
+  EXPECT_EQ(code_of(cap.wait("strict")), "DEADLINE_EXCEEDED");
+
+  // A fresh (no-deadline) solve on the delta'd context is not degraded.
+  svc.submit_line(cheap_plan("fresh"));
+  const auto fresh = cap.wait("fresh");
+  ASSERT_EQ(code_of(fresh), "OK");
+  EXPECT_FALSE(fresh.find("degraded")->as_bool());
+  svc.shutdown();
+}
+
+TEST(PlanService, DeltaEnqueuesReplansThatRefreshTheMemo) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("seed"));
+  (void)cap.wait("seed");
+  svc.submit_line(ring_delta("d", 4, 5));
+  const auto d = cap.wait("d");
+  ASSERT_EQ(code_of(d), "OK");
+  EXPECT_EQ(d.find("replans_enqueued")->as_number(), 1.0);
+  svc.drain();  // let the internal replan finish
+  EXPECT_GE(svc.stats().replans, 1u);
+
+  // The memo is fresh again: a tight budget now gets a cache hit, not a
+  // degraded answer.
+  svc.submit_line(cheap_plan("hit", ",\"deadline_ms\":0.01"));
+  const auto hit = cap.wait("hit");
+  ASSERT_EQ(code_of(hit), "OK");
+  EXPECT_TRUE(hit.find("cached")->as_bool());
+  EXPECT_FALSE(hit.find("degraded")->as_bool());
+  svc.shutdown();
+}
+
+TEST(PlanService, InvalidDeltaIsRejected) {
+  Capture cap;
+  PlanService svc(ServiceOptions{}, std::ref(cap));
+  // Node id out of range for the context.
+  svc.submit_line(
+      R"({"op":"delta","id":"bad","topology":"ring","nodes":8,)"
+      R"("ops":[{"kind":"scale_capacity","src":0,"dst":99,"factor":0.5}]})");
+  EXPECT_EQ(code_of(cap.wait("bad")), "INVALID_REQUEST");
+  EXPECT_GE(svc.stats().invalid, 1u);
+  svc.shutdown();
+}
+
+// ---- Fault tolerance -----------------------------------------------------
+
+TEST(PlanService, WatchdogRespawnsCrashedWorker) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;  // the crash kills the whole fleet
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("boom", ",\"inject_worker_crash\":true"));
+  EXPECT_EQ(code_of(cap.wait("boom")), "INTERNAL");
+
+  // The watchdog restarts the dead slot; a subsequent request is served.
+  svc.submit_line(cheap_plan("after"));
+  EXPECT_EQ(code_of(cap.wait("after")), "OK");
+  EXPECT_GE(svc.stats().worker_restarts, 1u);
+  EXPECT_GE(svc.stats().internal_errors, 1u);
+  svc.shutdown();
+}
+
+TEST(PlanService, InvalidLineAnsweredWithSalvagedId) {
+  Capture cap;
+  PlanService svc(ServiceOptions{}, std::ref(cap));
+  svc.submit_line(
+      R"({"op":"plan","id":"sal","topology":"klein-bottle","nodes":8,)"
+      R"("collective":"allreduce"})");
+  const auto r = cap.wait("sal");
+  EXPECT_EQ(code_of(r), "INVALID_REQUEST");
+  ASSERT_NE(r.find("error"), nullptr);
+  svc.shutdown();
+}
+
+TEST(PlanService, StatsOpReportsPercentilesAndCounters) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+  svc.submit_line(cheap_plan("p1"));
+  (void)cap.wait("p1");
+  svc.submit_line(cheap_plan("p2"));  // memo hit
+  (void)cap.wait("p2");
+  svc.submit_line(R"({"op":"stats","id":"s"})");
+  const auto s = cap.wait("s");
+  ASSERT_EQ(code_of(s), "OK");
+  const auto* st = s.find("stats");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->find("planned")->as_number(), 1.0);
+  EXPECT_EQ(st->find("cache_hits")->as_number(), 1.0);
+  EXPECT_GT(st->find("p50_plan_ms")->as_number(), 0.0);
+  EXPECT_GE(st->find("p99_plan_ms")->as_number(),
+            st->find("p50_plan_ms")->as_number());
+  EXPECT_GE(st->find("theta_cache_hit_rate")->as_number(), 0.0);
+  EXPECT_EQ(st->find("queue_depth")->as_number(), 0.0);
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace psd::serve

@@ -3,10 +3,12 @@
 // comparison, and the docs/sweep.md worked example pinned verbatim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "psd/sweep/driver.hpp"
 #include "psd/util/error.hpp"
+#include "psd/util/json.hpp"
 
 namespace {
 
@@ -393,6 +395,62 @@ TEST(SweepDriver, JsonReportHasSchemaAndCacheBlock) {
   EXPECT_NE(json.find("\"hit_rate\":"), std::string::npos);
   const auto without = sweep::to_json(report, /*include_cache_stats=*/false);
   EXPECT_EQ(without.find("\"cache\""), std::string::npos);
+}
+
+// ---- Per-row error containment ------------------------------------------
+
+TEST(SweepDriver, BrokenScenarioYieldsErrorRowNotAbort) {
+  auto scenarios = sweep::expand(overlap_grid());
+  ASSERT_GE(scenarios.size(), 2u);
+  sweep::Scenario bad = scenarios[0];
+  bad.message = Bytes(0.0);  // materialize() rejects non-positive sizes
+  scenarios.insert(scenarios.begin() + 1, bad);
+
+  for (const bool parallel : {false, true}) {
+    sweep::SweepOptions options;
+    options.parallel = parallel;
+    const auto report = sweep::run_sweep(scenarios, options);
+    ASSERT_EQ(report.rows.size(), scenarios.size());
+    const auto& row = report.rows[1];
+    ASSERT_TRUE(row.error.has_value()) << "parallel=" << parallel;
+    EXPECT_NE(row.error->find("positive"), std::string::npos) << *row.error;
+    EXPECT_EQ(row.steps, 0);
+    for (std::size_t i = 0; i < report.rows.size(); ++i) {
+      if (i == 1) continue;
+      EXPECT_FALSE(report.rows[i].error.has_value())
+          << "row " << i << " parallel=" << parallel;
+      EXPECT_GT(report.rows[i].steps, 0);
+    }
+  }
+}
+
+TEST(SweepDriver, ErrorRowsSerializeAsValidArtifacts) {
+  auto scenarios = sweep::expand(overlap_grid());
+  scenarios.resize(2);
+  scenarios[1].message = Bytes(0.0);
+  sweep::SweepOptions options;
+  options.parallel = false;
+  const auto report = sweep::run_sweep(scenarios, options);
+
+  // JSON stays parseable: the broken row carries "error" and its 0/0
+  // speedup ratios are rendered as 0, never nan (invalid JSON).
+  const auto json = sweep::to_json(report);
+  const auto doc = parse_json(json);
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].find("error"), nullptr);
+  ASSERT_NE(rows[1].find("error"), nullptr);
+  EXPECT_NE(rows[1].find("error")->as_string().find("positive"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(rows[1].find("speedup_vs_static")->as_number(), 0.0);
+
+  // The frozen CSV schema carries zeros for the broken row — and no nan.
+  const auto csv = sweep::to_csv(report);
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+
+  // The human table flags the failure instead of printing zeros as data.
+  EXPECT_NE(sweep::to_table(report).find("FAILED"), std::string::npos);
 }
 
 }  // namespace

@@ -233,6 +233,32 @@ TEST(ThetaOracle, ConcurrentFlowExposesRouting) {
   EXPECT_EQ(res.flow.num_commodities(), 6u);
 }
 
+TEST(ThetaOracle, CancelledSolveLeavesNoPartialCacheState) {
+  const auto g = topo::torus_2d(4, 4, gbps(800));
+  util::CancellationToken token;
+  ThetaOptions opts;
+  opts.exact_var_limit = 100;  // force the (cancellable mid-run) FPTAS path
+  opts.epsilon = 0.03;
+  opts.cancel = &token;
+  const ThetaOracle oracle(g, gbps(800), opts);
+  const auto m = Matching::rotation(16, 1);
+
+  token.cancel();
+  EXPECT_THROW((void)oracle.theta(m), psd::Cancelled);
+  // No partial insert: a cancelled solve must be invisible to the memo.
+  EXPECT_EQ(oracle.cache_size(), 0u);
+  EXPECT_EQ(oracle.cache_hits(), 0u);
+
+  // After reset, the identical query computes the bit-exact uncancelled
+  // answer (reference: a token-free oracle over the same context).
+  token.reset();
+  ThetaOptions plain = opts;
+  plain.cancel = nullptr;
+  const ThetaOracle reference(g, gbps(800), plain);
+  EXPECT_EQ(oracle.theta(m), reference.theta(m));
+  EXPECT_EQ(oracle.cache_size(), 1u);
+}
+
 TEST(ThetaOracle, RejectsBadInputs) {
   const auto g = topo::directed_ring(8, gbps(800));
   EXPECT_THROW(ThetaOracle(g, gbps(0)), psd::InvalidArgument);

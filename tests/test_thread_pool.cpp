@@ -1,10 +1,14 @@
 #include "psd/util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "psd/util/cancellation.hpp"
 
 namespace psd::util {
 namespace {
@@ -33,13 +37,51 @@ TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
   }
 }
 
-TEST(ThreadPool, ParallelForPropagatesFirstException) {
+TEST(ThreadPool, ParallelForPropagatesFirstExceptionAsJobError) {
   ThreadPool pool(3);
-  EXPECT_THROW(pool.parallel_for(100,
-                                 [](std::size_t i) {
-                                   if (i == 37) throw std::invalid_argument("x");
-                                 }),
-               std::invalid_argument);
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      if (i == 37) throw std::invalid_argument("x");
+    });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    // Job identity attached: the wrapper names the failing index and the
+    // original exception survives for callers pinned to serial semantics.
+    EXPECT_EQ(e.job_index(), 37u);
+    EXPECT_NE(std::string(e.what()).find("job 37"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find('x'), std::string::npos);
+    EXPECT_THROW(e.rethrow_original(), std::invalid_argument);
+  }
+}
+
+TEST(ThreadPool, ParallelForInlinePathWrapsIdentically) {
+  // Single-worker pools run inline; the error contract must not change
+  // with pool size.
+  ThreadPool pool(1);
+  try {
+    pool.parallel_for(5, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("inline boom");
+    });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.job_index(), 3u);
+    EXPECT_THROW(e.rethrow_original(), std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, ParallelForDoesNotDoubleWrapJobError) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(4, [](std::size_t i) {
+      if (i == 2) {
+        throw JobError(99, std::make_exception_ptr(std::runtime_error("inner")),
+                       "inner");
+      }
+    });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.job_index(), 99u);  // original wrapper passes through
+  }
 }
 
 TEST(ThreadPool, ParallelForZeroAndOne) {
@@ -99,6 +141,54 @@ TEST(ThreadPool, ManyConcurrentSubmits) {
   }
   for (std::size_t i = 0; i < 200; ++i) {
     EXPECT_EQ(futs[i].get(), i * i);
+  }
+}
+
+// ---- CancellationToken ---------------------------------------------------
+
+TEST(CancellationToken, DefaultIsDisarmed) {
+  CancellationToken t;
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.remaining(), std::chrono::nanoseconds::max());
+  EXPECT_NO_THROW(t.check("solve"));
+}
+
+TEST(CancellationToken, CancelIsStickyUntilReset) {
+  CancellationToken t;
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_THROW(t.check("solve"), psd::Cancelled);
+  EXPECT_TRUE(t.cancelled());  // still cancelled after the throw
+  t.reset();
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.check("solve"));
+}
+
+TEST(CancellationToken, DeadlineArithmetic) {
+  CancellationToken t;
+  t.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_GT(t.remaining(), std::chrono::minutes(59));
+  EXPECT_LE(t.remaining(), std::chrono::hours(1));
+
+  t.set_deadline_after(std::chrono::nanoseconds(0));  // non-positive: now
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.remaining(), std::chrono::nanoseconds(0));
+  EXPECT_THROW(t.check("late"), psd::Cancelled);
+
+  t.reset();  // disarms the deadline too
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(CancellationToken, CancelledMessageNamesTheOperation) {
+  CancellationToken t;
+  t.cancel();
+  try {
+    t.check("gk phase loop");
+    FAIL() << "expected Cancelled";
+  } catch (const psd::Cancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("gk phase loop"), std::string::npos);
   }
 }
 

@@ -86,6 +86,14 @@ def main():
         missing = [k for k in ROW_FIELDS if k not in row]
         if missing:
             fail(f"row {i} missing fields: {missing}")
+        if "error" in row:
+            # Failed scenario: the row records the error and carries zeros
+            # for every plan number, so the invariants below don't apply.
+            if not (isinstance(row["error"], str) and row["error"]):
+                fail(f"row {i}: error must be a non-empty string")
+            if row["steps"] != 0:
+                fail(f"row {i}: error row carries steps={row['steps']}")
+            continue
         for k in ("optimal_ns", "static_ns", "naive_bvn_ns", "greedy_ns"):
             if not (isinstance(row[k], (int, float)) and row[k] > 0):
                 fail(f"row {i}: {k}={row[k]!r} must be a positive number")

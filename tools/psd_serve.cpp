@@ -1,0 +1,202 @@
+// psd_serve: the planning-as-a-service daemon over psd::serve::PlanService.
+//
+//   psd_serve [--workers N] [--queue-limit N] [--watchdog-ms N]
+//             [--fast-path-ms X] [--socket PATH]
+//
+// Default transport is stdio: one JSON request per stdin line, one JSON
+// response per stdout line (possibly out of order — correlate by "id";
+// protocol in docs/serve.md). With --socket PATH the daemon listens on a
+// Unix domain socket instead and serves connections one at a time, each a
+// JSON-lines session — tools/serve_client.py is the reference client.
+//
+// Exit: a "shutdown" request, stdin EOF (stdio mode), or SIGINT/SIGTERM.
+// Queued-but-unserved requests still receive SHUTTING_DOWN responses and
+// in-flight solves finish before the process exits.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "psd/serve/service.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue-limit N] [--watchdog-ms N]\n"
+               "          [--fast-path-ms X] [--socket PATH]\n",
+               argv0);
+  return 2;
+}
+
+/// Serialized response sink: stdout, or the live socket connection. A
+/// closed/absent connection drops the line — an async answer whose client
+/// went away has nowhere to go, and the daemon must not die over it.
+class Output {
+ public:
+  void set_fd(int fd) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    fd_ = fd;
+  }
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0) return;
+    std::string buf = line;
+    buf.push_back('\n');
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
+      const ssize_t n =
+          fd_ == STDOUT_FILENO
+              ? ::write(fd_, buf.data() + off, buf.size() - off)
+              : ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // client gone; drop the rest
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  int fd_ = STDOUT_FILENO;
+};
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+/// Feeds newline-delimited requests from `fd` into the service until EOF,
+/// a shutdown request, or a signal. Returns false on EOF/error (connection
+/// over), true when the service is shutting down (daemon should exit).
+bool pump_fd(int fd, psd::serve::PlanService& service) {
+  std::string pending;
+  char buf[4096];
+  while (!g_interrupted.load()) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) return service.shutting_down();
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      service.submit_line(line);
+      if (service.shutting_down()) return true;
+    }
+    pending.erase(0, start);
+  }
+  return true;
+}
+
+int serve_socket(const std::string& path, psd::serve::PlanService& service,
+                 Output& out) {
+  const int srv = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (srv < 0) {
+    std::fprintf(stderr, "psd_serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "psd_serve: socket path too long\n");
+    ::close(srv);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ::unlink(path.c_str());
+  if (::bind(srv, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(srv, 4) < 0) {
+    std::fprintf(stderr, "psd_serve: bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(srv);
+    return 1;
+  }
+  std::fprintf(stderr, "psd_serve: listening on %s\n", path.c_str());
+  bool done = false;
+  while (!done && !g_interrupted.load()) {
+    const int conn = ::accept(srv, nullptr, nullptr);
+    if (conn < 0) break;
+    out.set_fd(conn);
+    done = pump_fd(conn, service);
+    // Let queued work finish so late answers still reach this client
+    // before the connection goes away.
+    if (!done) service.drain();
+    out.set_fd(-1);
+    ::close(conn);
+  }
+  ::close(srv);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  psd::serve::ServiceOptions opts;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "psd_serve: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto next_number = [&](double lo, double hi) {
+      const std::string v = next();
+      char* end = nullptr;
+      const double x = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || x < lo || x > hi) {
+        std::fprintf(stderr, "psd_serve: %s needs a number in [%g, %g]\n",
+                     arg.c_str(), lo, hi);
+        std::exit(2);
+      }
+      return x;
+    };
+    if (arg == "--workers") {
+      opts.workers = static_cast<unsigned>(next_number(1, 256));
+    } else if (arg == "--queue-limit") {
+      opts.queue_limit = static_cast<std::size_t>(next_number(1, 1 << 20));
+    } else if (arg == "--watchdog-ms") {
+      opts.watchdog_interval =
+          std::chrono::milliseconds(static_cast<long>(next_number(1, 60000)));
+    } else if (arg == "--fast-path-ms") {
+      opts.fast_path_budget_ms = next_number(0, 60000);
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "psd_serve: unknown argument %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  Output out;
+  psd::serve::PlanService service(
+      opts, [&out](const std::string& line) { out.write_line(line); });
+
+  int rc = 0;
+  if (!socket_path.empty()) {
+    rc = serve_socket(socket_path, service, out);
+  } else {
+    // stdio mode: EOF means the driving process is done — answer what is
+    // queued, then leave.
+    if (!pump_fd(STDIN_FILENO, service)) service.drain();
+  }
+  service.shutdown();
+  return rc;
+}

@@ -9,6 +9,13 @@
 // each planner its own memo (the baseline the shared cache is measured
 // against), --serial runs scenarios one at a time (the report rows are
 // byte-identical either way).
+//
+// Exit codes (scripted callers branch on these):
+//   0  success            2  usage error (bad flags)
+//   3  spec unreadable    4  spec malformed (bad axes/values)
+//   5  output unwritable  1  sweep failed (planner/solver error)
+// Output paths are probed *before* the sweep runs, so a typo'd --out-json
+// fails in milliseconds instead of after the whole grid is planned.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,8 +24,14 @@
 #include <string>
 
 #include "psd/sweep/driver.hpp"
+#include "psd/util/error.hpp"
 
 namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitSpecUnreadable = 3;
+constexpr int kExitSpecMalformed = 4;
+constexpr int kExitOutputUnwritable = 5;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -26,7 +39,7 @@ int usage(const char* argv0) {
                "          [--serial] [--threads N] [--per-planner-cache] "
                "[--quiet]\n",
                argv0);
-  return 2;
+  return kExitUsage;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -34,7 +47,21 @@ bool write_file(const std::string& path, const std::string& content) {
   out << content;
   out.flush();
   if (!out) {
-    std::fprintf(stderr, "psd_sweep: cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "psd_sweep: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+/// Fails fast on an unwritable output path by opening it for append (which
+/// creates the file but preserves existing bytes if the sweep later dies),
+/// before any planning work happens.
+bool probe_writable(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "psd_sweep: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
     return false;
   }
   return true;
@@ -51,7 +78,7 @@ int main(int argc, char** argv) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "psd_sweep: %s needs a value\n", arg.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -68,7 +95,7 @@ int main(int argc, char** argv) {
           v.size() > 4 || std::stoul(v) > kMaxThreads) {
         std::fprintf(stderr, "psd_sweep: --threads needs an integer in [0, %u]\n",
                      kMaxThreads);
-        return 2;
+        return kExitUsage;
       }
       threads = static_cast<unsigned>(std::stoul(v));
     }
@@ -80,37 +107,68 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (spec_path.empty()) return usage(argv[0]);
+  if (spec_path.empty()) {
+    std::fprintf(stderr, "psd_sweep: --spec is required\n");
+    return usage(argv[0]);
+  }
 
   std::ifstream in(spec_path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "psd_sweep: cannot read %s\n", spec_path.c_str());
-    return 1;
+    std::fprintf(stderr, "psd_sweep: cannot read %s: %s\n", spec_path.c_str(),
+                 std::strerror(errno));
+    return kExitSpecUnreadable;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    std::fprintf(stderr, "psd_sweep: error reading %s\n", spec_path.c_str());
+    return kExitSpecUnreadable;
+  }
+
+  // Parse the grid before probing outputs so a doubly-broken invocation
+  // reports the spec problem (the thing the user most likely got wrong).
+  psd::sweep::ScenarioGrid grid;
+  try {
+    grid = psd::sweep::parse_grid_spec(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psd_sweep: bad spec %s: %s\n", spec_path.c_str(),
+                 e.what());
+    return kExitSpecMalformed;
+  }
+
+  if (!out_json.empty() && !probe_writable(out_json)) return kExitOutputUnwritable;
+  if (!out_csv.empty() && !probe_writable(out_csv)) return kExitOutputUnwritable;
 
   try {
-    const auto grid = psd::sweep::parse_grid_spec(buf.str());
     psd::sweep::SweepOptions options;
     options.parallel = !serial;
     options.threads = threads;
     if (!per_planner) options.shared_cache = psd::sweep::make_shared_theta_cache();
     const auto report = psd::sweep::run_sweep(grid, options);
 
+    std::size_t failed = 0;
+    for (const auto& row : report.rows) {
+      if (row.error) ++failed;
+    }
     if (!quiet) {
       std::printf("%s\n", psd::sweep::to_table(report).c_str());
-      std::printf("scenarios: %zu  skipped: %zu  theta-cache[%s]: %zu hits / %zu "
+      std::printf("scenarios: %zu  skipped: %zu  failed: %zu  "
+                  "theta-cache[%s]: %zu hits / %zu "
                   "misses (hit rate %.3f), %zu entries, %zu evictions\n",
-                  report.rows.size(), report.skipped,
+                  report.rows.size(), report.skipped, failed,
                   to_string(report.cache_mode), report.cache.hits,
                   report.cache.misses, report.cache.hit_rate(),
                   report.cache.entries, report.cache.evictions);
     }
     if (!out_json.empty() && !write_file(out_json, psd::sweep::to_json(report)))
-      return 1;
+      return kExitOutputUnwritable;
     if (!out_csv.empty() && !write_file(out_csv, psd::sweep::to_csv(report)))
+      return kExitOutputUnwritable;
+    if (failed > 0) {
+      std::fprintf(stderr, "psd_sweep: %zu scenario(s) failed (see report rows)\n",
+                   failed);
       return 1;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "psd_sweep: %s\n", e.what());
     return 1;

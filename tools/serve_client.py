@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Smoke client for the psd_serve planning daemon (docs/serve.md protocol).
+
+Connects to a daemon started with ``psd_serve --socket PATH``, drives a
+scripted session covering the happy path, memo hits, deadline degradation,
+admission errors and stats, and exits nonzero on any assertion failure —
+CI runs this as the serve smoke test.
+
+  serve_client.py --socket PATH [--fault] [--verbose]
+
+With --fault the session additionally injects a topology delta while a
+plan request is in flight on the same context, and asserts the daemon
+answers that request (fresh or degraded) instead of erroring — the
+fault-tolerance drill.
+"""
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+class Client:
+    """JSON-lines client; responses may arrive out of order (keyed by id)."""
+
+    def __init__(self, path, verbose=False, timeout=120.0):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.sock.connect(path)
+        self.buf = b""
+        self.responses = {}
+        self.verbose = verbose
+
+    def send(self, obj):
+        if self.verbose:
+            print(">>", json.dumps(obj), file=sys.stderr)
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+
+    def wait(self, rid, timeout=120.0):
+        """Returns the response for ``rid``, reading lines as needed."""
+        deadline = time.monotonic() + timeout
+        while rid not in self.responses:
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"no response for {rid!r}")
+            nl = self.buf.find(b"\n")
+            if nl < 0:
+                chunk = self.sock.recv(65536)
+                if not chunk:
+                    raise ConnectionError(f"daemon closed before {rid!r}")
+                self.buf += chunk
+                continue
+            line, self.buf = self.buf[:nl], self.buf[nl + 1:]
+            if not line.strip():
+                continue
+            resp = json.loads(line)
+            if self.verbose:
+                print("<<", json.dumps(resp), file=sys.stderr)
+            self.responses[resp.get("id", "")] = resp
+        return self.responses[rid]
+
+
+FAILURES = []
+
+
+def check(cond, what):
+    if cond:
+        return
+    FAILURES.append(what)
+    print(f"FAIL: {what}", file=sys.stderr)
+
+
+def plan(rid, **over):
+    req = {
+        "op": "plan",
+        "id": rid,
+        "topology": "ring",
+        "nodes": 8,
+        "collective": "allreduce:ring",
+        "message_bytes": 1 << 20,
+    }
+    req.update(over)
+    return req
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--socket", required=True)
+    ap.add_argument("--fault", action="store_true",
+                    help="inject a topology delta under an in-flight plan")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="daemon worker count (to pin them all down in 5b)")
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+
+    c = Client(args.socket, verbose=args.verbose)
+
+    # 1. Cold solve.
+    c.send(plan("r1"))
+    r1 = c.wait("r1")
+    check(r1["code"] == "OK" and not r1["degraded"], "r1 plans fresh")
+    check(r1["optimal_ns"] > 0 and r1["steps"] > 0, "r1 carries plan numbers")
+
+    # 2. Identical request: memo hit.
+    c.send(plan("r2"))
+    r2 = c.wait("r2")
+    check(r2["code"] == "OK" and r2["cached"], "r2 served from the plan memo")
+    check(r2["optimal_ns"] == r1["optimal_ns"], "r2 matches r1 bit-exactly")
+
+    # 3. A second context is independent.
+    c.send(plan("r3", topology="bidir-ring", collective="allgather"))
+    check(c.wait("r3")["code"] == "OK", "r3 plans on a second context")
+
+    # 4. Topology delta on r1's context: epoch bump + theta carry.
+    c.send({"op": "delta", "id": "d1", "topology": "ring", "nodes": 8,
+            "ops": [{"kind": "scale_capacity", "src": 2, "dst": 3,
+                     "factor": 0.5}]})
+    d1 = c.wait("d1")
+    check(d1["code"] == "OK" and d1["epoch"] >= 1, "d1 applies the delta")
+    check(not d1["relaxing"] and d1["touched"] == 1,
+          "d1 is a restricting single-edge delta")
+
+    # 5. Forced-degraded answer: impossibly tight budget on the delta'd key.
+    #    The fresh memo entry is stale now, so the degradation ladder must
+    #    serve it with its epoch lag (replans may race us — retry on a
+    #    fresh cache hit, degraded only needs to show up once).
+    degraded_seen = False
+    for attempt in range(5):
+        rid = f"r4_{attempt}"
+        c.send(plan(rid, deadline_ms=0.05))
+        r4 = c.wait(rid)
+        check(r4["code"] in ("OK", "DEADLINE_EXCEEDED"),
+              "tight deadline answered via the ladder")
+        if r4["code"] == "OK" and r4.get("degraded"):
+            check(r4.get("epoch_lag", 0) >= 1, "degraded answer reports lag")
+            degraded_seen = True
+            break
+        if r4["code"] == "OK" and not r4.get("degraded"):
+            break  # async replan refreshed the memo first — also fine
+    # 5b. Guarantee a degraded response for the stats assertion: first pin
+    #     every worker down with cold heavy solves so the delta's async
+    #     replan sits queued behind them, then delta and immediately ask
+    #     with a tight budget — the fast-path ladder must serve the stale
+    #     memo entry (the replan cannot have refreshed it yet).
+    if not degraded_seen:
+        for w in range(args.workers):
+            c.send(plan(f"busy{w}", topology="mesh", nodes=12,
+                        collective="alltoall",
+                        message_bytes=(1 << 22) + w + 1))
+        c.send({"op": "delta", "id": "d2", "topology": "ring", "nodes": 8,
+                "ops": [{"kind": "scale_capacity", "src": 3, "dst": 4,
+                         "factor": 0.5}]})
+        c.send(plan("r5", deadline_ms=0.05))
+        r5 = c.wait("r5")
+        check(r5["code"] == "OK" and r5.get("degraded"),
+              "tight-deadline request right after a delta degrades")
+        degraded_seen = r5["code"] == "OK" and bool(r5.get("degraded"))
+        for w in range(args.workers):
+            check(c.wait(f"busy{w}")["code"] == "OK", f"busy{w} still answered")
+
+    # 6. Tight deadline on a never-seen key: nothing to degrade to.
+    c.send(plan("r6", message_bytes=77777, deadline_ms=0.05))
+    check(c.wait("r6")["code"] == "DEADLINE_EXCEEDED",
+          "tight deadline with no stale answer is DEADLINE_EXCEEDED")
+
+    # 7. Invalid request.
+    c.send({"op": "plan", "id": "r7", "topology": "klein-bottle", "nodes": 8,
+            "collective": "allreduce"})
+    check(c.wait("r7")["code"] == "INVALID_REQUEST", "bad topology rejected")
+
+    if args.fault:
+        # Fault drill: a solve in flight when its context's topology
+        # changes must still be answered — degraded (stale epoch) or fresh
+        # (replanned/solved after the delta), never an error.
+        c.send(plan("f1", topology="mesh", nodes=12,
+                    collective="alltoall", message_bytes=1 << 22))
+        c.send({"op": "delta", "id": "fd", "topology": "mesh", "nodes": 12,
+                "ops": [{"kind": "scale_capacity", "src": 0, "dst": 1,
+                         "factor": 0.25}]})
+        check(c.wait("fd")["code"] == "OK", "fault delta applies mid-flight")
+        f1 = c.wait("f1")
+        check(f1["code"] == "OK", "in-flight plan survives the delta")
+        if f1.get("degraded"):
+            check(f1.get("epoch_lag", 0) >= 1, "overtaken solve reports lag")
+
+    # 8. Stats: percentile fields present and the session's outcomes show.
+    c.send({"op": "stats", "id": "s1"})
+    s1 = c.wait("s1")
+    check(s1["code"] == "OK", "stats responds OK")
+    st = s1["stats"]
+    for field in ("p50_plan_ms", "p99_plan_ms", "planned", "degraded",
+                  "deadline_exceeded", "cache_hits", "queue_depth",
+                  "worker_restarts", "theta_cache_hit_rate"):
+        check(field in st, f"stats carries {field}")
+    check(st["planned"] >= 2, "at least two fresh solves recorded")
+    check(st["p50_plan_ms"] > 0, "p50 computed from real samples")
+    check(st["p99_plan_ms"] >= st["p50_plan_ms"], "p99 >= p50")
+    check(st["cache_hits"] >= 1, "memo hit counted")
+    if degraded_seen:
+        check(st["degraded"] >= 1, "degraded answer counted")
+    check(st["deadline_exceeded"] >= 1, "deadline miss counted")
+
+    # 9. Shutdown handshake.
+    c.send({"op": "shutdown", "id": "bye"})
+    bye = c.wait("bye")
+    check(bye["code"] == "OK" and bye.get("shutting_down"),
+          "shutdown acknowledged")
+
+    if FAILURES:
+        print(f"serve_client: {len(FAILURES)} assertion(s) failed",
+              file=sys.stderr)
+        return 1
+    print("serve_client: all assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
