@@ -13,7 +13,9 @@
 #include "psd/serve/service.hpp"
 #include "psd/bvn/hopcroft_karp.hpp"
 #include "psd/collective/algorithms.hpp"
+#include "psd/core/algo_select.hpp"
 #include "psd/core/optimizers.hpp"
+#include "psd/core/pipelined_cost.hpp"
 #include "psd/core/planner.hpp"
 #include "psd/flow/garg_konemann.hpp"
 #include "psd/flow/mcf_lp.hpp"
@@ -449,6 +451,57 @@ void BM_PlannerEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_PlannerEndToEnd)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 
+// Chunk-pipelined pricing of a DP-optimal plan: the max-plus recurrence over
+// (steps × chunks) the selector pays once per chunk count. Args are
+// (nodes, chunks); θ solves and the DP happen in setup, so this isolates the
+// analytic recurrence itself — the marginal cost algo=auto adds per
+// candidate per chunk count.
+void BM_PipelinedStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int chunks = static_cast<int>(state.range(1));
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(10);
+  params.b = gbps(800);
+  const auto ring = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(ring, gbps(800));
+  const auto sched = collective::halving_doubling_allreduce(n, mib(64));
+  const core::ProblemInstance inst(sched, oracle, params);
+  const auto optimal = core::optimal_plan(inst);
+  const core::PipelinedCostModel model(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.completion(optimal.choice, chunks));
+  }
+}
+BENCHMARK(BM_PipelinedStep)->Args({64, 8})->Args({64, 64})->Args({256, 64});
+
+// End-to-end size-adaptive selection: materialize + DP-solve + pipeline-
+// price every candidate algorithm. Arg is the message size in KiB — 4 KiB
+// rides the O(1) small-message fallback (one materialize + one solve),
+// 65536 (64 MiB) pays the full four-candidate sweep. The planner's θ cache
+// warms across iterations, so this tracks the selector's steady-state cost,
+// not first-touch solve time.
+void BM_AlgoSelect(benchmark::State& state) {
+  const int n = 8;
+  core::CostParams params;
+  params.alpha = nanoseconds(100);
+  params.delta = nanoseconds(100);
+  params.alpha_r = microseconds(10);
+  params.b = gbps(800);
+  core::Planner planner(topo::directed_ring(n, gbps(800)), params);
+  workload::MaterializeOptions opts;
+  opts.allreduce = workload::AllReduceAlgo::kAuto;
+  const workload::CollectiveRequest req{workload::CollectiveKind::kAllReduce,
+                                        kib(state.range(0)), "bench"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_algorithm(planner, req, opts));
+  }
+  state.counters["fallback"] =
+      core::select_algorithm(planner, req, opts).threshold_fallback ? 1.0 : 0.0;
+}
+BENCHMARK(BM_AlgoSelect)->Arg(4)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
 void BM_CollectiveGeneration(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -529,26 +582,35 @@ BENCHMARK(BM_SweepDriver)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 // Planning-as-a-service throughput: one PlanService fed a round-robin
 // request stream over range(0) distinct solve keys. The first pass per key
 // is a cold solve, everything after is a plan-memo hit — the daemon's
-// steady-state mix (Arg(1) = pure hit path, Arg(8) = 1/8 cold). Counters
-// export the service's own latency percentiles — the serve SLO numbers
-// tracked across baselines.
+// steady-state mix (Arg(1) = pure hit path, Arg(8) = 1/8 cold). Arg(0) is
+// the cold-solve-heavy profile: every request carries a globally unique
+// message size, so the memo never hits and each request pays a full solve
+// (plus the pipelined pricing that now rides every plan). Counters export
+// the service's own latency percentiles — the serve SLO numbers tracked
+// across baselines.
 void BM_ServeThroughput(benchmark::State& state) {
   const int keys = static_cast<int>(state.range(0));
   constexpr int kRequestsPerIter = 64;
   std::atomic<std::size_t> emitted{0};
   serve::ServiceOptions opts;
   opts.workers = 2;
+  // The cold profile enqueues all 64 requests of an iteration as distinct
+  // solves; the default 32-deep admission queue would shed half of them.
+  opts.queue_limit = 128;
   serve::PlanService svc(opts, [&emitted](const std::string& line) {
     emitted.fetch_add(line.size(), std::memory_order_relaxed);
   });
   std::size_t seq = 0;
   for (auto _ : state) {
     for (int r = 0; r < kRequestsPerIter; ++r) {
+      const std::size_t bytes =
+          (std::size_t{1} << 20) +
+          (keys == 0 ? seq : static_cast<std::size_t>(r % keys));
       svc.submit_line(
           "{\"op\":\"plan\",\"id\":\"b" + std::to_string(seq++) +
           "\",\"topology\":\"ring\",\"nodes\":8,"
           "\"collective\":\"allreduce:ring\",\"message_bytes\":" +
-          std::to_string((1 << 20) + r % keys) + "}");
+          std::to_string(bytes) + "}");
     }
     svc.drain();
   }
@@ -559,7 +621,7 @@ void BM_ServeThroughput(benchmark::State& state) {
   state.counters["memo_hit_rate"] = st.cache_hit_rate();
   state.SetItemsProcessed(state.iterations() * kRequestsPerIter);
 }
-BENCHMARK(BM_ServeThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

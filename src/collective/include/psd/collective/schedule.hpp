@@ -45,6 +45,12 @@ struct Step {
   Bytes volume;                     // bytes per communicating pair
   std::vector<Transfer> transfers;  // optional chunk-level annotation
   std::string label;
+
+  /// Widest per-pair transfer of the step, in chunks (0 if un-annotated):
+  /// the step's own finest pipelining granularity — a transfer moving k
+  /// chunks can be progressed per-chunk without splitting below the
+  /// schedule's chunk size.
+  [[nodiscard]] int max_transfer_chunks() const;
 };
 
 class CollectiveSchedule {
@@ -76,6 +82,13 @@ class CollectiveSchedule {
   /// Total bytes a single node sends across all steps (max over nodes) — the
   /// bandwidth-optimality yardstick (AllReduce lower bound: 2(n−1)/n · M).
   [[nodiscard]] Bytes max_bytes_sent_per_node() const;
+
+  /// The chunk count a pipelined executor can sensibly split step payloads
+  /// into: the widest per-pair transfer across all annotated steps (a
+  /// schedule whose steps each move a single chunk per pair — e.g. ring
+  /// allreduce — is already chunk-granular and reports 1). Un-annotated
+  /// schedules fall back to num_chunks(). Always >= 1.
+  [[nodiscard]] int natural_pipeline_chunks() const;
 
   /// Aggregate demand matrix M = Σ m_i · M_i in bytes (paper Eq. 1).
   [[nodiscard]] psd::Matrix aggregate_demand() const;

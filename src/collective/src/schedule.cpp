@@ -70,6 +70,24 @@ void CollectiveSchedule::add_step(Step step) {
   steps_.push_back(std::move(step));
 }
 
+int Step::max_transfer_chunks() const {
+  int widest = 0;
+  for (const Transfer& t : transfers) widest = std::max(widest, t.chunks.size());
+  return widest;
+}
+
+int CollectiveSchedule::natural_pipeline_chunks() const {
+  bool annotated = false;
+  int widest = 0;
+  for (const Step& s : steps_) {
+    if (s.transfers.empty()) continue;
+    annotated = true;
+    widest = std::max(widest, s.max_transfer_chunks());
+  }
+  if (!annotated) return std::max(1, num_chunks_);
+  return std::max(1, widest);
+}
+
 const Step& CollectiveSchedule::step(int i) const {
   PSD_REQUIRE(i >= 0 && i < num_steps(), "step index out of range");
   return steps_[static_cast<std::size_t>(i)];

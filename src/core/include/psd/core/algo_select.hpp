@@ -1,0 +1,68 @@
+// Size-adaptive algorithm selection: the planning-side resolution of
+// workload::AllReduceAlgo::kAuto / AllToAllAlgo::kAuto.
+//
+// Different collective algorithms trade steps against per-step volume (ring:
+// 2(n−1) steps of m/n; halving/doubling: 2·log n steps of geometric volume;
+// Bruck: log n steps of m/2), so the winner depends on message size, node
+// count, and — on an adaptive fabric — on how well each algorithm's
+// matchings ride the base topology versus paying α_r to match. The selector
+// materializes every applicable candidate, solves the Eq. (7) DP for each,
+// prices the optimal plan under chunk-pipelined execution
+// (PipelinedCostModel::best_over_chunks, C = 1 included so the score never
+// exceeds the barrier cost), and returns the cheapest.
+//
+// Small messages skip all of that: at or below
+// MaterializeOptions::auto_thresholds.small_message the topology-blind
+// resolve_*_auto fallback decides in O(1) — the fbcollective pattern of
+// switching ring variants at a fixed byte threshold — because
+// latency-dominated payloads do not repay a θ solve per candidate. The
+// fallback's pick is still planned (one solve) so callers get a full plan
+// either way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "psd/core/pipelined_cost.hpp"
+#include "psd/core/planner.hpp"
+#include "psd/workload/workload.hpp"
+
+namespace psd::core {
+
+struct AlgoSelectOptions {
+  int max_chunks = 64;  // pipelining sweep ceiling (powers of two)
+};
+
+/// One scored candidate: the algorithm, its DP-optimal barrier plan, and the
+/// pipelined price that ranked it.
+struct AlgoCandidate {
+  std::string algo;            // "ring", "rd", "hd", "swing" / "transpose", "bruck"
+  // The resolved enums (only the one matching the request kind is
+  // meaningful) so callers can re-materialize the winner directly.
+  workload::AllReduceAlgo allreduce = workload::AllReduceAlgo::kHalvingDoubling;
+  workload::AllToAllAlgo alltoall = workload::AllToAllAlgo::kTranspose;
+  ReconfigPlan plan;           // Eq. (7) DP optimum for this algorithm
+  TimeNs barrier_dct;          // plan.total_time()
+  TimeNs pipelined_dct;        // best over chunk counts (≤ barrier_dct)
+  int pipeline_chunks = 1;     // argmin chunk count
+};
+
+struct AlgoSelection {
+  AlgoCandidate chosen;
+  // Every candidate scored, in the deterministic sweep order (ring, rd, hd,
+  // swing / transpose, bruck). Holds only `chosen` on the threshold-fallback
+  // path.
+  std::vector<AlgoCandidate> candidates;
+  bool threshold_fallback = false;  // small-message O(1) path taken
+};
+
+/// Resolves `request` (kAllReduce or kAllToAll; other kinds are rejected)
+/// against `planner`'s base topology and cost parameters. Ignores the
+/// allreduce/alltoall fields of `opts` — selection is the point — but honors
+/// its thresholds and broadcast root. Ties keep the earlier candidate.
+[[nodiscard]] AlgoSelection select_algorithm(
+    const Planner& planner, const workload::CollectiveRequest& request,
+    const workload::MaterializeOptions& opts = {}, const ModelExtensions& ext = {},
+    const AlgoSelectOptions& sel = {});
+
+}  // namespace psd::core

@@ -1,0 +1,64 @@
+// Analytic pricing of chunk-pipelined execution (the sim's pipeline mode).
+//
+// Barrier-mode Eq. (4) charges every step end-to-end: α + δ·ℓ_i + β·m_i/θ_i,
+// summed. A chunk-pipelined executor splits each step's per-pair payload
+// into C chunks and lets step i+1 start transmitting chunk c as soon as
+// (a) its transceiver is free, (b) chunk c of step i has arrived (the data
+// dependency — step i+1 forwards what step i delivered), and (c) no
+// reconfiguration separates the steps (the fabric cannot retime while
+// chunks are in flight, so any charged α_r — or blocking compute — is a
+// hard barrier on the previous step's last arrival).
+//
+// This model evaluates the identical max-plus recurrence the simulator
+// executes (FlowLevelSimulator with SimConfig::pipeline), from
+// ProblemInstance data alone — the calibration tests assert the two agree
+// to floating-point noise. At chunks == 1 it reproduces the barrier
+// objective of evaluate_plan exactly: every chunk-0 data dependency is the
+// previous step's last arrival.
+//
+// The tradeoff it prices: pipelining pays α per chunk round (C·α per step)
+// but hides serialization and propagation behind the previous step wherever
+// no reconfiguration intervenes — so it wins at large payloads on
+// reconfiguration-free plans and loses at small ones, which is exactly the
+// signal the algorithm selector (algo_select.hpp) needs.
+#pragma once
+
+#include <vector>
+
+#include "psd/core/cost_model.hpp"
+
+namespace psd::core {
+
+class PipelinedCostModel {
+ public:
+  /// Borrows `inst` (must outlive the model). `ext` is honored exactly as
+  /// evaluate_plan honors it: transitions via transition_cost (dedup, delay
+  /// model) and per-step compute via compute_before_step.
+  explicit PipelinedCostModel(const ProblemInstance& inst,
+                              ModelExtensions ext = {});
+
+  /// Completion time of `choice` executed with C = `chunks` pipeline chunks.
+  /// chunks == 1 equals evaluate_plan(inst, choice, ext).total_time() up to
+  /// floating-point association.
+  [[nodiscard]] TimeNs completion(const std::vector<TopoChoice>& choice,
+                                  int chunks) const;
+
+  struct ChunkSweep {
+    int chunks = 1;        // argmin chunk count
+    TimeNs completion;     // min over the sweep (≤ barrier: C = 1 included)
+    TimeNs barrier;        // completion at C = 1 (the barrier schedule)
+  };
+
+  /// Sweeps C over powers of two (1, 2, 4, … ≤ max_chunks) and returns the
+  /// best. C = 1 is always swept, so `completion ≤ barrier` holds by
+  /// construction — pipelining is adopted only where it helps. Ties keep
+  /// the smaller chunk count (fewer α rounds at equal predicted time).
+  [[nodiscard]] ChunkSweep best_over_chunks(const std::vector<TopoChoice>& choice,
+                                            int max_chunks = 64) const;
+
+ private:
+  const ProblemInstance* inst_;
+  ModelExtensions ext_;
+};
+
+}  // namespace psd::core

@@ -1,0 +1,113 @@
+#include "psd/core/algo_select.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace psd::core {
+
+namespace {
+
+bool pow2(int n) { return n >= 2 && std::has_single_bit(static_cast<unsigned>(n)); }
+
+/// Materializes one candidate, solves the DP, and prices it pipelined.
+AlgoCandidate score_candidate(const Planner& planner,
+                              const workload::CollectiveRequest& request,
+                              const workload::MaterializeOptions& base_opts,
+                              const ModelExtensions& ext,
+                              const AlgoSelectOptions& sel, std::string name,
+                              workload::AllReduceAlgo ar,
+                              workload::AllToAllAlgo aa) {
+  workload::MaterializeOptions opts = base_opts;
+  opts.allreduce = ar;
+  opts.alltoall = aa;
+  const auto schedule =
+      workload::materialize(request, planner.base().num_nodes(), opts);
+  const ProblemInstance inst = planner.instance(schedule);
+  AlgoCandidate cand;
+  cand.algo = std::move(name);
+  cand.allreduce = ar;
+  cand.alltoall = aa;
+  cand.plan = optimal_plan(inst, ext);
+  cand.barrier_dct = cand.plan.total_time();
+  const PipelinedCostModel model(inst, ext);
+  const auto sweep = model.best_over_chunks(cand.plan.choice, sel.max_chunks);
+  cand.pipelined_dct = sweep.completion;
+  cand.pipeline_chunks = sweep.chunks;
+  return cand;
+}
+
+}  // namespace
+
+AlgoSelection select_algorithm(const Planner& planner,
+                               const workload::CollectiveRequest& request,
+                               const workload::MaterializeOptions& opts,
+                               const ModelExtensions& ext,
+                               const AlgoSelectOptions& sel) {
+  using workload::AllReduceAlgo;
+  using workload::AllToAllAlgo;
+  using workload::CollectiveKind;
+  PSD_REQUIRE(request.kind == CollectiveKind::kAllReduce ||
+                  request.kind == CollectiveKind::kAllToAll,
+              "algorithm selection applies to allreduce and alltoall only");
+  PSD_REQUIRE(sel.max_chunks >= 1, "max_chunks must be >= 1");
+  const int n = planner.base().num_nodes();
+  const bool allreduce = request.kind == CollectiveKind::kAllReduce;
+
+  AlgoSelection out;
+  // Latency-dominated payloads: the fixed threshold decides without a
+  // candidate sweep; its pick is still planned once for the caller.
+  if (request.size.count() <= opts.auto_thresholds.small_message.count()) {
+    out.threshold_fallback = true;
+    AllReduceAlgo ar = opts.allreduce;
+    AllToAllAlgo aa = opts.alltoall;
+    const char* name = nullptr;
+    if (allreduce) {
+      ar = workload::resolve_allreduce_auto(request.size, n, opts.auto_thresholds);
+      name = workload::to_string(ar);
+    } else {
+      aa = workload::resolve_alltoall_auto(request.size, n, opts.auto_thresholds);
+      name = workload::to_string(aa);
+    }
+    out.chosen = score_candidate(planner, request, opts, ext, sel, name, ar, aa);
+    out.candidates.push_back(out.chosen);
+    return out;
+  }
+
+  // The full sweep, in pinned order so ties are deterministic.
+  struct Entry {
+    const char* name;
+    AllReduceAlgo ar;
+    AllToAllAlgo aa;
+    bool needs_pow2;
+  };
+  std::vector<Entry> entries;
+  if (allreduce) {
+    entries = {
+        {"ring", AllReduceAlgo::kRing, opts.alltoall, false},
+        {"rd", AllReduceAlgo::kRecursiveDoubling, opts.alltoall, true},
+        {"hd", AllReduceAlgo::kHalvingDoubling, opts.alltoall, true},
+        {"swing", AllReduceAlgo::kSwing, opts.alltoall, true},
+    };
+  } else {
+    entries = {
+        {"transpose", opts.allreduce, AllToAllAlgo::kTranspose, false},
+        {"bruck", opts.allreduce, AllToAllAlgo::kBruck, true},
+    };
+  }
+
+  std::size_t best = 0;
+  for (const Entry& e : entries) {
+    if (e.needs_pow2 && !pow2(n)) continue;
+    out.candidates.push_back(
+        score_candidate(planner, request, opts, ext, sel, e.name, e.ar, e.aa));
+    const std::size_t k = out.candidates.size() - 1;
+    if (out.candidates[k].pipelined_dct < out.candidates[best].pipelined_dct) {
+      best = k;
+    }
+  }
+  PSD_ASSERT(!out.candidates.empty(), "no applicable candidate algorithm");
+  out.chosen = out.candidates[best];
+  return out;
+}
+
+}  // namespace psd::core

@@ -1,0 +1,87 @@
+#include "psd/core/pipelined_cost.hpp"
+
+#include <algorithm>
+
+namespace psd::core {
+
+PipelinedCostModel::PipelinedCostModel(const ProblemInstance& inst,
+                                       ModelExtensions ext)
+    : inst_(&inst), ext_(std::move(ext)) {
+  if (!ext_.compute_before_step.empty()) {
+    PSD_REQUIRE(static_cast<int>(ext_.compute_before_step.size()) ==
+                    inst.num_steps(),
+                "compute_before_step must have one entry per step");
+  }
+}
+
+TimeNs PipelinedCostModel::completion(const std::vector<TopoChoice>& choice,
+                                      int chunks) const {
+  const ProblemInstance& inst = *inst_;
+  const int s = inst.num_steps();
+  PSD_REQUIRE(static_cast<int>(choice.size()) == s,
+              "plan must have one choice per step");
+  PSD_REQUIRE(chunks >= 1, "chunk count must be >= 1");
+  const std::size_t cn = static_cast<std::size_t>(chunks);
+  const bool overlap = !ext_.compute_before_step.empty();
+  const TimeNs alpha = inst.params().alpha;
+
+  // The simulator's chunk recurrence (FlowLevelSimulator::run_pipelined),
+  // term for term: send(i,c) = max(port-free, data-dep, barrier-gate) + α +
+  // ser/C; recv(i,c) = send(i,c) + δ·ℓ_i. Completion is the last step's
+  // last arrival — monotone because chunk C−1's data dependency pins it.
+  std::vector<TimeNs> prev_send(cn, TimeNs(0.0));
+  std::vector<TimeNs> prev_recv(cn, TimeNs(0.0));
+  std::vector<TimeNs> send(cn, TimeNs(0.0));
+  std::vector<TimeNs> recv(cn, TimeNs(0.0));
+
+  TopoChoice prev = TopoChoice::kBase;
+  for (int i = 0; i < s; ++i) {
+    const TopoChoice cur = choice[static_cast<std::size_t>(i)];
+    const TimeNs prev_end = prev_recv[cn - 1];
+
+    const TimeNs trans = inst.transition_cost(i, prev, cur, ext_);
+    const TimeNs compute =
+        overlap ? ext_.compute_before_step[static_cast<std::size_t>(i)]
+                : TimeNs(0.0);
+    const TimeNs pre = TimeNs(std::max(compute.ns(), trans.ns()));
+    const bool barriered = pre.ns() > 0.0;
+    const TimeNs gate = barriered ? prev_end + pre : TimeNs(0.0);
+
+    const TimeNs ser =
+        inst.serialization_cost(i, cur) / static_cast<double>(chunks);
+    const TimeNs lag = inst.propagation_cost(i, cur);
+
+    for (int c = 0; c < chunks; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      TimeNs start = (c > 0) ? send[ci - 1] : prev_send[cn - 1];
+      start = std::max(start, prev_recv[ci]);
+      start = std::max(start, gate);
+      send[ci] = start + alpha + ser;
+      recv[ci] = send[ci] + lag;
+    }
+
+    prev_send.swap(send);
+    prev_recv.swap(recv);
+    prev = cur;
+  }
+  return prev_recv[cn - 1];
+}
+
+PipelinedCostModel::ChunkSweep PipelinedCostModel::best_over_chunks(
+    const std::vector<TopoChoice>& choice, int max_chunks) const {
+  PSD_REQUIRE(max_chunks >= 1, "max_chunks must be >= 1");
+  ChunkSweep sweep;
+  sweep.barrier = completion(choice, 1);
+  sweep.chunks = 1;
+  sweep.completion = sweep.barrier;
+  for (int c = 2; c <= max_chunks; c *= 2) {
+    const TimeNs t = completion(choice, c);
+    if (t < sweep.completion) {
+      sweep.completion = t;
+      sweep.chunks = c;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace psd::core

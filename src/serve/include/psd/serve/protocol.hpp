@@ -100,6 +100,13 @@ struct PlanAnswer {
   int reconfigurations = 0;
   double speedup_vs_static = 0.0;
   double speedup_vs_bvn = 0.0;
+  // Chunk-pipelined pricing of the optimal plan (≤ optimal_ns: a single
+  // chunk is always swept), and — when the request asked for algo=auto —
+  // which algorithm the size-adaptive selector resolved (else empty, and
+  // the wire response omits the field).
+  double pipelined_ns = 0.0;
+  int pipeline_chunks = 1;
+  std::string chosen_algo;
 };
 
 /// OK plan response. `epoch_lag` > 0 marks a degraded (stale-epoch) answer

@@ -222,6 +222,11 @@ std::string plan_response(std::string_view id, const PlanAnswer& answer,
   w.key("reconfigurations").value(answer.reconfigurations);
   w.key("speedup_vs_static").value(answer.speedup_vs_static);
   w.key("speedup_vs_bvn").value(answer.speedup_vs_bvn);
+  w.key("pipelined_ns").value(answer.pipelined_ns);
+  w.key("pipeline_chunks").value(answer.pipeline_chunks);
+  if (!answer.chosen_algo.empty()) {
+    w.key("chosen_algo").value(answer.chosen_algo);
+  }
   w.key("plan_latency_ms").value(plan_ms);
   w.end_object();
   return w.str();

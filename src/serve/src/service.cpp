@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "psd/core/algo_select.hpp"
+#include "psd/core/pipelined_cost.hpp"
 #include "psd/util/json.hpp"
 #include "psd/workload/workload.hpp"
 
@@ -356,12 +358,25 @@ PlanAnswer PlanService::solve_plan(topo::Graph graph, const PlanFields& plan,
                         core::PlannerOptions{.parallel = false});
   const workload::CollectiveRequest request{plan.collective.kind, plan.message,
                                             "serve"};
+  PlanAnswer a;
   workload::MaterializeOptions mat;
   mat.allreduce = plan.collective.allreduce;
   mat.alltoall = plan.collective.alltoall;
+  const bool wants_auto =
+      (plan.collective.kind == workload::CollectiveKind::kAllReduce &&
+       mat.allreduce == workload::AllReduceAlgo::kAuto) ||
+      (plan.collective.kind == workload::CollectiveKind::kAllToAll &&
+       mat.alltoall == workload::AllToAllAlgo::kAuto);
+  if (wants_auto) {
+    // Size-adaptive selection rides the same cancellable oracle as the plan
+    // solve, so a deadline cancels the candidate sweep too.
+    const auto sel = core::select_algorithm(planner, request, mat);
+    a.chosen_algo = sel.chosen.algo;
+    mat.allreduce = sel.chosen.allreduce;
+    mat.alltoall = sel.chosen.alltoall;
+  }
   const auto schedule = workload::materialize(request, plan.nodes, mat);
   const auto result = planner.plan(schedule);
-  PlanAnswer a;
   a.steps = schedule.num_steps();
   a.optimal_ns = result.optimal.total_time().ns();
   a.static_ns = result.static_base.total_time().ns();
@@ -370,6 +385,11 @@ PlanAnswer PlanService::solve_plan(topo::Graph graph, const PlanFields& plan,
   a.reconfigurations = result.optimal.num_reconfigurations;
   a.speedup_vs_static = result.speedup_vs_static();
   a.speedup_vs_bvn = result.speedup_vs_bvn();
+  const core::ProblemInstance inst = planner.instance(schedule);
+  const core::PipelinedCostModel pipelined(inst);
+  const auto sweep = pipelined.best_over_chunks(result.optimal.choice);
+  a.pipelined_ns = sweep.completion.ns();
+  a.pipeline_chunks = sweep.chunks;
   return a;
 }
 

@@ -44,6 +44,18 @@ struct SimConfig {
   // retries). Deterministic under failure_seed.
   double reconfig_failure_prob = 0.0;
   std::uint64_t failure_seed = 1;
+  // Chunk-pipelined execution (kConcurrentFlow only): each step's per-pair
+  // payload is split into `pipeline_chunks` equal chunks progressed
+  // per-chunk — the way caffe2's RING_CHUNKED and the RDMA-ring process
+  // groups execute — so consecutive steps overlap wherever neither a
+  // reconfiguration nor a data dependency forbids it. α is charged per
+  // chunk round and δ per hop per chunk; a reconfiguration (or compute
+  // overlap) between steps is a hard barrier because the fabric cannot
+  // retime while flows are in flight. pipeline_chunks == 1 degenerates to
+  // the barrier schedule exactly (pinned in tests); 0 asks the schedule for
+  // its own granularity (CollectiveSchedule::natural_pipeline_chunks).
+  bool pipeline = false;
+  int pipeline_chunks = 1;
 };
 
 struct StepTrace {
@@ -99,8 +111,24 @@ class FlowLevelSimulator {
     int max_hops = 0;  // longest routed path among the step's flows
   };
 
+  /// The concurrent-flow rate assignment of one step on `g`: θ, the longest
+  /// routed path, and the peak link utilization — shared by the barrier
+  /// event loop and the pipelined chunk schedule.
+  struct RateParams {
+    double theta = 0.0;
+    int max_hops = 0;
+    double max_util = 0.0;
+    int flows = 0;
+  };
+  RateParams concurrent_rate_params(const topo::Graph& g,
+                                    const collective::Step& step);
+
   /// Simulates one step's flows on `g`, starting at queue time 0 (relative).
   StepOutcome simulate_step(const topo::Graph& g, const collective::Step& step);
+
+  /// The chunk-pipelined execution (SimConfig::pipeline).
+  SimResult run_pipelined(const collective::CollectiveSchedule& schedule,
+                          const std::vector<core::TopoChoice>& plan);
 
   topo::Graph base_;
   topo::Matching base_config_;

@@ -190,6 +190,180 @@ FlowLevelSimulator::StepOutcome FlowLevelSimulator::simulate_step(
   return out;
 }
 
+FlowLevelSimulator::RateParams FlowLevelSimulator::concurrent_rate_params(
+    const topo::Graph& g, const collective::Step& step) {
+  RateParams rp;
+  const auto commodities = flow::commodities_from_matching(step.matching);
+  rp.flows = static_cast<int>(commodities.size());
+  if (commodities.empty()) return rp;
+  const Bandwidth b = config_.params.b;
+
+  for (const auto& c : commodities) {
+    int hops = 0;
+    if (g.find_edge(c.src, c.dst) != -1) {
+      hops = 1;
+    } else {
+      const auto bh = topo::bfs_hops(g, c.src);
+      hops = bh[static_cast<std::size_t>(c.dst)];
+    }
+    PSD_REQUIRE(hops != topo::kUnreachable,
+                "flow endpoints disconnected in the current topology");
+    rp.max_hops = std::max(rp.max_hops, hops);
+  }
+
+  const auto caps = flow::normalized_capacities(g, b);
+  double theta = 1.0;
+  std::vector<double> util(caps.size(), 0.0);
+  if (topo::matches_topology(g, step.matching)) {
+    theta = std::numeric_limits<double>::infinity();
+    for (const auto& c : commodities) {
+      const topo::EdgeId e = g.find_edge(c.src, c.dst);
+      theta = std::min(theta, caps[static_cast<std::size_t>(e)] / c.demand);
+    }
+    theta = std::min(theta, 1.0);
+    for (const auto& c : commodities) {
+      const topo::EdgeId e = g.find_edge(c.src, c.dst);
+      util[static_cast<std::size_t>(e)] +=
+          theta * c.demand / caps[static_cast<std::size_t>(e)];
+    }
+  } else {
+    flow::ConcurrentFlowResult cf;
+    if (auto ring = flow::ring_concurrent_flow(g, step.matching, b)) {
+      cf = *std::move(ring);
+    } else {
+      cf = flow::gk_concurrent_flow(g, commodities, b,
+                                    {.epsilon = config_.gk_epsilon});
+    }
+    theta = cf.theta;
+    const auto& load = cf.flow.edge_loads();
+    for (std::size_t e = 0; e < caps.size(); ++e) {
+      util[e] = load[e] / caps[e];
+    }
+  }
+  rp.theta = theta;
+  rp.max_util = util.empty() ? 0.0 : *std::max_element(util.begin(), util.end());
+  return rp;
+}
+
+SimResult FlowLevelSimulator::run_pipelined(
+    const collective::CollectiveSchedule& schedule,
+    const std::vector<core::TopoChoice>& plan) {
+  PSD_REQUIRE(config_.policy == RatePolicy::kConcurrentFlow,
+              "pipelined mode models the concurrent-flow policy only");
+  PSD_REQUIRE(config_.pipeline_chunks >= 0,
+              "pipeline_chunks must be non-negative");
+  const int chunks = config_.pipeline_chunks > 0
+                         ? config_.pipeline_chunks
+                         : schedule.natural_pipeline_chunks();
+  const std::size_t cn = static_cast<std::size_t>(chunks);
+  const bool overlap = !config_.compute_before_step.empty();
+  const double bpn = config_.params.b.bytes_per_ns();
+
+  photonic::Fabric fabric(
+      base_.num_nodes(), config_.params.b,
+      std::make_unique<photonic::ConstantDelayModel>(config_.params.alpha_r),
+      base_config_);
+
+  SimResult result;
+  Rng failure_rng(config_.failure_seed);
+  core::TopoChoice prev = core::TopoChoice::kBase;
+
+  // Chunk-granular transceiver timeline: when each chunk of the previous
+  // step left its port (the port frees) and when it fully arrived (the data
+  // dependency releases). All zeros before the first step.
+  std::vector<TimeNs> prev_send(cn, TimeNs(0.0));
+  std::vector<TimeNs> prev_recv(cn, TimeNs(0.0));
+  std::vector<TimeNs> send(cn, TimeNs(0.0));
+  std::vector<TimeNs> recv(cn, TimeNs(0.0));
+
+  for (int i = 0; i < schedule.num_steps(); ++i) {
+    const collective::Step& step = schedule.step(i);
+    const core::TopoChoice cur = plan[static_cast<std::size_t>(i)];
+    const TimeNs prev_end = prev_recv[cn - 1];
+
+    StepTrace trace;
+    trace.step = i;
+    trace.choice = cur;
+    trace.start = prev_end;
+    trace.flows = step.matching.active_pairs();
+
+    // Reconfiguration is charged exactly as in barrier mode (Eq. 7 z_i rule,
+    // failure injection included) — the modes differ only in overlap.
+    const topo::Matching& target =
+        (cur == core::TopoChoice::kBase) ? base_config_ : step.matching;
+    TimeNs charged(0.0);
+    if (config_.paper_reconfig_charging) {
+      if (!(prev == core::TopoChoice::kBase && cur == core::TopoChoice::kBase)) {
+        charged = config_.params.alpha_r;
+      }
+      fabric.reconfigure(target);
+    } else {
+      charged = fabric.reconfigure(target);
+    }
+    if (charged.ns() > 0.0 && config_.reconfig_failure_prob > 0.0) {
+      while (failure_rng.next_double() < config_.reconfig_failure_prob) {
+        charged += config_.params.alpha_r;
+        ++result.reconfig_retries;
+      }
+    }
+    trace.reconfigured = charged.ns() > 0.0;
+    trace.reconfig_delay = charged;
+    if (trace.reconfigured) ++result.reconfigurations;
+    result.total_reconfig_time += charged;
+
+    const TimeNs compute =
+        overlap ? config_.compute_before_step[static_cast<std::size_t>(i)]
+                : TimeNs(0.0);
+    const TimeNs pre_comm = TimeNs(std::max(compute.ns(), charged.ns()));
+    // A reconfiguration (or blocking compute) is a hard barrier: the fabric
+    // cannot retime while chunks are in flight, so the whole previous step
+    // must have arrived before it starts. With pre_comm == 0 there is no
+    // gate and overlap is limited only by ports and data dependencies.
+    const bool barriered = pre_comm.ns() > 0.0;
+    const TimeNs gate = barriered ? prev_end + pre_comm : TimeNs(0.0);
+
+    const topo::Graph topology = (cur == core::TopoChoice::kBase)
+                                     ? base_
+                                     : fabric.current_topology();
+    const RateParams rp = concurrent_rate_params(topology, step);
+    trace.theta = rp.theta;
+    trace.max_hops = rp.max_hops;
+    trace.max_link_utilization = rp.max_util;
+
+    TimeNs ser(0.0);
+    if (rp.flows > 0 && step.volume.count() > 0.0) {
+      ser = TimeNs(step.volume.count() / static_cast<double>(chunks) /
+                   (rp.theta * bpn));
+    }
+    const TimeNs lag = config_.params.delta * static_cast<double>(rp.max_hops);
+
+    for (int c = 0; c < chunks; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      // Port free: this pair's transceiver is busy until its previous chunk
+      // (or, for chunk 0, the previous step's last chunk) has left.
+      TimeNs start = (c > 0) ? send[ci - 1] : prev_send[cn - 1];
+      // Data dependency: chunk c of step i forwards what chunk c of step
+      // i−1 delivered, so it cannot leave before that chunk arrived.
+      start = std::max(start, prev_recv[ci]);
+      start = std::max(start, gate);
+      send[ci] = start + config_.params.alpha + ser;
+      recv[ci] = send[ci] + lag;
+    }
+
+    trace.comm_start = recv[0] - lag - ser;  // first chunk's first bit leaves
+    trace.end = recv[cn - 1];
+    result.flow_completion_events += static_cast<long long>(rp.flows) * chunks;
+    result.steps.push_back(std::move(trace));
+
+    prev_send.swap(send);
+    prev_recv.swap(recv);
+    prev = cur;
+  }
+  result.completion_time =
+      result.steps.empty() ? TimeNs(0.0) : prev_recv[cn - 1];
+  return result;
+}
+
 SimResult FlowLevelSimulator::run(const collective::CollectiveSchedule& schedule,
                                   const std::vector<core::TopoChoice>& plan) {
   PSD_REQUIRE(schedule.num_nodes() == base_.num_nodes(),
@@ -206,6 +380,8 @@ SimResult FlowLevelSimulator::run(const collective::CollectiveSchedule& schedule
   PSD_REQUIRE(config_.reconfig_failure_prob >= 0.0 &&
                   config_.reconfig_failure_prob < 1.0,
               "failure probability must be in [0, 1)");
+
+  if (config_.pipeline) return run_pipelined(schedule, plan);
 
   photonic::Fabric fabric(
       base_.num_nodes(), config_.params.b,

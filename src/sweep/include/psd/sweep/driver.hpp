@@ -52,6 +52,15 @@ struct SweepRow {
   Scenario scenario;
   int steps = 0;
   core::PlannerResult result;
+  // The algorithm the size-adaptive selector resolved, for kAuto scenarios
+  // only ("ring", "rd", …); empty when the scenario pinned its algorithm.
+  std::string chosen_algo;
+  // Chunk-pipelined pricing of the optimal plan (core::PipelinedCostModel):
+  // completion at the best chunk count, never above the barrier-mode
+  // optimal_ns because a single chunk is always swept. JSON-only fields —
+  // the CSV schema stays frozen.
+  TimeNs pipelined;
+  int pipeline_chunks = 1;
   std::optional<sim::ChurnReport> churn;
   // Set when this scenario's plan (or churn run) threw: the row's numbers
   // are then default-zero and only the id/axes are meaningful. One broken

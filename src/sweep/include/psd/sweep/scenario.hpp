@@ -62,18 +62,35 @@ struct TopologySpec {
 
 /// A collective together with the algorithm materializing it. The algorithm
 /// fields only apply to their own kind (allreduce / alltoall); other kinds
-/// use workload::materialize's built-in choice.
+/// use workload::materialize's built-in choice. kAuto defers the choice to
+/// the size-adaptive selector (core/algo_select.hpp) at planning time — the
+/// sweep row then records which algorithm won as `chosen_algo`.
 struct CollectiveSpec {
   workload::CollectiveKind kind = workload::CollectiveKind::kAllReduce;
   workload::AllReduceAlgo allreduce = workload::AllReduceAlgo::kHalvingDoubling;
   workload::AllToAllAlgo alltoall = workload::AllToAllAlgo::kTranspose;
 };
 
-/// "allreduce:swing", "alltoall:bruck", "allgather", ...
+/// "allreduce:swing", "allreduce:auto", "alltoall:bruck", "allgather", ...
 [[nodiscard]] std::string to_string(const CollectiveSpec& spec);
 /// Parses to_string's format; the ":algo" suffix is optional and only valid
-/// for allreduce (ring, rd, hd, swing) and alltoall (transpose, bruck).
+/// for allreduce (ring, rd, hd, swing, auto) and alltoall (transpose,
+/// bruck, auto).
 [[nodiscard]] std::optional<CollectiveSpec> collective_from_string(
+    std::string_view s);
+
+/// Per-scenario core::ModelExtensions toggles — an explicit sweep axis, so
+/// one grid can A/B the paper's plain Eq. (7) against the extended model on
+/// otherwise identical scenarios.
+struct ExtensionSpec {
+  bool dedup_identical_matchings = false;
+
+  friend bool operator==(const ExtensionSpec&, const ExtensionSpec&) = default;
+};
+
+/// "none" or "dedup" (the spec-file syntax).
+[[nodiscard]] std::string to_string(const ExtensionSpec& spec);
+[[nodiscard]] std::optional<ExtensionSpec> extension_from_string(
     std::string_view s);
 
 /// The failure axes of a scenario: how many link faults the churn driver
@@ -97,22 +114,27 @@ struct Scenario {
   Bytes message;
   core::CostParams params;
   int cost_index = 0;  // which ScenarioGrid::cost_params entry
+  ExtensionSpec extensions;
   ChurnSpec churn;
 
   /// Deterministic label, e.g. "ring/n16/allreduce:swing/4194304B/c0";
-  /// churn scenarios append "/k<drops>/f<droop>/s<seed>".
+  /// non-default extensions append "/x<spec>" (e.g. "/xdedup") and churn
+  /// scenarios "/k<drops>/f<droop>/s<seed>". Extension-free, churn-free
+  /// scenarios keep their historical ids.
   [[nodiscard]] std::string id() const;
 };
 
-/// Per-axis value lists; expand() takes their cross product. The churn axes
-/// (drop_counts × droops × seeds) may be left empty — they then behave as
-/// {0} / {1.0} / {1}, i.e. no churn, and existing grids expand unchanged.
+/// Per-axis value lists; expand() takes their cross product. The extension
+/// axis and the churn axes (drop_counts × droops × seeds) may be left empty
+/// — they then behave as {none} / {0} / {1.0} / {1}, i.e. the plain model
+/// with no churn, and existing grids expand unchanged.
 struct ScenarioGrid {
   std::vector<TopologySpec> topologies;
   std::vector<int> node_counts;
   std::vector<CollectiveSpec> collectives;
   std::vector<Bytes> message_sizes;
   std::vector<core::CostParams> cost_params;
+  std::vector<ExtensionSpec> extensions;
   std::vector<int> drop_counts;
   std::vector<double> droops;
   std::vector<std::uint64_t> seeds;
@@ -127,9 +149,10 @@ struct ScenarioGrid {
                                   const CollectiveSpec& collective);
 
 /// Cross product in fixed nesting order — topology (outermost), nodes,
-/// collective, message size, cost params (innermost) — skipping invalid
-/// combinations (counted into *skipped when non-null). Deterministic: the
-/// i-th scenario of a grid is the same in every process and every run.
+/// collective, message size, cost params, extensions, churn (innermost) —
+/// skipping invalid combinations (counted into *skipped when non-null).
+/// Deterministic: the i-th scenario of a grid is the same in every process
+/// and every run.
 [[nodiscard]] std::vector<Scenario> expand(const ScenarioGrid& grid,
                                            std::size_t* skipped = nullptr);
 

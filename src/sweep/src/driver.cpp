@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "psd/core/algo_select.hpp"
+#include "psd/core/pipelined_cost.hpp"
 #include "psd/util/json.hpp"
 #include "psd/util/table.hpp"
 #include "psd/util/thread_pool.hpp"
@@ -40,12 +42,34 @@ JobResult run_one_checked(const Scenario& sc,
                         core::PlannerOptions{.parallel = false});
   const workload::CollectiveRequest request{sc.collective.kind, sc.message,
                                             sc.id()};
+  core::ModelExtensions ext;
+  ext.dedup_identical_matchings = sc.extensions.dedup_identical_matchings;
   workload::MaterializeOptions mat;
   mat.allreduce = sc.collective.allreduce;
   mat.alltoall = sc.collective.alltoall;
+  const bool wants_auto =
+      (sc.collective.kind == workload::CollectiveKind::kAllReduce &&
+       mat.allreduce == workload::AllReduceAlgo::kAuto) ||
+      (sc.collective.kind == workload::CollectiveKind::kAllToAll &&
+       mat.alltoall == workload::AllToAllAlgo::kAuto);
+  if (wants_auto) {
+    // Size-adaptive selection: the winner's resolved enums feed the normal
+    // materialize → plan path so baselines are computed for it too.
+    const auto sel = core::select_algorithm(planner, request, mat, ext);
+    out.row.chosen_algo = sel.chosen.algo;
+    mat.allreduce = sel.chosen.allreduce;
+    mat.alltoall = sel.chosen.alltoall;
+  }
   const auto schedule = workload::materialize(request, sc.nodes, mat);
   out.row.steps = schedule.num_steps();
-  out.row.result = planner.plan(schedule);
+  out.row.result = planner.plan(schedule, ext);
+  // Pipelined-vs-barrier pricing of the optimal plan (θ values are cache
+  // hits at this point, so this is O(steps · chunks) arithmetic).
+  const core::ProblemInstance inst = planner.instance(schedule);
+  const core::PipelinedCostModel pipelined(inst, ext);
+  const auto chunk_sweep = pipelined.best_over_chunks(out.row.result.optimal.choice);
+  out.row.pipelined = chunk_sweep.completion;
+  out.row.pipeline_chunks = chunk_sweep.chunks;
   if (sc.churn.drops > 0) {
     // Churn rides on a private oracle (never the sweep's shared cache):
     // shared-cache counters depend on scenario interleaving, and the churn
@@ -193,6 +217,16 @@ std::string to_json(const SweepReport& report, bool include_cache_stats) {
     w.key("speedup_vs_static").value(finite_or_zero(r.speedup_vs_static()));
     w.key("speedup_vs_bvn").value(finite_or_zero(r.speedup_vs_bvn()));
     w.key("speedup_vs_best").value(finite_or_zero(r.speedup_vs_best_baseline()));
+    if (!row.error) {
+      // JSON-only (CSV schema frozen): the pipelined pricing of the optimal
+      // plan, plus — for kAuto scenarios — which algorithm the selector
+      // resolved.
+      w.key("pipelined_ns").value(row.pipelined.ns());
+      w.key("pipeline_chunks").value(row.pipeline_chunks);
+      if (!row.chosen_algo.empty()) {
+        w.key("chosen_algo").value(row.chosen_algo);
+      }
+    }
     if (row.error) {
       // JSON-only, like churn: the CSV schema stays frozen (error rows
       // carry default-zero numbers there).

@@ -40,16 +40,6 @@ std::string fmt_bytes_exact(Bytes b) {
   return buf;
 }
 
-const char* allreduce_suffix(AllReduceAlgo a) {
-  switch (a) {
-    case AllReduceAlgo::kRing: return "ring";
-    case AllReduceAlgo::kRecursiveDoubling: return "rd";
-    case AllReduceAlgo::kHalvingDoubling: return "hd";
-    case AllReduceAlgo::kSwing: return "swing";
-  }
-  return "?";
-}
-
 }  // namespace
 
 const char* to_string(TopologyKind kind) {
@@ -105,10 +95,10 @@ std::string to_string(const CollectiveSpec& spec) {
   std::string out = workload::to_string(spec.kind);
   if (spec.kind == CollectiveKind::kAllReduce) {
     out += ':';
-    out += allreduce_suffix(spec.allreduce);
+    out += workload::to_string(spec.allreduce);
   } else if (spec.kind == CollectiveKind::kAllToAll) {
     out += ':';
-    out += spec.alltoall == AllToAllAlgo::kBruck ? "bruck" : "transpose";
+    out += workload::to_string(spec.alltoall);
   }
   return out;
 }
@@ -127,6 +117,7 @@ std::optional<CollectiveSpec> collective_from_string(std::string_view s) {
     else if (algo == "ring") spec.allreduce = AllReduceAlgo::kRing;
     else if (algo == "rd") spec.allreduce = AllReduceAlgo::kRecursiveDoubling;
     else if (algo == "swing") spec.allreduce = AllReduceAlgo::kSwing;
+    else if (algo == "auto") spec.allreduce = AllReduceAlgo::kAuto;
     else return std::nullopt;
     return spec;
   }
@@ -134,6 +125,7 @@ std::optional<CollectiveSpec> collective_from_string(std::string_view s) {
     spec.kind = CollectiveKind::kAllToAll;
     if (algo.empty() || algo == "transpose") spec.alltoall = AllToAllAlgo::kTranspose;
     else if (algo == "bruck") spec.alltoall = AllToAllAlgo::kBruck;
+    else if (algo == "auto") spec.alltoall = AllToAllAlgo::kAuto;
     else return std::nullopt;
     return spec;
   }
@@ -145,12 +137,25 @@ std::optional<CollectiveSpec> collective_from_string(std::string_view s) {
   return spec;
 }
 
+std::string to_string(const ExtensionSpec& spec) {
+  return spec.dedup_identical_matchings ? "dedup" : "none";
+}
+
+std::optional<ExtensionSpec> extension_from_string(std::string_view s) {
+  if (s == "none") return ExtensionSpec{};
+  if (s == "dedup") return ExtensionSpec{.dedup_identical_matchings = true};
+  return std::nullopt;
+}
+
 std::string Scenario::id() const {
   std::string out = to_string(topology);
   out += "/n" + std::to_string(nodes);
   out += "/" + to_string(collective);
   out += "/" + fmt_bytes_exact(message) + "B";
   out += "/c" + std::to_string(cost_index);
+  if (!(extensions == ExtensionSpec{})) {
+    out += "/x" + to_string(extensions);
+  }
   if (churn.drops > 0) {
     char buf[48];
     std::snprintf(buf, sizeof buf, "/k%d/f%.6g/s%llu", churn.drops, churn.droop,
@@ -178,9 +183,12 @@ bool scenario_valid(const TopologySpec& topology, int nodes,
     default:
       break;
   }
+  // kAuto is valid at any node count: the selector resolves non-power-of-two
+  // domains to the universal algorithms (ring / transpose) by construction.
   const bool needs_pow2 =
       (collective.kind == CollectiveKind::kAllReduce &&
-       collective.allreduce != AllReduceAlgo::kRing) ||
+       collective.allreduce != AllReduceAlgo::kRing &&
+       collective.allreduce != AllReduceAlgo::kAuto) ||
       (collective.kind == CollectiveKind::kAllToAll &&
        collective.alltoall == AllToAllAlgo::kBruck);
   return !needs_pow2 || pow2(nodes);
@@ -192,8 +200,12 @@ std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
   PSD_REQUIRE(!grid.collectives.empty(), "grid needs at least one collective");
   PSD_REQUIRE(!grid.message_sizes.empty(), "grid needs at least one message size");
   PSD_REQUIRE(!grid.cost_params.empty(), "grid needs at least one cost point");
-  // Empty churn axes behave as the no-churn defaults so pre-churn grids
-  // expand to the same scenario list (and ids) they always did.
+  // Empty extension/churn axes behave as the plain-model, no-churn defaults
+  // so pre-existing grids expand to the same scenario list (and ids) they
+  // always did.
+  const std::vector<ExtensionSpec> extensions =
+      grid.extensions.empty() ? std::vector<ExtensionSpec>{ExtensionSpec{}}
+                              : grid.extensions;
   const std::vector<int> drop_counts =
       grid.drop_counts.empty() ? std::vector<int>{0} : grid.drop_counts;
   const std::vector<double> droops =
@@ -211,21 +223,23 @@ std::vector<Scenario> expand(const ScenarioGrid& grid, std::size_t* skipped) {
         }
         for (const auto size : grid.message_sizes) {
           for (std::size_t c = 0; c < grid.cost_params.size(); ++c) {
-            for (const int drops : drop_counts) {
-              if (drops == 0) {
-                // No churn: one scenario regardless of droop/seed values —
-                // they only parameterize faults that never happen.
-                out.push_back(Scenario{topology, n, coll, size,
-                                       grid.cost_params[c],
-                                       static_cast<int>(c), ChurnSpec{}});
-                continue;
-              }
-              for (const double droop : droops) {
-                for (const std::uint64_t seed : seeds) {
+            for (const auto& ext : extensions) {
+              for (const int drops : drop_counts) {
+                if (drops == 0) {
+                  // No churn: one scenario regardless of droop/seed values —
+                  // they only parameterize faults that never happen.
                   out.push_back(Scenario{topology, n, coll, size,
                                          grid.cost_params[c],
-                                         static_cast<int>(c),
-                                         ChurnSpec{drops, droop, seed}});
+                                         static_cast<int>(c), ext, ChurnSpec{}});
+                  continue;
+                }
+                for (const double droop : droops) {
+                  for (const std::uint64_t seed : seeds) {
+                    out.push_back(Scenario{topology, n, coll, size,
+                                           grid.cost_params[c],
+                                           static_cast<int>(c), ext,
+                                           ChurnSpec{drops, droop, seed}});
+                  }
                 }
               }
             }
@@ -308,7 +322,8 @@ int parse_int(std::string_view s, int line) {
   return v;
 }
 
-/// "4MiB", "64KiB", "1GiB", "512B" or a plain number of bytes.
+/// "4MiB", "64KiB", "1GiB", "512B", the short binary forms "4K"/"1M"/"1G",
+/// or a plain number of bytes.
 Bytes parse_size(std::string_view s, int line) {
   double scale = 1.0;
   if (s.size() > 3 && s.substr(s.size() - 3) == "KiB") {
@@ -320,12 +335,44 @@ Bytes parse_size(std::string_view s, int line) {
   } else if (s.size() > 3 && s.substr(s.size() - 3) == "GiB") {
     scale = 1024.0 * 1024.0 * 1024.0;
     s.remove_suffix(3);
+  } else if (s.size() > 1 && s.back() == 'K') {
+    scale = 1024.0;
+    s.remove_suffix(1);
+  } else if (s.size() > 1 && s.back() == 'M') {
+    scale = 1024.0 * 1024.0;
+    s.remove_suffix(1);
+  } else if (s.size() > 1 && s.back() == 'G') {
+    scale = 1024.0 * 1024.0 * 1024.0;
+    s.remove_suffix(1);
   } else if (s.size() > 1 && s.back() == 'B') {
     s.remove_suffix(1);
   }
   const double v = parse_number(trim(s), line);
   if (v <= 0.0) spec_error(line, "message size must be positive");
   return Bytes(v * scale);
+}
+
+/// A size axis value: a single size, or a log-spaced range "lo..hi" that
+/// expands to lo·4^k for k = 0, 1, … while below hi, with hi itself
+/// appended when the geometric ladder does not land on it exactly —
+/// "4K..1G" yields the ten decade points 4 KiB, 16 KiB, …, 256 MiB, 1 GiB.
+void append_sizes(std::string_view s, int line, std::vector<Bytes>& out) {
+  const auto dots = s.find("..");
+  if (dots == std::string_view::npos) {
+    out.push_back(parse_size(s, line));
+    return;
+  }
+  const Bytes lo = parse_size(trim(s.substr(0, dots)), line);
+  const Bytes hi = parse_size(trim(s.substr(dots + 2)), line);
+  if (hi.count() < lo.count()) {
+    spec_error(line, "size range upper bound below lower bound");
+  }
+  double v = lo.count();
+  while (v < hi.count() * (1.0 - 1e-9)) {
+    out.push_back(Bytes(v));
+    v *= 4.0;
+  }
+  out.push_back(hi);
 }
 
 }  // namespace
@@ -389,7 +436,16 @@ ScenarioGrid parse_grid_spec(std::string_view text) {
         grid.collectives.push_back(*c);
       }
     } else if (key == "size") {
-      for (const auto v : values) grid.message_sizes.push_back(parse_size(v, line_no));
+      for (const auto v : values) append_sizes(v, line_no, grid.message_sizes);
+    } else if (key == "extensions") {
+      for (const auto v : values) {
+        const auto e = extension_from_string(v);
+        if (!e) {
+          spec_error(line_no, "unknown extension '" + std::string(v) +
+                                  "' (expected none or dedup)");
+        }
+        grid.extensions.push_back(*e);
+      }
     } else if (key == "alpha_r_ns") {
       alpha_r_ns.clear();
       for (const auto v : values) {

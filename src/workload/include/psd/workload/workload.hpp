@@ -34,14 +34,41 @@ struct CollectiveRequest {
   std::string tag;  // provenance, e.g. "dp-bucket-2"
 };
 
-enum class AllReduceAlgo { kRing, kRecursiveDoubling, kHalvingDoubling, kSwing };
-enum class AllToAllAlgo { kTranspose, kBruck };
+/// kAuto defers the choice to a selector: the topology-blind small-message
+/// threshold below, or core::Planner::select_algorithm's cost sweep when a
+/// planner is in the loop (the way caffe2's fbcollective switches RING_FULL
+/// vs RING_CHUNKED at 4 KB without consulting a cost model).
+enum class AllReduceAlgo { kRing, kRecursiveDoubling, kHalvingDoubling, kSwing, kAuto };
+enum class AllToAllAlgo { kTranspose, kBruck, kAuto };
+
+[[nodiscard]] const char* to_string(AllReduceAlgo algo);
+[[nodiscard]] const char* to_string(AllToAllAlgo algo);
+
+/// The zero-cost fallback behind kAuto: payloads at or below the threshold
+/// resolve without any planning solve (latency-dominated messages don't
+/// repay a cost-model sweep, let alone a θ solve).
+struct AutoThresholds {
+  Bytes small_message{4096.0};  // fbcollective's RING_FULL/RING_CHUNKED line
+};
 
 struct MaterializeOptions {
   AllReduceAlgo allreduce = AllReduceAlgo::kHalvingDoubling;
   AllToAllAlgo alltoall = AllToAllAlgo::kTranspose;
   int broadcast_root = 0;
+  AutoThresholds auto_thresholds;
 };
+
+/// Topology-blind kAuto resolution (the selector-less default): at or below
+/// the small-message threshold the latency-lean algorithm wins (fewest
+/// rounds — recursive doubling / Bruck on power-of-two n), above it the
+/// bandwidth-lean default (halving/doubling / transpose). Non-power-of-two
+/// n always resolves to ring / transpose (the only universal algorithms).
+/// Planner::select_algorithm overrides this for large payloads with a
+/// cost-swept winner; the small-message side is shared by both paths.
+[[nodiscard]] AllReduceAlgo resolve_allreduce_auto(Bytes size, int n,
+                                                   const AutoThresholds& t = {});
+[[nodiscard]] AllToAllAlgo resolve_alltoall_auto(Bytes size, int n,
+                                                 const AutoThresholds& t = {});
 
 /// Turns a request into a concrete matching-level schedule for n GPUs.
 /// Power-of-two n is required for the recursive algorithms (Bruck, swing,

@@ -29,12 +29,50 @@ bool pow2(int n) { return n >= 2 && std::has_single_bit(static_cast<unsigned>(n)
 
 }  // namespace
 
+const char* to_string(AllReduceAlgo algo) {
+  switch (algo) {
+    case AllReduceAlgo::kRing: return "ring";
+    case AllReduceAlgo::kRecursiveDoubling: return "rd";
+    case AllReduceAlgo::kHalvingDoubling: return "hd";
+    case AllReduceAlgo::kSwing: return "swing";
+    case AllReduceAlgo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+const char* to_string(AllToAllAlgo algo) {
+  switch (algo) {
+    case AllToAllAlgo::kTranspose: return "transpose";
+    case AllToAllAlgo::kBruck: return "bruck";
+    case AllToAllAlgo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+AllReduceAlgo resolve_allreduce_auto(Bytes size, int n, const AutoThresholds& t) {
+  PSD_REQUIRE(size.count() > 0.0, "message size must be positive");
+  if (!pow2(n)) return AllReduceAlgo::kRing;
+  return size.count() <= t.small_message.count() ? AllReduceAlgo::kRecursiveDoubling
+                                                 : AllReduceAlgo::kHalvingDoubling;
+}
+
+AllToAllAlgo resolve_alltoall_auto(Bytes size, int n, const AutoThresholds& t) {
+  PSD_REQUIRE(size.count() > 0.0, "message size must be positive");
+  if (!pow2(n)) return AllToAllAlgo::kTranspose;
+  return size.count() <= t.small_message.count() ? AllToAllAlgo::kBruck
+                                                 : AllToAllAlgo::kTranspose;
+}
+
 collective::CollectiveSchedule materialize(const CollectiveRequest& request,
                                            int n, const MaterializeOptions& opts) {
   PSD_REQUIRE(request.size.count() > 0.0, "request size must be positive");
   switch (request.kind) {
-    case CollectiveKind::kAllReduce:
-      switch (opts.allreduce) {
+    case CollectiveKind::kAllReduce: {
+      AllReduceAlgo algo = opts.allreduce;
+      if (algo == AllReduceAlgo::kAuto) {
+        algo = resolve_allreduce_auto(request.size, n, opts.auto_thresholds);
+      }
+      switch (algo) {
         case AllReduceAlgo::kRing:
           return collective::ring_allreduce(n, request.size);
         case AllReduceAlgo::kRecursiveDoubling:
@@ -43,8 +81,11 @@ collective::CollectiveSchedule materialize(const CollectiveRequest& request,
           return collective::halving_doubling_allreduce(n, request.size);
         case AllReduceAlgo::kSwing:
           return collective::swing_allreduce(n, request.size);
+        case AllReduceAlgo::kAuto:
+          break;  // unreachable: resolved above
       }
       break;
+    }
     case CollectiveKind::kAllGather:
       if (pow2(n)) return collective::recursive_doubling_allgather(n, request.size);
       return collective::ring_allgather(n, request.size);
@@ -55,11 +96,16 @@ collective::CollectiveSchedule materialize(const CollectiveRequest& request,
             collective::halving_doubling_peers(n));
       }
       return collective::ring_reduce_scatter(n, request.size);
-    case CollectiveKind::kAllToAll:
-      if (opts.alltoall == AllToAllAlgo::kBruck) {
+    case CollectiveKind::kAllToAll: {
+      AllToAllAlgo algo = opts.alltoall;
+      if (algo == AllToAllAlgo::kAuto) {
+        algo = resolve_alltoall_auto(request.size, n, opts.auto_thresholds);
+      }
+      if (algo == AllToAllAlgo::kBruck) {
         return collective::alltoall_bruck(n, request.size);
       }
       return collective::alltoall_transpose(n, request.size);
+    }
     case CollectiveKind::kBroadcast:
       return collective::binomial_broadcast(n, opts.broadcast_root, request.size);
   }

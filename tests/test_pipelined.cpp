@@ -1,0 +1,313 @@
+// Chunk-pipelined execution: simulator mode, analytic model calibration,
+// and the size-adaptive algorithm selector built on both.
+#include "psd/core/pipelined_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "psd/collective/algorithms.hpp"
+#include "psd/core/algo_select.hpp"
+#include "psd/core/optimizers.hpp"
+#include "psd/sim/flow_sim.hpp"
+#include "psd/topo/builders.hpp"
+
+namespace psd::core {
+namespace {
+
+using collective::CollectiveSchedule;
+using sim::FlowLevelSimulator;
+using sim::SimConfig;
+using topo::Matching;
+
+CostParams paper_params(TimeNs alpha_r) {
+  CostParams p;
+  p.alpha = nanoseconds(100);
+  p.delta = nanoseconds(100);
+  p.alpha_r = alpha_r;
+  p.b = gbps(800);
+  return p;
+}
+
+FlowLevelSimulator make_sim(int n, TimeNs alpha_r, bool pipeline, int chunks) {
+  SimConfig cfg;
+  cfg.params = paper_params(alpha_r);
+  cfg.pipeline = pipeline;
+  cfg.pipeline_chunks = chunks;
+  return FlowLevelSimulator(topo::directed_ring(n, gbps(800)),
+                            Matching::rotation(n, 1), cfg);
+}
+
+ProblemInstance make_instance(const CollectiveSchedule& sched, int n,
+                              TimeNs alpha_r) {
+  const auto base = topo::directed_ring(n, gbps(800));
+  const flow::ThetaOracle oracle(base, gbps(800));
+  return ProblemInstance(sched, oracle, paper_params(alpha_r));
+}
+
+std::vector<TopoChoice> uniform_plan(const CollectiveSchedule& sched,
+                                     TopoChoice c) {
+  return std::vector<TopoChoice>(static_cast<std::size_t>(sched.num_steps()), c);
+}
+
+// ---- Degeneration: one chunk IS the barrier schedule ----------------------
+
+// Golden pin of the ISSUE acceptance config: at pipeline_chunks == 1 the
+// pipelined simulator, the barrier simulator, the analytic pipelined model,
+// and Eq. (4)/(7) evaluate_plan all agree on the same number.
+TEST(Pipelined, SingleChunkDegeneratesToBarrier) {
+  const int n = 8;
+  const auto sched = collective::ring_allreduce(n, mib(4));
+  for (const TopoChoice c : {TopoChoice::kBase, TopoChoice::kMatched}) {
+    const auto plan = uniform_plan(sched, c);
+    auto barrier = make_sim(n, microseconds(10), /*pipeline=*/false, 1);
+    auto pipelined = make_sim(n, microseconds(10), /*pipeline=*/true, 1);
+    const double t_barrier = barrier.run(sched, plan).completion_time.ns();
+    const double t_pipe = pipelined.run(sched, plan).completion_time.ns();
+    EXPECT_NEAR(t_pipe, t_barrier, 1e-12 * t_barrier);
+
+    const auto inst = make_instance(sched, n, microseconds(10));
+    const auto analytic = evaluate_plan(inst, plan);
+    const PipelinedCostModel model(inst);
+    EXPECT_NEAR(model.completion(plan, 1).ns(), analytic.total_time().ns(),
+                1e-9 * analytic.total_time().ns());
+    EXPECT_NEAR(t_pipe, analytic.total_time().ns(),
+                1e-6 * analytic.total_time().ns());
+  }
+}
+
+// Per-step traces agree between the modes at C = 1 (same barrier schedule).
+TEST(Pipelined, SingleChunkStepTracesMatchBarrier) {
+  const int n = 8;
+  const auto sched = collective::halving_doubling_allreduce(n, mib(1));
+  const auto plan = uniform_plan(sched, TopoChoice::kMatched);
+  auto barrier = make_sim(n, microseconds(10), false, 1);
+  auto pipelined = make_sim(n, microseconds(10), true, 1);
+  const auto rb = barrier.run(sched, plan);
+  const auto rp = pipelined.run(sched, plan);
+  ASSERT_EQ(rb.steps.size(), rp.steps.size());
+  EXPECT_EQ(rb.reconfigurations, rp.reconfigurations);
+  for (std::size_t i = 0; i < rb.steps.size(); ++i) {
+    const double scale = std::max(1.0, rb.steps[i].end.ns());
+    EXPECT_NEAR(rp.steps[i].start.ns(), rb.steps[i].start.ns(), 1e-12 * scale);
+    EXPECT_NEAR(rp.steps[i].comm_start.ns(), rb.steps[i].comm_start.ns(),
+                1e-12 * scale);
+    EXPECT_NEAR(rp.steps[i].end.ns(), rb.steps[i].end.ns(), 1e-12 * scale);
+    EXPECT_DOUBLE_EQ(rp.steps[i].theta, rb.steps[i].theta);
+    EXPECT_EQ(rp.steps[i].max_hops, rb.steps[i].max_hops);
+  }
+}
+
+// ---- Calibration: analytic model == simulator, all chunk counts -----------
+
+// The PipelinedCostModel evaluates the same recurrence the simulator
+// executes; they must agree to floating-point noise on every builder,
+// node count, plan shape, and chunk count.
+TEST(Pipelined, ModelMatchesSimulatorAcrossGrid) {
+  const TimeNs alpha_r = microseconds(10);
+  for (const int n : {4, 8, 16}) {
+    const std::vector<std::pair<const char*, CollectiveSchedule>> schedules = {
+        {"ring", collective::ring_allreduce(n, mib(8))},
+        {"hd", collective::halving_doubling_allreduce(n, mib(8))},
+        {"rd", collective::recursive_doubling_allreduce(n, kib(256))},
+        {"transpose", collective::alltoall_transpose(n, mib(2))},
+    };
+    for (const auto& [name, sched] : schedules) {
+      const auto inst = make_instance(sched, n, alpha_r);
+      const auto optimal = optimal_plan(inst, {});
+      const std::vector<std::vector<TopoChoice>> plans = {
+          uniform_plan(sched, TopoChoice::kBase),
+          uniform_plan(sched, TopoChoice::kMatched),
+          optimal.choice,
+      };
+      const PipelinedCostModel model(inst);
+      for (const auto& plan : plans) {
+        for (const int chunks : {1, 2, 4, 8}) {
+          auto sim = make_sim(n, alpha_r, true, chunks);
+          const double t_sim = sim.run(sched, plan).completion_time.ns();
+          const double t_model = model.completion(plan, chunks).ns();
+          EXPECT_NEAR(t_model, t_sim, 1e-6 * std::max(1.0, t_sim))
+              << name << " n=" << n << " chunks=" << chunks;
+        }
+      }
+    }
+  }
+}
+
+// ---- The pipelining tradeoff ----------------------------------------------
+
+// best_over_chunks includes C = 1, so adopting pipelining can never predict
+// a completion above the barrier schedule.
+TEST(Pipelined, BestOverChunksNeverAboveBarrier) {
+  for (const int n : {4, 8, 16}) {
+    for (const auto& sched : {collective::ring_allreduce(n, mib(16)),
+                              collective::halving_doubling_allreduce(n, kib(64))}) {
+      const auto inst = make_instance(sched, n, microseconds(10));
+      const auto optimal = optimal_plan(inst, {});
+      const PipelinedCostModel model(inst);
+      const auto sweep = model.best_over_chunks(optimal.choice, 64);
+      EXPECT_LE(sweep.completion.ns(), sweep.barrier.ns());
+      const auto barrier = evaluate_plan(inst, optimal.choice);
+      EXPECT_NEAR(sweep.barrier.ns(), barrier.total_time().ns(),
+                  1e-9 * barrier.total_time().ns());
+    }
+  }
+}
+
+// With α = 0 chunking costs nothing, so EVERY chunk count is at least as
+// fast as the barrier schedule (monotone overlap), not just the best one.
+TEST(Pipelined, ZeroAlphaPipeliningNeverHurts) {
+  CostParams p = paper_params(microseconds(10));
+  p.alpha = TimeNs(0.0);
+  for (const int n : {4, 8}) {
+    const auto sched = collective::ring_allreduce(n, mib(4));
+    const auto base = topo::directed_ring(n, gbps(800));
+    const flow::ThetaOracle oracle(base, gbps(800));
+    const ProblemInstance inst(sched, oracle, p);
+    const PipelinedCostModel model(inst);
+    const auto plan = uniform_plan(sched, TopoChoice::kBase);
+    const double barrier = model.completion(plan, 1).ns();
+    for (const int chunks : {2, 4, 8, 16, 32}) {
+      EXPECT_LE(model.completion(plan, chunks).ns(), barrier * (1.0 + 1e-12))
+          << "n=" << n << " chunks=" << chunks;
+    }
+  }
+}
+
+// A reconfiguration-free plan on big payloads overlaps consecutive steps, so
+// pipelining strictly beats the barrier schedule wherever the hidden
+// propagation exceeds the extra α rounds. Neighbor-matched steps (ℓ = 1)
+// have nothing to hide at δ = α — halving/doubling ridden entirely on the
+// base ring reaches ℓ up to n/2, and there chunking wins outright.
+TEST(Pipelined, LargeMessagesBenefitOnReconfigFreePlan) {
+  const int n = 8;
+  const auto sched = collective::halving_doubling_allreduce(n, mib(64));
+  const auto inst = make_instance(sched, n, microseconds(10));
+  const PipelinedCostModel model(inst);
+  const auto plan = uniform_plan(sched, TopoChoice::kBase);  // z_i free
+  const auto sweep = model.best_over_chunks(plan, 64);
+  EXPECT_LT(sweep.completion.ns(), sweep.barrier.ns());
+  EXPECT_GT(sweep.chunks, 1);
+}
+
+// ---- Size-adaptive selection ----------------------------------------------
+
+// The ISSUE acceptance pin: on one topology (directed ring, n = 8) kAuto
+// resolves to different allreduce algorithms at ≤ 4 KiB vs ≥ 64 MiB, and the
+// large-message winner's pipelined DCT beats the barrier DCT of the default
+// (halving/doubling) algorithm.
+TEST(AlgoSelect, AllReduceFlipsAcrossSizes) {
+  const int n = 8;
+  Planner planner(topo::directed_ring(n, gbps(800)), paper_params(microseconds(10)));
+  workload::MaterializeOptions opts;
+  opts.allreduce = workload::AllReduceAlgo::kAuto;
+
+  const workload::CollectiveRequest small{workload::CollectiveKind::kAllReduce,
+                                          kib(4), "small"};
+  const auto sel_small = select_algorithm(planner, small, opts);
+  EXPECT_TRUE(sel_small.threshold_fallback);
+  EXPECT_EQ(sel_small.chosen.algo, "rd");
+
+  const workload::CollectiveRequest large{workload::CollectiveKind::kAllReduce,
+                                          mib(64), "large"};
+  const auto sel_large = select_algorithm(planner, large, opts);
+  EXPECT_FALSE(sel_large.threshold_fallback);
+  EXPECT_EQ(sel_large.chosen.algo, "ring");
+  EXPECT_NE(sel_small.chosen.algo, sel_large.chosen.algo);
+
+  // The pipelined winner beats the barrier cost of the non-adaptive default.
+  opts.allreduce = workload::AllReduceAlgo::kHalvingDoubling;
+  const auto sched = workload::materialize(large, n, opts);
+  const auto default_plan = optimal_plan(planner.instance(sched), {});
+  EXPECT_LT(sel_large.chosen.pipelined_dct.ns(),
+            default_plan.total_time().ns());
+  // And never exceeds its own barrier plan (C = 1 swept).
+  EXPECT_LE(sel_large.chosen.pipelined_dct.ns(),
+            sel_large.chosen.barrier_dct.ns());
+}
+
+TEST(AlgoSelect, AllToAllAutoResolves) {
+  const int n = 8;
+  Planner planner(topo::directed_ring(n, gbps(800)), paper_params(microseconds(10)));
+  workload::MaterializeOptions opts;
+  opts.alltoall = workload::AllToAllAlgo::kAuto;
+
+  const workload::CollectiveRequest small{workload::CollectiveKind::kAllToAll,
+                                          kib(2), "small"};
+  const auto sel_small = select_algorithm(planner, small, opts);
+  EXPECT_TRUE(sel_small.threshold_fallback);
+  EXPECT_EQ(sel_small.chosen.algo, "bruck");
+
+  const workload::CollectiveRequest large{workload::CollectiveKind::kAllToAll,
+                                          mib(32), "large"};
+  const auto sel_large = select_algorithm(planner, large, opts);
+  EXPECT_FALSE(sel_large.threshold_fallback);
+  EXPECT_EQ(sel_large.candidates.size(), 2u);
+  EXPECT_LE(sel_large.chosen.pipelined_dct.ns(),
+            sel_large.candidates.front().pipelined_dct.ns());
+}
+
+// Non-power-of-two domains can only run the universal algorithms; the
+// selector must not materialize a recursive candidate that would throw.
+TEST(AlgoSelect, NonPow2FallsBackToUniversalAlgorithms) {
+  const int n = 6;
+  Planner planner(topo::directed_ring(n, gbps(800)), paper_params(microseconds(10)));
+  const workload::CollectiveRequest req{workload::CollectiveKind::kAllReduce,
+                                        mib(16), "np2"};
+  const auto sel = select_algorithm(planner, req);
+  EXPECT_EQ(sel.candidates.size(), 1u);
+  EXPECT_EQ(sel.chosen.algo, "ring");
+}
+
+TEST(AlgoSelect, RejectsNonSelectableKinds) {
+  Planner planner(topo::directed_ring(8, gbps(800)), paper_params(microseconds(10)));
+  const workload::CollectiveRequest req{workload::CollectiveKind::kBroadcast,
+                                        mib(1), "bcast"};
+  EXPECT_THROW((void)select_algorithm(planner, req), InvalidArgument);
+}
+
+// Deterministic: identical inputs produce identical selections (the sweep
+// order is pinned and ties keep the earlier candidate).
+TEST(AlgoSelect, Deterministic) {
+  Planner planner(topo::directed_ring(8, gbps(800)), paper_params(microseconds(10)));
+  const workload::CollectiveRequest req{workload::CollectiveKind::kAllReduce,
+                                        mib(8), "det"};
+  const auto a = select_algorithm(planner, req);
+  const auto b = select_algorithm(planner, req);
+  EXPECT_EQ(a.chosen.algo, b.chosen.algo);
+  EXPECT_EQ(a.chosen.pipeline_chunks, b.chosen.pipeline_chunks);
+  EXPECT_DOUBLE_EQ(a.chosen.pipelined_dct.ns(), b.chosen.pipelined_dct.ns());
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].algo, b.candidates[i].algo);
+  }
+}
+
+// Natural granularity: pipeline_chunks == 0 asks the schedule. Ring
+// allreduce steps move one chunk per pair, so its natural granularity is 1
+// and the pipelined run must equal the barrier run.
+TEST(Pipelined, NaturalChunksFromSchedule) {
+  const int n = 8;
+  const auto sched = collective::ring_allreduce(n, mib(2));
+  EXPECT_EQ(sched.natural_pipeline_chunks(), 1);
+  const auto plan = uniform_plan(sched, TopoChoice::kBase);
+  auto barrier = make_sim(n, microseconds(10), false, 1);
+  auto natural = make_sim(n, microseconds(10), true, 0);
+  EXPECT_NEAR(natural.run(sched, plan).completion_time.ns(),
+              barrier.run(sched, plan).completion_time.ns(), 1e-9);
+}
+
+TEST(Pipelined, RequiresConcurrentFlowPolicy) {
+  SimConfig cfg;
+  cfg.params = paper_params(microseconds(10));
+  cfg.policy = sim::RatePolicy::kMaxMinFair;
+  cfg.pipeline = true;
+  FlowLevelSimulator sim(topo::directed_ring(4, gbps(800)),
+                         Matching::rotation(4, 1), cfg);
+  const auto sched = collective::ring_allreduce(4, mib(1));
+  EXPECT_THROW((void)sim.run(sched, uniform_plan(sched, TopoChoice::kBase)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::core

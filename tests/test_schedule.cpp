@@ -215,5 +215,60 @@ TEST(CollectiveSchedule, StepIndexBounds) {
   EXPECT_THROW((void)s.step(0), psd::InvalidArgument);
 }
 
+// The pipelining-granularity accessors behind SimConfig::pipeline_chunks=0:
+// the widest per-pair transfer is the finest split a pipelined executor can
+// use without going below the schedule's own chunk size.
+TEST(CollectiveSchedule, MaxTransferChunksPerStep) {
+  auto s = make_sched();
+  Step wide;
+  wide.matching = Matching::rotation(4, 1);
+  wide.volume = s.chunk_size() * 2.0;
+  for (int j = 0; j < 4; ++j) {
+    wide.transfers.push_back({j, (j + 1) % 4, {j, (j + 2) % 4}, false});
+  }
+  EXPECT_EQ(wide.max_transfer_chunks(), 2);
+
+  Step bare;  // un-annotated: no transfer to take a width from
+  bare.matching = Matching::rotation(4, 1);
+  bare.volume = kib(1);
+  EXPECT_EQ(bare.max_transfer_chunks(), 0);
+}
+
+TEST(CollectiveSchedule, NaturalPipelineChunks) {
+  // No annotated step anywhere: fall back to the declared chunk count.
+  auto bare = make_sched();
+  Step st;
+  st.matching = Matching::rotation(4, 1);
+  st.volume = kib(1);
+  bare.add_step(st);
+  EXPECT_EQ(bare.natural_pipeline_chunks(), 4);
+  EXPECT_EQ(make_sched().natural_pipeline_chunks(), 4);  // even with no steps
+
+  // Single-chunk transfers: already chunk-granular, nothing to split.
+  auto fine = make_sched();
+  Step single;
+  single.matching = Matching::rotation(4, 1);
+  single.volume = fine.chunk_size();
+  for (int j = 0; j < 4; ++j) {
+    single.transfers.push_back({j, (j + 1) % 4, {j}, false});
+  }
+  fine.add_step(single);
+  EXPECT_EQ(fine.natural_pipeline_chunks(), 1);
+
+  // Mixed widths across steps: the widest annotated step wins, and an
+  // un-annotated step in between doesn't reset the maximum.
+  auto mixed = make_sched();
+  Step wide;
+  wide.matching = Matching::rotation(4, 1);
+  wide.volume = mixed.chunk_size() * 2.0;
+  for (int j = 0; j < 4; ++j) {
+    wide.transfers.push_back({j, (j + 1) % 4, {j, (j + 2) % 4}, false});
+  }
+  mixed.add_step(wide);
+  mixed.add_step(st);      // un-annotated
+  mixed.add_step(single);  // width 1
+  EXPECT_EQ(mixed.natural_pipeline_chunks(), 2);
+}
+
 }  // namespace
 }  // namespace psd::collective

@@ -171,6 +171,50 @@ TEST(PlanService, ColdSolveThenMemoHit) {
   svc.shutdown();
 }
 
+// Every OK plan response carries the chunk-pipelined price of the optimal
+// plan; chosen_algo appears exactly when the request asked for algo=auto.
+TEST(PlanService, PipelinedPricingAndAutoSelectionOnTheWire) {
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("fixed"));
+  const auto fixed = cap.wait("fixed");
+  ASSERT_EQ(code_of(fixed), "OK");
+  ASSERT_NE(fixed.find("pipelined_ns"), nullptr);
+  EXPECT_GT(fixed.find("pipelined_ns")->as_number(), 0.0);
+  EXPECT_LE(fixed.find("pipelined_ns")->as_number(),
+            fixed.find("optimal_ns")->as_number() * (1 + 1e-9));
+  EXPECT_GE(fixed.find("pipeline_chunks")->as_number(), 1.0);
+  // Explicit algorithm: no selection happened, no chosen_algo field.
+  EXPECT_EQ(fixed.find("chosen_algo"), nullptr);
+
+  // algo=auto large: the selector sweeps candidates and reports the winner.
+  svc.submit_line(
+      R"({"op":"plan","id":"auto-big","topology":"ring","nodes":8,)"
+      R"("collective":"allreduce:auto","message_bytes":67108864,)"
+      R"("alpha_ns":100,"delta_ns":100,"alpha_r_ns":10000,)"
+      R"("bandwidth_gbps":800})");
+  const auto big = cap.wait("auto-big");
+  ASSERT_EQ(code_of(big), "OK");
+  ASSERT_NE(big.find("chosen_algo"), nullptr);
+  EXPECT_EQ(big.find("chosen_algo")->as_string(), "ring");
+
+  // algo=auto small: the threshold fallback picks the latency-lean
+  // algorithm without a candidate sweep.
+  svc.submit_line(
+      R"({"op":"plan","id":"auto-small","topology":"ring","nodes":8,)"
+      R"("collective":"allreduce:auto","message_bytes":4096,)"
+      R"("alpha_ns":100,"delta_ns":100,"alpha_r_ns":10000,)"
+      R"("bandwidth_gbps":800})");
+  const auto small = cap.wait("auto-small");
+  ASSERT_EQ(code_of(small), "OK");
+  ASSERT_NE(small.find("chosen_algo"), nullptr);
+  EXPECT_EQ(small.find("chosen_algo")->as_string(), "rd");
+  svc.shutdown();
+}
+
 TEST(PlanService, CoalescesIdenticalInFlightRequests) {
   Capture cap;
   ServiceOptions opts;

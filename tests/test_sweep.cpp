@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "psd/sweep/driver.hpp"
@@ -170,6 +171,95 @@ TEST(GridSpec, RejectsMalformedInput) {
                                       "collective = allgather\n"),
                InvalidArgument);  // missing size
   EXPECT_THROW(sweep::parse_grid_spec(""), InvalidArgument);
+}
+
+TEST(GridSpec, ParsesAutoCollectivesAndShortSuffixes) {
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\n"
+      "nodes = 8\n"
+      "collective = allreduce:auto, alltoall:auto\n"
+      "size = 4K, 2M, 1G\n");
+  ASSERT_EQ(grid.collectives.size(), 2u);
+  EXPECT_EQ(grid.collectives[0].kind, CollectiveKind::kAllReduce);
+  EXPECT_EQ(grid.collectives[0].allreduce, AllReduceAlgo::kAuto);
+  EXPECT_EQ(grid.collectives[1].kind, CollectiveKind::kAllToAll);
+  EXPECT_EQ(grid.collectives[1].alltoall, AllToAllAlgo::kAuto);
+  // The single-letter binary suffixes (K/M/G == KiB/MiB/GiB).
+  ASSERT_EQ(grid.message_sizes.size(), 3u);
+  EXPECT_EQ(grid.message_sizes[0].count(), 4096.0);
+  EXPECT_EQ(grid.message_sizes[1].count(), 2.0 * 1024.0 * 1024.0);
+  EXPECT_EQ(grid.message_sizes[2].count(), 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(GridSpec, ParsesLogSpacedSizeRanges) {
+  // lo..hi expands to lo·4^k with the upper bound appended when the
+  // progression misses it exactly.
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\nnodes = 8\ncollective = allgather\n"
+      "size = 4K..1G\n");
+  ASSERT_EQ(grid.message_sizes.size(), 10u);
+  for (std::size_t i = 0; i < grid.message_sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grid.message_sizes[i].count(),
+                     4096.0 * std::pow(4.0, static_cast<double>(i)));
+  }
+
+  const auto offgrid = sweep::parse_grid_spec(
+      "topology = ring\nnodes = 8\ncollective = allgather\n"
+      "size = 1KiB..10KiB\n");
+  ASSERT_EQ(offgrid.message_sizes.size(), 3u);
+  EXPECT_DOUBLE_EQ(offgrid.message_sizes[0].count(), 1024.0);
+  EXPECT_DOUBLE_EQ(offgrid.message_sizes[1].count(), 4096.0);
+  EXPECT_DOUBLE_EQ(offgrid.message_sizes[2].count(), 10.0 * 1024.0);
+
+  // A degenerate range is the single point; ranges mix with plain sizes.
+  const auto mixed = sweep::parse_grid_spec(
+      "topology = ring\nnodes = 8\ncollective = allgather\n"
+      "size = 512B, 4K..64K\n");
+  ASSERT_EQ(mixed.message_sizes.size(), 4u);
+  EXPECT_DOUBLE_EQ(mixed.message_sizes[0].count(), 512.0);
+  EXPECT_DOUBLE_EQ(mixed.message_sizes[3].count(), 65536.0);
+
+  EXPECT_THROW(sweep::parse_grid_spec(
+                   "topology = ring\nnodes = 8\ncollective = allgather\n"
+                   "size = 1G..4K\n"),
+               InvalidArgument);  // descending range
+}
+
+TEST(GridSpec, ParsesExtensionsAxis) {
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\nnodes = 8\ncollective = allgather\nsize = 1MiB\n"
+      "extensions = none, dedup\n");
+  ASSERT_EQ(grid.extensions.size(), 2u);
+  EXPECT_FALSE(grid.extensions[0].dedup_identical_matchings);
+  EXPECT_TRUE(grid.extensions[1].dedup_identical_matchings);
+
+  // Unspecified: empty axis, expand() treats it as {none} so legacy
+  // scenario ids are untouched.
+  const auto bare = sweep::parse_grid_spec(
+      "topology = ring\nnodes = 8\ncollective = allgather\nsize = 1MiB\n");
+  EXPECT_TRUE(bare.extensions.empty());
+
+  EXPECT_THROW(sweep::parse_grid_spec(
+                   "topology = ring\nnodes = 8\ncollective = allgather\n"
+                   "size = 1MiB\nextensions = frobnicate\n"),
+               InvalidArgument);
+}
+
+TEST(ScenarioGrid, ExtensionsAxisExpandsAndSuffixesIds) {
+  ScenarioGrid grid;
+  grid.topologies = {TopologyKind::kDirectedRing};
+  grid.node_counts = {4};
+  grid.collectives = {CollectiveSpec{.kind = CollectiveKind::kAllGather}};
+  grid.message_sizes = {mib(1)};
+  grid.cost_params = {cost(100.0)};
+  grid.extensions = {sweep::ExtensionSpec{},
+                     sweep::ExtensionSpec{.dedup_identical_matchings = true}};
+  const auto scenarios = sweep::expand(grid);
+  ASSERT_EQ(scenarios.size(), 2u);
+  // Default extensions leave the id untouched (legacy ids stay stable);
+  // non-default ones get the "/x" suffix before any churn suffix.
+  EXPECT_EQ(scenarios[0].id(), "ring/n4/allgather/1048576B/c0");
+  EXPECT_EQ(scenarios[1].id(), "ring/n4/allgather/1048576B/c0/xdedup");
 }
 
 // ---- Explicit torus shapes -----------------------------------------------
@@ -371,9 +461,11 @@ TEST(SweepDocs, WorkedExampleMatchesDocsVerbatim) {
       "134600.32000000001,134600.32000000001,6,2.2139715566798053,1,1\n";
   EXPECT_EQ(sweep::to_csv(report), expected);
   // The cache-counter story told by the doc: 3 distinct step matchings
-  // solved once, 9 further lookups served from memory.
+  // solved once, 21 further lookups served from memory (the planner's
+  // instance build plus the pipelined-pricing instance, both all-hits after
+  // the first scenario's misses).
   EXPECT_EQ(report.cache.misses, 3u);
-  EXPECT_EQ(report.cache.hits, 9u);
+  EXPECT_EQ(report.cache.hits, 21u);
 }
 
 TEST(SweepDriver, JsonReportHasSchemaAndCacheBlock) {
@@ -395,6 +487,76 @@ TEST(SweepDriver, JsonReportHasSchemaAndCacheBlock) {
   EXPECT_NE(json.find("\"hit_rate\":"), std::string::npos);
   const auto without = sweep::to_json(report, /*include_cache_stats=*/false);
   EXPECT_EQ(without.find("\"cache\""), std::string::npos);
+}
+
+// ---- Pipelined pricing and algo=auto rows --------------------------------
+
+TEST(SweepDriver, RowsCarryPipelinedPricingAndChosenAlgo) {
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\n"
+      "nodes = 8\n"
+      "collective = allreduce:auto, allreduce:hd\n"
+      "size = 4K, 64M\n"
+      "alpha_r_ns = 10000\n");
+  sweep::SweepOptions options;
+  options.parallel = false;
+  const auto report = sweep::run_sweep(grid, options);
+  ASSERT_EQ(report.rows.size(), 4u);
+  for (const auto& row : report.rows) {
+    ASSERT_FALSE(row.error.has_value()) << row.scenario.id();
+    // A single chunk is always swept, so the pipelined price never exceeds
+    // the barrier optimum.
+    EXPECT_GT(row.pipelined.ns(), 0.0) << row.scenario.id();
+    EXPECT_LE(row.pipelined.ns(),
+              row.result.optimal.total_time().ns() * (1 + 1e-9))
+        << row.scenario.id();
+    EXPECT_GE(row.pipeline_chunks, 1) << row.scenario.id();
+  }
+  // chosen_algo is filled exactly on the auto rows, and never "auto".
+  EXPECT_EQ(report.rows[0].chosen_algo, "rd");    // 4 KiB: threshold fallback
+  EXPECT_EQ(report.rows[1].chosen_algo, "ring");  // 64 MiB: cost-swept winner
+  EXPECT_TRUE(report.rows[2].chosen_algo.empty());
+  EXPECT_TRUE(report.rows[3].chosen_algo.empty());
+
+  // The JSON report carries the new fields (the CSV schema is frozen and
+  // must not grow them).
+  const auto doc = parse_json(sweep::to_json(report));
+  const auto& rows = doc.find("rows")->as_array();
+  ASSERT_NE(rows[0].find("pipelined_ns"), nullptr);
+  ASSERT_NE(rows[0].find("pipeline_chunks"), nullptr);
+  ASSERT_NE(rows[0].find("chosen_algo"), nullptr);
+  EXPECT_EQ(rows[0].find("chosen_algo")->as_string(), "rd");
+  EXPECT_EQ(rows[2].find("chosen_algo"), nullptr);
+  const auto csv_header = sweep::to_csv(report).substr(
+      0, sweep::to_csv(report).find('\n'));
+  EXPECT_EQ(csv_header.find("pipelined"), std::string::npos);
+  EXPECT_EQ(csv_header.find("chosen_algo"), std::string::npos);
+}
+
+// The dedup extension rides per scenario: on a schedule with repeated
+// matchings it lowers (or keeps) the naive-BvN baseline, and the axis is
+// what distinguishes the two rows' ids.
+TEST(SweepDriver, ExtensionAxisChangesModelPerRow) {
+  const auto grid = sweep::parse_grid_spec(
+      "topology = ring\n"
+      "nodes = 8\n"
+      "collective = allreduce:ring\n"
+      "size = 1MiB\n"
+      "alpha_r_ns = 10000\n"
+      "extensions = none, dedup\n");
+  sweep::SweepOptions options;
+  options.parallel = false;
+  const auto report = sweep::run_sweep(grid, options);
+  ASSERT_EQ(report.rows.size(), 2u);
+  const auto& plain = report.rows[0];
+  const auto& dedup = report.rows[1];
+  ASSERT_FALSE(plain.error.has_value());
+  ASSERT_FALSE(dedup.error.has_value());
+  EXPECT_EQ(dedup.scenario.id(), plain.scenario.id() + "/xdedup");
+  // Ring allreduce reuses one rotation matching across all 2(n-1) steps:
+  // dedup charges its reconfiguration once instead of per step.
+  EXPECT_LT(dedup.result.naive_bvn.total_time().ns(),
+            plain.result.naive_bvn.total_time().ns());
 }
 
 // ---- Per-row error containment ------------------------------------------

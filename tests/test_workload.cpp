@@ -28,6 +28,55 @@ TEST(Materialize, AllToAllAlgoSelection) {
   EXPECT_EQ(materialize(req, 8, opts).num_steps(), 3);
 }
 
+// The topology-blind kAuto fallback: latency-lean at or below the 4 KiB
+// threshold, bandwidth-lean above, ring/transpose on non-power-of-two n
+// regardless of size (the recursive algorithms cannot materialize there).
+TEST(Materialize, ResolveAllReduceAuto) {
+  EXPECT_EQ(resolve_allreduce_auto(kib(4), 8), AllReduceAlgo::kRecursiveDoubling);
+  EXPECT_EQ(resolve_allreduce_auto(Bytes(4097.0), 8),
+            AllReduceAlgo::kHalvingDoubling);
+  EXPECT_EQ(resolve_allreduce_auto(mib(64), 8), AllReduceAlgo::kHalvingDoubling);
+  EXPECT_EQ(resolve_allreduce_auto(kib(1), 6), AllReduceAlgo::kRing);
+  EXPECT_EQ(resolve_allreduce_auto(mib(64), 6), AllReduceAlgo::kRing);
+  AutoThresholds t;
+  t.small_message = mib(1);
+  EXPECT_EQ(resolve_allreduce_auto(kib(512), 8, t),
+            AllReduceAlgo::kRecursiveDoubling);
+}
+
+TEST(Materialize, ResolveAllToAllAuto) {
+  EXPECT_EQ(resolve_alltoall_auto(kib(2), 8), AllToAllAlgo::kBruck);
+  EXPECT_EQ(resolve_alltoall_auto(mib(8), 8), AllToAllAlgo::kTranspose);
+  // Bruck needs power-of-two n; transpose is the universal fallback.
+  EXPECT_EQ(resolve_alltoall_auto(kib(2), 6), AllToAllAlgo::kTranspose);
+}
+
+// materialize() resolves kAuto through the same fallback, so the builder it
+// picks matches the resolved enum's builder exactly.
+TEST(Materialize, AutoMaterializesResolvedAlgorithm) {
+  MaterializeOptions opts;
+  opts.allreduce = AllReduceAlgo::kAuto;
+  const auto small =
+      materialize({CollectiveKind::kAllReduce, kib(2), ""}, 8, opts);
+  EXPECT_EQ(small.num_steps(), 3);  // recursive doubling: log2(8) rounds
+  const auto large =
+      materialize({CollectiveKind::kAllReduce, mib(16), ""}, 8, opts);
+  EXPECT_EQ(large.num_steps(), 6);  // halving/doubling: 2·log2(8) rounds
+
+  opts.alltoall = AllToAllAlgo::kAuto;
+  const auto a2a_small =
+      materialize({CollectiveKind::kAllToAll, kib(2), ""}, 8, opts);
+  EXPECT_EQ(a2a_small.num_steps(), 3);  // Bruck
+  const auto a2a_large =
+      materialize({CollectiveKind::kAllToAll, mib(16), ""}, 8, opts);
+  EXPECT_EQ(a2a_large.num_steps(), 7);  // transpose
+}
+
+TEST(Materialize, AutoAlgoNames) {
+  EXPECT_STREQ(to_string(AllReduceAlgo::kAuto), "auto");
+  EXPECT_STREQ(to_string(AllToAllAlgo::kAuto), "auto");
+}
+
 TEST(Materialize, GatherScatterAndBroadcast) {
   EXPECT_EQ(materialize({CollectiveKind::kAllGather, mib(1), ""}, 8).num_steps(), 3);
   EXPECT_EQ(materialize({CollectiveKind::kAllGather, mib(1), ""}, 6).num_steps(), 5);

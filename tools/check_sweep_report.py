@@ -32,6 +32,34 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_pipelined(i, row):
+    """Validates the JSON-only pipelined pricing fields (present on every
+    non-error row) and `chosen_algo`, required exactly on auto scenarios."""
+    for k in ("pipelined_ns", "pipeline_chunks"):
+        if k not in row:
+            fail(f"row {i}: missing {k}")
+    if not (isinstance(row["pipelined_ns"], (int, float))
+            and row["pipelined_ns"] > 0):
+        fail(f"row {i}: pipelined_ns={row['pipelined_ns']!r} must be positive")
+    # A single chunk is always swept, so pipelining never prices above the
+    # barrier-mode optimum.
+    if row["pipelined_ns"] > row["optimal_ns"] * (1 + 1e-9):
+        fail(f"row {i}: pipelined_ns={row['pipelined_ns']} exceeds "
+             f"optimal_ns={row['optimal_ns']}")
+    if not (isinstance(row["pipeline_chunks"], int)
+            and row["pipeline_chunks"] >= 1):
+        fail(f"row {i}: pipeline_chunks={row['pipeline_chunks']!r} must be >= 1")
+    is_auto = ":auto" in row["collective"]
+    algo = row.get("chosen_algo")
+    if is_auto:
+        if not (isinstance(algo, str) and algo):
+            fail(f"row {i}: auto scenario {row['id']!r} lacks chosen_algo")
+        if algo == "auto":
+            fail(f"row {i}: chosen_algo must be a resolved algorithm")
+    elif algo is not None:
+        fail(f"row {i}: chosen_algo on a non-auto scenario {row['id']!r}")
+
+
 def check_churn(i, row):
     """Validates a row's churn block: required iff the scenario id carries
     the failure-axis suffix ("/k<drops>/f<droop>/s<seed>")."""
@@ -106,6 +134,7 @@ def main():
                 fail(f"row {i}: {k}={row[k]} < 1")
         if row["steps"] <= 0 or row["nodes"] < 2:
             fail(f"row {i}: implausible steps/nodes {row['steps']}/{row['nodes']}")
+        check_pipelined(i, row)
         check_churn(i, row)
 
     cache = report.get("cache")
