@@ -9,8 +9,16 @@
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
 #include "psd/bvn/birkhoff.hpp"
 #include "psd/serve/service.hpp"
+#include "psd/serve/transport.hpp"
 #include "psd/bvn/hopcroft_karp.hpp"
 #include "psd/collective/algorithms.hpp"
 #include "psd/core/algo_select.hpp"
@@ -622,6 +630,115 @@ void BM_ServeThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRequestsPerIter);
 }
 BENCHMARK(BM_ServeThroughput)->Arg(0)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Multi-connection serve throughput over the real Unix-socket transport.
+// range(0) closed-loop clients each run their own connection and ping-pong
+// kRequestsPerClient memo-hit plan requests through it — strict
+// request/response with a short think time between requests, the way
+// interactive planners drive the daemon. Arg(1) is the serial baseline:
+// the daemon idles through every think gap, so aggregate throughput is
+// pinned near 1/(think + round trip). Arg(4) is what the poll loop buys:
+// think gaps overlap across connections and the daemon serves whoever is
+// ready — the old one-connection-at-a-time accept loop would hold the
+// other three sessions at connect() for the whole run.
+void BM_ServeThroughputMulti(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kRequestsPerClient = 64;
+  constexpr int kWindow = 1;  // strict ping-pong per connection
+  constexpr auto kThinkTime = std::chrono::microseconds(200);
+  const std::string path =
+      "/tmp/psd-bench-" + std::to_string(::getpid()) + ".sock";
+
+  serve::ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_limit = 256;
+  serve::PlanService svc(sopts, [](const std::string&) {});
+  serve::SocketServerOptions topts;
+  topts.socket_path = path;
+  serve::SocketServer server(topts, svc);
+  server.start();
+
+  const std::string request =
+      "{\"op\":\"plan\",\"id\":\"m\",\"topology\":\"ring\",\"nodes\":8,"
+      "\"collective\":\"allreduce:ring\",\"message_bytes\":1048576}\n";
+
+  auto connect_client = [&path]() {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+  // One round-trip pass per client: write up to kWindow requests ahead,
+  // count newline-terminated responses until all are answered.
+  auto pump = [&](int fd) {
+    int sent = 0;
+    int answered = 0;
+    char buf[4096];
+    while (answered < kRequestsPerClient) {
+      while (sent < kRequestsPerClient && sent - answered < kWindow) {
+        if (::send(fd, request.data(), request.size(), 0) < 0) return false;
+        ++sent;
+      }
+      const auto n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == '\n') {
+          ++answered;
+          std::this_thread::sleep_for(kThinkTime);
+        }
+      }
+    }
+    return true;
+  };
+
+  // Warm the memo so every measured request is a hit: throughput of the
+  // serving path, not the solver.
+  {
+    const int fd = connect_client();
+    if (fd >= 0) {
+      char buf[4096];
+      (void)!::send(fd, request.data(), request.size(), 0);
+      (void)::recv(fd, buf, sizeof(buf), 0);
+      ::close(fd);
+    }
+  }
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&] {
+        const int fd = connect_client();
+        if (fd < 0 || !pump(fd)) failures.fetch_add(1);
+        if (fd >= 0) ::close(fd);
+      });
+    }
+    for (auto& w : workers) w.join();
+    if (failures.load() != 0) {
+      state.SkipWithError("client connection or pump failed");
+      break;
+    }
+  }
+  const auto st = svc.stats();
+  state.counters["memo_hit_rate"] = st.cache_hit_rate();
+  state.SetItemsProcessed(state.iterations() * clients * kRequestsPerClient);
+
+  server.stop();
+  svc.shutdown();
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_ServeThroughputMulti)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -24,6 +24,7 @@
 #include "psd/core/cost_model.hpp"
 #include "psd/sweep/scenario.hpp"
 #include "psd/topo/delta.hpp"
+#include "psd/util/json.hpp"
 
 namespace psd::serve {
 
@@ -83,6 +84,12 @@ struct Request {
 /// request's error response can be correlated by the client.
 [[nodiscard]] Request parse_request(std::string_view line,
                                     std::string* id_out = nullptr);
+
+/// Parses the "plan" op's payload fields out of an already-parsed JSON
+/// object. Shared by the request parser and the memo-snapshot loader
+/// (snapshot records reuse the request field vocabulary). Throws
+/// InvalidArgument on missing/invalid fields.
+[[nodiscard]] PlanFields parse_plan_fields(const JsonValue& obj);
 
 /// One-line error response: {"id":..., "code":..., "error":...} plus a
 /// "retry_after_ms" field when retry_after_ms >= 0 (SHED responses).

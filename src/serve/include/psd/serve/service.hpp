@@ -31,6 +31,25 @@
 //                 via SharedThetaCache::carry_across_delta), leaves the
 //                 plan memo as stale degraded-answer fodder, and enqueues
 //                 internal replan jobs that refresh it asynchronously.
+//                 With a debounce window configured, back-to-back deltas
+//                 on one context coalesce: the first arms the window, the
+//                 rest ride it (replans_debounced), and the watchdog fires
+//                 one replan wave when the window closes.
+//
+// The queue is two priority lanes: deadline-carrying requests enter the
+// urgent lane and are always dequeued ahead of batch work (deadline-free
+// plans and internal replans). A batch job that a deadline waiter later
+// coalesces onto is promoted to the urgent lane.
+//
+// Requests can carry a per-submission response sink (submit_line's second
+// argument) so one service can serve many transport connections: every
+// response for a request goes to the sink it arrived with, and a sink
+// whose connection died simply drops the line. The plan memo can persist
+// across restarts: save_memo_snapshot writes a versioned JSON-lines file
+// (also periodically / on shutdown when configured) and the constructor
+// reloads it, admitting only entries whose θ context fingerprint matches
+// the freshly built topology — a restarted daemon answers its first
+// repeat requests from the warm memo (see snapshot.hpp, docs/serve.md).
 //
 // Degradation ladder (tight or blown deadlines): a stale-epoch memo entry
 // for the exact solve key is served with degraded=true and its epoch lag;
@@ -83,6 +102,15 @@ struct ServiceOptions {
   std::size_t memo_capacity = 1024;
   // Enqueue internal memo-refresh jobs after a topology delta.
   bool replan_on_delta = true;
+  // Delta-storm debouncing: > 0 coalesces back-to-back deltas per context
+  // so the replan wave fires once per burst, when the window closes (the
+  // watchdog flushes it). 0 replans immediately on every delta.
+  std::chrono::milliseconds replan_debounce_window{0};
+  // Plan-memo persistence: non-empty enables loading a snapshot at
+  // construction and writing one at shutdown (path + ".tmp" then rename).
+  std::string memo_snapshot_path;
+  // > 0 additionally snapshots periodically from the watchdog.
+  std::chrono::milliseconds memo_snapshot_interval{0};
   // θ solver settings shared by every job (cancel and shared_cache are
   // overridden per job; track_support is forced on — the delta carry
   // needs routed supports recorded).
@@ -96,6 +124,9 @@ class PlanService {
   /// service threads (admission caller, workers, watchdog) — it must be
   /// thread-safe. It is never called while internal locks are held.
   using Emit = std::function<void(const std::string&)>;
+  /// A per-request response sink (one per transport connection, usually).
+  /// Shared so queued waiters outlive the submit call that created them.
+  using EmitRef = std::shared_ptr<const Emit>;
 
   PlanService(ServiceOptions opts, Emit emit);
   ~PlanService();
@@ -106,8 +137,10 @@ class PlanService {
   /// Handles one protocol line (thread-safe). stats/delta/shutdown and all
   /// synchronous plan outcomes (memo hit, shed, fast-path ladder) emit
   /// before returning; queued solves emit later from a worker or the
-  /// watchdog.
-  void submit_line(const std::string& line);
+  /// watchdog. Responses go to `sink` when given, else to the service-wide
+  /// emit callback — a multi-connection transport passes one sink per
+  /// connection so every answer finds its way back to the right client.
+  void submit_line(const std::string& line, EmitRef sink = nullptr);
 
   /// Blocks until no job is queued or in flight (test synchronization).
   void drain();
@@ -123,17 +156,38 @@ class PlanService {
     return *shared_cache_;
   }
 
+  /// Writes the plan memo to `path` as a versioned JSON-lines snapshot
+  /// (atomically: path + ".tmp" then rename). Only entries fresh at their
+  /// context's current epoch are recorded, each stamped with the context's
+  /// θ fingerprint. Returns the number of entries written, or -1 on I/O
+  /// failure (logged to stderr; the service keeps running).
+  std::ptrdiff_t save_memo_snapshot(const std::string& path);
+
+  /// Loads a snapshot written by save_memo_snapshot, admitting entries
+  /// whose fingerprint matches the freshly built context (memo_loaded);
+  /// malformed lines count memo_load_errors, fingerprint/scenario
+  /// mismatches memo_load_rejected. A missing file is a silent cold start.
+  void load_memo_snapshot(const std::string& path);
+
  private:
   using Clock = std::chrono::steady_clock;
 
   /// One admitted request riding on a (possibly coalesced) solve job.
   struct Waiter {
     std::string id;
+    EmitRef sink;  // where this request's answer goes
     Clock::time_point admitted;
     Clock::time_point deadline;  // meaningful iff has_deadline
     bool has_deadline = false;
     bool allow_degraded = true;
     bool coalesced = false;  // joined an existing job rather than creating it
+  };
+
+  /// A response line bound to its requester's sink, collected under mu_
+  /// and emitted after unlocking.
+  struct Outgoing {
+    EmitRef sink;
+    std::string line;
   };
 
   /// One solve: the representative request plus everyone waiting on it.
@@ -147,8 +201,14 @@ class PlanService {
     util::CancellationToken token;
     bool in_flight = false;
     bool internal = false;  // post-delta memo refresh: no waiters, no emits
+    int lane = kLaneBatch;  // which queue lane currently holds it
   };
   using JobPtr = std::shared_ptr<Job>;
+
+  // Priority lanes: deadline-carrying requests always dequeue first.
+  static constexpr int kLaneUrgent = 0;
+  static constexpr int kLaneBatch = 1;
+  static constexpr int kNumLanes = 2;
 
   /// A registered topology: the authoritative graph deltas mutate. Jobs
   /// solve on value snapshots, so epoch() can advance mid-solve (the
@@ -177,10 +237,9 @@ class PlanService {
     std::uint64_t last_used = 0;  // LRU clock for eviction
   };
 
-  void handle_plan(const Request& req);
-  void handle_delta(const Request& req);
-  void handle_stats(const Request& req);
-  void initiate_shutdown(std::vector<std::string>* responses);
+  void handle_plan(const Request& req, const EmitRef& sink);
+  void handle_delta(const Request& req, const EmitRef& sink);
+  void handle_stats(const Request& req, const EmitRef& sink);
 
   /// Worker thread body; the out-of-line crash boundary lives in
   /// run_worker (marks the slot dead on any escape).
@@ -201,15 +260,39 @@ class PlanService {
   /// after unlocking.
   void answer_expired_locked(const Waiter& w, const std::string& solve_key,
                              std::uint64_t context_epoch,
-                             std::vector<std::string>* responses);
+                             std::vector<Outgoing>* responses);
 
   /// Removes overdue waiters from `job`, answering each via the ladder.
   void expire_overdue_locked(const JobPtr& job, Clock::time_point now,
-                             std::vector<std::string>* responses);
+                             std::vector<Outgoing>* responses);
 
   /// Memo upsert with LRU-by-use eviction at memo_capacity.
   void memo_put_locked(const std::string& solve_key, PlanAnswer answer,
                        std::uint64_t epoch, const PlanFields& plan);
+
+  /// Pops the next job honoring lane priority (urgent before batch).
+  [[nodiscard]] JobPtr pop_job_locked();
+  [[nodiscard]] std::size_t queued_locked() const {
+    return lanes_[kLaneUrgent].size() + lanes_[kLaneBatch].size();
+  }
+
+  /// Moves a queued batch job to the urgent lane (a deadline waiter
+  /// coalesced onto it). No-op for in-flight or already-urgent jobs.
+  void promote_to_urgent_locked(const JobPtr& job);
+
+  /// One replan wave for `ckey`: enqueues an internal refresh job per
+  /// stale memo entry of that context. Returns how many were enqueued.
+  std::size_t enqueue_replans_locked(const std::string& ckey);
+
+  /// Collects snapshot lines for every memo entry fresh at its context's
+  /// current epoch (header first).
+  [[nodiscard]] std::vector<std::string> snapshot_lines_locked();
+
+  /// Writes collected snapshot lines to `path` atomically (path + ".tmp"
+  /// then rename) and bumps the snapshot counter. False on I/O failure
+  /// (logged to stderr). Called without mu_ held.
+  bool write_snapshot_lines(const std::string& path,
+                            const std::vector<std::string>& lines);
 
   [[nodiscard]] static std::string context_key(
       const sweep::TopologySpec& topology, int nodes, double gbps);
@@ -218,6 +301,7 @@ class PlanService {
 
   ServiceOptions opts_;
   Emit emit_;
+  EmitRef default_sink_;  // wraps emit_ for requests submitted without one
   ServeStats stats_;
   std::shared_ptr<sweep::SharedThetaCache> shared_cache_;
 
@@ -225,10 +309,14 @@ class PlanService {
   std::condition_variable work_cv_;   // workers: queue non-empty / shutdown
   std::condition_variable idle_cv_;   // drain(): queue empty, nothing in flight
   std::condition_variable watchdog_cv_;
-  std::deque<JobPtr> queue_;
+  std::deque<JobPtr> lanes_[kNumLanes];  // urgent ahead of batch
   std::map<std::string, JobPtr> jobs_by_key_;  // queued + in-flight
   std::map<std::string, std::unique_ptr<Context>> contexts_;
   std::map<std::string, MemoEntry> memo_;
+  // Debounce windows armed by deltas, keyed by context: the watchdog
+  // flushes each into one replan wave once its close time passes.
+  std::map<std::string, Clock::time_point> pending_replans_;
+  Clock::time_point next_snapshot_ = Clock::time_point::max();
   std::uint64_t memo_clock_ = 0;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;

@@ -1,0 +1,59 @@
+// Persisted plan-memo snapshot: the wire format a PlanService writes at
+// shutdown (and periodically) and reloads at startup so a restarted
+// daemon answers its first repeat requests warm.
+//
+// The file is versioned JSON lines: a header line, then one record per
+// memo entry. Each record carries the full solve parameters (enough to
+// rebuild the solve key and the topology context from scratch), the
+// answer, the context's wire epoch when the entry was recorded, and the
+// θ context fingerprint of the graph it was computed on. At load time
+// the service rebuilds the pristine context and admits a record only
+// when its fingerprint matches — entries recorded after topology deltas
+// (or under different θ options) are provably not answers for the
+// rebuilt graph and are rejected rather than served wrong.
+//
+//   {"format":"psd-serve-memo","version":1}
+//   {"topology":"ring","nodes":8,"bandwidth_gbps":400,"collective":
+//    "allreduce:ring","message_bytes":1048576,"alpha_ns":500,
+//    "delta_ns":50,"alpha_r_ns":20000,"deadline_ms":0,
+//    "allow_degraded":true,"epoch":0,"fingerprint":"1a2b...",
+//    "answer":{"steps":14,...}}
+//
+// Doubles are printed with %.17g so answers round-trip bit-exactly; the
+// fingerprint is 16 hex digits (JSON numbers cannot hold a uint64).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "psd/serve/protocol.hpp"
+
+namespace psd::serve {
+
+inline constexpr int kMemoSnapshotVersion = 1;
+
+/// One snapshot record: a memo entry plus the provenance needed to
+/// validate it against a freshly built context.
+struct MemoSnapshotRecord {
+  PlanFields plan;
+  PlanAnswer answer;
+  std::uint64_t epoch = 0;        // context wire epoch when recorded
+  std::uint64_t fingerprint = 0;  // θ context fingerprint of that graph
+};
+
+/// The snapshot file's first line.
+[[nodiscard]] std::string memo_snapshot_header();
+
+/// True when `line` is a well-formed header of a readable version.
+[[nodiscard]] bool parse_memo_snapshot_header(std::string_view line);
+
+/// Serializes one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string memo_record_to_json(const MemoSnapshotRecord& rec);
+
+/// Parses one record line. Throws psd::Error (InvalidArgument /
+/// JsonParseError) on malformed input — the loader counts such lines as
+/// memo_load_errors and keeps going.
+[[nodiscard]] MemoSnapshotRecord memo_record_from_json(std::string_view line);
+
+}  // namespace psd::serve

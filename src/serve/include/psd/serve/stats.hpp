@@ -31,7 +31,12 @@ struct ServeStatsSnapshot {
   std::uint64_t internal_errors = 0;
   std::uint64_t worker_restarts = 0;
   std::uint64_t replans = 0;    // async post-delta memo refreshes completed
+  std::uint64_t replans_debounced = 0;  // deltas coalesced into an armed window
   std::uint64_t deltas = 0;     // topology deltas applied
+  std::uint64_t memo_loaded = 0;       // snapshot entries admitted at startup
+  std::uint64_t memo_load_errors = 0;  // malformed snapshot lines/files
+  std::uint64_t memo_load_rejected = 0;  // stale-fingerprint/scenario rejects
+  std::uint64_t memo_snapshots = 0;    // snapshot files written
   std::size_t latency_samples = 0;  // plans inside the percentile window
   double p50_plan_ms = 0.0;
   double p99_plan_ms = 0.0;
@@ -68,7 +73,22 @@ class ServeStats {
     worker_restarts_.fetch_add(1, std::memory_order_relaxed);
   }
   void on_replan() { replans_.fetch_add(1, std::memory_order_relaxed); }
+  void on_replan_debounced() {
+    replans_debounced_.fetch_add(1, std::memory_order_relaxed);
+  }
   void on_delta() { deltas_.fetch_add(1, std::memory_order_relaxed); }
+  void on_memo_loaded(std::uint64_t n) {
+    memo_loaded_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_memo_load_error() {
+    memo_load_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_memo_load_rejected() {
+    memo_load_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_memo_snapshot() {
+    memo_snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records one completed plan's wall latency into the percentile ring.
   void record_plan_latency_ms(double ms);
@@ -100,7 +120,12 @@ class ServeStats {
   std::atomic<std::uint64_t> internal_errors_{0};
   std::atomic<std::uint64_t> worker_restarts_{0};
   std::atomic<std::uint64_t> replans_{0};
+  std::atomic<std::uint64_t> replans_debounced_{0};
   std::atomic<std::uint64_t> deltas_{0};
+  std::atomic<std::uint64_t> memo_loaded_{0};
+  std::atomic<std::uint64_t> memo_load_errors_{0};
+  std::atomic<std::uint64_t> memo_load_rejected_{0};
+  std::atomic<std::uint64_t> memo_snapshots_{0};
 
   mutable std::mutex latency_mutex_;
   std::vector<double> latency_ring_;  // ms; filled circularly

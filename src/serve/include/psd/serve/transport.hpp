@@ -1,0 +1,116 @@
+// SocketServer: the multi-client Unix-socket transport in front of a
+// PlanService.
+//
+// One poll(2) event loop owns the listening socket and every accepted
+// connection. Inbound bytes are framed into protocol lines by a
+// util::LineBuffer per connection (half lines, coalesced lines, and
+// split-across-read requests all work; an oversized line is answered
+// with INVALID_REQUEST and the stream resyncs at its newline). Each
+// complete line goes to PlanService::submit_line with a per-connection
+// response sink, so answers — which arrive out of order, from worker and
+// watchdog threads — are routed back to the connection that asked.
+//
+// Response sinks never block the service: they append to the
+// connection's outbound buffer under its own mutex and nudge the event
+// loop through a self-pipe; the loop writes when the socket can take it.
+// A connection whose client stops reading grows its outbound buffer to
+// the configured cap and is then dropped (backpressure by disconnect —
+// the service's answers must not be held hostage by one slow client). A
+// client that disconnects mid-solve just loses its answers: the sink
+// holds a weak reference, emits to a dead connection are dropped, and
+// the accept loop never stalls.
+//
+// Shutdown is graceful: stop() (or the service reaching shutting_down
+// after a "shutdown" op) flips the loop into a drain phase that stops
+// accepting and reading, flushes what the out-buffers still hold — up to
+// drain_timeout — then closes everything and removes the socket file.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "psd/serve/service.hpp"
+
+namespace psd::serve {
+
+struct SocketServerOptions {
+  // Filesystem path of the Unix-domain listening socket. Anything already
+  // at that path is unlinked at start().
+  std::string socket_path;
+  // Per-line cap for inbound requests; longer lines are dropped and
+  // answered INVALID_REQUEST (the connection survives). 1 MiB default.
+  std::size_t max_line_bytes = 1u << 20;
+  // Outbound-buffer cap per connection; a client that stops reading past
+  // this many pending bytes is disconnected.
+  std::size_t max_outbound_bytes = 8u << 20;
+  int listen_backlog = 64;
+  // How long the drain phase may keep flushing outbound buffers.
+  std::chrono::milliseconds drain_timeout{2000};
+};
+
+class SocketServer {
+ public:
+  /// The service must outlive the server.
+  SocketServer(SocketServerOptions opts, PlanService& service);
+  ~SocketServer();  // stop()
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds + listens on socket_path and spawns the event-loop thread.
+  /// Throws psd::Error when the socket cannot be set up.
+  void start();
+
+  /// Requests a graceful drain and joins the loop thread. Idempotent;
+  /// also triggered by the service reaching shutting_down().
+  void stop();
+
+  /// True from start() until the loop thread has exited.
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Lifetime counters (tests / ops).
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return accepted_.load();
+  }
+  [[nodiscard]] std::uint64_t connections_dropped() const {
+    return dropped_.load();
+  }
+  [[nodiscard]] std::uint64_t overlong_lines() const {
+    return overlong_.load();
+  }
+
+ private:
+  /// Both ends of the self-pipe, shared with every connection's sink so a
+  /// late emit after the server died writes into a still-owned pipe (or
+  /// fails EAGAIN) instead of a recycled fd.
+  struct WakePipe;
+  struct Conn;
+
+  void run();
+  /// Handles readable bytes on `conn`; false when the connection is done
+  /// (EOF or error) and must be dropped.
+  bool service_input(const std::shared_ptr<Conn>& conn);
+  /// Flushes the outbound buffer; false when the connection broke.
+  bool service_output(const std::shared_ptr<Conn>& conn);
+  void drop_conn(int fd);
+
+  SocketServerOptions opts_;
+  PlanService& service_;
+  std::shared_ptr<WakePipe> wake_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> overlong_{0};
+  // Event-loop-thread private (no lock): fd -> connection.
+  std::map<int, std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace psd::serve

@@ -79,6 +79,8 @@ topo::NodeId require_node_id(const JsonValue& obj, std::string_view key,
   return static_cast<topo::NodeId>(v);
 }
 
+}  // namespace
+
 PlanFields parse_plan_fields(const JsonValue& obj) {
   PlanFields plan;
   plan.topology = require_topology(obj);
@@ -106,6 +108,8 @@ PlanFields parse_plan_fields(const JsonValue& obj) {
   plan.inject_worker_crash = bool_or(obj, "inject_worker_crash", false);
   return plan;
 }
+
+namespace {
 
 DeltaFields parse_delta_fields(const JsonValue& obj) {
   DeltaFields d;

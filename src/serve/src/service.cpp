@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "psd/core/algo_select.hpp"
 #include "psd/core/pipelined_cost.hpp"
+#include "psd/serve/snapshot.hpp"
 #include "psd/util/json.hpp"
 #include "psd/workload/workload.hpp"
 
@@ -38,11 +40,20 @@ PlanService::PlanService(ServiceOptions opts, Emit emit)
   PSD_REQUIRE(emit_ != nullptr, "PlanService needs an emit callback");
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.memo_capacity < 1) opts_.memo_capacity = 1;
+  default_sink_ = std::make_shared<const Emit>(emit_);
   // The delta carry needs routed supports recorded beside every shared θ
   // entry, and per-job oracles are throwaway — shared memo or nothing.
   opts_.theta.track_support = true;
   opts_.theta.use_cache = true;
   shared_cache_ = sweep::make_shared_theta_cache(opts_.theta_cache);
+  // Warm restart: reload the persisted memo before any thread runs, so
+  // the very first requests can be answered from it.
+  if (!opts_.memo_snapshot_path.empty()) {
+    load_memo_snapshot(opts_.memo_snapshot_path);
+    if (opts_.memo_snapshot_interval.count() > 0) {
+      next_snapshot_ = Clock::now() + opts_.memo_snapshot_interval;
+    }
+  }
   workers_.reserve(opts_.workers);
   for (unsigned i = 0; i < opts_.workers; ++i) {
     auto slot = std::make_unique<WorkerSlot>();
@@ -104,10 +115,31 @@ void PlanService::memo_put_locked(const std::string& solve_key,
   }
 }
 
+PlanService::JobPtr PlanService::pop_job_locked() {
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      JobPtr job = lane.front();
+      lane.pop_front();
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void PlanService::promote_to_urgent_locked(const JobPtr& job) {
+  if (job->in_flight || job->lane == kLaneUrgent) return;
+  auto& batch = lanes_[kLaneBatch];
+  const auto it = std::find(batch.begin(), batch.end(), job);
+  if (it == batch.end()) return;
+  batch.erase(it);
+  job->lane = kLaneUrgent;
+  lanes_[kLaneUrgent].push_back(job);
+}
+
 void PlanService::answer_expired_locked(const Waiter& w,
                                         const std::string& solve_key,
                                         std::uint64_t context_epoch,
-                                        std::vector<std::string>* responses) {
+                                        std::vector<Outgoing>* responses) {
   const double elapsed = ms_between(w.admitted, Clock::now());
   const auto it = memo_.find(solve_key);
   if (w.allow_degraded && it != memo_.end()) {
@@ -118,20 +150,23 @@ void PlanService::answer_expired_locked(const Waiter& w,
     } else {
       stats_.on_degraded();
     }
-    responses->push_back(plan_response(w.id, it->second.answer,
-                                       it->second.epoch, lag, true,
-                                       w.coalesced, elapsed));
+    responses->push_back(
+        {w.sink, plan_response(w.id, it->second.answer, it->second.epoch, lag,
+                               true, w.coalesced, elapsed)});
   } else {
     stats_.on_deadline_exceeded();
-    responses->push_back(error_response(
-        w.id, ErrorCode::kDeadlineExceeded,
-        "deadline budget exhausted with no answer (or stale answer) available"));
+    responses->push_back(
+        {w.sink,
+         error_response(
+             w.id, ErrorCode::kDeadlineExceeded,
+             "deadline budget exhausted with no answer (or stale answer) "
+             "available")});
   }
 }
 
 void PlanService::expire_overdue_locked(const JobPtr& job,
                                         Clock::time_point now,
-                                        std::vector<std::string>* responses) {
+                                        std::vector<Outgoing>* responses) {
   if (job->internal) return;
   std::uint64_t epoch = 0;
   if (const auto cit = contexts_.find(job->context_key); cit != contexts_.end()) {
@@ -148,7 +183,8 @@ void PlanService::expire_overdue_locked(const JobPtr& job,
   }
 }
 
-void PlanService::submit_line(const std::string& line) {
+void PlanService::submit_line(const std::string& line, EmitRef sink) {
+  if (sink == nullptr) sink = default_sink_;
   stats_.on_received();
   Request req;
   std::string id;
@@ -156,13 +192,13 @@ void PlanService::submit_line(const std::string& line) {
     req = parse_request(line, &id);
   } catch (const std::exception& e) {
     stats_.on_invalid();
-    emit_(error_response(id, ErrorCode::kInvalidRequest, e.what()));
+    (*sink)(error_response(id, ErrorCode::kInvalidRequest, e.what()));
     return;
   }
   switch (req.op) {
-    case RequestOp::kPlan: handle_plan(req); break;
-    case RequestOp::kStats: handle_stats(req); break;
-    case RequestOp::kDelta: handle_delta(req); break;
+    case RequestOp::kPlan: handle_plan(req, sink); break;
+    case RequestOp::kStats: handle_stats(req, sink); break;
+    case RequestOp::kDelta: handle_delta(req, sink); break;
     case RequestOp::kShutdown: {
       // Ack first so the client sees the transition, then drain: queued
       // waiters get SHUTTING_DOWN, in-flight solves finish and answer.
@@ -172,21 +208,22 @@ void PlanService::submit_line(const std::string& line) {
       w.key("code").value(to_string(ErrorCode::kOk));
       w.key("shutting_down").value(true);
       w.end_object();
-      emit_(w.str());
+      (*sink)(w.str());
       shutdown();
       break;
     }
   }
 }
 
-void PlanService::handle_plan(const Request& req) {
+void PlanService::handle_plan(const Request& req, const EmitRef& sink) {
   const auto now = Clock::now();
-  std::vector<std::string> responses;
+  std::vector<Outgoing> responses;
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (shutting_down_) {
-      responses.push_back(error_response(req.id, ErrorCode::kShuttingDown,
-                                         "service is shutting down"));
+      responses.push_back(
+          {sink, error_response(req.id, ErrorCode::kShuttingDown,
+                                "service is shutting down")});
     } else {
       const std::string ckey =
           context_key(req.plan.topology, req.plan.nodes, req.plan.params.b.gbps());
@@ -198,6 +235,7 @@ void PlanService::handle_plan(const Request& req) {
 
       Waiter w;
       w.id = req.id;
+      w.sink = sink;
       w.admitted = now;
       w.allow_degraded = req.plan.allow_degraded;
       if (req.plan.deadline_ms > 0.0) {
@@ -213,8 +251,8 @@ void PlanService::handle_plan(const Request& req) {
         mit->second.last_used = ++memo_clock_;
         stats_.on_cache_hit();
         responses.push_back(
-            plan_response(req.id, mit->second.answer, epoch, 0, true, false,
-                          ms_between(now, Clock::now())));
+            {sink, plan_response(req.id, mit->second.answer, epoch, 0, true,
+                                 false, ms_between(now, Clock::now()))});
       } else if (w.has_deadline &&
                  req.plan.deadline_ms <= opts_.fast_path_budget_ms) {
         // Budget below the plausible-solve floor: take the degradation
@@ -222,10 +260,16 @@ void PlanService::handle_plan(const Request& req) {
         answer_expired_locked(w, skey, epoch, &responses);
       } else if (const auto jit = jobs_by_key_.find(skey);
                  jit != jobs_by_key_.end()) {
-        // Identical solve already queued or in flight — piggyback.
+        // Identical solve already queued or in flight — piggyback. A
+        // deadline waiter pulls a still-queued batch job into the urgent
+        // lane with it. Riding an *internal* replan job converts it to an
+        // external one: internal completions answer nobody, and this
+        // waiter must be answered.
         w.coalesced = true;
         const JobPtr& job = jit->second;
+        job->internal = false;
         job->waiters.push_back(w);
+        if (w.has_deadline) promote_to_urgent_locked(job);
         if (job->in_flight && w.has_deadline) {
           // Extend an armed in-flight token to cover the new waiter (a
           // disarmed token — some waiter without a deadline — stays so).
@@ -235,46 +279,74 @@ void PlanService::handle_plan(const Request& req) {
                 std::chrono::duration_cast<std::chrono::nanoseconds>(need));
           }
         }
-      } else if (queue_.size() >= opts_.queue_limit) {
+      } else if (queued_locked() >= opts_.queue_limit) {
         // Admission control: shed with a service-time-derived retry hint
         // instead of growing the queue without bound.
         const double p50 = stats_.p50_plan_ms(opts_.retry_fallback_ms);
         const double retry =
-            p50 * static_cast<double>(queue_.size() + in_flight_ + 1);
+            p50 * static_cast<double>(queued_locked() + in_flight_ + 1);
         stats_.on_shed();
-        responses.push_back(error_response(req.id, ErrorCode::kShed,
-                                           "admission queue full", retry));
+        responses.push_back(
+            {sink, error_response(req.id, ErrorCode::kShed,
+                                  "admission queue full", retry)});
       } else {
         auto job = std::make_shared<Job>();
         job->solve_key = skey;
         job->context_key = ckey;
         job->plan = req.plan;
         job->waiters.push_back(w);
+        // Deadline-carrying requests enter the urgent lane and are always
+        // dequeued ahead of batch work.
+        job->lane = w.has_deadline ? kLaneUrgent : kLaneBatch;
         jobs_by_key_[skey] = job;
-        queue_.push_back(std::move(job));
+        lanes_[job->lane].push_back(std::move(job));
         work_cv_.notify_one();
       }
     }
   }
-  for (const auto& r : responses) emit_(r);
+  for (const auto& r : responses) (*r.sink)(r.line);
 }
 
-void PlanService::handle_stats(const Request& req) {
+void PlanService::handle_stats(const Request& req, const EmitRef& sink) {
   std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    depth = queue_.size() + in_flight_;
+    depth = queued_locked() + in_flight_;
   }
   const auto cache_stats = shared_cache_->stats();
   const std::string obj = ServeStats::to_json_object(stats_.snapshot(), depth,
                                                      cache_stats.hit_rate());
   std::string out = "{\"id\":\"" + json_escape(req.id) +
                     "\",\"code\":\"OK\",\"stats\":" + obj + "}";
-  emit_(out);
+  (*sink)(out);
 }
 
-void PlanService::handle_delta(const Request& req) {
-  std::vector<std::string> responses;
+std::size_t PlanService::enqueue_replans_locked(const std::string& ckey) {
+  const auto cit = contexts_.find(ckey);
+  if (cit == contexts_.end()) return 0;
+  const std::uint64_t wire_epoch = epoch_of(*cit->second);
+  std::size_t replans = 0;
+  for (const auto& [key, entry] : memo_) {
+    if (key.compare(0, ckey.size() + 1, ckey + "/") != 0) continue;
+    if (entry.epoch >= wire_epoch) continue;
+    if (jobs_by_key_.count(key) != 0) continue;  // already being solved
+    if (queued_locked() >= opts_.queue_limit) continue;  // plans outrank
+    auto job = std::make_shared<Job>();
+    job->solve_key = key;
+    job->context_key = ckey;
+    job->plan = entry.plan;
+    job->internal = true;
+    job->lane = kLaneBatch;
+    jobs_by_key_[key] = job;
+    lanes_[kLaneBatch].push_back(std::move(job));
+    ++replans;
+  }
+  if (replans > 0) work_cv_.notify_all();
+  return replans;
+}
+
+void PlanService::handle_delta(const Request& req, const EmitRef& sink) {
+  std::vector<Outgoing> responses;
   {
     std::unique_lock<std::mutex> lk(mu_);
     const std::string ckey = context_key(req.delta.topology, req.delta.nodes,
@@ -290,9 +362,9 @@ void PlanService::handle_delta(const Request& req) {
     } catch (const std::exception& e) {
       stats_.on_invalid();
       responses.push_back(
-          error_response(req.id, ErrorCode::kInvalidRequest, e.what()));
+          {sink, error_response(req.id, ErrorCode::kInvalidRequest, e.what())});
       lk.unlock();
-      for (const auto& r : responses) emit_(r);
+      for (const auto& r : responses) (*r.sink)(r.line);
       return;
     }
     const std::uint64_t new_fp =
@@ -308,24 +380,28 @@ void PlanService::handle_delta(const Request& req) {
     // the degradation ladder serves to tight-deadline requests. Refresh
     // them asynchronously instead.
     std::size_t stale = 0;
-    std::size_t replans = 0;
     for (const auto& [key, entry] : memo_) {
       if (key.compare(0, ckey.size() + 1, ckey + "/") != 0) continue;
-      if (entry.epoch >= wire_epoch) continue;
-      ++stale;
-      if (!opts_.replan_on_delta || shutting_down_) continue;
-      if (jobs_by_key_.count(key) != 0) continue;  // already being solved
-      if (queue_.size() >= opts_.queue_limit) continue;  // plans outrank
-      auto job = std::make_shared<Job>();
-      job->solve_key = key;
-      job->context_key = ckey;
-      job->plan = entry.plan;
-      job->internal = true;
-      jobs_by_key_[key] = job;
-      queue_.push_back(std::move(job));
-      ++replans;
+      if (entry.epoch < wire_epoch) ++stale;
     }
-    if (replans > 0) work_cv_.notify_all();
+    std::size_t replans = 0;
+    bool deferred = false;
+    if (opts_.replan_on_delta && !shutting_down_) {
+      if (opts_.replan_debounce_window.count() > 0) {
+        // Delta-storm debouncing: the first delta of a burst arms the
+        // context's window; the rest ride it. One replan wave fires when
+        // the watchdog sees the window close.
+        deferred = true;
+        if (pending_replans_.count(ckey) == 0) {
+          pending_replans_[ckey] =
+              Clock::now() + opts_.replan_debounce_window;
+        } else {
+          stats_.on_replan_debounced();
+        }
+      } else {
+        replans = enqueue_replans_locked(ckey);
+      }
+    }
     stats_.on_delta();
 
     JsonWriter w;
@@ -341,10 +417,11 @@ void PlanService::handle_delta(const Request& req) {
         .value(static_cast<std::int64_t>(carry.invalidated));
     w.key("memo_stale").value(static_cast<std::int64_t>(stale));
     w.key("replans_enqueued").value(static_cast<std::int64_t>(replans));
+    w.key("replans_deferred").value(deferred);
     w.end_object();
-    responses.push_back(w.str());
+    responses.push_back({sink, w.str()});
   }
-  for (const auto& r : responses) emit_(r);
+  for (const auto& r : responses) (*r.sink)(r.line);
 }
 
 PlanAnswer PlanService::solve_plan(topo::Graph graph, const PlanFields& plan,
@@ -409,21 +486,20 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
     JobPtr job;
     topo::Graph snapshot;
     std::uint64_t snapshot_epoch = 0;
-    std::vector<std::string> responses;
+    std::vector<Outgoing> responses;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down, nothing left
-      job = queue_.front();
-      queue_.pop_front();
+      work_cv_.wait(lk, [&] { return shutting_down_ || queued_locked() > 0; });
+      job = pop_job_locked();
+      if (job == nullptr) return;  // shutting down, nothing left
       // Pre-dispatch deadline check: don't burn a solve on waiters that
       // already expired while queued.
       expire_overdue_locked(job, Clock::now(), &responses);
       if (job->waiters.empty() && !job->internal) {
         jobs_by_key_.erase(job->solve_key);
-        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+        if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
         lk.unlock();
-        for (const auto& r : responses) emit_(r);
+        for (const auto& r : responses) (*r.sink)(r.line);
         continue;
       }
       const auto cit = contexts_.find(job->context_key);
@@ -452,7 +528,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
                 latest - Clock::now()));
       }
     }
-    for (const auto& r : responses) emit_(r);
+    for (const auto& r : responses) (*r.sink)(r.line);
     responses.clear();
 
     if (job->plan.inject_worker_crash) {
@@ -463,15 +539,16 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
         stats_.on_internal_error();
         for (const auto& w : job->waiters) {
           responses.push_back(
-              error_response(w.id, ErrorCode::kInternal,
-                             "worker crashed while planning (crash drill)"));
+              {w.sink,
+               error_response(w.id, ErrorCode::kInternal,
+                              "worker crashed while planning (crash drill)")});
         }
         jobs_by_key_.erase(job->solve_key);
         job->in_flight = false;
         --in_flight_;
-        if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+        if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
       }
-      for (const auto& r : responses) emit_(r);
+      for (const auto& r : responses) (*r.sink)(r.line);
       throw WorkerCrash{};
     }
 
@@ -494,7 +571,6 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
 
     {
       const std::lock_guard<std::mutex> lk(mu_);
-      jobs_by_key_.erase(job->solve_key);
       job->in_flight = false;
       --in_flight_;
       std::uint64_t ctx_epoch = snapshot_epoch;
@@ -502,6 +578,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
           cit != contexts_.end()) {
         ctx_epoch = epoch_of(*cit->second);
       }
+      if (outcome != Outcome::kCancelled) jobs_by_key_.erase(job->solve_key);
       if (outcome == Outcome::kOk) {
         memo_put_locked(job->solve_key, answer, snapshot_epoch, job->plan);
         if (job->internal) {
@@ -515,25 +592,49 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
           for (const auto& w : job->waiters) {
             if (w.coalesced) stats_.on_coalesced();
             if (lag > 0) stats_.on_degraded();
-            responses.push_back(plan_response(w.id, answer, snapshot_epoch,
-                                              lag, false, w.coalesced,
-                                              solve_ms));
+            responses.push_back(
+                {w.sink, plan_response(w.id, answer, snapshot_epoch, lag,
+                                       false, w.coalesced, solve_ms)});
           }
         }
       } else if (outcome == Outcome::kCancelled) {
+        // The token fired for the waiters whose budgets lapsed — but a
+        // waiter that coalesced on after the token was armed (no deadline,
+        // or a later one) still wants the answer: expire only the lapsed,
+        // requeue the job for the rest. The re-dispatch re-arms the token
+        // from the surviving waiters, so a deadline-free rider runs the
+        // solve to completion.
+        const auto now = Clock::now();
+        std::vector<Waiter> kept;
         for (const auto& w : job->waiters) {
-          answer_expired_locked(w, job->solve_key, ctx_epoch, &responses);
+          if (w.has_deadline && now >= w.deadline) {
+            answer_expired_locked(w, job->solve_key, ctx_epoch, &responses);
+          } else {
+            kept.push_back(w);
+          }
+        }
+        if (kept.empty()) {
+          jobs_by_key_.erase(job->solve_key);
+        } else {
+          job->waiters = std::move(kept);
+          job->token.reset();
+          job->lane = kLaneBatch;
+          for (const auto& w : job->waiters) {
+            if (w.has_deadline) job->lane = kLaneUrgent;
+          }
+          lanes_[job->lane].push_back(job);
+          work_cv_.notify_one();
         }
       } else if (!job->internal) {
         stats_.on_internal_error();
         for (const auto& w : job->waiters) {
           responses.push_back(
-              error_response(w.id, ErrorCode::kInternal, error_msg));
+              {w.sink, error_response(w.id, ErrorCode::kInternal, error_msg)});
         }
       }
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
     }
-    for (const auto& r : responses) emit_(r);
+    for (const auto& r : responses) (*r.sink)(r.line);
   }
 }
 
@@ -543,16 +644,18 @@ void PlanService::watchdog_loop() {
     watchdog_cv_.wait_for(lk, opts_.watchdog_interval,
                           [&] { return watchdog_stop_; });
     if (watchdog_stop_) return;
-    std::vector<std::string> responses;
+    std::vector<Outgoing> responses;
     const auto now = Clock::now();
     // Expire overdue waiters of queued jobs; drop jobs nobody waits for.
-    for (auto it = queue_.begin(); it != queue_.end();) {
-      expire_overdue_locked(*it, now, &responses);
-      if ((*it)->waiters.empty() && !(*it)->internal) {
-        jobs_by_key_.erase((*it)->solve_key);
-        it = queue_.erase(it);
-      } else {
-        ++it;
+    for (auto& lane : lanes_) {
+      for (auto it = lane.begin(); it != lane.end();) {
+        expire_overdue_locked(*it, now, &responses);
+        if ((*it)->waiters.empty() && !(*it)->internal) {
+          jobs_by_key_.erase((*it)->solve_key);
+          it = lane.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
     // In-flight jobs: expire overdue waiters individually; once nobody is
@@ -561,6 +664,17 @@ void PlanService::watchdog_loop() {
       if (!job->in_flight) continue;
       expire_overdue_locked(job, now, &responses);
       if (job->waiters.empty() && !job->internal) job->token.cancel();
+    }
+    // Debounced replan waves whose window closed: one wave per context.
+    if (!shutting_down_) {
+      for (auto it = pending_replans_.begin(); it != pending_replans_.end();) {
+        if (now >= it->second) {
+          enqueue_replans_locked(it->first);
+          it = pending_replans_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
     // Crash-only worker recovery: join dead slots and respawn them.
     if (!shutting_down_) {
@@ -574,18 +688,149 @@ void PlanService::watchdog_loop() {
         }
       }
     }
-    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
-    if (!responses.empty()) {
+    if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
+    // Periodic memo snapshot (file I/O outside the lock).
+    std::vector<std::string> snapshot_lines;
+    if (!shutting_down_ && now >= next_snapshot_) {
+      snapshot_lines = snapshot_lines_locked();
+      next_snapshot_ = now + opts_.memo_snapshot_interval;
+    }
+    if (!responses.empty() || !snapshot_lines.empty()) {
       lk.unlock();
-      for (const auto& r : responses) emit_(r);
+      for (const auto& r : responses) (*r.sink)(r.line);
+      if (!snapshot_lines.empty()) {
+        write_snapshot_lines(opts_.memo_snapshot_path, snapshot_lines);
+      }
       lk.lock();
     }
   }
 }
 
+std::vector<std::string> PlanService::snapshot_lines_locked() {
+  std::vector<std::string> lines;
+  lines.push_back(memo_snapshot_header());
+  // θ fingerprints are per context; compute each once per snapshot.
+  std::map<std::string, std::uint64_t> fp_by_ckey;
+  for (const auto& [key, entry] : memo_) {
+    const std::string ckey =
+        context_key(entry.plan.topology, entry.plan.nodes,
+                    entry.plan.params.b.gbps());
+    const auto cit = contexts_.find(ckey);
+    if (cit == contexts_.end()) continue;
+    // Only entries fresh at their context's current epoch are recorded: a
+    // stale answer restored into a pristine rebuild would be wrong twice.
+    if (entry.epoch != epoch_of(*cit->second)) continue;
+    auto fit = fp_by_ckey.find(ckey);
+    if (fit == fp_by_ckey.end()) {
+      fit = fp_by_ckey
+                .emplace(ckey, flow::theta_context_fingerprint(
+                                   cit->second->graph, cit->second->b_ref,
+                                   opts_.theta))
+                .first;
+    }
+    MemoSnapshotRecord rec;
+    rec.plan = entry.plan;
+    rec.answer = entry.answer;
+    rec.epoch = entry.epoch;
+    rec.fingerprint = fit->second;
+    lines.push_back(memo_record_to_json(rec));
+  }
+  return lines;
+}
+
+bool PlanService::write_snapshot_lines(const std::string& path,
+                                       const std::vector<std::string>& lines) {
+  // Atomic replace: a crash mid-write must never leave a half snapshot
+  // where the next startup will read it.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "psd_serve: cannot write memo snapshot %s\n",
+                   tmp.c_str());
+      return false;
+    }
+    for (const auto& line : lines) out << line << '\n';
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "psd_serve: short write on memo snapshot %s\n",
+                   tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "psd_serve: cannot rename memo snapshot into %s\n",
+                 path.c_str());
+    return false;
+  }
+  stats_.on_memo_snapshot();
+  return true;
+}
+
+std::ptrdiff_t PlanService::save_memo_snapshot(const std::string& path) {
+  std::vector<std::string> lines;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    lines = snapshot_lines_locked();
+  }
+  if (!write_snapshot_lines(path, lines)) return -1;
+  return static_cast<std::ptrdiff_t>(lines.size()) - 1;  // minus the header
+}
+
+void PlanService::load_memo_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // no snapshot yet: a silent cold start
+  std::string line;
+  if (!std::getline(in, line) || !parse_memo_snapshot_header(line)) {
+    // Unversioned or foreign file: reject it whole rather than guess.
+    stats_.on_memo_load_error();
+    return;
+  }
+  std::uint64_t loaded = 0;
+  const std::lock_guard<std::mutex> lk(mu_);
+  // Per-context fingerprint of the freshly built graph, computed once.
+  std::map<std::string, std::uint64_t> fresh_fp;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    MemoSnapshotRecord rec;
+    try {
+      rec = memo_record_from_json(line);
+    } catch (const Error&) {
+      // Corrupt or truncated record: skip it, keep the rest.
+      stats_.on_memo_load_error();
+      continue;
+    }
+    const std::string ckey = context_key(rec.plan.topology, rec.plan.nodes,
+                                         rec.plan.params.b.gbps());
+    Context& ctx = ensure_context_locked(rec.plan.topology, rec.plan.nodes,
+                                         rec.plan.params.b, ckey);
+    auto fit = fresh_fp.find(ckey);
+    if (fit == fresh_fp.end()) {
+      fit = fresh_fp
+                .emplace(ckey, flow::theta_context_fingerprint(
+                                   ctx.graph, ctx.b_ref, opts_.theta))
+                .first;
+    }
+    if (rec.fingerprint != fit->second) {
+      // The answer was computed on a different graph (deltas before the
+      // snapshot, or different θ options) — provably not warm for this
+      // rebuild.
+      stats_.on_memo_load_rejected();
+      continue;
+    }
+    // Admitted at the rebuilt context's epoch: the fingerprint match is
+    // the proof the answer is fresh for the graph as it stands now.
+    memo_put_locked(solve_key(ckey, rec.plan), rec.answer, epoch_of(ctx),
+                    rec.plan);
+    ++loaded;
+  }
+  if (in.bad()) stats_.on_memo_load_error();
+  if (loaded > 0) stats_.on_memo_loaded(loaded);
+}
+
 void PlanService::drain() {
   std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+  idle_cv_.wait(lk, [&] { return queued_locked() == 0 && in_flight_ == 0; });
 }
 
 bool PlanService::shutting_down() const {
@@ -595,7 +840,7 @@ bool PlanService::shutting_down() const {
 
 std::size_t PlanService::queue_depth() const {
   const std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size() + in_flight_;
+  return queued_locked() + in_flight_;
 }
 
 void PlanService::shutdown() {
@@ -603,24 +848,29 @@ void PlanService::shutdown() {
   // destructor after a shutdown op) wait here until teardown is complete.
   const std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
   if (shutdown_done_) return;
-  std::vector<std::string> responses;
+  std::vector<Outgoing> responses;
   {
     std::unique_lock<std::mutex> lk(mu_);
     shutting_down_ = true;
-    for (const auto& job : queue_) {
-      for (const auto& w : job->waiters) {
-        responses.push_back(
-            error_response(w.id, ErrorCode::kShuttingDown,
-                           "service shut down before the request was solved"));
+    for (auto& lane : lanes_) {
+      for (const auto& job : lane) {
+        for (const auto& w : job->waiters) {
+          responses.push_back(
+              {w.sink,
+               error_response(
+                   w.id, ErrorCode::kShuttingDown,
+                   "service shut down before the request was solved")});
+        }
+        jobs_by_key_.erase(job->solve_key);
       }
-      jobs_by_key_.erase(job->solve_key);
+      lane.clear();
     }
-    queue_.clear();
+    pending_replans_.clear();
     work_cv_.notify_all();
     watchdog_stop_ = true;
     watchdog_cv_.notify_all();
   }
-  for (const auto& r : responses) emit_(r);
+  for (const auto& r : responses) (*r.sink)(r.line);
   // Join the watchdog before the workers: once it is gone nothing else
   // touches the worker std::thread objects (it joins/respawns dead slots),
   // so the joins below cannot race it. In-flight solves still finish and
@@ -628,6 +878,11 @@ void PlanService::shutdown() {
   if (watchdog_.joinable()) watchdog_.join();
   for (const auto& slot : workers_) {
     if (slot->thread.joinable()) slot->thread.join();
+  }
+  // Final memo snapshot: everything is quiesced, so the warm state on
+  // disk is exactly what a restart should resume from.
+  if (!opts_.memo_snapshot_path.empty()) {
+    (void)save_memo_snapshot(opts_.memo_snapshot_path);
   }
   shutdown_done_ = true;
 }

@@ -1,0 +1,151 @@
+#include "psd/serve/snapshot.hpp"
+
+#include <cstdio>
+
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+
+namespace {
+
+/// uint64 ⇄ 16 hex digits: JSON numbers (doubles) cannot hold one.
+std::string to_hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t from_hex64(const std::string& s) {
+  if (s.size() != 16) {
+    throw InvalidArgument("fingerprint must be 16 hex digits");
+  }
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      throw InvalidArgument("fingerprint must be lowercase hex");
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return v;
+}
+
+double require_number(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw InvalidArgument("snapshot record needs numeric \"" +
+                          std::string(key) + "\"");
+  }
+  return v->as_number();
+}
+
+std::string require_string(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw InvalidArgument("snapshot record needs string \"" +
+                          std::string(key) + "\"");
+  }
+  return v->as_string();
+}
+
+}  // namespace
+
+std::string memo_snapshot_header() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("format").value("psd-serve-memo");
+  w.key("version").value(kMemoSnapshotVersion);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_memo_snapshot_header(std::string_view line) {
+  try {
+    const JsonValue v = parse_json(line);
+    const JsonValue* fmt = v.find("format");
+    const JsonValue* ver = v.find("version");
+    return fmt != nullptr && fmt->is_string() &&
+           fmt->as_string() == "psd-serve-memo" && ver != nullptr &&
+           ver->is_number() &&
+           ver->as_number() == static_cast<double>(kMemoSnapshotVersion);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::string memo_record_to_json(const MemoSnapshotRecord& rec) {
+  JsonWriter w;
+  w.begin_object();
+  // Solve parameters, in the plan-request field vocabulary so the loader
+  // reuses parse_plan_fields and the solve key rebuilds identically.
+  w.key("topology").value(sweep::to_string(rec.plan.topology));
+  w.key("nodes").value(rec.plan.nodes);
+  w.key("collective").value(sweep::to_string(rec.plan.collective));
+  w.key("message_bytes").value(rec.plan.message.count());
+  w.key("alpha_ns").value(rec.plan.params.alpha.ns());
+  w.key("delta_ns").value(rec.plan.params.delta.ns());
+  w.key("alpha_r_ns").value(rec.plan.params.alpha_r.ns());
+  w.key("bandwidth_gbps").value(rec.plan.params.b.gbps());
+  w.key("epoch").value(static_cast<std::int64_t>(rec.epoch));
+  w.key("fingerprint").value(to_hex64(rec.fingerprint));
+  w.key("answer").begin_object();
+  w.key("steps").value(rec.answer.steps);
+  w.key("optimal_ns").value(rec.answer.optimal_ns);
+  w.key("static_ns").value(rec.answer.static_ns);
+  w.key("naive_bvn_ns").value(rec.answer.naive_bvn_ns);
+  w.key("greedy_ns").value(rec.answer.greedy_ns);
+  w.key("reconfigurations").value(rec.answer.reconfigurations);
+  w.key("speedup_vs_static").value(rec.answer.speedup_vs_static);
+  w.key("speedup_vs_bvn").value(rec.answer.speedup_vs_bvn);
+  w.key("pipelined_ns").value(rec.answer.pipelined_ns);
+  w.key("pipeline_chunks").value(rec.answer.pipeline_chunks);
+  if (!rec.answer.chosen_algo.empty()) {
+    w.key("chosen_algo").value(rec.answer.chosen_algo);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+MemoSnapshotRecord memo_record_from_json(std::string_view line) {
+  const JsonValue doc = parse_json(line);
+  if (!doc.is_object()) {
+    throw InvalidArgument("snapshot record must be a JSON object");
+  }
+  MemoSnapshotRecord rec;
+  rec.plan = parse_plan_fields(doc);
+  const double epoch = require_number(doc, "epoch");
+  if (epoch < 0.0) throw InvalidArgument("snapshot epoch must be >= 0");
+  rec.epoch = static_cast<std::uint64_t>(epoch);
+  rec.fingerprint = from_hex64(require_string(doc, "fingerprint"));
+  const JsonValue* ans = doc.find("answer");
+  if (ans == nullptr || !ans->is_object()) {
+    throw InvalidArgument("snapshot record needs an \"answer\" object");
+  }
+  rec.answer.steps = static_cast<int>(require_number(*ans, "steps"));
+  rec.answer.optimal_ns = require_number(*ans, "optimal_ns");
+  rec.answer.static_ns = require_number(*ans, "static_ns");
+  rec.answer.naive_bvn_ns = require_number(*ans, "naive_bvn_ns");
+  rec.answer.greedy_ns = require_number(*ans, "greedy_ns");
+  rec.answer.reconfigurations =
+      static_cast<int>(require_number(*ans, "reconfigurations"));
+  rec.answer.speedup_vs_static = require_number(*ans, "speedup_vs_static");
+  rec.answer.speedup_vs_bvn = require_number(*ans, "speedup_vs_bvn");
+  rec.answer.pipelined_ns = require_number(*ans, "pipelined_ns");
+  rec.answer.pipeline_chunks =
+      static_cast<int>(require_number(*ans, "pipeline_chunks"));
+  if (const JsonValue* algo = ans->find("chosen_algo"); algo != nullptr) {
+    if (!algo->is_string()) {
+      throw InvalidArgument("\"chosen_algo\" must be a string");
+    }
+    rec.answer.chosen_algo = algo->as_string();
+  }
+  return rec;
+}
+
+}  // namespace psd::serve

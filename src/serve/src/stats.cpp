@@ -61,7 +61,12 @@ ServeStatsSnapshot ServeStats::snapshot() const {
   s.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   s.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
   s.replans = replans_.load(std::memory_order_relaxed);
+  s.replans_debounced = replans_debounced_.load(std::memory_order_relaxed);
   s.deltas = deltas_.load(std::memory_order_relaxed);
+  s.memo_loaded = memo_loaded_.load(std::memory_order_relaxed);
+  s.memo_load_errors = memo_load_errors_.load(std::memory_order_relaxed);
+  s.memo_load_rejected = memo_load_rejected_.load(std::memory_order_relaxed);
+  s.memo_snapshots = memo_snapshots_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lk(latency_mutex_);
     s.latency_samples = latency_count_;
@@ -88,7 +93,15 @@ std::string ServeStats::to_json_object(const ServeStatsSnapshot& s,
   w.key("internal_errors").value(static_cast<std::int64_t>(s.internal_errors));
   w.key("worker_restarts").value(static_cast<std::int64_t>(s.worker_restarts));
   w.key("replans").value(static_cast<std::int64_t>(s.replans));
+  w.key("replans_debounced")
+      .value(static_cast<std::int64_t>(s.replans_debounced));
   w.key("deltas").value(static_cast<std::int64_t>(s.deltas));
+  w.key("memo_loaded").value(static_cast<std::int64_t>(s.memo_loaded));
+  w.key("memo_load_errors")
+      .value(static_cast<std::int64_t>(s.memo_load_errors));
+  w.key("memo_load_rejected")
+      .value(static_cast<std::int64_t>(s.memo_load_rejected));
+  w.key("memo_snapshots").value(static_cast<std::int64_t>(s.memo_snapshots));
   w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth));
   w.key("latency_samples").value(static_cast<std::int64_t>(s.latency_samples));
   w.key("p50_plan_ms").value(s.p50_plan_ms);

@@ -1,0 +1,314 @@
+#include "psd/serve/transport.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "psd/util/error.hpp"
+#include "psd/util/line_buffer.hpp"
+
+namespace psd::serve {
+
+struct SocketServer::WakePipe {
+  int fds[2] = {-1, -1};
+  WakePipe() {
+    if (::pipe(fds) != 0) {
+      throw Error("SocketServer: cannot create wake pipe: " +
+                  std::string(std::strerror(errno)));
+    }
+    for (const int fd : fds) {
+      ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+  ~WakePipe() {
+    for (const int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// Nudges the poll loop. A full pipe means a wake-up is already
+  /// pending, so the EAGAIN is exactly as good as the write.
+  void notify() const {
+    const char b = 0;
+    (void)!::write(fds[1], &b, 1);
+  }
+  void drain() const {
+    char buf[256];
+    while (::read(fds[0], buf, sizeof buf) > 0) {
+    }
+  }
+};
+
+struct SocketServer::Conn {
+  Conn(int fd, std::size_t max_line, std::shared_ptr<WakePipe> wake)
+      : fd(fd), in(max_line), wake(std::move(wake)) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// True when the line was queued; false when the outbound buffer blew
+  /// its cap (the loop will drop the connection).
+  bool queue_line(const std::string& line, std::size_t cap) {
+    bool ok = true;
+    {
+      const std::lock_guard<std::mutex> lk(mu);
+      out.append(line);
+      out.push_back('\n');
+      if (out.size() - out_off > cap) {
+        overflowed = true;
+        ok = false;
+      }
+    }
+    wake->notify();
+    return ok;
+  }
+
+  const int fd;
+  util::LineBuffer in;
+  const std::shared_ptr<WakePipe> wake;
+  std::mutex mu;              // guards out / out_off / overflowed
+  std::string out;            // response bytes awaiting the socket
+  std::size_t out_off = 0;    // written prefix of out
+  bool overflowed = false;    // out-buffer cap exceeded: drop this client
+  PlanService::EmitRef sink;  // routes this connection's answers back here
+};
+
+SocketServer::SocketServer(SocketServerOptions opts, PlanService& service)
+    : opts_(std::move(opts)), service_(service) {
+  PSD_REQUIRE(!opts_.socket_path.empty(),
+              "SocketServer needs a socket path");
+  if (opts_.max_line_bytes == 0) opts_.max_line_bytes = 1u << 20;
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  PSD_REQUIRE(!thread_.joinable(), "SocketServer already started");
+  wake_ = std::make_shared<WakePipe>();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof addr.sun_path) {
+    throw InvalidArgument("socket path too long: " + opts_.socket_path);
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw Error("SocketServer: socket(): " + std::string(std::strerror(errno)));
+  }
+  ::unlink(opts_.socket_path.c_str());  // a stale socket file blocks bind
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("SocketServer: cannot listen on " + opts_.socket_path + ": " +
+                why);
+  }
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void SocketServer::stop() {
+  stop_.store(true);
+  if (wake_ != nullptr) wake_->notify();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SocketServer::service_input(const std::shared_ptr<Conn>& conn) {
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return false;  // clean EOF
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+    std::string line;
+    while (true) {
+      const auto ev = conn->in.next(&line);
+      if (ev == util::LineBuffer::Event::kNone) break;
+      if (ev == util::LineBuffer::Event::kOverlong) {
+        // No id is recoverable from a line we refused to buffer; the
+        // empty-id error line still tells the client what happened.
+        overlong_.fetch_add(1);
+        (*conn->sink)(error_response(
+            "", ErrorCode::kInvalidRequest,
+            "request line exceeds " + std::to_string(opts_.max_line_bytes) +
+                " bytes"));
+        continue;
+      }
+      try {
+        service_.submit_line(line, conn->sink);
+      } catch (const std::exception& e) {
+        // Belt and braces: submit_line answers parse errors itself, so
+        // anything landing here is unexpected — the client still gets a
+        // response and the daemon still stands.
+        (*conn->sink)(error_response("", ErrorCode::kInternal, e.what()));
+      }
+    }
+  }
+  return true;
+}
+
+bool SocketServer::service_output(const std::shared_ptr<Conn>& conn) {
+  const std::lock_guard<std::mutex> lk(conn->mu);
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_off,
+                              conn->out.size() - conn->out_off);
+    if (n > 0) {
+      conn->out_off += static_cast<std::size_t>(n);
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    } else if (errno == EINTR) {
+      continue;
+    } else {
+      return false;  // peer vanished with answers pending
+    }
+  }
+  if (conn->out_off == conn->out.size()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (64u << 10)) {
+    conn->out.erase(0, conn->out_off);
+    conn->out_off = 0;
+  }
+  return true;
+}
+
+void SocketServer::drop_conn(int fd) {
+  conns_.erase(fd);  // ~Conn closes the fd; the sink's weak ref goes dead
+}
+
+void SocketServer::run() {
+  const auto no_deadline = std::chrono::steady_clock::time_point::max();
+  auto drain_deadline = no_deadline;
+  std::vector<pollfd> pfds;
+  std::vector<int> fd_of;  // pfds index -> conn fd (listen/wake get -1)
+
+  while (true) {
+    const bool draining =
+        stop_.load() || service_.shutting_down();
+    if (draining && drain_deadline == no_deadline) {
+      drain_deadline = std::chrono::steady_clock::now() + opts_.drain_timeout;
+    }
+
+    pfds.clear();
+    fd_of.clear();
+    pfds.push_back({wake_->fds[0], POLLIN, 0});
+    fd_of.push_back(-1);
+    if (!draining) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      fd_of.push_back(-1);
+    }
+    bool any_pending_out = false;
+    for (const auto& [fd, conn] : conns_) {
+      short events = draining ? 0 : POLLIN;
+      {
+        const std::lock_guard<std::mutex> lk(conn->mu);
+        if (conn->out_off < conn->out.size()) {
+          events |= POLLOUT;
+          any_pending_out = true;
+        }
+      }
+      if (events == 0) continue;
+      pfds.push_back({fd, events, 0});
+      fd_of.push_back(fd);
+    }
+
+    if (draining) {
+      if (!any_pending_out) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline) break;
+    }
+
+    // Finite timeout even when idle: the drain trigger can be the
+    // service shutting down from another thread (signal handler, stdio
+    // shutdown op) with no wake written.
+    const int rc = ::poll(pfds.data(), pfds.size(), 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+
+    std::vector<int> doomed;
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      const auto& p = pfds[i];
+      if (p.revents == 0) continue;
+      if (p.fd == wake_->fds[0]) {
+        wake_->drain();
+        continue;
+      }
+      if (p.fd == listen_fd_ && fd_of[i] == -1) {
+        while (true) {
+          const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                                    SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          auto conn =
+              std::make_shared<Conn>(cfd, opts_.max_line_bytes, wake_);
+          // The sink outlives the connection on purpose: waiters queued
+          // deep in the service hold it, and once the Conn dies their
+          // answers drop here instead of stalling anything.
+          std::weak_ptr<Conn> weak = conn;
+          const std::size_t cap = opts_.max_outbound_bytes;
+          conn->sink = std::make_shared<const PlanService::Emit>(
+              [weak, cap](const std::string& line) {
+                if (const auto c = weak.lock()) (void)c->queue_line(line, cap);
+              });
+          conns_.emplace(cfd, std::move(conn));
+          accepted_.fetch_add(1);
+        }
+        continue;
+      }
+      const auto it = conns_.find(fd_of[i]);
+      if (it == conns_.end()) continue;
+      const auto conn = it->second;
+      bool alive = true;
+      if ((p.revents & POLLOUT) != 0) alive = service_output(conn);
+      if (alive && (p.revents & POLLIN) != 0) alive = service_input(conn);
+      if (alive && (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        // POLLHUP with readable data still pending is handled above;
+        // here the peer is gone for good.
+        const std::lock_guard<std::mutex> lk(conn->mu);
+        alive = conn->out_off < conn->out.size() ? alive : false;
+      }
+      {
+        const std::lock_guard<std::mutex> lk(conn->mu);
+        if (conn->overflowed) {
+          alive = false;
+          dropped_.fetch_add(1);
+        }
+      }
+      if (!alive) doomed.push_back(conn->fd);
+    }
+    for (const int fd : doomed) drop_conn(fd);
+  }
+
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+  running_.store(false);
+}
+
+}  // namespace psd::serve

@@ -1,0 +1,63 @@
+// Incremental newline-delimited framing for byte-stream transports.
+//
+// A LineBuffer accumulates whatever chunks a socket read produces —
+// half a line, three lines and a fragment, one byte at a time — and
+// hands back exactly the complete lines, with the trailing '\n' (and an
+// optional '\r' before it) stripped. Lines longer than the configured
+// cap are not buffered without bound: the oversized prefix is dropped,
+// the buffer keeps discarding until the terminating newline, and the
+// event is surfaced as kOverlong so a protocol layer can answer
+// INVALID_REQUEST and stay in sync with the stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psd::util {
+
+class LineBuffer {
+ public:
+  /// What next() extracted: nothing yet (need more bytes), one complete
+  /// line, or the terminating newline of a line that blew the cap.
+  enum class Event : std::uint8_t { kNone, kLine, kOverlong };
+
+  /// `max_line_bytes` caps a single line's payload (terminator excluded);
+  /// 0 means unlimited.
+  explicit LineBuffer(std::size_t max_line_bytes = 0)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Buffers `n` more stream bytes.
+  void append(const char* data, std::size_t n);
+  void append(std::string_view chunk) { append(chunk.data(), chunk.size()); }
+
+  /// Extracts the next framing event. kLine fills `*line` (terminator
+  /// stripped); kOverlong reports one dropped oversized line and leaves
+  /// `*line` untouched; kNone means the buffered bytes hold no complete
+  /// line yet. Call in a loop until kNone.
+  Event next(std::string* line);
+
+  /// Bytes buffered but not yet returned (excludes discarded overlong
+  /// prefixes).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - start_; }
+
+  /// Total oversized lines dropped over the buffer's lifetime.
+  [[nodiscard]] std::uint64_t overlong_lines() const { return overlong_; }
+
+  /// True while mid-discard: an oversized line's terminator has not
+  /// arrived yet.
+  [[nodiscard]] bool discarding() const { return discarding_; }
+
+ private:
+  void compact();
+
+  std::size_t max_line_bytes_;
+  std::string buf_;
+  std::size_t start_ = 0;     // consumed prefix of buf_
+  bool discarding_ = false;   // dropping an overlong line's tail
+  bool overlong_pending_ = false;  // a finished discard not yet reported
+  std::uint64_t overlong_ = 0;
+};
+
+}  // namespace psd::util

@@ -1,0 +1,61 @@
+#include "psd/util/line_buffer.hpp"
+
+namespace psd::util {
+
+void LineBuffer::append(const char* data, std::size_t n) {
+  if (n == 0) return;
+  if (discarding_) {
+    // Mid-discard: only the terminating newline matters; everything before
+    // it is the oversized line's tail and is never buffered.
+    std::size_t i = 0;
+    while (i < n && data[i] != '\n') ++i;
+    if (i == n) return;  // still no terminator
+    discarding_ = false;
+    overlong_pending_ = true;
+    ++overlong_;
+    data += i + 1;
+    n -= i + 1;
+    if (n == 0) return;
+  }
+  buf_.append(data, n);
+  // Enforce the cap eagerly so a terminator-free flood cannot grow the
+  // buffer without bound: if the unconsumed tail holds no newline and
+  // already exceeds the cap, it can only be an oversized line's prefix.
+  if (max_line_bytes_ != 0 && buffered() > max_line_bytes_ &&
+      buf_.find('\n', start_) == std::string::npos) {
+    buf_.clear();
+    start_ = 0;
+    discarding_ = true;
+  }
+}
+
+LineBuffer::Event LineBuffer::next(std::string* line) {
+  if (overlong_pending_) {
+    overlong_pending_ = false;
+    return Event::kOverlong;
+  }
+  const std::size_t nl = buf_.find('\n', start_);
+  if (nl == std::string::npos) {
+    compact();
+    return Event::kNone;
+  }
+  std::size_t end = nl;
+  if (end > start_ && buf_[end - 1] == '\r') --end;
+  const std::size_t len = end - start_;
+  if (max_line_bytes_ != 0 && len > max_line_bytes_) {
+    start_ = nl + 1;
+    ++overlong_;
+    return Event::kOverlong;
+  }
+  line->assign(buf_, start_, len);
+  start_ = nl + 1;
+  return Event::kLine;
+}
+
+void LineBuffer::compact() {
+  if (start_ == 0) return;
+  buf_.erase(0, start_);
+  start_ = 0;
+}
+
+}  // namespace psd::util

@@ -1,0 +1,169 @@
+// util::LineBuffer: incremental newline framing for byte-stream
+// transports — split-across-read lines, coalesced lines, CRLF, and the
+// bounded-memory overlong-line discard that keeps a flooding client from
+// growing the buffer without bound.
+#include "psd/util/line_buffer.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace psd::util {
+namespace {
+
+using Event = LineBuffer::Event;
+
+TEST(LineBuffer, EmptyYieldsNothing) {
+  LineBuffer lb;
+  std::string line;
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+  EXPECT_EQ(lb.buffered(), 0u);
+}
+
+TEST(LineBuffer, SingleCompleteLine) {
+  LineBuffer lb;
+  lb.append("hello\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "hello");
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+}
+
+TEST(LineBuffer, StripsCarriageReturn) {
+  LineBuffer lb;
+  lb.append("a\r\nb\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "a");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "b");
+}
+
+TEST(LineBuffer, SplitAcrossAppends) {
+  LineBuffer lb;
+  std::string line;
+  lb.append("{\"op\":\"pl");
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+  lb.append("an\",\"id\":\"x\"}");
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+  lb.append("\n");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "{\"op\":\"plan\",\"id\":\"x\"}");
+}
+
+TEST(LineBuffer, OneByteAtATime) {
+  LineBuffer lb;
+  const std::string payload = "byte-by-byte line";
+  std::string line;
+  for (const char c : payload) {
+    lb.append(&c, 1);
+    EXPECT_EQ(lb.next(&line), Event::kNone);
+  }
+  lb.append("\n");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, payload);
+}
+
+TEST(LineBuffer, ManyLinesInOneChunk) {
+  LineBuffer lb;
+  lb.append("one\ntwo\nthree\npartial");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "one");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "two");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "three");
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+  EXPECT_EQ(lb.buffered(), 7u);  // "partial" awaits its newline
+  lb.append("\n");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "partial");
+}
+
+TEST(LineBuffer, EmptyLinesAreLines) {
+  LineBuffer lb;
+  lb.append("\n\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "");
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "");
+}
+
+TEST(LineBuffer, OverlongLineIsDroppedAndReported) {
+  LineBuffer lb(8);
+  lb.append("0123456789abcdef\nok\n");
+  std::string line = "sentinel";
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  EXPECT_EQ(line, "sentinel");  // kOverlong leaves *line untouched
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "ok");
+  EXPECT_EQ(lb.overlong_lines(), 1u);
+}
+
+TEST(LineBuffer, OverlongDiscardIsBoundedMemory) {
+  // The oversized line never sits in memory: the buffer discards as the
+  // flood arrives, keeping `buffered()` under the cap plus one chunk.
+  LineBuffer lb(16);
+  const std::string chunk(1024, 'x');
+  for (int i = 0; i < 64; ++i) {
+    lb.append(chunk);
+    EXPECT_LE(lb.buffered(), 16u + chunk.size());
+    EXPECT_TRUE(lb.discarding());
+  }
+  std::string line;
+  EXPECT_EQ(lb.next(&line), Event::kNone);  // still mid-discard
+  lb.append("\nafter\n");
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "after");
+  EXPECT_FALSE(lb.discarding());
+}
+
+TEST(LineBuffer, OverlongSplitAcrossAppendsResyncs) {
+  LineBuffer lb(4);
+  std::string line;
+  lb.append("toolongline");  // over cap, no terminator yet
+  EXPECT_EQ(lb.next(&line), Event::kNone);
+  lb.append("stilltoolong");
+  lb.append("end\nok\n");
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "ok");
+}
+
+TEST(LineBuffer, ExactCapIsAllowed) {
+  LineBuffer lb(4);
+  lb.append("abcd\nabcde\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "abcd");
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  EXPECT_EQ(lb.overlong_lines(), 1u);
+}
+
+TEST(LineBuffer, UnlimitedCapNeverOverlong) {
+  LineBuffer lb(0);
+  const std::string big(1 << 20, 'y');
+  lb.append(big);
+  lb.append("\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, big);
+  EXPECT_EQ(lb.overlong_lines(), 0u);
+}
+
+TEST(LineBuffer, BackToBackOverlongLinesEachReported) {
+  LineBuffer lb(3);
+  lb.append("aaaaaa\nbbbbbb\ncc\n");
+  std::string line;
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  ASSERT_EQ(lb.next(&line), Event::kOverlong);
+  ASSERT_EQ(lb.next(&line), Event::kLine);
+  EXPECT_EQ(line, "cc");
+  EXPECT_EQ(lb.overlong_lines(), 2u);
+}
+
+}  // namespace
+}  // namespace psd::util

@@ -251,6 +251,9 @@ TEST(PlanService, DeadlineAnsweredWithinTwiceBudgetUnderLoad) {
   PlanService svc(opts, std::ref(cap));
 
   svc.submit_line(heavy_plan("blocker"));
+  // Let the worker take the blocker first: once it is in flight, the
+  // urgent lane cannot help the deadline request — the ladder must.
+  std::this_thread::sleep_for(100ms);
   const double budget_ms = 250.0;
   const auto start = std::chrono::steady_clock::now();
   svc.submit_line(cheap_plan("dl", ",\"deadline_ms\":250"));
@@ -321,6 +324,26 @@ TEST(PlanService, CancelledSolveResumesBitExact) {
             ref_answer.find("optimal_ns")->as_number());
   EXPECT_EQ(r.find("steps")->as_number(),
             ref_answer.find("steps")->as_number());
+  svc.shutdown();
+}
+
+TEST(PlanService, LateRiderOnCancelledSolveIsRequeuedNotExpired) {
+  ServiceOptions opts;
+  opts.workers = 1;
+  Capture cap;
+  PlanService svc(opts, std::ref(cap));
+  // 100 ms budget on a ~1.5 s solve: the armed token cancels it mid-GK.
+  svc.submit_line(heavy_plan("cancelled", 0, ",\"deadline_ms\":100"));
+  // Ride the same solve key without a deadline while the doomed solve is
+  // in flight. The cancellation must not take the rider with it: the
+  // lapsed waiter expires, the job is requeued for the rider and solved
+  // to completion with the token disarmed.
+  std::this_thread::sleep_for(50ms);
+  svc.submit_line(heavy_plan("rider"));
+  EXPECT_EQ(code_of(cap.wait("cancelled")), "DEADLINE_EXCEEDED");
+  const auto r = cap.wait("rider");
+  ASSERT_EQ(code_of(r), "OK");
+  EXPECT_FALSE(r.find("degraded")->as_bool());
   svc.shutdown();
 }
 

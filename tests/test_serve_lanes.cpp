@@ -1,0 +1,257 @@
+// PlanService priority lanes and delta-storm debouncing.
+//
+// Lanes: a deadline-carrying request queued behind K batch requests must
+// be dequeued first (two-lane queue, not expiry-time reordering), and a
+// deadline waiter coalescing onto a queued batch job promotes it.
+// Debounce: a burst of deltas inside the configured window fires exactly
+// one replan wave, counting every coalesced delta in replans_debounced.
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/serve/service.hpp"
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Thread-safe sink recording responses by id *and* global arrival order.
+class OrderedCapture {
+ public:
+  void operator()(const std::string& line) {
+    auto v = parse_json(line);
+    const auto* id = v.find("id");
+    const std::string key = id != nullptr ? id->as_string() : "";
+    const std::lock_guard<std::mutex> lk(mu_);
+    order_.push_back(key);
+    by_id_[key] = std::move(v);
+    cv_.notify_all();
+  }
+
+  JsonValue wait(const std::string& id,
+                 std::chrono::milliseconds timeout = 60'000ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return by_id_.count(id) != 0; })) {
+      ADD_FAILURE() << "no response for " << id;
+      return JsonValue{};
+    }
+    return by_id_[id];
+  }
+
+  /// Index of `id` in arrival order (must have arrived).
+  std::size_t rank(const std::string& id) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      if (order_[i] == id) return i;
+    }
+    ADD_FAILURE() << id << " never arrived";
+    return order_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> order_;
+  std::map<std::string, JsonValue> by_id_;
+};
+
+std::string cheap_plan(const std::string& id, int salt = 0,
+                       const std::string& extra = "") {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"ring","nodes":8,"collective":"allreduce:ring",)" +
+         R"("message_bytes":)" + std::to_string(1048576 + salt) + extra + "}";
+}
+
+std::string heavy_plan(const std::string& id, int salt = 0,
+                       const std::string& extra = "") {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"mesh","nodes":12,"collective":"alltoall",)" +
+         R"("message_bytes":)" + std::to_string(4194304 + salt) + extra + "}";
+}
+
+std::string ring_delta(const std::string& id, int src, int dst) {
+  return R"({"op":"delta","id":")" + id +
+         R"(","topology":"ring","nodes":8,"ops":[{"kind":"scale_capacity",)" +
+         R"("src":)" + std::to_string(src) + R"(,"dst":)" +
+         std::to_string(dst) + R"(,"factor":0.5}]})";
+}
+
+std::int64_t stat_of(PlanService& svc, const char* name) {
+  OrderedCapture cap;
+  svc.submit_line(R"({"op":"stats","id":"__st"})",
+                  std::make_shared<const PlanService::Emit>(std::ref(cap)));
+  const auto v = cap.wait("__st");
+  const auto* st = v.find("stats");
+  if (st == nullptr) return -1;
+  const auto* f = st->find(name);
+  return f != nullptr ? static_cast<std::int64_t>(f->as_number()) : -1;
+}
+
+// ---- Priority lanes ------------------------------------------------------
+
+TEST(ServeLanes, DeadlineRequestOvertakesQueuedBatch) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;  // one worker: queue order is answer order
+  PlanService svc(opts, std::ref(cap));
+
+  // Pin the worker with a heavy blocker so everything below queues.
+  svc.submit_line(heavy_plan("blocker"));
+  std::this_thread::sleep_for(100ms);  // let the worker pick it up
+
+  // K batch requests (distinct solve keys, no deadline), then one
+  // deadline-carrying request. FIFO would answer it last; the urgent lane
+  // must answer it first.
+  constexpr int kBatch = 4;
+  for (int i = 0; i < kBatch; ++i) {
+    svc.submit_line(cheap_plan("batch" + std::to_string(i), i + 1));
+  }
+  svc.submit_line(cheap_plan("urgent", 777, R"(,"deadline_ms":30000)"));
+
+  (void)cap.wait("blocker", 120'000ms);
+  for (int i = 0; i < kBatch; ++i) {
+    const auto r = cap.wait("batch" + std::to_string(i), 120'000ms);
+    EXPECT_EQ(r.find("code")->as_string(), "OK");
+  }
+  const auto u = cap.wait("urgent", 120'000ms);
+  ASSERT_EQ(u.find("code")->as_string(), "OK");
+  EXPECT_FALSE(u.find("degraded")->as_bool());  // solved, not laddered
+
+  // Pinned ordering: the urgent response precedes every batch response.
+  const std::size_t urgent_rank = cap.rank("urgent");
+  for (int i = 0; i < kBatch; ++i) {
+    EXPECT_LT(urgent_rank, cap.rank("batch" + std::to_string(i)))
+        << "urgent answered after batch" << i;
+  }
+}
+
+TEST(ServeLanes, DeadlineWaiterPromotesCoalescedBatchJob) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("blocker"));
+  std::this_thread::sleep_for(100ms);
+
+  // Two batch jobs queue; then a deadline request coalesces onto the
+  // *second* one. The promotion must pull that whole job (both waiters)
+  // ahead of the first batch job.
+  svc.submit_line(cheap_plan("b0", 1));
+  svc.submit_line(cheap_plan("b1", 2));
+  svc.submit_line(cheap_plan("rider", 2, R"(,"deadline_ms":30000)"));
+
+  const auto rider = cap.wait("rider", 120'000ms);
+  ASSERT_EQ(rider.find("code")->as_string(), "OK");
+  EXPECT_TRUE(rider.find("coalesced")->as_bool());
+  (void)cap.wait("b0", 120'000ms);
+  (void)cap.wait("b1", 120'000ms);
+  EXPECT_LT(cap.rank("b1"), cap.rank("b0"))
+      << "promoted job should be solved before the older batch job";
+  EXPECT_LT(cap.rank("rider"), cap.rank("b0"));
+  svc.drain();
+}
+
+// ---- Debounce ------------------------------------------------------------
+
+TEST(ServeDebounce, BurstOfDeltasFiresOneReplanWave) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.watchdog_interval = 5ms;
+  opts.replan_debounce_window = 150ms;
+  PlanService svc(opts, std::ref(cap));
+
+  // Seed the memo so a replan wave has something to refresh.
+  svc.submit_line(cheap_plan("seed"));
+  ASSERT_EQ(cap.wait("seed").find("code")->as_string(), "OK");
+  svc.drain();
+
+  // Ten rapid deltas on one context, all inside the 150 ms window: the
+  // first arms it, nine ride it.
+  constexpr int kBurst = 10;
+  for (int i = 0; i < kBurst; ++i) {
+    svc.submit_line(ring_delta("d" + std::to_string(i), i % 7, (i % 7) + 1));
+  }
+  for (int i = 0; i < kBurst; ++i) {
+    const auto d = cap.wait("d" + std::to_string(i));
+    ASSERT_EQ(d.find("code")->as_string(), "OK");
+    // No synchronous replans in debounce mode — the wave is deferred.
+    EXPECT_EQ(d.find("replans_enqueued")->as_number(), 0.0);
+    EXPECT_TRUE(d.find("replans_deferred")->as_bool());
+  }
+
+  // Let the window close and the wave run dry.
+  std::this_thread::sleep_for(300ms);
+  svc.drain();
+
+  EXPECT_EQ(stat_of(svc, "replans_debounced"), kBurst - 1);
+  EXPECT_EQ(stat_of(svc, "replans"), 1) << "exactly one replan wave";
+
+  // And the wave actually refreshed the memo: a repeat of the seed is a
+  // fresh (non-degraded) cache hit at the post-burst epoch.
+  svc.submit_line(cheap_plan("after"));
+  const auto after = cap.wait("after");
+  ASSERT_EQ(after.find("code")->as_string(), "OK");
+  EXPECT_TRUE(after.find("cached")->as_bool());
+  EXPECT_FALSE(after.find("degraded")->as_bool());
+  EXPECT_EQ(after.find("epoch")->as_number(), static_cast<double>(kBurst));
+}
+
+TEST(ServeDebounce, SeparateBurstsFireSeparateWaves) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.watchdog_interval = 5ms;
+  opts.replan_debounce_window = 80ms;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("seed"));
+  (void)cap.wait("seed");
+  svc.drain();
+
+  for (int burst = 0; burst < 2; ++burst) {
+    for (int i = 0; i < 3; ++i) {
+      const std::string id = "b" + std::to_string(burst) + "d" +
+                             std::to_string(i);
+      svc.submit_line(ring_delta(id, i, i + 1));
+      (void)cap.wait(id);
+    }
+    std::this_thread::sleep_for(200ms);  // window closes, wave runs
+    svc.drain();
+  }
+  EXPECT_EQ(stat_of(svc, "replans"), 2) << "one wave per burst";
+  EXPECT_EQ(stat_of(svc, "replans_debounced"), 4);  // 2 riders per burst
+}
+
+TEST(ServeDebounce, ZeroWindowReplansImmediately) {
+  // Backwards-compat: the default window (0) keeps the synchronous
+  // replans_enqueued semantics.
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("seed"));
+  (void)cap.wait("seed");
+  svc.drain();
+
+  svc.submit_line(ring_delta("d", 1, 2));
+  const auto d = cap.wait("d");
+  ASSERT_EQ(d.find("code")->as_string(), "OK");
+  EXPECT_EQ(d.find("replans_enqueued")->as_number(), 1.0);
+  EXPECT_FALSE(d.find("replans_deferred")->as_bool());
+  svc.drain();
+  EXPECT_EQ(stat_of(svc, "replans_debounced"), 0);
+}
+
+}  // namespace
+}  // namespace psd::serve

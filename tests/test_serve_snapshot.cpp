@@ -1,0 +1,359 @@
+// Persisted plan-memo snapshots: record round-trip, warm restart
+// (snapshot → new service → first repeat request is a memo hit with zero
+// solves), and rejection of corrupt / truncated / stale-fingerprint
+// snapshots — a bad file means a clean cold start, never a crash.
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/serve/service.hpp"
+#include "psd/serve/snapshot.hpp"
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+class Capture {
+ public:
+  void operator()(const std::string& line) {
+    auto v = parse_json(line);
+    const auto* id = v.find("id");
+    const std::lock_guard<std::mutex> lk(mu_);
+    by_id_[id != nullptr ? id->as_string() : ""] = std::move(v);
+    cv_.notify_all();
+  }
+
+  JsonValue wait(const std::string& id,
+                 std::chrono::milliseconds timeout = 60'000ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return by_id_.count(id) != 0; })) {
+      ADD_FAILURE() << "no response for " << id;
+      return JsonValue{};
+    }
+    return by_id_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, JsonValue> by_id_;
+};
+
+std::string cheap_plan(const std::string& id, int salt = 0) {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"ring","nodes":8,"collective":"allreduce:ring",)" +
+         R"("message_bytes":)" + std::to_string(1048576 + salt) + "}";
+}
+
+std::string ring_delta(const std::string& id, int src, int dst) {
+  return R"({"op":"delta","id":")" + id +
+         R"(","topology":"ring","nodes":8,"ops":[{"kind":"scale_capacity",)" +
+         R"("src":)" + std::to_string(src) + R"(,"dst":)" +
+         std::to_string(dst) + R"(,"factor":0.5}]})";
+}
+
+/// Unique-per-test temp path, removed on destruction.
+class TempPath {
+ public:
+  explicit TempPath(const std::string& stem) {
+    path_ = testing::TempDir() + stem + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".jsonl";
+    std::remove(path_.c_str());
+  }
+  ~TempPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  return lines;
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  for (const auto& l : lines) out << l << '\n';
+}
+
+// ---- Record round-trip ---------------------------------------------------
+
+TEST(MemoSnapshotFormat, RecordRoundTripsBitExactly) {
+  MemoSnapshotRecord rec;
+  rec.plan = parse_request(cheap_plan("x", 7)).plan;
+  rec.answer.steps = 14;
+  rec.answer.optimal_ns = 123456.78901234567;
+  rec.answer.static_ns = 3.0000000000000004;
+  rec.answer.naive_bvn_ns = 1e300;
+  rec.answer.greedy_ns = 0.1;
+  rec.answer.reconfigurations = 3;
+  rec.answer.speedup_vs_static = 1.9999999999999998;
+  rec.answer.speedup_vs_bvn = 2.5;
+  rec.answer.pipelined_ns = 99999.99999999999;
+  rec.answer.pipeline_chunks = 4;
+  rec.answer.chosen_algo = "ring";
+  rec.epoch = 12;
+  rec.fingerprint = 0xDEADBEEFCAFEF00DULL;
+
+  const auto back = memo_record_from_json(memo_record_to_json(rec));
+  EXPECT_EQ(back.epoch, rec.epoch);
+  EXPECT_EQ(back.fingerprint, rec.fingerprint);
+  EXPECT_EQ(back.plan.nodes, rec.plan.nodes);
+  EXPECT_EQ(back.plan.message.count(), rec.plan.message.count());
+  EXPECT_EQ(back.answer.steps, rec.answer.steps);
+  // %.17g: doubles survive the text round trip bit-exactly.
+  EXPECT_EQ(back.answer.optimal_ns, rec.answer.optimal_ns);
+  EXPECT_EQ(back.answer.static_ns, rec.answer.static_ns);
+  EXPECT_EQ(back.answer.naive_bvn_ns, rec.answer.naive_bvn_ns);
+  EXPECT_EQ(back.answer.speedup_vs_static, rec.answer.speedup_vs_static);
+  EXPECT_EQ(back.answer.pipelined_ns, rec.answer.pipelined_ns);
+  EXPECT_EQ(back.answer.pipeline_chunks, rec.answer.pipeline_chunks);
+  EXPECT_EQ(back.answer.chosen_algo, rec.answer.chosen_algo);
+}
+
+TEST(MemoSnapshotFormat, HeaderRoundTripAndRejections) {
+  EXPECT_TRUE(parse_memo_snapshot_header(memo_snapshot_header()));
+  EXPECT_FALSE(parse_memo_snapshot_header(""));
+  EXPECT_FALSE(parse_memo_snapshot_header("not json"));
+  EXPECT_FALSE(parse_memo_snapshot_header(R"({"format":"other","version":1})"));
+  EXPECT_FALSE(
+      parse_memo_snapshot_header(R"({"format":"psd-serve-memo","version":99})"));
+  EXPECT_FALSE(parse_memo_snapshot_header(R"({"version":1})"));
+}
+
+TEST(MemoSnapshotFormat, MalformedRecordsThrow) {
+  EXPECT_THROW((void)memo_record_from_json("garbage"), Error);
+  EXPECT_THROW((void)memo_record_from_json("{}"), Error);
+  // Valid plan fields but no answer / fingerprint.
+  const std::string plan_only =
+      R"({"topology":"ring","nodes":8,"collective":"allreduce:ring",)"
+      R"("message_bytes":1048576,"epoch":0})";
+  EXPECT_THROW((void)memo_record_from_json(plan_only), Error);
+  // Fingerprint of the wrong shape.
+  MemoSnapshotRecord rec;
+  rec.plan = parse_request(cheap_plan("x")).plan;
+  std::string line = memo_record_to_json(rec);
+  const auto pos = line.find("\"fingerprint\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, std::string("\"fingerprint\":\"").size() + 16,
+               "\"fingerprint\":\"YOLO\"");
+  EXPECT_THROW((void)memo_record_from_json(line), Error);
+}
+
+// ---- Save / load round trip ---------------------------------------------
+
+TEST(MemoSnapshot, SaveThenLoadAnswersWarm) {
+  TempPath snap("serve-memo-warm");
+  JsonValue first;
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    PlanService svc(opts, std::ref(cap));
+    svc.submit_line(cheap_plan("a", 0));
+    svc.submit_line(cheap_plan("b", 9));
+    first = cap.wait("a");
+    ASSERT_EQ(first.find("code")->as_string(), "OK");
+    (void)cap.wait("b");
+    svc.drain();
+    EXPECT_EQ(svc.save_memo_snapshot(snap.str()), 2);
+  }
+  ASSERT_EQ(read_lines(snap.str()).size(), 3u);  // header + 2 records
+
+  // Restart: the snapshot is loaded at construction; the first repeat
+  // request is a fresh memo hit — zero solves, degraded:false.
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_snapshot_path = snap.str();
+  PlanService svc(opts, std::ref(cap));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.memo_loaded, 2u);
+  EXPECT_EQ(st.memo_load_errors, 0u);
+  EXPECT_EQ(st.memo_load_rejected, 0u);
+
+  svc.submit_line(cheap_plan("a2", 0));
+  const auto warm = cap.wait("a2");
+  ASSERT_EQ(warm.find("code")->as_string(), "OK");
+  EXPECT_TRUE(warm.find("cached")->as_bool());
+  EXPECT_FALSE(warm.find("degraded")->as_bool());
+  // Bit-exact across the restart (answers were persisted with %.17g).
+  EXPECT_EQ(warm.find("optimal_ns")->as_number(),
+            first.find("optimal_ns")->as_number());
+  EXPECT_EQ(warm.find("pipelined_ns")->as_number(),
+            first.find("pipelined_ns")->as_number());
+  EXPECT_EQ(svc.stats().planned, 0u) << "warm hit must not solve";
+}
+
+TEST(MemoSnapshot, ShutdownWritesSnapshotAutomatically) {
+  TempPath snap("serve-memo-auto");
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    opts.memo_snapshot_path = snap.str();  // missing file: silent cold start
+    PlanService svc(opts, std::ref(cap));
+    EXPECT_EQ(svc.stats().memo_load_errors, 0u);
+    svc.submit_line(cheap_plan("a"));
+    (void)cap.wait("a");
+    svc.drain();
+    svc.shutdown();  // writes the snapshot
+    EXPECT_GE(svc.stats().memo_snapshots, 1u);
+  }
+  const auto lines = read_lines(snap.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(parse_memo_snapshot_header(lines[0]));
+  EXPECT_NO_THROW((void)memo_record_from_json(lines[1]));
+}
+
+TEST(MemoSnapshot, StaleEntriesAreNotWritten) {
+  // An entry made stale by a delta is degradation fodder in RAM but must
+  // not be persisted: a restart rebuilds the pristine topology, for which
+  // that answer is neither fresh nor provably right.
+  TempPath snap("serve-memo-stale");
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.replan_on_delta = false;  // keep the entry stale
+  PlanService svc(opts, std::ref(cap));
+  svc.submit_line(cheap_plan("a"));
+  (void)cap.wait("a");
+  svc.drain();
+  svc.submit_line(ring_delta("d", 2, 3));
+  (void)cap.wait("d");
+  EXPECT_EQ(svc.save_memo_snapshot(snap.str()), 0);
+  EXPECT_EQ(read_lines(snap.str()).size(), 1u);  // header only
+}
+
+// ---- Rejection paths -----------------------------------------------------
+
+TEST(MemoSnapshot, CorruptHeaderMeansCleanColdStart) {
+  TempPath snap("serve-memo-corrupt-header");
+  write_lines(snap.str(), {"this is not a snapshot", "nor is this"});
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_snapshot_path = snap.str();
+  PlanService svc(opts, std::ref(cap));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.memo_loaded, 0u);
+  EXPECT_EQ(st.memo_load_errors, 1u);
+  // Daemon is alive and cold: the request solves instead of hitting.
+  svc.submit_line(cheap_plan("a"));
+  const auto r = cap.wait("a");
+  ASSERT_EQ(r.find("code")->as_string(), "OK");
+  EXPECT_FALSE(r.find("cached")->as_bool());
+}
+
+TEST(MemoSnapshot, TruncatedAndCorruptRecordsAreSkipped) {
+  TempPath snap("serve-memo-truncated");
+  // Build a real snapshot, then mangle it: keep the header and one good
+  // record, add a corrupt record and a truncated last line (no newline,
+  // cut mid-JSON — exactly what a crash mid-append would leave).
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    PlanService svc(opts, std::ref(cap));
+    svc.submit_line(cheap_plan("a", 0));
+    (void)cap.wait("a");
+    svc.drain();
+    ASSERT_EQ(svc.save_memo_snapshot(snap.str()), 1);
+  }
+  auto lines = read_lines(snap.str());
+  ASSERT_EQ(lines.size(), 2u);
+  {
+    std::ofstream out(snap.str(), std::ios::trunc);
+    out << lines[0] << '\n'
+        << lines[1] << '\n'
+        << R"({"topology":"ring","nodes":"eight"})" << '\n'
+        << lines[1].substr(0, lines[1].size() / 2);  // truncated, no '\n'
+  }
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_snapshot_path = snap.str();
+  PlanService svc(opts, std::ref(cap));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.memo_loaded, 1u) << "the good record is kept";
+  EXPECT_EQ(st.memo_load_errors, 2u) << "corrupt + truncated each counted";
+  svc.submit_line(cheap_plan("a", 0));
+  EXPECT_TRUE(cap.wait("a").find("cached")->as_bool());
+}
+
+TEST(MemoSnapshot, StaleFingerprintIsRejected) {
+  TempPath snap("serve-memo-stale-fp");
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    PlanService svc(opts, std::ref(cap));
+    svc.submit_line(cheap_plan("a"));
+    (void)cap.wait("a");
+    svc.drain();
+    ASSERT_EQ(svc.save_memo_snapshot(snap.str()), 1);
+  }
+  // Flip one fingerprint hex digit: the record no longer matches the
+  // pristine rebuild and must be rejected (not served, not crashed on).
+  auto lines = read_lines(snap.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const auto pos = lines[1].find("\"fingerprint\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  const auto digit = pos + std::string("\"fingerprint\":\"").size();
+  lines[1][digit] = lines[1][digit] == '0' ? '1' : '0';
+  write_lines(snap.str(), lines);
+
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_snapshot_path = snap.str();
+  PlanService svc(opts, std::ref(cap));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.memo_loaded, 0u);
+  EXPECT_EQ(st.memo_load_rejected, 1u);
+  EXPECT_EQ(st.memo_load_errors, 0u);
+  svc.submit_line(cheap_plan("a"));
+  const auto r = cap.wait("a");
+  ASSERT_EQ(r.find("code")->as_string(), "OK");
+  EXPECT_FALSE(r.find("cached")->as_bool()) << "rejected entry must re-solve";
+}
+
+TEST(MemoSnapshot, PeriodicSnapshotsFromWatchdog) {
+  TempPath snap("serve-memo-periodic");
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.watchdog_interval = 5ms;
+  opts.memo_snapshot_path = snap.str();
+  opts.memo_snapshot_interval = 50ms;
+  PlanService svc(opts, std::ref(cap));
+  svc.submit_line(cheap_plan("a"));
+  (void)cap.wait("a");
+  svc.drain();
+  std::this_thread::sleep_for(250ms);
+  EXPECT_GE(svc.stats().memo_snapshots, 1u);
+  const auto lines = read_lines(snap.str());
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(parse_memo_snapshot_header(lines[0]));
+}
+
+}  // namespace
+}  // namespace psd::serve

@@ -1,0 +1,405 @@
+// SocketServer end-to-end: 8 threads hammering one socket daemon with
+// interleaved plan/delta/stats (exactly one response per request, no
+// torn JSON lines, plan payloads byte-identical to a serial in-process
+// run), a client disconnecting mid-solve (the accept loop must keep
+// serving others), oversized lines, split/coalesced writes, and
+// backpressure-by-disconnect for a client that stops reading.
+#include "psd/serve/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/psd-serve-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Minimal blocking JSON-lines client over a Unix socket. Responses are
+/// read on demand and kept both parsed and raw (for byte-level checks).
+class SockClient {
+ public:
+  explicit SockClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0)
+        << "connect " << path << ": " << std::strerror(errno);
+    const timeval tv{120, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~SockClient() { close(); }
+  SockClient(const SockClient&) = delete;
+  SockClient& operator=(const SockClient&) = delete;
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  /// Blocks until the response for `id` has been read; empty on timeout
+  /// or disconnect.
+  std::string wait_raw(const std::string& id) {
+    while (raw_by_id_.count(id) == 0) {
+      if (!read_more()) return "";
+    }
+    return raw_by_id_[id];
+  }
+  JsonValue wait(const std::string& id) {
+    const std::string raw = wait_raw(id);
+    if (raw.empty()) {
+      ADD_FAILURE() << "no response for " << id;
+      return JsonValue{};
+    }
+    return parse_json(raw);
+  }
+
+  /// Ids that arrived more than once (every request must get exactly one
+  /// response).
+  [[nodiscard]] const std::set<std::string>& duplicate_ids() const {
+    return duplicates_;
+  }
+  [[nodiscard]] std::size_t lines_read() const { return lines_read_; }
+  [[nodiscard]] std::size_t parse_failures() const { return parse_failures_; }
+
+ private:
+  bool read_more() {
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    buf_.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buf_.find('\n', start); nl != std::string::npos;
+         nl = buf_.find('\n', start)) {
+      const std::string line = buf_.substr(start, nl - start);
+      start = nl + 1;
+      ++lines_read_;
+      try {
+        const auto v = parse_json(line);  // a torn line fails right here
+        const auto* id = v.find("id");
+        const std::string key = id != nullptr ? id->as_string() : "";
+        if (!raw_by_id_.emplace(key, line).second) duplicates_.insert(key);
+      } catch (const std::exception&) {
+        ++parse_failures_;
+      }
+    }
+    buf_.erase(0, start);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+  std::map<std::string, std::string> raw_by_id_;
+  std::set<std::string> duplicates_;
+  std::size_t lines_read_ = 0;
+  std::size_t parse_failures_ = 0;
+};
+
+std::string cheap_plan(const std::string& id, int salt = 0) {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"ring","nodes":8,"collective":"allreduce:ring",)" +
+         R"("message_bytes":)" + std::to_string(1048576 + salt) + "}";
+}
+
+std::string heavy_plan(const std::string& id, int salt = 0) {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"mesh","nodes":12,"collective":"alltoall",)" +
+         R"("message_bytes":)" + std::to_string(4194304 + salt) + "}";
+}
+
+/// Delta on a context none of the stress plans use, so plan payloads stay
+/// epoch-0 deterministic while deltas still exercise the delta path.
+std::string side_delta(const std::string& id, int src) {
+  return R"({"op":"delta","id":")" + id +
+         R"(","topology":"bidir-ring","nodes":8,)"
+         R"("ops":[{"kind":"scale_capacity","src":)" + std::to_string(src) +
+         R"(,"dst":)" + std::to_string(src + 1) + R"(,"factor":0.9}]})";
+}
+
+/// The solve-payload fields of a plan response (everything that must be
+/// identical for the same solve key, across transports and runs — i.e.
+/// excluding only the per-request plan_latency_ms / cached / coalesced).
+std::vector<std::pair<std::string, double>> payload_fields(
+    const JsonValue& v) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const char* f :
+       {"steps", "optimal_ns", "static_ns", "naive_bvn_ns", "greedy_ns",
+        "reconfigurations", "speedup_vs_static", "speedup_vs_bvn",
+        "pipelined_ns", "pipeline_chunks", "epoch"}) {
+    const auto* x = v.find(f);
+    EXPECT_NE(x, nullptr) << "plan response missing " << f;
+    out.emplace_back(f, x != nullptr ? x->as_number() : -1.0);
+  }
+  return out;
+}
+
+// ---- 8-thread interleaved stress ----------------------------------------
+
+TEST(ServeTransport, EightThreadsInterleavedStress) {
+  const std::string path = test_socket_path("stress");
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_limit = 256;  // the stress must not shed
+  PlanService svc(sopts, [](const std::string&) {});
+  SocketServer server({.socket_path = path}, svc);
+  server.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 18;
+  constexpr int kSalts = 3;  // shared solve keys: exercises memo + coalesce
+  // payloads[salt] -> every payload observed for that solve key.
+  std::mutex payload_mu;
+  std::map<int, std::vector<std::vector<std::pair<std::string, double>>>>
+      payloads;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SockClient c(path);
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id = "t" + std::to_string(t) + "r" +
+                               std::to_string(i);
+        if (i % 6 == 4) {
+          if (!c.send_line(R"({"op":"stats","id":")" + id + R"("})")) break;
+          const auto r = c.wait(id);
+          if (r.find("stats") == nullptr) failures.fetch_add(1);
+        } else if (i % 6 == 5) {
+          if (!c.send_line(side_delta(id, (t + i) % 7))) break;
+          const auto r = c.wait(id);
+          const auto* code = r.find("code");
+          if (code == nullptr || code->as_string() != "OK") {
+            failures.fetch_add(1);
+          }
+        } else {
+          const int salt = (t + i) % kSalts;
+          if (!c.send_line(cheap_plan(id, salt))) break;
+          const auto r = c.wait(id);
+          const auto* code = r.find("code");
+          if (code == nullptr || code->as_string() != "OK") {
+            failures.fetch_add(1);
+            continue;
+          }
+          auto fields = payload_fields(r);
+          const std::lock_guard<std::mutex> lk(payload_mu);
+          payloads[salt].push_back(std::move(fields));
+        }
+      }
+      EXPECT_EQ(c.parse_failures(), 0u) << "torn JSON line on thread " << t;
+      EXPECT_TRUE(c.duplicate_ids().empty())
+          << "duplicate response on thread " << t;
+      EXPECT_EQ(c.lines_read(), static_cast<std::size_t>(kRequests))
+          << "thread " << t << ": exactly one response per request";
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Same solve key ⇒ byte-identical payload, across all 8 connections.
+  for (const auto& [salt, all] : payloads) {
+    ASSERT_FALSE(all.empty());
+    for (const auto& fields : all) {
+      EXPECT_EQ(fields, all.front()) << "diverging payload for salt " << salt;
+    }
+  }
+
+  // ... and identical to a serial in-process run of the same requests.
+  std::mutex serial_mu;
+  std::map<std::string, JsonValue> serial;
+  std::condition_variable serial_cv;
+  PlanService ref_svc(sopts, [&](const std::string& line) {
+    auto v = parse_json(line);
+    const auto* id = v.find("id");
+    const std::lock_guard<std::mutex> lk(serial_mu);
+    serial[id != nullptr ? id->as_string() : ""] = std::move(v);
+    serial_cv.notify_all();
+  });
+  for (int salt = 0; salt < kSalts; ++salt) {
+    ref_svc.submit_line(cheap_plan("s" + std::to_string(salt), salt));
+  }
+  for (int salt = 0; salt < kSalts; ++salt) {
+    const std::string id = "s" + std::to_string(salt);
+    std::unique_lock<std::mutex> lk(serial_mu);
+    ASSERT_TRUE(
+        serial_cv.wait_for(lk, 60s, [&] { return serial.count(id) != 0; }));
+    EXPECT_EQ(payloads[salt].front(), payload_fields(serial[id]))
+        << "socket payload differs from serial run for salt " << salt;
+  }
+
+  EXPECT_GE(server.connections_accepted(), static_cast<std::uint64_t>(kThreads));
+  server.stop();
+  svc.shutdown();
+}
+
+// ---- Disconnect mid-solve (regression) ----------------------------------
+
+TEST(ServeTransport, ClientDisconnectMidSolveKeepsServingOthers) {
+  const std::string path = test_socket_path("midsolve");
+  ServiceOptions sopts;
+  sopts.workers = 1;  // the heavy solve pins the only worker
+  PlanService svc(sopts, [](const std::string&) {});
+  SocketServer server({.socket_path = path}, svc);
+  server.start();
+
+  // Client A starts a ~1.5 s solve and vanishes without reading.
+  auto a = std::make_unique<SockClient>(path);
+  ASSERT_TRUE(a->send_line(heavy_plan("doomed")));
+  std::this_thread::sleep_for(150ms);  // the worker has picked it up
+  a->close();
+  a.reset();
+
+  // The accept loop must take new clients immediately (not after the
+  // solve): a stats round trip completes while the solve is in flight.
+  const auto before = std::chrono::steady_clock::now();
+  SockClient b(path);
+  ASSERT_TRUE(b.send_line(R"({"op":"stats","id":"s"})"));
+  const auto r = b.wait("s");
+  EXPECT_NE(r.find("stats"), nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(elapsed, 1s) << "accept/stats stalled behind the dead client";
+
+  // And a queued plan from a live client is still answered.
+  ASSERT_TRUE(b.send_line(cheap_plan("alive")));
+  const auto alive = b.wait("alive");
+  ASSERT_NE(alive.find("code"), nullptr);
+  EXPECT_EQ(alive.find("code")->as_string(), "OK");
+
+  server.stop();
+  svc.shutdown();
+}
+
+// ---- Framing over the wire ----------------------------------------------
+
+TEST(ServeTransport, OversizedLineAnsweredInvalidConnectionSurvives) {
+  const std::string path = test_socket_path("oversize");
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  PlanService svc(sopts, [](const std::string&) {});
+  SocketServer server({.socket_path = path, .max_line_bytes = 1024}, svc);
+  server.start();
+
+  SockClient c(path);
+  ASSERT_TRUE(c.send_line(std::string(8192, 'x')));
+  ASSERT_TRUE(c.send_line(cheap_plan("after")));
+  // The oversized line is answered INVALID_REQUEST with an empty id.
+  const auto inv = c.wait("");
+  ASSERT_NE(inv.find("code"), nullptr);
+  EXPECT_EQ(inv.find("code")->as_string(), "INVALID_REQUEST");
+  const auto ok = c.wait("after");
+  ASSERT_NE(ok.find("code"), nullptr);
+  EXPECT_EQ(ok.find("code")->as_string(), "OK");
+  EXPECT_EQ(server.overlong_lines(), 1u);
+  server.stop();
+  svc.shutdown();
+}
+
+TEST(ServeTransport, SplitAndCoalescedWritesBothFrameCorrectly) {
+  const std::string path = test_socket_path("frames");
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  PlanService svc(sopts, [](const std::string&) {});
+  SocketServer server({.socket_path = path}, svc);
+  server.start();
+
+  SockClient c(path);
+  // One request dribbled out in small chunks across many writes...
+  const std::string req = cheap_plan("split") + "\n";
+  for (std::size_t off = 0; off < req.size(); off += 7) {
+    ASSERT_TRUE(c.send_raw(req.substr(off, 7)));
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_EQ(c.wait("split").find("code")->as_string(), "OK");
+  // ...and three requests coalesced into a single write.
+  ASSERT_TRUE(c.send_raw(cheap_plan("c1", 1) + "\n" + cheap_plan("c2", 2) +
+                         "\n" + R"({"op":"stats","id":"c3"})" + "\n"));
+  EXPECT_EQ(c.wait("c1").find("code")->as_string(), "OK");
+  EXPECT_EQ(c.wait("c2").find("code")->as_string(), "OK");
+  EXPECT_NE(c.wait("c3").find("stats"), nullptr);
+  // A truncated trailing request (no newline) followed by EOF is simply
+  // dropped — nothing to answer, nothing to crash on.
+  ASSERT_TRUE(c.send_raw(R"({"op":"plan","id":"tr)"));
+  c.close();
+  std::this_thread::sleep_for(50ms);
+  SockClient d(path);
+  ASSERT_TRUE(d.send_line(cheap_plan("post-eof", 3)));
+  EXPECT_EQ(d.wait("post-eof").find("code")->as_string(), "OK");
+  server.stop();
+  svc.shutdown();
+}
+
+// ---- Backpressure --------------------------------------------------------
+
+TEST(ServeTransport, NonReadingClientIsDroppedNotBuffered) {
+  const std::string path = test_socket_path("backpressure");
+  ServiceOptions sopts;
+  sopts.workers = 1;
+  PlanService svc(sopts, [](const std::string&) {});
+  // Tiny outbound cap: a client that never reads blows it quickly.
+  SocketServer server({.socket_path = path, .max_outbound_bytes = 4096}, svc);
+  server.start();
+
+  SockClient hog(path);
+  // Thousands of synchronous stats responses the hog never reads: kernel
+  // buffers fill, the daemon-side outbound buffer hits the cap, drop.
+  for (int i = 0; i < 3000; ++i) {
+    if (!hog.send_line(R"({"op":"stats","id":"h)" + std::to_string(i) +
+                       R"("})")) {
+      break;  // daemon already dropped us mid-send — that's the point
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (server.connections_dropped() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GE(server.connections_dropped(), 1u);
+
+  // The daemon is unharmed and serves the next client.
+  SockClient ok(path);
+  ASSERT_TRUE(ok.send_line(cheap_plan("fine")));
+  EXPECT_EQ(ok.wait("fine").find("code")->as_string(), "OK");
+  server.stop();
+  svc.shutdown();
+}
+
+}  // namespace
+}  // namespace psd::serve

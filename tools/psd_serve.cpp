@@ -1,13 +1,22 @@
 // psd_serve: the planning-as-a-service daemon over psd::serve::PlanService.
 //
 //   psd_serve [--workers N] [--queue-limit N] [--watchdog-ms N]
-//             [--fast-path-ms X] [--socket PATH]
+//             [--fast-path-ms X] [--socket PATH] [--max-line-bytes N]
+//             [--debounce-ms N] [--memo-snapshot PATH]
+//             [--snapshot-interval-ms N]
 //
 // Default transport is stdio: one JSON request per stdin line, one JSON
 // response per stdout line (possibly out of order — correlate by "id";
-// protocol in docs/serve.md). With --socket PATH the daemon listens on a
-// Unix domain socket instead and serves connections one at a time, each a
-// JSON-lines session — tools/serve_client.py is the reference client.
+// protocol in docs/serve.md). With --socket PATH the daemon serves N
+// concurrent connections through serve::SocketServer — a poll(2) event
+// loop with per-connection framing, buffering, and backpressure — and
+// every connection's answers are routed back to the connection that asked.
+// tools/serve_client.py is the reference client.
+//
+// --debounce-ms arms delta-storm debouncing (one replan wave per burst),
+// --memo-snapshot persists the plan memo across restarts (loaded at
+// startup, written at shutdown; --snapshot-interval-ms also writes it
+// periodically), so a restarted daemon answers repeat requests warm.
 //
 // Exit: a "shutdown" request, stdin EOF (stdio mode), or SIGINT/SIGTERM.
 // Queued-but-unserved requests still receive SHUTTING_DOWN responses and
@@ -15,134 +24,85 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
-#include <iostream>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "psd/serve/service.hpp"
+#include "psd/serve/transport.hpp"
+#include "psd/util/line_buffer.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--workers N] [--queue-limit N] [--watchdog-ms N]\n"
-               "          [--fast-path-ms X] [--socket PATH]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--workers N] [--queue-limit N] [--watchdog-ms N]\n"
+      "          [--fast-path-ms X] [--socket PATH] [--max-line-bytes N]\n"
+      "          [--debounce-ms N] [--memo-snapshot PATH]\n"
+      "          [--snapshot-interval-ms N]\n",
+      argv0);
   return 2;
 }
 
-/// Serialized response sink: stdout, or the live socket connection. A
-/// closed/absent connection drops the line — an async answer whose client
-/// went away has nowhere to go, and the daemon must not die over it.
-class Output {
+/// Serialized stdout sink for stdio mode (socket mode routes responses
+/// through per-connection sinks inside SocketServer instead).
+class StdoutSink {
  public:
-  void set_fd(int fd) {
-    const std::lock_guard<std::mutex> lk(mu_);
-    fd_ = fd;
-  }
-
   void write_line(const std::string& line) {
     const std::lock_guard<std::mutex> lk(mu_);
-    if (fd_ < 0) return;
     std::string buf = line;
     buf.push_back('\n');
     std::size_t off = 0;
     while (off < buf.size()) {
-      // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
       const ssize_t n =
-          fd_ == STDOUT_FILENO
-              ? ::write(fd_, buf.data() + off, buf.size() - off)
-              : ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
-      if (n <= 0) return;  // client gone; drop the rest
+          ::write(STDOUT_FILENO, buf.data() + off, buf.size() - off);
+      if (n <= 0) return;  // stdout gone; drop the rest
       off += static_cast<std::size_t>(n);
     }
   }
 
  private:
   std::mutex mu_;
-  int fd_ = STDOUT_FILENO;
 };
 
 std::atomic<bool> g_interrupted{false};
 
 void on_signal(int) { g_interrupted.store(true); }
 
-/// Feeds newline-delimited requests from `fd` into the service until EOF,
-/// a shutdown request, or a signal. Returns false on EOF/error (connection
-/// over), true when the service is shutting down (daemon should exit).
-bool pump_fd(int fd, psd::serve::PlanService& service) {
-  std::string pending;
+/// stdio mode: feeds newline-delimited requests from stdin into the
+/// service until EOF, a shutdown request, or a signal.
+void pump_stdin(psd::serve::PlanService& service, std::size_t max_line_bytes) {
+  psd::util::LineBuffer in(max_line_bytes);
   char buf[4096];
-  while (!g_interrupted.load()) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n <= 0) return service.shutting_down();
-    pending.append(buf, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl = pending.find('\n', start); nl != std::string::npos;
-         nl = pending.find('\n', start)) {
-      std::string line = pending.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+  while (!g_interrupted.load() && !service.shutting_down()) {
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+    std::string line;
+    while (!service.shutting_down()) {
+      const auto ev = in.next(&line);
+      if (ev == psd::util::LineBuffer::Event::kNone) break;
+      if (ev == psd::util::LineBuffer::Event::kOverlong) {
+        service.submit_line("");  // folds into an INVALID_REQUEST response
+        continue;
+      }
       if (line.empty()) continue;
       service.submit_line(line);
-      if (service.shutting_down()) return true;
     }
-    pending.erase(0, start);
   }
-  return true;
-}
-
-int serve_socket(const std::string& path, psd::serve::PlanService& service,
-                 Output& out) {
-  const int srv = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (srv < 0) {
-    std::fprintf(stderr, "psd_serve: socket: %s\n", std::strerror(errno));
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof addr.sun_path) {
-    std::fprintf(stderr, "psd_serve: socket path too long\n");
-    ::close(srv);
-    return 1;
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  ::unlink(path.c_str());
-  if (::bind(srv, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(srv, 4) < 0) {
-    std::fprintf(stderr, "psd_serve: bind/listen %s: %s\n", path.c_str(),
-                 std::strerror(errno));
-    ::close(srv);
-    return 1;
-  }
-  std::fprintf(stderr, "psd_serve: listening on %s\n", path.c_str());
-  bool done = false;
-  while (!done && !g_interrupted.load()) {
-    const int conn = ::accept(srv, nullptr, nullptr);
-    if (conn < 0) break;
-    out.set_fd(conn);
-    done = pump_fd(conn, service);
-    // Let queued work finish so late answers still reach this client
-    // before the connection goes away.
-    if (!done) service.drain();
-    out.set_fd(-1);
-    ::close(conn);
-  }
-  ::close(srv);
-  ::unlink(path.c_str());
-  return 0;
+  // EOF means the driving process is done — answer what is queued, then
+  // leave.
+  if (!service.shutting_down()) service.drain();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   psd::serve::ServiceOptions opts;
-  std::string socket_path;
+  psd::serve::SocketServerOptions sock;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -173,7 +133,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--fast-path-ms") {
       opts.fast_path_budget_ms = next_number(0, 60000);
     } else if (arg == "--socket") {
-      socket_path = next();
+      sock.socket_path = next();
+    } else if (arg == "--max-line-bytes") {
+      sock.max_line_bytes =
+          static_cast<std::size_t>(next_number(64, 1 << 30));
+    } else if (arg == "--debounce-ms") {
+      opts.replan_debounce_window =
+          std::chrono::milliseconds(static_cast<long>(next_number(0, 600000)));
+    } else if (arg == "--memo-snapshot") {
+      opts.memo_snapshot_path = next();
+    } else if (arg == "--snapshot-interval-ms") {
+      opts.memo_snapshot_interval =
+          std::chrono::milliseconds(static_cast<long>(next_number(0, 3600000)));
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
@@ -185,18 +156,30 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  Output out;
+  StdoutSink out;
   psd::serve::PlanService service(
       opts, [&out](const std::string& line) { out.write_line(line); });
 
-  int rc = 0;
-  if (!socket_path.empty()) {
-    rc = serve_socket(socket_path, service, out);
+  if (!sock.socket_path.empty()) {
+    psd::serve::SocketServer server(sock, service);
+    try {
+      server.start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psd_serve: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "psd_serve: listening on %s\n",
+                 sock.socket_path.c_str());
+    // The event loop runs in the server's thread; this thread just waits
+    // for a reason to leave (signal, or a shutdown op observed by the
+    // loop, which then drains and exits on its own).
+    while (server.running() && !g_interrupted.load()) {
+      ::usleep(50 * 1000);
+    }
+    server.stop();
   } else {
-    // stdio mode: EOF means the driving process is done — answer what is
-    // queued, then leave.
-    if (!pump_fd(STDIN_FILENO, service)) service.drain();
+    pump_stdin(service, sock.max_line_bytes);
   }
   service.shutdown();
-  return rc;
+  return 0;
 }
