@@ -60,6 +60,9 @@ struct PlanFields {
   // Test/ops hook: make the worker thread that picks this request up die
   // (crash-only restart drill — the watchdog must respawn it).
   bool inject_worker_crash = false;
+  // Fair-queueing identity. Empty falls back to the submitter's transport
+  // tenant (one per socket connection) — see ServiceOptions.
+  std::string tenant;
 };
 
 /// A parsed "delta" request: which context's graph to mutate, and how.

@@ -39,17 +39,30 @@
 // The queue is two priority lanes: deadline-carrying requests enter the
 // urgent lane and are always dequeued ahead of batch work (deadline-free
 // plans and internal replans). A batch job that a deadline waiter later
-// coalesces onto is promoted to the urgent lane.
+// coalesces onto is promoted to the urgent lane. Within each lane, jobs
+// are grouped by *tenant* (the request's "tenant" field, defaulting to
+// the transport connection's identity) and dequeued by weighted
+// deficit-round-robin, so one chatty client cannot starve everyone else
+// behind a FIFO. tenant_inflight_quota additionally caps how many solves
+// one tenant may hold in flight; a tenant at quota is skipped
+// (tenant_deferrals) until one of its solves finishes.
 //
 // Requests can carry a per-submission response sink (submit_line's second
 // argument) so one service can serve many transport connections: every
 // response for a request goes to the sink it arrived with, and a sink
 // whose connection died simply drops the line. The plan memo can persist
-// across restarts: save_memo_snapshot writes a versioned JSON-lines file
-// (also periodically / on shutdown when configured) and the constructor
-// reloads it, admitting only entries whose θ context fingerprint matches
-// the freshly built topology — a restarted daemon answers its first
-// repeat requests from the warm memo (see snapshot.hpp, docs/serve.md).
+// across restarts: with memo_journal_path set, every completed fresh
+// answer is appended to a crash-consistent journal (CRC-framed records,
+// generation files, periodic compaction — see snapshot.hpp) and the
+// constructor replays it, admitting only records whose θ context
+// fingerprint matches the freshly built topology — a restarted daemon,
+// even one killed mid-append, answers every committed plan key warm.
+//
+// Robustness drills: ServiceOptions::fault plugs a seeded deterministic
+// util::FaultInjector into the worker path (worker.crash, worker.slow),
+// the watchdog clock (watchdog.stall) and the journal (journal.append.*,
+// journal.compact.rename); the transport adds its own sites. See
+// docs/fault_injection.md for the registry.
 //
 // Degradation ladder (tight or blown deadlines): a stale-epoch memo entry
 // for the exact solve key is served with degraded=true and its epoch lag;
@@ -71,15 +84,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "psd/core/planner.hpp"
 #include "psd/serve/protocol.hpp"
+#include "psd/serve/snapshot.hpp"
 #include "psd/serve/stats.hpp"
 #include "psd/sweep/shared_theta_cache.hpp"
 #include "psd/util/cancellation.hpp"
+#include "psd/util/fault_injection.hpp"
 
 namespace psd::serve {
 
@@ -106,11 +122,30 @@ struct ServiceOptions {
   // so the replan wave fires once per burst, when the window closes (the
   // watchdog flushes it). 0 replans immediately on every delta.
   std::chrono::milliseconds replan_debounce_window{0};
-  // Plan-memo persistence: non-empty enables loading a snapshot at
-  // construction and writing one at shutdown (path + ".tmp" then rename).
-  std::string memo_snapshot_path;
-  // > 0 additionally snapshots periodically from the watchdog.
-  std::chrono::milliseconds memo_snapshot_interval{0};
+  // Trailing-edge debouncing: a delta arriving inside an open window
+  // extends the window instead of merely riding it, so the replan wave
+  // fires one quiet window after the *last* delta of a burst. Off = the
+  // leading-edge behavior (window closes relative to the first delta).
+  bool debounce_trailing = false;
+  // Plan-memo persistence: non-empty is the base path of the append-only
+  // memo journal (generation files <base>.gNNNNNN). The constructor
+  // replays it; every completed fresh answer is appended durably; the
+  // journal compacts itself per journal_compact_records.
+  std::string memo_journal_path;
+  // Appends between journal compactions (generation rewrites).
+  std::size_t journal_compact_records = 256;
+  // Generation files kept on disk after a compaction (>= 1).
+  std::size_t journal_keep_generations = 2;
+  // Per-tenant fairness: max solves one tenant may have in flight at once
+  // (0 = unlimited). Tenants at quota are skipped by the DRR dequeue.
+  std::size_t tenant_inflight_quota = 0;
+  // DRR weights: jobs dequeued per round-robin visit for a tenant (>= 1).
+  // Tenants not listed use default_tenant_weight.
+  std::map<std::string, int> tenant_weights;
+  int default_tenant_weight = 1;
+  // Seeded deterministic fault injection (drills only; see
+  // docs/fault_injection.md). Not owned; must outlive the service.
+  util::FaultInjector* fault = nullptr;
   // θ solver settings shared by every job (cancel and shared_cache are
   // overridden per job; track_support is forced on — the delta carry
   // needs routed supports recorded).
@@ -140,7 +175,10 @@ class PlanService {
   /// watchdog. Responses go to `sink` when given, else to the service-wide
   /// emit callback — a multi-connection transport passes one sink per
   /// connection so every answer finds its way back to the right client.
-  void submit_line(const std::string& line, EmitRef sink = nullptr);
+  /// `default_tenant` is the fair-queueing identity used when the request
+  /// itself carries no "tenant" field (transports pass one per connection).
+  void submit_line(const std::string& line, EmitRef sink = nullptr,
+                   const std::string& default_tenant = {});
 
   /// Blocks until no job is queued or in flight (test synchronization).
   void drain();
@@ -151,23 +189,22 @@ class PlanService {
 
   [[nodiscard]] bool shutting_down() const;
   [[nodiscard]] std::size_t queue_depth() const;
-  [[nodiscard]] ServeStatsSnapshot stats() const { return stats_.snapshot(); }
+  /// Counter snapshot with the robustness surface overlaid: faults_injected
+  /// from the injector, journal_compactions / journal_truncated_tail /
+  /// memo_snapshots from the journal.
+  [[nodiscard]] ServeStatsSnapshot stats() const;
   [[nodiscard]] const sweep::SharedThetaCache& theta_cache() const {
     return *shared_cache_;
   }
 
-  /// Writes the plan memo to `path` as a versioned JSON-lines snapshot
-  /// (atomically: path + ".tmp" then rename). Only entries fresh at their
-  /// context's current epoch are recorded, each stamped with the context's
-  /// θ fingerprint. Returns the number of entries written, or -1 on I/O
-  /// failure (logged to stderr; the service keeps running).
-  std::ptrdiff_t save_memo_snapshot(const std::string& path);
+  /// Forces a journal compaction now (tests/ops; the service compacts
+  /// itself per journal_compact_records). Only entries fresh at their
+  /// context's current epoch survive, each stamped with the context's θ
+  /// fingerprint. False without a journal or on I/O failure.
+  bool compact_journal();
 
-  /// Loads a snapshot written by save_memo_snapshot, admitting entries
-  /// whose fingerprint matches the freshly built context (memo_loaded);
-  /// malformed lines count memo_load_errors, fingerprint/scenario
-  /// mismatches memo_load_rejected. A missing file is a silent cold start.
-  void load_memo_snapshot(const std::string& path);
+  /// The memo journal, or nullptr when persistence is off (tests).
+  [[nodiscard]] const MemoJournal* journal() const { return journal_.get(); }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -197,6 +234,7 @@ class PlanService {
     std::string solve_key;
     std::string context_key;
     PlanFields plan;
+    std::string tenant;  // fair-queueing identity of the creating request
     std::vector<Waiter> waiters;
     util::CancellationToken token;
     bool in_flight = false;
@@ -209,6 +247,23 @@ class PlanService {
   static constexpr int kLaneUrgent = 0;
   static constexpr int kLaneBatch = 1;
   static constexpr int kNumLanes = 2;
+
+  /// One tenant's FIFO within a lane, plus its DRR bookkeeping.
+  struct TenantQueue {
+    std::deque<JobPtr> q;
+    int deficit = 0;    // jobs this tenant may still take this DRR visit
+    bool in_rr = false; // whether the lane's rotation currently lists it
+  };
+
+  /// A priority lane: per-tenant FIFOs dequeued weighted-DRR. `rr` is the
+  /// rotation order (tenants join at the back on first enqueue, leave when
+  /// drained); `size` counts queued jobs across all tenants.
+  struct Lane {
+    std::map<std::string, TenantQueue> tenants;
+    std::vector<std::string> rr;
+    std::size_t rr_pos = 0;
+    std::size_t size = 0;
+  };
 
   /// A registered topology: the authoritative graph deltas mutate. Jobs
   /// solve on value snapshots, so epoch() can advance mid-solve (the
@@ -237,7 +292,8 @@ class PlanService {
     std::uint64_t last_used = 0;  // LRU clock for eviction
   };
 
-  void handle_plan(const Request& req, const EmitRef& sink);
+  void handle_plan(const Request& req, const EmitRef& sink,
+                   const std::string& default_tenant);
   void handle_delta(const Request& req, const EmitRef& sink);
   void handle_stats(const Request& req, const EmitRef& sink);
 
@@ -270,11 +326,28 @@ class PlanService {
   void memo_put_locked(const std::string& solve_key, PlanAnswer answer,
                        std::uint64_t epoch, const PlanFields& plan);
 
-  /// Pops the next job honoring lane priority (urgent before batch).
+  /// Enqueues a job into its lane under its tenant (joins the DRR rotation
+  /// on first enqueue).
+  void push_job_locked(JobPtr job);
+
+  /// Pops the next dispatchable job: lane priority (urgent before batch),
+  /// weighted DRR across tenants within a lane, tenants at their in-flight
+  /// quota skipped (tenant_deferrals). Null when nothing is dispatchable —
+  /// which, under quotas, is NOT the same as nothing queued.
   [[nodiscard]] JobPtr pop_job_locked();
+
+  /// True when pop_job_locked() would return a job (worker wake predicate).
+  [[nodiscard]] bool has_dispatchable_locked() const;
+
+  /// Returns a finished solve's quota slot to its tenant and wakes workers
+  /// whose rotation may have been quota-blocked on it.
+  void release_tenant_slot_locked(const std::string& tenant);
+
   [[nodiscard]] std::size_t queued_locked() const {
-    return lanes_[kLaneUrgent].size() + lanes_[kLaneBatch].size();
+    return lanes_[kLaneUrgent].size + lanes_[kLaneBatch].size;
   }
+
+  [[nodiscard]] int tenant_weight(const std::string& tenant) const;
 
   /// Moves a queued batch job to the urgent lane (a deadline waiter
   /// coalesced onto it). No-op for in-flight or already-urgent jobs.
@@ -284,15 +357,24 @@ class PlanService {
   /// stale memo entry of that context. Returns how many were enqueued.
   std::size_t enqueue_replans_locked(const std::string& ckey);
 
-  /// Collects snapshot lines for every memo entry fresh at its context's
-  /// current epoch (header first).
-  [[nodiscard]] std::vector<std::string> snapshot_lines_locked();
+  /// Every memo entry fresh at its context's current epoch, stamped with
+  /// the context's θ fingerprint — the journal's compaction payload and
+  /// per-answer append source.
+  [[nodiscard]] std::vector<MemoSnapshotRecord> live_records_locked();
 
-  /// Writes collected snapshot lines to `path` atomically (path + ".tmp"
-  /// then rename) and bumps the snapshot counter. False on I/O failure
-  /// (logged to stderr). Called without mu_ held.
-  bool write_snapshot_lines(const std::string& path,
-                            const std::vector<std::string>& lines);
+  /// One journal record for `solve_key`'s memo entry if it is fresh at its
+  /// context's current epoch; nullopt otherwise.
+  [[nodiscard]] std::optional<MemoSnapshotRecord> record_for_key_locked(
+      const std::string& solve_key);
+
+  /// Replays the journal into the memo (constructor, pre-threads):
+  /// fingerprint-validated admission, counters for loaded/errors/rejected.
+  void replay_journal_locked();
+
+  /// Appends `rec` (when set) and runs a compaction if the journal asks
+  /// for one. Called WITHOUT mu_ held (the journal has its own lock; the
+  /// compaction payload is gathered under mu_ internally).
+  void journal_append_and_maintain(std::optional<MemoSnapshotRecord> rec);
 
   [[nodiscard]] static std::string context_key(
       const sweep::TopologySpec& topology, int nodes, double gbps);
@@ -304,19 +386,22 @@ class PlanService {
   EmitRef default_sink_;  // wraps emit_ for requests submitted without one
   ServeStats stats_;
   std::shared_ptr<sweep::SharedThetaCache> shared_cache_;
+  std::unique_ptr<MemoJournal> journal_;  // null when persistence is off
+  std::uint64_t journal_truncated_tail_ = 0;  // from the startup replay
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: queue non-empty / shutdown
+  std::condition_variable work_cv_;   // workers: job dispatchable / shutdown
   std::condition_variable idle_cv_;   // drain(): queue empty, nothing in flight
   std::condition_variable watchdog_cv_;
-  std::deque<JobPtr> lanes_[kNumLanes];  // urgent ahead of batch
+  Lane lanes_[kNumLanes];  // urgent ahead of batch; DRR within each
   std::map<std::string, JobPtr> jobs_by_key_;  // queued + in-flight
   std::map<std::string, std::unique_ptr<Context>> contexts_;
   std::map<std::string, MemoEntry> memo_;
+  // In-flight solves per tenant (quota accounting; entries removed at 0).
+  std::map<std::string, std::size_t> tenant_inflight_;
   // Debounce windows armed by deltas, keyed by context: the watchdog
   // flushes each into one replan wave once its close time passes.
   std::map<std::string, Clock::time_point> pending_replans_;
-  Clock::time_point next_snapshot_ = Clock::time_point::max();
   std::uint64_t memo_clock_ = 0;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;

@@ -1,39 +1,55 @@
-// Persisted plan-memo snapshot: the wire format a PlanService writes at
-// shutdown (and periodically) and reloads at startup so a restarted
-// daemon answers its first repeat requests warm.
+// Crash-consistent persisted plan memo: the append-only journal a
+// PlanService writes while it runs and replays at startup so a restarted
+// daemon — even one that died mid-write — answers every previously
+// committed plan key warm.
 //
-// The file is versioned JSON lines: a header line, then one record per
-// memo entry. Each record carries the full solve parameters (enough to
-// rebuild the solve key and the topology context from scratch), the
-// answer, the context's wire epoch when the entry was recorded, and the
-// θ context fingerprint of the graph it was computed on. At load time
-// the service rebuilds the pristine context and admits a record only
-// when its fingerprint matches — entries recorded after topology deltas
-// (or under different θ options) are provably not answers for the
-// rebuilt graph and are rejected rather than served wrong.
+// A journal is a family of *generation* files next to a base path:
 //
-//   {"format":"psd-serve-memo","version":1}
-//   {"topology":"ring","nodes":8,"bandwidth_gbps":400,"collective":
-//    "allreduce:ring","message_bytes":1048576,"alpha_ns":500,
-//    "delta_ns":50,"alpha_r_ns":20000,"deadline_ms":0,
-//    "allow_degraded":true,"epoch":0,"fingerprint":"1a2b...",
-//    "answer":{"steps":14,...}}
+//   <base>.g000001, <base>.g000002, ...
 //
-// Doubles are printed with %.17g so answers round-trip bit-exactly; the
-// fingerprint is 16 hex digits (JSON numbers cannot hold a uint64).
+// Each generation starts with a header line, followed by one framed
+// record per memo entry or append:
+//
+//   {"format":"psd-serve-journal","version":2,"generation":1}
+//   a1b2c3d4 217 {"topology":"ring","nodes":8,...,"answer":{...}}
+//   ^ CRC32   ^ payload bytes  ^ payload (the PR-9 memo record JSON)
+//
+// Records are length- and CRC-framed so the loader can tell a committed
+// record from a torn one: a crash mid-append leaves a tail whose length
+// or checksum cannot match, and load() truncates exactly there — every
+// record before the tear is kept, nothing after it is trusted. Earlier
+// valid records are never rejected because of a torn tail.
+//
+// Appends go to the newest generation and are flushed to the OS per
+// record (an answer is durable as soon as append() returns). After
+// `compact_records` appends the owner compacts: the full live memo is
+// written to the *next* generation via .tmp + atomic rename, appends
+// switch over, and generations beyond `keep_generations` are unlinked —
+// disk stays bounded no matter how long the daemon runs. The newest
+// generation with a readable header wins at load time (an interrupted
+// compaction leaves at most a .tmp and the previous generation intact).
+//
+// Record payloads carry the full solve parameters, the answer (%.17g —
+// bit-exact round trip), the context's wire epoch, and the θ context
+// fingerprint; the service admits a replayed record only when the
+// fingerprint matches its freshly built context (see service.hpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "psd/serve/protocol.hpp"
+#include "psd/util/fault_injection.hpp"
 
 namespace psd::serve {
 
-inline constexpr int kMemoSnapshotVersion = 1;
+inline constexpr int kMemoJournalVersion = 2;
 
-/// One snapshot record: a memo entry plus the provenance needed to
+/// One journal record: a memo entry plus the provenance needed to
 /// validate it against a freshly built context.
 struct MemoSnapshotRecord {
   PlanFields plan;
@@ -42,18 +58,108 @@ struct MemoSnapshotRecord {
   std::uint64_t fingerprint = 0;  // θ context fingerprint of that graph
 };
 
-/// The snapshot file's first line.
-[[nodiscard]] std::string memo_snapshot_header();
-
-/// True when `line` is a well-formed header of a readable version.
-[[nodiscard]] bool parse_memo_snapshot_header(std::string_view line);
-
-/// Serializes one record as a single JSON line (no trailing newline).
+/// Serializes one record payload as a single JSON line (no framing, no
+/// trailing newline).
 [[nodiscard]] std::string memo_record_to_json(const MemoSnapshotRecord& rec);
 
-/// Parses one record line. Throws psd::Error (InvalidArgument /
-/// JsonParseError) on malformed input — the loader counts such lines as
-/// memo_load_errors and keeps going.
+/// Parses one record payload. Throws psd::Error (InvalidArgument /
+/// JsonParseError) on malformed input.
 [[nodiscard]] MemoSnapshotRecord memo_record_from_json(std::string_view line);
+
+/// CRC32 (IEEE, reflected) of `data` — the journal's record checksum,
+/// exposed so tests can craft torn and corrupted files byte by byte.
+[[nodiscard]] std::uint32_t crc32_ieee(std::string_view data);
+
+/// Frames a record payload as a journal line (no trailing newline):
+/// "<crc32 hex8> <payload length> <payload>".
+[[nodiscard]] std::string journal_frame_record(std::string_view payload);
+
+/// A generation file's first line.
+[[nodiscard]] std::string journal_header(std::uint64_t generation);
+
+/// True when `line` is a well-formed header of a readable version;
+/// `generation_out` (optional) receives the recorded generation number.
+[[nodiscard]] bool parse_journal_header(std::string_view line,
+                                        std::uint64_t* generation_out = nullptr);
+
+struct MemoJournalOptions {
+  // Appends since the last compaction that trigger wants_compaction().
+  std::size_t compact_records = 256;
+  // On-disk generation files retained after a compaction (>= 1).
+  std::size_t keep_generations = 2;
+  // Injection sites journal.append.torn / journal.append.error /
+  // journal.compact.rename consult this when non-null (drills only).
+  util::FaultInjector* fault = nullptr;
+};
+
+/// What load() recovered from disk.
+struct JournalLoadResult {
+  std::vector<MemoSnapshotRecord> records;  // committed, in append order
+  std::uint64_t generation = 0;  // generation replayed; 0 = cold start
+  // Torn-tail events: 1 when the replayed generation ended in a record
+  // that failed its length/CRC frame (truncated there, prefix kept).
+  std::uint64_t truncated_tail = 0;
+  // Malformed payloads *inside* committed frames (CRC fine, JSON bad) and
+  // unreadable newest-generation headers.
+  std::uint64_t errors = 0;
+};
+
+/// The append-only, generation-compacted memo journal. Thread-safe: the
+/// service appends from worker threads and compacts from whichever thread
+/// notices wants_compaction().
+class MemoJournal {
+ public:
+  MemoJournal(std::string base_path, MemoJournalOptions opts);
+  ~MemoJournal();
+
+  MemoJournal(const MemoJournal&) = delete;
+  MemoJournal& operator=(const MemoJournal&) = delete;
+
+  /// Replays the newest readable generation (see JournalLoadResult) and
+  /// positions append() at its end. With no generation on disk this is a
+  /// cold start: generation 1 is created on the first append. Call once,
+  /// before any append().
+  [[nodiscard]] JournalLoadResult load();
+
+  /// Appends one framed record and flushes it to the OS. Returns false on
+  /// I/O failure or injected fault — a torn write (journal.append.torn)
+  /// additionally wedges the journal, exactly like the crash it models:
+  /// nothing further is appended until the next compaction rotates to a
+  /// fresh generation.
+  bool append(const MemoSnapshotRecord& rec);
+
+  /// True once compact_records appends accumulated since the last
+  /// compaction (or a torn write wedged the current generation).
+  [[nodiscard]] bool wants_compaction() const;
+
+  /// Rewrites the journal as one fresh generation holding exactly `live`
+  /// (.tmp + atomic rename), switches append() to it and unlinks
+  /// generations beyond keep_generations. False on I/O failure or an
+  /// injected rename fault; the old generation stays authoritative then.
+  bool compact(const std::vector<MemoSnapshotRecord>& live);
+
+  [[nodiscard]] std::uint64_t compactions() const;
+  [[nodiscard]] std::uint64_t appends() const;
+  [[nodiscard]] std::uint64_t generation() const;
+  /// On-disk generation files for this base path, sorted oldest first.
+  [[nodiscard]] std::vector<std::string> generation_files() const;
+
+ private:
+  [[nodiscard]] std::string generation_path(std::uint64_t gen) const;
+  void close_fd_locked();
+  /// Opens `path` for appending and makes it the live generation.
+  bool open_for_append_locked(const std::string& path, std::uint64_t gen);
+
+  std::string base_path_;
+  MemoJournalOptions opts_;
+  mutable std::mutex mu_;
+  int fd_ = -1;                  // live generation, append mode
+  std::uint64_t generation_ = 0;  // 0 = nothing on disk yet
+  std::uint64_t appends_since_compact_ = 0;
+  std::uint64_t appends_total_ = 0;
+  std::uint64_t compactions_ = 0;
+  bool wedged_ = false;  // torn write happened: stop appending until rotate
+  bool loaded_ = false;
+};
 
 }  // namespace psd::serve

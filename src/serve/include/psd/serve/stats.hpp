@@ -36,7 +36,14 @@ struct ServeStatsSnapshot {
   std::uint64_t memo_loaded = 0;       // snapshot entries admitted at startup
   std::uint64_t memo_load_errors = 0;  // malformed snapshot lines/files
   std::uint64_t memo_load_rejected = 0;  // stale-fingerprint/scenario rejects
-  std::uint64_t memo_snapshots = 0;    // snapshot files written
+  std::uint64_t memo_snapshots = 0;    // journal generations written
+  // Robustness surface (overlaid by PlanService::stats() from the fault
+  // injector and the memo journal; raw ServeStats::snapshot() leaves the
+  // first three zero):
+  std::uint64_t faults_injected = 0;        // injector fires, all sites
+  std::uint64_t journal_compactions = 0;    // generations compacted
+  std::uint64_t journal_truncated_tail = 0; // torn tails healed at load
+  std::uint64_t tenant_deferrals = 0;  // dequeues skipped: tenant at quota
   std::size_t latency_samples = 0;  // plans inside the percentile window
   double p50_plan_ms = 0.0;
   double p99_plan_ms = 0.0;
@@ -89,6 +96,9 @@ class ServeStats {
   void on_memo_snapshot() {
     memo_snapshots_.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_tenant_deferral() {
+    tenant_deferrals_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records one completed plan's wall latency into the percentile ring.
   void record_plan_latency_ms(double ms);
@@ -126,6 +136,7 @@ class ServeStats {
   std::atomic<std::uint64_t> memo_load_errors_{0};
   std::atomic<std::uint64_t> memo_load_rejected_{0};
   std::atomic<std::uint64_t> memo_snapshots_{0};
+  std::atomic<std::uint64_t> tenant_deferrals_{0};
 
   mutable std::mutex latency_mutex_;
   std::vector<double> latency_ring_;  // ms; filled circularly

@@ -51,6 +51,11 @@ struct SocketServerOptions {
   int listen_backlog = 64;
   // How long the drain phase may keep flushing outbound buffers.
   std::chrono::milliseconds drain_timeout{2000};
+  // Seeded deterministic fault injection for transport drills (sites
+  // transport.read.short / transport.read.eagain / transport.write.short /
+  // transport.write.eagain / transport.conn.reset — see
+  // docs/fault_injection.md). Not owned; must outlive the server.
+  util::FaultInjector* fault = nullptr;
 };
 
 class SocketServer {

@@ -106,6 +106,12 @@ PlanFields parse_plan_fields(const JsonValue& obj) {
   plan.deadline_ms = number_or(obj, "deadline_ms", 0.0);
   plan.allow_degraded = bool_or(obj, "allow_degraded", true);
   plan.inject_worker_crash = bool_or(obj, "inject_worker_crash", false);
+  if (const JsonValue* v = obj.find("tenant"); v != nullptr) {
+    if (!v->is_string()) {
+      throw InvalidArgument("field \"tenant\" must be a string");
+    }
+    plan.tenant = v->as_string();
+  }
   return plan;
 }
 

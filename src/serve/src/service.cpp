@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <thread>
 
 #include "psd/core/algo_select.hpp"
 #include "psd/core/pipelined_cost.hpp"
@@ -46,13 +46,19 @@ PlanService::PlanService(ServiceOptions opts, Emit emit)
   opts_.theta.track_support = true;
   opts_.theta.use_cache = true;
   shared_cache_ = sweep::make_shared_theta_cache(opts_.theta_cache);
-  // Warm restart: reload the persisted memo before any thread runs, so
-  // the very first requests can be answered from it.
-  if (!opts_.memo_snapshot_path.empty()) {
-    load_memo_snapshot(opts_.memo_snapshot_path);
-    if (opts_.memo_snapshot_interval.count() > 0) {
-      next_snapshot_ = Clock::now() + opts_.memo_snapshot_interval;
-    }
+  // Warm restart: replay the memo journal before any thread runs, so the
+  // very first requests can be answered from it. A torn tail left by a
+  // crash mid-append is truncated by the journal itself; everything
+  // committed before it is admitted (fingerprint-validated).
+  if (!opts_.memo_journal_path.empty()) {
+    MemoJournalOptions jopts;
+    jopts.compact_records = opts_.journal_compact_records;
+    jopts.keep_generations = opts_.journal_keep_generations;
+    jopts.fault = opts_.fault;
+    journal_ =
+        std::make_unique<MemoJournal>(opts_.memo_journal_path, jopts);
+    const std::lock_guard<std::mutex> lk(mu_);
+    replay_journal_locked();
   }
   workers_.reserve(opts_.workers);
   for (unsigned i = 0; i < opts_.workers; ++i) {
@@ -115,25 +121,114 @@ void PlanService::memo_put_locked(const std::string& solve_key,
   }
 }
 
+int PlanService::tenant_weight(const std::string& tenant) const {
+  const auto it = opts_.tenant_weights.find(tenant);
+  const int w = it == opts_.tenant_weights.end() ? opts_.default_tenant_weight
+                                                 : it->second;
+  return w < 1 ? 1 : w;
+}
+
+void PlanService::push_job_locked(JobPtr job) {
+  Lane& lane = lanes_[job->lane];
+  TenantQueue& tq = lane.tenants[job->tenant];
+  if (!tq.in_rr) {
+    tq.in_rr = true;
+    lane.rr.push_back(job->tenant);
+  }
+  tq.q.push_back(std::move(job));
+  ++lane.size;
+}
+
 PlanService::JobPtr PlanService::pop_job_locked() {
   for (auto& lane : lanes_) {
-    if (!lane.empty()) {
-      JobPtr job = lane.front();
-      lane.pop_front();
+    if (lane.size == 0) continue;
+    // At most one full rotation: every visit either yields a job, drops a
+    // drained tenant from the rotation, or defers a quota-blocked one. If
+    // the whole rotation is quota-blocked this lane yields nothing — the
+    // caller sleeps until a completion frees a slot.
+    std::size_t visits = lane.rr.size();
+    while (visits-- > 0 && !lane.rr.empty()) {
+      if (lane.rr_pos >= lane.rr.size()) lane.rr_pos = 0;
+      const std::string tenant = lane.rr[lane.rr_pos];
+      TenantQueue& tq = lane.tenants[tenant];
+      if (tq.q.empty()) {
+        // Emptied by expiry/shutdown since its last visit: retire it.
+        lane.rr.erase(lane.rr.begin() +
+                      static_cast<std::ptrdiff_t>(lane.rr_pos));
+        lane.tenants.erase(tenant);
+        continue;  // rr_pos now points at the next tenant
+      }
+      if (opts_.tenant_inflight_quota > 0) {
+        const auto fit = tenant_inflight_.find(tenant);
+        if (fit != tenant_inflight_.end() &&
+            fit->second >= opts_.tenant_inflight_quota) {
+          stats_.on_tenant_deferral();
+          tq.deficit = 0;
+          ++lane.rr_pos;
+          continue;
+        }
+      }
+      // Weighted DRR: a visit grants the tenant its weight in dequeues;
+      // the rotation advances once the grant is spent.
+      if (tq.deficit <= 0) tq.deficit = tenant_weight(tenant);
+      JobPtr job = std::move(tq.q.front());
+      tq.q.pop_front();
+      --lane.size;
+      --tq.deficit;
+      if (tq.q.empty()) {
+        lane.rr.erase(lane.rr.begin() +
+                      static_cast<std::ptrdiff_t>(lane.rr_pos));
+        lane.tenants.erase(tenant);
+      } else if (tq.deficit <= 0) {
+        ++lane.rr_pos;
+      }
       return job;
     }
   }
   return nullptr;
 }
 
+void PlanService::release_tenant_slot_locked(const std::string& tenant) {
+  const auto it = tenant_inflight_.find(tenant);
+  if (it != tenant_inflight_.end() && --it->second == 0) {
+    tenant_inflight_.erase(it);
+  }
+  // A worker may be asleep with the whole rotation quota-blocked on this
+  // tenant; only a completion can make it dispatchable again.
+  if (opts_.tenant_inflight_quota > 0) work_cv_.notify_all();
+}
+
+bool PlanService::has_dispatchable_locked() const {
+  for (const auto& lane : lanes_) {
+    if (lane.size == 0) continue;
+    for (const auto& [tenant, tq] : lane.tenants) {
+      if (tq.q.empty()) continue;
+      if (opts_.tenant_inflight_quota > 0) {
+        const auto fit = tenant_inflight_.find(tenant);
+        if (fit != tenant_inflight_.end() &&
+            fit->second >= opts_.tenant_inflight_quota) {
+          continue;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 void PlanService::promote_to_urgent_locked(const JobPtr& job) {
   if (job->in_flight || job->lane == kLaneUrgent) return;
-  auto& batch = lanes_[kLaneBatch];
-  const auto it = std::find(batch.begin(), batch.end(), job);
-  if (it == batch.end()) return;
-  batch.erase(it);
+  Lane& batch = lanes_[kLaneBatch];
+  const auto tit = batch.tenants.find(job->tenant);
+  if (tit == batch.tenants.end()) return;
+  auto& q = tit->second.q;
+  const auto it = std::find(q.begin(), q.end(), job);
+  if (it == q.end()) return;
+  q.erase(it);
+  --batch.size;
+  // A drained tenant queue is retired lazily by pop_job_locked.
   job->lane = kLaneUrgent;
-  lanes_[kLaneUrgent].push_back(job);
+  push_job_locked(job);
 }
 
 void PlanService::answer_expired_locked(const Waiter& w,
@@ -183,7 +278,8 @@ void PlanService::expire_overdue_locked(const JobPtr& job,
   }
 }
 
-void PlanService::submit_line(const std::string& line, EmitRef sink) {
+void PlanService::submit_line(const std::string& line, EmitRef sink,
+                              const std::string& default_tenant) {
   if (sink == nullptr) sink = default_sink_;
   stats_.on_received();
   Request req;
@@ -196,7 +292,7 @@ void PlanService::submit_line(const std::string& line, EmitRef sink) {
     return;
   }
   switch (req.op) {
-    case RequestOp::kPlan: handle_plan(req, sink); break;
+    case RequestOp::kPlan: handle_plan(req, sink, default_tenant); break;
     case RequestOp::kStats: handle_stats(req, sink); break;
     case RequestOp::kDelta: handle_delta(req, sink); break;
     case RequestOp::kShutdown: {
@@ -215,7 +311,8 @@ void PlanService::submit_line(const std::string& line, EmitRef sink) {
   }
 }
 
-void PlanService::handle_plan(const Request& req, const EmitRef& sink) {
+void PlanService::handle_plan(const Request& req, const EmitRef& sink,
+                              const std::string& default_tenant) {
   const auto now = Clock::now();
   std::vector<Outgoing> responses;
   {
@@ -294,12 +391,14 @@ void PlanService::handle_plan(const Request& req, const EmitRef& sink) {
         job->solve_key = skey;
         job->context_key = ckey;
         job->plan = req.plan;
+        job->tenant =
+            req.plan.tenant.empty() ? default_tenant : req.plan.tenant;
         job->waiters.push_back(w);
         // Deadline-carrying requests enter the urgent lane and are always
         // dequeued ahead of batch work.
         job->lane = w.has_deadline ? kLaneUrgent : kLaneBatch;
         jobs_by_key_[skey] = job;
-        lanes_[job->lane].push_back(std::move(job));
+        push_job_locked(std::move(job));
         work_cv_.notify_one();
       }
     }
@@ -314,8 +413,8 @@ void PlanService::handle_stats(const Request& req, const EmitRef& sink) {
     depth = queued_locked() + in_flight_;
   }
   const auto cache_stats = shared_cache_->stats();
-  const std::string obj = ServeStats::to_json_object(stats_.snapshot(), depth,
-                                                     cache_stats.hit_rate());
+  const std::string obj =
+      ServeStats::to_json_object(stats(), depth, cache_stats.hit_rate());
   std::string out = "{\"id\":\"" + json_escape(req.id) +
                     "\",\"code\":\"OK\",\"stats\":" + obj + "}";
   (*sink)(out);
@@ -338,7 +437,7 @@ std::size_t PlanService::enqueue_replans_locked(const std::string& ckey) {
     job->internal = true;
     job->lane = kLaneBatch;
     jobs_by_key_[key] = job;
-    lanes_[kLaneBatch].push_back(std::move(job));
+    push_job_locked(std::move(job));  // internal work: the "" tenant
     ++replans;
   }
   if (replans > 0) work_cv_.notify_all();
@@ -390,13 +489,15 @@ void PlanService::handle_delta(const Request& req, const EmitRef& sink) {
       if (opts_.replan_debounce_window.count() > 0) {
         // Delta-storm debouncing: the first delta of a burst arms the
         // context's window; the rest ride it. One replan wave fires when
-        // the watchdog sees the window close.
+        // the watchdog sees the window close — in trailing-edge mode each
+        // rider also pushes the close time out, so the wave fires one
+        // quiet window after the *last* delta of the burst.
         deferred = true;
-        if (pending_replans_.count(ckey) == 0) {
-          pending_replans_[ckey] =
-              Clock::now() + opts_.replan_debounce_window;
-        } else {
+        const auto close = Clock::now() + opts_.replan_debounce_window;
+        const auto [pit, inserted] = pending_replans_.try_emplace(ckey, close);
+        if (!inserted) {
           stats_.on_replan_debounced();
+          if (opts_.debounce_trailing) pit->second = close;
         }
       } else {
         replans = enqueue_replans_locked(ckey);
@@ -489,9 +590,13 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
     std::vector<Outgoing> responses;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [&] { return shutting_down_ || queued_locked() > 0; });
+      work_cv_.wait(
+          lk, [&] { return shutting_down_ || has_dispatchable_locked(); });
       job = pop_job_locked();
-      if (job == nullptr) return;  // shutting down, nothing left
+      if (job == nullptr) {
+        if (shutting_down_) return;
+        continue;  // raced another worker, or the rotation is quota-blocked
+      }
       // Pre-dispatch deadline check: don't burn a solve on waiters that
       // already expired while queued.
       expire_overdue_locked(job, Clock::now(), &responses);
@@ -508,6 +613,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
       snapshot_epoch = epoch_of(*cit->second);
       job->in_flight = true;
       ++in_flight_;
+      ++tenant_inflight_[job->tenant];
       // Arm the cooperative token with the *latest* waiter deadline (an
       // earlier waiter is expired individually by the watchdog while the
       // solve keeps going for the rest); any deadline-free waiter, or an
@@ -531,7 +637,19 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
     for (const auto& r : responses) (*r.sink)(r.line);
     responses.clear();
 
-    if (job->plan.inject_worker_crash) {
+    // Slow-solve drill: stall this dispatch before the solve starts, as a
+    // hung solver or an overloaded host would. Deterministic under a
+    // seeded injector; the watchdog's 2x-budget guarantee must hold.
+    if (opts_.fault != nullptr) {
+      const auto stall = opts_.fault->fire_delay("worker.slow");
+      if (stall.count() > 0) std::this_thread::sleep_for(stall);
+    }
+
+    const bool crash_now =
+        job->plan.inject_worker_crash ||
+        (opts_.fault != nullptr && !job->internal &&
+         opts_.fault->fire("worker.crash"));
+    if (crash_now) {
       // Crash drill: answer and detach the job first so nothing dangles,
       // then die. WorkerCrash sails past the containment below by design.
       {
@@ -546,6 +664,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
         jobs_by_key_.erase(job->solve_key);
         job->in_flight = false;
         --in_flight_;
+        release_tenant_slot_locked(job->tenant);
         if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
       }
       for (const auto& r : responses) (*r.sink)(r.line);
@@ -569,10 +688,12 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
     }
     const double solve_ms = ms_between(start, Clock::now());
 
+    std::optional<MemoSnapshotRecord> jrec;
     {
       const std::lock_guard<std::mutex> lk(mu_);
       job->in_flight = false;
       --in_flight_;
+      release_tenant_slot_locked(job->tenant);
       std::uint64_t ctx_epoch = snapshot_epoch;
       if (const auto cit = contexts_.find(job->context_key);
           cit != contexts_.end()) {
@@ -581,6 +702,9 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
       if (outcome != Outcome::kCancelled) jobs_by_key_.erase(job->solve_key);
       if (outcome == Outcome::kOk) {
         memo_put_locked(job->solve_key, answer, snapshot_epoch, job->plan);
+        // Durability per answer: journal the entry now (outside the lock,
+        // below) if it is fresh at its context's current epoch.
+        if (journal_ != nullptr) jrec = record_for_key_locked(job->solve_key);
         if (job->internal) {
           stats_.on_replan();
         } else {
@@ -622,7 +746,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
           for (const auto& w : job->waiters) {
             if (w.has_deadline) job->lane = kLaneUrgent;
           }
-          lanes_[job->lane].push_back(job);
+          push_job_locked(job);
           work_cv_.notify_one();
         }
       } else if (!job->internal) {
@@ -635,6 +759,7 @@ void PlanService::worker_loop(std::size_t /*slot*/) {
       if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
     }
     for (const auto& r : responses) (*r.sink)(r.line);
+    if (journal_ != nullptr) journal_append_and_maintain(std::move(jrec));
   }
 }
 
@@ -644,17 +769,34 @@ void PlanService::watchdog_loop() {
     watchdog_cv_.wait_for(lk, opts_.watchdog_interval,
                           [&] { return watchdog_stop_; });
     if (watchdog_stop_) return;
+    // Watchdog-clock drill: a stalled tick delays deadline sweeps and
+    // worker revival — the 2x-budget guarantee degrades by exactly the
+    // stall, never by more. Sleeps outside the lock: a slow watchdog must
+    // not block admission.
+    if (opts_.fault != nullptr) {
+      const auto stall = opts_.fault->fire_delay("watchdog.stall");
+      if (stall.count() > 0) {
+        lk.unlock();
+        std::this_thread::sleep_for(stall);
+        lk.lock();
+        if (watchdog_stop_) return;
+      }
+    }
     std::vector<Outgoing> responses;
     const auto now = Clock::now();
     // Expire overdue waiters of queued jobs; drop jobs nobody waits for.
+    // (Tenant queues emptied here are retired lazily by pop_job_locked.)
     for (auto& lane : lanes_) {
-      for (auto it = lane.begin(); it != lane.end();) {
-        expire_overdue_locked(*it, now, &responses);
-        if ((*it)->waiters.empty() && !(*it)->internal) {
-          jobs_by_key_.erase((*it)->solve_key);
-          it = lane.erase(it);
-        } else {
-          ++it;
+      for (auto& [tenant, tq] : lane.tenants) {
+        for (auto it = tq.q.begin(); it != tq.q.end();) {
+          expire_overdue_locked(*it, now, &responses);
+          if ((*it)->waiters.empty() && !(*it)->internal) {
+            jobs_by_key_.erase((*it)->solve_key);
+            it = tq.q.erase(it);
+            --lane.size;
+          } else {
+            ++it;
+          }
         }
       }
     }
@@ -689,27 +831,22 @@ void PlanService::watchdog_loop() {
       }
     }
     if (queued_locked() == 0 && in_flight_ == 0) idle_cv_.notify_all();
-    // Periodic memo snapshot (file I/O outside the lock).
-    std::vector<std::string> snapshot_lines;
-    if (!shutting_down_ && now >= next_snapshot_) {
-      snapshot_lines = snapshot_lines_locked();
-      next_snapshot_ = now + opts_.memo_snapshot_interval;
-    }
-    if (!responses.empty() || !snapshot_lines.empty()) {
+    // A wedged journal (torn append) heals only through compaction; the
+    // watchdog is the one guaranteed to notice when traffic has stopped.
+    const bool maintain_journal =
+        !shutting_down_ && journal_ != nullptr && journal_->wants_compaction();
+    if (!responses.empty() || maintain_journal) {
       lk.unlock();
       for (const auto& r : responses) (*r.sink)(r.line);
-      if (!snapshot_lines.empty()) {
-        write_snapshot_lines(opts_.memo_snapshot_path, snapshot_lines);
-      }
+      if (maintain_journal) journal_append_and_maintain(std::nullopt);
       lk.lock();
     }
   }
 }
 
-std::vector<std::string> PlanService::snapshot_lines_locked() {
-  std::vector<std::string> lines;
-  lines.push_back(memo_snapshot_header());
-  // θ fingerprints are per context; compute each once per snapshot.
+std::vector<MemoSnapshotRecord> PlanService::live_records_locked() {
+  std::vector<MemoSnapshotRecord> records;
+  // θ fingerprints are per context; compute each once per compaction.
   std::map<std::string, std::uint64_t> fp_by_ckey;
   for (const auto& [key, entry] : memo_) {
     const std::string ckey =
@@ -733,73 +870,38 @@ std::vector<std::string> PlanService::snapshot_lines_locked() {
     rec.answer = entry.answer;
     rec.epoch = entry.epoch;
     rec.fingerprint = fit->second;
-    lines.push_back(memo_record_to_json(rec));
+    records.push_back(std::move(rec));
   }
-  return lines;
+  return records;
 }
 
-bool PlanService::write_snapshot_lines(const std::string& path,
-                                       const std::vector<std::string>& lines) {
-  // Atomic replace: a crash mid-write must never leave a half snapshot
-  // where the next startup will read it.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "psd_serve: cannot write memo snapshot %s\n",
-                   tmp.c_str());
-      return false;
-    }
-    for (const auto& line : lines) out << line << '\n';
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "psd_serve: short write on memo snapshot %s\n",
-                   tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "psd_serve: cannot rename memo snapshot into %s\n",
-                 path.c_str());
-    return false;
-  }
-  stats_.on_memo_snapshot();
-  return true;
+std::optional<MemoSnapshotRecord> PlanService::record_for_key_locked(
+    const std::string& solve_key) {
+  const auto mit = memo_.find(solve_key);
+  if (mit == memo_.end()) return std::nullopt;
+  const MemoEntry& entry = mit->second;
+  const std::string ckey = context_key(
+      entry.plan.topology, entry.plan.nodes, entry.plan.params.b.gbps());
+  const auto cit = contexts_.find(ckey);
+  if (cit == contexts_.end()) return std::nullopt;
+  if (entry.epoch != epoch_of(*cit->second)) return std::nullopt;
+  MemoSnapshotRecord rec;
+  rec.plan = entry.plan;
+  rec.answer = entry.answer;
+  rec.epoch = entry.epoch;
+  rec.fingerprint = flow::theta_context_fingerprint(
+      cit->second->graph, cit->second->b_ref, opts_.theta);
+  return rec;
 }
 
-std::ptrdiff_t PlanService::save_memo_snapshot(const std::string& path) {
-  std::vector<std::string> lines;
-  {
-    const std::lock_guard<std::mutex> lk(mu_);
-    lines = snapshot_lines_locked();
-  }
-  if (!write_snapshot_lines(path, lines)) return -1;
-  return static_cast<std::ptrdiff_t>(lines.size()) - 1;  // minus the header
-}
-
-void PlanService::load_memo_snapshot(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return;  // no snapshot yet: a silent cold start
-  std::string line;
-  if (!std::getline(in, line) || !parse_memo_snapshot_header(line)) {
-    // Unversioned or foreign file: reject it whole rather than guess.
-    stats_.on_memo_load_error();
-    return;
-  }
+void PlanService::replay_journal_locked() {
+  JournalLoadResult res = journal_->load();
+  journal_truncated_tail_ = res.truncated_tail;
+  for (std::uint64_t i = 0; i < res.errors; ++i) stats_.on_memo_load_error();
   std::uint64_t loaded = 0;
-  const std::lock_guard<std::mutex> lk(mu_);
   // Per-context fingerprint of the freshly built graph, computed once.
   std::map<std::string, std::uint64_t> fresh_fp;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    MemoSnapshotRecord rec;
-    try {
-      rec = memo_record_from_json(line);
-    } catch (const Error&) {
-      // Corrupt or truncated record: skip it, keep the rest.
-      stats_.on_memo_load_error();
-      continue;
-    }
+  for (const auto& rec : res.records) {
     const std::string ckey = context_key(rec.plan.topology, rec.plan.nodes,
                                          rec.plan.params.b.gbps());
     Context& ctx = ensure_context_locked(rec.plan.topology, rec.plan.nodes,
@@ -813,7 +915,7 @@ void PlanService::load_memo_snapshot(const std::string& path) {
     }
     if (rec.fingerprint != fit->second) {
       // The answer was computed on a different graph (deltas before the
-      // snapshot, or different θ options) — provably not warm for this
+      // record, or different θ options) — provably not warm for this
       // rebuild.
       stats_.on_memo_load_rejected();
       continue;
@@ -824,8 +926,40 @@ void PlanService::load_memo_snapshot(const std::string& path) {
                     rec.plan);
     ++loaded;
   }
-  if (in.bad()) stats_.on_memo_load_error();
   if (loaded > 0) stats_.on_memo_loaded(loaded);
+}
+
+void PlanService::journal_append_and_maintain(
+    std::optional<MemoSnapshotRecord> rec) {
+  if (journal_ == nullptr) return;
+  if (rec.has_value()) (void)journal_->append(*rec);
+  if (!journal_->wants_compaction()) return;
+  std::vector<MemoSnapshotRecord> live;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    live = live_records_locked();
+  }
+  if (journal_->compact(live)) stats_.on_memo_snapshot();
+}
+
+bool PlanService::compact_journal() {
+  if (journal_ == nullptr) return false;
+  std::vector<MemoSnapshotRecord> live;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    live = live_records_locked();
+  }
+  const bool ok = journal_->compact(live);
+  if (ok) stats_.on_memo_snapshot();
+  return ok;
+}
+
+ServeStatsSnapshot PlanService::stats() const {
+  ServeStatsSnapshot s = stats_.snapshot();
+  if (opts_.fault != nullptr) s.faults_injected = opts_.fault->fires();
+  if (journal_ != nullptr) s.journal_compactions = journal_->compactions();
+  s.journal_truncated_tail = journal_truncated_tail_;
+  return s;
 }
 
 void PlanService::drain() {
@@ -853,17 +987,22 @@ void PlanService::shutdown() {
     std::unique_lock<std::mutex> lk(mu_);
     shutting_down_ = true;
     for (auto& lane : lanes_) {
-      for (const auto& job : lane) {
-        for (const auto& w : job->waiters) {
-          responses.push_back(
-              {w.sink,
-               error_response(
-                   w.id, ErrorCode::kShuttingDown,
-                   "service shut down before the request was solved")});
+      for (auto& [tenant, tq] : lane.tenants) {
+        for (const auto& job : tq.q) {
+          for (const auto& w : job->waiters) {
+            responses.push_back(
+                {w.sink,
+                 error_response(
+                     w.id, ErrorCode::kShuttingDown,
+                     "service shut down before the request was solved")});
+          }
+          jobs_by_key_.erase(job->solve_key);
         }
-        jobs_by_key_.erase(job->solve_key);
       }
-      lane.clear();
+      lane.tenants.clear();
+      lane.rr.clear();
+      lane.rr_pos = 0;
+      lane.size = 0;
     }
     pending_replans_.clear();
     work_cv_.notify_all();
@@ -879,11 +1018,10 @@ void PlanService::shutdown() {
   for (const auto& slot : workers_) {
     if (slot->thread.joinable()) slot->thread.join();
   }
-  // Final memo snapshot: everything is quiesced, so the warm state on
-  // disk is exactly what a restart should resume from.
-  if (!opts_.memo_snapshot_path.empty()) {
-    (void)save_memo_snapshot(opts_.memo_snapshot_path);
-  }
+  // Final journal compaction: everything is quiesced, so the single fresh
+  // generation on disk is exactly what a restart should resume from (and
+  // a wedged journal is healed before the daemon exits).
+  if (journal_ != nullptr) (void)compact_journal();
   shutdown_done_ = true;
 }
 

@@ -1,6 +1,16 @@
 #include "psd/serve/snapshot.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "psd/util/json.hpp"
 
@@ -38,7 +48,7 @@ std::uint64_t from_hex64(const std::string& s) {
 double require_number(const JsonValue& obj, std::string_view key) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr || !v->is_number()) {
-    throw InvalidArgument("snapshot record needs numeric \"" +
+    throw InvalidArgument("journal record needs numeric \"" +
                           std::string(key) + "\"");
   }
   return v->as_number();
@@ -47,32 +57,118 @@ double require_number(const JsonValue& obj, std::string_view key) {
 std::string require_string(const JsonValue& obj, std::string_view key) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr || !v->is_string()) {
-    throw InvalidArgument("snapshot record needs string \"" +
+    throw InvalidArgument("journal record needs string \"" +
                           std::string(key) + "\"");
   }
   return v->as_string();
 }
 
+/// Full write with EINTR retry; false on any short/terminal failure.
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+    } else if (w < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses one framed journal line ("<crc hex8> <len> <payload>") back to
+/// its payload. False when the frame is malformed, short, or fails CRC —
+/// the torn-tail signal.
+bool unframe_record(std::string_view line, std::string_view* payload_out) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 != 8) return false;
+  std::uint32_t crc = 0;
+  for (const char c : line.substr(0, 8)) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    crc = (crc << 4) | static_cast<std::uint32_t>(digit);
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return false;
+  std::size_t len = 0;
+  for (const char c : line.substr(sp1 + 1, sp2 - sp1 - 1)) {
+    if (c < '0' || c > '9') return false;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+    if (len > (64u << 20)) return false;  // absurd length: treat as torn
+  }
+  const std::string_view payload = line.substr(sp2 + 1);
+  if (payload.size() != len) return false;
+  if (crc32_ieee(payload) != crc) return false;
+  *payload_out = payload;
+  return true;
+}
+
 }  // namespace
 
-std::string memo_snapshot_header() {
+std::uint32_t crc32_ieee(std::string_view data) {
+  // Reflected IEEE polynomial, byte-at-a-time table built on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string journal_frame_record(std::string_view payload) {
+  char head[32];
+  std::snprintf(head, sizeof head, "%08x %zu ", crc32_ieee(payload),
+                payload.size());
+  return std::string(head) + std::string(payload);
+}
+
+std::string journal_header(std::uint64_t generation) {
   JsonWriter w;
   w.begin_object();
-  w.key("format").value("psd-serve-memo");
-  w.key("version").value(kMemoSnapshotVersion);
+  w.key("format").value("psd-serve-journal");
+  w.key("version").value(kMemoJournalVersion);
+  w.key("generation").value(static_cast<std::int64_t>(generation));
   w.end_object();
   return w.str();
 }
 
-bool parse_memo_snapshot_header(std::string_view line) {
+bool parse_journal_header(std::string_view line,
+                          std::uint64_t* generation_out) {
   try {
     const JsonValue v = parse_json(line);
     const JsonValue* fmt = v.find("format");
     const JsonValue* ver = v.find("version");
-    return fmt != nullptr && fmt->is_string() &&
-           fmt->as_string() == "psd-serve-memo" && ver != nullptr &&
-           ver->is_number() &&
-           ver->as_number() == static_cast<double>(kMemoSnapshotVersion);
+    const JsonValue* gen = v.find("generation");
+    const bool ok = fmt != nullptr && fmt->is_string() &&
+                    fmt->as_string() == "psd-serve-journal" && ver != nullptr &&
+                    ver->is_number() &&
+                    ver->as_number() ==
+                        static_cast<double>(kMemoJournalVersion) &&
+                    gen != nullptr && gen->is_number() &&
+                    gen->as_number() >= 1.0;
+    if (ok && generation_out != nullptr) {
+      *generation_out = static_cast<std::uint64_t>(gen->as_number());
+    }
+    return ok;
   } catch (const Error&) {
     return false;
   }
@@ -115,17 +211,17 @@ std::string memo_record_to_json(const MemoSnapshotRecord& rec) {
 MemoSnapshotRecord memo_record_from_json(std::string_view line) {
   const JsonValue doc = parse_json(line);
   if (!doc.is_object()) {
-    throw InvalidArgument("snapshot record must be a JSON object");
+    throw InvalidArgument("journal record must be a JSON object");
   }
   MemoSnapshotRecord rec;
   rec.plan = parse_plan_fields(doc);
   const double epoch = require_number(doc, "epoch");
-  if (epoch < 0.0) throw InvalidArgument("snapshot epoch must be >= 0");
+  if (epoch < 0.0) throw InvalidArgument("journal epoch must be >= 0");
   rec.epoch = static_cast<std::uint64_t>(epoch);
   rec.fingerprint = from_hex64(require_string(doc, "fingerprint"));
   const JsonValue* ans = doc.find("answer");
   if (ans == nullptr || !ans->is_object()) {
-    throw InvalidArgument("snapshot record needs an \"answer\" object");
+    throw InvalidArgument("journal record needs an \"answer\" object");
   }
   rec.answer.steps = static_cast<int>(require_number(*ans, "steps"));
   rec.answer.optimal_ns = require_number(*ans, "optimal_ns");
@@ -146,6 +242,250 @@ MemoSnapshotRecord memo_record_from_json(std::string_view line) {
     rec.answer.chosen_algo = algo->as_string();
   }
   return rec;
+}
+
+// ---- MemoJournal ---------------------------------------------------------
+
+MemoJournal::MemoJournal(std::string base_path, MemoJournalOptions opts)
+    : base_path_(std::move(base_path)), opts_(opts) {
+  PSD_REQUIRE(!base_path_.empty(), "MemoJournal needs a base path");
+  if (opts_.compact_records < 1) opts_.compact_records = 1;
+  if (opts_.keep_generations < 1) opts_.keep_generations = 1;
+}
+
+MemoJournal::~MemoJournal() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  close_fd_locked();
+}
+
+std::string MemoJournal::generation_path(std::uint64_t gen) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".g%06llu",
+                static_cast<unsigned long long>(gen));
+  return base_path_ + buf;
+}
+
+void MemoJournal::close_fd_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool MemoJournal::open_for_append_locked(const std::string& path,
+                                         std::uint64_t gen) {
+  close_fd_locked();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  fd_ = fd;
+  generation_ = gen;
+  // A freshly created generation needs its header before any record.
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+    const std::string header = journal_header(gen) + "\n";
+    if (!write_all(fd_, header.data(), header.size())) {
+      close_fd_locked();
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> MemoJournal::generation_files() const {
+  namespace fs = std::filesystem;
+  const fs::path base(base_path_);
+  fs::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = base.filename().string() + ".g";
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != prefix.size() + 6 || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::uint64_t gen = 0;
+    bool digits = true;
+    for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    if (!digits || gen == 0) continue;
+    found.emplace_back(gen, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [gen, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+JournalLoadResult MemoJournal::load() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  PSD_REQUIRE(!loaded_, "MemoJournal::load() must be called once, first");
+  loaded_ = true;
+  JournalLoadResult result;
+
+  const std::vector<std::string> gens = generation_files();
+  // Newest readable generation wins; an unreadable header (crash during a
+  // botched compaction, foreign file) falls back one generation.
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    std::ifstream in(*it, std::ios::binary);
+    if (!in) {
+      ++result.errors;
+      continue;
+    }
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::size_t pos = content.find('\n');
+    std::uint64_t gen = 0;
+    if (pos == std::string::npos ||
+        !parse_journal_header(std::string_view(content).substr(0, pos),
+                              &gen)) {
+      ++result.errors;
+      continue;
+    }
+    std::size_t committed_end = pos + 1;
+    std::size_t line_start = pos + 1;
+    while (line_start < content.size()) {
+      std::size_t nl = content.find('\n', line_start);
+      const bool has_newline = nl != std::string::npos;
+      if (!has_newline) nl = content.size();
+      const std::string_view line =
+          std::string_view(content).substr(line_start, nl - line_start);
+      std::string_view payload;
+      // A record is committed only when its newline landed and its frame
+      // checks out — anything else is the torn tail a crash left behind.
+      if (!has_newline || !unframe_record(line, &payload)) {
+        result.truncated_tail = 1;
+        break;
+      }
+      try {
+        result.records.push_back(memo_record_from_json(payload));
+      } catch (const Error&) {
+        // A complete, checksummed frame with an unparsable payload is file
+        // corruption, not a tear: skip the record, trust what follows.
+        ++result.errors;
+      }
+      committed_end = nl + 1;
+      line_start = nl + 1;
+    }
+    result.generation = gen;
+    if (result.truncated_tail != 0 && committed_end < content.size()) {
+      // Drop the torn bytes so subsequent appends start on a record
+      // boundary. Failure is survivable: the journal just stays wedged.
+      if (::truncate(it->c_str(), static_cast<off_t>(committed_end)) != 0) {
+        wedged_ = true;
+      }
+    }
+    if (!open_for_append_locked(*it, gen)) wedged_ = true;
+    return result;
+  }
+  // Cold start: no generation on disk; the first append creates .g000001.
+  generation_ = 0;
+  return result;
+}
+
+bool MemoJournal::append(const MemoSnapshotRecord& rec) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  PSD_REQUIRE(loaded_, "MemoJournal::append() before load()");
+  if (wedged_) return false;
+  if (opts_.fault != nullptr && opts_.fault->fire("journal.append.error")) {
+    return false;
+  }
+  if (fd_ < 0) {
+    const std::uint64_t gen = generation_ == 0 ? 1 : generation_;
+    if (!open_for_append_locked(generation_path(gen), gen)) return false;
+  }
+  const std::string line = journal_frame_record(memo_record_to_json(rec)) + "\n";
+  if (opts_.fault != nullptr && opts_.fault->fire("journal.append.torn")) {
+    // The crash drill: half the record reaches the file, then the world
+    // stops. Wedging mirrors reality — a torn tail is only ever healed by
+    // the compaction that rotates to a fresh generation.
+    (void)write_all(fd_, line.data(), line.size() / 2);
+    wedged_ = true;
+    return false;
+  }
+  if (!write_all(fd_, line.data(), line.size())) {
+    wedged_ = true;
+    return false;
+  }
+  ++appends_total_;
+  ++appends_since_compact_;
+  if (opts_.fault != nullptr && opts_.fault->fire("journal.append.fsync")) {
+    return false;  // record written but not provably durable
+  }
+  (void)::fsync(fd_);
+  return true;
+}
+
+bool MemoJournal::wants_compaction() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return wedged_ || appends_since_compact_ >= opts_.compact_records;
+}
+
+bool MemoJournal::compact(const std::vector<MemoSnapshotRecord>& live) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  PSD_REQUIRE(loaded_, "MemoJournal::compact() before load()");
+  const std::uint64_t next_gen = generation_ + 1;
+  const std::string path = generation_path(next_gen);
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_TRUNC | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return false;
+    std::string content = journal_header(next_gen) + "\n";
+    for (const auto& rec : live) {
+      content += journal_frame_record(memo_record_to_json(rec));
+      content.push_back('\n');
+    }
+    const bool ok = write_all(fd, content.data(), content.size());
+    if (ok) (void)::fsync(fd);
+    ::close(fd);
+    if (!ok) {
+      ::unlink(tmp.c_str());
+      return false;
+    }
+  }
+  if (opts_.fault != nullptr && opts_.fault->fire("journal.compact.rename")) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (!open_for_append_locked(path, next_gen)) return false;
+  wedged_ = false;
+  appends_since_compact_ = 0;
+  ++compactions_;
+  // Bound the disk: only the newest keep_generations files survive.
+  const std::vector<std::string> gens = generation_files();
+  if (gens.size() > opts_.keep_generations) {
+    for (std::size_t i = 0; i + opts_.keep_generations < gens.size(); ++i) {
+      ::unlink(gens[i].c_str());
+    }
+  }
+  return true;
+}
+
+std::uint64_t MemoJournal::compactions() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return compactions_;
+}
+
+std::uint64_t MemoJournal::appends() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return appends_total_;
+}
+
+std::uint64_t MemoJournal::generation() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return generation_;
 }
 
 }  // namespace psd::serve

@@ -67,6 +67,7 @@ ServeStatsSnapshot ServeStats::snapshot() const {
   s.memo_load_errors = memo_load_errors_.load(std::memory_order_relaxed);
   s.memo_load_rejected = memo_load_rejected_.load(std::memory_order_relaxed);
   s.memo_snapshots = memo_snapshots_.load(std::memory_order_relaxed);
+  s.tenant_deferrals = tenant_deferrals_.load(std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lk(latency_mutex_);
     s.latency_samples = latency_count_;
@@ -102,6 +103,14 @@ std::string ServeStats::to_json_object(const ServeStatsSnapshot& s,
   w.key("memo_load_rejected")
       .value(static_cast<std::int64_t>(s.memo_load_rejected));
   w.key("memo_snapshots").value(static_cast<std::int64_t>(s.memo_snapshots));
+  w.key("faults_injected")
+      .value(static_cast<std::int64_t>(s.faults_injected));
+  w.key("journal_compactions")
+      .value(static_cast<std::int64_t>(s.journal_compactions));
+  w.key("journal_truncated_tail")
+      .value(static_cast<std::int64_t>(s.journal_truncated_tail));
+  w.key("tenant_deferrals")
+      .value(static_cast<std::int64_t>(s.tenant_deferrals));
   w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth));
   w.key("latency_samples").value(static_cast<std::int64_t>(s.latency_samples));
   w.key("p50_plan_ms").value(s.p50_plan_ms);

@@ -76,6 +76,7 @@ struct SocketServer::Conn {
 
   const int fd;
   util::LineBuffer in;
+  std::string tenant;  // fair-queueing identity the service sees ("c<N>")
   const std::shared_ptr<WakePipe> wake;
   std::mutex mu;              // guards out / out_off / overflowed
   std::string out;            // response bytes awaiting the socket
@@ -133,7 +134,17 @@ void SocketServer::stop() {
 bool SocketServer::service_input(const std::shared_ptr<Conn>& conn) {
   char buf[16 * 1024];
   while (true) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    std::size_t cap = sizeof buf;
+    if (opts_.fault != nullptr) {
+      // Transport drills. A reset drops the connection as a peer RST
+      // would (buffered partial lines are lost with it); an EAGAIN storm
+      // defers to the next poll round (level-triggered, nothing is lost);
+      // a short read delivers one byte and exercises mid-frame resumption.
+      if (opts_.fault->fire("transport.conn.reset")) return false;
+      if (opts_.fault->fire("transport.read.eagain")) break;
+      if (opts_.fault->fire("transport.read.short")) cap = 1;
+    }
+    const ssize_t n = ::read(conn->fd, buf, cap);
     if (n > 0) {
       conn->in.append(buf, static_cast<std::size_t>(n));
     } else if (n == 0) {
@@ -160,7 +171,7 @@ bool SocketServer::service_input(const std::shared_ptr<Conn>& conn) {
         continue;
       }
       try {
-        service_.submit_line(line, conn->sink);
+        service_.submit_line(line, conn->sink, conn->tenant);
       } catch (const std::exception& e) {
         // Belt and braces: submit_line answers parse errors itself, so
         // anything landing here is unexpected — the client still gets a
@@ -175,8 +186,16 @@ bool SocketServer::service_input(const std::shared_ptr<Conn>& conn) {
 bool SocketServer::service_output(const std::shared_ptr<Conn>& conn) {
   const std::lock_guard<std::mutex> lk(conn->mu);
   while (conn->out_off < conn->out.size()) {
-    const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_off,
-                              conn->out.size() - conn->out_off);
+    std::size_t chunk = conn->out.size() - conn->out_off;
+    if (opts_.fault != nullptr) {
+      // Write-side drills: an EAGAIN storm leaves the bytes queued for
+      // the next POLLOUT round; a short write trickles one byte so
+      // responses cross many partial writes and must still frame cleanly.
+      if (opts_.fault->fire("transport.write.eagain")) break;
+      if (opts_.fault->fire("transport.write.short")) chunk = 1;
+    }
+    const ssize_t n =
+        ::write(conn->fd, conn->out.data() + conn->out_off, chunk);
     if (n > 0) {
       conn->out_off += static_cast<std::size_t>(n);
     } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -264,6 +283,10 @@ void SocketServer::run() {
           if (cfd < 0) break;
           auto conn =
               std::make_shared<Conn>(cfd, opts_.max_line_bytes, wake_);
+          // Connection-scoped fair-queueing identity: requests that carry
+          // no "tenant" field are queued under it, so one chatty client
+          // is one DRR tenant without any client-side cooperation.
+          conn->tenant = "c" + std::to_string(accepted_.load() + 1);
           // The sink outlives the connection on purpose: waiters queued
           // deep in the service hold it, and once the Conn dies their
           // answers drop here instead of stalling anything.

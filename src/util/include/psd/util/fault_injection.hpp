@@ -1,0 +1,114 @@
+// Deterministic, seeded fault injection for robustness drills.
+//
+// Production code declares *named injection sites* at the places where the
+// world can go wrong — a socket read, a journal append, a worker dispatch —
+// and asks the injector whether this particular visit should fail:
+//
+//   if (fault != nullptr && fault->fire("journal.append.torn")) { ... }
+//
+// A site that was never armed costs one relaxed atomic load; the daemon
+// ships with every site disarmed. Drills arm sites with a trigger policy:
+//
+//   probability  — each hit fires independently with this chance
+//   after        — the first `after` hits never fire (deterministic "fail
+//                  the Nth operation" triggers: after = N-1, budget = 1)
+//   budget       — at most this many fires, ever (one-shot: budget = 1)
+//   delay        — sites used via fire_delay() stall this long when fired
+//
+// Determinism is the point: the decision for hit k of site s is a pure
+// function of (seed, s, k) via psd::derive_stream_seed — independent of
+// thread interleaving, wall-clock time, or what other sites drew before.
+// Re-running a drill with the same seed and the same per-site hit sequence
+// replays the exact same fault schedule, and event_log() returns the fired
+// (site, hit) pairs sorted, so two runs of a deterministic drill produce
+// byte-identical logs. See docs/fault_injection.md for the site registry
+// and how to write a drill.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psd::util {
+
+/// Trigger policy for one armed site.
+struct FaultSite {
+  // Chance each eligible hit fires; 1.0 = always.
+  double probability = 1.0;
+  // Hits to let pass before firing becomes possible (0 = immediately).
+  std::uint64_t after = 0;
+  // Cap on total fires; UINT64_MAX = unbounded, 1 = one-shot.
+  std::uint64_t budget = UINT64_MAX;
+  // How long fire_delay() reports when the site fires (slow-path drills).
+  std::chrono::milliseconds delay{0};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Reseeds the stream family. Existing per-site hit counters reset: the
+  /// injector behaves as if freshly constructed (drill replay).
+  void reset(std::uint64_t seed);
+
+  /// Arms (or re-arms) a named site. Re-arming resets its hit counter.
+  void arm(std::string_view site, FaultSite config);
+
+  /// Disarms one site (its history is kept for event_log/fires).
+  void disarm(std::string_view site);
+
+  /// Arms sites from a spec string:
+  ///   site[:key=value[,key=value...]][;site...]
+  /// keys: p (probability), after, budget, delay_ms. A bare site name arms
+  /// probability 1. Throws psd::InvalidArgument on malformed specs.
+  void arm_spec(std::string_view spec);
+
+  /// The hot call: records a hit on `site` and returns true when the
+  /// trigger policy says this hit fails. Disarmed/unknown sites never fire
+  /// and skip all bookkeeping (one relaxed load).
+  [[nodiscard]] bool fire(std::string_view site);
+
+  /// fire(), reported as the armed delay (zero when the site did not
+  /// fire). For "slow" sites: the caller sleeps for the returned duration.
+  [[nodiscard]] std::chrono::milliseconds fire_delay(std::string_view site);
+
+  /// Total fires across all sites since construction/reset().
+  [[nodiscard]] std::uint64_t fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+  /// Fires of one site (0 when never armed).
+  [[nodiscard]] std::uint64_t fires(std::string_view site) const;
+  /// Hits of one site, fired or not (0 when never armed).
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+
+  /// Every fired (site, hit) pair as "site#hit", sorted by site then hit —
+  /// deterministic for a deterministic drill regardless of which thread
+  /// recorded which fire. The drill-replay artifact.
+  [[nodiscard]] std::vector<std::string> event_log() const;
+
+ private:
+  struct SiteState {
+    FaultSite config;
+    bool armed = false;
+    std::uint64_t hit_count = 0;   // hits while armed (draw index)
+    std::uint64_t fire_count = 0;  // subset of hits that fired
+    std::vector<std::uint64_t> fired_hits;  // 1-based hit numbers that fired
+  };
+
+  std::uint64_t seed_ = 0;
+  // Fast disarmed path: sites_ is only consulted when at least one site is
+  // armed. (A drill arms everything up front, so the flag is effectively
+  // constant while traffic flows.)
+  std::atomic<std::uint64_t> armed_count_{0};
+  std::atomic<std::uint64_t> total_fires_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+}  // namespace psd::util

@@ -1,0 +1,164 @@
+#include "psd/util/fault_injection.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "psd/util/error.hpp"
+#include "psd/util/rng.hpp"
+
+namespace psd::util {
+
+void FaultInjector::reset(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::arm(std::string_view site, FaultSite config) {
+  PSD_REQUIRE(!site.empty(), "fault site name must not be empty");
+  PSD_REQUIRE(config.probability >= 0.0 && config.probability <= 1.0,
+              "fault probability must be in [0, 1]");
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& s = it->second;
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.config = config;
+  s.armed = true;
+  s.hit_count = 0;
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool FaultInjector::fire(std::string_view site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  SiteState& s = it->second;
+  const std::uint64_t hit = ++s.hit_count;  // 1-based draw index
+  if (hit <= s.config.after) return false;
+  if (s.fire_count >= s.config.budget) return false;
+  if (s.config.probability < 1.0) {
+    // The draw for hit k is a pure function of (seed, site, k): replaying
+    // the drill replays the schedule no matter how threads interleave.
+    Rng rng(derive_stream_seed(seed_, site, hit));
+    if (rng.next_double() >= s.config.probability) return false;
+  }
+  ++s.fire_count;
+  s.fired_hits.push_back(hit);
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::chrono::milliseconds FaultInjector::fire_delay(std::string_view site) {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) {
+    return std::chrono::milliseconds{0};
+  }
+  std::chrono::milliseconds delay{0};
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sites_.find(site);
+    if (it != sites_.end() && it->second.armed) delay = it->second.config.delay;
+  }
+  return fire(site) ? delay : std::chrono::milliseconds{0};
+}
+
+std::uint64_t FaultInjector::fires(std::string_view site) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fire_count;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::vector<std::string> FaultInjector::event_log() const {
+  std::vector<std::string> log;
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, s] : sites_) {  // map: already sorted by site
+    std::vector<std::uint64_t> hits = s.fired_hits;
+    std::sort(hits.begin(), hits.end());
+    for (const std::uint64_t h : hits) {
+      log.push_back(name + "#" + std::to_string(h));
+    }
+  }
+  return log;
+}
+
+void FaultInjector::arm_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      throw InvalidArgument("fault spec has an empty site entry");
+    }
+    const std::size_t colon = entry.find(':');
+    const std::string_view name =
+        colon == std::string_view::npos ? entry : entry.substr(0, colon);
+    if (name.empty()) throw InvalidArgument("fault spec site name is empty");
+    FaultSite cfg;
+    if (colon != std::string_view::npos) {
+      std::string_view kvs = entry.substr(colon + 1);
+      std::size_t kpos = 0;
+      while (kpos <= kvs.size()) {
+        std::size_t kend = kvs.find(',', kpos);
+        if (kend == std::string_view::npos) kend = kvs.size();
+        const std::string_view kv = kvs.substr(kpos, kend - kpos);
+        kpos = kend + 1;
+        if (kv.empty()) {
+          if (kend == kvs.size()) break;
+          throw InvalidArgument("fault spec has an empty key=value");
+        }
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string_view::npos) {
+          throw InvalidArgument("fault spec expects key=value, got \"" +
+                                std::string(kv) + "\"");
+        }
+        const std::string_view key = kv.substr(0, eq);
+        const std::string val(kv.substr(eq + 1));
+        char* endp = nullptr;
+        const double x = std::strtod(val.c_str(), &endp);
+        if (endp == val.c_str() || *endp != '\0' || x < 0.0) {
+          throw InvalidArgument("fault spec value for \"" + std::string(key) +
+                                "\" must be a non-negative number");
+        }
+        if (key == "p") {
+          if (x > 1.0) throw InvalidArgument("fault spec p must be <= 1");
+          cfg.probability = x;
+        } else if (key == "after") {
+          cfg.after = static_cast<std::uint64_t>(x);
+        } else if (key == "budget") {
+          cfg.budget = static_cast<std::uint64_t>(x);
+        } else if (key == "delay_ms") {
+          cfg.delay = std::chrono::milliseconds(static_cast<long>(x));
+        } else {
+          throw InvalidArgument("unknown fault spec key \"" +
+                                std::string(key) + "\"");
+        }
+        if (kend == kvs.size()) break;
+      }
+    }
+    arm(name, cfg);
+    if (end == spec.size()) break;
+  }
+}
+
+}  // namespace psd::util

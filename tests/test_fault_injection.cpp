@@ -1,0 +1,161 @@
+// util::FaultInjector: trigger policies (probability / after / budget /
+// delay), seeded determinism (same seed ⇒ same schedule ⇒ byte-identical
+// event logs), the arm_spec grammar, and the disarmed fast path.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/util/error.hpp"
+#include "psd/util/fault_injection.hpp"
+
+namespace psd::util {
+namespace {
+
+TEST(FaultInjector, DisarmedSitesNeverFireAndSkipBookkeeping) {
+  FaultInjector fault(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault.fire("journal.append.torn"));
+  }
+  EXPECT_EQ(fault.fires(), 0u);
+  EXPECT_EQ(fault.hits("journal.append.torn"), 0u)
+      << "a never-armed site records nothing";
+  EXPECT_TRUE(fault.event_log().empty());
+}
+
+TEST(FaultInjector, ProbabilityOneFiresEveryHit) {
+  FaultInjector fault(7);
+  fault.arm("worker.crash", {});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fault.fire("worker.crash"));
+  EXPECT_EQ(fault.fires(), 5u);
+  EXPECT_EQ(fault.fires("worker.crash"), 5u);
+  EXPECT_EQ(fault.hits("worker.crash"), 5u);
+}
+
+TEST(FaultInjector, AfterAndBudgetPickTheNthOperation) {
+  // "Fail exactly the 3rd append": after = 2, budget = 1.
+  FaultInjector fault(7);
+  fault.arm("journal.append.torn", {.after = 2, .budget = 1});
+  EXPECT_FALSE(fault.fire("journal.append.torn"));
+  EXPECT_FALSE(fault.fire("journal.append.torn"));
+  EXPECT_TRUE(fault.fire("journal.append.torn"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(fault.fire("journal.append.torn")) << "budget is spent";
+  }
+  EXPECT_EQ(fault.fires("journal.append.torn"), 1u);
+  EXPECT_EQ(fault.hits("journal.append.torn"), 13u);
+  EXPECT_EQ(fault.event_log(),
+            (std::vector<std::string>{"journal.append.torn#3"}));
+}
+
+TEST(FaultInjector, ProbabilityIsSeededAndPartial) {
+  // p = 0.5 over many hits: some fire, some don't — and the pattern is a
+  // pure function of (seed, site, hit).
+  std::vector<bool> pattern;
+  {
+    FaultInjector fault(1234);
+    fault.arm("transport.read.short", {.probability = 0.5});
+    for (int i = 0; i < 200; ++i) {
+      pattern.push_back(fault.fire("transport.read.short"));
+    }
+    const std::uint64_t fired = fault.fires("transport.read.short");
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(fired, 200u);
+  }
+  FaultInjector replay(1234);
+  replay.arm("transport.read.short", {.probability = 0.5});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(replay.fire("transport.read.short"), pattern[i])
+        << "same seed must replay the same schedule (hit " << i + 1 << ")";
+  }
+}
+
+TEST(FaultInjector, ResetReplaysFromScratch) {
+  FaultInjector fault(99);
+  fault.arm("a", {.probability = 0.5});
+  std::vector<bool> first;
+  for (int i = 0; i < 50; ++i) first.push_back(fault.fire("a"));
+  const auto log_first = fault.event_log();
+
+  fault.reset(99);  // same seed: as if freshly constructed
+  fault.arm("a", {.probability = 0.5});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fault.fire("a"), first[i]);
+  }
+  EXPECT_EQ(fault.event_log(), log_first);
+}
+
+TEST(FaultInjector, EventLogIsSortedBySiteThenHit) {
+  FaultInjector fault(7);
+  fault.arm("b.site", {});
+  fault.arm("a.site", {});
+  EXPECT_TRUE(fault.fire("b.site"));
+  EXPECT_TRUE(fault.fire("a.site"));
+  EXPECT_TRUE(fault.fire("b.site"));
+  EXPECT_EQ(fault.event_log(), (std::vector<std::string>{
+                                   "a.site#1", "b.site#1", "b.site#2"}));
+}
+
+TEST(FaultInjector, FireDelayReportsTheArmedDelayOnlyWhenFiring) {
+  using std::chrono::milliseconds;
+  FaultInjector fault(7);
+  fault.arm("worker.slow", {.after = 1, .delay = milliseconds{25}});
+  EXPECT_EQ(fault.fire_delay("worker.slow"), milliseconds{0}) << "after=1";
+  EXPECT_EQ(fault.fire_delay("worker.slow"), milliseconds{25});
+  EXPECT_EQ(fault.fire_delay("never.armed"), milliseconds{0});
+}
+
+TEST(FaultInjector, DisarmStopsFiringButKeepsHistory) {
+  FaultInjector fault(7);
+  fault.arm("a", {});
+  EXPECT_TRUE(fault.fire("a"));
+  fault.disarm("a");
+  EXPECT_FALSE(fault.fire("a"));
+  EXPECT_EQ(fault.fires("a"), 1u);
+  EXPECT_EQ(fault.event_log(), (std::vector<std::string>{"a#1"}));
+  fault.disarm("a");             // idempotent
+  fault.disarm("never.armed");   // harmless
+}
+
+TEST(FaultInjector, RearmResetsTheHitCounter) {
+  FaultInjector fault(7);
+  fault.arm("a", {.after = 2});
+  EXPECT_FALSE(fault.fire("a"));
+  EXPECT_FALSE(fault.fire("a"));
+  EXPECT_TRUE(fault.fire("a"));
+  fault.arm("a", {.after = 2});  // re-arm: the "first two pass" rule restarts
+  EXPECT_FALSE(fault.fire("a"));
+  EXPECT_FALSE(fault.fire("a"));
+  EXPECT_TRUE(fault.fire("a"));
+}
+
+TEST(FaultInjector, ArmSpecGrammar) {
+  FaultInjector fault(7);
+  fault.arm_spec(
+      "worker.crash:p=0.25,after=2,budget=3;"
+      "worker.slow:delay_ms=40;"
+      "journal.append.torn");
+  // journal.append.torn got the bare-name default: p=1, fire every hit.
+  EXPECT_TRUE(fault.fire("journal.append.torn"));
+  // worker.slow carries its delay.
+  EXPECT_EQ(fault.fire_delay("worker.slow"), std::chrono::milliseconds{40});
+  // worker.crash honors after=2 regardless of probability.
+  EXPECT_FALSE(fault.fire("worker.crash"));
+  EXPECT_FALSE(fault.fire("worker.crash"));
+}
+
+TEST(FaultInjector, ArmSpecRejectsMalformedInput) {
+  FaultInjector fault(7);
+  EXPECT_THROW(fault.arm_spec(":p=1"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a;;b"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a:p"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a:p=notanumber"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a:p=2"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a:bogus=1"), InvalidArgument);
+  EXPECT_THROW(fault.arm_spec("a:p=-0.5"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace psd::util

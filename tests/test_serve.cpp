@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "psd/util/fault_injection.hpp"
 #include "psd/util/json.hpp"
 
 namespace psd::serve {
@@ -248,12 +249,21 @@ TEST(PlanService, DeadlineAnsweredWithinTwiceBudgetUnderLoad) {
   Capture cap;
   ServiceOptions opts;
   opts.workers = 1;
+  // Probability-0 site as a dispatch probe: hits() records every worker
+  // dispatch without ever firing, so the test can wait for the blocker to
+  // actually be in flight instead of sleeping a fixed (load-sensitive)
+  // amount.
+  util::FaultInjector fault(1);
+  fault.arm("worker.slow", {.probability = 0.0});
+  opts.fault = &fault;
   PlanService svc(opts, std::ref(cap));
 
   svc.submit_line(heavy_plan("blocker"));
   // Let the worker take the blocker first: once it is in flight, the
   // urgent lane cannot help the deadline request — the ladder must.
-  std::this_thread::sleep_for(100ms);
+  for (int i = 0; i < 2000 && fault.hits("worker.slow") == 0; ++i)
+    std::this_thread::sleep_for(1ms);
+  ASSERT_GE(fault.hits("worker.slow"), 1u);
   const double budget_ms = 250.0;
   const auto start = std::chrono::steady_clock::now();
   svc.submit_line(cheap_plan("dl", ",\"deadline_ms\":250"));

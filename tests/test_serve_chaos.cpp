@@ -1,0 +1,565 @@
+// Chaos drills: the seeded fault injector driving the whole daemon.
+//
+// The contracts under fire:
+//   exactly-once   — every request is answered exactly once with a known
+//                    code, no matter which faults fire around it.
+//   2x-budget      — a deadline-carrying request is answered within twice
+//                    its budget even when every worker is stalled and the
+//                    watchdog clock itself hiccups.
+//   determinism    — the same seed replays the same fault schedule: two
+//                    runs of a drill produce byte-identical event logs.
+//   durability     — an injected mid-write crash costs at most the torn
+//                    tail; a restart answers every committed plan key
+//                    warm, with zero solves.
+//   fairness       — under quotas + DRR, a chatty tenant flooding the
+//                    queue cannot starve quiet tenants: their latency
+//                    stays within 3x a solo baseline.
+//   transport      — short reads/writes and EAGAIN storms on the socket
+//                    never tear a frame or duplicate an answer.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "psd/serve/service.hpp"
+#include "psd/serve/transport.hpp"
+#include "psd/util/fault_injection.hpp"
+#include "psd/util/json.hpp"
+
+namespace psd::serve {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Thread-safe sink counting responses per id — the exactly-once probe.
+class CountingCapture {
+ public:
+  void operator()(const std::string& line) {
+    auto v = parse_json(line);
+    const auto* id = v.find("id");
+    const std::string key = id != nullptr ? id->as_string() : "";
+    const std::lock_guard<std::mutex> lk(mu_);
+    ++count_[key];
+    by_id_[key] = std::move(v);
+    cv_.notify_all();
+  }
+
+  JsonValue wait(const std::string& id,
+                 std::chrono::milliseconds timeout = 120'000ms) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, timeout, [&] { return count_[id] != 0; })) {
+      ADD_FAILURE() << "no response for " << id;
+      return JsonValue{};
+    }
+    return by_id_[id];
+  }
+
+  [[nodiscard]] std::size_t count(const std::string& id) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return count_[id];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::size_t> count_;
+  std::map<std::string, JsonValue> by_id_;
+};
+
+std::string cheap_plan(const std::string& id, int salt = 0,
+                       const std::string& extra = "") {
+  return R"({"op":"plan","id":")" + id +
+         R"(","topology":"ring","nodes":8,"collective":"allreduce:ring",)" +
+         R"("message_bytes":)" + std::to_string(1048576 + salt) + extra + "}";
+}
+
+/// Unique journal base path per test; removes the generation family.
+class TempJournal {
+ public:
+  explicit TempJournal(const std::string& stem) {
+    base_ = testing::TempDir() + stem + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    remove_family();
+  }
+  ~TempJournal() { remove_family(); }
+  [[nodiscard]] const std::string& str() const { return base_; }
+
+ private:
+  void remove_family() const {
+    namespace fs = std::filesystem;
+    const fs::path base(base_);
+    const std::string prefix = base.filename().string();
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(
+             base.parent_path().empty() ? "." : base.parent_path(), ec)) {
+      if (entry.path().filename().string().compare(0, prefix.size(), prefix) ==
+          0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  std::string base_;
+};
+
+// ---- Determinism: same seed, byte-identical event log --------------------
+
+std::vector<std::string> run_seeded_drill(std::uint64_t seed,
+                                          const std::string& journal_base) {
+  util::FaultInjector fault(seed);
+  fault.arm_spec(
+      "worker.slow:delay_ms=1;"
+      "worker.crash:p=0.25;"
+      "journal.append.torn:p=0.2");
+  CountingCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;  // sequential dispatch: the per-site hit order is fixed
+  opts.memo_journal_path = journal_base;
+  opts.fault = &fault;
+  PlanService svc(opts, std::ref(cap));
+  for (int i = 0; i < 25; ++i) {
+    const std::string id = "r" + std::to_string(i);
+    svc.submit_line(cheap_plan(id, i));
+    const auto r = cap.wait(id);
+    const std::string code = r.find("code")->as_string();
+    EXPECT_TRUE(code == "OK" || code == "INTERNAL") << id << ": " << code;
+    EXPECT_EQ(cap.count(id), 1u) << id << " answered more than once";
+  }
+  svc.shutdown();
+  return fault.event_log();
+}
+
+TEST(ServeChaos, SameSeedReplaysByteIdenticalEventLog) {
+  // CI sweeps the drill seed (PSD_CHAOS_SEED); any seed must replay.
+  std::uint64_t seed = 20250808;
+  if (const char* env = std::getenv("PSD_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  TempJournal tj1("chaos-replay-1");
+  TempJournal tj2("chaos-replay-2");
+  const auto log1 = run_seeded_drill(seed, tj1.str());
+  const auto log2 = run_seeded_drill(seed, tj2.str());
+  EXPECT_FALSE(log1.empty()) << "the drill must actually inject faults";
+  EXPECT_EQ(log1, log2) << "same seed must replay the same fault schedule";
+  // worker.slow is armed at p=1: it fires on every one of the 25 dispatches
+  // in both runs — a floor that proves the log is not trivially empty.
+  std::size_t slow_fires = 0;
+  for (const auto& e : log1) {
+    if (e.rfind("worker.slow#", 0) == 0) ++slow_fires;
+  }
+  EXPECT_EQ(slow_fires, 25u);
+}
+
+// ---- Exactly-once under a fault storm ------------------------------------
+
+TEST(ServeChaos, EveryRequestAnsweredExactlyOnceUnderStorm) {
+  util::FaultInjector fault(7);
+  fault.arm_spec("worker.crash:p=0.2;worker.slow:p=0.5,delay_ms=10");
+  CountingCapture cap;
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.queue_limit = 8;  // small: the storm must shed sometimes
+  opts.watchdog_interval = 5ms;
+  opts.fault = &fault;
+  PlanService svc(opts, std::ref(cap));
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 20;
+  std::vector<std::string> ids;
+  {
+    std::mutex ids_mu;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::string id =
+              "t" + std::to_string(t) + "r" + std::to_string(i);
+          std::string extra;
+          if (i % 7 == 3) extra = R"(,"deadline_ms":1)";     // fast-path ladder
+          else if (i % 5 == 2) extra = R"(,"deadline_ms":60)";  // watchdog race
+          svc.submit_line(cheap_plan(id, i % 4, extra));
+          {
+            const std::lock_guard<std::mutex> lk(ids_mu);
+            ids.push_back(id);
+          }
+          std::this_thread::sleep_for(2ms);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  const std::set<std::string> known = {"OK", "SHED", "DEADLINE_EXCEEDED",
+                                       "INTERNAL"};
+  for (const auto& id : ids) {
+    const auto r = cap.wait(id);
+    const auto* code = r.find("code");
+    ASSERT_NE(code, nullptr) << id;
+    EXPECT_TRUE(known.count(code->as_string()) != 0)
+        << id << " answered with unknown code " << code->as_string();
+  }
+  svc.drain();
+  for (const auto& id : ids) {
+    EXPECT_EQ(cap.count(id), 1u) << id << " must be answered exactly once";
+  }
+  EXPECT_GT(fault.fires(), 0u);
+  EXPECT_EQ(svc.stats().faults_injected, fault.fires())
+      << "stats must surface the injector's fire count";
+}
+
+// ---- 2x-budget guarantee under stalled workers + watchdog hiccups --------
+
+TEST(ServeChaos, DeadlineAnsweredWithinTwiceBudgetUnderStall) {
+  util::FaultInjector fault(7);
+  // Every solve stalls 1.5 s; the watchdog clock itself hiccups twice.
+  fault.arm_spec("worker.slow:delay_ms=1500;watchdog.stall:delay_ms=40,budget=2");
+  CountingCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.watchdog_interval = 5ms;
+  opts.fault = &fault;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("blocker", 1));
+  std::this_thread::sleep_for(100ms);  // the only worker is now stalled
+
+  constexpr double kBudgetMs = 250.0;
+  const auto start = Clock::now();
+  svc.submit_line(cheap_plan("hurry", 2, R"(,"deadline_ms":250)"));
+  const auto r = cap.wait("hurry");
+  const double elapsed = ms_since(start);
+  ASSERT_NE(r.find("code"), nullptr);
+  // No memo entry to degrade to: the ladder answers DEADLINE_EXCEEDED.
+  EXPECT_EQ(r.find("code")->as_string(), "DEADLINE_EXCEEDED");
+  EXPECT_LE(elapsed, 2 * kBudgetMs)
+      << "the 2x-budget guarantee must hold under injected stalls";
+
+  EXPECT_EQ(cap.wait("blocker").find("code")->as_string(), "OK");
+  svc.drain();
+}
+
+// ---- Mid-write crash: restart answers committed keys warm ----------------
+
+TEST(ServeChaos, InjectedMidWriteCrashRestartsWarmForCommittedRecords) {
+  TempJournal tj("chaos-crash-journal");
+  {
+    util::FaultInjector fault(7);
+    // Third append tears mid-record; every compaction (the self-heal path
+    // AND the shutdown one) fails its rename — modelling a daemon that
+    // died before it could rotate the generation.
+    fault.arm_spec(
+        "journal.append.torn:after=2,budget=1;journal.compact.rename");
+    CountingCapture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    opts.memo_journal_path = tj.str();
+    opts.fault = &fault;
+    PlanService svc(opts, std::ref(cap));
+    for (int i = 0; i < 3; ++i) {
+      const std::string id = "p" + std::to_string(i);
+      svc.submit_line(cheap_plan(id, i));
+      // Every answer reaches the client even when its append tears.
+      EXPECT_EQ(cap.wait(id).find("code")->as_string(), "OK");
+    }
+    svc.drain();
+    // The journal append runs after the answer is emitted; give it a beat.
+    for (int i = 0; i < 400 && fault.fires("journal.append.torn") == 0; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_EQ(fault.fires("journal.append.torn"), 1u);
+  }  // dies with a torn tail on disk (all compactions were injected away)
+
+  // Restart with no faults: the torn tail is healed, both committed
+  // records answer warm with zero solves, the third re-solves.
+  CountingCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_journal_path = tj.str();
+  PlanService svc(opts, std::ref(cap));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.journal_truncated_tail, 1u);
+  EXPECT_EQ(st.memo_loaded, 2u);
+  EXPECT_EQ(st.memo_load_errors, 0u);
+
+  for (int i = 0; i < 2; ++i) {
+    const std::string id = "w" + std::to_string(i);
+    svc.submit_line(cheap_plan(id, i));
+    const auto r = cap.wait(id);
+    ASSERT_EQ(r.find("code")->as_string(), "OK");
+    EXPECT_TRUE(r.find("cached")->as_bool()) << "committed key must be warm";
+    EXPECT_FALSE(r.find("degraded")->as_bool());
+  }
+  EXPECT_EQ(svc.stats().planned, 0u) << "warm answers must not solve";
+  svc.submit_line(cheap_plan("w2", 2));
+  const auto r2 = cap.wait("w2");
+  ASSERT_EQ(r2.find("code")->as_string(), "OK");
+  EXPECT_FALSE(r2.find("cached")->as_bool()) << "the torn record re-solves";
+}
+
+// ---- Fairness: quotas + DRR keep quiet tenants fast ----------------------
+
+double quiet_max_latency_ms(PlanService& svc, CountingCapture& cap,
+                            int requests, int salt_base) {
+  double max_ms = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    const std::string id = "q" + std::to_string(salt_base + i);
+    const std::string tenant = "quiet" + std::to_string(i % 3);
+    const auto start = Clock::now();
+    svc.submit_line(cheap_plan(id, salt_base + i), nullptr, tenant);
+    const auto r = cap.wait(id);
+    EXPECT_EQ(r.find("code")->as_string(), "OK") << id;
+    max_ms = std::max(max_ms, ms_since(start));
+  }
+  return max_ms;
+}
+
+TEST(ServeChaos, QuietTenantsStayFastUnderChattyFloodWithQuota) {
+  const auto make_opts = [](util::FaultInjector* fault) {
+    ServiceOptions opts;
+    opts.workers = 2;
+    opts.queue_limit = 64;
+    opts.watchdog_interval = 5ms;
+    opts.tenant_inflight_quota = 1;  // one in-flight solve per tenant
+    // Weight 2 keeps the DRR rotation parked on the chatty tenant while
+    // its backlog drains, so every quiet dequeue walks past the
+    // quota-blocked slot — a deterministically counted deferral.
+    opts.tenant_weights["chatty"] = 2;
+    opts.fault = fault;
+    return opts;
+  };
+
+  // Solo baseline: quiet tenants alone, every solve slowed by the drill.
+  double solo_ms = 0.0;
+  {
+    util::FaultInjector fault(7);
+    fault.arm_spec("worker.slow:delay_ms=60");
+    CountingCapture cap;
+    PlanService svc(make_opts(&fault), std::ref(cap));
+    solo_ms = quiet_max_latency_ms(svc, cap, 6, 100);
+    svc.drain();
+  }
+  ASSERT_GT(solo_ms, 0.0);
+
+  // Contended: a chatty tenant floods 20 distinct solves up front. The
+  // quota caps it at one in-flight solve, so the second worker always
+  // belongs to whichever quiet tenant asks.
+  util::FaultInjector fault(7);
+  fault.arm_spec("worker.slow:delay_ms=60");
+  CountingCapture cap;
+  PlanService svc(make_opts(&fault), std::ref(cap));
+  for (int i = 0; i < 20; ++i) {
+    svc.submit_line(cheap_plan("chatty" + std::to_string(i), 200 + i), nullptr,
+                    "chatty");
+  }
+  std::this_thread::sleep_for(50ms);  // one in flight, the rest queued
+
+  const double contended_ms = quiet_max_latency_ms(svc, cap, 6, 300);
+  EXPECT_LE(contended_ms, 3.0 * solo_ms)
+      << "quiet p99 " << contended_ms << " ms vs solo baseline " << solo_ms
+      << " ms: the chatty flood starved quiet tenants";
+  EXPECT_GT(svc.stats().tenant_deferrals, 0u)
+      << "the quota must actually have deferred the chatty tenant";
+
+  for (int i = 0; i < 20; ++i) {
+    (void)cap.wait("chatty" + std::to_string(i));
+  }
+  svc.drain();
+}
+
+// ---- Transport chaos over a real socket ----------------------------------
+
+std::string chaos_socket_path() {
+  return "/tmp/psd-serve-chaos-" + std::to_string(::getpid()) + ".sock";
+}
+
+/// Minimal blocking JSON-lines client (see test_serve_transport.cpp).
+class SockClient {
+ public:
+  explicit SockClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0)
+        << "connect " << path << ": " << std::strerror(errno);
+    const timeval tv{120, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~SockClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  SockClient(const SockClient&) = delete;
+  SockClient& operator=(const SockClient&) = delete;
+
+  bool send_line(const std::string& line) {
+    const std::string bytes = line + "\n";
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  JsonValue wait(const std::string& id) {
+    while (by_id_.count(id) == 0) {
+      if (!read_more()) {
+        ADD_FAILURE() << "no response for " << id;
+        return JsonValue{};
+      }
+    }
+    return by_id_[id];
+  }
+
+  [[nodiscard]] std::size_t parse_failures() const { return parse_failures_; }
+  [[nodiscard]] std::size_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::size_t lines_read() const { return lines_read_; }
+
+ private:
+  bool read_more() {
+    char buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    buf_.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buf_.find('\n', start); nl != std::string::npos;
+         nl = buf_.find('\n', start)) {
+      const std::string line = buf_.substr(start, nl - start);
+      start = nl + 1;
+      ++lines_read_;
+      try {
+        const auto v = parse_json(line);  // a torn frame fails right here
+        const auto* id = v.find("id");
+        if (!by_id_.emplace(id != nullptr ? id->as_string() : "", v).second) {
+          ++duplicates_;
+        }
+      } catch (const std::exception&) {
+        ++parse_failures_;
+      }
+    }
+    buf_.erase(0, start);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+  std::map<std::string, JsonValue> by_id_;
+  std::size_t duplicates_ = 0;
+  std::size_t lines_read_ = 0;
+  std::size_t parse_failures_ = 0;
+};
+
+TEST(ServeChaos, TransportShortIoNeverTearsFramesOrDuplicates) {
+  const std::string path = chaos_socket_path();
+  util::FaultInjector fault(7);
+  // Every read delivers one byte, every write trickles one byte, and both
+  // directions hit occasional EAGAIN storms — maximal fragmentation.
+  fault.arm_spec(
+      "transport.read.short;transport.write.short;"
+      "transport.read.eagain:p=0.1;transport.write.eagain:p=0.1");
+  ServiceOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_limit = 128;
+  PlanService svc(sopts, [](const std::string&) {});
+  SocketServerOptions topts;
+  topts.socket_path = path;
+  topts.fault = &fault;
+  SocketServer server(topts, svc);
+  server.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 12;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SockClient c(path);
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string id =
+            "t" + std::to_string(t) + "r" + std::to_string(i);
+        if (i % 5 == 4) {
+          ASSERT_TRUE(c.send_line(R"({"op":"stats","id":")" + id + R"("})"));
+          EXPECT_NE(c.wait(id).find("stats"), nullptr);
+        } else {
+          ASSERT_TRUE(c.send_line(cheap_plan(id, (t + i) % 3)));
+          const auto r = c.wait(id);
+          ASSERT_NE(r.find("code"), nullptr);
+          EXPECT_EQ(r.find("code")->as_string(), "OK") << id;
+        }
+      }
+      EXPECT_EQ(c.parse_failures(), 0u) << "torn frame on thread " << t;
+      EXPECT_EQ(c.duplicates(), 0u);
+      EXPECT_EQ(c.lines_read(), static_cast<std::size_t>(kRequests));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_GT(fault.fires("transport.read.short"), 0u);
+  EXPECT_GT(fault.fires("transport.write.short"), 0u);
+  server.stop();
+  svc.shutdown();
+}
+
+// ---- Stats surface the robustness counters -------------------------------
+
+TEST(ServeChaos, StatsResponseCarriesRobustnessCounters) {
+  TempJournal tj("chaos-stats-journal");
+  util::FaultInjector fault(7);
+  fault.arm_spec("worker.slow:delay_ms=1");
+  CountingCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_journal_path = tj.str();
+  opts.journal_compact_records = 1;  // compact after every append
+  opts.fault = &fault;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("a", 0));
+  (void)cap.wait("a");
+  svc.drain();
+  for (int i = 0; i < 200 && svc.journal()->compactions() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+
+  svc.submit_line(R"({"op":"stats","id":"st"})");
+  const auto r = cap.wait("st");
+  const auto* st = r.find("stats");
+  ASSERT_NE(st, nullptr);
+  for (const char* f : {"faults_injected", "journal_compactions",
+                        "journal_truncated_tail", "tenant_deferrals"}) {
+    ASSERT_NE(st->find(f), nullptr) << "stats response missing " << f;
+  }
+  EXPECT_GE(st->find("faults_injected")->as_number(), 1.0);
+  EXPECT_GE(st->find("journal_compactions")->as_number(), 1.0);
+  EXPECT_EQ(st->find("journal_truncated_tail")->as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace psd::serve

@@ -1,10 +1,15 @@
-// PlanService priority lanes and delta-storm debouncing.
+// PlanService priority lanes, per-tenant DRR fairness, and delta-storm
+// debouncing.
 //
 // Lanes: a deadline-carrying request queued behind K batch requests must
 // be dequeued first (two-lane queue, not expiry-time reordering), and a
 // deadline waiter coalescing onto a queued batch job promotes it.
+// Fairness: within a lane, tenants are dequeued weighted-DRR — a second
+// tenant's single job overtakes a chatty tenant's backlog.
 // Debounce: a burst of deltas inside the configured window fires exactly
-// one replan wave, counting every coalesced delta in replans_debounced.
+// one replan wave, counting every coalesced delta in replans_debounced;
+// with debounce_trailing, each rider extends the window so the wave fires
+// one quiet window after the *last* delta.
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -160,6 +165,90 @@ TEST(ServeLanes, DeadlineWaiterPromotesCoalescedBatchJob) {
   svc.drain();
 }
 
+// ---- Per-tenant DRR fairness ---------------------------------------------
+
+TEST(ServeFairness, QuietTenantOvertakesChattyBacklog) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;  // one worker: dequeue order is answer order
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("blocker"));
+  std::this_thread::sleep_for(100ms);  // let the worker pick it up
+
+  // Chatty tenant queues 4 jobs, then a quiet tenant queues one. A FIFO
+  // answers quiet last; DRR alternates tenants, so quiet is answered
+  // right after chatty's first job.
+  for (int i = 0; i < 4; ++i) {
+    svc.submit_line(cheap_plan("chatty" + std::to_string(i), i + 1), nullptr,
+                    "chatty");
+  }
+  svc.submit_line(cheap_plan("quiet", 99), nullptr, "quiet");
+
+  (void)cap.wait("blocker", 120'000ms);
+  (void)cap.wait("quiet", 120'000ms);
+  for (int i = 0; i < 4; ++i) {
+    (void)cap.wait("chatty" + std::to_string(i), 120'000ms);
+  }
+  EXPECT_LT(cap.rank("quiet"), cap.rank("chatty1"))
+      << "DRR must interleave the quiet tenant into the chatty backlog";
+}
+
+TEST(ServeFairness, RequestTenantFieldOverridesTransportTenant) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("blocker"));
+  std::this_thread::sleep_for(100ms);
+
+  // All lines arrive on the "conn" transport identity, but the last one
+  // claims its own tenant in the request — it must be queued under that
+  // tenant and dequeue ahead of conn's backlog.
+  for (int i = 0; i < 3; ++i) {
+    svc.submit_line(cheap_plan("conn" + std::to_string(i), i + 1), nullptr,
+                    "conn");
+  }
+  svc.submit_line(cheap_plan("own", 77, R"(,"tenant":"self")"), nullptr,
+                  "conn");
+
+  (void)cap.wait("blocker", 120'000ms);
+  (void)cap.wait("own", 120'000ms);
+  for (int i = 0; i < 3; ++i) {
+    (void)cap.wait("conn" + std::to_string(i), 120'000ms);
+  }
+  EXPECT_LT(cap.rank("own"), cap.rank("conn1"));
+}
+
+TEST(ServeFairness, WeightsGrantProportionalDequeues) {
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.tenant_weights["vip"] = 2;  // two dequeues per DRR visit
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(heavy_plan("blocker"));
+  std::this_thread::sleep_for(100ms);
+
+  for (int i = 0; i < 3; ++i) {
+    svc.submit_line(cheap_plan("vip" + std::to_string(i), i + 1), nullptr,
+                    "vip");
+  }
+  for (int i = 0; i < 3; ++i) {
+    svc.submit_line(cheap_plan("std" + std::to_string(i), i + 10), nullptr,
+                    "std");
+  }
+
+  (void)cap.wait("blocker", 120'000ms);
+  for (int i = 0; i < 3; ++i) {
+    (void)cap.wait("vip" + std::to_string(i), 120'000ms);
+    (void)cap.wait("std" + std::to_string(i), 120'000ms);
+  }
+  // Weight 2 lets vip take two jobs before std's first visit ends.
+  EXPECT_LT(cap.rank("vip1"), cap.rank("std1"));
+}
+
 // ---- Debounce ------------------------------------------------------------
 
 TEST(ServeDebounce, BurstOfDeltasFiresOneReplanWave) {
@@ -204,6 +293,45 @@ TEST(ServeDebounce, BurstOfDeltasFiresOneReplanWave) {
   EXPECT_TRUE(after.find("cached")->as_bool());
   EXPECT_FALSE(after.find("degraded")->as_bool());
   EXPECT_EQ(after.find("epoch")->as_number(), static_cast<double>(kBurst));
+}
+
+TEST(ServeDebounce, TrailingEdgeExtendsTheWindowAcrossADrizzle) {
+  // Three deltas 250 ms apart under a 400 ms window. Leading-edge closes
+  // the window 400 ms after the *first* delta — before the third arrives —
+  // and fires two waves. Trailing-edge extends the window per rider, so
+  // the whole drizzle is one wave, fired after the last delta.
+  OrderedCapture cap;
+  ServiceOptions opts;
+  opts.workers = 2;
+  opts.watchdog_interval = 5ms;
+  opts.replan_debounce_window = 400ms;
+  opts.debounce_trailing = true;
+  PlanService svc(opts, std::ref(cap));
+
+  svc.submit_line(cheap_plan("seed"));
+  ASSERT_EQ(cap.wait("seed").find("code")->as_string(), "OK");
+  svc.drain();
+
+  for (int i = 0; i < 3; ++i) {
+    if (i > 0) std::this_thread::sleep_for(250ms);
+    svc.submit_line(ring_delta("d" + std::to_string(i), i, i + 1));
+    const auto d = cap.wait("d" + std::to_string(i));
+    ASSERT_EQ(d.find("code")->as_string(), "OK");
+    EXPECT_TRUE(d.find("replans_deferred")->as_bool());
+  }
+
+  // Let the extended window close and the wave run dry.
+  std::this_thread::sleep_for(700ms);
+  svc.drain();
+  EXPECT_EQ(stat_of(svc, "replans"), 1)
+      << "trailing debounce must merge the drizzle into one wave";
+  EXPECT_EQ(stat_of(svc, "replans_debounced"), 2);
+
+  svc.submit_line(cheap_plan("after"));
+  const auto after = cap.wait("after");
+  EXPECT_TRUE(after.find("cached")->as_bool());
+  EXPECT_FALSE(after.find("degraded")->as_bool());
+  EXPECT_EQ(after.find("epoch")->as_number(), 3.0);
 }
 
 TEST(ServeDebounce, SeparateBurstsFireSeparateWaves) {

@@ -1,11 +1,14 @@
-// Persisted plan-memo snapshots: record round-trip, warm restart
-// (snapshot → new service → first repeat request is a memo hit with zero
-// solves), and rejection of corrupt / truncated / stale-fingerprint
-// snapshots — a bad file means a clean cold start, never a crash.
+// Crash-consistent memo journal: record/frame/header round-trips, the
+// torn-write taxonomy (mid-record truncation, duplicated tail bytes,
+// valid header with zero records), generation compaction bounding the
+// disk, and PlanService warm restarts through the journal — a restarted
+// daemon answers every committed plan key warm, and a mangled journal
+// means a clean cold start, never a crash.
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -17,6 +20,7 @@
 
 #include "psd/serve/service.hpp"
 #include "psd/serve/snapshot.hpp"
+#include "psd/util/fault_injection.hpp"
 #include "psd/util/json.hpp"
 
 namespace psd::serve {
@@ -63,40 +67,90 @@ std::string ring_delta(const std::string& id, int src, int dst) {
          std::to_string(dst) + R"(,"factor":0.5}]})";
 }
 
-/// Unique-per-test temp path, removed on destruction.
-class TempPath {
+/// Unique-per-test journal base path; removes the whole generation family
+/// (<base>.gNNNNNN and stray .tmp files) on construction and destruction.
+class TempJournal {
  public:
-  explicit TempPath(const std::string& stem) {
-    path_ = testing::TempDir() + stem + "-" +
-            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".jsonl";
-    std::remove(path_.c_str());
+  explicit TempJournal(const std::string& stem) {
+    base_ = testing::TempDir() + stem + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    remove_family();
   }
-  ~TempPath() {
-    std::remove(path_.c_str());
-    std::remove((path_ + ".tmp").c_str());
+  ~TempJournal() { remove_family(); }
+  [[nodiscard]] const std::string& str() const { return base_; }
+
+  /// Generation files on disk, oldest first (via a throwaway journal).
+  [[nodiscard]] std::vector<std::string> files() const {
+    return MemoJournal(base_, {}).generation_files();
   }
-  [[nodiscard]] const std::string& str() const { return path_; }
+  [[nodiscard]] std::string newest_file() const {
+    const auto f = files();
+    EXPECT_FALSE(f.empty()) << "no generation file under " << base_;
+    return f.empty() ? std::string() : f.back();
+  }
 
  private:
-  std::string path_;
+  void remove_family() const {
+    namespace fs = std::filesystem;
+    const fs::path base(base_);
+    const std::string prefix = base.filename().string();
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(
+             base.parent_path().empty() ? "." : base.parent_path(), ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.compare(0, prefix.size(), prefix) == 0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  std::string base_;
 };
 
 std::vector<std::string> read_lines(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   std::vector<std::string> lines;
   for (std::string l; std::getline(in, l);) lines.push_back(l);
   return lines;
 }
 
-void write_lines(const std::string& path,
-                 const std::vector<std::string>& lines) {
-  std::ofstream out(path, std::ios::trunc);
-  for (const auto& l : lines) out << l << '\n';
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << bytes;
 }
 
-// ---- Record round-trip ---------------------------------------------------
+std::string read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
 
-TEST(MemoSnapshotFormat, RecordRoundTripsBitExactly) {
+MemoSnapshotRecord sample_record(int salt = 0) {
+  MemoSnapshotRecord rec;
+  rec.plan = parse_request(cheap_plan("x", salt)).plan;
+  rec.answer.steps = 7 + salt;
+  rec.answer.optimal_ns = 1000.5 + salt;
+  rec.answer.static_ns = 2000.25;
+  rec.answer.naive_bvn_ns = 3000.0;
+  rec.answer.greedy_ns = 1500.0;
+  rec.answer.reconfigurations = 2;
+  rec.answer.speedup_vs_static = 1.5;
+  rec.answer.speedup_vs_bvn = 2.0;
+  rec.answer.pipelined_ns = 900.125;
+  rec.answer.pipeline_chunks = 4;
+  rec.answer.chosen_algo = "ring";
+  rec.epoch = 0;
+  rec.fingerprint = 0x0123456789abcdefULL + static_cast<std::uint64_t>(salt);
+  return rec;
+}
+
+std::string framed_line(const MemoSnapshotRecord& rec) {
+  return journal_frame_record(memo_record_to_json(rec)) + "\n";
+}
+
+// ---- Record / header / frame codec ---------------------------------------
+
+TEST(MemoJournalFormat, RecordRoundTripsBitExactly) {
   MemoSnapshotRecord rec;
   rec.plan = parse_request(cheap_plan("x", 7)).plan;
   rec.answer.steps = 14;
@@ -129,17 +183,7 @@ TEST(MemoSnapshotFormat, RecordRoundTripsBitExactly) {
   EXPECT_EQ(back.answer.chosen_algo, rec.answer.chosen_algo);
 }
 
-TEST(MemoSnapshotFormat, HeaderRoundTripAndRejections) {
-  EXPECT_TRUE(parse_memo_snapshot_header(memo_snapshot_header()));
-  EXPECT_FALSE(parse_memo_snapshot_header(""));
-  EXPECT_FALSE(parse_memo_snapshot_header("not json"));
-  EXPECT_FALSE(parse_memo_snapshot_header(R"({"format":"other","version":1})"));
-  EXPECT_FALSE(
-      parse_memo_snapshot_header(R"({"format":"psd-serve-memo","version":99})"));
-  EXPECT_FALSE(parse_memo_snapshot_header(R"({"version":1})"));
-}
-
-TEST(MemoSnapshotFormat, MalformedRecordsThrow) {
+TEST(MemoJournalFormat, MalformedRecordsThrow) {
   EXPECT_THROW((void)memo_record_from_json("garbage"), Error);
   EXPECT_THROW((void)memo_record_from_json("{}"), Error);
   // Valid plan fields but no answer / fingerprint.
@@ -158,15 +202,202 @@ TEST(MemoSnapshotFormat, MalformedRecordsThrow) {
   EXPECT_THROW((void)memo_record_from_json(line), Error);
 }
 
-// ---- Save / load round trip ---------------------------------------------
+TEST(MemoJournalFormat, HeaderRoundTripAndRejections) {
+  std::uint64_t gen = 0;
+  EXPECT_TRUE(parse_journal_header(journal_header(3), &gen));
+  EXPECT_EQ(gen, 3u);
+  EXPECT_FALSE(parse_journal_header(""));
+  EXPECT_FALSE(parse_journal_header("not json"));
+  EXPECT_FALSE(parse_journal_header(
+      R"({"format":"other","version":2,"generation":1})"));
+  EXPECT_FALSE(parse_journal_header(
+      R"({"format":"psd-serve-journal","version":99,"generation":1})"));
+  EXPECT_FALSE(
+      parse_journal_header(R"({"format":"psd-serve-journal","version":2})"));
+  EXPECT_FALSE(parse_journal_header(
+      R"({"format":"psd-serve-journal","version":2,"generation":0})"));
+}
 
-TEST(MemoSnapshot, SaveThenLoadAnswersWarm) {
-  TempPath snap("serve-memo-warm");
+TEST(MemoJournalFormat, FrameCarriesCrcAndLength) {
+  // CRC32 (IEEE, reflected) check value — pins the polynomial.
+  EXPECT_EQ(crc32_ieee("123456789"), 0xCBF43926u);
+  const std::string frame = journal_frame_record("hello");
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc32_ieee("hello"));
+  EXPECT_EQ(frame, std::string(crc_hex) + " 5 hello");
+}
+
+// ---- MemoJournal: load / append / torn-write taxonomy --------------------
+
+TEST(MemoJournalFile, ColdStartThenAppendCreatesGenerationOne) {
+  TempJournal tj("journal-cold");
+  {
+    MemoJournal j(tj.str(), {});
+    const auto loaded = j.load();
+    EXPECT_TRUE(loaded.records.empty());
+    EXPECT_EQ(loaded.generation, 0u);
+    EXPECT_EQ(loaded.truncated_tail, 0u);
+    EXPECT_EQ(loaded.errors, 0u);
+    EXPECT_TRUE(j.append(sample_record(1)));
+    EXPECT_EQ(j.generation(), 1u);
+    EXPECT_EQ(j.appends(), 1u);
+  }
+  ASSERT_EQ(tj.files().size(), 1u);
+  MemoJournal j2(tj.str(), {});
+  const auto loaded = j2.load();
+  EXPECT_EQ(loaded.generation, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].answer.steps, sample_record(1).answer.steps);
+}
+
+TEST(MemoJournalFile, TornTailMidRecordIsTruncatedPrefixKept) {
+  TempJournal tj("journal-torn-mid");
+  const std::string path = tj.str() + ".g000001";
+  const std::string good = framed_line(sample_record(1));
+  const std::string torn = framed_line(sample_record(2));
+  // A crash mid-append: half of the second record reached the disk.
+  write_raw(path, journal_header(1) + "\n" + good +
+                      torn.substr(0, torn.size() / 2));
+
+  MemoJournal j(tj.str(), {});
+  const auto loaded = j.load();
+  EXPECT_EQ(loaded.truncated_tail, 1u);
+  EXPECT_EQ(loaded.errors, 0u);
+  ASSERT_EQ(loaded.records.size(), 1u) << "the committed prefix is kept";
+  EXPECT_EQ(loaded.records[0].answer.steps, sample_record(1).answer.steps);
+  // The torn bytes were physically dropped: appends resume on a record
+  // boundary and a reload sees both the old and the new record.
+  EXPECT_EQ(read_raw(path).size(), (journal_header(1) + "\n" + good).size());
+  EXPECT_TRUE(j.append(sample_record(3)));
+  MemoJournal j2(tj.str(), {});
+  EXPECT_EQ(j2.load().records.size(), 2u);
+}
+
+TEST(MemoJournalFile, TornTailDuplicatedBytesAreDropped) {
+  TempJournal tj("journal-torn-dup");
+  const std::string path = tj.str() + ".g000001";
+  const std::string good = framed_line(sample_record(1));
+  // A rewrite glitch duplicated the record's last bytes after its newline:
+  // the stray tail is a line that can never frame-check.
+  write_raw(path, journal_header(1) + "\n" + good +
+                      good.substr(good.size() / 2));
+
+  MemoJournal j(tj.str(), {});
+  const auto loaded = j.load();
+  EXPECT_EQ(loaded.truncated_tail, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(read_raw(path).size(), (journal_header(1) + "\n" + good).size());
+}
+
+TEST(MemoJournalFile, ValidHeaderWithZeroRecordsLoadsClean) {
+  TempJournal tj("journal-empty");
+  write_raw(tj.str() + ".g000004", journal_header(4) + "\n");
+  MemoJournal j(tj.str(), {});
+  const auto loaded = j.load();
+  EXPECT_TRUE(loaded.records.empty());
+  EXPECT_EQ(loaded.generation, 4u);
+  EXPECT_EQ(loaded.truncated_tail, 0u);
+  EXPECT_EQ(loaded.errors, 0u);
+  EXPECT_TRUE(j.append(sample_record(1)));
+  EXPECT_EQ(j.generation(), 4u) << "appends continue the loaded generation";
+}
+
+TEST(MemoJournalFile, CorruptPayloadInsideValidFrameIsSkippedNotTorn) {
+  TempJournal tj("journal-badjson");
+  // A checksummed frame whose payload is not a record: file corruption,
+  // not a tear — skip it, keep trusting what follows.
+  write_raw(tj.str() + ".g000001",
+            journal_header(1) + "\n" + framed_line(sample_record(1)) +
+                journal_frame_record("{\"not\":\"a record\"}") + "\n" +
+                framed_line(sample_record(2)));
+  MemoJournal j(tj.str(), {});
+  const auto loaded = j.load();
+  EXPECT_EQ(loaded.errors, 1u);
+  EXPECT_EQ(loaded.truncated_tail, 0u);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[1].answer.steps, sample_record(2).answer.steps);
+}
+
+TEST(MemoJournalFile, UnreadableNewestHeaderFallsBackOneGeneration) {
+  TempJournal tj("journal-fallback");
+  write_raw(tj.str() + ".g000001",
+            journal_header(1) + "\n" + framed_line(sample_record(1)));
+  write_raw(tj.str() + ".g000002", "this is not a journal\n");
+  MemoJournal j(tj.str(), {});
+  const auto loaded = j.load();
+  EXPECT_EQ(loaded.errors, 1u) << "the unreadable newest header is counted";
+  EXPECT_EQ(loaded.generation, 1u);
+  ASSERT_EQ(loaded.records.size(), 1u);
+}
+
+TEST(MemoJournalFile, CompactionRotatesGenerationsAndBoundsDisk) {
+  TempJournal tj("journal-compact");
+  MemoJournalOptions opts;
+  opts.compact_records = 2;
+  opts.keep_generations = 2;
+  MemoJournal j(tj.str(), opts);
+  (void)j.load();
+  EXPECT_TRUE(j.append(sample_record(1)));
+  EXPECT_FALSE(j.wants_compaction());
+  EXPECT_TRUE(j.append(sample_record(2)));
+  EXPECT_TRUE(j.wants_compaction());
+
+  // Several compaction rounds: the generation advances, the live set is
+  // rewritten whole, and the on-disk family never exceeds keep_generations.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_TRUE(j.compact({sample_record(1), sample_record(2)}));
+    EXPECT_FALSE(j.wants_compaction());
+    EXPECT_LE(tj.files().size(), opts.keep_generations);
+  }
+  EXPECT_EQ(j.compactions(), 4u);
+  EXPECT_EQ(j.generation(), 5u);
+
+  MemoJournal j2(tj.str(), {});
+  const auto loaded = j2.load();
+  EXPECT_EQ(loaded.generation, 5u);
+  EXPECT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.truncated_tail, 0u);
+}
+
+TEST(MemoJournalFile, InjectedTornAppendWedgesUntilCompactionHeals) {
+  TempJournal tj("journal-wedge");
+  util::FaultInjector fault(42);
+  fault.arm("journal.append.torn", {.after = 1, .budget = 1});
+  MemoJournalOptions opts;
+  opts.fault = &fault;
+  MemoJournal j(tj.str(), opts);
+  (void)j.load();
+  EXPECT_TRUE(j.append(sample_record(1)));
+  EXPECT_FALSE(j.append(sample_record(2))) << "second append tears";
+  EXPECT_EQ(fault.fires("journal.append.torn"), 1u);
+  EXPECT_TRUE(j.wants_compaction()) << "a torn write wedges the journal";
+  EXPECT_FALSE(j.append(sample_record(3))) << "wedged: nothing lands";
+
+  // Exactly what a crashed process leaves: record 1 committed, half of
+  // record 2 on disk. A loader keeps the prefix.
+  {
+    MemoJournal probe(tj.str(), {});
+    const auto loaded = probe.load();
+    EXPECT_EQ(loaded.truncated_tail, 1u);
+    EXPECT_EQ(loaded.records.size(), 1u);
+  }
+
+  EXPECT_TRUE(j.compact({sample_record(1)})) << "compaction rotates + heals";
+  EXPECT_TRUE(j.append(sample_record(4)));
+  MemoJournal j2(tj.str(), {});
+  EXPECT_EQ(j2.load().records.size(), 2u);
+}
+
+// ---- PlanService integration ---------------------------------------------
+
+TEST(MemoJournalService, WarmRestartAnswersCommittedKeysCached) {
+  TempJournal tj("serve-journal-warm");
   JsonValue first;
   {
     Capture cap;
     ServiceOptions opts;
     opts.workers = 1;
+    opts.memo_journal_path = tj.str();
     PlanService svc(opts, std::ref(cap));
     svc.submit_line(cheap_plan("a", 0));
     svc.submit_line(cheap_plan("b", 9));
@@ -174,28 +405,28 @@ TEST(MemoSnapshot, SaveThenLoadAnswersWarm) {
     ASSERT_EQ(first.find("code")->as_string(), "OK");
     (void)cap.wait("b");
     svc.drain();
-    EXPECT_EQ(svc.save_memo_snapshot(snap.str()), 2);
-  }
-  ASSERT_EQ(read_lines(snap.str()).size(), 3u);  // header + 2 records
+  }  // ~PlanService: shutdown, final compaction
+  ASSERT_FALSE(tj.files().empty());
 
-  // Restart: the snapshot is loaded at construction; the first repeat
+  // Restart: the journal replays at construction; the first repeat
   // request is a fresh memo hit — zero solves, degraded:false.
   Capture cap;
   ServiceOptions opts;
   opts.workers = 1;
-  opts.memo_snapshot_path = snap.str();
+  opts.memo_journal_path = tj.str();
   PlanService svc(opts, std::ref(cap));
   const auto st = svc.stats();
   EXPECT_EQ(st.memo_loaded, 2u);
   EXPECT_EQ(st.memo_load_errors, 0u);
   EXPECT_EQ(st.memo_load_rejected, 0u);
+  EXPECT_EQ(st.journal_truncated_tail, 0u);
 
   svc.submit_line(cheap_plan("a2", 0));
   const auto warm = cap.wait("a2");
   ASSERT_EQ(warm.find("code")->as_string(), "OK");
   EXPECT_TRUE(warm.find("cached")->as_bool());
   EXPECT_FALSE(warm.find("degraded")->as_bool());
-  // Bit-exact across the restart (answers were persisted with %.17g).
+  // Bit-exact across the restart (answers are persisted with %.17g).
   EXPECT_EQ(warm.find("optimal_ns")->as_number(),
             first.find("optimal_ns")->as_number());
   EXPECT_EQ(warm.find("pipelined_ns")->as_number(),
@@ -203,128 +434,103 @@ TEST(MemoSnapshot, SaveThenLoadAnswersWarm) {
   EXPECT_EQ(svc.stats().planned, 0u) << "warm hit must not solve";
 }
 
-TEST(MemoSnapshot, ShutdownWritesSnapshotAutomatically) {
-  TempPath snap("serve-memo-auto");
-  {
-    Capture cap;
-    ServiceOptions opts;
-    opts.workers = 1;
-    opts.memo_snapshot_path = snap.str();  // missing file: silent cold start
-    PlanService svc(opts, std::ref(cap));
-    EXPECT_EQ(svc.stats().memo_load_errors, 0u);
-    svc.submit_line(cheap_plan("a"));
-    (void)cap.wait("a");
-    svc.drain();
-    svc.shutdown();  // writes the snapshot
-    EXPECT_GE(svc.stats().memo_snapshots, 1u);
+TEST(MemoJournalService, AnswersAreDurableBeforeShutdown) {
+  // The kill -9 property: once the answer is out, its record is on disk —
+  // no shutdown hook involved.
+  TempJournal tj("serve-journal-durable");
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_journal_path = tj.str();
+  PlanService svc(opts, std::ref(cap));
+  svc.submit_line(cheap_plan("a"));
+  ASSERT_EQ(cap.wait("a").find("code")->as_string(), "OK");
+  svc.drain();
+  ASSERT_NE(svc.journal(), nullptr);
+  // The append happens just after the answer is emitted; give it a beat.
+  for (int i = 0; i < 200 && svc.journal()->appends() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
   }
-  const auto lines = read_lines(snap.str());
+  EXPECT_EQ(svc.journal()->appends(), 1u);
+
+  const auto lines = read_lines(tj.newest_file());
   ASSERT_EQ(lines.size(), 2u);
-  EXPECT_TRUE(parse_memo_snapshot_header(lines[0]));
-  EXPECT_NO_THROW((void)memo_record_from_json(lines[1]));
+  EXPECT_TRUE(parse_journal_header(lines[0]));
+  // The record line frames and checks out, while the daemon still runs.
+  const auto sp2 = lines[1].find(' ', 9);
+  ASSERT_NE(sp2, std::string::npos);
+  const std::string payload = lines[1].substr(sp2 + 1);
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc32_ieee(payload));
+  EXPECT_EQ(lines[1].substr(0, 8), std::string(crc_hex));
+  EXPECT_NO_THROW((void)memo_record_from_json(payload));
 }
 
-TEST(MemoSnapshot, StaleEntriesAreNotWritten) {
+TEST(MemoJournalService, StaleEntriesAreCompactedAway) {
   // An entry made stale by a delta is degradation fodder in RAM but must
-  // not be persisted: a restart rebuilds the pristine topology, for which
-  // that answer is neither fresh nor provably right.
-  TempPath snap("serve-memo-stale");
+  // not survive a compaction: a restart rebuilds the pristine topology,
+  // for which that answer is neither fresh nor provably right.
+  TempJournal tj("serve-journal-stale");
   Capture cap;
   ServiceOptions opts;
   opts.workers = 1;
   opts.replan_on_delta = false;  // keep the entry stale
+  opts.memo_journal_path = tj.str();
   PlanService svc(opts, std::ref(cap));
   svc.submit_line(cheap_plan("a"));
   (void)cap.wait("a");
   svc.drain();
+  // The append lands just after the answer is emitted; let it settle so
+  // the delta below is ordered after it (not racing the worker thread).
+  ASSERT_NE(svc.journal(), nullptr);
+  for (int i = 0; i < 200 && svc.journal()->appends() == 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(svc.journal()->appends(), 1u);
   svc.submit_line(ring_delta("d", 2, 3));
   (void)cap.wait("d");
-  EXPECT_EQ(svc.save_memo_snapshot(snap.str()), 0);
-  EXPECT_EQ(read_lines(snap.str()).size(), 1u);  // header only
+  ASSERT_TRUE(svc.compact_journal());
+  EXPECT_GE(svc.stats().memo_snapshots, 1u);
+
+  MemoJournal probe(tj.str(), {});
+  EXPECT_TRUE(probe.load().records.empty()) << "stale entries not persisted";
 }
 
-// ---- Rejection paths -----------------------------------------------------
-
-TEST(MemoSnapshot, CorruptHeaderMeansCleanColdStart) {
-  TempPath snap("serve-memo-corrupt-header");
-  write_lines(snap.str(), {"this is not a snapshot", "nor is this"});
-  Capture cap;
-  ServiceOptions opts;
-  opts.workers = 1;
-  opts.memo_snapshot_path = snap.str();
-  PlanService svc(opts, std::ref(cap));
-  const auto st = svc.stats();
-  EXPECT_EQ(st.memo_loaded, 0u);
-  EXPECT_EQ(st.memo_load_errors, 1u);
-  // Daemon is alive and cold: the request solves instead of hitting.
-  svc.submit_line(cheap_plan("a"));
-  const auto r = cap.wait("a");
-  ASSERT_EQ(r.find("code")->as_string(), "OK");
-  EXPECT_FALSE(r.find("cached")->as_bool());
-}
-
-TEST(MemoSnapshot, TruncatedAndCorruptRecordsAreSkipped) {
-  TempPath snap("serve-memo-truncated");
-  // Build a real snapshot, then mangle it: keep the header and one good
-  // record, add a corrupt record and a truncated last line (no newline,
-  // cut mid-JSON — exactly what a crash mid-append would leave).
+TEST(MemoJournalService, StaleFingerprintIsRejectedOnReplay) {
+  TempJournal tj("serve-journal-stale-fp");
   {
     Capture cap;
     ServiceOptions opts;
     opts.workers = 1;
-    PlanService svc(opts, std::ref(cap));
-    svc.submit_line(cheap_plan("a", 0));
-    (void)cap.wait("a");
-    svc.drain();
-    ASSERT_EQ(svc.save_memo_snapshot(snap.str()), 1);
-  }
-  auto lines = read_lines(snap.str());
-  ASSERT_EQ(lines.size(), 2u);
-  {
-    std::ofstream out(snap.str(), std::ios::trunc);
-    out << lines[0] << '\n'
-        << lines[1] << '\n'
-        << R"({"topology":"ring","nodes":"eight"})" << '\n'
-        << lines[1].substr(0, lines[1].size() / 2);  // truncated, no '\n'
-  }
-  Capture cap;
-  ServiceOptions opts;
-  opts.workers = 1;
-  opts.memo_snapshot_path = snap.str();
-  PlanService svc(opts, std::ref(cap));
-  const auto st = svc.stats();
-  EXPECT_EQ(st.memo_loaded, 1u) << "the good record is kept";
-  EXPECT_EQ(st.memo_load_errors, 2u) << "corrupt + truncated each counted";
-  svc.submit_line(cheap_plan("a", 0));
-  EXPECT_TRUE(cap.wait("a").find("cached")->as_bool());
-}
-
-TEST(MemoSnapshot, StaleFingerprintIsRejected) {
-  TempPath snap("serve-memo-stale-fp");
-  {
-    Capture cap;
-    ServiceOptions opts;
-    opts.workers = 1;
+    opts.memo_journal_path = tj.str();
     PlanService svc(opts, std::ref(cap));
     svc.submit_line(cheap_plan("a"));
     (void)cap.wait("a");
     svc.drain();
-    ASSERT_EQ(svc.save_memo_snapshot(snap.str()), 1);
   }
-  // Flip one fingerprint hex digit: the record no longer matches the
-  // pristine rebuild and must be rejected (not served, not crashed on).
-  auto lines = read_lines(snap.str());
-  ASSERT_EQ(lines.size(), 2u);
-  const auto pos = lines[1].find("\"fingerprint\":\"");
+  // Flip one fingerprint hex digit and re-frame (the CRC must still pass:
+  // this models a *committed* record for a different topology, not a torn
+  // one). The record no longer matches the pristine rebuild and must be
+  // rejected — not served, not crashed on.
+  const std::string path = tj.newest_file();
+  auto lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  const auto sp2 = lines[1].find(' ', 9);
+  ASSERT_NE(sp2, std::string::npos);
+  std::string payload = lines[1].substr(sp2 + 1);
+  const auto pos = payload.find("\"fingerprint\":\"");
   ASSERT_NE(pos, std::string::npos);
   const auto digit = pos + std::string("\"fingerprint\":\"").size();
-  lines[1][digit] = lines[1][digit] == '0' ? '1' : '0';
-  write_lines(snap.str(), lines);
+  payload[digit] = payload[digit] == '0' ? '1' : '0';
+  std::string content = lines[0] + "\n";
+  content += journal_frame_record(payload) + "\n";
+  for (std::size_t i = 2; i < lines.size(); ++i) content += lines[i] + "\n";
+  write_raw(path, content);
 
   Capture cap;
   ServiceOptions opts;
   opts.workers = 1;
-  opts.memo_snapshot_path = snap.str();
+  opts.memo_journal_path = tj.str();
   PlanService svc(opts, std::ref(cap));
   const auto st = svc.stats();
   EXPECT_EQ(st.memo_loaded, 0u);
@@ -336,23 +542,73 @@ TEST(MemoSnapshot, StaleFingerprintIsRejected) {
   EXPECT_FALSE(r.find("cached")->as_bool()) << "rejected entry must re-solve";
 }
 
-TEST(MemoSnapshot, PeriodicSnapshotsFromWatchdog) {
-  TempPath snap("serve-memo-periodic");
+TEST(MemoJournalService, TornTailHealedOnRestartCommittedKeysStayWarm) {
+  TempJournal tj("serve-journal-torn-restart");
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    opts.memo_journal_path = tj.str();
+    PlanService svc(opts, std::ref(cap));
+    svc.submit_line(cheap_plan("a", 0));
+    svc.submit_line(cheap_plan("b", 9));
+    (void)cap.wait("a");
+    (void)cap.wait("b");
+    svc.drain();
+  }
+  // Simulate the kill -9 mid-append: garbage half-frame at the tail.
+  const std::string path = tj.newest_file();
+  write_raw(path, read_raw(path) + "deadbeef 999 {\"half\":");
+
   Capture cap;
   ServiceOptions opts;
   opts.workers = 1;
-  opts.watchdog_interval = 5ms;
-  opts.memo_snapshot_path = snap.str();
-  opts.memo_snapshot_interval = 50ms;
+  opts.memo_journal_path = tj.str();
   PlanService svc(opts, std::ref(cap));
-  svc.submit_line(cheap_plan("a"));
-  (void)cap.wait("a");
-  svc.drain();
-  std::this_thread::sleep_for(250ms);
-  EXPECT_GE(svc.stats().memo_snapshots, 1u);
-  const auto lines = read_lines(snap.str());
-  ASSERT_GE(lines.size(), 2u);
-  EXPECT_TRUE(parse_memo_snapshot_header(lines[0]));
+  const auto st = svc.stats();
+  EXPECT_EQ(st.journal_truncated_tail, 1u);
+  EXPECT_EQ(st.memo_loaded, 2u) << "every committed record stays warm";
+  svc.submit_line(cheap_plan("a2", 0));
+  EXPECT_TRUE(cap.wait("a2").find("cached")->as_bool());
+  EXPECT_EQ(svc.stats().planned, 0u);
+}
+
+TEST(MemoJournalService, ServiceCompactsItselfAndBoundsGenerations) {
+  TempJournal tj("serve-journal-selfcompact");
+  {
+    Capture cap;
+    ServiceOptions opts;
+    opts.workers = 1;
+    opts.memo_journal_path = tj.str();
+    opts.journal_compact_records = 1;  // compact after every append
+    opts.journal_keep_generations = 2;
+    PlanService svc(opts, std::ref(cap));
+    for (int i = 0; i < 4; ++i) {
+      const std::string id = "p" + std::to_string(i);
+      svc.submit_line(cheap_plan(id, i));
+      (void)cap.wait(id);
+    }
+    svc.drain();
+    ASSERT_NE(svc.journal(), nullptr);
+    for (int i = 0; i < 200 && svc.journal()->compactions() < 4; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    const auto st = svc.stats();
+    EXPECT_GE(st.journal_compactions, 4u);
+    EXPECT_GE(st.memo_snapshots, 4u);
+    EXPECT_LE(tj.files().size(), 2u) << "disk stays bounded";
+  }
+  EXPECT_LE(tj.files().size(), 2u);
+
+  // Reload is warm: the compacted journal carries the full live memo.
+  Capture cap;
+  ServiceOptions opts;
+  opts.workers = 1;
+  opts.memo_journal_path = tj.str();
+  PlanService svc(opts, std::ref(cap));
+  EXPECT_EQ(svc.stats().memo_loaded, 4u);
+  svc.submit_line(cheap_plan("again", 2));
+  EXPECT_TRUE(cap.wait("again").find("cached")->as_bool());
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 //
 //   psd_serve [--workers N] [--queue-limit N] [--watchdog-ms N]
 //             [--fast-path-ms X] [--socket PATH] [--max-line-bytes N]
-//             [--debounce-ms N] [--memo-snapshot PATH]
-//             [--snapshot-interval-ms N]
+//             [--debounce-ms N] [--debounce-trailing]
+//             [--memo-journal PATH] [--journal-compact-records N]
+//             [--journal-keep N] [--tenant-quota N]
+//             [--fault-spec SPEC] [--fault-seed N]
 //
 // Default transport is stdio: one JSON request per stdin line, one JSON
 // response per stdout line (possibly out of order — correlate by "id";
@@ -13,10 +15,18 @@
 // every connection's answers are routed back to the connection that asked.
 // tools/serve_client.py is the reference client.
 //
-// --debounce-ms arms delta-storm debouncing (one replan wave per burst),
-// --memo-snapshot persists the plan memo across restarts (loaded at
-// startup, written at shutdown; --snapshot-interval-ms also writes it
-// periodically), so a restarted daemon answers repeat requests warm.
+// --debounce-ms arms delta-storm debouncing (one replan wave per burst;
+// --debounce-trailing makes each rider extend the window so the wave
+// fires after the *last* delta). --memo-journal persists the plan memo
+// as a crash-consistent append-only journal: every completed answer is
+// durable immediately, a kill -9 mid-write costs at most the torn tail,
+// and the journal compacts itself every --journal-compact-records
+// appends keeping --journal-keep generations on disk. --tenant-quota
+// caps any one client's in-flight solves (per-tenant DRR fairness).
+//
+// --fault-spec arms the seeded deterministic fault injector (drills;
+// site registry and spec grammar in docs/fault_injection.md) and
+// --fault-seed makes the schedule replayable.
 //
 // Exit: a "shutdown" request, stdin EOF (stdio mode), or SIGINT/SIGTERM.
 // Queued-but-unserved requests still receive SHUTTING_DOWN responses and
@@ -32,6 +42,7 @@
 
 #include "psd/serve/service.hpp"
 #include "psd/serve/transport.hpp"
+#include "psd/util/fault_injection.hpp"
 #include "psd/util/line_buffer.hpp"
 
 namespace {
@@ -41,8 +52,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--workers N] [--queue-limit N] [--watchdog-ms N]\n"
       "          [--fast-path-ms X] [--socket PATH] [--max-line-bytes N]\n"
-      "          [--debounce-ms N] [--memo-snapshot PATH]\n"
-      "          [--snapshot-interval-ms N]\n",
+      "          [--debounce-ms N] [--debounce-trailing]\n"
+      "          [--memo-journal PATH] [--journal-compact-records N]\n"
+      "          [--journal-keep N] [--tenant-quota N]\n"
+      "          [--fault-spec SPEC] [--fault-seed N]\n",
       argv0);
   return 2;
 }
@@ -103,6 +116,8 @@ void pump_stdin(psd::serve::PlanService& service, std::size_t max_line_bytes) {
 int main(int argc, char** argv) {
   psd::serve::ServiceOptions opts;
   psd::serve::SocketServerOptions sock;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -140,11 +155,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--debounce-ms") {
       opts.replan_debounce_window =
           std::chrono::milliseconds(static_cast<long>(next_number(0, 600000)));
-    } else if (arg == "--memo-snapshot") {
-      opts.memo_snapshot_path = next();
-    } else if (arg == "--snapshot-interval-ms") {
-      opts.memo_snapshot_interval =
-          std::chrono::milliseconds(static_cast<long>(next_number(0, 3600000)));
+    } else if (arg == "--debounce-trailing") {
+      opts.debounce_trailing = true;
+    } else if (arg == "--memo-journal") {
+      opts.memo_journal_path = next();
+    } else if (arg == "--journal-compact-records") {
+      opts.journal_compact_records =
+          static_cast<std::size_t>(next_number(1, 1 << 20));
+    } else if (arg == "--journal-keep") {
+      opts.journal_keep_generations =
+          static_cast<std::size_t>(next_number(1, 1024));
+    } else if (arg == "--tenant-quota") {
+      opts.tenant_inflight_quota =
+          static_cast<std::size_t>(next_number(0, 1 << 20));
+    } else if (arg == "--fault-spec") {
+      fault_spec = next();
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(next_number(0, 1e18));
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
@@ -155,6 +182,21 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
+
+  // The injector outlives both the service and the transport (they hold
+  // raw pointers). Disarmed sites cost one relaxed load, so wiring it in
+  // unconditionally is free when no --fault-spec was given.
+  psd::util::FaultInjector fault(fault_seed);
+  if (!fault_spec.empty()) {
+    try {
+      fault.arm_spec(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "psd_serve: bad --fault-spec: %s\n", e.what());
+      return 2;
+    }
+    opts.fault = &fault;
+    sock.fault = &fault;
+  }
 
   StdoutSink out;
   psd::serve::PlanService service(

@@ -6,15 +6,29 @@ scripted session covering the happy path, memo hits, deadline degradation,
 admission errors and stats, and exits nonzero on any assertion failure —
 CI runs this as the serve smoke test.
 
-  serve_client.py --socket PATH [--fault] [--verbose]
+  serve_client.py --socket PATH [--fault] [--retries N] [--backoff-ms MS]
+                  [--expect-warm] [--verbose]
 
 With --fault the session additionally injects a topology delta while a
 plan request is in flight on the same context, and asserts the daemon
 answers that request (fresh or degraded) instead of erroring — the
 fault-tolerance drill.
+
+With --retries N every sequential request survives up to N transient
+failures: SHED answers are retried after the daemon's retry_after_ms
+hint, and connection resets (a daemon restart, an injected
+transport.conn.reset) reconnect and resend. The backoff is exponential
+from --backoff-ms with jitter so a herd of smoke clients does not
+stampede a recovering daemon.
+
+With --expect-warm the session asserts the daemon restarted warm from
+its memo journal: the first plan answers cached with zero solves behind
+it — the kill-9-and-restart journal drill in CI.
 """
 import argparse
 import json
+import os
+import random
 import socket
 import sys
 import time
@@ -24,12 +38,26 @@ class Client:
     """JSON-lines client; responses may arrive out of order (keyed by id)."""
 
     def __init__(self, path, verbose=False, timeout=120.0):
+        self.path = path
+        self.verbose = verbose
+        self.timeout = timeout
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self):
         self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self.sock.settimeout(timeout)
-        self.sock.connect(path)
+        self.sock.settimeout(self.timeout)
+        self.sock.connect(self.path)
         self.buf = b""
         self.responses = {}
-        self.verbose = verbose
+
+    def reconnect(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        self._connect()
+        self.reconnects += 1
 
     def send(self, obj):
         if self.verbose:
@@ -57,6 +85,40 @@ class Client:
                 print("<<", json.dumps(resp), file=sys.stderr)
             self.responses[resp.get("id", "")] = resp
         return self.responses[rid]
+
+    def request(self, obj, retries=0, backoff_ms=50.0):
+        """Send + wait with jittered exponential backoff on SHED / resets.
+
+        A SHED answer honors the daemon's retry_after_ms hint (the backoff
+        never undercuts it); a torn connection reconnects and resends. The
+        last attempt's failure propagates.
+        """
+        rid = obj["id"]
+        for attempt in range(retries + 1):
+            try:
+                self.send(obj)
+                resp = self.wait(rid)
+            except (ConnectionError, TimeoutError, OSError):
+                if attempt == retries:
+                    raise
+                self._backoff(attempt, backoff_ms, None)
+                self.reconnect()
+                continue
+            if resp.get("code") == "SHED" and attempt < retries:
+                self._backoff(attempt, backoff_ms, resp.get("retry_after_ms"))
+                self.responses.pop(rid, None)  # the retry reuses the id
+                continue
+            return resp
+        return resp
+
+    def _backoff(self, attempt, backoff_ms, retry_after_ms):
+        delay_ms = backoff_ms * (2 ** attempt) * (0.5 + random.random() / 2)
+        if retry_after_ms is not None:
+            delay_ms = max(delay_ms, float(retry_after_ms))
+        if self.verbose:
+            print(f"-- backoff {delay_ms:.0f} ms (attempt {attempt + 1})",
+                  file=sys.stderr)
+        time.sleep(delay_ms / 1000.0)
 
 
 FAILURES = []
@@ -89,6 +151,14 @@ def main():
                     help="inject a topology delta under an in-flight plan")
     ap.add_argument("--workers", type=int, default=2,
                     help="daemon worker count (to pin them all down in 5b)")
+    ap.add_argument("--retries", type=int, default=0,
+                    help="transient-failure retries per sequential request")
+    ap.add_argument("--backoff-ms", type=float, default=50.0,
+                    help="base backoff between retries (exponential, "
+                         "jittered, floored by the daemon's retry_after_ms)")
+    ap.add_argument("--expect-warm", action="store_true",
+                    help="assert the daemon restarted warm from its memo "
+                         "journal (first plan cached, no solve behind it)")
     ap.add_argument("--no-shutdown", action="store_true",
                     help="skip the shutdown handshake (concurrent-client "
                          "runs: the harness shuts the daemon down once, "
@@ -98,27 +168,29 @@ def main():
 
     c = Client(args.socket, verbose=args.verbose)
 
-    # 1. Cold solve.
-    c.send(plan("r1"))
-    r1 = c.wait("r1")
+    def request(obj):
+        return c.request(obj, retries=args.retries, backoff_ms=args.backoff_ms)
+
+    # 1. Cold solve (or a journal-warm hit when the daemon restarted).
+    r1 = request(plan("r1"))
     check(r1["code"] == "OK" and not r1["degraded"], "r1 plans fresh")
     check(r1["optimal_ns"] > 0 and r1["steps"] > 0, "r1 carries plan numbers")
+    if args.expect_warm:
+        check(r1.get("cached"), "r1 answered warm from the journal")
 
     # 2. Identical request: memo hit.
-    c.send(plan("r2"))
-    r2 = c.wait("r2")
+    r2 = request(plan("r2"))
     check(r2["code"] == "OK" and r2["cached"], "r2 served from the plan memo")
     check(r2["optimal_ns"] == r1["optimal_ns"], "r2 matches r1 bit-exactly")
 
     # 3. A second context is independent.
-    c.send(plan("r3", topology="bidir-ring", collective="allgather"))
-    check(c.wait("r3")["code"] == "OK", "r3 plans on a second context")
+    r3 = request(plan("r3", topology="bidir-ring", collective="allgather"))
+    check(r3["code"] == "OK", "r3 plans on a second context")
 
     # 4. Topology delta on r1's context: epoch bump + theta carry.
-    c.send({"op": "delta", "id": "d1", "topology": "ring", "nodes": 8,
-            "ops": [{"kind": "scale_capacity", "src": 2, "dst": 3,
-                     "factor": 0.5}]})
-    d1 = c.wait("d1")
+    d1 = request({"op": "delta", "id": "d1", "topology": "ring", "nodes": 8,
+                  "ops": [{"kind": "scale_capacity", "src": 2, "dst": 3,
+                           "factor": 0.5}]})
     check(d1["code"] == "OK" and d1["epoch"] >= 1, "d1 applies the delta")
     check(not d1["relaxing"] and d1["touched"] == 1,
           "d1 is a restricting single-edge delta")
@@ -130,8 +202,7 @@ def main():
     degraded_seen = False
     for attempt in range(5):
         rid = f"r4_{attempt}"
-        c.send(plan(rid, deadline_ms=0.05))
-        r4 = c.wait(rid)
+        r4 = request(plan(rid, deadline_ms=0.05))
         check(r4["code"] in ("OK", "DEADLINE_EXCEEDED"),
               "tight deadline answered via the ladder")
         if r4["code"] == "OK" and r4.get("degraded"):
@@ -146,10 +217,14 @@ def main():
     #     with a tight budget — the fast-path ladder must serve the stale
     #     memo entry (the replan cannot have refreshed it yet).
     if not degraded_seen:
+        # Salt the pinning solves per process: a daemon restarted warm from
+        # its journal must not answer them from the memo (that would free
+        # the workers and let the replan win the race below).
+        salt = (os.getpid() % 4096) * 16
         for w in range(args.workers):
             c.send(plan(f"busy{w}", topology="mesh", nodes=12,
                         collective="alltoall",
-                        message_bytes=(1 << 22) + w + 1))
+                        message_bytes=(1 << 22) + salt + w + 1))
         c.send({"op": "delta", "id": "d2", "topology": "ring", "nodes": 8,
                 "ops": [{"kind": "scale_capacity", "src": 3, "dst": 4,
                          "factor": 0.5}]})
@@ -162,14 +237,14 @@ def main():
             check(c.wait(f"busy{w}")["code"] == "OK", f"busy{w} still answered")
 
     # 6. Tight deadline on a never-seen key: nothing to degrade to.
-    c.send(plan("r6", message_bytes=77777, deadline_ms=0.05))
-    check(c.wait("r6")["code"] == "DEADLINE_EXCEEDED",
+    r6 = request(plan("r6", message_bytes=77777, deadline_ms=0.05))
+    check(r6["code"] == "DEADLINE_EXCEEDED",
           "tight deadline with no stale answer is DEADLINE_EXCEEDED")
 
     # 7. Invalid request.
-    c.send({"op": "plan", "id": "r7", "topology": "klein-bottle", "nodes": 8,
-            "collective": "allreduce"})
-    check(c.wait("r7")["code"] == "INVALID_REQUEST", "bad topology rejected")
+    r7 = request({"op": "plan", "id": "r7", "topology": "klein-bottle",
+                  "nodes": 8, "collective": "allreduce"})
+    check(r7["code"] == "INVALID_REQUEST", "bad topology rejected")
 
     if args.fault:
         # Fault drill: a solve in flight when its context's topology
@@ -187,17 +262,21 @@ def main():
             check(f1.get("epoch_lag", 0) >= 1, "overtaken solve reports lag")
 
     # 8. Stats: percentile fields present and the session's outcomes show.
-    c.send({"op": "stats", "id": "s1"})
-    s1 = c.wait("s1")
+    s1 = request({"op": "stats", "id": "s1"})
     check(s1["code"] == "OK", "stats responds OK")
     st = s1["stats"]
     for field in ("p50_plan_ms", "p99_plan_ms", "planned", "degraded",
                   "deadline_exceeded", "cache_hits", "queue_depth",
-                  "worker_restarts", "theta_cache_hit_rate"):
+                  "worker_restarts", "theta_cache_hit_rate",
+                  "faults_injected", "journal_compactions",
+                  "journal_truncated_tail", "tenant_deferrals"):
         check(field in st, f"stats carries {field}")
-    check(st["planned"] >= 2, "at least two fresh solves recorded")
-    check(st["p50_plan_ms"] > 0, "p50 computed from real samples")
-    check(st["p99_plan_ms"] >= st["p50_plan_ms"], "p99 >= p50")
+    if args.expect_warm:
+        check(st.get("memo_loaded", 0) >= 1, "journal entries loaded at boot")
+    else:
+        check(st["planned"] >= 2, "at least two fresh solves recorded")
+        check(st["p50_plan_ms"] > 0, "p50 computed from real samples")
+        check(st["p99_plan_ms"] >= st["p50_plan_ms"], "p99 >= p50")
     check(st["cache_hits"] >= 1, "memo hit counted")
     if degraded_seen:
         check(st["degraded"] >= 1, "degraded answer counted")
@@ -206,8 +285,7 @@ def main():
     # 9. Shutdown handshake (skipped when another client owns the daemon's
     #    lifecycle — e.g. the concurrent-clients CI smoke).
     if not args.no_shutdown:
-        c.send({"op": "shutdown", "id": "bye"})
-        bye = c.wait("bye")
+        bye = request({"op": "shutdown", "id": "bye"})
         check(bye["code"] == "OK" and bye.get("shutting_down"),
               "shutdown acknowledged")
 
@@ -215,7 +293,8 @@ def main():
         print(f"serve_client: {len(FAILURES)} assertion(s) failed",
               file=sys.stderr)
         return 1
-    print("serve_client: all assertions passed")
+    print("serve_client: all assertions passed"
+          + (f" ({c.reconnects} reconnect(s))" if c.reconnects else ""))
     return 0
 
 
